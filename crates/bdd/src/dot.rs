@@ -1,0 +1,49 @@
+//! Graphviz DOT export for BDDs — presence conditions are much easier to
+//! debug as pictures when conditionals nest deeply.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::manager::Bdd;
+
+impl Bdd {
+    /// Renders this function as a Graphviz `digraph`.
+    ///
+    /// Solid edges are the high (true) branches, dashed edges the low
+    /// (false) branches; terminals are boxes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use superc_bdd::BddManager;
+    /// let mgr = BddManager::new();
+    /// let f = mgr.var("A").and(&mgr.var("B").not());
+    /// let dot = f.to_dot();
+    /// assert!(dot.starts_with("digraph bdd {"));
+    /// assert!(dot.contains("\"A\""));
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        let _ = writeln!(out, "  t0 [label=\"0\", shape=box];");
+        let _ = writeln!(out, "  t1 [label=\"1\", shape=box];");
+        let mut names: HashMap<usize, String> = HashMap::new();
+        let mut order: Vec<(String, String, String, String)> = Vec::new();
+        self.walk_nodes(&mut |id, var_name, low, high| {
+            let name = format!("n{id}");
+            names.insert(id, name.clone());
+            order.push((name, var_name, format!("{low}"), format!("{high}")));
+        });
+        for (name, var, low, high) in order {
+            let _ = writeln!(out, "  {name} [label=\"{var}\"];");
+            let _ = writeln!(out, "  {name} -> {low} [style=dashed];");
+            let _ = writeln!(out, "  {name} -> {high};");
+        }
+        if self.is_true() {
+            let _ = writeln!(out, "  root -> t1; root [shape=point];");
+        } else if self.is_false() {
+            let _ = writeln!(out, "  root -> t0; root [shape=point];");
+        }
+        out.push_str("}\n");
+        out
+    }
+}

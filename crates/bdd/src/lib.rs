@@ -1,0 +1,40 @@
+//! Reduced Ordered Binary Decision Diagrams (ROBDDs).
+//!
+//! SuperC (Gazzillo & Grimm, PLDI 2012, §3.2) represents *presence
+//! conditions* — the boolean functions over configuration variables under
+//! which a token, macro definition, or AST node is present — as BDDs. The
+//! original implementation used JavaBDD; this crate is a from-scratch
+//! substitute providing the same essentials:
+//!
+//! * **Canonicity.** Two boolean functions are equal if and only if their
+//!   BDD handles are equal (`==` on [`Bdd`] is an O(1) index compare).
+//!   This is what makes feasibility checks (`c1 ∧ c2 = false`) and subparser
+//!   merging cheap.
+//! * **Boolean operations.** Negation, conjunction, disjunction, plus the
+//!   derived implication/biconditional, all memoized through an apply cache.
+//! * **Named variables.** Presence-condition variables are free macros,
+//!   `defined(M)` tests, and opaque non-boolean expressions; the manager
+//!   interns them by name.
+//!
+//! # Examples
+//!
+//! ```
+//! use superc_bdd::BddManager;
+//!
+//! let mgr = BddManager::new();
+//! let a = mgr.var("defined(CONFIG_64BIT)");
+//! let b = mgr.var("defined(CONFIG_SMP)");
+//!
+//! // Canonicity: conjunction is commutative, and the handles agree.
+//! assert_eq!(a.and(&b), b.and(&a));
+//! // Feasibility: a branch under `a && !a` is dead.
+//! assert!(a.and(&a.not()).is_false());
+//! ```
+
+mod dot;
+mod manager;
+
+pub use manager::{Bdd, BddManager, BddStats, VarId};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,680 @@
+//! The BDD node table, unique table, and apply cache.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+/// Index of a variable in a [`BddManager`]'s ordering.
+///
+/// Variables are ordered by creation; SuperC's presence-condition variables
+/// arrive in source order, which works well in practice because related
+/// conditionals tend to test related variables.
+pub type VarId = u32;
+
+type NodeId = u32;
+
+const FALSE: NodeId = 0;
+const TRUE: NodeId = 1;
+/// Terminal nodes use a variable index past any real variable so that the
+/// ordering test `var(f) < var(g)` treats terminals as "last".
+const TERMINAL_VAR: VarId = u32::MAX;
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    var: VarId,
+    low: NodeId,
+    high: NodeId,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+struct Inner {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, NodeId>,
+    apply_cache: HashMap<(Op, NodeId, NodeId), NodeId>,
+    not_cache: HashMap<NodeId, NodeId>,
+    var_names: Vec<String>,
+    var_ids: HashMap<String, VarId>,
+    applies: u64,
+}
+
+impl Inner {
+    fn new() -> Self {
+        let terminal = |_: NodeId| Node {
+            var: TERMINAL_VAR,
+            low: 0,
+            high: 0,
+        };
+        // Terminals are given distinct (low, high) so they never alias in the
+        // unique table; they are only ever referenced by their fixed ids.
+        let mut nodes = vec![terminal(FALSE), terminal(TRUE)];
+        nodes[TRUE as usize].high = 1;
+        Inner {
+            nodes,
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            var_names: Vec::new(),
+            var_ids: HashMap::new(),
+            applies: 0,
+        }
+    }
+
+    fn var_of(&self, id: NodeId) -> VarId {
+        self.nodes[id as usize].var
+    }
+
+    fn mk(&mut self, var: VarId, low: NodeId, high: NodeId) -> NodeId {
+        if low == high {
+            return low;
+        }
+        let node = Node { var, low, high };
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    fn mk_var(&mut self, name: &str) -> VarId {
+        if let Some(&v) = self.var_ids.get(name) {
+            return v;
+        }
+        let v = self.var_names.len() as VarId;
+        self.var_names.push(name.to_string());
+        self.var_ids.insert(name.to_string(), v);
+        v
+    }
+
+    fn not(&mut self, f: NodeId) -> NodeId {
+        match f {
+            FALSE => TRUE,
+            TRUE => FALSE,
+            _ => {
+                if let Some(&r) = self.not_cache.get(&f) {
+                    return r;
+                }
+                let n = self.nodes[f as usize];
+                let low = self.not(n.low);
+                let high = self.not(n.high);
+                let r = self.mk(n.var, low, high);
+                self.not_cache.insert(f, r);
+                r
+            }
+        }
+    }
+
+    fn apply(&mut self, op: Op, f: NodeId, g: NodeId) -> NodeId {
+        self.applies += 1;
+        // Terminal cases.
+        match op {
+            Op::And => {
+                if f == FALSE || g == FALSE {
+                    return FALSE;
+                }
+                if f == TRUE {
+                    return g;
+                }
+                if g == TRUE || f == g {
+                    return f;
+                }
+            }
+            Op::Or => {
+                if f == TRUE || g == TRUE {
+                    return TRUE;
+                }
+                if f == FALSE {
+                    return g;
+                }
+                if g == FALSE || f == g {
+                    return f;
+                }
+            }
+            Op::Xor => {
+                if f == g {
+                    return FALSE;
+                }
+                if f == FALSE {
+                    return g;
+                }
+                if g == FALSE {
+                    return f;
+                }
+                if f == TRUE {
+                    return self.not(g);
+                }
+                if g == TRUE {
+                    return self.not(f);
+                }
+            }
+        }
+        // Commutative ops: normalize the cache key.
+        let key = if f <= g { (op, f, g) } else { (op, g, f) };
+        if let Some(&r) = self.apply_cache.get(&key) {
+            return r;
+        }
+        let (vf, vg) = (self.var_of(f), self.var_of(g));
+        let var = vf.min(vg);
+        let (f_lo, f_hi) = if vf == var {
+            let n = self.nodes[f as usize];
+            (n.low, n.high)
+        } else {
+            (f, f)
+        };
+        let (g_lo, g_hi) = if vg == var {
+            let n = self.nodes[g as usize];
+            (n.low, n.high)
+        } else {
+            (g, g)
+        };
+        let low = self.apply(op, f_lo, g_lo);
+        let high = self.apply(op, f_hi, g_hi);
+        let r = self.mk(var, low, high);
+        self.apply_cache.insert(key, r);
+        r
+    }
+
+    fn restrict(&mut self, f: NodeId, var: VarId, value: bool) -> NodeId {
+        if f == FALSE || f == TRUE {
+            return f;
+        }
+        let n = self.nodes[f as usize];
+        if n.var > var {
+            return f;
+        }
+        if n.var == var {
+            let branch = if value { n.high } else { n.low };
+            return self.restrict(branch, var, value);
+        }
+        let low = self.restrict(n.low, var, value);
+        let high = self.restrict(n.high, var, value);
+        self.mk(n.var, low, high)
+    }
+
+    fn support(&self, f: NodeId, out: &mut Vec<VarId>, seen: &mut HashMap<NodeId, ()>) {
+        if f == FALSE || f == TRUE || seen.contains_key(&f) {
+            return;
+        }
+        seen.insert(f, ());
+        let n = self.nodes[f as usize];
+        if !out.contains(&n.var) {
+            out.push(n.var);
+        }
+        self.support(n.low, out, seen);
+        self.support(n.high, out, seen);
+    }
+
+    fn level(&self, id: NodeId, nvars: u32) -> u32 {
+        let v = self.var_of(id);
+        if v == TERMINAL_VAR {
+            nvars
+        } else {
+            v
+        }
+    }
+
+    /// Satisfying assignments of `f` over the variables from `f`'s own level
+    /// to `nvars`. The caller scales by `2^level(f)` for the full count.
+    fn sat_count(&self, f: NodeId, nvars: u32, memo: &mut HashMap<NodeId, f64>) -> f64 {
+        match f {
+            FALSE => 0.0,
+            TRUE => 1.0,
+            _ => {
+                if let Some(&c) = memo.get(&f) {
+                    return c;
+                }
+                let n = self.nodes[f as usize];
+                // Each variable level skipped between this node and a child
+                // is a free choice, doubling that child's contribution.
+                let lo = self.sat_count(n.low, nvars, memo)
+                    * 2f64.powi((self.level(n.low, nvars) - n.var - 1) as i32);
+                let hi = self.sat_count(n.high, nvars, memo)
+                    * 2f64.powi((self.level(n.high, nvars) - n.var - 1) as i32);
+                let c = lo + hi;
+                memo.insert(f, c);
+                c
+            }
+        }
+    }
+
+    fn one_sat(&self, f: NodeId, out: &mut Vec<(VarId, bool)>) -> bool {
+        match f {
+            FALSE => false,
+            TRUE => true,
+            _ => {
+                let n = self.nodes[f as usize];
+                if n.low != FALSE {
+                    out.push((n.var, false));
+                    if self.one_sat(n.low, out) {
+                        return true;
+                    }
+                    out.pop();
+                }
+                if n.high != FALSE {
+                    out.push((n.var, true));
+                    if self.one_sat(n.high, out) {
+                        return true;
+                    }
+                    out.pop();
+                }
+                false
+            }
+        }
+    }
+}
+
+/// A shared BDD manager: node storage, variable interner, operation caches.
+///
+/// Cloning a manager is cheap (reference-counted); all clones share nodes, so
+/// [`Bdd`]s created through any clone are comparable.
+///
+/// # Examples
+///
+/// ```
+/// use superc_bdd::BddManager;
+/// let mgr = BddManager::new();
+/// let x = mgr.var("X");
+/// assert!(x.or(&x.not()).is_true());
+/// ```
+#[derive(Clone)]
+pub struct BddManager {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "BddManager {{ nodes: {}, vars: {} }}",
+            s.nodes, s.variables
+        )
+    }
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Creates an empty manager containing only the `true`/`false` terminals.
+    pub fn new() -> Self {
+        BddManager {
+            inner: Rc::new(RefCell::new(Inner::new())),
+        }
+    }
+
+    fn wrap(&self, id: NodeId) -> Bdd {
+        Bdd {
+            mgr: Rc::clone(&self.inner),
+            id,
+        }
+    }
+
+    /// The constant `true` function.
+    pub fn tru(&self) -> Bdd {
+        self.wrap(TRUE)
+    }
+
+    /// The constant `false` function.
+    pub fn fls(&self) -> Bdd {
+        self.wrap(FALSE)
+    }
+
+    /// A constant function chosen by `value`.
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            self.tru()
+        } else {
+            self.fls()
+        }
+    }
+
+    /// The variable named `name`, interning it on first use.
+    ///
+    /// Repeated calls with the same name return the same function, which is
+    /// how SuperC guarantees that repeated occurrences of the same free
+    /// macro or opaque arithmetic expression map to one variable (§3.2).
+    pub fn var(&self, name: &str) -> Bdd {
+        let mut inner = self.inner.borrow_mut();
+        let v = inner.mk_var(name);
+        let id = inner.mk(v, FALSE, TRUE);
+        drop(inner);
+        self.wrap(id)
+    }
+
+    /// The negation of the variable named `name`.
+    pub fn nvar(&self, name: &str) -> Bdd {
+        self.var(name).not()
+    }
+
+    /// Returns the id of variable `name` if it has been interned.
+    pub fn var_id(&self, name: &str) -> Option<VarId> {
+        self.inner.borrow().var_ids.get(name).copied()
+    }
+
+    /// The name of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not created by this manager.
+    pub fn var_name(&self, v: VarId) -> String {
+        self.inner.borrow().var_names[v as usize].clone()
+    }
+
+    /// Number of distinct variables interned so far.
+    pub fn num_vars(&self) -> u32 {
+        self.inner.borrow().var_names.len() as u32
+    }
+
+    /// Counters describing the manager's current size and work done.
+    pub fn stats(&self) -> BddStats {
+        let inner = self.inner.borrow();
+        BddStats {
+            nodes: inner.nodes.len(),
+            variables: inner.var_names.len(),
+            apply_calls: inner.applies,
+        }
+    }
+}
+
+/// Size and work counters for a [`BddManager`], from [`BddManager::stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BddStats {
+    /// Total allocated nodes including terminals.
+    pub nodes: usize,
+    /// Interned variables.
+    pub variables: usize,
+    /// Recursive apply steps performed (a proxy for work).
+    pub apply_calls: u64,
+}
+
+/// A handle to a boolean function in some [`BddManager`].
+///
+/// Handles are canonical: `a == b` holds exactly when the functions are
+/// logically equivalent (and from the same manager). Cloning is cheap.
+///
+/// # Examples
+///
+/// ```
+/// use superc_bdd::BddManager;
+/// let mgr = BddManager::new();
+/// let (a, b) = (mgr.var("A"), mgr.var("B"));
+/// let f = a.and(&b).or(&a.and(&b.not()));
+/// assert_eq!(f, a); // (A∧B) ∨ (A∧¬B) simplifies to A
+/// ```
+#[derive(Clone)]
+pub struct Bdd {
+    mgr: Rc<RefCell<Inner>>,
+    id: NodeId,
+}
+
+impl PartialEq for Bdd {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.mgr, &other.mgr) && self.id == other.id
+    }
+}
+impl Eq for Bdd {}
+
+impl Hash for Bdd {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl Bdd {
+    /// True if this is the constant `false` function — the infeasibility test
+    /// SuperC runs when trimming macro-table entries and dead branches.
+    pub fn is_false(&self) -> bool {
+        self.id == FALSE
+    }
+
+    /// True if this is the constant `true` function.
+    pub fn is_true(&self) -> bool {
+        self.id == TRUE
+    }
+
+    /// The manager this function lives in.
+    pub fn manager(&self) -> BddManager {
+        BddManager {
+            inner: Rc::clone(&self.mgr),
+        }
+    }
+
+    fn wrap(&self, id: NodeId) -> Bdd {
+        Bdd {
+            mgr: Rc::clone(&self.mgr),
+            id,
+        }
+    }
+
+    fn binop(&self, other: &Bdd, op: Op) -> Bdd {
+        debug_assert!(
+            Rc::ptr_eq(&self.mgr, &other.mgr),
+            "BDD operands from different managers"
+        );
+        let id = self.mgr.borrow_mut().apply(op, self.id, other.id);
+        self.wrap(id)
+    }
+
+    /// Logical conjunction.
+    pub fn and(&self, other: &Bdd) -> Bdd {
+        self.binop(other, Op::And)
+    }
+
+    /// Logical disjunction.
+    pub fn or(&self, other: &Bdd) -> Bdd {
+        self.binop(other, Op::Or)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&self, other: &Bdd) -> Bdd {
+        self.binop(other, Op::Xor)
+    }
+
+    /// Logical negation.
+    pub fn not(&self) -> Bdd {
+        let id = self.mgr.borrow_mut().not(self.id);
+        self.wrap(id)
+    }
+
+    /// Material implication `self → other`.
+    pub fn implies(&self, other: &Bdd) -> Bdd {
+        self.not().or(other)
+    }
+
+    /// Biconditional `self ↔ other`.
+    pub fn iff(&self, other: &Bdd) -> Bdd {
+        self.xor(other).not()
+    }
+
+    /// True when `self → other` is a tautology.
+    pub fn implies_true(&self, other: &Bdd) -> bool {
+        self.implies(other).is_true()
+    }
+
+    /// True when `self ∧ other` is satisfiable — the feasibility check used
+    /// throughout configuration-preserving preprocessing.
+    pub fn feasible_with(&self, other: &Bdd) -> bool {
+        !self.and(other).is_false()
+    }
+
+    /// The cofactor of this function with `var` fixed to `value`.
+    pub fn restrict(&self, var: VarId, value: bool) -> Bdd {
+        let id = self.mgr.borrow_mut().restrict(self.id, var, value);
+        self.wrap(id)
+    }
+
+    /// Variables this function actually depends on, in ordering order.
+    pub fn support(&self) -> Vec<VarId> {
+        let inner = self.mgr.borrow();
+        let mut out = Vec::new();
+        let mut seen = HashMap::new();
+        inner.support(self.id, &mut out, &mut seen);
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of satisfying assignments over the manager's full variable set.
+    ///
+    /// Returned as `f64` because configuration counts grow exponentially
+    /// (the paper's Figure 6 initializer alone has 2^18 configurations).
+    pub fn sat_count(&self) -> f64 {
+        let inner = self.mgr.borrow();
+        let nvars = inner.var_names.len() as u32;
+        let mut memo = HashMap::new();
+        let below = inner.sat_count(self.id, nvars, &mut memo);
+        below * 2f64.powi(inner.level(self.id, nvars) as i32)
+    }
+
+    /// One satisfying partial assignment, or `None` if unsatisfiable.
+    ///
+    /// Variables absent from the result may take either value.
+    pub fn one_sat(&self) -> Option<Vec<(VarId, bool)>> {
+        let inner = self.mgr.borrow();
+        let mut out = Vec::new();
+        if inner.one_sat(self.id, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates this function under a complete assignment given by `env`.
+    ///
+    /// Variables for which `env` returns `None` default to `false`.
+    pub fn eval(&self, env: impl Fn(&str) -> Option<bool>) -> bool {
+        let inner = self.mgr.borrow();
+        let mut id = self.id;
+        loop {
+            match id {
+                FALSE => return false,
+                TRUE => return true,
+                _ => {
+                    let n = inner.nodes[id as usize];
+                    let name = &inner.var_names[n.var as usize];
+                    id = if env(name).unwrap_or(false) {
+                        n.high
+                    } else {
+                        n.low
+                    };
+                }
+            }
+        }
+    }
+
+    /// Visits each internal node once with `(id, variable name, low ref,
+    /// high ref)` where refs are `t0`, `t1`, or `n<id>` (for DOT export).
+    pub(crate) fn walk_nodes(&self, f: &mut dyn FnMut(usize, String, String, String)) {
+        let inner = self.mgr.borrow();
+        let name = |x: NodeId| match x {
+            FALSE => "t0".to_string(),
+            TRUE => "t1".to_string(),
+            n => format!("n{n}"),
+        };
+        let mut seen: HashMap<NodeId, ()> = HashMap::new();
+        let mut stack = vec![self.id];
+        while let Some(id) = stack.pop() {
+            if id == FALSE || id == TRUE || seen.insert(id, ()).is_some() {
+                continue;
+            }
+            let n = inner.nodes[id as usize];
+            f(
+                id as usize,
+                inner.var_names[n.var as usize].clone(),
+                name(n.low),
+                name(n.high),
+            );
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+    }
+
+    /// Internal node count of this function (shared nodes counted once).
+    pub fn node_count(&self) -> usize {
+        let inner = self.mgr.borrow();
+        let mut seen = HashMap::new();
+        fn walk(inner: &Inner, id: NodeId, seen: &mut HashMap<NodeId, ()>) -> usize {
+            if id == FALSE || id == TRUE || seen.contains_key(&id) {
+                return 0;
+            }
+            seen.insert(id, ());
+            let n = inner.nodes[id as usize];
+            1 + walk(inner, n.low, seen) + walk(inner, n.high, seen)
+        }
+        walk(&inner, self.id, &mut seen)
+    }
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bdd({})", self)
+    }
+}
+
+impl fmt::Display for Bdd {
+    /// Renders the function as a disjunction of up to four cubes, eliding the
+    /// rest — presence conditions in reports stay readable this way.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_true() {
+            return write!(f, "1");
+        }
+        if self.is_false() {
+            return write!(f, "0");
+        }
+        let inner = self.mgr.borrow();
+        let mut cubes: Vec<String> = Vec::new();
+        let mut stack: Vec<(NodeId, Vec<(VarId, bool)>)> = vec![(self.id, Vec::new())];
+        while let Some((id, path)) = stack.pop() {
+            if cubes.len() > 4 {
+                break;
+            }
+            match id {
+                FALSE => {}
+                TRUE => {
+                    let cube: Vec<String> = path
+                        .iter()
+                        .map(|&(v, pos)| {
+                            let name = &inner.var_names[v as usize];
+                            if pos {
+                                name.clone()
+                            } else {
+                                format!("!{name}")
+                            }
+                        })
+                        .collect();
+                    cubes.push(if cube.is_empty() {
+                        "1".to_string()
+                    } else {
+                        cube.join(" && ")
+                    });
+                }
+                _ => {
+                    let n = inner.nodes[id as usize];
+                    let mut hi = path.clone();
+                    hi.push((n.var, true));
+                    let mut lo = path;
+                    lo.push((n.var, false));
+                    stack.push((n.high, hi));
+                    stack.push((n.low, lo));
+                }
+            }
+        }
+        if cubes.len() > 4 {
+            cubes.truncate(4);
+            cubes.push("...".to_string());
+        }
+        write!(f, "{}", cubes.join(" || "))
+    }
+}

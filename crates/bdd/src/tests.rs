@@ -1,0 +1,304 @@
+use super::*;
+use proptest::prelude::*;
+
+fn mgr3() -> (BddManager, Bdd, Bdd, Bdd) {
+    let m = BddManager::new();
+    let a = m.var("A");
+    let b = m.var("B");
+    let c = m.var("C");
+    (m, a, b, c)
+}
+
+#[test]
+fn terminals_are_distinct_constants() {
+    let m = BddManager::new();
+    assert!(m.tru().is_true());
+    assert!(m.fls().is_false());
+    assert_ne!(m.tru(), m.fls());
+    assert_eq!(m.constant(true), m.tru());
+    assert_eq!(m.constant(false), m.fls());
+}
+
+#[test]
+fn variables_are_interned_by_name() {
+    let m = BddManager::new();
+    assert_eq!(m.var("X"), m.var("X"));
+    assert_ne!(m.var("X"), m.var("Y"));
+    assert_eq!(m.num_vars(), 2);
+    assert_eq!(m.var_name(m.var_id("X").unwrap()), "X");
+    assert_eq!(m.var_id("Z"), None);
+}
+
+#[test]
+fn basic_identities() {
+    let (m, a, b, _) = mgr3();
+    assert_eq!(a.and(&m.tru()), a);
+    assert_eq!(a.and(&m.fls()), m.fls());
+    assert_eq!(a.or(&m.fls()), a);
+    assert_eq!(a.or(&m.tru()), m.tru());
+    assert_eq!(a.and(&a), a);
+    assert_eq!(a.or(&a), a);
+    assert_eq!(a.xor(&a), m.fls());
+    assert_eq!(a.and(&b), b.and(&a));
+    assert_eq!(a.or(&b), b.or(&a));
+}
+
+#[test]
+fn negation_involutes_and_excluded_middle() {
+    let (m, a, _, _) = mgr3();
+    assert_eq!(a.not().not(), a);
+    assert!(a.or(&a.not()).is_true());
+    assert!(a.and(&a.not()).is_false());
+    assert_eq!(m.nvar("A"), a.not());
+}
+
+#[test]
+fn implication_and_iff() {
+    let (m, a, b, _) = mgr3();
+    assert!(a.and(&b).implies_true(&a));
+    assert!(!a.implies_true(&a.and(&b)));
+    assert_eq!(a.iff(&a), m.tru());
+    assert_eq!(a.iff(&a.not()), m.fls());
+}
+
+#[test]
+fn feasibility_check() {
+    let (_, a, b, _) = mgr3();
+    assert!(a.feasible_with(&b));
+    assert!(!a.feasible_with(&a.not()));
+}
+
+#[test]
+fn canonicity_absorption() {
+    // (A∧B) ∨ (A∧¬B) == A must hold as handle equality.
+    let (_, a, b, _) = mgr3();
+    let f = a.and(&b).or(&a.and(&b.not()));
+    assert_eq!(f, a);
+}
+
+#[test]
+fn restrict_cofactors() {
+    let (m, a, b, _) = mgr3();
+    let f = a.and(&b);
+    let va = m.var_id("A").unwrap();
+    assert_eq!(f.restrict(va, true), b);
+    assert_eq!(f.restrict(va, false), m.fls());
+    // Restricting a variable not in the support is the identity.
+    let vc = m.var("C");
+    let _ = vc;
+    let c_id = m.var_id("C").unwrap();
+    assert_eq!(f.restrict(c_id, true), f);
+}
+
+#[test]
+fn support_lists_only_live_variables() {
+    let (m, a, b, c) = mgr3();
+    let f = a.and(&b).or(&a.and(&b.not())); // == A
+    assert_eq!(f.support(), vec![m.var_id("A").unwrap()]);
+    let g = a.xor(&c);
+    assert_eq!(
+        g.support(),
+        vec![m.var_id("A").unwrap(), m.var_id("C").unwrap()]
+    );
+    assert!(b.manager().tru().support().is_empty());
+}
+
+#[test]
+fn sat_count_matches_truth_table() {
+    let (m, a, b, c) = mgr3();
+    assert_eq!(m.tru().sat_count(), 8.0);
+    assert_eq!(m.fls().sat_count(), 0.0);
+    assert_eq!(a.sat_count(), 4.0);
+    assert_eq!(a.and(&b).sat_count(), 2.0);
+    assert_eq!(a.or(&b).sat_count(), 6.0);
+    assert_eq!(a.and(&b).and(&c).sat_count(), 1.0);
+    assert_eq!(a.xor(&b).sat_count(), 4.0);
+}
+
+#[test]
+fn one_sat_produces_a_model() {
+    let (m, a, b, _) = mgr3();
+    let f = a.and(&b.not());
+    let model = f.one_sat().expect("satisfiable");
+    let env = |name: &str| {
+        let id = m.var_id(name)?;
+        model.iter().find(|&&(v, _)| v == id).map(|&(_, val)| val)
+    };
+    assert!(f.eval(env));
+    assert_eq!(m.fls().one_sat(), None);
+}
+
+#[test]
+fn eval_defaults_unknowns_to_false() {
+    let (_, a, b, _) = mgr3();
+    let f = a.or(&b);
+    assert!(f.eval(|n| if n == "A" { Some(true) } else { None }));
+    assert!(!f.eval(|_| None));
+}
+
+#[test]
+fn display_is_never_empty() {
+    let (m, a, b, _) = mgr3();
+    assert_eq!(format!("{}", m.tru()), "1");
+    assert_eq!(format!("{}", m.fls()), "0");
+    assert!(!format!("{}", a.and(&b.not())).is_empty());
+    assert!(format!("{:?}", a).starts_with("Bdd("));
+}
+
+#[test]
+fn node_count_shares_subgraphs() {
+    let (_, a, b, c) = mgr3();
+    let f = a.xor(&b).xor(&c);
+    assert!(f.node_count() >= 3);
+    assert_eq!(a.node_count(), 1);
+}
+
+#[test]
+fn stats_track_growth() {
+    let m = BddManager::new();
+    let s0 = m.stats();
+    let a = m.var("A");
+    let b = m.var("B");
+    let _ = a.and(&b);
+    let s1 = m.stats();
+    assert!(s1.nodes > s0.nodes);
+    assert_eq!(s1.variables, 2);
+    assert!(s1.apply_calls >= 1);
+    assert!(!format!("{m:?}").is_empty());
+}
+
+#[test]
+fn managers_are_independent() {
+    let m1 = BddManager::new();
+    let m2 = BddManager::new();
+    // Same name, different managers: not equal.
+    assert_ne!(m1.var("X"), m2.var("X"));
+}
+
+/// A tiny expression language with a reference evaluator to check the BDD
+/// operations against ground truth on all assignments of 4 variables.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u8),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0u8..4).prop_map(Expr::Var);
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval_expr(e: &Expr, env: u8) -> bool {
+    match e {
+        Expr::Var(i) => env & (1 << i) != 0,
+        Expr::Not(a) => !eval_expr(a, env),
+        Expr::And(a, b) => eval_expr(a, env) && eval_expr(b, env),
+        Expr::Or(a, b) => eval_expr(a, env) || eval_expr(b, env),
+        Expr::Xor(a, b) => eval_expr(a, env) != eval_expr(b, env),
+    }
+}
+
+fn build_bdd(e: &Expr, m: &BddManager) -> Bdd {
+    match e {
+        Expr::Var(i) => m.var(&format!("v{i}")),
+        Expr::Not(a) => build_bdd(a, m).not(),
+        Expr::And(a, b) => build_bdd(a, m).and(&build_bdd(b, m)),
+        Expr::Or(a, b) => build_bdd(a, m).or(&build_bdd(b, m)),
+        Expr::Xor(a, b) => build_bdd(a, m).xor(&build_bdd(b, m)),
+    }
+}
+
+proptest! {
+    #[test]
+    fn bdd_agrees_with_truth_table(e in arb_expr()) {
+        let m = BddManager::new();
+        // Intern all four variables so sat_count's universe is fixed.
+        for i in 0..4 { m.var(&format!("v{i}")); }
+        let f = build_bdd(&e, &m);
+        let mut count = 0u32;
+        for env in 0u8..16 {
+            let expected = eval_expr(&e, env);
+            if expected { count += 1; }
+            let got = f.eval(|name| {
+                let i: u8 = name[1..].parse().unwrap();
+                Some(env & (1 << i) != 0)
+            });
+            prop_assert_eq!(expected, got);
+        }
+        prop_assert_eq!(f.sat_count(), count as f64);
+    }
+
+    #[test]
+    fn canonicity_equivalent_exprs_share_handles(e in arb_expr()) {
+        let m = BddManager::new();
+        let f = build_bdd(&e, &m);
+        // Double negation and De Morgan rewrites reach the same node.
+        let g = match &e {
+            Expr::And(a, b) => build_bdd(a, &m)
+                .not()
+                .or(&build_bdd(b, &m).not())
+                .not(),
+            _ => f.not().not(),
+        };
+        prop_assert_eq!(f, g);
+    }
+
+    #[test]
+    fn one_sat_models_satisfy(e in arb_expr()) {
+        let m = BddManager::new();
+        let f = build_bdd(&e, &m);
+        if let Some(model) = f.one_sat() {
+            let ok = f.eval(|name| {
+                let id = m.var_id(name)?;
+                model.iter().find(|&&(v, _)| v == id).map(|&(_, val)| val)
+            });
+            prop_assert!(ok);
+        } else {
+            prop_assert!(f.is_false());
+        }
+    }
+
+    #[test]
+    fn restrict_matches_semantic_cofactor(e in arb_expr(), var in 0u8..4, val: bool) {
+        let m = BddManager::new();
+        for i in 0..4 { m.var(&format!("v{i}")); }
+        let f = build_bdd(&e, &m);
+        let v = m.var_id(&format!("v{var}")).unwrap();
+        let g = f.restrict(v, val);
+        for env in 0u8..16 {
+            let forced = if val { env | (1 << var) } else { env & !(1 << var) };
+            let expected = eval_expr(&e, forced);
+            let got = g.eval(|name| {
+                let i: u8 = name[1..].parse().unwrap();
+                Some(env & (1 << i) != 0)
+            });
+            prop_assert_eq!(expected, got);
+        }
+    }
+}
+
+#[test]
+fn dot_export_contains_structure() {
+    let (m, a, b, _) = mgr3();
+    let f = a.and(&b.not());
+    let dot = f.to_dot();
+    assert!(dot.starts_with("digraph bdd {"));
+    assert!(dot.contains("\"A\"") && dot.contains("\"B\""));
+    assert!(dot.contains("style=dashed"));
+    assert!(dot.trim_end().ends_with('}'));
+    // Terminals render too.
+    assert!(m.tru().to_dot().contains("root -> t1"));
+    assert!(m.fls().to_dot().contains("root -> t0"));
+}

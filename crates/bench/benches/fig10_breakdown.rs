@@ -1,0 +1,66 @@
+//! Criterion bench for Figure 10's axis: the pipeline phases in
+//! isolation — preprocessing only vs. preprocessing + parsing — at two
+//! unit sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use superc::{parse_unit, CondCtx, Options, ParserConfig, Preprocessor, SuperC};
+use superc_bench::pp_options;
+use superc_kernelgen::{generate, CorpusSpec};
+
+fn bench_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_phases");
+    group.sample_size(10);
+    for (label, funcs) in [("small_unit", 3usize), ("large_unit", 30)] {
+        let corpus = generate(&CorpusSpec {
+            units: 1,
+            functions_per_unit: (funcs, funcs),
+            ..CorpusSpec::default()
+        });
+        let unit = corpus.units[0].clone();
+
+        group.bench_with_input(
+            BenchmarkId::new("preprocess", label),
+            &corpus,
+            |b, corpus| {
+                b.iter(|| {
+                    let ctx = CondCtx::new(superc::CondBackend::Bdd);
+                    let mut pp = Preprocessor::new(ctx, pp_options(), corpus.fs.clone());
+                    pp.preprocess(&unit).expect("preprocesses")
+                });
+            },
+        );
+
+        // Parse only (preprocessed once outside the loop).
+        let ctx = CondCtx::new(superc::CondBackend::Bdd);
+        let mut pp = Preprocessor::new(ctx.clone(), pp_options(), corpus.fs.clone());
+        let preprocessed = pp.preprocess(&unit).expect("preprocesses");
+        group.bench_with_input(
+            BenchmarkId::new("parse", label),
+            &preprocessed,
+            |b, preprocessed| {
+                b.iter(|| parse_unit(preprocessed, &ctx, ParserConfig::full()));
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("end_to_end", label),
+            &corpus,
+            |b, corpus| {
+                b.iter(|| {
+                    let mut sc = SuperC::new(
+                        Options {
+                            pp: pp_options(),
+                            ..Options::default()
+                        },
+                        corpus.fs.clone(),
+                    );
+                    sc.process(&unit).expect("processes")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

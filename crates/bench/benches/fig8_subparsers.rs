@@ -1,0 +1,38 @@
+//! Criterion bench for Figure 8's axis: parsing cost per optimization
+//! level on a fixed high-variability unit (MAPR runs to its kill switch).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use superc::{Options, ParserConfig, SuperC};
+use superc_bench::pp_options;
+use superc_kernelgen::{generate, CorpusSpec};
+
+fn bench_levels(c: &mut Criterion) {
+    let corpus = generate(&CorpusSpec {
+        units: 1,
+        init_members: (12, 12),
+        functions_per_unit: (4, 4),
+        ..CorpusSpec::default()
+    });
+    let unit = corpus.units[0].clone();
+    let mut group = c.benchmark_group("fig8_optimization_levels");
+    group.sample_size(10);
+    for (name, cfg) in ParserConfig::levels() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut sc = SuperC::new(
+                    Options {
+                        pp: pp_options(),
+                        parser: *cfg,
+                        ..Options::default()
+                    },
+                    corpus.fs.clone(),
+                );
+                sc.process(&unit).expect("processes")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_levels);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for Figure 9's axis: end-to-end latency with BDD vs
+//! SAT presence conditions on one constrained-corpus unit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use superc::{CondBackend, Options, SuperC};
+use superc_bench::pp_options;
+use superc_kernelgen::{generate, CorpusSpec};
+
+fn bench_backends(c: &mut Criterion) {
+    let corpus = generate(&CorpusSpec {
+        units: 1,
+        ..CorpusSpec::constrained()
+    });
+    let unit = corpus.units[0].clone();
+    let mut group = c.benchmark_group("fig9_condition_backends");
+    group.sample_size(10);
+    for backend in [CondBackend::Bdd, CondBackend::Sat] {
+        group.bench_function(format!("{backend}"), |b| {
+            b.iter(|| {
+                let mut sc = SuperC::new(
+                    Options {
+                        backend,
+                        pp: pp_options(),
+                        ..Options::default()
+                    },
+                    corpus.fs.clone(),
+                );
+                sc.process(&unit).expect("processes")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Figure 10: SuperC latency breakdown — lexing, preprocessing, parsing —
+//! against compilation unit size, on a corpus with a wide size spread.
+//!
+//! The paper's claim: total latency and each phase scale roughly linearly
+//! with unit size, with most time split between preprocessing and parsing.
+
+use superc::report::TextTable;
+use superc::Options;
+use superc_bench::{pp_options, process_corpus, size_spread_corpus};
+
+fn main() {
+    superc_bench::warm_up();
+    let corpus = size_spread_corpus();
+    let units = process_corpus(
+        &corpus,
+        Options {
+            pp: pp_options(),
+            ..Options::default()
+        },
+    );
+
+    let mut rows: Vec<(u64, f64, f64, f64)> = units
+        .iter()
+        .map(|u| {
+            (
+                u.bytes,
+                u.timings.lexing.as_secs_f64() * 1000.0,
+                u.timings.preprocessing.as_secs_f64() * 1000.0,
+                u.timings.parsing.as_secs_f64() * 1000.0,
+            )
+        })
+        .collect();
+    rows.sort_by_key(|r| r.0);
+    // Drop the first-processed warmup artifacts by re-sorting only; the
+    // grammar build is a one-time cost inside the first unit's parse.
+
+    println!(
+        "Figure 10. SuperC latency breakdown vs. compilation unit size ({} units).\n",
+        rows.len()
+    );
+    let mut t = TextTable::new(&["KB", "lex ms", "preprocess ms", "parse ms", "total ms"]);
+    for &(bytes, lex, pp, parse) in &rows {
+        t.row(&[
+            format!("{:.1}", bytes as f64 / 1024.0),
+            format!("{lex:.2}"),
+            format!("{pp:.2}"),
+            format!("{parse:.2}"),
+            format!("{:.2}", lex + pp + parse),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Linearity check: least-squares slope and correlation of total
+    // latency vs size.
+    let n = rows.len() as f64;
+    let xs: Vec<f64> = rows.iter().map(|r| r.0 as f64 / 1024.0).collect();
+    let ys: Vec<f64> = rows.iter().map(|r| r.1 + r.2 + r.3).collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / n;
+    let (mx, my) = (mean(&xs), mean(&ys));
+    let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let slope = cov / vx.max(1e-9);
+    let r = cov / (vx.sqrt() * vy.sqrt()).max(1e-9);
+    println!("total latency ≈ {slope:.3} ms/KB (correlation r = {r:.3})");
+    let lex_total: f64 = rows.iter().map(|r| r.1).sum();
+    let pp_total: f64 = rows.iter().map(|r| r.2).sum();
+    let parse_total: f64 = rows.iter().map(|r| r.3).sum();
+    let total = lex_total + pp_total + parse_total;
+    println!(
+        "phase split: lexing {:.0}% · preprocessing {:.0}% · parsing {:.0}%",
+        lex_total / total * 100.0,
+        pp_total / total * 100.0,
+        parse_total / total * 100.0
+    );
+}

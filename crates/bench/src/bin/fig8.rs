@@ -1,0 +1,91 @@
+//! Figure 8: subparser counts per FMLR main-loop iteration, across
+//! optimization levels and the MAPR baseline.
+//!
+//! 8a reports the 99th percentile and maximum; 8b the cumulative
+//! distribution. MAPR triggers the 16,000-subparser kill switch on
+//! high-variability units, exactly as in the paper.
+
+use superc::report::{Distribution, TextTable};
+use superc::{Options, ParseStats, ParserConfig};
+use superc_bench::{full_corpus, pp_options, process_corpus};
+
+fn main() {
+    superc_bench::warm_up();
+    let corpus = full_corpus();
+    println!(
+        "Figure 8. Subparser counts per main FMLR loop iteration ({} units).\n",
+        corpus.units.len()
+    );
+
+    let mut table = TextTable::new(&["Optimization Level", "99th %", "Max.", "Killed Units"]);
+    let mut cdfs: Vec<(&'static str, Distribution)> = Vec::new();
+
+    for (name, cfg) in ParserConfig::levels() {
+        let units = process_corpus(
+            &corpus,
+            Options {
+                pp: pp_options(),
+                parser: cfg,
+                ..Options::default()
+            },
+        );
+        // Merge per-iteration histograms across all units.
+        let mut merged = ParseStats::default();
+        let mut killed = 0usize;
+        for u in &units {
+            merged.merge(&u.result.stats);
+            if u.result
+                .errors
+                .iter()
+                .any(|e| e.message.contains("kill switch"))
+            {
+                killed += 1;
+            }
+        }
+        let p99 = merged.subparser_quantile(0.99);
+        let max = merged.max_subparsers;
+        if killed > 0 {
+            table.row(&[
+                name.to_string(),
+                format!(">{p99}"),
+                format!(">{max}"),
+                format!("{killed}/{} ({}%)", units.len(), killed * 100 / units.len()),
+            ]);
+        } else {
+            table.row(&[
+                name.to_string(),
+                p99.to_string(),
+                max.to_string(),
+                "0".to_string(),
+            ]);
+        }
+        // CDF over iterations (8b).
+        let mut d = Distribution::new();
+        for (count, &iters) in merged.subparser_hist.iter().enumerate() {
+            for _ in 0..iters.min(10_000) {
+                d.push(count as f64);
+            }
+        }
+        cdfs.push((name, d));
+    }
+
+    println!("(a) The maximum number across optimizations.\n");
+    println!("{}", table.render());
+
+    println!("(b) The cumulative distribution across optimizations.\n");
+    for (name, d) in &cdfs {
+        if d.is_empty() {
+            continue;
+        }
+        let p = d.percentiles();
+        println!(
+            "{name}: p50 {} · p90 {} · max {} subparsers per iteration",
+            p.p50, p.p90, p.p100
+        );
+    }
+    println!();
+    // One ASCII CDF for the full-optimization level.
+    if let Some((name, d)) = cdfs.first() {
+        println!("{}", d.ascii_cdf(60, 12, name));
+    }
+}

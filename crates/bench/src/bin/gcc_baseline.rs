@@ -1,0 +1,67 @@
+//! §6.3's performance baseline: single-configuration ("gcc") processing
+//! of the corpus — conditionals resolved against a fixed configuration,
+//! no variability preserved — compared with full configuration-preserving
+//! SuperC. The paper reports a 12–32x gap; the exact factor depends on
+//! the corpus, but single-configuration processing should win by an
+//! order of magnitude.
+
+use std::time::Instant;
+
+use superc::report::Distribution;
+use superc::{Options, SuperC};
+use superc_bench::{full_corpus, pp_options};
+
+fn main() {
+    superc_bench::warm_up();
+    let corpus = full_corpus();
+
+    let mut gcc_opts = Options::gcc_baseline(vec![
+        ("CONFIG_SMP".into(), "1".into()),
+        ("CONFIG_64BIT".into(), "1".into()),
+        ("CONFIG_PM".into(), "1".into()),
+        ("NR_CPUS".into(), "64".into()),
+    ]);
+    gcc_opts.pp = superc::PpOptions {
+        single_config: true,
+        defines: gcc_opts.pp.defines.clone(),
+        ..pp_options()
+    };
+
+    let configs: [(&str, Options); 2] = [
+        (
+            "SuperC (all configurations)",
+            Options {
+                pp: pp_options(),
+                ..Options::default()
+            },
+        ),
+        ("gcc mode (one configuration)", gcc_opts),
+    ];
+
+    println!("gcc baseline (single-configuration) vs. configuration-preserving SuperC.\n");
+    let mut medians = Vec::new();
+    for (name, opts) in configs {
+        let mut sc = SuperC::new(opts, corpus.fs.clone());
+        let mut d = Distribution::new();
+        let t0 = Instant::now();
+        for unit in &corpus.units {
+            let t1 = Instant::now();
+            let p = sc.process(unit).unwrap_or_else(|e| panic!("{unit}: {e}"));
+            assert!(p.result.errors.is_empty(), "{unit}");
+            d.push(t1.elapsed().as_secs_f64() * 1000.0);
+        }
+        let p = d.percentiles();
+        println!(
+            "{name}: p50 {:.3} ms · p90 {:.3} ms · max {:.3} ms · total {:.2} s",
+            p.p50,
+            p.p90,
+            p.p100,
+            t0.elapsed().as_secs_f64()
+        );
+        medians.push(p.p50);
+    }
+    println!(
+        "\nconfiguration preservation costs a factor of {:.1}x at the median",
+        medians[0] / medians[1].max(1e-9)
+    );
+}

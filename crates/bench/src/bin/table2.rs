@@ -1,0 +1,124 @@
+//! Table 2: a developer's view of preprocessor usage.
+//!
+//! 2a counts lines of code and directives, split between C files and
+//! headers (the paper ran `cloc`/`grep`/`wc` over the Linux tree); 2b
+//! lists the most frequently included headers.
+
+use superc::report::{group_thousands, TextTable};
+use superc::Options;
+use superc_bench::{full_corpus, pp_options, process_corpus_with_tool};
+
+#[derive(Default)]
+struct Counts {
+    loc: u64,
+    directives: u64,
+    defines: u64,
+    conditionals: u64,
+    includes: u64,
+}
+
+fn count_file(text: &str) -> Counts {
+    let mut c = Counts::default();
+    let mut in_block_comment = false;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if in_block_comment {
+            if trimmed.contains("*/") {
+                in_block_comment = false;
+            }
+            continue;
+        }
+        if trimmed.is_empty() || trimmed.starts_with("//") {
+            continue;
+        }
+        if trimmed.starts_with("/*") && !trimmed.contains("*/") {
+            in_block_comment = true;
+            continue;
+        }
+        c.loc += 1;
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            c.directives += 1;
+            let name = rest.trim_start();
+            if name.starts_with("define") {
+                c.defines += 1;
+            } else if name.starts_with("if") {
+                // #if, #ifdef, #ifndef (the paper's conditional row).
+                c.conditionals += 1;
+            } else if name.starts_with("include") {
+                c.includes += 1;
+            }
+        }
+    }
+    c
+}
+
+fn main() {
+    let corpus = full_corpus();
+
+    // --- 2a: directives vs LoC, C files vs headers -----------------------
+    let mut c_files = Counts::default();
+    let mut headers = Counts::default();
+    for (path, text) in corpus.fs.iter() {
+        let counts = count_file(text);
+        let bucket = if path.ends_with(".h") {
+            &mut headers
+        } else {
+            &mut c_files
+        };
+        bucket.loc += counts.loc;
+        bucket.directives += counts.directives;
+        bucket.defines += counts.defines;
+        bucket.conditionals += counts.conditionals;
+        bucket.includes += counts.includes;
+    }
+    let pct = |part: u64, total: u64| {
+        if total == 0 {
+            "0%".to_string()
+        } else {
+            format!("{}%", (part * 100 + total / 2) / total)
+        }
+    };
+    println!("Table 2a. Number of directives compared to lines of code (LoC).\n");
+    let mut t = TextTable::new(&["", "Total", "C Files", "Headers"]);
+    let rows: &[(&str, u64, u64)] = &[
+        ("LoC", c_files.loc, headers.loc),
+        ("All Directives", c_files.directives, headers.directives),
+        ("#define", c_files.defines, headers.defines),
+        ("#if, #ifdef, #ifndef", c_files.conditionals, headers.conditionals),
+        ("#include", c_files.includes, headers.includes),
+    ];
+    for &(name, c, h) in rows {
+        let total = c + h;
+        t.row(&[
+            name.to_string(),
+            group_thousands(total as f64),
+            pct(c, total),
+            pct(h, total),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // --- 2b: most frequently included headers ----------------------------
+    let (_, tool) = process_corpus_with_tool(&corpus, Options {
+        pp: pp_options(),
+        ..Options::default()
+    });
+    let mut counts: Vec<(String, u64)> = tool
+        .preprocessor()
+        .include_counts()
+        .iter()
+        .map(|(k, &v)| (k.clone(), v))
+        .collect();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let n_units = corpus.units.len() as u64;
+    println!("Table 2b. The top five most frequently included headers.\n");
+    let mut t = TextTable::new(&["Header Name", "C Files That Include Header"]);
+    for (name, count) in counts.iter().take(5) {
+        let capped = (*count).min(n_units);
+        t.row(&[
+            name.clone(),
+            format!("{} ({}%)", capped, capped * 100 / n_units),
+        ]);
+    }
+    println!("{}", t.render());
+}

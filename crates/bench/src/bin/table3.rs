@@ -1,0 +1,132 @@
+//! Table 3: a tool's view of preprocessor usage — per-compilation-unit
+//! interaction counts as 50th · 90th · 100th percentiles, collected by
+//! instrumenting the configuration-preserving preprocessor and parser.
+
+use superc::report::{Percentiles, TextTable};
+use superc::Options;
+use superc_bench::{full_corpus, pp_options, process_corpus};
+
+fn main() {
+    superc_bench::warm_up();
+    let corpus = full_corpus();
+    let units = process_corpus(
+        &corpus,
+        Options {
+            pp: pp_options(),
+            ..Options::default()
+        },
+    );
+
+    let pp = |f: &dyn Fn(&superc::PpStats) -> u64| {
+        Percentiles::of_u64(&units.iter().map(|u| f(&u.unit.stats)).collect::<Vec<_>>())
+            .paper_format()
+    };
+    let ps = |f: &dyn Fn(&superc::ParseStats) -> u64| {
+        Percentiles::of_u64(&units.iter().map(|u| f(&u.result.stats)).collect::<Vec<_>>())
+            .paper_format()
+    };
+
+    println!(
+        "Table 3. A tool's view of preprocessor usage across {} compilation units.",
+        units.len()
+    );
+    println!("Entries show percentiles: 50th · 90th · 100th.\n");
+    let mut t = TextTable::new(&["Language Construct", "Total", "Interaction", "Count"]);
+    t.row(&[
+        "Macro Definitions".into(),
+        pp(&|s| s.macro_definitions),
+        "Redefinitions".into(),
+        pp(&|s| s.redefinitions),
+    ]);
+    t.row(&[
+        "Macro Invocations".into(),
+        pp(&|s| s.macro_invocations),
+        "Trimmed (infeasible defs)".into(),
+        pp(&|s| s.invocations_trimmed),
+    ]);
+    t.row(&[
+        "".into(),
+        "".into(),
+        "Hoisted around invocation".into(),
+        pp(&|s| s.invocations_hoisted),
+    ]);
+    t.row(&[
+        "".into(),
+        "".into(),
+        "Nested invocations".into(),
+        pp(&|s| s.nested_invocations),
+    ]);
+    t.row(&[
+        "".into(),
+        "".into(),
+        "Built-in macros".into(),
+        pp(&|s| s.builtin_invocations),
+    ]);
+    t.row(&[
+        "Token-Pasting".into(),
+        pp(&|s| s.token_pastes),
+        "Hoisted".into(),
+        pp(&|s| s.token_pastes_hoisted),
+    ]);
+    t.row(&[
+        "Stringification".into(),
+        pp(&|s| s.stringifications),
+        "Hoisted".into(),
+        pp(&|s| s.stringifications_hoisted),
+    ]);
+    t.row(&[
+        "File Includes".into(),
+        pp(&|s| s.includes),
+        "Hoisted (computed)".into(),
+        pp(&|s| s.includes_hoisted),
+    ]);
+    t.row(&[
+        "".into(),
+        "".into(),
+        "Computed includes".into(),
+        pp(&|s| s.computed_includes),
+    ]);
+    t.row(&[
+        "".into(),
+        "".into(),
+        "Reincluded headers".into(),
+        pp(&|s| s.reincluded_headers),
+    ]);
+    t.row(&[
+        "Static Conditionals".into(),
+        pp(&|s| s.conditionals),
+        "Hoisted (expressions)".into(),
+        pp(&|s| s.conditionals_hoisted),
+    ]);
+    t.row(&[
+        "".into(),
+        "".into(),
+        "Max. depth".into(),
+        pp(&|s| s.max_depth),
+    ]);
+    t.row(&[
+        "".into(),
+        "".into(),
+        "With non-boolean expressions".into(),
+        pp(&|s| s.non_boolean_exprs),
+    ]);
+    t.row(&[
+        "Error Directives".into(),
+        pp(&|s| s.error_directives),
+        "".into(),
+        "".into(),
+    ]);
+    t.row(&[
+        "Output tokens".into(),
+        pp(&|s| s.output_tokens),
+        "Output conditionals".into(),
+        pp(&|s| s.output_conditionals),
+    ]);
+    t.row(&[
+        "Typedef ambiguity forks".into(),
+        ps(&|s| s.reclassify_forks),
+        "Static choice nodes".into(),
+        ps(&|s| s.choice_nodes),
+    ]);
+    println!("{}", t.render());
+}

@@ -1,0 +1,97 @@
+//! Shared harness for the experiment binaries and criterion benches that
+//! regenerate the paper's tables and figures (§6).
+//!
+//! Each binary prints one artifact:
+//!
+//! | binary | artifact |
+//! |--------|----------|
+//! | `table2` | Table 2: developer's view of preprocessor usage |
+//! | `table3` | Table 3: tool's view (50·90·100 percentiles) |
+//! | `fig8` | Figure 8: subparser counts per optimization level |
+//! | `fig9` | Figure 9: latency, SuperC vs the TypeChef-style baseline |
+//! | `fig10` | Figure 10: latency breakdown by phase vs unit size |
+//! | `gcc_baseline` | §6.3's gcc comparison (single-configuration mode) |
+//!
+//! Run them with `cargo run --release -p superc-bench --bin <name>`.
+//! Absolute numbers differ from the paper (synthetic corpus, different
+//! machine); the *shapes* are the reproduction target.
+
+use superc::{Builtins, Options, PpOptions, ProcessedUnit, SuperC};
+use superc_kernelgen::{generate, Corpus, CorpusSpec};
+
+/// Standard preprocessor options for corpus runs.
+pub fn pp_options() -> PpOptions {
+    PpOptions {
+        builtins: Builtins::gcc_like(),
+        ..PpOptions::default()
+    }
+}
+
+/// The full ("unconstrained") corpus used by Tables 2–3, Figure 8, and
+/// Figure 10.
+pub fn full_corpus() -> Corpus {
+    generate(&CorpusSpec::default())
+}
+
+/// The constrained corpus: the only one the SAT baseline completes in
+/// reasonable time, mirroring the paper's constrained kernel (§6.3).
+pub fn constrained_corpus() -> Corpus {
+    generate(&CorpusSpec::constrained())
+}
+
+/// The corpus for Figure 9: variability between the constrained and
+/// full corpora, calibrated so the SAT baseline finishes while its
+/// latency knee is clearly visible.
+pub fn fig9_corpus() -> Corpus {
+    generate(&CorpusSpec {
+        init_members: (4, 12),
+        units: 32,
+        ..CorpusSpec::default()
+    })
+}
+
+/// Builds the C grammar tables before timing starts, so the one-time
+/// LALR construction does not pollute the first unit's latency.
+pub fn warm_up() {
+    let _ = superc::c_grammar();
+}
+
+/// A corpus with a wide unit-size spread, for Figure 10's size axis.
+pub fn size_spread_corpus() -> Corpus {
+    generate(&CorpusSpec {
+        units: 32,
+        functions_per_unit: (2, 60),
+        ..CorpusSpec::default()
+    })
+}
+
+/// Runs every unit of a corpus through the pipeline, returning the
+/// processed units in corpus order.
+///
+/// # Panics
+///
+/// Panics if a unit fails fatally — corpus generation guarantees units
+/// preprocess.
+pub fn process_corpus(corpus: &Corpus, options: Options) -> Vec<ProcessedUnit> {
+    let mut sc = SuperC::new(options, corpus.fs.clone());
+    corpus
+        .units
+        .iter()
+        .map(|u| sc.process(u).unwrap_or_else(|e| panic!("{u}: {e}")))
+        .collect()
+}
+
+/// Like [`process_corpus`], but also returns the tool for post-run
+/// queries (include counts).
+pub fn process_corpus_with_tool(
+    corpus: &Corpus,
+    options: Options,
+) -> (Vec<ProcessedUnit>, SuperC<superc::MemFs>) {
+    let mut sc = SuperC::new(options, corpus.fs.clone());
+    let units = corpus
+        .units
+        .iter()
+        .map(|u| sc.process(u).unwrap_or_else(|e| panic!("{u}: {e}")))
+        .collect();
+    (units, sc)
+}

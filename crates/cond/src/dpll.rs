@@ -1,0 +1,444 @@
+//! A compact CDCL SAT solver: two-watched-literal propagation, 1UIP
+//! clause learning, activity-driven decisions.
+//!
+//! TypeChef discharged feasibility queries with sat4j (a CDCL solver), so
+//! conflict-driven search is the faithful substrate here — the overhead
+//! the paper attributes to TypeChef comes from re-encoding conditions to
+//! CNF per query, not from a weak solver.
+
+use crate::formula::{Clause, Lit};
+
+/// Outcome of a solve call.
+pub enum SolveResult {
+    /// Satisfiable, with a model (`None` entries are don't-cares).
+    Sat(Vec<Option<bool>>),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// Step budget exhausted (treated as "possibly satisfiable").
+    Unknown,
+}
+
+impl SolveResult {
+    /// The model, if satisfiable.
+    pub fn model(self) -> Option<Vec<Option<bool>>> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True unless proven unsatisfiable.
+    pub fn possibly_sat(&self) -> bool {
+        !matches!(self, SolveResult::Unsat)
+    }
+}
+
+const BUDGET: u64 = 4_000_000;
+
+/// Literal to watch-index: `v*2` for positive, `v*2+1` for negative.
+fn widx(l: Lit) -> usize {
+    let v = (l.unsigned_abs() - 1) as usize;
+    v * 2 + usize::from(l < 0)
+}
+
+struct Solver {
+    nvars: usize,
+    clauses: Vec<Vec<Lit>>,
+    watches: Vec<Vec<u32>>,
+    assign: Vec<Option<bool>>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    qhead: usize,
+}
+
+impl Solver {
+    fn value(&self, l: Lit) -> Option<bool> {
+        let v = (l.unsigned_abs() - 1) as usize;
+        self.assign[v].map(|b| if l > 0 { b } else { !b })
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Asserts `l` with an optional reason clause. False if already
+    /// assigned the opposite value.
+    fn enqueue(&mut self, l: Lit, reason: Option<u32>) -> bool {
+        match self.value(l) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                let v = (l.unsigned_abs() - 1) as usize;
+                self.assign[v] = Some(l > 0);
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Watched-literal unit propagation; returns a conflicting clause id.
+    fn propagate(&mut self, steps: &mut u64) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let l = self.trail[self.qhead];
+            self.qhead += 1;
+            *steps += 1;
+            let false_lit = -l;
+            let mut watchers = std::mem::take(&mut self.watches[widx(false_lit)]);
+            let mut i = 0;
+            while i < watchers.len() {
+                let ci = watchers[i];
+                let c = ci as usize;
+                // Normalize: watched literals are positions 0 and 1.
+                if self.clauses[c][0] == false_lit {
+                    self.clauses[c].swap(0, 1);
+                }
+                let first = self.clauses[c][0];
+                if self.value(first) == Some(true) {
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut found = false;
+                for k in 2..self.clauses[c].len() {
+                    let lk = self.clauses[c][k];
+                    if self.value(lk) != Some(false) {
+                        self.clauses[c].swap(1, k);
+                        self.watches[widx(lk)].push(ci);
+                        watchers.swap_remove(i);
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    continue;
+                }
+                // Unit or conflict on the first watched literal.
+                if !self.enqueue(first, Some(ci)) {
+                    self.watches[widx(false_lit)] = watchers;
+                    return Some(ci);
+                }
+                i += 1;
+            }
+            self.watches[widx(false_lit)] = watchers;
+        }
+        None
+    }
+
+    fn bump(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, conflict: u32) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![0]; // slot 0 = asserting literal
+        let mut seen = vec![false; self.nvars];
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut reason_clause = conflict;
+        let mut idx = self.trail.len();
+        loop {
+            let clause = self.clauses[reason_clause as usize].clone();
+            let start = usize::from(p.is_some());
+            for &q in &clause[start..] {
+                let v = (q.unsigned_abs() - 1) as usize;
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump(v);
+                    if self.level[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Find the next seen literal on the trail.
+            loop {
+                idx -= 1;
+                let v = (self.trail[idx].unsigned_abs() - 1) as usize;
+                if seen[v] {
+                    break;
+                }
+            }
+            let lit = self.trail[idx];
+            let v = (lit.unsigned_abs() - 1) as usize;
+            counter -= 1;
+            if counter == 0 {
+                learned[0] = -lit;
+                break;
+            }
+            seen[v] = false;
+            p = Some(lit);
+            reason_clause = self.reason[v].expect("non-decision has a reason");
+        }
+        let back_level = learned[1..]
+            .iter()
+            .map(|&q| self.level[(q.unsigned_abs() - 1) as usize])
+            .max()
+            .unwrap_or(0);
+        (learned, back_level)
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        while self.decision_level() > level {
+            let mark = self.trail_lim.pop().expect("level > 0");
+            while self.trail.len() > mark {
+                let l = self.trail.pop().expect("trail in sync");
+                let v = (l.unsigned_abs() - 1) as usize;
+                self.assign[v] = None;
+                self.reason[v] = None;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn learn(&mut self, learned: Vec<Lit>) -> bool {
+        if learned.len() == 1 {
+            return self.enqueue(learned[0], None);
+        }
+        let ci = self.clauses.len() as u32;
+        self.watches[widx(learned[0])].push(ci);
+        self.watches[widx(learned[1])].push(ci);
+        let assert_lit = learned[0];
+        self.clauses.push(learned);
+        self.enqueue(assert_lit, Some(ci))
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<usize> = None;
+        for v in 0..self.nvars {
+            if self.assign[v].is_none()
+                && best.map(|b| self.activity[v] > self.activity[b]).unwrap_or(true)
+            {
+                best = Some(v);
+            }
+        }
+        // Default phase false: matches the all-false probe, which real
+        // configuration spaces (mostly-undefined CONFIG vars) satisfy.
+        best.map(|v| -((v as Lit) + 1))
+    }
+}
+
+/// Solves the clause set over `nvars` variables, bounded by an internal
+/// step budget. `steps` accumulates propagation/decision work.
+pub fn solve(clauses: &[Clause], nvars: u32, steps: &mut u64) -> SolveResult {
+    let nvars = nvars as usize;
+    let mut s = Solver {
+        nvars,
+        clauses: Vec::with_capacity(clauses.len()),
+        watches: vec![Vec::new(); nvars * 2],
+        assign: vec![None; nvars],
+        level: vec![0; nvars],
+        reason: vec![None; nvars],
+        trail: Vec::new(),
+        trail_lim: Vec::new(),
+        activity: vec![0.0; nvars],
+        var_inc: 1.0,
+        qhead: 0,
+    };
+    // Load clauses: units enqueue, empties fail, others watch two.
+    for c in clauses {
+        match c.len() {
+            0 => return SolveResult::Unsat,
+            1 => {
+                if !s.enqueue(c[0], None) {
+                    return SolveResult::Unsat;
+                }
+            }
+            _ => {
+                let ci = s.clauses.len() as u32;
+                s.watches[widx(c[0])].push(ci);
+                s.watches[widx(c[1])].push(ci);
+                s.clauses.push(c.clone());
+            }
+        }
+    }
+    let budget = *steps + BUDGET;
+    loop {
+        if let Some(conflict) = s.propagate(steps) {
+            if s.decision_level() == 0 {
+                return SolveResult::Unsat;
+            }
+            let (learned, back) = s.analyze(conflict);
+            s.cancel_until(back);
+            s.var_inc *= 1.05;
+            if !s.learn(learned) {
+                return SolveResult::Unsat;
+            }
+        } else {
+            match s.decide() {
+                None => return SolveResult::Sat(s.assign),
+                Some(l) => {
+                    *steps += 1;
+                    if *steps > budget {
+                        return SolveResult::Unknown;
+                    }
+                    s.trail_lim.push(s.trail.len());
+                    let ok = s.enqueue(l, None);
+                    debug_assert!(ok, "decision variable was unassigned");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(clauses: &[Clause], nvars: u32) -> SolveResult {
+        let mut steps = 0;
+        solve(clauses, nvars, &mut steps)
+    }
+
+    fn check_model(clauses: &[Clause], model: &[Option<bool>]) {
+        for c in clauses {
+            let sat = c.iter().any(|&l| {
+                let v = (l.unsigned_abs() - 1) as usize;
+                let b = model[v].unwrap_or(false);
+                if l > 0 {
+                    b
+                } else {
+                    !b
+                }
+            });
+            assert!(sat, "clause {c:?} unsatisfied by {model:?}");
+        }
+    }
+
+    #[test]
+    fn empty_cnf_is_sat() {
+        assert!(run(&[], 0).possibly_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        assert!(!run(&[vec![]], 1).possibly_sat());
+    }
+
+    #[test]
+    fn unit_conflict_is_unsat() {
+        assert!(!run(&[vec![1], vec![-1]], 1).possibly_sat());
+    }
+
+    #[test]
+    fn simple_sat_model_is_consistent() {
+        let clauses = vec![vec![1, 2], vec![-1, 2], vec![-2, 3]];
+        let model = run(&clauses, 3).model().expect("sat");
+        check_model(&clauses, &model);
+    }
+
+    #[test]
+    fn pigeonhole_2_into_1_is_unsat() {
+        assert!(!run(&[vec![1], vec![2], vec![-1, -2]], 2).possibly_sat());
+    }
+
+    #[test]
+    fn requires_backjumping() {
+        // (¬x1 ∨ x2) ∧ (¬x1 ∨ ¬x2) ∧ (x1 ∨ x3)
+        let clauses = vec![vec![-1, 2], vec![-1, -2], vec![1, 3]];
+        let model = run(&clauses, 3).model().expect("sat");
+        check_model(&clauses, &model);
+        assert_eq!(model[0], Some(false));
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_is_unsat() {
+        // Pigeon i in hole j = var 3*i + j + 1; i in 0..4, j in 0..3.
+        let mut clauses: Vec<Clause> = Vec::new();
+        let var = |i: i32, j: i32| 3 * i + j + 1;
+        for i in 0..4 {
+            clauses.push((0..3).map(|j| var(i, j)).collect());
+        }
+        for j in 0..3 {
+            for a in 0..4 {
+                for b in (a + 1)..4 {
+                    clauses.push(vec![-var(a, j), -var(b, j)]);
+                }
+            }
+        }
+        assert!(!run(&clauses, 12).possibly_sat());
+    }
+
+    #[test]
+    fn chains_propagate() {
+        // Implication chain x1 → x2 → ... → x20, then force ¬x20: UNSAT
+        // with x1 asserted.
+        let n = 20;
+        let mut clauses: Vec<Clause> = (1..n).map(|i| vec![-i, i + 1]).collect();
+        clauses.push(vec![1]);
+        clauses.push(vec![-n]);
+        assert!(!run(&clauses, n as u32).possibly_sat());
+        // Without forcing ¬x20 it is satisfiable.
+        clauses.pop();
+        let model = run(&clauses, n as u32).model().expect("sat");
+        check_model(&clauses, &model);
+    }
+
+    #[test]
+    fn random_3sat_instances_agree_with_brute_force() {
+        // Deterministic pseudo-random 3-SAT over 8 vars; brute-force check.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..50 {
+            let nv = 8u32;
+            let nc = 28;
+            let clauses: Vec<Clause> = (0..nc)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = (next() % nv) as i32 + 1;
+                            if next() % 2 == 0 {
+                                v
+                            } else {
+                                -v
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let brute = (0..(1u32 << nv)).any(|m| {
+                clauses.iter().all(|c| {
+                    c.iter().any(|&l| {
+                        let bit = m >> (l.unsigned_abs() - 1) & 1 == 1;
+                        if l > 0 {
+                            bit
+                        } else {
+                            !bit
+                        }
+                    })
+                })
+            });
+            match run(&clauses, nv) {
+                SolveResult::Sat(model) => {
+                    assert!(brute, "solver said SAT, brute force disagrees");
+                    check_model(&clauses, &model);
+                }
+                SolveResult::Unsat => assert!(!brute, "solver said UNSAT, brute force disagrees"),
+                SolveResult::Unknown => panic!("tiny instance exhausted budget"),
+            }
+        }
+    }
+
+    #[test]
+    fn counts_steps() {
+        let mut steps = 0;
+        let _ = solve(&[vec![1, 2], vec![-1, 2]], 2, &mut steps);
+        assert!(steps > 0);
+    }
+}

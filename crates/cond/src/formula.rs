@@ -1,0 +1,252 @@
+//! Structural boolean formulas and Tseitin CNF conversion.
+//!
+//! The SAT backend of [`crate::CondCtx`] mirrors TypeChef's representation:
+//! conditions are formula trees built with light local simplification, and
+//! every feasibility query converts the tree to CNF and calls a solver. The
+//! conversion is linear per query but repeated for every query, which is
+//! what produces the scalability knee the paper observes in Figure 9.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A boolean formula over `u32` variables.
+#[derive(Debug, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// A variable.
+    Var(u32),
+    /// Negation.
+    Not(Arc<Formula>),
+    /// N-ary conjunction (n ≥ 2).
+    And(Vec<Arc<Formula>>),
+    /// N-ary disjunction (n ≥ 2).
+    Or(Vec<Arc<Formula>>),
+}
+
+impl Formula {
+    pub fn tru() -> Arc<Formula> {
+        Arc::new(Formula::True)
+    }
+
+    pub fn fls() -> Arc<Formula> {
+        Arc::new(Formula::False)
+    }
+
+    pub fn var(v: u32) -> Arc<Formula> {
+        Arc::new(Formula::Var(v))
+    }
+
+    /// Returns the constant value if this formula is trivially constant.
+    pub fn as_const(&self) -> Option<bool> {
+        match self {
+            Formula::True => Some(true),
+            Formula::False => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Shallow-recursive syntactic equality (with pointer shortcuts).
+    pub fn syntactic_eq(self: &Arc<Formula>, other: &Arc<Formula>) -> bool {
+        fn eq(a: &Arc<Formula>, b: &Arc<Formula>) -> bool {
+            if Arc::ptr_eq(a, b) {
+                return true;
+            }
+            match (&**a, &**b) {
+                (Formula::True, Formula::True) | (Formula::False, Formula::False) => true,
+                (Formula::Var(x), Formula::Var(y)) => x == y,
+                (Formula::Not(x), Formula::Not(y)) => eq(x, y),
+                (Formula::And(xs), Formula::And(ys)) | (Formula::Or(xs), Formula::Or(ys)) => {
+                    xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| eq(x, y))
+                }
+                _ => false,
+            }
+        }
+        eq(self, other)
+    }
+
+    /// Evaluates under a total assignment.
+    ///
+    /// Formulas are DAGs (merges share subtrees), so evaluation memoizes
+    /// per node — the tree unfolding would be exponential.
+    pub fn eval(&self, env: &dyn Fn(u32) -> bool) -> bool {
+        let mut memo: HashMap<*const Formula, bool> = HashMap::new();
+        self.eval_memo(env, &mut memo)
+    }
+
+    fn eval_memo(&self, env: &dyn Fn(u32) -> bool, memo: &mut HashMap<*const Formula, bool>) -> bool {
+        let key = self as *const Formula;
+        if let Some(&r) = memo.get(&key) {
+            return r;
+        }
+        let r = match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Var(v) => env(*v),
+            Formula::Not(a) => !a.eval_memo(env, memo),
+            Formula::And(ks) => ks.iter().all(|k| k.eval_memo(env, memo)),
+            Formula::Or(ks) => ks.iter().any(|k| k.eval_memo(env, memo)),
+        };
+        memo.insert(key, r);
+        r
+    }
+
+    /// Number of distinct nodes in the formula DAG.
+    pub fn size(&self) -> usize {
+        fn walk(f: &Formula, seen: &mut HashMap<*const Formula, ()>) -> usize {
+            if seen.insert(f as *const Formula, ()).is_some() {
+                return 0;
+            }
+            match f {
+                Formula::True | Formula::False | Formula::Var(_) => 1,
+                Formula::Not(a) => 1 + walk(a, seen),
+                Formula::And(ks) | Formula::Or(ks) => {
+                    1 + ks.iter().map(|k| walk(k, seen)).sum::<usize>()
+                }
+            }
+        }
+        walk(self, &mut HashMap::new())
+    }
+
+    pub fn display_with(
+        &self,
+        f: &mut fmt::Formatter<'_>,
+        name: &dyn Fn(u32) -> String,
+    ) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "1"),
+            Formula::False => write!(f, "0"),
+            Formula::Var(v) => write!(f, "{}", name(*v)),
+            Formula::Not(a) => {
+                write!(f, "!(")?;
+                a.display_with(f, name)?;
+                write!(f, ")")
+            }
+            Formula::And(ks) | Formula::Or(ks) => {
+                let sep = if matches!(self, Formula::And(_)) {
+                    " && "
+                } else {
+                    " || "
+                };
+                write!(f, "(")?;
+                for (i, k) in ks.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "{sep}")?;
+                    }
+                    k.display_with(f, name)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A CNF literal: positive `v+1` or negative `-(v+1)` for variable `v`.
+pub type Lit = i32;
+/// A CNF clause: a disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// Converts a formula to equisatisfiable CNF by Tseitin transformation.
+///
+/// Returns the clause set and the total variable count (source variables
+/// first, then one auxiliary per internal formula node, shared via a memo on
+/// node identity). The root's defining literal is asserted as a unit clause.
+pub fn tseitin(root: &Arc<Formula>) -> (Vec<Clause>, u32) {
+    // Source variables keep their ids; auxiliaries are allocated above the
+    // maximum mentioned variable.
+    let mut max_var = 0u32;
+    collect_max_var(root, &mut max_var);
+    let mut next = max_var; // next fresh variable index (0-based)
+    let mut clauses: Vec<Clause> = Vec::new();
+    let mut memo: HashMap<*const Formula, Lit> = HashMap::new();
+
+    let root_lit = encode(root, &mut next, &mut clauses, &mut memo);
+    clauses.push(vec![root_lit]);
+    (clauses, next)
+}
+
+fn collect_max_var(f: &Arc<Formula>, max: &mut u32) {
+    match &**f {
+        Formula::Var(v) => *max = (*max).max(v + 1),
+        Formula::Not(a) => collect_max_var(a, max),
+        Formula::And(ks) | Formula::Or(ks) => {
+            for k in ks {
+                collect_max_var(k, max);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn lit(v: u32, positive: bool) -> Lit {
+    let l = (v + 1) as i32;
+    if positive {
+        l
+    } else {
+        -l
+    }
+}
+
+fn encode(
+    f: &Arc<Formula>,
+    next: &mut u32,
+    clauses: &mut Vec<Clause>,
+    memo: &mut HashMap<*const Formula, Lit>,
+) -> Lit {
+    if let Some(&l) = memo.get(&Arc::as_ptr(f)) {
+        return l;
+    }
+    let l = match &**f {
+        Formula::True => {
+            let v = fresh(next);
+            clauses.push(vec![lit(v, true)]);
+            lit(v, true)
+        }
+        Formula::False => {
+            let v = fresh(next);
+            clauses.push(vec![lit(v, false)]);
+            lit(v, true)
+        }
+        Formula::Var(v) => lit(*v, true),
+        Formula::Not(a) => -encode(a, next, clauses, memo),
+        Formula::And(ks) => {
+            let kids: Vec<Lit> = ks.iter().map(|k| encode(k, next, clauses, memo)).collect();
+            let v = fresh(next);
+            let out = lit(v, true);
+            // out → each kid
+            for &k in &kids {
+                clauses.push(vec![-out, k]);
+            }
+            // all kids → out
+            let mut big: Clause = kids.iter().map(|&k| -k).collect();
+            big.push(out);
+            clauses.push(big);
+            out
+        }
+        Formula::Or(ks) => {
+            let kids: Vec<Lit> = ks.iter().map(|k| encode(k, next, clauses, memo)).collect();
+            let v = fresh(next);
+            let out = lit(v, true);
+            // each kid → out
+            for &k in &kids {
+                clauses.push(vec![-k, out]);
+            }
+            // out → some kid
+            let mut big: Clause = kids.clone();
+            big.insert(0, -out);
+            clauses.push(big);
+            out
+        }
+    };
+    memo.insert(Arc::as_ptr(f), l);
+    l
+}
+
+fn fresh(next: &mut u32) -> u32 {
+    let v = *next;
+    *next += 1;
+    v
+}

@@ -1,0 +1,240 @@
+use super::*;
+use proptest::prelude::*;
+
+fn both() -> [CondCtx; 2] {
+    [CondCtx::new(CondBackend::Bdd), CondCtx::new(CondBackend::Sat)]
+}
+
+#[test]
+fn backends_report_themselves() {
+    assert_eq!(CondCtx::new(CondBackend::Bdd).backend(), CondBackend::Bdd);
+    assert_eq!(CondCtx::new(CondBackend::Sat).backend(), CondBackend::Sat);
+    assert_eq!(format!("{}", CondBackend::Bdd), "bdd");
+    assert_eq!(format!("{}", CondBackend::Sat), "sat");
+}
+
+#[test]
+fn constants_behave() {
+    for ctx in both() {
+        assert!(ctx.tru().is_true());
+        assert!(!ctx.tru().is_false());
+        assert!(ctx.fls().is_false());
+        assert!(!ctx.fls().is_true());
+        assert!(ctx.constant(true).is_true());
+        assert!(ctx.constant(false).is_false());
+    }
+}
+
+#[test]
+fn tautology_and_contradiction() {
+    for ctx in both() {
+        let a = ctx.var("A");
+        assert!(a.or(&a.not()).is_true());
+        assert!(a.and(&a.not()).is_false());
+        assert!(!a.is_false());
+        assert!(!a.is_true());
+    }
+}
+
+#[test]
+fn and_not_is_difference() {
+    for ctx in both() {
+        let a = ctx.var("A");
+        let b = ctx.var("B");
+        let d = a.and_not(&b);
+        assert!(d.and(&b).is_false());
+        assert!(!d.and(&a).is_false());
+    }
+}
+
+#[test]
+fn feasibility() {
+    for ctx in both() {
+        let a = ctx.var("A");
+        let b = ctx.var("B");
+        assert!(a.feasible_with(&b));
+        assert!(!a.feasible_with(&a.not()));
+    }
+}
+
+#[test]
+fn semantic_equality_across_rewrites() {
+    for ctx in both() {
+        let a = ctx.var("A");
+        let b = ctx.var("B");
+        // De Morgan: !(A && B) == !A || !B
+        let lhs = a.and(&b).not();
+        let rhs = a.not().or(&b.not());
+        assert!(lhs.semantically_equal(&rhs));
+        assert!(!lhs.semantically_equal(&a));
+    }
+}
+
+#[test]
+fn bdd_equality_is_canonical() {
+    let ctx = CondCtx::new(CondBackend::Bdd);
+    let a = ctx.var("A");
+    let b = ctx.var("B");
+    assert_eq!(a.and(&b), b.and(&a));
+}
+
+#[test]
+fn sat_equality_is_syntactic() {
+    let ctx = CondCtx::new(CondBackend::Sat);
+    let a = ctx.var("A");
+    assert_eq!(a.clone(), a.clone());
+    let b = ctx.var("B");
+    // Syntactically different but semantically equal forms are `!=`...
+    let lhs = a.and(&b).not();
+    let rhs = a.not().or(&b.not());
+    assert_ne!(lhs, rhs);
+    // ...yet semantically_equal sees through it.
+    assert!(lhs.semantically_equal(&rhs));
+}
+
+#[test]
+fn eval_under_configuration() {
+    for ctx in both() {
+        let cond = ctx.var("defined(CONFIG_SMP)").and(&ctx.var("X").not());
+        assert!(cond.eval(|n| Some(n == "defined(CONFIG_SMP)")));
+        assert!(!cond.eval(|_| Some(true)));
+        // Unknown variables default to false.
+        assert!(!cond.eval(|_| None));
+    }
+}
+
+#[test]
+fn example_config_satisfies() {
+    for ctx in both() {
+        let a = ctx.var("A");
+        let b = ctx.var("B");
+        let cond = a.and(&b.not());
+        let cfg = cond.example_config().expect("feasible");
+        let lookup =
+            |name: &str| cfg.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+        assert!(cond.eval(lookup));
+        assert_eq!(ctx.fls().example_config(), None);
+        assert_eq!(ctx.tru().example_config(), Some(vec![]));
+    }
+}
+
+#[test]
+fn display_is_never_empty() {
+    for ctx in both() {
+        let a = ctx.var("A");
+        let s = format!("{}", a.and(&ctx.var("B")).not());
+        assert!(!s.is_empty());
+        assert!(!format!("{:?}", ctx).is_empty());
+        assert!(format!("{:?}", a).starts_with("Cond("));
+        assert_eq!(format!("{}", ctx.tru()), "1");
+        assert_eq!(format!("{}", ctx.fls()), "0");
+    }
+}
+
+#[test]
+fn stats_count_work() {
+    for ctx in both() {
+        let a = ctx.var("A");
+        let _ = a.and(&a.not()).is_false();
+        let s = ctx.stats();
+        assert!(s.feasibility_checks >= 1);
+        assert_eq!(s.variables, 1);
+        // `a && !a` resolves locally under both backends (BDD canonicity;
+        // SAT hash-consing contradiction detection), so no DPLL steps.
+    }
+}
+
+#[test]
+fn size_grows_with_structure() {
+    for ctx in both() {
+        let mut f = ctx.var("v0");
+        for i in 1..8 {
+            f = f.or(&ctx.var(&format!("v{i}")).and(&ctx.var(&format!("w{i}"))));
+        }
+        assert!(f.size() > ctx.var("v0").size());
+    }
+}
+
+/// Random expressions checked for backend agreement on satisfiability and
+/// on evaluation under all 16 assignments of 4 variables.
+#[derive(Clone, Debug)]
+enum E {
+    V(u8),
+    N(Box<E>),
+    A(Box<E>, Box<E>),
+    O(Box<E>, Box<E>),
+}
+
+fn arb_e() -> impl Strategy<Value = E> {
+    let leaf = (0u8..4).prop_map(E::V);
+    leaf.prop_recursive(5, 32, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| E::N(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::A(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| E::O(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(e: &E, ctx: &CondCtx) -> Cond {
+    match e {
+        E::V(i) => ctx.var(&format!("v{i}")),
+        E::N(a) => build(a, ctx).not(),
+        E::A(a, b) => build(a, ctx).and(&build(b, ctx)),
+        E::O(a, b) => build(a, ctx).or(&build(b, ctx)),
+    }
+}
+
+fn truth(e: &E, env: u8) -> bool {
+    match e {
+        E::V(i) => env & (1 << i) != 0,
+        E::N(a) => !truth(a, env),
+        E::A(a, b) => truth(a, env) && truth(b, env),
+        E::O(a, b) => truth(a, env) || truth(b, env),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn backends_agree_on_satisfiability(e in arb_e()) {
+        let bdd = CondCtx::new(CondBackend::Bdd);
+        let sat = CondCtx::new(CondBackend::Sat);
+        let fb = build(&e, &bdd);
+        let fs = build(&e, &sat);
+        prop_assert_eq!(fb.is_false(), fs.is_false());
+        prop_assert_eq!(fb.is_true(), fs.is_true());
+    }
+
+    #[test]
+    fn backends_agree_with_truth_table(e in arb_e()) {
+        for ctx in both() {
+            let f = build(&e, &ctx);
+            for env in 0u8..16 {
+                let expected = truth(&e, env);
+                let got = f.eval(|name| {
+                    let i: u8 = name[1..].parse().unwrap();
+                    Some(env & (1 << i) != 0)
+                });
+                prop_assert_eq!(expected, got);
+            }
+        }
+    }
+
+    #[test]
+    fn example_configs_check_out(e in arb_e()) {
+        for ctx in both() {
+            let f = build(&e, &ctx);
+            match f.example_config() {
+                None => prop_assert!(f.is_false()),
+                Some(cfg) => {
+                    let ok = f.eval(|name| {
+                        cfg.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+                    });
+                    prop_assert!(ok);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The `superc` command-line tool: configuration-preserving preprocessing
+//! and parsing of C compilation units.
+//!
+//! ```text
+//! superc [OPTIONS] <file.c>...
+//!   -I <dir>          add an include search directory (repeatable)
+//!   -D <name[=val]>   define a macro
+//!   --sat             use the SAT condition backend (TypeChef-style)
+//!   --mapr            use MAPR's naive forking (with kill switch)
+//!   --level <name>    optimization level: full | shared-lazy | shared |
+//!                     lazy | follow | mapr | mapr-largest
+//!   --single <names>  single-configuration (gcc) mode; comma-separated
+//!                     macros to define as 1
+//!   --preprocess      print the configuration-preserving preprocessed text
+//!   --ast             print the AST with static choice nodes
+//!   --stats           print preprocessor/parser statistics
+//! ```
+
+use std::process::ExitCode;
+
+use superc::{
+    CondBackend, DiskFs, Options, ParserConfig, PpOptions, SuperC,
+};
+
+struct Args {
+    files: Vec<String>,
+    options: Options,
+    show_preprocessed: bool,
+    show_ast: bool,
+    show_stats: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        files: Vec::new(),
+        options: Options::default(),
+        show_preprocessed: false,
+        show_ast: false,
+        show_stats: false,
+    };
+    let mut pp = PpOptions::default();
+    pp.include_paths.clear();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-I" => pp
+                .include_paths
+                .push(it.next().ok_or("-I needs a directory")?),
+            "-D" => {
+                let d = it.next().ok_or("-D needs a name")?;
+                let (name, val) = d.split_once('=').unwrap_or((d.as_str(), "1"));
+                pp.defines.push((name.to_string(), val.to_string()));
+            }
+            "--sat" => args.options.backend = CondBackend::Sat,
+            "--mapr" => args.options.parser = ParserConfig::mapr(),
+            "--level" => {
+                let l = it.next().ok_or("--level needs a name")?;
+                args.options.parser = match l.as_str() {
+                    "full" => ParserConfig::full(),
+                    "shared-lazy" => ParserConfig::shared_lazy(),
+                    "shared" => ParserConfig::shared(),
+                    "lazy" => ParserConfig::lazy(),
+                    "follow" => ParserConfig::follow_only(),
+                    "mapr" => ParserConfig::mapr(),
+                    "mapr-largest" => ParserConfig::mapr_largest_first(),
+                    other => return Err(format!("unknown level {other}")),
+                };
+            }
+            "--single" => {
+                pp.single_config = true;
+                if let Some(names) = it.next() {
+                    for n in names.split(',').filter(|n| !n.is_empty()) {
+                        pp.defines.push((n.to_string(), "1".to_string()));
+                    }
+                }
+            }
+            "--preprocess" => args.show_preprocessed = true,
+            "--ast" => args.show_ast = true,
+            "--stats" => args.show_stats = true,
+            "--help" | "-h" => {
+                return Err("usage: superc [-I dir] [-D name[=v]] [--sat] [--mapr] \
+                            [--level L] [--single names] [--preprocess] [--ast] [--stats] files..."
+                    .to_string())
+            }
+            f if !f.starts_with('-') => args.files.push(f.to_string()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if args.files.is_empty() {
+        return Err("no input files (try --help)".to_string());
+    }
+    if pp.include_paths.is_empty() {
+        pp.include_paths.push("include".to_string());
+    }
+    args.options.pp = pp;
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut sc = SuperC::new(args.options, DiskFs::new("."));
+    let mut failed = false;
+    for file in &args.files {
+        match sc.process(file) {
+            Err(e) => {
+                eprintln!("{file}: fatal: {e}");
+                failed = true;
+            }
+            Ok(p) => {
+                for d in &p.unit.diagnostics {
+                    if !matches!(d.severity, superc::cpp::Severity::Note) {
+                        eprintln!("{file}: [{:?}] under {}: {}", d.severity, d.cond, d.message);
+                    }
+                }
+                for e in &p.result.errors {
+                    eprintln!("{file}: {e}");
+                    failed = true;
+                }
+                if args.show_preprocessed {
+                    println!("{}", p.unit.display_text());
+                }
+                if args.show_ast {
+                    match &p.result.ast {
+                        Some(ast) => println!("{ast}"),
+                        None => eprintln!("{file}: no configuration parsed"),
+                    }
+                }
+                if args.show_stats {
+                    let s = &p.unit.stats;
+                    let ps = &p.result.stats;
+                    println!(
+                        "{file}: {} tokens, {} conditionals, {} macro invocations \
+                         ({} hoisted), max {} subparsers, {} merges, {} choice nodes, \
+                         {:?} total",
+                        s.output_tokens,
+                        s.output_conditionals,
+                        s.macro_invocations,
+                        s.invocations_hoisted,
+                        ps.max_subparsers,
+                        ps.merges,
+                        ps.choice_nodes,
+                        p.timings.total()
+                    );
+                }
+                if let Some(acc) = &p.result.accepted {
+                    if !acc.is_true() {
+                        eprintln!("{file}: parses only under {acc}");
+                    }
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,204 @@
+//! SuperC: configuration-preserving preprocessing and Fork-Merge LR
+//! parsing for all of C.
+//!
+//! This is the top-level crate of a from-scratch reproduction of
+//! *SuperC: Parsing All of C by Taming the Preprocessor* (Gazzillo &
+//! Grimm, PLDI 2012). Where an ordinary C front end picks one
+//! configuration, SuperC preserves them all: the preprocessor resolves
+//! includes and macros but leaves static conditionals intact, and the
+//! parser forks and merges LR subparsers around them, producing one
+//! well-formed AST with *static choice nodes*.
+//!
+//! The heavy lifting lives in the component crates, all re-exported here:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`bdd`] / [`cond`] | presence conditions (BDD and SAT backends) |
+//! | [`lexer`] | C tokens |
+//! | [`cpp`] | configuration-preserving preprocessor (§3) |
+//! | [`grammar`] | LALR table generation |
+//! | [`fmlr`] | Fork-Merge LR engine with all optimizations (§4) |
+//! | [`csyntax`] | C grammar + typedef context plug-in (§5) |
+//!
+//! # Examples
+//!
+//! ```
+//! use superc::{MemFs, Options, SuperC};
+//!
+//! let fs = MemFs::new().file(
+//!     "hello.c",
+//!     "#ifdef CONFIG_VERBOSE\nint log_level = 2;\n#else\nint log_level = 0;\n#endif\n",
+//! );
+//! let mut superc = SuperC::new(Options::default(), fs);
+//! let processed = superc.process("hello.c")?;
+//! let ast = processed.result.ast.as_ref().expect("parsed");
+//! assert_eq!(ast.choice_count(), 1); // both configurations, one AST
+//! # Ok::<(), superc::PpError>(())
+//! ```
+
+pub mod report;
+
+pub use superc_bdd as bdd;
+pub use superc_cond as cond;
+pub use superc_cpp as cpp;
+pub use superc_csyntax as csyntax;
+pub use superc_fmlr as fmlr;
+pub use superc_grammar as grammar;
+pub use superc_lexer as lexer;
+
+pub use superc_cond::{Cond, CondBackend, CondCtx};
+pub use superc_cpp::{
+    Builtins, CompilationUnit, DiskFs, FileSystem, MemFs, PpError, PpOptions, PpStats,
+    Preprocessor,
+};
+pub use superc_csyntax::{
+    c_grammar, classify, declared_names, function_definitions, parse_unit, unparse_config,
+    CContext,
+};
+pub use superc_fmlr::{Forest, ParseResult, ParseStats, Parser, ParserConfig, SemVal};
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock cost of each pipeline phase for one compilation unit —
+/// the measurement behind the paper's Figure 10.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Lexing (inside preprocessing; first lex of each file).
+    pub lexing: Duration,
+    /// Preprocessing excluding lexing.
+    pub preprocessing: Duration,
+    /// Forest construction + FMLR parsing.
+    pub parsing: Duration,
+}
+
+impl PhaseTimings {
+    /// Total latency.
+    pub fn total(&self) -> Duration {
+        self.lexing + self.preprocessing + self.parsing
+    }
+}
+
+/// One fully processed compilation unit.
+pub struct ProcessedUnit {
+    /// Preprocessor output (all configurations).
+    pub unit: CompilationUnit,
+    /// Parse result: AST with choice nodes, errors, parser stats.
+    pub result: ParseResult,
+    /// Phase timings.
+    pub timings: PhaseTimings,
+    /// Source bytes of the main file plus headers (with repeats).
+    pub bytes: u64,
+}
+
+/// End-to-end configuration.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Presence-condition representation: BDDs (SuperC) or formula+SAT
+    /// (the TypeChef-style baseline of Figure 9).
+    pub backend: CondBackend,
+    /// Parser optimization level / MAPR baseline.
+    pub parser: ParserConfig,
+    /// Preprocessor options (include paths, defines, built-ins,
+    /// single-configuration mode).
+    pub pp: PpOptions,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            backend: CondBackend::Bdd,
+            parser: ParserConfig::full(),
+            pp: PpOptions::default(),
+        }
+    }
+}
+
+impl Options {
+    /// The single-configuration ("gcc") baseline: conditionals resolved
+    /// against `defines`, plain LR parsing.
+    pub fn gcc_baseline(defines: Vec<(String, String)>) -> Self {
+        Options {
+            pp: PpOptions {
+                defines,
+                single_config: true,
+                ..PpOptions::default()
+            },
+            ..Options::default()
+        }
+    }
+
+    /// The TypeChef-style baseline: identical pipeline, SAT-backed
+    /// presence conditions.
+    pub fn typechef_baseline() -> Self {
+        Options {
+            backend: CondBackend::Sat,
+            ..Options::default()
+        }
+    }
+}
+
+/// The SuperC tool: preprocess + parse compilation units over a file
+/// system, with shared header caches across units.
+///
+/// See the crate docs for an example.
+pub struct SuperC<F: FileSystem> {
+    ctx: CondCtx,
+    pp: Preprocessor<F>,
+    parser_config: ParserConfig,
+}
+
+impl<F: FileSystem> SuperC<F> {
+    /// Creates the tool over `fs`.
+    pub fn new(options: Options, fs: F) -> Self {
+        let ctx = CondCtx::new(options.backend);
+        let pp = Preprocessor::new(ctx.clone(), options.pp, fs);
+        SuperC {
+            ctx,
+            pp,
+            parser_config: options.parser,
+        }
+    }
+
+    /// The condition context (for building configurations to query).
+    pub fn ctx(&self) -> &CondCtx {
+        &self.ctx
+    }
+
+    /// The underlying preprocessor (for include counts etc.).
+    pub fn preprocessor(&self) -> &Preprocessor<F> {
+        &self.pp
+    }
+
+    /// Processes one compilation unit end to end.
+    ///
+    /// # Errors
+    ///
+    /// Fails on preprocessor-fatal conditions (missing file, lexical
+    /// error, unbalanced conditionals, top-level `#error`). Parse errors
+    /// are *not* fatal: they are per-configuration and reported in
+    /// [`ParseResult::errors`].
+    pub fn process(&mut self, path: &str) -> Result<ProcessedUnit, PpError> {
+        let pp_start = Instant::now();
+        let unit = self.pp.preprocess(path)?;
+        let pp_total = pp_start.elapsed();
+        let lexing = Duration::from_nanos(unit.stats.lex_nanos);
+
+        let parse_start = Instant::now();
+        let result = parse_unit(&unit, &self.ctx, self.parser_config);
+        let parsing = parse_start.elapsed();
+
+        Ok(ProcessedUnit {
+            bytes: unit.stats.bytes_processed,
+            timings: PhaseTimings {
+                lexing,
+                preprocessing: pp_total.saturating_sub(lexing),
+                parsing,
+            },
+            unit,
+            result,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests;

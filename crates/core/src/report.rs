@@ -1,0 +1,245 @@
+//! Corpus-level reporting: the percentile and table machinery behind the
+//! paper's Table 2, Table 3, Figures 8–10.
+
+use std::fmt::Write as _;
+
+/// A percentile summary in the paper's `50th · 90th · 100th` format.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum.
+    pub p100: f64,
+}
+
+impl Percentiles {
+    /// Computes percentiles of `values` (need not be sorted).
+    pub fn of(values: &[f64]) -> Percentiles {
+        if values.is_empty() {
+            return Percentiles::default();
+        }
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let at = |q: f64| {
+            let idx = ((v.len() as f64 - 1.0) * q).round() as usize;
+            v[idx.min(v.len() - 1)]
+        };
+        Percentiles {
+            p50: at(0.5),
+            p90: at(0.9),
+            p100: v[v.len() - 1],
+        }
+    }
+
+    /// Integer-valued convenience constructor.
+    pub fn of_u64(values: &[u64]) -> Percentiles {
+        let v: Vec<f64> = values.iter().map(|&x| x as f64).collect();
+        Percentiles::of(&v)
+    }
+
+    /// Formats like the paper: `50 · 90 · 100`.
+    pub fn paper_format(&self) -> String {
+        format!(
+            "{} · {} · {}",
+            group_thousands(self.p50),
+            group_thousands(self.p90),
+            group_thousands(self.p100)
+        )
+    }
+}
+
+/// Formats a count with thousands separators (paper style: `5,600,227`).
+pub fn group_thousands(x: f64) -> String {
+    let n = x.round() as i64;
+    let mut s = n.abs().to_string();
+    let mut grouped = String::new();
+    let bytes = s.len();
+    for (i, c) in s.drain(..).enumerate() {
+        if i > 0 && (bytes - i) % 3 == 0 {
+            grouped.push(',');
+        }
+        grouped.push(c);
+    }
+    if n < 0 {
+        format!("-{grouped}")
+    } else {
+        grouped
+    }
+}
+
+/// A cumulative distribution over per-unit values; `cdf_points` yields
+/// `(value, fraction ≤ value)` pairs for plotting Figures 8b and 9.
+#[derive(Clone, Debug, Default)]
+pub struct Distribution {
+    values: Vec<f64>,
+}
+
+impl Distribution {
+    /// An empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no observations were added.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Percentile summary.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles::of(&self.values)
+    }
+
+    /// Sum of all observations.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Sorted `(value, cumulative fraction)` points.
+    pub fn cdf_points(&self) -> Vec<(f64, f64)> {
+        let mut v = self.values.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let n = v.len() as f64;
+        v.into_iter()
+            .enumerate()
+            .map(|(i, x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Renders an ASCII CDF plot, `width` columns by `height` rows.
+    pub fn ascii_cdf(&self, width: usize, height: usize, label: &str) -> String {
+        let pts = self.cdf_points();
+        let mut out = String::new();
+        if pts.is_empty() {
+            return out;
+        }
+        let max_x = pts.last().expect("nonempty").0.max(1e-9);
+        let mut grid = vec![vec![b' '; width]; height];
+        for (x, f) in &pts {
+            let col = ((x / max_x) * (width as f64 - 1.0)) as usize;
+            let row = ((1.0 - f) * (height as f64 - 1.0)) as usize;
+            grid[row.min(height - 1)][col.min(width - 1)] = b'*';
+        }
+        let _ = writeln!(out, "{label} (x up to {max_x:.3}):");
+        for row in grid {
+            let _ = writeln!(out, "|{}", String::from_utf8_lossy(&row));
+        }
+        let _ = writeln!(out, "+{}", "-".repeat(width));
+        out
+    }
+}
+
+/// Simple fixed-width table printer for the experiment binaries.
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (panics in debug builds on arity mismatch).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(r, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_match_definition() {
+        let p = Percentiles::of_u64(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(p.p50, 6.0);
+        assert_eq!(p.p90, 9.0);
+        assert_eq!(p.p100, 10.0);
+        assert_eq!(Percentiles::of(&[]), Percentiles::default());
+        let single = Percentiles::of(&[42.0]);
+        assert_eq!((single.p50, single.p90, single.p100), (42.0, 42.0, 42.0));
+    }
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(group_thousands(5600227.0), "5,600,227");
+        assert_eq!(group_thousands(532.0), "532");
+        assert_eq!(group_thousands(0.0), "0");
+        assert_eq!(group_thousands(-1234.0), "-1,234");
+    }
+
+    #[test]
+    fn paper_format_joins_with_dots() {
+        let p = Percentiles::of_u64(&[34000, 45000, 122000]);
+        assert!(p.paper_format().contains(" · "));
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut d = Distribution::new();
+        for v in [3.0, 1.0, 2.0, 2.0] {
+            d.push(v);
+        }
+        let pts = d.cdf_points();
+        assert_eq!(pts.len(), 4);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        assert_eq!(pts.last().expect("nonempty").1, 1.0);
+        assert_eq!(d.total(), 8.0);
+        assert!(!d.ascii_cdf(20, 5, "test").is_empty());
+    }
+
+    #[test]
+    fn text_table_aligns() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["b".into(), "22222".into()]);
+        let s = t.render();
+        assert!(s.contains("alpha"));
+        assert!(s.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,115 @@
+use super::*;
+
+fn tool(files: &[(&str, &str)]) -> SuperC<MemFs> {
+    let mut fs = MemFs::new();
+    for (p, c) in files {
+        fs.add(p, c);
+    }
+    let opts = Options {
+        pp: PpOptions {
+            builtins: Builtins::none(),
+            ..PpOptions::default()
+        },
+        ..Options::default()
+    };
+    SuperC::new(opts, fs)
+}
+
+const VARIABLE: &str = "\
+#ifdef CONFIG_SMP
+int cpus = 8;
+#else
+int cpus = 1;
+#endif
+int probe(void) { return cpus; }
+";
+
+#[test]
+fn end_to_end_pipeline() {
+    let mut sc = tool(&[("m.c", VARIABLE)]);
+    let p = sc.process("m.c").expect("processes");
+    assert!(p.result.errors.is_empty());
+    assert!(p.result.accepted.as_ref().expect("accepted").is_true());
+    assert_eq!(p.result.ast.as_ref().expect("ast").choice_count(), 1);
+    assert!(p.bytes > 0);
+    assert!(p.timings.total() > std::time::Duration::ZERO);
+}
+
+#[test]
+fn missing_file_is_an_error() {
+    let mut sc = tool(&[]);
+    let Err(err) = sc.process("nope.c") else {
+        panic!("expected a missing-file error");
+    };
+    assert!(err.message.contains("not found"));
+}
+
+#[test]
+fn gcc_baseline_resolves_conditionals() {
+    let mut fs = MemFs::new();
+    fs.add("m.c", VARIABLE);
+    let mut opts = Options::gcc_baseline(vec![("CONFIG_SMP".into(), "1".into())]);
+    opts.pp.builtins = Builtins::none();
+    let mut sc = SuperC::new(opts, fs.clone());
+    let p = sc.process("m.c").expect("processes");
+    assert_eq!(p.unit.stats.output_conditionals, 0, "single config is flat");
+    assert!(p.result.errors.is_empty());
+    assert_eq!(p.result.stats.max_subparsers, 1, "plain LR");
+    let text = p.unit.display_text();
+    assert!(text.contains("cpus = 8"));
+    assert!(!text.contains("cpus = 1"));
+
+    // And without the define, the other branch.
+    let mut opts = Options::gcc_baseline(vec![]);
+    opts.pp.builtins = Builtins::none();
+    let mut sc = SuperC::new(opts, fs);
+    let p = sc.process("m.c").expect("processes");
+    assert!(p.unit.display_text().contains("cpus = 1"));
+}
+
+#[test]
+fn typechef_baseline_agrees_on_results() {
+    let mut fs = MemFs::new();
+    fs.add("m.c", VARIABLE);
+    let mut opts = Options::typechef_baseline();
+    opts.pp.builtins = Builtins::none();
+    let mut sc = SuperC::new(opts, fs);
+    let p = sc.process("m.c").expect("processes");
+    assert!(p.result.errors.is_empty());
+    assert!(p.result.accepted.as_ref().expect("accepted").is_true());
+    assert_eq!(p.result.ast.as_ref().expect("ast").choice_count(), 1);
+}
+
+#[test]
+fn header_cache_shared_across_units() {
+    let mut fs = MemFs::new();
+    fs.add("include/shared.h", "#ifndef S_H\n#define S_H\ntypedef int s32;\n#endif\n");
+    fs.add("a.c", "#include <shared.h>\ns32 a;\n");
+    fs.add("b.c", "#include <shared.h>\ns32 b;\n");
+    let opts = Options {
+        pp: PpOptions {
+            builtins: Builtins::none(),
+            ..PpOptions::default()
+        },
+        ..Options::default()
+    };
+    let mut sc = SuperC::new(opts, fs);
+    for f in ["a.c", "b.c"] {
+        let p = sc.process(f).expect("processes");
+        assert!(p.result.errors.is_empty(), "{f}");
+    }
+    assert_eq!(
+        sc.preprocessor().include_counts().get("include/shared.h"),
+        Some(&2)
+    );
+}
+
+#[test]
+fn timings_split_into_phases() {
+    let mut sc = tool(&[("m.c", VARIABLE)]);
+    let p = sc.process("m.c").expect("processes");
+    let t = p.timings;
+    // All phases measured; total is their sum.
+    assert_eq!(t.total(), t.lexing + t.preprocessing + t.parsing);
+    assert!(t.parsing > std::time::Duration::ZERO);
+}

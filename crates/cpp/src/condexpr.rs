@@ -1,0 +1,581 @@
+//! Conditional-expression evaluation (SuperC §3.2).
+//!
+//! `#if` expressions are converted to presence conditions in four steps:
+//!
+//! 1. `defined(M)` operands are resolved *against the conditional macro
+//!    table* — the disjunction of conditions under which `M` is defined,
+//!    a BDD variable when `M` is free, or `false` when `M` is a detected
+//!    include guard — and replaced by opaque placeholder tokens.
+//! 2. The remaining tokens are macro-expanded under the current presence
+//!    condition; multiply-defined macros introduce implicit conditionals.
+//! 3. Those conditionals are hoisted around the whole expression,
+//!    yielding flat per-configuration token runs (the paper's
+//!    `BITS_PER_LONG == 32` example).
+//! 4. Each run is parsed with a full C preprocessor-expression grammar and
+//!    evaluated with constant folding. Non-constant leaves become
+//!    condition variables: a free macro by its name, an arithmetic
+//!    subexpression by its normalized text (`NR_CPUS < 256` stays opaque
+//!    but identical occurrences share one variable).
+
+use std::rc::Rc;
+
+use superc_cond::Cond;
+use superc_lexer::{Punct, SourcePos, Token, TokenKind};
+
+use crate::elements::{Element, HideSet, PTok};
+use crate::files::FileSystem;
+use crate::preprocessor::{Preprocessor, Severity};
+
+/// Normalizes an expression's token spelling: single spaces between
+/// tokens, comments and layout dropped. This is the variable-interning key
+/// for opaque non-boolean subexpressions.
+pub fn normalize_expr_text(tokens: &[Token]) -> String {
+    tokens
+        .iter()
+        .map(|t| t.text().to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn normalize_ptoks(tokens: &[PTok]) -> String {
+    tokens
+        .iter()
+        .map(|t| t.text().to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// A partially evaluated subexpression.
+#[derive(Clone, Debug)]
+enum V {
+    /// A compile-time integer constant.
+    Int(i64),
+    /// A boolean condition (from `defined`, `!`, `&&`, `||`, or folded
+    /// comparisons of conditions).
+    Bool(Cond),
+    /// An opaque non-constant term, keyed by normalized text.
+    Opaque(String),
+}
+
+struct ExprParser<'t> {
+    toks: &'t [PTok],
+    i: usize,
+    /// defined-placeholder index -> resolved condition.
+    defined: &'t [Cond],
+    ctx: superc_cond::CondCtx,
+    nonbool: bool,
+    single_config: bool,
+    error: Option<String>,
+}
+
+const DEFINED_PREFIX: &str = "\u{1}defined";
+
+impl<'t> ExprParser<'t> {
+    fn peek(&self) -> Option<&PTok> {
+        self.toks.get(self.i)
+    }
+
+    fn bump(&mut self) -> Option<PTok> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek().map(|t| t.tok.is_punct(p)) == Some(true) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fail(&mut self, msg: &str) -> V {
+        if self.error.is_none() {
+            self.error = Some(msg.to_string());
+        }
+        V::Int(0)
+    }
+
+    fn to_cond(&mut self, v: &V) -> Cond {
+        match v {
+            V::Int(0) => self.ctx.fls(),
+            V::Int(_) => self.ctx.tru(),
+            V::Bool(c) => c.clone(),
+            V::Opaque(s) => {
+                self.nonbool = true;
+                self.ctx.var(s)
+            }
+        }
+    }
+
+    /// Renders a value back to opaque text for embedding in larger opaque
+    /// expressions.
+    fn to_text(&self, v: &V) -> String {
+        match v {
+            V::Int(n) => n.to_string(),
+            V::Bool(c) => format!("({c})"),
+            V::Opaque(s) => s.clone(),
+        }
+    }
+
+    // Expression grammar, lowest precedence first.
+
+    fn ternary(&mut self) -> V {
+        let c = self.or();
+        if !self.eat_punct(Punct::Question) {
+            return c;
+        }
+        let a = self.ternary();
+        if !self.eat_punct(Punct::Colon) {
+            return self.fail("expected ':' in conditional expression");
+        }
+        let b = self.ternary();
+        match c {
+            V::Int(n) => {
+                if n != 0 {
+                    a
+                } else {
+                    b
+                }
+            }
+            _ => {
+                self.nonbool = true;
+                V::Opaque(format!(
+                    "{} ? {} : {}",
+                    self.to_text(&c),
+                    self.to_text(&a),
+                    self.to_text(&b)
+                ))
+            }
+        }
+    }
+
+    fn or(&mut self) -> V {
+        let mut v = self.and();
+        while self.eat_punct(Punct::PipePipe) {
+            let r = self.and();
+            let (lc, rc) = (self.to_cond(&v), self.to_cond(&r));
+            v = V::Bool(lc.or(&rc));
+        }
+        v
+    }
+
+    fn and(&mut self) -> V {
+        let mut v = self.bit_or();
+        while self.eat_punct(Punct::AmpAmp) {
+            let r = self.bit_or();
+            let (lc, rc) = (self.to_cond(&v), self.to_cond(&r));
+            v = V::Bool(lc.and(&rc));
+        }
+        v
+    }
+
+    fn bit_or(&mut self) -> V {
+        let mut v = self.bit_xor();
+        while self.peek().map(|t| t.tok.is_punct(Punct::Pipe)) == Some(true) {
+            self.i += 1;
+            let r = self.bit_xor();
+            v = self.arith2(v, r, "|", |a, b| Some(a | b));
+        }
+        v
+    }
+
+    fn bit_xor(&mut self) -> V {
+        let mut v = self.bit_and();
+        while self.eat_punct(Punct::Caret) {
+            let r = self.bit_and();
+            v = self.arith2(v, r, "^", |a, b| Some(a ^ b));
+        }
+        v
+    }
+
+    fn bit_and(&mut self) -> V {
+        let mut v = self.equality();
+        while self.peek().map(|t| t.tok.is_punct(Punct::Amp)) == Some(true) {
+            self.i += 1;
+            let r = self.equality();
+            v = self.arith2(v, r, "&", |a, b| Some(a & b));
+        }
+        v
+    }
+
+    fn equality(&mut self) -> V {
+        let mut v = self.relational();
+        loop {
+            if self.eat_punct(Punct::EqEq) {
+                let r = self.relational();
+                v = self.cmp2(v, r, "==", |a, b| a == b);
+            } else if self.eat_punct(Punct::Ne) {
+                let r = self.relational();
+                v = self.cmp2(v, r, "!=", |a, b| a != b);
+            } else {
+                break;
+            }
+        }
+        v
+    }
+
+    fn relational(&mut self) -> V {
+        let mut v = self.shift();
+        loop {
+            if self.eat_punct(Punct::Le) {
+                let r = self.shift();
+                v = self.cmp2(v, r, "<=", |a, b| a <= b);
+            } else if self.eat_punct(Punct::Ge) {
+                let r = self.shift();
+                v = self.cmp2(v, r, ">=", |a, b| a >= b);
+            } else if self.eat_punct(Punct::Lt) {
+                let r = self.shift();
+                v = self.cmp2(v, r, "<", |a, b| a < b);
+            } else if self.eat_punct(Punct::Gt) {
+                let r = self.shift();
+                v = self.cmp2(v, r, ">", |a, b| a > b);
+            } else {
+                break;
+            }
+        }
+        v
+    }
+
+    fn shift(&mut self) -> V {
+        let mut v = self.additive();
+        loop {
+            if self.eat_punct(Punct::Shl) {
+                let r = self.additive();
+                v = self.arith2(v, r, "<<", |a, b| a.checked_shl(b.try_into().ok()?));
+            } else if self.eat_punct(Punct::Shr) {
+                let r = self.additive();
+                v = self.arith2(v, r, ">>", |a, b| a.checked_shr(b.try_into().ok()?));
+            } else {
+                break;
+            }
+        }
+        v
+    }
+
+    fn additive(&mut self) -> V {
+        let mut v = self.multiplicative();
+        loop {
+            if self.eat_punct(Punct::Plus) {
+                let r = self.multiplicative();
+                v = self.arith2(v, r, "+", |a, b| a.checked_add(b));
+            } else if self.eat_punct(Punct::Minus) {
+                let r = self.multiplicative();
+                v = self.arith2(v, r, "-", |a, b| a.checked_sub(b));
+            } else {
+                break;
+            }
+        }
+        v
+    }
+
+    fn multiplicative(&mut self) -> V {
+        let mut v = self.unary();
+        loop {
+            if self.eat_punct(Punct::Star) {
+                let r = self.unary();
+                v = self.arith2(v, r, "*", |a, b| a.checked_mul(b));
+            } else if self.eat_punct(Punct::Slash) {
+                let r = self.unary();
+                v = self.arith2(v, r, "/", |a, b| a.checked_div(b));
+            } else if self.eat_punct(Punct::Percent) {
+                let r = self.unary();
+                v = self.arith2(v, r, "%", |a, b| a.checked_rem(b));
+            } else {
+                break;
+            }
+        }
+        v
+    }
+
+    fn unary(&mut self) -> V {
+        if self.eat_punct(Punct::Bang) {
+            let v = self.unary();
+            let c = self.to_cond(&v);
+            return V::Bool(c.not());
+        }
+        if self.eat_punct(Punct::Minus) {
+            let v = self.unary();
+            return match v {
+                V::Int(n) => V::Int(n.wrapping_neg()),
+                other => {
+                    self.nonbool = true;
+                    V::Opaque(format!("- {}", self.to_text(&other)))
+                }
+            };
+        }
+        if self.eat_punct(Punct::Plus) {
+            return self.unary();
+        }
+        if self.eat_punct(Punct::Tilde) {
+            let v = self.unary();
+            return match v {
+                V::Int(n) => V::Int(!n),
+                other => {
+                    self.nonbool = true;
+                    V::Opaque(format!("~ {}", self.to_text(&other)))
+                }
+            };
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> V {
+        if self.eat_punct(Punct::LParen) {
+            let v = self.ternary();
+            if !self.eat_punct(Punct::RParen) {
+                return self.fail("expected ')'");
+            }
+            return v;
+        }
+        let Some(t) = self.bump() else {
+            return self.fail("unexpected end of conditional expression");
+        };
+        match t.tok.kind {
+            TokenKind::Number => match parse_int(t.text()) {
+                Some(n) => V::Int(n),
+                None => {
+                    self.nonbool = true;
+                    V::Opaque(t.text().to_string())
+                }
+            },
+            TokenKind::CharLit => match char_value(t.text()) {
+                Some(n) => V::Int(n),
+                None => {
+                    self.nonbool = true;
+                    V::Opaque(t.text().to_string())
+                }
+            },
+            TokenKind::Ident => {
+                let text = t.text();
+                if let Some(idx) = text.strip_prefix(DEFINED_PREFIX) {
+                    let i: usize = idx.parse().expect("placeholder index");
+                    return V::Bool(self.defined[i].clone());
+                }
+                if self.single_config {
+                    // gcc semantics: undefined identifiers evaluate to 0.
+                    return V::Int(0);
+                }
+                // A free (or unexpandable) macro used as a value.
+                V::Opaque(text.to_string())
+            }
+            _ => {
+                let text = t.text().to_string();
+                self.fail(&format!("unexpected token '{text}' in conditional expression"))
+            }
+        }
+    }
+
+    fn arith2(&mut self, l: V, r: V, op: &str, f: impl Fn(i64, i64) -> Option<i64>) -> V {
+        match (&l, &r) {
+            (V::Int(a), V::Int(b)) => match f(*a, *b) {
+                Some(n) => V::Int(n),
+                None => self.fail(&format!("arithmetic error evaluating '{op}'")),
+            },
+            _ => {
+                self.nonbool = true;
+                V::Opaque(format!("{} {op} {}", self.to_text(&l), self.to_text(&r)))
+            }
+        }
+    }
+
+    fn cmp2(&mut self, l: V, r: V, op: &str, f: impl Fn(i64, i64) -> bool) -> V {
+        match (&l, &r) {
+            (V::Int(a), V::Int(b)) => V::Int(f(*a, *b) as i64),
+            // Comparing two conditions for equality folds to a condition.
+            (V::Bool(a), V::Bool(b)) if op == "==" => V::Bool(
+                a.and(b).or(&a.not().and(&b.not())),
+            ),
+            (V::Bool(a), V::Bool(b)) if op == "!=" => {
+                V::Bool(a.and(&b.not()).or(&a.not().and(b)))
+            }
+            _ => {
+                self.nonbool = true;
+                V::Opaque(format!("{} {op} {}", self.to_text(&l), self.to_text(&r)))
+            }
+        }
+    }
+}
+
+/// Parses a C integer literal (decimal/octal/hex, with suffixes).
+fn parse_int(text: &str) -> Option<i64> {
+    let t = text
+        .trim_end_matches(['u', 'U', 'l', 'L'])
+        .to_ascii_lowercase();
+    if let Some(hex) = t.strip_prefix("0x") {
+        return i64::from_str_radix(hex, 16).ok();
+    }
+    if t.len() > 1 && t.starts_with('0') && t.bytes().all(|b| b.is_ascii_digit()) {
+        return i64::from_str_radix(&t[1..], 8).ok();
+    }
+    t.parse().ok()
+}
+
+/// Value of a character constant (first character, simple escapes).
+fn char_value(text: &str) -> Option<i64> {
+    let inner = text
+        .trim_start_matches('L')
+        .strip_prefix('\'')?
+        .strip_suffix('\'')?;
+    let mut chars = inner.chars();
+    match chars.next()? {
+        '\\' => match chars.next()? {
+            'n' => Some(10),
+            't' => Some(9),
+            'r' => Some(13),
+            '0' => Some(0),
+            '\\' => Some(92),
+            '\'' => Some(39),
+            '"' => Some(34),
+            'x' => i64::from_str_radix(chars.as_str(), 16).ok(),
+            c => Some(c as i64),
+        },
+        c => Some(c as i64),
+    }
+}
+
+impl<F: FileSystem> Preprocessor<F> {
+    /// Converts a `#if`/`#elif` expression to a presence condition,
+    /// restricted to `c`. Returns the condition plus flags: whether a
+    /// multiply-defined macro was hoisted around the expression, and
+    /// whether opaque non-boolean subterms appeared.
+    pub(crate) fn eval_cond_expr(
+        &mut self,
+        tokens: &[Token],
+        c: &Cond,
+        pos: SourcePos,
+    ) -> (Cond, bool, bool) {
+        // Step 1: resolve `defined` operators before expansion.
+        let mut defined: Vec<Cond> = Vec::new();
+        let mut protected: Vec<Element> = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if t.is_ident() && t.text() == "defined" {
+                let (name, skip) = if tokens.get(i + 1).map(|t| t.is_punct(Punct::LParen))
+                    == Some(true)
+                {
+                    match (tokens.get(i + 2), tokens.get(i + 3)) {
+                        (Some(n), Some(r)) if n.is_ident() && r.is_punct(Punct::RParen) => {
+                            (Some(n.text.clone()), 4)
+                        }
+                        _ => (None, 1),
+                    }
+                } else {
+                    match tokens.get(i + 1) {
+                        Some(n) if n.is_ident() => (Some(n.text.clone()), 2),
+                        _ => (None, 1),
+                    }
+                };
+                match name {
+                    Some(name) => {
+                        let cond = self.defined_as_cond(&name, c);
+                        let idx = defined.len();
+                        defined.push(cond);
+                        let ph = Token::new(
+                            TokenKind::Ident,
+                            format!("{DEFINED_PREFIX}{idx}"),
+                            t.pos,
+                            t.ws_before,
+                        );
+                        // Paint the placeholder so expansion skips it.
+                        let text: Rc<str> = ph.text.clone();
+                        protected.push(Element::Token(PTok {
+                            tok: ph,
+                            hide: HideSet::new().insert(text),
+                        }));
+                        i += skip;
+                        continue;
+                    }
+                    None => {
+                        self.diag(
+                            Severity::Warning,
+                            t.pos,
+                            c,
+                            "malformed defined() operator".to_string(),
+                        );
+                    }
+                }
+            }
+            protected.push(Element::Token(PTok::new(t.clone())));
+            i += 1;
+        }
+
+        // Step 2: expand macros in the expression.
+        let expanded = self.expand_segment(protected, c);
+
+        // Step 3: hoist implicit/explicit conditionals around the whole
+        // expression.
+        let hoisted = expanded
+            .iter()
+            .any(|e| matches!(e, Element::Conditional(_)));
+        let flats = match self.hoist_elements(&expanded, c) {
+            Some(f) => f,
+            None => {
+                self.diag(
+                    Severity::Warning,
+                    pos,
+                    c,
+                    "conditional expression too variable; treating as opaque".to_string(),
+                );
+                let key = normalize_expr_text(tokens);
+                return (self.ctx.var(&key).and(c), false, true);
+            }
+        };
+
+        // Step 4: parse and evaluate each flat configuration.
+        let mut result = self.ctx.fls();
+        let mut nonbool = false;
+        for (fc, toks) in flats {
+            let mut p = ExprParser {
+                toks: &toks,
+                i: 0,
+                defined: &defined,
+                ctx: self.ctx.clone(),
+                nonbool: false,
+                single_config: self.single_config(),
+                error: None,
+            };
+            let v = p.ternary();
+            if p.i < p.toks.len() && p.error.is_none() {
+                let txt = normalize_ptoks(&toks);
+                p.error = Some(format!("trailing tokens in conditional expression: {txt}"));
+            }
+            if let Some(msg) = p.error.take() {
+                self.diag(Severity::Warning, pos, &fc, msg);
+                // Treat the whole branch expression as opaque.
+                let key = normalize_ptoks(&toks);
+                nonbool = true;
+                result = result.or(&fc.and(&self.ctx.var(&key)));
+                continue;
+            }
+            let vc = p.to_cond(&v);
+            nonbool |= p.nonbool;
+            result = result.or(&fc.and(&vc));
+        }
+        (result, hoisted, nonbool)
+    }
+
+    /// The condition under which `name` is `defined` (§3.2 case 4),
+    /// restricted to `c`: defined entries' disjunction; free residue maps
+    /// to a fresh condition variable, or `false` for guard macros.
+    pub(crate) fn defined_as_cond(&mut self, name: &str, c: &Cond) -> Cond {
+        let (defined, free) = self.table.defined_cond(name, c);
+        if free.is_false() {
+            return defined;
+        }
+        if self.single_config() {
+            // gcc semantics: never-defined macros are plain undefined.
+            return defined;
+        }
+        if self.table.is_guard(name) {
+            // Case 4a: guard macros translate to false when free.
+            return defined;
+        }
+        let var = self.ctx.var(&format!("defined({name})"));
+        defined.or(&free.and(&var))
+    }
+}

@@ -1,0 +1,413 @@
+//! Directive recognition: groups lexed lines into a raw tree of text lines,
+//! directives, and nested conditional regions, before any evaluation.
+//!
+//! This stage is purely syntactic; presence conditions enter later when the
+//! preprocessor walks the tree. Keeping it separate lets included files be
+//! lexed and structured once and then *evaluated* many times under
+//! different inclusion conditions (Linux includes `module.h` in half its
+//! compilation units; re-lexing it each time would dominate).
+
+use std::rc::Rc;
+
+use superc_lexer::{Punct, SourcePos, Token, TokenKind};
+
+use crate::macrotable::MacroDef;
+use crate::preprocessor::PpError;
+
+/// The test introducing a conditional group.
+#[derive(Clone, Debug)]
+pub enum RawTest {
+    /// `#if expr` / `#elif expr` (the tokens of the expression).
+    Expr(Vec<Token>),
+    /// `#ifdef name`
+    Ifdef(Rc<str>),
+    /// `#ifndef name`
+    Ifndef(Rc<str>),
+    /// `#else`
+    Else,
+}
+
+/// One `#if`/`#elif`/`#else` group and its contents.
+#[derive(Clone, Debug)]
+pub struct RawGroup {
+    /// The group's test.
+    pub test: RawTest,
+    /// Items inside the group.
+    pub items: Vec<RawItem>,
+    /// Position of the introducing directive.
+    pub pos: SourcePos,
+}
+
+/// A structured item: a text line, a directive, or a whole conditional.
+#[derive(Clone, Debug)]
+pub enum RawItem {
+    /// A logical line of ordinary tokens (no trailing newline token).
+    Text(Vec<Token>),
+    /// `#define`.
+    Define {
+        /// The macro name.
+        name: Rc<str>,
+        /// The parsed definition.
+        def: Rc<MacroDef>,
+        /// Directive position.
+        pos: SourcePos,
+    },
+    /// `#undef`.
+    Undef {
+        /// The macro name.
+        name: Rc<str>,
+        /// Directive position.
+        pos: SourcePos,
+    },
+    /// `#include` with its raw operand tokens (before macro expansion).
+    Include {
+        /// Everything after the `include` keyword.
+        tokens: Vec<Token>,
+        /// Directive position.
+        pos: SourcePos,
+    },
+    /// A whole `#if .. [#elif ..]* [#else ..] #endif` region.
+    Conditional {
+        /// The groups in order.
+        groups: Vec<RawGroup>,
+        /// Position of the opening `#if`.
+        pos: SourcePos,
+    },
+    /// `#error`.
+    Error {
+        /// Message tokens.
+        tokens: Vec<Token>,
+        /// Directive position.
+        pos: SourcePos,
+    },
+    /// `#warning`.
+    Warning {
+        /// Message tokens.
+        tokens: Vec<Token>,
+        /// Directive position.
+        pos: SourcePos,
+    },
+    /// `#pragma` — preserved as an annotation.
+    Pragma {
+        /// Operand tokens.
+        tokens: Vec<Token>,
+        /// Directive position.
+        pos: SourcePos,
+    },
+    /// `#line` — preserved as an annotation.
+    Line {
+        /// Operand tokens.
+        tokens: Vec<Token>,
+        /// Directive position.
+        pos: SourcePos,
+    },
+}
+
+/// Structures a lexed token stream (including `Newline`/`Eof`) into a raw
+/// tree.
+///
+/// # Errors
+///
+/// Reports unbalanced conditionals, malformed `#define` parameter lists,
+/// and unknown directives.
+pub fn structure(tokens: &[Token]) -> Result<Vec<RawItem>, PpError> {
+    let mut lines = split_lines(tokens);
+    type Frame = (Option<(RawTest, SourcePos)>, Vec<RawGroup>, Vec<RawItem>);
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut cur_items: Vec<RawItem> = Vec::new();
+    let mut cur_test: Option<(RawTest, SourcePos)> = None;
+    let mut cur_groups: Vec<RawGroup> = Vec::new();
+
+    for line in lines.drain(..) {
+        if line.is_empty() {
+            continue;
+        }
+        if !line[0].is_punct(Punct::Hash) {
+            cur_items.push(RawItem::Text(line));
+            continue;
+        }
+        let pos = line[0].pos;
+        // Null directive `#` alone.
+        if line.len() == 1 {
+            continue;
+        }
+        let dname = line[1].text().to_string();
+        let rest = &line[2..];
+        match dname.as_str() {
+            "define" => cur_items.push(parse_define(rest, pos)?),
+            "undef" => {
+                let name = ident_operand(rest, pos, "undef")?;
+                cur_items.push(RawItem::Undef { name, pos });
+            }
+            "include" | "include_next" => cur_items.push(RawItem::Include {
+                tokens: rest.to_vec(),
+                pos,
+            }),
+            "if" | "ifdef" | "ifndef" => {
+                let test = match dname.as_str() {
+                    "if" => RawTest::Expr(rest.to_vec()),
+                    "ifdef" => RawTest::Ifdef(ident_operand(rest, pos, "ifdef")?),
+                    _ => RawTest::Ifndef(ident_operand(rest, pos, "ifndef")?),
+                };
+                // Push current state; start a fresh conditional.
+                stack.push((
+                    cur_test.take(),
+                    std::mem::take(&mut cur_groups),
+                    std::mem::take(&mut cur_items),
+                ));
+                cur_test = Some((test, pos));
+            }
+            "elif" | "else" => {
+                let (prev_test, prev_pos) = cur_test.take().ok_or_else(|| PpError {
+                    pos,
+                    message: format!("#{dname} without matching #if"),
+                })?;
+                cur_groups.push(RawGroup {
+                    test: prev_test,
+                    items: std::mem::take(&mut cur_items),
+                    pos: prev_pos,
+                });
+                let test = if dname == "elif" {
+                    RawTest::Expr(rest.to_vec())
+                } else {
+                    RawTest::Else
+                };
+                cur_test = Some((test, pos));
+            }
+            "endif" => {
+                let (prev_test, prev_pos) = cur_test.take().ok_or_else(|| PpError {
+                    pos,
+                    message: "#endif without matching #if".to_string(),
+                })?;
+                cur_groups.push(RawGroup {
+                    test: prev_test,
+                    items: std::mem::take(&mut cur_items),
+                    pos: prev_pos,
+                });
+                let groups = std::mem::take(&mut cur_groups);
+                let (outer_test, outer_groups, outer_items) =
+                    stack.pop().expect("stack in sync with cur_test");
+                cur_test = outer_test;
+                cur_groups = outer_groups;
+                cur_items = outer_items;
+                let pos0 = groups.first().map(|g| g.pos).unwrap_or(pos);
+                cur_items.push(RawItem::Conditional { groups, pos: pos0 });
+            }
+            "error" => cur_items.push(RawItem::Error {
+                tokens: rest.to_vec(),
+                pos,
+            }),
+            "warning" => cur_items.push(RawItem::Warning {
+                tokens: rest.to_vec(),
+                pos,
+            }),
+            "pragma" => cur_items.push(RawItem::Pragma {
+                tokens: rest.to_vec(),
+                pos,
+            }),
+            "line" => cur_items.push(RawItem::Line {
+                tokens: rest.to_vec(),
+                pos,
+            }),
+            other => {
+                // gcc accepts `# <number>` line markers.
+                if line[1].kind == TokenKind::Number {
+                    cur_items.push(RawItem::Line {
+                        tokens: line[1..].to_vec(),
+                        pos,
+                    });
+                } else {
+                    return Err(PpError {
+                        pos,
+                        message: format!("unknown directive #{other}"),
+                    });
+                }
+            }
+        }
+    }
+
+    if cur_test.is_some() || !stack.is_empty() {
+        return Err(PpError {
+            pos: SourcePos::default(),
+            message: "unterminated #if at end of file".to_string(),
+        });
+    }
+    Ok(cur_items)
+}
+
+/// Splits a token stream into logical lines, dropping `Newline`/`Eof`.
+fn split_lines(tokens: &[Token]) -> Vec<Vec<Token>> {
+    let mut lines = Vec::new();
+    let mut cur = Vec::new();
+    for t in tokens {
+        match t.kind {
+            TokenKind::Newline => {
+                lines.push(std::mem::take(&mut cur));
+            }
+            TokenKind::Eof => {}
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+fn ident_operand(rest: &[Token], pos: SourcePos, what: &str) -> Result<Rc<str>, PpError> {
+    match rest.first() {
+        Some(t) if t.is_ident() => Ok(t.text.clone()),
+        _ => Err(PpError {
+            pos,
+            message: format!("#{what} expects a macro name"),
+        }),
+    }
+}
+
+fn parse_define(rest: &[Token], pos: SourcePos) -> Result<RawItem, PpError> {
+    let name_tok = match rest.first() {
+        Some(t) if t.is_ident() => t,
+        _ => {
+            return Err(PpError {
+                pos,
+                message: "#define expects a macro name".to_string(),
+            })
+        }
+    };
+    let name = name_tok.text.clone();
+    // Function-like only when `(` immediately follows the name (no space).
+    let function_like = rest
+        .get(1)
+        .map(|t| t.is_punct(Punct::LParen) && !t.ws_before)
+        .unwrap_or(false);
+    if !function_like {
+        return Ok(RawItem::Define {
+            name,
+            def: Rc::new(MacroDef::Object {
+                body: rest[1..].to_vec(),
+            }),
+            pos,
+        });
+    }
+    let mut params: Vec<Rc<str>> = Vec::new();
+    let mut variadic = false;
+    let mut i = 2;
+    loop {
+        match rest.get(i) {
+            Some(t) if t.is_punct(Punct::RParen) => {
+                i += 1;
+                break;
+            }
+            Some(t) if t.is_punct(Punct::Ellipsis) => {
+                params.push(Rc::from("__VA_ARGS__"));
+                variadic = true;
+                i += 1;
+            }
+            Some(t) if t.is_ident() => {
+                let pname = t.text.clone();
+                i += 1;
+                // gcc named variadic: `args...`
+                if rest.get(i).map(|t| t.is_punct(Punct::Ellipsis)) == Some(true) {
+                    variadic = true;
+                    i += 1;
+                }
+                params.push(pname);
+            }
+            Some(t) if t.is_punct(Punct::Comma) => {
+                i += 1;
+            }
+            _ => {
+                return Err(PpError {
+                    pos,
+                    message: format!("malformed parameter list for macro {name}"),
+                })
+            }
+        }
+        if variadic {
+            // `...` must be last; expect `)` next (tolerate comma).
+            match rest.get(i) {
+                Some(t) if t.is_punct(Punct::RParen) => {
+                    i += 1;
+                    break;
+                }
+                _ => {
+                    return Err(PpError {
+                        pos,
+                        message: format!("variadic parameter must be last in macro {name}"),
+                    })
+                }
+            }
+        }
+    }
+    Ok(RawItem::Define {
+        name,
+        def: Rc::new(MacroDef::Function {
+            params,
+            variadic,
+            body: rest[i..].to_vec(),
+        }),
+        pos,
+    })
+}
+
+/// Detects the gcc include-guard shape (§3.2 case 4a): the file is exactly
+/// one conditional testing `#ifndef M` (or `#if !defined(M)`) whose first
+/// contained directive is `#define M`, with no `#else`/`#elif` and nothing
+/// outside it. Returns the guard macro name.
+pub fn detect_guard(items: &[RawItem]) -> Option<Rc<str>> {
+    let mut it = items.iter();
+    let only = it.next()?;
+    if it.next().is_some() {
+        return None;
+    }
+    let RawItem::Conditional { groups, .. } = only else {
+        return None;
+    };
+    if groups.len() != 1 {
+        return None;
+    }
+    let g = &groups[0];
+    let name = match &g.test {
+        RawTest::Ifndef(n) => n.clone(),
+        RawTest::Expr(toks) => not_defined_name(toks)?,
+        _ => return None,
+    };
+    // First directive inside must define the guard.
+    for item in &g.items {
+        match item {
+            RawItem::Text(_) => continue,
+            RawItem::Define { name: dname, .. } => {
+                return (dname == &name).then(|| name.clone());
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Matches `! defined ( M )` or `! defined M`.
+fn not_defined_name(toks: &[Token]) -> Option<Rc<str>> {
+    let mut i = 0;
+    if !toks.get(i)?.is_punct(Punct::Bang) {
+        return None;
+    }
+    i += 1;
+    if toks.get(i)?.text() != "defined" {
+        return None;
+    }
+    i += 1;
+    if toks.get(i)?.is_punct(Punct::LParen) {
+        i += 1;
+        let name = toks.get(i)?;
+        if !name.is_ident() {
+            return None;
+        }
+        if !toks.get(i + 1)?.is_punct(Punct::RParen) || toks.len() != i + 2 {
+            return None;
+        }
+        Some(name.text.clone())
+    } else {
+        let name = toks.get(i)?;
+        (name.is_ident() && toks.len() == i + 1).then(|| name.text.clone())
+    }
+}

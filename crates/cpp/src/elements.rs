@@ -1,0 +1,215 @@
+//! Preprocessed token streams: ordinary tokens interleaved with static
+//! conditionals, the output shape both stages of SuperC share.
+
+use std::fmt;
+use std::rc::Rc;
+
+use superc_cond::Cond;
+use superc_lexer::Token;
+
+/// A persistent set of macro names used to prevent recursive expansion
+/// ("blue paint"). Insertion shares structure; lookup is linear in the
+/// nesting depth of live expansions, which stays small in practice.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HideSet(Option<Rc<HideNode>>);
+
+#[derive(Debug, PartialEq, Eq)]
+struct HideNode {
+    name: Rc<str>,
+    rest: HideSet,
+}
+
+impl HideSet {
+    /// The empty hide set.
+    pub fn new() -> Self {
+        HideSet(None)
+    }
+
+    /// True if `name` is painted.
+    pub fn contains(&self, name: &str) -> bool {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if &*node.name == name {
+                return true;
+            }
+            cur = &node.rest;
+        }
+        false
+    }
+
+    /// True for the empty hide set — i.e., the token never passed through a
+    /// macro expansion (used for the "nested invocations" statistic).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Returns this set extended with `name`.
+    pub fn insert(&self, name: Rc<str>) -> HideSet {
+        if self.contains(&name) {
+            return self.clone();
+        }
+        HideSet(Some(Rc::new(HideNode {
+            name,
+            rest: self.clone(),
+        })))
+    }
+}
+
+/// A preprocessed token: the lexed token plus its hide set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PTok {
+    /// The underlying lexical token.
+    pub tok: Token,
+    /// Macro names that must not expand this token again.
+    pub hide: HideSet,
+}
+
+impl PTok {
+    /// Wraps a bare lexer token with an empty hide set.
+    pub fn new(tok: Token) -> Self {
+        PTok {
+            tok,
+            hide: HideSet::new(),
+        }
+    }
+
+    /// The token's source spelling.
+    pub fn text(&self) -> &str {
+        self.tok.text()
+    }
+}
+
+impl fmt::Display for PTok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.tok)
+    }
+}
+
+/// One branch of a [`Conditional`]: a presence condition and its contents.
+#[derive(Clone, Debug)]
+pub struct Branch {
+    /// Presence condition of this branch (already conjoined with all
+    /// enclosing conditions' refinements relative to the parent).
+    pub cond: Cond,
+    /// The branch's contents.
+    pub elements: Vec<Element>,
+}
+
+/// A static conditional surviving preprocessing: an ordered list of
+/// branches with mutually exclusive presence conditions.
+///
+/// An `#if/#elif/#else` chain becomes one `Conditional`; implicit else
+/// branches appear as explicit branches with empty contents when any
+/// configuration reaches them. Branch order preserves source order, which
+/// matters for non-boolean conditional expressions (§2, "Conditionals").
+#[derive(Clone, Debug)]
+pub struct Conditional {
+    /// The branches in source order.
+    pub branches: Vec<Branch>,
+}
+
+/// An element of a preprocessed token stream.
+#[derive(Clone, Debug)]
+pub enum Element {
+    /// An ordinary language token.
+    Token(PTok),
+    /// A static conditional with all (feasible) branches preserved.
+    Conditional(Conditional),
+}
+
+impl Element {
+    /// Shorthand: is this an ordinary token?
+    pub fn is_token(&self) -> bool {
+        matches!(self, Element::Token(_))
+    }
+
+    /// The token if this is one.
+    pub fn as_token(&self) -> Option<&PTok> {
+        match self {
+            Element::Token(t) => Some(t),
+            Element::Conditional(_) => None,
+        }
+    }
+
+    /// The conditional if this is one.
+    pub fn as_conditional(&self) -> Option<&Conditional> {
+        match self {
+            Element::Token(_) => None,
+            Element::Conditional(c) => Some(c),
+        }
+    }
+}
+
+/// Counts ordinary tokens in a stream, descending into conditionals.
+pub fn count_tokens(elements: &[Element]) -> usize {
+    elements
+        .iter()
+        .map(|e| match e {
+            Element::Token(_) => 1,
+            Element::Conditional(c) => {
+                c.branches.iter().map(|b| count_tokens(&b.elements)).sum()
+            }
+        })
+        .sum()
+}
+
+/// Maximum conditional nesting depth of a stream.
+pub fn max_depth(elements: &[Element]) -> usize {
+    elements
+        .iter()
+        .map(|e| match e {
+            Element::Token(_) => 0,
+            Element::Conditional(c) => {
+                1 + c
+                    .branches
+                    .iter()
+                    .map(|b| max_depth(&b.elements))
+                    .max()
+                    .unwrap_or(0)
+            }
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Renders a stream back to compilable-looking text with `#if` markers,
+/// for debugging and golden tests.
+pub fn display_elements(elements: &[Element], out: &mut String) {
+    for e in elements {
+        match e {
+            Element::Token(t) => {
+                if t.tok.ws_before && !out.ends_with([' ', '\n']) && !out.is_empty() {
+                    out.push(' ');
+                } else if !out.is_empty()
+                    && !out.ends_with([' ', '\n', '(', '[', '{', '#'])
+                    && needs_space(out, t.text())
+                {
+                    out.push(' ');
+                }
+                out.push_str(t.text());
+            }
+            Element::Conditional(c) => {
+                for (i, b) in c.branches.iter().enumerate() {
+                    if !out.is_empty() && !out.ends_with('\n') {
+                        out.push('\n');
+                    }
+                    let kw = if i == 0 { "#if" } else { "#elif" };
+                    out.push_str(&format!("{kw} {}\n", b.cond));
+                    display_elements(&b.elements, out);
+                }
+                if !out.is_empty() && !out.ends_with('\n') {
+                    out.push('\n');
+                }
+                out.push_str("#endif\n");
+            }
+        }
+    }
+}
+
+/// Conservative token-separation test so identifiers/numbers don't fuse.
+fn needs_space(out: &str, next: &str) -> bool {
+    let last = out.chars().last().unwrap_or(' ');
+    let first = next.chars().next().unwrap_or(' ');
+    let wordy = |c: char| c.is_ascii_alphanumeric() || c == '_' || c == '$';
+    wordy(last) && wordy(first)
+}

@@ -1,0 +1,988 @@
+//! Configuration-preserving macro expansion with hoisting (SuperC §3.1).
+//!
+//! The expansion loop rescans macro output the way an ordinary C
+//! preprocessor does, but whenever a static conditional interferes with a
+//! preprocessor operation the conditional is *hoisted around* the
+//! operation (Algorithm 1 of the paper):
+//!
+//! * A **multiply-defined macro** splits the presence condition: its use
+//!   becomes a [`Conditional`] with one branch per feasible definition plus
+//!   a residual branch where the token stays put; each branch then
+//!   re-expands under its narrowed condition, where the macro has a single
+//!   definition.
+//! * A **function-like invocation spanning conditionals** — explicit
+//!   conditionals in the argument list, or a name at the end of a
+//!   conditional branch with its arguments after the conditional (Fig. 4) —
+//!   is first *recognized* by simulating per-configuration readers that
+//!   track parentheses and commas across branches, then the whole region is
+//!   hoisted into flat per-configuration token runs and each is expanded
+//!   separately.
+//! * **Token pasting and stringification** whose operands contain
+//!   conditionals hoist them likewise (Fig. 5).
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use superc_cond::Cond;
+use superc_lexer::{lex, Punct, Token, TokenKind};
+
+use crate::elements::{Branch, Conditional, Element, HideSet, PTok};
+use crate::files::FileSystem;
+use crate::macrotable::{MacroDef, MacroEntry};
+use crate::preprocessor::{Preprocessor, Severity};
+
+/// Upper bound on per-operation hoisted branches; beyond this the operation
+/// degrades gracefully (diagnostic + unexpanded tokens) rather than blowing
+/// up. Real code stays far below (the paper's worst region is small even
+/// when the *parser* sees 2^18 configurations).
+const HOIST_CAP: usize = 4096;
+/// Upper bound on reader states during invocation recognition.
+const SCAN_CAP: usize = 512;
+
+/// Result of recognizing a function-like invocation across conditionals.
+pub(crate) struct InvScan {
+    /// Number of top-level elements covered by the invocation in the
+    /// configuration where it reaches furthest.
+    pub consumed: usize,
+    /// True when the region is conditional-free (fast path: parse args
+    /// directly).
+    pub flat: bool,
+}
+
+fn push_front_all(items: &mut VecDeque<Element>, mut elems: Vec<Element>) {
+    while let Some(e) = elems.pop() {
+        items.push_front(e);
+    }
+}
+
+impl<F: FileSystem> Preprocessor<F> {
+    /// Expands a segment of elements under presence condition `c`.
+    ///
+    /// Idempotent on already-expanded content: painted tokens do not
+    /// re-expand, and re-examining expanded conditionals is exactly what
+    /// enables cross-conditional invocations to complete.
+    pub(crate) fn expand_segment(&mut self, input: Vec<Element>, c: &Cond) -> Vec<Element> {
+        let mut items: VecDeque<Element> = input.into();
+        let mut out = Vec::new();
+        while let Some(el) = items.pop_front() {
+            match el {
+                Element::Token(t) if t.tok.is_ident() && !t.hide.contains(t.text()) => {
+                    self.expand_ident(t, &mut items, &mut out, c);
+                }
+                Element::Token(t) => out.push(Element::Token(t)),
+                Element::Conditional(k) => self.expand_conditional(k, &mut items, &mut out, c),
+            }
+        }
+        out
+    }
+
+    fn expand_conditional(
+        &mut self,
+        k: Conditional,
+        items: &mut VecDeque<Element>,
+        out: &mut Vec<Element>,
+        c: &Cond,
+    ) {
+        // (Re-)expand branch contents under their own conditions.
+        let mut branches = Vec::with_capacity(k.branches.len());
+        for b in k.branches {
+            let cond = b.cond.clone();
+            let elements = self.expand_segment(b.elements, &cond);
+            branches.push(Branch { cond, elements });
+        }
+        let k = Conditional { branches };
+
+        // Cross-conditional invocation (Fig. 4): a branch ends with a
+        // feasible function-like macro name and `( ... )` follows the
+        // conditional. Hoist the conditional together with the invocation
+        // region and retry each flat branch.
+        if !items.is_empty() && self.pending_invocation(&k) {
+            if let Some(scan) = self.scan_invocation(items.make_contiguous(), c) {
+                self.stats.invocations_hoisted += 1;
+                let mut region: Vec<Element> = vec![Element::Conditional(k)];
+                region.extend(items.drain(..scan.consumed));
+                match self.hoist_elements(&region, c) {
+                    Some(flats) => {
+                        let branches = flats
+                            .into_iter()
+                            .map(|(cond, toks)| Branch {
+                                cond,
+                                elements: toks.into_iter().map(Element::Token).collect(),
+                            })
+                            .collect();
+                        items.push_front(Element::Conditional(Conditional { branches }));
+                        return;
+                    }
+                    None => {
+                        // Hoist blow-up: emit the region unexpanded.
+                        out.extend(region);
+                        return;
+                    }
+                }
+            }
+        }
+        out.push(Element::Conditional(k));
+    }
+
+    /// Does some branch of `k` end with an un-painted identifier that has a
+    /// feasible function-like definition?
+    fn pending_invocation(&self, k: &Conditional) -> bool {
+        k.branches
+            .iter()
+            .any(|b| self.ends_with_fnlike(&b.elements, &b.cond))
+    }
+
+    fn ends_with_fnlike(&self, elems: &[Element], c: &Cond) -> bool {
+        match elems.last() {
+            Some(Element::Token(t)) => {
+                t.tok.is_ident() && !t.hide.contains(t.text()) && {
+                    let (entries, _) = self.table.lookup(t.text(), c);
+                    entries
+                        .iter()
+                        .any(|e| e.def.as_deref().map(MacroDef::is_function).unwrap_or(false))
+                }
+            }
+            Some(Element::Conditional(k)) => k
+                .branches
+                .iter()
+                .any(|b| self.ends_with_fnlike(&b.elements, &b.cond)),
+            None => false,
+        }
+    }
+
+    fn expand_ident(
+        &mut self,
+        t: PTok,
+        items: &mut VecDeque<Element>,
+        out: &mut Vec<Element>,
+        c: &Cond,
+    ) {
+        let name: Rc<str> = t.tok.text.clone();
+
+        // Dynamic built-ins, unless the user shadowed them.
+        if (&*name == "__FILE__" || &*name == "__LINE__") && !self.table.mentioned(&name) {
+            self.stats.macro_invocations += 1;
+            self.stats.builtin_invocations += 1;
+            let tok = if &*name == "__FILE__" {
+                Token::new(
+                    TokenKind::StringLit,
+                    format!("\"{}\"", self.current_file()),
+                    t.tok.pos,
+                    t.tok.ws_before,
+                )
+            } else {
+                Token::new(
+                    TokenKind::Number,
+                    t.tok.pos.line.to_string(),
+                    t.tok.pos,
+                    t.tok.ws_before,
+                )
+            };
+            out.push(Element::Token(PTok { tok, hide: t.hide }));
+            return;
+        }
+
+        let (entries, free, ignored) = self.table.lookup_full(&name, c);
+        if ignored > 0 {
+            self.stats.invocations_trimmed += 1;
+        }
+        let defined: Vec<&MacroEntry> = entries.iter().filter(|e| e.def.is_some()).collect();
+        if defined.is_empty() {
+            out.push(Element::Token(t));
+            return;
+        }
+        // Configurations where the token stays as written: free plus
+        // explicitly-undefined entries.
+        let mut residual = free;
+        for e in &entries {
+            if e.def.is_none() {
+                residual = residual.or(&e.cond);
+            }
+        }
+
+        if residual.is_false() && defined.len() == 1 {
+            let def = defined[0].def.clone().expect("defined entry");
+            match &*def {
+                MacroDef::Object { .. } => {
+                    self.count_invocation(&t, &name);
+                    let hide = t.hide.insert(name.clone());
+                    let subst = self.substitute(&def, &name, None, hide, &t, c);
+                    push_front_all(items, subst);
+                }
+                MacroDef::Function { .. } => {
+                    match self.scan_invocation(items.make_contiguous(), c) {
+                        None => out.push(Element::Token(t)), // not an invocation
+                        Some(scan) => {
+                            if !scan.flat {
+                                self.stats.invocations_hoisted += 1;
+                            }
+                            let region: Vec<Element> = items.drain(..scan.consumed).collect();
+                            // Conditionals whose parenthesis/comma structure
+                            // is configuration-invariant stay embedded in the
+                            // arguments; only structure-variant regions hoist.
+                            match self.parse_args_elements(&region) {
+                                Some(args) => {
+                                    self.count_invocation(&t, &name);
+                                    let args = self.fix_arity(&def, args, &t);
+                                    let hide = t.hide.insert(name.clone());
+                                    let subst =
+                                        self.substitute(&def, &name, Some(args), hide, &t, c);
+                                    push_front_all(items, subst);
+                                }
+                                None if scan.flat => {
+                                    self.diag(
+                                        Severity::Warning,
+                                        t.tok.pos,
+                                        c,
+                                        format!("malformed invocation of macro {name}"),
+                                    );
+                                    out.push(Element::Token(t));
+                                    out.extend(region);
+                                }
+                                None => {
+                                    // Structure varies across configurations:
+                                    // hoist name + region, retry per config.
+                                    let mut full: Vec<Element> = vec![Element::Token(t)];
+                                    full.extend(region);
+                                    match self.hoist_elements(&full, c) {
+                                        Some(flats) => {
+                                            let branches = flats
+                                                .into_iter()
+                                                .map(|(cond, toks)| Branch {
+                                                    cond,
+                                                    elements: toks
+                                                        .into_iter()
+                                                        .map(Element::Token)
+                                                        .collect(),
+                                                })
+                                                .collect();
+                                            items.push_front(Element::Conditional(
+                                                Conditional { branches },
+                                            ));
+                                        }
+                                        None => out.extend(full),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            return;
+        }
+
+        // Multiply-defined (or partially defined) macro: the use propagates
+        // an implicit conditional. Split the condition; each branch retries
+        // the token under a condition where it has a single meaning.
+        self.stats.invocations_hoisted += 1;
+        let any_fn = defined
+            .iter()
+            .any(|e| e.def.as_deref().map(MacroDef::is_function).unwrap_or(false));
+        let region: Vec<Element> = if any_fn {
+            match self.scan_invocation(items.make_contiguous(), c) {
+                Some(scan) => items.drain(..scan.consumed).collect(),
+                None => Vec::new(),
+            }
+        } else {
+            Vec::new()
+        };
+        let mut alts: Vec<Cond> = defined.iter().map(|e| e.cond.clone()).collect();
+        if !residual.is_false() {
+            alts.push(residual);
+        }
+        let mut branches: Vec<Branch> = Vec::new();
+        for cond in alts {
+            if region.is_empty() {
+                branches.push(Branch {
+                    cond,
+                    elements: vec![Element::Token(t.clone())],
+                });
+            } else {
+                match self.hoist_elements(&region, &cond) {
+                    Some(flats) => {
+                        for (fc, toks) in flats {
+                            let mut elements = vec![Element::Token(t.clone())];
+                            elements.extend(toks.into_iter().map(Element::Token));
+                            branches.push(Branch {
+                                cond: fc,
+                                elements,
+                            });
+                        }
+                    }
+                    None => {
+                        let mut elements = vec![Element::Token(t.clone())];
+                        elements.extend(region.iter().cloned());
+                        branches.push(Branch { cond, elements });
+                    }
+                }
+            }
+        }
+        items.push_front(Element::Conditional(Conditional { branches }));
+    }
+
+    fn count_invocation(&mut self, t: &PTok, name: &str) {
+        self.stats.macro_invocations += 1;
+        if !t.hide.is_empty() {
+            self.stats.nested_invocations += 1;
+        }
+        if self.builtin_names.contains(name) {
+            self.stats.builtin_invocations += 1;
+        }
+    }
+
+    /// Recognizes a function-like invocation starting at the front of
+    /// `items`, across conditionals, by per-configuration reader states
+    /// tracking parenthesis depth (the interleaved hoisting of §3.1).
+    ///
+    /// Returns `None` when no feasible configuration completes an
+    /// invocation (the name is then left as an ordinary identifier).
+    pub(crate) fn scan_invocation(&mut self, items: &[Element], c: &Cond) -> Option<InvScan> {
+        #[derive(Clone)]
+        enum Status {
+            Before,
+            Open(u32),
+            Closed,
+            NoParen,
+        }
+        #[derive(Clone)]
+        struct St {
+            cond: Cond,
+            status: Status,
+        }
+        impl St {
+            fn terminal(&self) -> bool {
+                matches!(self.status, Status::Closed | Status::NoParen)
+            }
+        }
+
+        fn step_token(s: &mut St, t: &PTok) {
+            match s.status {
+                Status::Before => {
+                    s.status = if t.tok.is_punct(Punct::LParen) {
+                        Status::Open(1)
+                    } else {
+                        Status::NoParen
+                    };
+                }
+                Status::Open(d) => {
+                    if t.tok.is_punct(Punct::LParen) {
+                        s.status = Status::Open(d + 1);
+                    } else if t.tok.is_punct(Punct::RParen) {
+                        s.status = if d == 1 {
+                            Status::Closed
+                        } else {
+                            Status::Open(d - 1)
+                        };
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        fn step_element(s: St, el: &Element, out: &mut Vec<St>, overflow: &mut bool) {
+            match el {
+                Element::Token(t) => {
+                    let mut s = s;
+                    step_token(&mut s, t);
+                    out.push(s);
+                }
+                Element::Conditional(k) => {
+                    for b in &k.branches {
+                        let cc = s.cond.and(&b.cond);
+                        if cc.is_false() {
+                            continue;
+                        }
+                        let mut states = vec![St {
+                            cond: cc,
+                            status: s.status.clone(),
+                        }];
+                        for el in &b.elements {
+                            let mut next = Vec::new();
+                            for st in states {
+                                if st.terminal() {
+                                    next.push(st);
+                                } else {
+                                    step_element(st, el, &mut next, overflow);
+                                }
+                            }
+                            states = next;
+                            if states.len() > SCAN_CAP {
+                                *overflow = true;
+                                return;
+                            }
+                        }
+                        out.extend(states);
+                    }
+                }
+            }
+        }
+
+        let mut states = vec![St {
+            cond: c.clone(),
+            status: Status::Before,
+        }];
+        let mut consumed = 0;
+        let mut flat = true;
+        let mut overflow = false;
+        for (i, el) in items.iter().enumerate() {
+            if states.iter().all(St::terminal) {
+                break;
+            }
+            if matches!(el, Element::Conditional(_)) {
+                flat = false;
+            }
+            let mut next = Vec::new();
+            for s in states {
+                if s.terminal() {
+                    next.push(s);
+                } else {
+                    step_element(s, el, &mut next, &mut overflow);
+                }
+            }
+            states = next;
+            if overflow || states.len() > SCAN_CAP {
+                return None;
+            }
+            consumed = i + 1;
+        }
+        if !states.iter().any(|s| matches!(s.status, Status::Closed)) {
+            return None;
+        }
+        Some(InvScan { consumed, flat })
+    }
+
+    /// Algorithm 1: hoists conditionals out of `elements`, producing flat
+    /// per-configuration token runs partitioning `c`. `None` on blow-up
+    /// beyond [`HOIST_CAP`].
+    pub(crate) fn hoist_elements(
+        &mut self,
+        elements: &[Element],
+        c: &Cond,
+    ) -> Option<Vec<(Cond, Vec<PTok>)>> {
+        let mut acc: Vec<(Cond, Vec<PTok>)> = vec![(c.clone(), Vec::new())];
+        for el in elements {
+            match el {
+                Element::Token(t) => {
+                    for (_, ts) in &mut acc {
+                        ts.push(t.clone());
+                    }
+                }
+                Element::Conditional(k) => {
+                    let mut next = Vec::new();
+                    for (ca, ta) in &acc {
+                        for b in &k.branches {
+                            let cc = ca.and(&b.cond);
+                            if cc.is_false() {
+                                continue;
+                            }
+                            for (cb, tb) in self.hoist_elements(&b.elements, &cc)? {
+                                let mut ts = ta.clone();
+                                ts.extend(tb);
+                                next.push((cb, ts));
+                            }
+                        }
+                    }
+                    if next.len() > HOIST_CAP {
+                        self.diag(
+                            Severity::Warning,
+                            Default::default(),
+                            c,
+                            "hoisting exceeded branch cap; leaving region unexpanded".to_string(),
+                        );
+                        return None;
+                    }
+                    acc = next;
+                }
+            }
+        }
+        Some(acc)
+    }
+
+    /// Parses `( a1 , a2 , ... )` from an invocation region, allowing
+    /// conditionals *inside* arguments as long as the invocation structure
+    /// is configuration-invariant: every branch of every embedded
+    /// conditional is parenthesis-balanced and introduces no argument
+    /// separator at invocation depth. Commas nested in parens belong to the
+    /// argument. Returns raw argument element lists; `()` yields one empty
+    /// argument (arity fixup resolves it). `None` means the structure
+    /// varies across configurations (hoist instead) or is malformed.
+    fn parse_args_elements(&self, region: &[Element]) -> Option<Vec<Vec<Element>>> {
+        let mut it = region.iter();
+        match it.next()? {
+            Element::Token(t) if t.tok.is_punct(Punct::LParen) => {}
+            _ => return None,
+        }
+        let mut args: Vec<Vec<Element>> = vec![Vec::new()];
+        let mut depth = 1u32;
+        for el in it {
+            match el {
+                Element::Token(t) => {
+                    if t.tok.is_punct(Punct::LParen) {
+                        depth += 1;
+                    } else if t.tok.is_punct(Punct::RParen) {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(args);
+                        }
+                    } else if t.tok.is_punct(Punct::Comma) && depth == 1 {
+                        args.push(Vec::new());
+                        continue;
+                    }
+                }
+                Element::Conditional(k) => {
+                    if !structure_invariant(k, depth) {
+                        return None;
+                    }
+                }
+            }
+            args.last_mut().unwrap().push(el.clone());
+        }
+        None
+    }
+
+    /// Adjusts parsed arguments to the definition's parameter count:
+    /// collects variadic rest-arguments (re-inserting the commas), treats a
+    /// single empty argument as zero arguments, and pads/merges on
+    /// mismatch with a diagnostic.
+    fn fix_arity(
+        &mut self,
+        def: &MacroDef,
+        mut args: Vec<Vec<Element>>,
+        inv: &PTok,
+    ) -> Vec<Vec<Element>> {
+        let MacroDef::Function {
+            params, variadic, ..
+        } = def
+        else {
+            return args;
+        };
+        let want = params.len();
+        if *variadic {
+            let fixed = want - 1;
+            if args.len() > want {
+                // Join surplus arguments into the variadic slot with commas.
+                let extra = args.split_off(want);
+                let last = args.last_mut().expect("variadic slot");
+                for e in extra {
+                    last.push(Element::Token(PTok::new(Token::new(
+                        TokenKind::Punct(Punct::Comma),
+                        ",",
+                        inv.tok.pos,
+                        false,
+                    ))));
+                    last.extend(e);
+                }
+            }
+            while args.len() < fixed {
+                self.arity_diag(inv);
+                args.push(Vec::new());
+            }
+            if args.len() == fixed {
+                args.push(Vec::new()); // empty __VA_ARGS__ (GNU-permitted)
+            }
+            return args;
+        }
+        if args.len() == want {
+            return args;
+        }
+        if want == 0 && args.len() == 1 && args[0].is_empty() {
+            return Vec::new();
+        }
+        self.arity_diag(inv);
+        args.truncate(want);
+        while args.len() < want {
+            args.push(Vec::new());
+        }
+        args
+    }
+
+    fn arity_diag(&mut self, inv: &PTok) {
+        let msg = format!(
+            "macro {} invoked with wrong number of arguments",
+            inv.text()
+        );
+        let c = self.ctx.tru();
+        self.diag(Severity::Warning, inv.tok.pos, &c, msg);
+    }
+
+    /// Substitutes a macro body: parameter replacement with fully expanded
+    /// arguments, stringification, token pasting (with hoisting when
+    /// operands contain conditionals), and blue paint via `hide`.
+    fn substitute(
+        &mut self,
+        def: &MacroDef,
+        _name: &Rc<str>,
+        args: Option<Vec<Vec<Element>>>,
+        hide: HideSet,
+        inv: &PTok,
+        c: &Cond,
+    ) -> Vec<Element> {
+        let (params, body): (&[Rc<str>], &[Token]) = match def {
+            MacroDef::Object { body } => (&[], body),
+            MacroDef::Function { params, body, .. } => (params, body),
+        };
+        let args = args.unwrap_or_default();
+        let param_index = |text: &str| params.iter().position(|p| &**p == text);
+        let variadic_index = match def {
+            MacroDef::Function {
+                variadic: true,
+                params,
+                ..
+            } => Some(params.len() - 1),
+            _ => None,
+        };
+        // Lazily expanded arguments (C99: args expand before substitution,
+        // except as operands of # and ##).
+        let mut expanded: Vec<Option<Vec<Element>>> = vec![None; args.len()];
+
+        /// An operand of substitution: a body token or a raw argument.
+        enum Item<'x> {
+            Tok(&'x Token),
+            Arg(usize, &'x [Element]),
+        }
+
+        let mut out: Vec<Element> = Vec::new();
+        let mut i = 0;
+        let mut first = true;
+        while i < body.len() {
+            let tok = &body[i];
+            // Stringification: `# param` (function-like only).
+            if tok.is_punct(Punct::Hash) && !params.is_empty() {
+                if let Some(next) = body.get(i + 1) {
+                    if let Some(pi) = next.is_ident().then(|| param_index(next.text())).flatten()
+                    {
+                        let arg = args.get(pi).map(|a| a.as_slice()).unwrap_or(&[]);
+                        out.extend(self.stringify(arg, tok, c));
+                        i += 2;
+                        first = false;
+                        continue;
+                    }
+                }
+            }
+            // Token pasting: collect a whole `a ## b ## c` chain.
+            if body.get(i + 1).map(|t| t.is_punct(Punct::HashHash)) == Some(true) {
+                let mut chain: Vec<Item> = Vec::new();
+                let mut j = i;
+                loop {
+                    let t = &body[j];
+                    if let Some(pi) = t.is_ident().then(|| param_index(t.text())).flatten() {
+                        chain.push(Item::Arg(pi, args.get(pi).map(|a| a.as_slice()).unwrap_or(&[])));
+                    } else {
+                        chain.push(Item::Tok(t));
+                    }
+                    if body.get(j + 1).map(|t| t.is_punct(Punct::HashHash)) == Some(true)
+                        && j + 2 < body.len()
+                    {
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+                // Build operand element lists (raw args, unexpanded).
+                let mut op_elems: Vec<Vec<Element>> = Vec::new();
+                let mut any_cond = false;
+                // GNU `, ## __VA_ARGS__`: with empty varargs the comma is
+                // deleted; otherwise the comma stays and *no pasting*
+                // happens at that seam.
+                let mut gnu_comma: Option<bool> = None; // Some(empty?)
+                for (idx, item) in chain.iter().enumerate() {
+                    match item {
+                        Item::Tok(t) => {
+                            if t.is_punct(Punct::Comma) && idx + 1 == chain.len() - 1 {
+                                if let Some(Item::Arg(pi, a)) = chain.last() {
+                                    if Some(*pi) == variadic_index {
+                                        gnu_comma = Some(a.is_empty());
+                                    }
+                                }
+                            }
+                            op_elems.push(vec![Element::Token(PTok {
+                                tok: (*t).clone(),
+                                hide: hide.clone(),
+                            })]);
+                        }
+                        Item::Arg(_, a) => {
+                            if a.iter().any(|e| matches!(e, Element::Conditional(_))) {
+                                any_cond = true;
+                            }
+                            op_elems.push(a.to_vec());
+                        }
+                    }
+                }
+                if let Some(empty) = gnu_comma {
+                    let keep = op_elems.len().saturating_sub(2);
+                    let tail: Vec<Vec<Element>> = op_elems.split_off(keep);
+                    out.extend(op_elems.into_iter().flatten());
+                    if !empty {
+                        // Keep the comma and the (unpasted) varargs.
+                        out.extend(tail.into_iter().flatten());
+                    }
+                } else if any_cond {
+                    self.stats.token_pastes_hoisted += 1;
+                    let all: Vec<Element> = op_elems.iter().flatten().cloned().collect();
+                    // Hoist, then paste within each flat branch: since the
+                    // operands are concatenated we re-split per branch by
+                    // pasting adjacent boundary tokens pairwise.
+                    match self.hoist_with_paste(&op_elems, c, &hide, inv) {
+                        Some(kond) => out.push(kond),
+                        None => out.extend(all),
+                    }
+                } else {
+                    let flat: Vec<Vec<PTok>> = op_elems
+                        .into_iter()
+                        .map(|es| {
+                            es.into_iter()
+                                .map(|e| match e {
+                                    Element::Token(t) => t,
+                                    Element::Conditional(_) => unreachable!(),
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    out.extend(
+                        self.paste_run(&flat, &hide, inv)
+                            .into_iter()
+                            .map(Element::Token),
+                    );
+                }
+                i = j + 1;
+                first = false;
+                continue;
+            }
+            // Plain parameter: splice the expanded argument.
+            if let Some(pi) = tok.is_ident().then(|| param_index(tok.text())).flatten() {
+                if expanded[pi].is_none() {
+                    let raw = args.get(pi).cloned().unwrap_or_default();
+                    expanded[pi] = Some(self.expand_segment(raw, c));
+                }
+                let mut spliced = expanded[pi].clone().expect("just filled");
+                if first {
+                    set_leading_ws(&mut spliced, inv.tok.ws_before);
+                }
+                out.extend(spliced);
+                i += 1;
+                first = false;
+                continue;
+            }
+            // Ordinary body token.
+            let mut t = tok.clone();
+            if first {
+                t.ws_before = inv.tok.ws_before;
+            }
+            out.push(Element::Token(PTok {
+                tok: t,
+                hide: hide.clone(),
+            }));
+            i += 1;
+            first = false;
+        }
+        out
+    }
+
+    /// Hoists a paste chain whose operands contain conditionals (Fig. 5)
+    /// and pastes within each flat branch.
+    fn hoist_with_paste(
+        &mut self,
+        op_elems: &[Vec<Element>],
+        c: &Cond,
+        hide: &HideSet,
+        inv: &PTok,
+    ) -> Option<Element> {
+        // Hoist each operand independently, then cross-combine, keeping the
+        // operand boundaries so pasting happens at the right seams.
+        let mut acc: Vec<(Cond, Vec<Vec<PTok>>)> = vec![(c.clone(), Vec::new())];
+        for op in op_elems {
+            let mut next = Vec::new();
+            for (ca, ops) in &acc {
+                for (cb, toks) in self.hoist_elements(op, ca)? {
+                    let mut ops2 = ops.clone();
+                    ops2.push(toks);
+                    next.push((cb, ops2));
+                }
+            }
+            if next.len() > HOIST_CAP {
+                return None;
+            }
+            acc = next;
+        }
+        let branches = acc
+            .into_iter()
+            .map(|(cond, ops)| Branch {
+                cond,
+                elements: self
+                    .paste_run(&ops, hide, inv)
+                    .into_iter()
+                    .map(Element::Token)
+                    .collect(),
+            })
+            .collect();
+        Some(Element::Conditional(Conditional { branches }))
+    }
+
+    /// Pastes a run of flat operands: the last token of each accumulated
+    /// prefix fuses with the first token of the next operand; empty
+    /// operands act as placemarkers.
+    fn paste_run(&mut self, ops: &[Vec<PTok>], hide: &HideSet, inv: &PTok) -> Vec<PTok> {
+        let mut acc: Vec<PTok> = Vec::new();
+        for (idx, op) in ops.iter().enumerate() {
+            if idx == 0 {
+                acc.extend(op.iter().cloned());
+                continue;
+            }
+            self.stats.token_pastes += 1;
+            let mut rest = op.as_slice();
+            match (acc.pop(), rest.first()) {
+                (None, _) => acc.extend(rest.iter().cloned()),
+                (Some(l), None) => acc.push(l), // placemarker right
+                (Some(l), Some(r)) => {
+                    rest = &rest[1..];
+                    acc.extend(self.paste_two(&l, r, hide, inv));
+                    acc.extend(rest.iter().cloned());
+                }
+            }
+        }
+        acc
+    }
+
+    fn paste_two(&mut self, l: &PTok, r: &PTok, hide: &HideSet, inv: &PTok) -> Vec<PTok> {
+        let glued = format!("{}{}", l.text(), r.text());
+        match lex(&glued, l.tok.pos.file) {
+            Ok(toks) => {
+                let real: Vec<&Token> = toks
+                    .iter()
+                    .filter(|t| !matches!(t.kind, TokenKind::Newline | TokenKind::Eof))
+                    .collect();
+                if real.len() == 1 {
+                    let mut tok = real[0].clone();
+                    tok.pos = l.tok.pos;
+                    tok.ws_before = l.tok.ws_before;
+                    return vec![PTok {
+                        tok,
+                        hide: hide.clone(),
+                    }];
+                }
+                self.paste_error(&glued, inv);
+                vec![l.clone(), r.clone()]
+            }
+            Err(_) => {
+                self.paste_error(&glued, inv);
+                vec![l.clone(), r.clone()]
+            }
+        }
+    }
+
+    fn paste_error(&mut self, glued: &str, inv: &PTok) {
+        let c = self.ctx.tru();
+        self.diag(
+            Severity::Warning,
+            inv.tok.pos,
+            &c,
+            format!("pasting does not give a valid token: {glued}"),
+        );
+    }
+
+    /// Stringifies a raw argument. If the argument contains conditionals
+    /// they are hoisted, producing a conditional over string literals.
+    fn stringify(&mut self, arg: &[Element], hash_tok: &Token, c: &Cond) -> Vec<Element> {
+        self.stats.stringifications += 1;
+        let has_cond = arg.iter().any(|e| matches!(e, Element::Conditional(_)));
+        if !has_cond {
+            let toks: Vec<PTok> = arg
+                .iter()
+                .map(|e| match e {
+                    Element::Token(t) => t.clone(),
+                    Element::Conditional(_) => unreachable!(),
+                })
+                .collect();
+            return vec![Element::Token(self.make_string(&toks, hash_tok))];
+        }
+        self.stats.stringifications_hoisted += 1;
+        match self.hoist_elements(arg, c) {
+            Some(flats) => {
+                let branches = flats
+                    .into_iter()
+                    .map(|(cond, toks)| Branch {
+                        cond,
+                        elements: vec![Element::Token(self.make_string(&toks, hash_tok))],
+                    })
+                    .collect();
+                vec![Element::Conditional(Conditional { branches })]
+            }
+            None => arg.to_vec(),
+        }
+    }
+
+    fn make_string(&self, toks: &[PTok], hash_tok: &Token) -> PTok {
+        let mut s = String::from("\"");
+        for (i, t) in toks.iter().enumerate() {
+            if i > 0 && t.tok.ws_before {
+                s.push(' ');
+            }
+            for ch in t.text().chars() {
+                if ch == '"' || ch == '\\' {
+                    s.push('\\');
+                }
+                s.push(ch);
+            }
+        }
+        s.push('"');
+        PTok::new(Token::new(
+            TokenKind::StringLit,
+            s,
+            hash_tok.pos,
+            hash_tok.ws_before,
+        ))
+    }
+}
+
+fn set_leading_ws(elems: &mut [Element], ws: bool) {
+    match elems.first_mut() {
+        Some(Element::Token(t)) => {
+            // Tokens are shared; rebuild with the new flag.
+            let mut tok = t.tok.clone();
+            tok.ws_before = ws;
+            t.tok = tok;
+        }
+        Some(Element::Conditional(k)) => {
+            for b in &mut k.branches {
+                set_leading_ws(&mut b.elements, ws);
+            }
+        }
+        None => {}
+    }
+}
+
+/// True when every branch of `k` is parenthesis-balanced (net zero, never
+/// dipping to the invocation's closing paren) and contains no argument
+/// separator at invocation depth 1, so embedding the conditional inside an
+/// argument cannot change the invocation's shape.
+fn structure_invariant(k: &Conditional, depth: u32) -> bool {
+    fn branch_ok(elements: &[Element], mut depth: u32) -> Option<u32> {
+        for el in elements {
+            match el {
+                Element::Token(t) => {
+                    if t.tok.is_punct(Punct::LParen) {
+                        depth += 1;
+                    } else if t.tok.is_punct(Punct::RParen) {
+                        if depth <= 1 {
+                            return None; // would close the invocation
+                        }
+                        depth -= 1;
+                    } else if t.tok.is_punct(Punct::Comma) && depth == 1 {
+                        return None; // would split arguments
+                    }
+                }
+                Element::Conditional(k) => {
+                    for b in &k.branches {
+                        if branch_ok(&b.elements, depth) != Some(depth) {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+        Some(depth)
+    }
+    k.branches
+        .iter()
+        .all(|b| branch_ok(&b.elements, depth) == Some(depth))
+}

@@ -1,0 +1,135 @@
+//! File access for `#include` resolution.
+//!
+//! Real runs read from disk; tests and the synthetic corpus use an
+//! in-memory tree. The preprocessor only needs path-keyed reads — include
+//! *resolution* (search-path logic) lives here too so both backends share
+//! it.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+/// Source of included files.
+pub trait FileSystem {
+    /// Reads a file by exact path. `None` when absent.
+    fn read(&self, path: &str) -> Option<Rc<str>>;
+
+    /// Resolves an include operand against the search paths.
+    ///
+    /// `system` is true for `<...>` includes; `including_dir` is the
+    /// directory of the including file (searched first for `"..."`).
+    /// Returns the resolved path.
+    fn resolve(
+        &self,
+        name: &str,
+        system: bool,
+        including_dir: &str,
+        search_paths: &[String],
+    ) -> Option<String> {
+        if !system && !including_dir.is_empty() {
+            let local = join(including_dir, name);
+            if self.read(&local).is_some() {
+                return Some(local);
+            }
+        }
+        if self.read(name).is_some() {
+            return Some(name.to_string());
+        }
+        for dir in search_paths {
+            let p = join(dir, name);
+            if self.read(&p).is_some() {
+                return Some(p);
+            }
+        }
+        None
+    }
+}
+
+fn join(dir: &str, name: &str) -> String {
+    if dir.is_empty() {
+        name.to_string()
+    } else {
+        format!("{}/{}", dir.trim_end_matches('/'), name)
+    }
+}
+
+/// An in-memory file tree.
+///
+/// # Examples
+///
+/// ```
+/// use superc_cpp::{FileSystem, MemFs};
+/// let fs = MemFs::new().file("include/a.h", "#define A 1\n");
+/// assert!(fs.read("include/a.h").is_some());
+/// assert_eq!(
+///     fs.resolve("a.h", true, "", &["include".to_string()]),
+///     Some("include/a.h".to_string())
+/// );
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MemFs {
+    files: HashMap<String, Rc<str>>,
+}
+
+impl MemFs {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a file, builder-style.
+    pub fn file(mut self, path: &str, contents: &str) -> Self {
+        self.files.insert(path.to_string(), Rc::from(contents));
+        self
+    }
+
+    /// Adds a file in place.
+    pub fn add(&mut self, path: &str, contents: &str) {
+        self.files.insert(path.to_string(), Rc::from(contents));
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when no files were added.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Iterates over `(path, contents)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.files.iter().map(|(k, v)| (k.as_str(), &**v))
+    }
+}
+
+impl FileSystem for MemFs {
+    fn read(&self, path: &str) -> Option<Rc<str>> {
+        self.files.get(path).cloned()
+    }
+}
+
+/// Reads files from disk, rooted at a base directory.
+#[derive(Clone, Debug)]
+pub struct DiskFs {
+    root: PathBuf,
+}
+
+impl DiskFs {
+    /// Creates a disk-backed file system rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        DiskFs { root: root.into() }
+    }
+}
+
+impl FileSystem for DiskFs {
+    fn read(&self, path: &str) -> Option<Rc<str>> {
+        let full = if Path::new(path).is_absolute() {
+            PathBuf::from(path)
+        } else {
+            self.root.join(path)
+        };
+        std::fs::read_to_string(full).ok().map(Rc::from)
+    }
+}

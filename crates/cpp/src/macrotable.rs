@@ -1,0 +1,226 @@
+//! The conditional macro table (SuperC §2, "Macro (un)definitions").
+//!
+//! Definitions and undefinitions for the same name may appear in different
+//! branches of static conditionals, making a macro's meaning depend on the
+//! configuration. The table therefore keeps *a list of entries per name*,
+//! each tagged with the presence condition under which it holds, and trims
+//! entries made infeasible by later (re)definitions. Configurations in
+//! which a name was never defined or undefined are *free* — that residue is
+//! what makes a macro a configuration variable.
+
+use std::rc::Rc;
+
+use superc_cond::Cond;
+use superc_lexer::Token;
+
+/// A macro definition body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MacroDef {
+    /// `#define name body`
+    Object {
+        /// Replacement tokens.
+        body: Vec<Token>,
+    },
+    /// `#define name(params) body`
+    Function {
+        /// Parameter names, in order. A trailing variadic parameter is
+        /// named here too (either `__VA_ARGS__` for `...` or the gcc-style
+        /// `args...` name).
+        params: Vec<Rc<str>>,
+        /// Whether the last parameter is variadic.
+        variadic: bool,
+        /// Replacement tokens.
+        body: Vec<Token>,
+    },
+}
+
+impl MacroDef {
+    /// True for function-like definitions.
+    pub fn is_function(&self) -> bool {
+        matches!(self, MacroDef::Function { .. })
+    }
+}
+
+/// One row of the conditional macro table.
+#[derive(Clone, Debug)]
+pub struct MacroEntry {
+    /// Configurations in which this entry governs the name.
+    pub cond: Cond,
+    /// `Some` for a definition, `None` for an explicit `#undef`.
+    pub def: Option<Rc<MacroDef>>,
+}
+
+/// The conditional macro table.
+///
+/// # Examples
+///
+/// ```
+/// use std::rc::Rc;
+/// use superc_cond::{CondBackend, CondCtx};
+/// use superc_cpp::{MacroDef, MacroTable};
+///
+/// let ctx = CondCtx::new(CondBackend::Bdd);
+/// let mut table = MacroTable::new();
+/// let c64 = ctx.var("defined(CONFIG_64BIT)");
+/// let def = |s: &str| Rc::new(MacroDef::Object { body: vec![] });
+/// table.define("BITS_PER_LONG".into(), def("64"), &c64);
+/// table.define("BITS_PER_LONG".into(), def("32"), &c64.not());
+/// // Both definitions are feasible under `true`: the macro is
+/// // multiply-defined and will propagate an implicit conditional.
+/// let (entries, free) = table.lookup("BITS_PER_LONG", &ctx.tru());
+/// assert_eq!(entries.len(), 2);
+/// assert!(free.is_false()); // defined in every configuration
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MacroTable {
+    map: std::collections::HashMap<Rc<str>, Vec<MacroEntry>>,
+    /// Names detected as include-guard macros (SuperC §3.2 case 4a).
+    guards: std::collections::HashSet<Rc<str>>,
+    /// Trimmed-entry events, for Table 3's "Trimmed definitions" row.
+    pub trims: u64,
+}
+
+impl MacroTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `#define name def` under presence condition `cond`,
+    /// trimming existing entries that become infeasible.
+    pub fn define(&mut self, name: Rc<str>, def: Rc<MacroDef>, cond: &Cond) {
+        self.update(name, Some(def), cond);
+    }
+
+    /// Records `#undef name` under presence condition `cond`.
+    pub fn undef(&mut self, name: Rc<str>, cond: &Cond) {
+        self.update(name, None, cond);
+    }
+
+    fn update(&mut self, name: Rc<str>, def: Option<Rc<MacroDef>>, cond: &Cond) {
+        let entries = self.map.entry(name).or_default();
+        let mut kept = Vec::with_capacity(entries.len() + 1);
+        for e in entries.drain(..) {
+            let remaining = e.cond.and_not(cond);
+            if remaining.is_false() {
+                self.trims += 1;
+            } else {
+                kept.push(MacroEntry {
+                    cond: remaining,
+                    def: e.def,
+                });
+            }
+        }
+        kept.push(MacroEntry {
+            cond: cond.clone(),
+            def,
+        });
+        *entries = kept;
+    }
+
+    /// Was `name` ever mentioned in a `#define`/`#undef`?
+    pub fn mentioned(&self, name: &str) -> bool {
+        self.map.contains_key(name)
+    }
+
+    /// True if `name` has at least one *defined* entry feasible under `cond`.
+    pub fn any_defined(&self, name: &str, cond: &Cond) -> bool {
+        self.map
+            .get(name)
+            .map(|es| {
+                es.iter()
+                    .any(|e| e.def.is_some() && e.cond.feasible_with(cond))
+            })
+            .unwrap_or(false)
+    }
+
+    /// True if `name` is defined in *every* configuration of `cond`.
+    pub fn definitely_defined(&self, name: &str, cond: &Cond) -> bool {
+        match self.map.get(name) {
+            None => false,
+            Some(es) => {
+                let mut covered = cond.ctx().fls();
+                for e in es {
+                    if e.def.is_some() {
+                        covered = covered.or(&e.cond);
+                    } else if e.cond.feasible_with(cond) {
+                        return false;
+                    }
+                }
+                cond.and_not(&covered).is_false()
+            }
+        }
+    }
+
+    /// All entries feasible under `cond`, with their conditions narrowed to
+    /// `cond`, plus the *free* residue — the configurations of `cond` where
+    /// the name was never defined or undefined.
+    ///
+    /// Infeasible entries are ignored, which is how the table "ignores
+    /// infeasible definitions" when an invocation site sits inside
+    /// conditionals (Table 1).
+    pub fn lookup(&self, name: &str, cond: &Cond) -> (Vec<MacroEntry>, Cond) {
+        let (entries, free, _) = self.lookup_full(name, cond);
+        (entries, free)
+    }
+
+    /// Like [`MacroTable::lookup`], but also reports how many entries were
+    /// ignored as infeasible at this use site (for Table 3's "Trimmed"
+    /// interaction count).
+    pub fn lookup_full(&self, name: &str, cond: &Cond) -> (Vec<MacroEntry>, Cond, usize) {
+        match self.map.get(name) {
+            None => (Vec::new(), cond.clone(), 0),
+            Some(es) => {
+                let mut out = Vec::new();
+                let mut free = cond.clone();
+                let mut ignored = 0;
+                for e in es {
+                    let narrowed = e.cond.and(cond);
+                    if !narrowed.is_false() {
+                        free = free.and_not(&e.cond);
+                        out.push(MacroEntry {
+                            cond: narrowed,
+                            def: e.def.clone(),
+                        });
+                    } else {
+                        ignored += 1;
+                    }
+                }
+                (out, free, ignored)
+            }
+        }
+    }
+
+    /// The disjunction of conditions under which `name` is defined,
+    /// restricted to `cond` — the meaning of `defined(name)` (§3.2 case 4).
+    pub fn defined_cond(&self, name: &str, cond: &Cond) -> (Cond, Cond) {
+        let (entries, free) = self.lookup(name, cond);
+        let mut defined = cond.ctx().fls();
+        for e in &entries {
+            if e.def.is_some() {
+                defined = defined.or(&e.cond);
+            }
+        }
+        (defined, free)
+    }
+
+    /// Registers `name` as an include-guard macro.
+    pub fn register_guard(&mut self, name: Rc<str>) {
+        self.guards.insert(name);
+    }
+
+    /// Is `name` a registered include-guard macro?
+    pub fn is_guard(&self, name: &str) -> bool {
+        self.guards.contains(name)
+    }
+
+    /// Number of names with at least one entry.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no macro was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}

@@ -1,0 +1,713 @@
+//! The preprocessor driver: walks structured files, maintains the
+//! conditional macro table, resolves includes, and assembles configuration-
+//! preserving compilation units.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+
+use superc_cond::{Cond, CondCtx};
+use superc_lexer::{lex, FileId, LexError, Punct, SourcePos, Token, TokenKind};
+
+use crate::directives::{detect_guard, structure, RawItem, RawTest};
+use crate::elements::{self, Branch, Conditional, Element, PTok};
+use crate::files::FileSystem;
+use crate::macrotable::{MacroDef, MacroTable};
+use crate::stats::PpStats;
+
+/// A fatal preprocessing error (lexical error, unbalanced conditionals,
+/// `#error` outside conditionals, missing main file).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PpError {
+    /// Where the error was detected.
+    pub pos: SourcePos,
+    /// Lowercase description.
+    pub message: String,
+}
+
+impl fmt::Display for PpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for PpError {}
+
+impl From<LexError> for PpError {
+    fn from(e: LexError) -> Self {
+        PpError {
+            pos: e.pos,
+            message: e.message,
+        }
+    }
+}
+
+/// Diagnostic severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// A hard problem confined to some configurations.
+    Error,
+    /// Suspicious but recoverable.
+    Warning,
+    /// Preserved annotations (`#pragma`, `#line`, `#warning` text).
+    Note,
+}
+
+/// A non-fatal diagnostic, tagged with the presence condition under which
+/// it applies.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Source position.
+    pub pos: SourcePos,
+    /// Configurations the diagnostic applies to.
+    pub cond: Cond,
+    /// Message text.
+    pub message: String,
+}
+
+/// Compiler "ground truth" macros (§2: built-ins like `__STDC_VERSION__`).
+///
+/// The paper configures SuperC with gcc's built-ins; we ship a
+/// representative gcc-4-era set and let callers replace it.
+#[derive(Clone, Debug)]
+pub struct Builtins {
+    /// `(name, replacement-text)` pairs, object-like.
+    pub defs: Vec<(String, String)>,
+}
+
+impl Default for Builtins {
+    fn default() -> Self {
+        Builtins::gcc_like()
+    }
+}
+
+impl Builtins {
+    /// No built-ins at all (for tests).
+    pub fn none() -> Self {
+        Builtins { defs: Vec::new() }
+    }
+
+    /// A representative gcc-on-x86 set.
+    pub fn gcc_like() -> Self {
+        let defs = [
+            ("__STDC__", "1"),
+            ("__STDC_VERSION__", "199901L"),
+            ("__STDC_HOSTED__", "1"),
+            ("__GNUC__", "4"),
+            ("__GNUC_MINOR__", "5"),
+            ("__GNUC_PATCHLEVEL__", "1"),
+            ("__SIZEOF_INT__", "4"),
+            ("__SIZEOF_LONG__", "8"),
+            ("__SIZEOF_POINTER__", "8"),
+            ("__CHAR_BIT__", "8"),
+            ("__INT_MAX__", "2147483647"),
+            ("__LONG_MAX__", "9223372036854775807L"),
+            ("__x86_64__", "1"),
+            ("__ELF__", "1"),
+            ("__linux__", "1"),
+            ("__unix__", "1"),
+        ];
+        Builtins {
+            defs: defs
+                .iter()
+                .map(|&(n, b)| (n.to_string(), b.to_string()))
+                .collect(),
+        }
+    }
+}
+
+/// Preprocessor configuration.
+#[derive(Clone, Debug)]
+pub struct PpOptions {
+    /// Search paths for includes (after the including file's directory).
+    pub include_paths: Vec<String>,
+    /// Command-line definitions, like `-Dname=body` (`body` may be empty).
+    pub defines: Vec<(String, String)>,
+    /// Compiler built-in macros.
+    pub builtins: Builtins,
+    /// Include nesting limit.
+    pub max_include_depth: usize,
+    /// Single-configuration ("gcc") mode: free macros count as undefined,
+    /// conditionals fully resolve, and the output contains no
+    /// conditionals. The configuration is given by `defines`. This is the
+    /// baseline the paper measures SuperC against in §6.3.
+    pub single_config: bool,
+}
+
+impl Default for PpOptions {
+    fn default() -> Self {
+        PpOptions {
+            include_paths: vec!["include".to_string()],
+            defines: Vec::new(),
+            builtins: Builtins::default(),
+            max_include_depth: 200,
+            single_config: false,
+        }
+    }
+}
+
+/// A preprocessed compilation unit: all configurations preserved.
+#[derive(Clone, Debug)]
+pub struct CompilationUnit {
+    /// The main file's path.
+    pub file: String,
+    /// Ordinary tokens and static conditionals.
+    pub elements: Vec<Element>,
+    /// Usage counters (Table 2/3 instrumentation).
+    pub stats: PpStats,
+    /// Diagnostics with presence conditions.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CompilationUnit {
+    /// Renders the unit back to `#if`-annotated text (for inspection and
+    /// golden tests, like the paper's Figure 1b).
+    pub fn display_text(&self) -> String {
+        let mut s = String::new();
+        elements::display_elements(&self.elements, &mut s);
+        s
+    }
+
+    /// Total ordinary tokens across all branches.
+    pub fn token_count(&self) -> usize {
+        elements::count_tokens(&self.elements)
+    }
+}
+
+struct CachedFile {
+    items: Vec<RawItem>,
+    guard: Option<Rc<str>>,
+    bytes: usize,
+}
+
+/// The configuration-preserving preprocessor.
+///
+/// Create one per corpus; call [`Preprocessor::preprocess`] per compilation
+/// unit (macro state resets between units, lexed headers stay cached).
+///
+/// See the crate docs for an end-to-end example.
+pub struct Preprocessor<F: FileSystem> {
+    pub(crate) ctx: CondCtx,
+    opts: PpOptions,
+    fs: F,
+    pub(crate) table: MacroTable,
+    pub(crate) stats: PpStats,
+    pub(crate) diags: Vec<Diagnostic>,
+    pub(crate) builtin_names: HashSet<String>,
+    file_cache: HashMap<String, Rc<CachedFile>>,
+    file_ids: HashMap<String, FileId>,
+    file_names: Vec<String>,
+    file_stack: Vec<String>,
+    processed_files: HashSet<String>,
+    include_counts: HashMap<String, u64>,
+    max_depth_seen: u64,
+    poisoned: bool,
+}
+
+impl<F: FileSystem> Preprocessor<F> {
+    /// Creates a preprocessor over `fs` with the given condition context.
+    pub fn new(ctx: CondCtx, opts: PpOptions, fs: F) -> Self {
+        let builtin_names = opts
+            .builtins
+            .defs
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        Preprocessor {
+            ctx,
+            opts,
+            fs,
+            table: MacroTable::new(),
+            stats: PpStats::default(),
+            diags: Vec::new(),
+            builtin_names,
+            file_cache: HashMap::new(),
+            file_ids: HashMap::new(),
+            file_names: Vec::new(),
+            file_stack: Vec::new(),
+            processed_files: HashSet::new(),
+            include_counts: HashMap::new(),
+            max_depth_seen: 0,
+            poisoned: false,
+        }
+    }
+
+    /// The condition context conditions are built in.
+    pub fn ctx(&self) -> &CondCtx {
+        &self.ctx
+    }
+
+    /// The macro table as of the last `preprocess` call (tests/inspection).
+    pub fn table(&self) -> &MacroTable {
+        &self.table
+    }
+
+    /// Per-header inclusion counts accumulated across units (Table 2b).
+    pub fn include_counts(&self) -> &HashMap<String, u64> {
+        &self.include_counts
+    }
+
+    /// Whether single-configuration (gcc) mode is active.
+    pub(crate) fn single_config(&self) -> bool {
+        self.opts.single_config
+    }
+
+    /// The path of the file currently being processed (`__FILE__`).
+    pub(crate) fn current_file(&self) -> String {
+        self.file_stack.last().cloned().unwrap_or_default()
+    }
+
+    pub(crate) fn diag(&mut self, severity: Severity, pos: SourcePos, cond: &Cond, message: String) {
+        self.diags.push(Diagnostic {
+            severity,
+            pos,
+            cond: cond.clone(),
+            message,
+        });
+    }
+
+    fn file_id(&mut self, path: &str) -> FileId {
+        if let Some(&id) = self.file_ids.get(path) {
+            return id;
+        }
+        let id = FileId(self.file_names.len() as u32);
+        self.file_names.push(path.to_string());
+        self.file_ids.insert(path.to_string(), id);
+        id
+    }
+
+    /// The path registered for a [`FileId`].
+    pub fn file_name(&self, id: FileId) -> Option<&str> {
+        self.file_names.get(id.0 as usize).map(|s| s.as_str())
+    }
+
+    fn load_cached(&mut self, path: &str) -> Result<Rc<CachedFile>, PpError> {
+        if let Some(f) = self.file_cache.get(path) {
+            let f = Rc::clone(f);
+            // The macro table (and its guard registry) resets per unit;
+            // cached files must re-register their guards.
+            if let Some(g) = &f.guard {
+                self.table.register_guard(g.clone());
+            }
+            self.stats.files_processed += 1;
+            self.stats.bytes_processed += f.bytes as u64;
+            return Ok(f);
+        }
+        let src = self.fs.read(path).ok_or_else(|| PpError {
+            pos: SourcePos::default(),
+            message: format!("file not found: {path}"),
+        })?;
+        let id = self.file_id(path);
+        let lex_start = std::time::Instant::now();
+        let tokens = lex(&src, id)?;
+        self.stats.lex_nanos += lex_start.elapsed().as_nanos() as u64;
+        let items = structure(&tokens)?;
+        let guard = detect_guard(&items);
+        if let Some(g) = &guard {
+            self.table.register_guard(g.clone());
+        }
+        let cached = Rc::new(CachedFile {
+            items,
+            guard,
+            bytes: src.len(),
+        });
+        self.file_cache.insert(path.to_string(), Rc::clone(&cached));
+        self.stats.files_processed += 1;
+        self.stats.bytes_processed += cached.bytes as u64;
+        Ok(cached)
+    }
+
+    /// Preprocesses one compilation unit, preserving all configurations.
+    ///
+    /// Macro state and statistics reset per unit; the lexed-file cache and
+    /// cumulative include counts persist.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a missing main file, lexical errors, unbalanced
+    /// conditionals, and `#error` outside static conditionals.
+    pub fn preprocess(&mut self, path: &str) -> Result<CompilationUnit, PpError> {
+        self.table = MacroTable::new();
+        self.stats = PpStats::default();
+        self.diags.clear();
+        self.processed_files.clear();
+        self.file_stack.clear();
+        self.max_depth_seen = 0;
+        self.poisoned = false;
+
+        // Install built-ins and command-line definitions under `true`.
+        let defs: Vec<(String, String)> = self
+            .opts
+            .builtins
+            .defs
+            .iter()
+            .chain(self.opts.defines.iter())
+            .cloned()
+            .collect();
+        for (name, body) in defs {
+            let pseudo = format!("{body}\n");
+            let toks = lex(&pseudo, FileId(u32::MAX)).map_err(PpError::from)?;
+            let body: Vec<Token> = toks
+                .into_iter()
+                .filter(|t| !matches!(t.kind, TokenKind::Newline | TokenKind::Eof))
+                .collect();
+            let tru = self.ctx.tru();
+            self.table
+                .define(Rc::from(name.as_str()), Rc::new(MacroDef::Object { body }), &tru);
+        }
+
+        let cached = self.load_cached(path)?;
+        // The guard cache may hold guards from other units; re-register this
+        // unit's headers lazily as they load.
+        self.file_stack.push(path.to_string());
+        let tru = self.ctx.tru();
+        let mut out = Vec::new();
+        self.process_items(&cached.items, &tru, 0, &mut out)?;
+        self.file_stack.pop();
+
+        self.stats.max_depth = self.max_depth_seen.max(elements::max_depth(&out) as u64);
+        self.stats.output_tokens = elements::count_tokens(&out) as u64;
+        self.stats.output_conditionals = count_conditionals(&out);
+        Ok(CompilationUnit {
+            file: path.to_string(),
+            elements: out,
+            stats: self.stats,
+            diagnostics: std::mem::take(&mut self.diags),
+        })
+    }
+
+    fn flush_pending(&mut self, pending: &mut Vec<Element>, c: &Cond, out: &mut Vec<Element>) {
+        if !pending.is_empty() {
+            let expanded = self.expand_segment(std::mem::take(pending), c);
+            out.extend(expanded);
+        }
+    }
+
+    fn process_items(
+        &mut self,
+        items: &[RawItem],
+        c: &Cond,
+        depth: u64,
+        out: &mut Vec<Element>,
+    ) -> Result<(), PpError> {
+        self.max_depth_seen = self.max_depth_seen.max(depth);
+        let mut pending: Vec<Element> = Vec::new();
+        for item in items {
+            match item {
+                RawItem::Text(tokens) => {
+                    pending.extend(tokens.iter().map(|t| Element::Token(PTok::new(t.clone()))));
+                }
+                RawItem::Conditional { groups, pos } => {
+                    self.stats.conditionals += 1;
+                    if depth >= 64 {
+                        self.diag(
+                            Severity::Warning,
+                            *pos,
+                            c,
+                            "conditional nesting deeper than 64".to_string(),
+                        );
+                    }
+                    let mut remaining = c.clone();
+                    let mut branches: Vec<Branch> = Vec::new();
+                    for g in groups {
+                        if remaining.is_false() {
+                            break;
+                        }
+                        let bc = match &g.test {
+                            RawTest::Ifdef(n) => self.defined_as_cond(n, &remaining),
+                            RawTest::Ifndef(n) => {
+                                remaining.and_not(&self.defined_as_cond(n, &remaining))
+                            }
+                            RawTest::Expr(toks) => {
+                                let (cond, hoisted, nonbool) =
+                                    self.eval_cond_expr(toks, &remaining, g.pos);
+                                if hoisted {
+                                    self.stats.conditionals_hoisted += 1;
+                                }
+                                if nonbool {
+                                    self.stats.non_boolean_exprs += 1;
+                                }
+                                cond
+                            }
+                            RawTest::Else => remaining.clone(),
+                        };
+                        let bc = bc.and(&remaining);
+                        if bc.is_false() {
+                            continue;
+                        }
+                        remaining = remaining.and_not(&bc);
+                        let mut belems = Vec::new();
+                        self.process_items(&g.items, &bc, depth + 1, &mut belems)?;
+                        if self.poisoned {
+                            // #error in this branch: its configurations are
+                            // invalid; disable their parsing (paper §2).
+                            self.poisoned = false;
+                            belems.clear();
+                        }
+                        branches.push(Branch {
+                            cond: bc,
+                            elements: belems,
+                        });
+                    }
+                    if !remaining.is_false() {
+                        // Materialize the implicit else branch so branch
+                        // conditions always partition the parent condition.
+                        branches.push(Branch {
+                            cond: remaining,
+                            elements: Vec::new(),
+                        });
+                    }
+                    if branches.iter().all(|b| b.elements.is_empty()) {
+                        // Nothing but directives inside: no token-level
+                        // variability to preserve.
+                        continue;
+                    }
+                    match branches.len() {
+                        0 => {}
+                        1 if c.and_not(&branches[0].cond).is_false() => {
+                            // Only one feasible branch covering everything:
+                            // inline it (trimming, §2).
+                            pending.extend(branches.pop().expect("one branch").elements);
+                        }
+                        _ => pending.push(Element::Conditional(Conditional { branches })),
+                    }
+                }
+                RawItem::Define { name, def, pos } => {
+                    self.flush_pending(&mut pending, c, out);
+                    self.stats.macro_definitions += 1;
+                    if self.table.any_defined(name, c) {
+                        self.stats.redefinitions += 1;
+                        self.diag(
+                            Severity::Note,
+                            *pos,
+                            c,
+                            format!("macro {name} redefined"),
+                        );
+                    }
+                    let before = self.table.trims;
+                    self.table.define(name.clone(), def.clone(), c);
+                    self.stats.trimmed_entries += self.table.trims - before;
+                }
+                RawItem::Undef { name, pos } => {
+                    self.flush_pending(&mut pending, c, out);
+                    self.stats.undefs += 1;
+                    if !self.table.any_defined(name, c) && !self.table.mentioned(name) {
+                        self.diag(
+                            Severity::Note,
+                            *pos,
+                            c,
+                            format!("#undef of never-defined macro {name}"),
+                        );
+                    }
+                    let before = self.table.trims;
+                    self.table.undef(name.clone(), c);
+                    self.stats.trimmed_entries += self.table.trims - before;
+                }
+                RawItem::Include { tokens, pos } => {
+                    self.flush_pending(&mut pending, c, out);
+                    self.process_include(tokens, c, *pos, depth, out)?;
+                }
+                RawItem::Error { tokens, pos } => {
+                    self.flush_pending(&mut pending, c, out);
+                    let msg = spell(tokens);
+                    self.stats.error_directives += 1;
+                    if depth == 0 {
+                        return Err(PpError {
+                            pos: *pos,
+                            message: format!("#error {msg}"),
+                        });
+                    }
+                    self.diag(Severity::Error, *pos, c, format!("#error {msg}"));
+                    self.poisoned = true;
+                }
+                RawItem::Warning { tokens, pos } => {
+                    self.stats.warning_directives += 1;
+                    let msg = spell(tokens);
+                    self.diag(Severity::Warning, *pos, c, format!("#warning {msg}"));
+                }
+                RawItem::Pragma { tokens, pos } => {
+                    let msg = spell(tokens);
+                    self.diag(Severity::Note, *pos, c, format!("#pragma {msg}"));
+                }
+                RawItem::Line { tokens, pos } => {
+                    let msg = spell(tokens);
+                    self.diag(Severity::Note, *pos, c, format!("#line {msg}"));
+                }
+            }
+        }
+        self.flush_pending(&mut pending, c, out);
+        Ok(())
+    }
+
+    fn process_include(
+        &mut self,
+        tokens: &[Token],
+        c: &Cond,
+        pos: SourcePos,
+        depth: u64,
+        out: &mut Vec<Element>,
+    ) -> Result<(), PpError> {
+        match parse_include_operand(tokens) {
+            Some((name, system)) => self.include_one(&name, system, c, pos, depth, out),
+            None => {
+                // Computed include: expand, hoist, include per configuration.
+                self.stats.computed_includes += 1;
+                let elems: Vec<Element> = tokens
+                    .iter()
+                    .map(|t| Element::Token(PTok::new(t.clone())))
+                    .collect();
+                let expanded = self.expand_segment(elems, c);
+                let had_cond = expanded
+                    .iter()
+                    .any(|e| matches!(e, Element::Conditional(_)));
+                let flats = match self.hoist_elements(&expanded, c) {
+                    Some(f) => f,
+                    None => {
+                        self.diag(
+                            Severity::Warning,
+                            pos,
+                            c,
+                            "computed include too variable; skipped".to_string(),
+                        );
+                        return Ok(());
+                    }
+                };
+                if had_cond || flats.len() > 1 {
+                    self.stats.includes_hoisted += 1;
+                }
+                let single = flats.len() == 1;
+                let mut branches: Vec<Branch> = Vec::new();
+                for (fc, toks) in flats {
+                    let raw: Vec<Token> = toks.iter().map(|t| t.tok.clone()).collect();
+                    let mut belems = Vec::new();
+                    match parse_include_operand(&raw) {
+                        Some((name, system)) => {
+                            self.include_one(&name, system, &fc, pos, depth, &mut belems)?;
+                        }
+                        None => {
+                            self.diag(
+                                Severity::Warning,
+                                pos,
+                                &fc,
+                                format!("malformed computed include: {}", spell(&raw)),
+                            );
+                        }
+                    }
+                    branches.push(Branch {
+                        cond: fc,
+                        elements: belems,
+                    });
+                }
+                if single {
+                    out.extend(branches.pop().map(|b| b.elements).unwrap_or_default());
+                } else if !branches.is_empty() {
+                    out.push(Element::Conditional(Conditional { branches }));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn include_one(
+        &mut self,
+        name: &str,
+        system: bool,
+        c: &Cond,
+        pos: SourcePos,
+        depth: u64,
+        out: &mut Vec<Element>,
+    ) -> Result<(), PpError> {
+        if self.file_stack.len() > self.opts.max_include_depth {
+            self.diag(
+                Severity::Error,
+                pos,
+                c,
+                format!("include nesting too deep at {name}"),
+            );
+            return Ok(());
+        }
+        let including_dir = self
+            .file_stack
+            .last()
+            .and_then(|f| f.rsplit_once('/').map(|(d, _)| d.to_string()))
+            .unwrap_or_default();
+        let Some(path) =
+            self.fs
+                .resolve(name, system, &including_dir, &self.opts.include_paths)
+        else {
+            self.diag(
+                Severity::Warning,
+                pos,
+                c,
+                format!("include not found: {name}"),
+            );
+            return Ok(());
+        };
+        let cached = self.load_cached(&path)?;
+        self.stats.includes += 1;
+        *self.include_counts.entry(path.clone()).or_insert(0) += 1;
+        // Guard fast path: skip files whose guard is definitely defined.
+        if let Some(g) = &cached.guard {
+            if self.table.definitely_defined(g, c) {
+                return Ok(());
+            }
+        }
+        if !self.processed_files.insert(path.clone()) {
+            self.stats.reincluded_headers += 1;
+        }
+        self.file_stack.push(path.clone());
+        let r = self.process_items(&cached.items, c, depth, out);
+        self.file_stack.pop();
+        r
+    }
+}
+
+/// Parses a non-computed include operand: `"name"` or `<name>`.
+fn parse_include_operand(tokens: &[Token]) -> Option<(String, bool)> {
+    match tokens.first() {
+        Some(t) if t.kind == TokenKind::StringLit && tokens.len() == 1 => {
+            let s = t.text();
+            Some((s[1..s.len() - 1].to_string(), false))
+        }
+        Some(t) if t.is_punct(Punct::Lt) => {
+            let mut name = String::new();
+            for t in &tokens[1..] {
+                if t.is_punct(Punct::Gt) {
+                    return Some((name, true));
+                }
+                if t.ws_before && !name.is_empty() {
+                    name.push(' ');
+                }
+                name.push_str(t.text());
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn spell(tokens: &[Token]) -> String {
+    tokens
+        .iter()
+        .map(|t| t.text().to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn count_conditionals(elements: &[Element]) -> u64 {
+    elements
+        .iter()
+        .map(|e| match e {
+            Element::Token(_) => 0,
+            Element::Conditional(k) => {
+                1 + k
+                    .branches
+                    .iter()
+                    .map(|b| count_conditionals(&b.elements))
+                    .sum::<u64>()
+            }
+        })
+        .sum()
+}

@@ -1,0 +1,111 @@
+//! Per-compilation-unit usage counters.
+//!
+//! These counters instrument the preprocessor exactly where the paper's
+//! "tool's view" (Table 3) measures: definitions, invocations and their
+//! interactions with conditionals, hoists, pasting/stringification,
+//! includes, and conditional statistics. The benchmark harness aggregates
+//! them into 50·90·100 percentiles across compilation units.
+
+/// Counters gathered while preprocessing one compilation unit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PpStats {
+    /// `#define` directives processed (including those in headers).
+    pub macro_definitions: u64,
+    /// `#define`s for a name that already had a feasible entry.
+    pub redefinitions: u64,
+    /// `#undef` directives processed.
+    pub undefs: u64,
+    /// Macro invocations expanded (object- and function-like).
+    pub macro_invocations: u64,
+    /// Invocations where at least one table entry was infeasible and
+    /// ignored ("Trimmed definitions").
+    pub invocations_trimmed: u64,
+    /// Invocations requiring conditionals hoisted around them (implicit
+    /// multiply-defined conditionals or explicit conditionals in args).
+    pub invocations_hoisted: u64,
+    /// Invocations of macros from within macro bodies ("Nested invocations").
+    pub nested_invocations: u64,
+    /// Invocations of compiler built-in macros.
+    pub builtin_invocations: u64,
+    /// Token-pasting (`##`) operations applied.
+    pub token_pastes: u64,
+    /// Pastes whose operands contained conditionals (hoisted).
+    pub token_pastes_hoisted: u64,
+    /// Stringification (`#`) operations applied.
+    pub stringifications: u64,
+    /// Stringifications whose operand contained conditionals (hoisted).
+    pub stringifications_hoisted: u64,
+    /// `#include` directives processed (after resolution).
+    pub includes: u64,
+    /// Includes whose operand contained hoisted conditionals.
+    pub includes_hoisted: u64,
+    /// Computed includes (operand required macro expansion).
+    pub computed_includes: u64,
+    /// Headers processed more than once (guard not definitely defined).
+    pub reincluded_headers: u64,
+    /// Static conditional *directives* evaluated (`#if`/`#ifdef`/`#ifndef`).
+    pub conditionals: u64,
+    /// Conditional expressions whose evaluation required hoisting a
+    /// multiply-defined macro around the expression.
+    pub conditionals_hoisted: u64,
+    /// Maximum conditional nesting depth observed.
+    pub max_depth: u64,
+    /// Conditional expressions containing opaque non-boolean subterms.
+    pub non_boolean_exprs: u64,
+    /// `#error` directives under some feasible condition.
+    pub error_directives: u64,
+    /// `#warning` directives.
+    pub warning_directives: u64,
+    /// Macro-table entries trimmed as infeasible on (re)definition.
+    pub trimmed_entries: u64,
+    /// Ordinary tokens in the final compilation unit.
+    pub output_tokens: u64,
+    /// Static conditionals remaining in the final compilation unit.
+    pub output_conditionals: u64,
+    /// Files lexed (compilation unit plus headers, counting repeats).
+    pub files_processed: u64,
+    /// Total bytes of source lexed (counting repeats).
+    pub bytes_processed: u64,
+    /// Nanoseconds spent in the lexer (Figure 10's "lexing" share;
+    /// cached headers contribute their first lex only).
+    pub lex_nanos: u64,
+}
+
+impl PpStats {
+    /// Adds another unit's counters into this one (for corpus totals).
+    pub fn merge(&mut self, other: &PpStats) {
+        macro_rules! add {
+            ($($f:ident),+ $(,)?) => { $( self.$f += other.$f; )+ };
+        }
+        add!(
+            macro_definitions,
+            redefinitions,
+            undefs,
+            macro_invocations,
+            invocations_trimmed,
+            invocations_hoisted,
+            nested_invocations,
+            builtin_invocations,
+            token_pastes,
+            token_pastes_hoisted,
+            stringifications,
+            stringifications_hoisted,
+            includes,
+            includes_hoisted,
+            computed_includes,
+            reincluded_headers,
+            conditionals,
+            conditionals_hoisted,
+            non_boolean_exprs,
+            error_directives,
+            warning_directives,
+            trimmed_entries,
+            output_tokens,
+            output_conditionals,
+            files_processed,
+            bytes_processed,
+            lex_nanos,
+        );
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+}

@@ -1,0 +1,304 @@
+//! The C context plug-in (§5.2): typedef-aware reclassification wired
+//! into the FMLR engine's four callbacks.
+
+use std::rc::Rc;
+
+use superc_cond::Cond;
+use superc_cpp::PTok;
+use superc_fmlr::{ContextPlugin, Reclass, SemVal};
+use superc_grammar::{Grammar, SymbolId};
+
+use crate::symtab::{NameKind, SymTab};
+
+/// Per-subparser parsing context: the symbol table, the parameter names
+/// awaiting the next function-body scope, and the `type_seen` flag that
+/// handles typedef-name *redeclaration* (`typedef int T; void f(int T)`).
+///
+/// `type_seen` is set when a type specifier reduces and cleared when the
+/// current specifier run ends (declarator, type name, or declaration
+/// reduces). While set, a typedef name is *not* reclassified: a type has
+/// already been given, so the name must be a declarator — the rule C
+/// parsers with the "lexer hack" use to allow shadowing.
+#[derive(Clone)]
+pub struct CCtx {
+    tab: SymTab,
+    pending_params: Vec<(Cond, Rc<str>)>,
+    type_seen: bool,
+}
+
+/// The C context plug-in. Create one per parse via [`CContext::new`].
+pub struct CContext {
+    ident: SymbolId,
+    typedef_name: SymbolId,
+    // Production-kind tables indexed by production id.
+    is_declaration: Vec<bool>,
+    is_scope_push: Vec<bool>,
+    is_compound: Vec<bool>,
+    is_enumerator: Vec<bool>,
+    is_fn_def: Vec<bool>,
+    is_param_decl: Vec<bool>,
+    sets_type_seen: Vec<bool>,
+    clears_type_seen: Vec<bool>,
+}
+
+impl CContext {
+    /// Builds the plug-in's production tables for `grammar`
+    /// (the grammar from [`crate::c_grammar`]).
+    pub fn new(grammar: &Grammar) -> Self {
+        let n = grammar.num_productions();
+        let mut is_declaration = vec![false; n as usize];
+        let mut is_scope_push = vec![false; n as usize];
+        let mut is_compound = vec![false; n as usize];
+        let mut is_enumerator = vec![false; n as usize];
+        let mut is_fn_def = vec![false; n as usize];
+        let mut is_param_decl = vec![false; n as usize];
+        let mut sets_type_seen = vec![false; n as usize];
+        let mut clears_type_seen = vec![false; n as usize];
+        for p in 0..n {
+            match grammar.lhs_name(p) {
+                "TypeSpecifier" => sets_type_seen[p as usize] = true,
+                // The specifier run is over once a declarator (or whole
+                // declaration/type-name) reduces; `Pointer` ends it too so
+                // typedef names inside function-pointer types still
+                // classify as types.
+                "Declaration" | "FunctionDefinition" | "StructDeclaration"
+                | "ParameterDeclaration" | "TypeName" | "DirectDeclarator" | "Pointer"
+                | "Statement" | "Enumerator" => clears_type_seen[p as usize] = true,
+                _ => {}
+            }
+        }
+        for p in 0..n {
+            match grammar.lhs_name(p) {
+                // Only the base forms define names; the `__extension__`
+                // wrapper passes through an already-registered node.
+                "Declaration" => {
+                    is_declaration[p as usize] = grammar.production(p).rhs.len() >= 2
+                        && grammar
+                            .symbol_name(grammar.production(p).rhs[0])
+                            .starts_with("DeclarationSpecifiers")
+                }
+                "ScopePush" => is_scope_push[p as usize] = true,
+                "CompoundStatement" => is_compound[p as usize] = true,
+                "Enumerator" => is_enumerator[p as usize] = true,
+                "FunctionDefinition" => is_fn_def[p as usize] = true,
+                "ParameterDeclaration" => {
+                    let rhs = &grammar.production(p).rhs;
+                    is_param_decl[p as usize] = rhs.len() == 2
+                        && grammar.symbol_name(rhs[1]) == "Declarator";
+                }
+                _ => {}
+            }
+        }
+        CContext {
+            ident: grammar.terminal("IDENTIFIER").expect("IDENTIFIER"),
+            typedef_name: grammar.terminal("TYPEDEF_NAME").expect("TYPEDEF_NAME"),
+            is_declaration,
+            is_scope_push,
+            is_compound,
+            is_enumerator,
+            is_fn_def,
+            is_param_decl,
+            sets_type_seen,
+            clears_type_seen,
+        }
+    }
+}
+
+/// Walks a declarator subtree collecting `(condition, declared name)`
+/// pairs; choice nodes contribute each alternative under its condition.
+fn declarator_names(v: &SemVal, cond: &Cond, out: &mut Vec<(Cond, Rc<str>)>) {
+    match v {
+        SemVal::Node(n) => match &*n.kind {
+            "DirectDeclarator" => match n.children.first() {
+                Some(SemVal::Tok(t)) if t.tok.is_ident() => {
+                    out.push((cond.clone(), t.tok.text.clone()));
+                }
+                Some(first) => {
+                    // `( Declarator )` nests at child 1; array/function
+                    // declarators nest at child 0.
+                    if first.as_token().map(|t| t.text()) == Some("(") {
+                        if let Some(inner) = n.children.get(1) {
+                            declarator_names(inner, cond, out);
+                        }
+                    } else {
+                        declarator_names(first, cond, out);
+                    }
+                }
+                None => {}
+            },
+            "Declarator" => {
+                if let Some(last) = n.children.last() {
+                    declarator_names(last, cond, out);
+                }
+            }
+            "InitDeclarator" | "StructDeclarator" => {
+                if let Some(first) = n.children.first() {
+                    declarator_names(first, cond, out);
+                }
+            }
+            // Linearized lists: each element is an InitDeclarator.
+            "InitDeclaratorList" => {
+                for c in &n.children {
+                    declarator_names(c, cond, out);
+                }
+            }
+            _ => {}
+        },
+        SemVal::Choice(alts) => {
+            for (c, alt) in alts.iter() {
+                let cc = cond.and(c);
+                if !cc.is_false() {
+                    declarator_names(alt, &cc, out);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Accumulates the conditions under which a `typedef` storage class
+/// appears in a specifier subtree.
+fn typedef_cond(v: &SemVal, cond: &Cond, acc: &mut Cond) {
+    match v {
+        SemVal::Tok(t) if t.text() == "typedef" => {
+            *acc = acc.or(cond);
+        }
+        SemVal::Node(n) => {
+            for c in &n.children {
+                typedef_cond(c, cond, acc);
+            }
+        }
+        SemVal::Choice(alts) => {
+            for (c, alt) in alts.iter() {
+                let cc = cond.and(c);
+                if !cc.is_false() {
+                    typedef_cond(alt, &cc, acc);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+impl ContextPlugin for CContext {
+    type Ctx = CCtx;
+
+    fn initial(&mut self) -> CCtx {
+        CCtx {
+            tab: SymTab::new(),
+            pending_params: Vec::new(),
+            type_seen: false,
+        }
+    }
+
+    fn reclassify(&mut self, ctx: &CCtx, tok: &PTok, term: SymbolId, cond: &Cond) -> Reclass {
+        if term != self.ident || ctx.type_seen {
+            return Reclass::Keep;
+        }
+        let l = ctx.tab.lookup(tok.text(), cond);
+        if l.typedef_cond.is_false() {
+            return Reclass::Keep;
+        }
+        let other = l.object_cond.or(&l.free_cond);
+        if other.is_false() {
+            return Reclass::Replace(self.typedef_name);
+        }
+        // Ambiguously defined: fork an extra subparser (§5.2).
+        Reclass::Split(vec![
+            (l.typedef_cond, self.typedef_name),
+            (other, self.ident),
+        ])
+    }
+
+    fn on_reduce(&mut self, ctx: &mut CCtx, prod: u32, value: &SemVal, cond: &Cond) {
+        let p = prod as usize;
+        if self.sets_type_seen[p] {
+            ctx.type_seen = true;
+        } else if self.clears_type_seen[p] {
+            ctx.type_seen = false;
+        }
+        if self.is_scope_push[p] {
+            ctx.tab.enter_scope();
+            // Parameters of the just-seen declarator become objects in
+            // the body scope (so they shadow typedefs).
+            for (c, name) in std::mem::take(&mut ctx.pending_params) {
+                let cc = cond.and(&c);
+                ctx.tab.define(name, NameKind::Object, &cc);
+            }
+            return;
+        }
+        if self.is_compound[p] {
+            ctx.tab.exit_scope();
+            return;
+        }
+        if self.is_param_decl[p] {
+            if let Some(n) = value.as_node() {
+                if let Some(decl) = n.children.get(1) {
+                    let mut names = Vec::new();
+                    declarator_names(decl, cond, &mut names);
+                    ctx.pending_params.extend(names);
+                }
+            }
+            return;
+        }
+        if self.is_enumerator[p] {
+            if let Some(n) = value.as_node() {
+                if let Some(t) = n.children.first().and_then(SemVal::as_token) {
+                    ctx.tab
+                        .define(t.tok.text.clone(), NameKind::Object, cond);
+                }
+            }
+            return;
+        }
+        if self.is_declaration[p] {
+            // A completed declaration has no unconsumed parameters.
+            ctx.pending_params.clear();
+            let Some(n) = value.as_node() else { return };
+            let (Some(specs), Some(decls)) = (n.children.first(), n.children.get(1)) else {
+                return;
+            };
+            let mut td = cond.ctx().fls();
+            typedef_cond(specs, cond, &mut td);
+            let mut names = Vec::new();
+            declarator_names(decls, cond, &mut names);
+            for (c, name) in names {
+                let as_typedef = c.and(&td);
+                if !as_typedef.is_false() {
+                    ctx.tab.define(name.clone(), NameKind::Typedef, &as_typedef);
+                }
+                let as_object = c.and_not(&td);
+                if !as_object.is_false() {
+                    ctx.tab.define(name, NameKind::Object, &as_object);
+                }
+            }
+            return;
+        }
+        if self.is_fn_def[p] {
+            if let Some(n) = value.as_node() {
+                if let Some(decl) = n.children.get(1) {
+                    let mut names = Vec::new();
+                    declarator_names(decl, cond, &mut names);
+                    for (c, name) in names {
+                        ctx.tab.define(name, NameKind::Object, &c);
+                    }
+                }
+            }
+        }
+    }
+
+    fn may_merge(&self, a: &CCtx, b: &CCtx) -> bool {
+        a.tab.depth() == b.tab.depth()
+    }
+
+    fn merge(&mut self, a: &CCtx, b: &CCtx) -> CCtx {
+        CCtx {
+            tab: if a.tab.same_scopes(&b.tab) {
+                a.tab.clone()
+            } else {
+                a.tab.merge(&b.tab)
+            },
+            pending_params: a.pending_params.clone(),
+            type_seen: a.type_seen && b.type_seen,
+        }
+    }
+}

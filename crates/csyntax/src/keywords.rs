@@ -1,0 +1,106 @@
+//! Token classification: preprocessed tokens → grammar terminals.
+//!
+//! Keyword recognition happens here, after preprocessing — a macro may be
+//! named after a keyword, so the lexer cannot commit earlier. gcc spelling
+//! variants (`__const`, `__asm__`, ...) normalize to the same terminals.
+
+use superc_cpp::PTok;
+use superc_grammar::{Grammar, SymbolId};
+use superc_lexer::TokenKind;
+
+/// C99 keywords plus the gcc extensions the grammar knows, with alternate
+/// spellings mapping to the same terminal name.
+pub(crate) const KEYWORDS: &[(&str, &str)] = &[
+    ("auto", "auto"),
+    ("break", "break"),
+    ("case", "case"),
+    ("char", "char"),
+    ("const", "const"),
+    ("__const", "const"),
+    ("__const__", "const"),
+    ("continue", "continue"),
+    ("default", "default"),
+    ("do", "do"),
+    ("double", "double"),
+    ("else", "else"),
+    ("enum", "enum"),
+    ("extern", "extern"),
+    ("float", "float"),
+    ("for", "for"),
+    ("goto", "goto"),
+    ("if", "if"),
+    ("inline", "inline"),
+    ("__inline", "inline"),
+    ("__inline__", "inline"),
+    ("int", "int"),
+    ("long", "long"),
+    ("register", "register"),
+    ("restrict", "restrict"),
+    ("__restrict", "restrict"),
+    ("__restrict__", "restrict"),
+    ("return", "return"),
+    ("short", "short"),
+    ("signed", "signed"),
+    ("__signed", "signed"),
+    ("__signed__", "signed"),
+    ("sizeof", "sizeof"),
+    ("static", "static"),
+    ("struct", "struct"),
+    ("switch", "switch"),
+    ("typedef", "typedef"),
+    ("union", "union"),
+    ("unsigned", "unsigned"),
+    ("void", "void"),
+    ("volatile", "volatile"),
+    ("__volatile", "volatile"),
+    ("__volatile__", "volatile"),
+    ("while", "while"),
+    ("_Bool", "_Bool"),
+    ("_Complex", "_Complex"),
+    ("__complex__", "_Complex"),
+    // gcc extensions.
+    ("asm", "asm"),
+    ("__asm", "asm"),
+    ("__asm__", "asm"),
+    ("typeof", "typeof"),
+    ("__typeof", "typeof"),
+    ("__typeof__", "typeof"),
+    ("__attribute__", "__attribute__"),
+    ("__attribute", "__attribute__"),
+    ("__extension__", "__extension__"),
+    ("__builtin_va_arg", "__builtin_va_arg"),
+    ("__builtin_offsetof", "__builtin_offsetof"),
+    ("__alignof__", "alignof"),
+    ("__alignof", "alignof"),
+    ("__label__", "__label__"),
+];
+
+/// Classifies a preprocessed token as a terminal of [`crate::c_grammar`].
+///
+/// Unknown punctuation (which cannot occur in valid C) maps to the
+/// `@` terminal so the parser reports a per-configuration syntax error
+/// instead of panicking.
+pub fn classify(g: &Grammar, t: &PTok) -> SymbolId {
+    match t.tok.kind {
+        TokenKind::Ident => {
+            for &(spelling, term) in KEYWORDS {
+                if t.text() == spelling {
+                    return g.terminal(term).expect("keyword terminal");
+                }
+            }
+            g.terminal("IDENTIFIER").expect("IDENTIFIER terminal")
+        }
+        TokenKind::Number | TokenKind::CharLit => {
+            g.terminal("CONSTANT").expect("CONSTANT terminal")
+        }
+        TokenKind::StringLit => g
+            .terminal("STRING_LITERAL")
+            .expect("STRING_LITERAL terminal"),
+        TokenKind::Punct(p) => g
+            .terminal(p.as_str())
+            .unwrap_or_else(|| g.terminal("@").expect("error terminal")),
+        TokenKind::Newline | TokenKind::Eof => {
+            unreachable!("newlines and eof do not reach the parser")
+        }
+    }
+}

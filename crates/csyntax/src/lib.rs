@@ -1,0 +1,86 @@
+//! C syntax for SuperC: the C grammar, keyword classification, and the
+//! configuration-aware typedef context (§5).
+//!
+//! SuperC reuses Roskind's C grammar and tokenization rules with common
+//! gcc extensions, feeding an off-the-shelf LALR table generator (§5).
+//! This crate plays that role:
+//!
+//! * [`c_grammar`] — a C99-flavored LALR grammar with the gcc extensions
+//!   real-world code (and the Linux kernel in particular) relies on:
+//!   `typeof`, `__attribute__`, inline `asm`, statement expressions,
+//!   case ranges, computed goto, conditional omission (`a ?: b`),
+//!   compound literals, and designated initializers. Productions carry
+//!   SuperC's AST annotations and `complete` markings.
+//! * [`classify`] — maps preprocessed tokens to grammar terminals:
+//!   keywords (including gcc spelling variants like `__const`) are
+//!   recognized *after* macro expansion, everything else becomes
+//!   `IDENTIFIER`, `CONSTANT`, or `STRING_LITERAL`.
+//! * [`CContext`] — the context-management plug-in (§5.2): a
+//!   configuration-aware symbol table tracks which names denote types
+//!   under which presence conditions and in which scopes; `reclassify`
+//!   rewrites identifiers to `TYPEDEF_NAME`, *splitting* the presence
+//!   condition (forking an extra subparser) when a name is ambiguously
+//!   defined.
+//! * [`parse_unit`] — glue: preprocessor output → token forest → FMLR
+//!   parse with the C context.
+//!
+//! # Examples
+//!
+//! ```
+//! use superc_cond::{CondBackend, CondCtx};
+//! use superc_cpp::{Builtins, MemFs, Preprocessor, PpOptions};
+//! use superc_csyntax::{c_grammar, parse_unit};
+//! use superc_fmlr::ParserConfig;
+//!
+//! let fs = MemFs::new().file("m.c", "#ifdef FAST\ntypedef int num;\n#else\ntypedef long num;\n#endif\nnum square(num x) { return x * x; }\n");
+//! let ctx = CondCtx::new(CondBackend::Bdd);
+//! let opts = PpOptions { builtins: Builtins::none(), ..Default::default() };
+//! let mut pp = Preprocessor::new(ctx.clone(), opts, fs);
+//! let unit = pp.preprocess("m.c").unwrap();
+//! let result = parse_unit(&unit, &ctx, ParserConfig::full());
+//! assert!(result.errors.is_empty());
+//! assert!(result.accepted.unwrap().is_true());
+//! ```
+
+mod context;
+mod grammar;
+mod keywords;
+mod query;
+mod symtab;
+
+pub use context::CContext;
+pub use grammar::c_grammar;
+pub use keywords::classify;
+pub use query::{declared_names, function_definitions, unparse_config, DeclaredName};
+pub use symtab::{NameKind, SymTab};
+
+use superc_cond::CondCtx;
+use superc_cpp::CompilationUnit;
+use superc_fmlr::{Forest, ParseResult, Parser, ParserConfig};
+
+/// Parses a preprocessed compilation unit with the C grammar and the
+/// typedef-aware context plug-in.
+///
+/// See the crate docs for an example.
+pub fn parse_unit(unit: &CompilationUnit, ctx: &CondCtx, config: ParserConfig) -> ParseResult {
+    let g = c_grammar();
+    let forest = Forest::build(&unit.elements, &|t| classify(g, t));
+    let mut parser = Parser::new(g, config, CContext::new(g));
+    parser.parse(&forest, ctx)
+}
+
+/// Like [`parse_unit`], but also returns the forest (for token counts).
+pub fn parse_unit_with_forest(
+    unit: &CompilationUnit,
+    ctx: &CondCtx,
+    config: ParserConfig,
+) -> (ParseResult, Forest) {
+    let g = c_grammar();
+    let forest = Forest::build(&unit.elements, &|t| classify(g, t));
+    let mut parser = Parser::new(g, config, CContext::new(g));
+    let r = parser.parse(&forest, ctx);
+    (r, forest)
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,135 @@
+//! AST queries used by downstream tools and the examples: declared
+//! names with their presence conditions, function definitions, and
+//! per-configuration unparsing.
+
+use std::rc::Rc;
+
+use superc_cond::{Cond, CondCtx};
+use superc_fmlr::SemVal;
+
+/// A name declared somewhere in a compilation unit, with the presence
+/// condition under which the declaration exists.
+#[derive(Clone, Debug)]
+pub struct DeclaredName {
+    /// The declared identifier.
+    pub name: Rc<str>,
+    /// The production kind that declared it (`Declaration`,
+    /// `FunctionDefinition`, `Enumerator`, ...).
+    pub kind: Rc<str>,
+    /// Presence condition (`None` = present in every configuration).
+    pub cond: Option<Cond>,
+}
+
+fn first_declarator_ident(v: &SemVal) -> Option<Rc<str>> {
+    match v {
+        SemVal::Node(n) => match &*n.kind {
+            "DirectDeclarator" => match n.children.first() {
+                Some(SemVal::Tok(t)) if t.tok.is_ident() => Some(t.tok.text.clone()),
+                Some(first) => {
+                    if first.as_token().map(|t| t.text()) == Some("(") {
+                        n.children.get(1).and_then(first_declarator_ident)
+                    } else {
+                        first_declarator_ident(first)
+                    }
+                }
+                None => None,
+            },
+            "Declarator" => n.children.last().and_then(first_declarator_ident),
+            "InitDeclarator" | "StructDeclarator" => {
+                n.children.first().and_then(first_declarator_ident)
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Collects every top-level declared name (declarations, function
+/// definitions, enumerators) with its presence condition.
+pub fn declared_names(ast: &SemVal) -> Vec<DeclaredName> {
+    let mut out = Vec::new();
+    ast.visit(&mut |n, cond| {
+        let grab = |decl: Option<&SemVal>, out: &mut Vec<DeclaredName>| {
+            let mut stack: Vec<&SemVal> = decl.into_iter().collect();
+            while let Some(v) = stack.pop() {
+                match v {
+                    SemVal::Node(m) if &*m.kind == "InitDeclaratorList" => {
+                        stack.extend(m.children.iter());
+                    }
+                    SemVal::Choice(alts) => stack.extend(alts.iter().map(|(_, v)| v)),
+                    other => {
+                        if let Some(name) = first_declarator_ident(other) {
+                            out.push(DeclaredName {
+                                name,
+                                kind: n.kind.clone(),
+                                cond: cond.cloned(),
+                            });
+                        }
+                    }
+                }
+            }
+        };
+        match &*n.kind {
+            "Declaration" => grab(n.children.get(1), &mut out),
+            "FunctionDefinition" => grab(n.children.get(1), &mut out),
+            "Enumerator" => {
+                if let Some(t) = n.children.first().and_then(SemVal::as_token) {
+                    out.push(DeclaredName {
+                        name: t.tok.text.clone(),
+                        kind: n.kind.clone(),
+                        cond: cond.cloned(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    });
+    out
+}
+
+/// Returns `(function name, presence condition)` for every function
+/// definition in the unit.
+pub fn function_definitions(ast: &SemVal) -> Vec<(Rc<str>, Option<Cond>)> {
+    declared_names(ast)
+        .into_iter()
+        .filter(|d| &*d.kind == "FunctionDefinition")
+        .map(|d| (d.name, d.cond))
+        .collect()
+}
+
+/// Renders the single-configuration token text selected by `config`
+/// (a variable assignment; unset variables are `false`), like running an
+/// ordinary preprocessor would have.
+pub fn unparse_config(
+    ast: &SemVal,
+    _ctx: &CondCtx,
+    config: &dyn Fn(&str) -> Option<bool>,
+) -> String {
+    let mut out = String::new();
+    fn go(v: &SemVal, out: &mut String, config: &dyn Fn(&str) -> Option<bool>) {
+        match v {
+            SemVal::Tok(t) => {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(t.text());
+            }
+            SemVal::Node(n) => {
+                for c in &n.children {
+                    go(c, out, config);
+                }
+            }
+            SemVal::Choice(alts) => {
+                for (c, alt) in alts.iter() {
+                    if c.eval(|name| config(name)) {
+                        go(alt, out, config);
+                        return;
+                    }
+                }
+            }
+            SemVal::Empty => {}
+        }
+    }
+    go(ast, &mut out, config);
+    out
+}

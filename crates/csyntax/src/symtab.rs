@@ -1,0 +1,194 @@
+//! The configuration-aware symbol table (§5.2).
+//!
+//! Tracks which names denote types or objects *under which presence
+//! conditions* and in which C scopes. A name may be a typedef under one
+//! configuration and an object (or free) under another — that is what
+//! forces the parser to fork on ambiguously-defined names.
+//!
+//! Subparsers fork constantly, so cloning must be cheap: scopes are
+//! copy-on-write (`Rc`-shared maps mutated via `make_mut`).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use superc_cond::Cond;
+
+/// What a name denotes in the ordinary namespace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NameKind {
+    /// A typedef name (type alias).
+    Typedef,
+    /// An object, function, or enum constant name.
+    Object,
+}
+
+type Entries = Vec<(Cond, NameKind)>;
+
+#[derive(Clone, Debug, Default)]
+struct Scope {
+    names: Rc<HashMap<Rc<str>, Entries>>,
+}
+
+/// Result of a conditional lookup: the conditions under which the name is
+/// a typedef, an object, or not locally declared at all.
+#[derive(Clone, Debug)]
+pub struct Lookup {
+    /// Configurations where the name is a typedef.
+    pub typedef_cond: Cond,
+    /// Configurations where the name is an object/function/enum constant.
+    pub object_cond: Cond,
+    /// Configurations where no scope declares the name.
+    pub free_cond: Cond,
+}
+
+/// A configuration-aware, scoped symbol table.
+///
+/// # Examples
+///
+/// ```
+/// use superc_cond::{CondBackend, CondCtx};
+/// use superc_csyntax::{NameKind, SymTab};
+///
+/// let ctx = CondCtx::new(CondBackend::Bdd);
+/// let mut st = SymTab::new();
+/// let a = ctx.var("defined(A)");
+/// st.define("T".into(), NameKind::Typedef, &a);
+/// let l = st.lookup("T", &ctx.tru());
+/// assert!(l.typedef_cond.semantically_equal(&a));
+/// assert!(l.free_cond.semantically_equal(&a.not()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SymTab {
+    scopes: Vec<Scope>,
+}
+
+impl Default for SymTab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SymTab {
+    /// A table with one (file) scope.
+    pub fn new() -> Self {
+        SymTab {
+            scopes: vec![Scope::default()],
+        }
+    }
+
+    /// Current scope nesting depth (≥ 1).
+    pub fn depth(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// Enters a block scope.
+    pub fn enter_scope(&mut self) {
+        self.scopes.push(Scope::default());
+    }
+
+    /// Leaves the innermost scope. The file scope is never popped.
+    pub fn exit_scope(&mut self) {
+        if self.scopes.len() > 1 {
+            self.scopes.pop();
+        }
+    }
+
+    /// Declares `name` as `kind` in the innermost scope under `cond`,
+    /// trimming shadowed same-scope entries exactly like the conditional
+    /// macro table.
+    pub fn define(&mut self, name: Rc<str>, kind: NameKind, cond: &Cond) {
+        if cond.is_false() {
+            return;
+        }
+        let scope = self.scopes.last_mut().expect("at least the file scope");
+        let names = Rc::make_mut(&mut scope.names);
+        let entries = names.entry(name).or_default();
+        let mut kept: Entries = Vec::with_capacity(entries.len() + 1);
+        for (c, k) in entries.drain(..) {
+            let rest = c.and_not(cond);
+            if !rest.is_false() {
+                kept.push((rest, k));
+            }
+        }
+        kept.push((cond.clone(), kind));
+        *entries = kept;
+    }
+
+    /// Looks `name` up across scopes, innermost first, with inner entries
+    /// shadowing outer ones per configuration.
+    pub fn lookup(&self, name: &str, cond: &Cond) -> Lookup {
+        let ctx = cond.ctx();
+        let mut typedef_cond = ctx.fls();
+        let mut object_cond = ctx.fls();
+        let mut remaining = cond.clone();
+        for scope in self.scopes.iter().rev() {
+            if remaining.is_false() {
+                break;
+            }
+            if let Some(entries) = scope.names.get(name) {
+                for (c, kind) in entries {
+                    let hit = remaining.and(c);
+                    if hit.is_false() {
+                        continue;
+                    }
+                    match kind {
+                        NameKind::Typedef => typedef_cond = typedef_cond.or(&hit),
+                        NameKind::Object => object_cond = object_cond.or(&hit),
+                    }
+                    remaining = remaining.and_not(c);
+                }
+            }
+        }
+        Lookup {
+            typedef_cond,
+            object_cond,
+            free_cond: remaining,
+        }
+    }
+
+    /// Structural sharing check used to keep merges cheap.
+    pub fn same_scopes(&self, other: &SymTab) -> bool {
+        self.scopes.len() == other.scopes.len()
+            && self
+                .scopes
+                .iter()
+                .zip(&other.scopes)
+                .all(|(a, b)| Rc::ptr_eq(&a.names, &b.names))
+    }
+
+    /// Combines two tables at the same depth (mergeContexts, §5.2):
+    /// shared scopes stay shared; diverged scopes union their entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables have different depths; callers gate merging
+    /// on equal depth via `mayMerge`.
+    pub fn merge(&self, other: &SymTab) -> SymTab {
+        assert_eq!(self.scopes.len(), other.scopes.len(), "mayMerge gates depth");
+        let scopes = self
+            .scopes
+            .iter()
+            .zip(&other.scopes)
+            .map(|(a, b)| {
+                if Rc::ptr_eq(&a.names, &b.names) {
+                    a.clone()
+                } else {
+                    let mut merged: HashMap<Rc<str>, Entries> = (*a.names).clone();
+                    for (name, entries) in b.names.iter() {
+                        let slot = merged.entry(name.clone()).or_default();
+                        for (c, k) in entries {
+                            // Skip entries the other side already has.
+                            if !slot.iter().any(|(c2, k2)| k2 == k && c2 == c) {
+                                slot.push((c.clone(), *k));
+                            }
+                        }
+                    }
+                    Scope {
+                        names: Rc::new(merged),
+                    }
+                }
+            })
+            .collect();
+        SymTab { scopes }
+    }
+}

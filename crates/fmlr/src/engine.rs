@@ -1,0 +1,1042 @@
+//! The FMLR parser engine: Algorithm 2, fork/merge, and the optimizations
+//! of §4.3–§4.5.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
+
+use superc_cond::{Cond, CondCtx};
+use superc_cpp::PTok;
+use superc_grammar::{Action, AstBuild, Grammar, SymbolId};
+
+use crate::error::ParseError;
+use crate::forest::{Forest, FollowEntry, NodeRef};
+use crate::semval::{AstNode, SemVal};
+use crate::stats::ParseStats;
+
+/// Result of reclassifying a follow-set token (§5.2).
+pub enum Reclass {
+    /// Leave the terminal as classified.
+    Keep,
+    /// Replace the terminal (e.g. identifier → typedef name).
+    Replace(SymbolId),
+    /// Split the entry by condition — each part gets its own terminal.
+    /// This is how an ambiguously-defined name forks an extra subparser
+    /// even without an explicit conditional. Conditions must partition
+    /// the entry's condition.
+    Split(Vec<(Cond, SymbolId)>),
+}
+
+/// The context-management plug-in (§5.2): reclassify / forkContext /
+/// mayMerge / mergeContexts, plus the reduce hook that drives semantic
+/// actions (scope changes, symbol definitions).
+pub trait ContextPlugin {
+    /// Per-subparser context (e.g. a configuration-aware symbol table).
+    type Ctx: Clone;
+
+    /// The context of the initial subparser.
+    fn initial(&mut self) -> Self::Ctx;
+
+    /// Adjusts a follow-set token's terminal under the given context.
+    fn reclassify(
+        &mut self,
+        _ctx: &Self::Ctx,
+        _tok: &PTok,
+        _term: SymbolId,
+        _cond: &Cond,
+    ) -> Reclass {
+        Reclass::Keep
+    }
+
+    /// Observes a reduce: `value` is the just-built semantic value for
+    /// `prod`, under presence condition `cond`. Mutates the context
+    /// (symbol definitions, scope changes via helper productions).
+    fn on_reduce(&mut self, _ctx: &mut Self::Ctx, _prod: u32, _value: &SemVal, _cond: &Cond) {}
+
+    /// Duplicates a context for a forked subparser.
+    fn fork(&mut self, ctx: &Self::Ctx) -> Self::Ctx {
+        ctx.clone()
+    }
+
+    /// May two subparsers with these contexts merge?
+    fn may_merge(&self, _a: &Self::Ctx, _b: &Self::Ctx) -> bool {
+        true
+    }
+
+    /// Combines two mergeable contexts.
+    fn merge(&mut self, a: &Self::Ctx, _b: &Self::Ctx) -> Self::Ctx {
+        a.clone()
+    }
+}
+
+/// A plug-in for context-free grammars: unit context, no reclassification.
+pub struct NullContext;
+
+impl ContextPlugin for NullContext {
+    type Ctx = ();
+
+    fn initial(&mut self) {}
+}
+
+/// Engine configuration: optimization toggles matching the paper's
+/// Figure 8 ablation, plus the MAPR baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct ParserConfig {
+    /// Use the token follow-set (Alg. 3). `false` = MAPR's naive
+    /// per-branch forking.
+    pub follow_set: bool,
+    /// Delay forking of subparsers that will shift (multi-headed).
+    pub lazy_shifts: bool,
+    /// Reduce one shared stack for several heads at once.
+    pub shared_reduces: bool,
+    /// Queue tie-break favoring reduces over shifts.
+    pub early_reduces: bool,
+    /// MAPR's tie-break: favor the subparser with the largest stack.
+    pub largest_stack_first: bool,
+    /// Merge subparsers whose stacks differ in *complete* semantic values
+    /// by wrapping them in static choice nodes (§5.1). Disabled for the
+    /// MAPR baseline, which merges only value-identical stacks — the gap
+    /// that makes naive forking exponential.
+    pub choice_merge: bool,
+    /// Abort when live subparsers exceed this (0 = unlimited). The paper
+    /// uses 16,000 for the MAPR comparison.
+    pub kill_switch: usize,
+}
+
+impl Default for ParserConfig {
+    fn default() -> Self {
+        ParserConfig::full()
+    }
+}
+
+impl ParserConfig {
+    /// All optimizations on (the paper's "Shared, Lazy, & Early").
+    pub fn full() -> Self {
+        ParserConfig {
+            follow_set: true,
+            lazy_shifts: true,
+            shared_reduces: true,
+            early_reduces: true,
+            largest_stack_first: false,
+            choice_merge: true,
+            kill_switch: 0,
+        }
+    }
+
+    /// Follow-set only.
+    pub fn follow_only() -> Self {
+        ParserConfig {
+            lazy_shifts: false,
+            shared_reduces: false,
+            early_reduces: false,
+            ..Self::full()
+        }
+    }
+
+    /// Follow-set + lazy shifts.
+    pub fn lazy() -> Self {
+        ParserConfig {
+            shared_reduces: false,
+            early_reduces: false,
+            ..Self::full()
+        }
+    }
+
+    /// Follow-set + shared reduces.
+    pub fn shared() -> Self {
+        ParserConfig {
+            lazy_shifts: false,
+            early_reduces: false,
+            ..Self::full()
+        }
+    }
+
+    /// Follow-set + shared + lazy (no early reduces).
+    pub fn shared_lazy() -> Self {
+        ParserConfig {
+            early_reduces: false,
+            ..Self::full()
+        }
+    }
+
+    /// The MAPR baseline: naive forking, kill switch at 16,000.
+    pub fn mapr() -> Self {
+        ParserConfig {
+            follow_set: false,
+            lazy_shifts: false,
+            shared_reduces: false,
+            early_reduces: false,
+            largest_stack_first: false,
+            choice_merge: false,
+            kill_switch: 16_000,
+        }
+    }
+
+    /// MAPR with its largest-stack-first queue tie-break.
+    pub fn mapr_largest_first() -> Self {
+        ParserConfig {
+            largest_stack_first: true,
+            ..Self::mapr()
+        }
+    }
+
+    /// The named optimization levels of Figure 8, in the paper's order.
+    pub fn levels() -> Vec<(&'static str, ParserConfig)> {
+        vec![
+            ("Shared, Lazy, & Early", Self::full()),
+            ("Shared & Lazy", Self::shared_lazy()),
+            ("Shared", Self::shared()),
+            ("Lazy", Self::lazy()),
+            ("Follow-Set Only", Self::follow_only()),
+            ("MAPR & Largest First", Self::mapr_largest_first()),
+            ("MAPR", Self::mapr()),
+        ]
+    }
+}
+
+/// The outcome of a configuration-preserving parse.
+pub struct ParseResult {
+    /// The AST (a static choice at the root if configurations accepted
+    /// with different trees); `None` when nothing accepted.
+    pub ast: Option<SemVal>,
+    /// Disjunction of configurations that parsed successfully.
+    pub accepted: Option<Cond>,
+    /// Per-configuration parse errors.
+    pub errors: Vec<ParseError>,
+    /// Instrumentation.
+    pub stats: ParseStats,
+}
+
+struct StackNode {
+    state: u32,
+    sym: SymbolId,
+    value: SemVal,
+    prev: Option<Rc<StackNode>>,
+    depth: u32,
+}
+
+type Stack = Option<Rc<StackNode>>;
+
+#[derive(Clone)]
+struct Head {
+    cond: Cond,
+    node: NodeRef,
+    term: SymbolId,
+}
+
+struct Sub<C> {
+    heads: Vec<Head>,
+    stack: Stack,
+    ctx: C,
+}
+
+impl<C> Sub<C> {
+    fn cond(&self) -> Cond {
+        let mut c = self.heads[0].cond.clone();
+        for h in &self.heads[1..] {
+            c = c.or(&h.cond);
+        }
+        c
+    }
+}
+
+#[derive(PartialEq, Eq, Hash)]
+struct MergeKey {
+    heads: Vec<(u32, u32)>,
+    state: u32,
+    depth: u32,
+}
+
+/// A Fork-Merge LR parser over a grammar, with a context plug-in.
+///
+/// # Examples
+///
+/// See the crate tests and `superc-csyntax` for end-to-end use; a minimal
+/// context-free setup:
+///
+/// ```no_run
+/// use superc_fmlr::{NullContext, Parser, ParserConfig};
+/// # fn grammar() -> superc_grammar::Grammar { unimplemented!() }
+/// let grammar = grammar();
+/// let mut parser = Parser::new(&grammar, ParserConfig::full(), NullContext);
+/// ```
+pub struct Parser<'g, P: ContextPlugin> {
+    grammar: &'g Grammar,
+    config: ParserConfig,
+    plugin: P,
+    kind_names: Vec<Rc<str>>,
+}
+
+impl<'g, P: ContextPlugin> Parser<'g, P> {
+    /// Creates a parser for `grammar` with the given configuration.
+    pub fn new(grammar: &'g Grammar, config: ParserConfig, plugin: P) -> Self {
+        let kind_names = (0..grammar.num_productions())
+            .map(|p| Rc::from(grammar.lhs_name(p)))
+            .collect();
+        Parser {
+            grammar,
+            config,
+            plugin,
+            kind_names,
+        }
+    }
+
+    /// Access to the plug-in (e.g. to inspect a symbol table afterwards).
+    pub fn plugin(&self) -> &P {
+        &self.plugin
+    }
+
+    /// Parses a forest under the `true` condition of `cctx`.
+    pub fn parse(&mut self, forest: &Forest, cctx: &CondCtx) -> ParseResult {
+        Run {
+            parser: self,
+            forest,
+            cctx: cctx.clone(),
+            slab: Vec::new(),
+            heap: BinaryHeap::new(),
+            index: HashMap::new(),
+            live: 0,
+            seq: 0,
+            accepted: Vec::new(),
+            errors: Vec::new(),
+            stats: ParseStats::default(),
+        }
+        .run()
+    }
+}
+
+struct Run<'a, 'g, P: ContextPlugin> {
+    parser: &'a mut Parser<'g, P>,
+    forest: &'a Forest,
+    cctx: CondCtx,
+    slab: Vec<Option<Sub<P::Ctx>>>,
+    heap: BinaryHeap<Reverse<(u32, u32, u64, usize)>>,
+    index: HashMap<MergeKey, Vec<usize>>,
+    live: usize,
+    seq: u64,
+    accepted: Vec<(Cond, SemVal)>,
+    errors: Vec<ParseError>,
+    stats: ParseStats,
+}
+
+fn state_of(stack: &Stack, grammar: &Grammar) -> u32 {
+    match stack {
+        Some(n) => n.state,
+        None => grammar.start_state(),
+    }
+}
+
+fn depth_of(stack: &Stack) -> u32 {
+    match stack {
+        Some(n) => n.depth,
+        None => 0,
+    }
+}
+
+impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
+    fn run(mut self) -> ParseResult {
+        let initial = Sub {
+            heads: vec![Head {
+                cond: self.cctx.tru(),
+                node: self.forest.root(),
+                term: self.parser.grammar.eof(),
+            }],
+            stack: None,
+            ctx: self.parser.plugin.initial(),
+        };
+        self.insert(initial);
+        while let Some(p) = self.pull() {
+            self.stats.observe_live(self.live + 1);
+            if self.parser.config.kill_switch > 0 && self.live + 1 > self.parser.config.kill_switch
+            {
+                self.errors.push(ParseError {
+                    pos: None,
+                    got: String::new(),
+                    cond: p.cond(),
+                    state: state_of(&p.stack, self.parser.grammar),
+                    message: format!(
+                        "kill switch: more than {} live subparsers",
+                        self.parser.config.kill_switch
+                    ),
+                });
+                break;
+            }
+            if p.heads.len() > 1 {
+                self.step_multi(p);
+            } else {
+                self.step_single(p);
+            }
+        }
+        let accepted_cond = match self.accepted.as_slice() {
+            [] => None,
+            [(c, _)] => Some(c.clone()),
+            many => {
+                let mut c = many[0].0.clone();
+                for (ci, _) in &many[1..] {
+                    c = c.or(ci);
+                }
+                Some(c)
+            }
+        };
+        let ast = if self.accepted.is_empty() {
+            None
+        } else {
+            Some(SemVal::choice(std::mem::take(&mut self.accepted)))
+        };
+        ParseResult {
+            ast,
+            accepted: accepted_cond,
+            errors: self.errors,
+            stats: self.stats,
+        }
+    }
+
+    // ----- queue -------------------------------------------------------
+
+    fn priority(&mut self, p: &Sub<P::Ctx>) -> (u32, u32, u64) {
+        let g = self.parser.grammar;
+        let pos = self.forest.position(p.heads[0].node);
+        let rank = if self.parser.config.largest_stack_first {
+            u32::MAX - depth_of(&p.stack)
+        } else if self.parser.config.early_reduces {
+            // Favor reduces; unknown (conditional head) counts as shift.
+            let term = if p.heads.len() > 1 {
+                Some(p.heads[0].term)
+            } else {
+                match p.heads[0].node {
+                    None => Some(g.eof()),
+                    Some(n) => self.forest.token(n).map(|(_, t)| t),
+                }
+            };
+            match term.map(|t| g.action(state_of(&p.stack, g), t)) {
+                Some(Action::Reduce(_)) | Some(Action::Accept) => 0,
+                _ => 1,
+            }
+        } else {
+            0
+        };
+        self.seq += 1;
+        (pos, rank, self.seq)
+    }
+
+    fn merge_key(&self, p: &Sub<P::Ctx>) -> MergeKey {
+        MergeKey {
+            heads: p
+                .heads
+                .iter()
+                .map(|h| (h.node.unwrap_or(u32::MAX), h.term.0))
+                .collect(),
+            state: state_of(&p.stack, self.parser.grammar),
+            depth: depth_of(&p.stack),
+        }
+    }
+
+    fn insert(&mut self, p: Sub<P::Ctx>) {
+        let key = self.merge_key(&p);
+        if let Some(cands) = self.index.get(&key) {
+            // Bound the scan: recent candidates are the likely partners,
+            // and unbounded scans are quadratic in MAPR's blow-up regime.
+            let recent: Vec<usize> = cands.iter().rev().take(16).copied().collect();
+            for cid in recent {
+                if self.slab.get(cid).map(|s| s.is_some()) == Some(true)
+                    && self.try_merge(cid, &p)
+                {
+                    self.stats.merges += 1;
+                    return;
+                }
+            }
+        }
+        let (pos, rank, seq) = self.priority(&p);
+        let id = self.slab.len();
+        self.slab.push(Some(p));
+        self.index.entry(key).or_default().push(id);
+        self.heap.push(Reverse((pos, rank, seq, id)));
+        self.live += 1;
+    }
+
+    fn pull(&mut self) -> Option<Sub<P::Ctx>> {
+        while let Some(Reverse((_, _, _, id))) = self.heap.pop() {
+            if let Some(p) = self.slab[id].take() {
+                self.live -= 1;
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Attempts to merge `p` into the queued subparser `cid` (same heads,
+    /// state, and depth by key). Returns true on success.
+    fn try_merge(&mut self, cid: usize, p: &Sub<P::Ctx>) -> bool {
+        let g = self.parser.grammar;
+        let (q_stack, q_cond) = {
+            let q = self.slab[cid].as_ref().expect("checked live");
+            if !self.parser.plugin.may_merge(&q.ctx, &p.ctx) {
+                return false;
+            }
+            (q.stack.clone(), q.cond())
+        };
+        // Walk both stacks to the shared tail, checking mergeability.
+        let mut qs = q_stack;
+        let mut ps = p.stack.clone();
+        let mut spine: Vec<(Rc<StackNode>, Rc<StackNode>)> = Vec::new();
+        loop {
+            match (&qs, &ps) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    if Rc::ptr_eq(a, b) {
+                        break;
+                    }
+                    if a.state != b.state || a.sym != b.sym {
+                        return false;
+                    }
+                    if !a.value.quick_eq(&b.value)
+                        && (!self.parser.config.choice_merge || !g.is_complete(a.sym))
+                    {
+                        return false;
+                    }
+                    spine.push((a.clone(), b.clone()));
+                    qs = a.prev.clone();
+                    ps = b.prev.clone();
+                }
+                _ => return false,
+            }
+        }
+        // Mergeable: rebuild the differing spine with choice values.
+        let p_cond = p.cond();
+        let mut stack = qs; // shared tail
+        for (a, b) in spine.into_iter().rev() {
+            let value = self.merge_values(&a.value, &b.value, &q_cond, &p_cond);
+            stack = Some(Rc::new(StackNode {
+                state: a.state,
+                sym: a.sym,
+                value,
+                prev: stack,
+                depth: a.depth,
+            }));
+        }
+        let merged_ctx = {
+            let q = self.slab[cid].as_ref().expect("checked live");
+            self.parser.plugin.merge(&q.ctx, &p.ctx)
+        };
+        let q = self.slab[cid].as_mut().expect("checked live");
+        for (hq, hp) in q.heads.iter_mut().zip(&p.heads) {
+            hq.cond = hq.cond.or(&hp.cond);
+        }
+        q.stack = stack;
+        q.ctx = merged_ctx;
+        true
+    }
+
+    /// Combines two semantic values at a merge point. List values whose
+    /// children share a prefix merge *element-wise*, putting choice nodes
+    /// around only the differing members — this is what keeps the AST for
+    /// Figure 6's initializer linear in the member count instead of
+    /// nesting a choice per merge.
+    fn merge_values(&mut self, a: &SemVal, b: &SemVal, ca: &Cond, cb: &Cond) -> SemVal {
+        if a.quick_eq(b) {
+            return a.clone();
+        }
+        if let (SemVal::Node(na), SemVal::Node(nb)) = (a, b) {
+            if na.sym == nb.sym && na.list && nb.list {
+                let k = na
+                    .children
+                    .iter()
+                    .zip(&nb.children)
+                    .take_while(|(x, y)| x.quick_eq(y))
+                    .count();
+                let ra = &na.children[k..];
+                let rb = &nb.children[k..];
+                let mergeable = ra.len() == rb.len() || ra.is_empty() || rb.is_empty();
+                if mergeable {
+                    let mut children = na.children[..k].to_vec();
+                    if ra.len() == rb.len() {
+                        for (x, y) in ra.iter().zip(rb) {
+                            children.push(self.merge_values(x, y, ca, cb));
+                        }
+                    } else {
+                        // One side extends the other: the absent run gets
+                        // one choice node with an explicit empty
+                        // alternative (one conditional member = one choice
+                        // node, matching Fig. 1c's AST shape).
+                        let (longer, lc, sc) = if rb.is_empty() {
+                            (ra, ca, cb)
+                        } else {
+                            (rb, cb, ca)
+                        };
+                        let present = if longer.len() == 1 {
+                            longer[0].clone()
+                        } else {
+                            SemVal::Node(Rc::new(AstNode {
+                                prod: na.prod,
+                                sym: na.sym,
+                                kind: na.kind.clone(),
+                                children: longer.to_vec(),
+                                list: true,
+                            }))
+                        };
+                        self.stats.choice_nodes += 1;
+                        children.push(SemVal::choice(vec![
+                            (lc.clone(), present),
+                            (sc.clone(), SemVal::Empty),
+                        ]));
+                    }
+                    return SemVal::Node(Rc::new(AstNode {
+                        prod: na.prod,
+                        sym: na.sym,
+                        kind: na.kind.clone(),
+                        children,
+                        list: true,
+                    }));
+                }
+            }
+        }
+        self.stats.choice_nodes += 1;
+        SemVal::choice(vec![(ca.clone(), a.clone()), (cb.clone(), b.clone())])
+    }
+
+    // ----- stepping ----------------------------------------------------
+
+    fn step_single(&mut self, p: Sub<P::Ctx>) {
+        let head = p.heads[0].clone();
+        let g = self.parser.grammar;
+
+        if !self.parser.config.follow_set {
+            // MAPR: naive per-branch forking on conditional heads.
+            if let Some(n) = head.node {
+                if self.forest.token(n).is_none() {
+                    let branches = self.forest.naive_fork(&head.cond, n);
+                    self.stats.forks += branches.len().saturating_sub(1) as u64;
+                    let Sub { stack, ctx, .. } = p;
+                    let m = branches.len();
+                    let mut ctx_slot = Some(ctx);
+                    for (i, (cond, node)) in branches.into_iter().enumerate() {
+                        let ctx = if i + 1 == m {
+                            ctx_slot.take().expect("last branch reuses the context")
+                        } else {
+                            self.parser
+                                .plugin
+                                .fork(ctx_slot.as_ref().expect("context present"))
+                        };
+                        self.insert(Sub {
+                            heads: vec![Head {
+                                cond,
+                                node,
+                                term: g.eof(),
+                            }],
+                            stack: stack.clone(),
+                            ctx,
+                        });
+                    }
+                    return;
+                }
+            }
+            // Token or EOF head: resolve directly.
+            let entry = self.resolve_head(&p, &head);
+            match entry {
+                One(e) => self.do_action(p, e),
+                Many(es) => self.fork(es, p),
+            }
+            return;
+        }
+
+        // FMLR: token follow-set.
+        let raw = self.forest.follow(&head.cond, head.node);
+        let mut entries: Vec<FollowEntry> = Vec::with_capacity(raw.len());
+        for e in raw {
+            self.reclassify_into(&p, e, &mut entries);
+        }
+        match entries.len() {
+            0 => {}
+            1 => {
+                let e = entries.pop().expect("one");
+                self.do_action(p, e);
+            }
+            _ => self.fork(entries, p),
+        }
+    }
+
+    /// Resolves a token/EOF head into follow entries with
+    /// reclassification (used on the MAPR path).
+    fn resolve_head(&mut self, p: &Sub<P::Ctx>, head: &Head) -> Resolved {
+        let mut out = Vec::new();
+        let e = FollowEntry {
+            cond: head.cond.clone(),
+            node: head.node,
+            term: SymbolId(u32::MAX),
+        };
+        self.reclassify_into(p, e, &mut out);
+        if out.len() == 1 {
+            One(out.pop().expect("one"))
+        } else {
+            Many(out)
+        }
+    }
+
+    /// Applies terminal resolution + plug-in reclassification to a raw
+    /// follow entry, appending the result(s).
+    fn reclassify_into(
+        &mut self,
+        p: &Sub<P::Ctx>,
+        e: FollowEntry,
+        out: &mut Vec<FollowEntry>,
+    ) {
+        let g = self.parser.grammar;
+        let Some(node) = e.node else {
+            out.push(FollowEntry {
+                cond: e.cond,
+                node: None,
+                term: g.eof(),
+            });
+            return;
+        };
+        let (tok, term) = self.forest.token(node).expect("follow entries are tokens");
+        let term = if e.term.0 != u32::MAX { e.term } else { term };
+        match self.parser.plugin.reclassify(&p.ctx, tok, term, &e.cond) {
+            Reclass::Keep => out.push(FollowEntry {
+                cond: e.cond,
+                node: Some(node),
+                term,
+            }),
+            Reclass::Replace(t) => out.push(FollowEntry {
+                cond: e.cond,
+                node: Some(node),
+                term: t,
+            }),
+            Reclass::Split(parts) => {
+                self.stats.reclassify_forks += parts.len().saturating_sub(1) as u64;
+                for (cond, t) in parts {
+                    if !cond.is_false() {
+                        out.push(FollowEntry {
+                            cond,
+                            node: Some(node),
+                            term: t,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fig. 7: forks subparsers for a multi-element follow-set, with lazy
+    /// shifts and shared reduces producing multi-headed subparsers.
+    fn fork(&mut self, entries: Vec<FollowEntry>, p: Sub<P::Ctx>) {
+        let g = self.parser.grammar;
+        let state = state_of(&p.stack, g);
+        let mut shifts: Vec<Head> = Vec::new();
+        let mut reduces: HashMap<u32, Vec<Head>> = HashMap::new();
+        let mut singles: Vec<Head> = Vec::new();
+        for e in entries {
+            let head = Head {
+                cond: e.cond,
+                node: e.node,
+                term: e.term,
+            };
+            match g.action(state, e.term) {
+                Action::Shift(_) if self.parser.config.lazy_shifts => shifts.push(head),
+                Action::Reduce(pr) if self.parser.config.shared_reduces => {
+                    reduces.entry(pr).or_default().push(head)
+                }
+                _ => singles.push(head),
+            }
+        }
+        let Sub { stack, ctx, .. } = p;
+        let mut groups: Vec<Vec<Head>> = Vec::new();
+        if !shifts.is_empty() {
+            groups.push(shifts);
+        }
+        let mut reduce_groups: Vec<(u32, Vec<Head>)> = reduces.into_iter().collect();
+        reduce_groups.sort_by_key(|&(pr, _)| pr);
+        for (_, hs) in reduce_groups {
+            groups.push(hs);
+        }
+        for h in singles {
+            groups.push(vec![h]);
+        }
+        self.stats.forks += groups.len().saturating_sub(1) as u64;
+        let n = groups.len();
+        let mut ctx_slot = Some(ctx);
+        for (i, mut heads) in groups.into_iter().enumerate() {
+            heads.sort_by_key(|h| self.forest.position(h.node));
+            let ctx = if i + 1 == n {
+                ctx_slot.take().expect("last group reuses the context")
+            } else {
+                self.parser
+                    .plugin
+                    .fork(ctx_slot.as_ref().expect("context present"))
+            };
+            self.insert(Sub {
+                heads,
+                stack: stack.clone(),
+                ctx,
+            });
+        }
+    }
+
+    fn step_multi(&mut self, mut p: Sub<P::Ctx>) {
+        let g = self.parser.grammar;
+        let state = state_of(&p.stack, g);
+        let head0 = p.heads[0].clone();
+        match g.action(state, head0.term) {
+            Action::Shift(_) => {
+                // Lazy shifts: detach and shift only the earliest head.
+                self.stats.lazy_shifts += (p.heads.len() - 1) as u64;
+                let rest_heads: Vec<Head> = p.heads.drain(1..).collect();
+                let single = Sub {
+                    heads: vec![head0.clone()],
+                    stack: p.stack.clone(),
+                    ctx: self.parser.plugin.fork(&p.ctx),
+                };
+                self.do_action(
+                    single,
+                    FollowEntry {
+                        cond: head0.cond,
+                        node: head0.node,
+                        term: head0.term,
+                    },
+                );
+                if !rest_heads.is_empty() {
+                    self.insert(Sub {
+                        heads: rest_heads,
+                        stack: p.stack,
+                        ctx: p.ctx,
+                    });
+                }
+            }
+            Action::Reduce(pr) => {
+                // Shared reduce: one reduction serves every head.
+                self.stats.shared_reduces += (p.heads.len() - 1) as u64;
+                self.stats.reduces += 1;
+                let cond = p.cond();
+                let (stack, ok) = self.do_reduce(p.stack, pr, &cond, &mut p.ctx);
+                if !ok {
+                    for h in &p.heads {
+                        self.error(h, state, "no goto after reduce");
+                    }
+                    return;
+                }
+                // Re-fork: the next action may differ per head now, and
+                // the reduce may have changed the context (e.g. the
+                // `type_seen` flag of the C plug-in), so reclassify each
+                // head afresh rather than keeping stale terminals.
+                let sub = Sub {
+                    heads: Vec::new(),
+                    stack,
+                    ctx: p.ctx,
+                };
+                let mut entries: Vec<FollowEntry> = Vec::with_capacity(p.heads.len());
+                for h in &p.heads {
+                    self.reclassify_into(
+                        &sub,
+                        FollowEntry {
+                            cond: h.cond.clone(),
+                            node: h.node,
+                            term: SymbolId(u32::MAX),
+                        },
+                        &mut entries,
+                    );
+                }
+                self.fork(entries, sub);
+            }
+            _ => {
+                // Accept/error for the earliest head: detach it and let
+                // the single-headed path handle it; requeue the rest.
+                let rest: Vec<Head> = p.heads.drain(1..).collect();
+                let single = Sub {
+                    heads: vec![head0.clone()],
+                    stack: p.stack.clone(),
+                    ctx: self.parser.plugin.fork(&p.ctx),
+                };
+                self.do_action(
+                    single,
+                    FollowEntry {
+                        cond: head0.cond,
+                        node: head0.node,
+                        term: head0.term,
+                    },
+                );
+                if !rest.is_empty() {
+                    self.insert(Sub {
+                        heads: rest,
+                        stack: p.stack,
+                        ctx: p.ctx,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Performs one LR action for a resolved follow entry.
+    fn do_action(&mut self, mut p: Sub<P::Ctx>, e: FollowEntry) {
+        let g = self.parser.grammar;
+        let state = state_of(&p.stack, g);
+        match g.action(state, e.term) {
+            Action::Shift(s) => {
+                self.stats.shifts += 1;
+                let node = e.node.expect("eof cannot shift");
+                let (tok, _) = self.forest.token(node).expect("shift target is a token");
+                let stack = Some(Rc::new(StackNode {
+                    state: s,
+                    sym: e.term,
+                    value: SemVal::Tok(tok.clone()),
+                    prev: p.stack.clone(),
+                    depth: depth_of(&p.stack) + 1,
+                }));
+                self.insert(Sub {
+                    heads: vec![Head {
+                        cond: e.cond,
+                        node: self.forest.successor(node),
+                        term: g.eof(),
+                    }],
+                    stack,
+                    ctx: p.ctx,
+                });
+            }
+            Action::Reduce(pr) => {
+                self.stats.reduces += 1;
+                let cond = e.cond.clone();
+                let (stack, ok) = self.do_reduce(p.stack, pr, &cond, &mut p.ctx);
+                if !ok {
+                    let h = Head {
+                        cond: e.cond,
+                        node: e.node,
+                        term: e.term,
+                    };
+                    self.error(&h, state, "no goto after reduce");
+                    return;
+                }
+                self.insert(Sub {
+                    heads: vec![Head {
+                        cond: e.cond,
+                        node: e.node,
+                        term: e.term,
+                    }],
+                    stack,
+                    ctx: p.ctx,
+                });
+            }
+            Action::Accept => {
+                let value = match &p.stack {
+                    Some(n) => n.value.clone(),
+                    None => SemVal::Empty,
+                };
+                self.accepted.push((e.cond, value));
+            }
+            Action::Error => {
+                let h = Head {
+                    cond: e.cond,
+                    node: e.node,
+                    term: e.term,
+                };
+                self.error(&h, state, "syntax error");
+            }
+        }
+    }
+
+    fn error(&mut self, h: &Head, state: u32, message: &str) {
+        let (pos, got) = match h.node {
+            Some(n) => {
+                let (tok, _) = self.forest.token(n).expect("token head");
+                (Some(tok.tok.pos), tok.text().to_string())
+            }
+            None => (None, "<eof>".to_string()),
+        };
+        self.errors.push(ParseError {
+            pos,
+            got,
+            cond: h.cond.clone(),
+            state,
+            message: message.to_string(),
+        });
+    }
+
+    /// Pops the production's right-hand side, builds the semantic value
+    /// per the grammar annotation, notifies the plug-in, and pushes the
+    /// goto state. Returns the new stack and success.
+    fn do_reduce(
+        &mut self,
+        stack: Stack,
+        prod: u32,
+        cond: &Cond,
+        ctx: &mut P::Ctx,
+    ) -> (Stack, bool) {
+        let g = self.parser.grammar;
+        let n = g.rhs_len(prod) as usize;
+        let mut values: Vec<SemVal> = Vec::with_capacity(n);
+        let mut stack = stack;
+        for _ in 0..n {
+            let node = stack.expect("stack underflow on reduce");
+            values.push(node.value.clone());
+            stack = node.prev.clone();
+        }
+        values.reverse();
+        let p = g.production(prod);
+        let value = match p.ast {
+            AstBuild::Layout => SemVal::Empty,
+            AstBuild::Passthrough => {
+                let mut non_empty: Vec<SemVal> = values
+                    .iter()
+                    .filter(|v| !matches!(v, SemVal::Empty))
+                    .cloned()
+                    .collect();
+                if non_empty.len() == 1 {
+                    non_empty.pop().expect("one")
+                } else {
+                    self.mk_node(prod, values, false)
+                }
+            }
+            AstBuild::List => {
+                let first_is_same_list = values.first().and_then(SemVal::as_node).map(|n| {
+                    n.sym == p.lhs && n.list
+                }) == Some(true);
+                if first_is_same_list {
+                    let mut it = values.into_iter();
+                    let head = it.next().expect("nonempty");
+                    let SemVal::Node(rc) = head else {
+                        unreachable!("checked node")
+                    };
+                    let mut node = (*rc).clone();
+                    node.children
+                        .extend(it.filter(|v| !matches!(v, SemVal::Empty)));
+                    SemVal::Node(Rc::new(node))
+                } else {
+                    self.mk_node(prod, values, true)
+                }
+            }
+            AstBuild::Node | AstBuild::Action => self.mk_node(prod, values, false),
+        };
+        self.parser.plugin.on_reduce(ctx, prod, &value, cond);
+        let state = state_of(&stack, g);
+        let Some(next) = g.goto(state, p.lhs) else {
+            return (stack, false);
+        };
+        let stack = Some(Rc::new(StackNode {
+            state: next,
+            sym: p.lhs,
+            value,
+            prev: stack.clone(),
+            depth: depth_of(&stack) + 1,
+        }));
+        (stack, true)
+    }
+
+    fn mk_node(&self, prod: u32, values: Vec<SemVal>, list: bool) -> SemVal {
+        let g = self.parser.grammar;
+        let children = values
+            .into_iter()
+            .filter(|v| !matches!(v, SemVal::Empty))
+            .collect();
+        SemVal::Node(Rc::new(AstNode {
+            prod,
+            sym: g.production(prod).lhs,
+            kind: self.parser.kind_names[prod as usize].clone(),
+            children,
+            list,
+        }))
+    }
+}
+
+enum Resolved {
+    One(FollowEntry),
+    Many(Vec<FollowEntry>),
+}
+use Resolved::{Many, One};

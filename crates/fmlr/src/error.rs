@@ -1,0 +1,35 @@
+//! Parse errors carrying presence conditions.
+
+use std::fmt;
+
+use superc_cond::Cond;
+use superc_lexer::SourcePos;
+
+/// A parse failure in some part of the configuration space.
+///
+/// A configuration-preserving parse may fail under some configurations and
+/// succeed under others; each failure records the conditions it covers.
+#[derive(Clone, Debug)]
+pub struct ParseError {
+    /// Position of the offending token (`None` at end of input).
+    pub pos: Option<SourcePos>,
+    /// The token's spelling (`<eof>` at end of input).
+    pub got: String,
+    /// Configurations under which the error occurs.
+    pub cond: Cond,
+    /// LR state for debugging.
+    pub state: u32,
+    /// Description, e.g. the kill-switch message in MAPR mode.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(p) => write!(f, "{p}: {} (at '{}', config {})", self.message, self.got, self.cond),
+            None => write!(f, "{} (at end of input, config {})", self.message, self.cond),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,290 @@
+//! The token forest: the preprocessor's element tree laid out in an arena
+//! with sibling/parent links and document-order positions, plus the token
+//! follow-set computation (Algorithm 3).
+
+use superc_cond::Cond;
+use superc_cpp::{Element, PTok};
+use superc_grammar::SymbolId;
+
+/// Index of a node in a [`Forest`].
+pub type NodeId = u32;
+
+/// A resolved head: a node or end-of-input.
+pub type NodeRef = Option<NodeId>;
+
+pub(crate) enum NodeKind {
+    Token {
+        term: SymbolId,
+        tok: PTok,
+    },
+    Cond {
+        /// `(presence condition, first node)`; `None` = empty branch.
+        branches: Vec<(Cond, NodeRef)>,
+    },
+}
+
+pub(crate) struct Node {
+    pub kind: NodeKind,
+    /// Next sibling within the same branch or at top level.
+    pub next: NodeRef,
+    /// Enclosing conditional node.
+    pub up: NodeRef,
+    /// Document (pre-)order; orders subparser heads in the priority queue.
+    pub pos: u32,
+}
+
+/// A compilation unit's tokens and conditionals, arena-allocated.
+///
+/// Built from preprocessor output with a *classifier* that assigns each
+/// token its grammar terminal (keyword recognition happens here, after
+/// macro expansion).
+pub struct Forest {
+    pub(crate) nodes: Vec<Node>,
+    root: NodeRef,
+    tokens: usize,
+}
+
+/// One element of a token follow-set: the first language token (or EOF)
+/// on some path through conditionals, with its presence condition and
+/// grammar terminal.
+#[derive(Clone)]
+pub struct FollowEntry {
+    /// Configurations in which this token is next.
+    pub cond: Cond,
+    /// The token node, or `None` for end-of-input.
+    pub node: NodeRef,
+    /// The terminal (after any reclassification).
+    pub term: SymbolId,
+}
+
+impl Forest {
+    /// Builds a forest from preprocessor elements. `classify` maps each
+    /// token to its grammar terminal.
+    pub fn build(elements: &[Element], classify: &dyn Fn(&PTok) -> SymbolId) -> Forest {
+        let mut f = Forest {
+            nodes: Vec::new(),
+            root: None,
+            tokens: 0,
+        };
+        f.root = f.build_list(elements, None, classify);
+        // Assign document order by a DFS that follows branches before
+        // successors (pre-order).
+        let mut pos = 0u32;
+        fn number(f: &mut Forest, mut n: NodeRef, pos: &mut u32) {
+            while let Some(id) = n {
+                f.nodes[id as usize].pos = *pos;
+                *pos += 1;
+                if let NodeKind::Cond { branches } = &f.nodes[id as usize].kind {
+                    let firsts: Vec<NodeRef> = branches.iter().map(|(_, f)| *f).collect();
+                    for b in firsts {
+                        number(f, b, pos);
+                    }
+                }
+                n = f.nodes[id as usize].next;
+            }
+        }
+        let root = f.root;
+        number(&mut f, root, &mut pos);
+        f
+    }
+
+    fn build_list(
+        &mut self,
+        elements: &[Element],
+        up: NodeRef,
+        classify: &dyn Fn(&PTok) -> SymbolId,
+    ) -> NodeRef {
+        let mut first: NodeRef = None;
+        let mut prev: NodeRef = None;
+        for el in elements {
+            let id = self.nodes.len() as NodeId;
+            // Reserve the slot so children can point up at it.
+            self.nodes.push(Node {
+                kind: NodeKind::Cond {
+                    branches: Vec::new(),
+                },
+                next: None,
+                up,
+                pos: 0,
+            });
+            let kind = match el {
+                Element::Token(t) => {
+                    self.tokens += 1;
+                    NodeKind::Token {
+                        term: classify(t),
+                        tok: t.clone(),
+                    }
+                }
+                Element::Conditional(k) => {
+                    let branches = k
+                        .branches
+                        .iter()
+                        .map(|b| {
+                            let f = self.build_list(&b.elements, Some(id), classify);
+                            (b.cond.clone(), f)
+                        })
+                        .collect();
+                    NodeKind::Cond { branches }
+                }
+            };
+            self.nodes[id as usize].kind = kind;
+            match prev {
+                None => first = Some(id),
+                Some(p) => self.nodes[p as usize].next = Some(id),
+            }
+            prev = Some(id);
+        }
+        first
+    }
+
+    /// The first node (or `None` for an empty unit).
+    pub fn root(&self) -> NodeRef {
+        self.root
+    }
+
+    /// Total ordinary tokens.
+    pub fn token_count(&self) -> usize {
+        self.tokens
+    }
+
+    /// Total nodes (tokens + conditionals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The token at `id`, if it is a token node.
+    pub fn token(&self, id: NodeId) -> Option<(&PTok, SymbolId)> {
+        match &self.nodes[id as usize].kind {
+            NodeKind::Token { term, tok } => Some((tok, *term)),
+            NodeKind::Cond { .. } => None,
+        }
+    }
+
+    /// Document position used for queue ordering; EOF sorts last.
+    pub fn position(&self, n: NodeRef) -> u32 {
+        match n {
+            Some(id) => self.nodes[id as usize].pos,
+            None => u32::MAX,
+        }
+    }
+
+    /// The next token-or-conditional after `id`, stepping *out* of
+    /// conditionals when `id` ends its branch (§4.2's successor).
+    pub fn successor(&self, id: NodeId) -> NodeRef {
+        let mut cur = id;
+        loop {
+            let node = &self.nodes[cur as usize];
+            if let Some(next) = node.next {
+                return Some(next);
+            }
+            match node.up {
+                Some(up) => cur = up,
+                None => return None,
+            }
+        }
+    }
+
+    /// Algorithm 3: the token follow-set of `(c, a)` — pairs of presence
+    /// conditions and first language tokens on each path through static
+    /// conditionals, ending with an EOF entry for configurations that run
+    /// off the end of the input.
+    ///
+    /// Terminals are the classifier's; callers apply reclassification.
+    pub fn follow(&self, c: &Cond, a: NodeRef) -> Vec<FollowEntry> {
+        let mut t = Vec::new();
+        let mut c = c.clone();
+        let mut a = a;
+        loop {
+            match a {
+                None => {
+                    if !c.is_false() {
+                        t.push(FollowEntry {
+                            cond: c,
+                            node: None,
+                            term: SymbolId(u32::MAX), // resolved to eof by the engine
+                        });
+                    }
+                    return t;
+                }
+                Some(n) => {
+                    let (rest, stop) = self.first(c, n, &mut t);
+                    if rest.is_false() {
+                        return t;
+                    }
+                    c = rest;
+                    a = self.successor(stop);
+                }
+            }
+        }
+    }
+
+    /// The paper's `First`: scans from `a` at one nesting level, adding
+    /// the first token per configuration to `t`; returns the remaining
+    /// configuration and the node where scanning stopped.
+    fn first(&self, c: Cond, a: NodeId, t: &mut Vec<FollowEntry>) -> (Cond, NodeId) {
+        let mut c = c;
+        let mut a = a;
+        loop {
+            let node = &self.nodes[a as usize];
+            match &node.kind {
+                NodeKind::Token { term, .. } => {
+                    t.push(FollowEntry {
+                        cond: c.clone(),
+                        node: Some(a),
+                        term: *term,
+                    });
+                    return (c.ctx().fls(), a);
+                }
+                NodeKind::Cond { branches } => {
+                    let mut cr = c.ctx().fls();
+                    for (ci, firstn) in branches {
+                        let cc = c.and(ci);
+                        if cc.is_false() {
+                            continue;
+                        }
+                        match firstn {
+                            None => cr = cr.or(&cc),
+                            Some(f) => {
+                                let (sub, _) = self.first(cc, *f, t);
+                                cr = cr.or(&sub);
+                            }
+                        }
+                    }
+                    if cr.is_false() {
+                        return (cr, a);
+                    }
+                    match node.next {
+                        Some(n) => {
+                            c = cr;
+                            a = n;
+                        }
+                        None => return (cr, a),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Naive MAPR-style branch listing for a conditional head: one
+    /// `(condition, head)` per branch (empty branches step to the
+    /// conditional's successor). For token heads returns the head itself.
+    pub fn naive_fork(&self, c: &Cond, a: NodeId) -> Vec<(Cond, NodeRef)> {
+        match &self.nodes[a as usize].kind {
+            NodeKind::Token { .. } => vec![(c.clone(), Some(a))],
+            NodeKind::Cond { branches } => {
+                let succ = self.successor(a);
+                branches
+                    .iter()
+                    .filter_map(|(ci, f)| {
+                        let cc = c.and(ci);
+                        if cc.is_false() {
+                            None
+                        } else {
+                            Some((cc, f.or(succ)))
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}

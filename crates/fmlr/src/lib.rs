@@ -1,0 +1,45 @@
+//! Fork-Merge LR (FMLR) parsing — SuperC's configuration-preserving parser
+//! engine (§4).
+//!
+//! An FMLR parser is a table-driven LR parser generalized over static
+//! conditionals. It maintains a priority queue of *subparsers*, each
+//! recognizing one part of the configuration space:
+//!
+//! * On ordinary tokens a subparser behaves exactly like an LR parser.
+//! * At a static conditional it computes the **token follow-set**
+//!   (Algorithm 3): the first ordinary token on each path through the
+//!   conditionals, with its presence condition. The subparser **forks**
+//!   into one subparser per follow-set element — capturing the source's
+//!   *actual* variability rather than its syntactic branch count, which is
+//!   what makes parsing Linux tractable where MAPR's naive per-branch
+//!   forking is not (Figure 8).
+//! * Subparsers with the same head and stack **merge**, disjoining their
+//!   presence conditions and combining semantic values into *static choice
+//!   nodes*; the queue is ordered by input position so merges happen at
+//!   the earliest opportunity.
+//!
+//! Three further optimizations are implemented exactly as in §4.4 and can
+//! be toggled individually for the paper's ablation (Figure 8):
+//! **early reduces** (queue tie-break favoring reduces), **lazy shifts**
+//! and **shared reduces** (multi-headed subparsers). A **MAPR mode**
+//! reproduces the naive baseline, including its largest-stack-first
+//! tie-break and a kill switch.
+//!
+//! Context-sensitivity (C typedef names) is handled by a plug-in
+//! ([`ContextPlugin`]) with the paper's four callbacks: reclassify,
+//! forkContext, mayMerge, mergeContexts (§5.2).
+
+mod engine;
+mod error;
+mod forest;
+mod semval;
+mod stats;
+
+pub use engine::{ContextPlugin, NullContext, ParseResult, Parser, ParserConfig, Reclass};
+pub use error::ParseError;
+pub use forest::{Forest, NodeId, NodeRef};
+pub use semval::{AstNode, SemVal};
+pub use stats::ParseStats;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,174 @@
+//! Semantic values: tokens, AST nodes, and static choice nodes.
+//!
+//! SuperC's AST is well-formed — every node is a complete C construct —
+//! with *static choice nodes* at merge points carrying one child per
+//! configuration (§2, Figure 1c). Values are reference-counted so forked
+//! subparsers share everything up to their divergence.
+
+use std::fmt;
+use std::rc::Rc;
+
+use superc_cond::Cond;
+use superc_cpp::PTok;
+use superc_grammar::SymbolId;
+
+/// An AST node: a reduced production with its children.
+#[derive(Clone, Debug)]
+pub struct AstNode {
+    /// The production reduced to build this node.
+    pub prod: u32,
+    /// The left-hand-side nonterminal.
+    pub sym: SymbolId,
+    /// Node kind name (the production's nonterminal name).
+    pub kind: Rc<str>,
+    /// Child values (layout children omitted).
+    pub children: Vec<SemVal>,
+    /// True when this node linearizes a left-recursive repetition.
+    pub list: bool,
+}
+
+/// A semantic value on the parser stack or in the finished AST.
+#[derive(Clone, Debug)]
+pub enum SemVal {
+    /// A shifted token.
+    Tok(PTok),
+    /// A reduced node.
+    Node(Rc<AstNode>),
+    /// A static choice: one alternative per configuration class.
+    Choice(Rc<Vec<(Cond, SemVal)>>),
+    /// No value (layout productions).
+    Empty,
+}
+
+impl SemVal {
+    /// Cheap equality for merge checks: pointer equality for nodes and
+    /// choices, positional identity for tokens.
+    pub fn quick_eq(&self, other: &SemVal) -> bool {
+        match (self, other) {
+            (SemVal::Empty, SemVal::Empty) => true,
+            (SemVal::Tok(a), SemVal::Tok(b)) => {
+                Rc::ptr_eq(&a.tok.text, &b.tok.text) && a.tok.pos == b.tok.pos
+            }
+            (SemVal::Node(a), SemVal::Node(b)) => Rc::ptr_eq(a, b),
+            (SemVal::Choice(a), SemVal::Choice(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Builds a static choice over alternatives, flattening nested
+    /// choices and dropping infeasible ones.
+    pub fn choice(alts: Vec<(Cond, SemVal)>) -> SemVal {
+        let mut flat: Vec<(Cond, SemVal)> = Vec::with_capacity(alts.len());
+        for (c, v) in alts {
+            if c.is_false() {
+                continue;
+            }
+            match v {
+                SemVal::Choice(inner) => {
+                    for (ic, iv) in inner.iter() {
+                        let cc = c.and(ic);
+                        if !cc.is_false() {
+                            flat.push((cc, iv.clone()));
+                        }
+                    }
+                }
+                other => flat.push((c, other)),
+            }
+        }
+        match flat.len() {
+            0 => SemVal::Empty,
+            1 => flat.pop().expect("one").1,
+            _ => SemVal::Choice(Rc::new(flat)),
+        }
+    }
+
+    /// The node if this is one.
+    pub fn as_node(&self) -> Option<&Rc<AstNode>> {
+        match self {
+            SemVal::Node(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The token if this is one.
+    pub fn as_token(&self) -> Option<&PTok> {
+        match self {
+            SemVal::Tok(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Counts AST nodes (choice alternatives all counted).
+    pub fn node_count(&self) -> usize {
+        match self {
+            SemVal::Node(n) => 1 + n.children.iter().map(SemVal::node_count).sum::<usize>(),
+            SemVal::Choice(alts) => alts.iter().map(|(_, v)| v.node_count()).sum(),
+            _ => 0,
+        }
+    }
+
+    /// Counts static choice nodes.
+    pub fn choice_count(&self) -> usize {
+        match self {
+            SemVal::Node(n) => n.children.iter().map(SemVal::choice_count).sum(),
+            SemVal::Choice(alts) => {
+                1 + alts.iter().map(|(_, v)| v.choice_count()).sum::<usize>()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Visits every node in the tree, including inside choices, calling
+    /// `f` with the node and the presence condition in effect (None at
+    /// the unconditioned root).
+    pub fn visit(&self, f: &mut dyn FnMut(&AstNode, Option<&Cond>)) {
+        fn go(v: &SemVal, cond: Option<&Cond>, f: &mut dyn FnMut(&AstNode, Option<&Cond>)) {
+            match v {
+                SemVal::Node(n) => {
+                    f(n, cond);
+                    for ch in &n.children {
+                        go(ch, cond, f);
+                    }
+                }
+                SemVal::Choice(alts) => {
+                    for (c, v) in alts.iter() {
+                        go(v, Some(c), f);
+                    }
+                }
+                _ => {}
+            }
+        }
+        go(self, None, f);
+    }
+
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            SemVal::Tok(t) => writeln!(f, "{pad}{}", t.text()),
+            SemVal::Empty => writeln!(f, "{pad}ε"),
+            SemVal::Node(n) => {
+                writeln!(f, "{pad}{}", n.kind)?;
+                for ch in &n.children {
+                    ch.fmt_indent(f, indent + 1)?;
+                }
+                Ok(())
+            }
+            SemVal::Choice(alts) => {
+                writeln!(f, "{pad}Choice")?;
+                for (c, v) in alts.iter() {
+                    writeln!(f, "{pad}  [{c}]")?;
+                    v.fmt_indent(f, indent + 2)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for SemVal {
+    /// An indented tree dump, with choice alternatives labeled by their
+    /// presence conditions (like the paper's Figure 1c sketch).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}

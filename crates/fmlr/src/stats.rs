@@ -1,0 +1,81 @@
+//! Parser instrumentation: the subparser counts behind the paper's
+//! Figure 8 and the activity counters behind Table 3's parser rows.
+
+/// Counters for one parse.
+#[derive(Clone, Debug, Default)]
+pub struct ParseStats {
+    /// Iterations of the main FMLR loop (one subparser step each).
+    pub iterations: u64,
+    /// Maximum live subparsers observed at any iteration (Fig. 8a).
+    pub max_subparsers: usize,
+    /// Histogram: `subparser_hist[n]` = iterations that ran with exactly
+    /// `n` live subparsers (Fig. 8b's distribution; saturates at the last
+    /// bucket).
+    pub subparser_hist: Vec<u64>,
+    /// Subparsers created by forking.
+    pub forks: u64,
+    /// Merges performed.
+    pub merges: u64,
+    /// Shift actions.
+    pub shifts: u64,
+    /// Reduce actions.
+    pub reduces: u64,
+    /// Reduces shared across multiple heads (shared-reduce savings).
+    pub shared_reduces: u64,
+    /// Shifts delayed by multi-headed subparsers (lazy-shift savings).
+    pub lazy_shifts: u64,
+    /// Extra subparsers forked on ambiguously-defined names (typedefs).
+    pub reclassify_forks: u64,
+    /// Static choice nodes created while merging semantic values.
+    pub choice_nodes: u64,
+}
+
+impl ParseStats {
+    pub(crate) fn observe_live(&mut self, live: usize) {
+        self.iterations += 1;
+        self.max_subparsers = self.max_subparsers.max(live);
+        let bucket = live.min(4095);
+        if self.subparser_hist.len() <= bucket {
+            self.subparser_hist.resize(bucket + 1, 0);
+        }
+        self.subparser_hist[bucket] += 1;
+    }
+
+    /// The `q`-quantile (e.g. 0.99) of live-subparser counts across
+    /// iterations, from the histogram.
+    pub fn subparser_quantile(&self, q: f64) -> usize {
+        let total: u64 = self.subparser_hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = (total as f64 * q).ceil() as u64;
+        let mut seen = 0;
+        for (n, &count) in self.subparser_hist.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return n;
+            }
+        }
+        self.subparser_hist.len() - 1
+    }
+
+    /// Accumulates another parse's counters (for corpus-level reporting).
+    pub fn merge(&mut self, other: &ParseStats) {
+        self.iterations += other.iterations;
+        self.max_subparsers = self.max_subparsers.max(other.max_subparsers);
+        if self.subparser_hist.len() < other.subparser_hist.len() {
+            self.subparser_hist.resize(other.subparser_hist.len(), 0);
+        }
+        for (i, &c) in other.subparser_hist.iter().enumerate() {
+            self.subparser_hist[i] += c;
+        }
+        self.forks += other.forks;
+        self.merges += other.merges;
+        self.shifts += other.shifts;
+        self.reduces += other.reduces;
+        self.shared_reduces += other.shared_reduces;
+        self.lazy_shifts += other.lazy_shifts;
+        self.reclassify_forks += other.reclassify_forks;
+        self.choice_nodes += other.choice_nodes;
+    }
+}

@@ -1,0 +1,559 @@
+use super::*;
+use superc_cond::{Cond, CondBackend, CondCtx};
+use superc_cpp::{Builtins, MemFs, PTok, PpOptions, Preprocessor};
+use superc_grammar::{Grammar, GrammarBuilder, SymbolId};
+use superc_lexer::TokenKind;
+
+/// A small C-like statement grammar exercising everything the engine
+/// needs: lists, nesting, dangling else, merge-complete marks.
+fn stmt_grammar() -> Grammar {
+    let mut b = GrammarBuilder::new("Unit");
+    b.terminals(&[
+        "ID", "NUM", ";", "=", "+", "(", ")", "{", "}", ",", "if", "else", "TYPE",
+    ]);
+    b.prod("Unit", &["StmtList"]).passthrough();
+    b.prod("StmtList", &["Stmt"]).list();
+    b.prod("StmtList", &["StmtList", "Stmt"]).list();
+    b.prod("Stmt", &["ID", "=", "Expr", ";"]);
+    b.prod("Stmt", &["Expr", ";"]);
+    b.prod("Stmt", &["if", "(", "Expr", ")", "Stmt"]);
+    b.prod("Stmt", &["if", "(", "Expr", ")", "Stmt", "else", "Stmt"]);
+    b.prod("Stmt", &["{", "StmtList", "}"]);
+    b.prod("Stmt", &["TYPE", "ID", ";"]); // a "declaration" for reclassify tests
+    b.prod("Expr", &["Expr", "+", "Term"]);
+    b.prod("Expr", &["Term"]).passthrough();
+    b.prod("Term", &["ID"]).passthrough();
+    b.prod("Term", &["NUM"]).passthrough();
+    b.prod("Term", &["(", "Expr", ")"]);
+    b.complete(&["Stmt", "Expr", "StmtList"]);
+    let g = b.build().unwrap();
+    // Only the dangling-else conflict is expected.
+    assert_eq!(g.conflicts().len(), 1, "{:?}", g.conflicts());
+    g
+}
+
+/// Figure 6's shape: an initializer list whose members sit in separate
+/// conditionals.
+fn init_grammar() -> Grammar {
+    let mut b = GrammarBuilder::new("Arr");
+    b.terminals(&["ID", "NUM", "{", "}", ",", ";"]);
+    b.prod("Arr", &["{", "Items", "Last", "}", ";"]);
+    b.prod("Items", &[]).list();
+    b.prod("Items", &["Items", "Item"]).list();
+    b.prod("Item", &["ID", ","]);
+    b.prod("Last", &["ID"]).passthrough();
+    b.prod("Last", &["NUM"]).passthrough();
+    b.complete(&["Item", "Items"]);
+    let g = b.build().unwrap();
+    assert!(g.conflicts().is_empty(), "{:?}", g.conflicts());
+    g
+}
+
+fn classify(g: &Grammar, t: &PTok) -> SymbolId {
+    match t.tok.kind {
+        TokenKind::Ident => match t.text() {
+            "if" | "else" => g.terminal(t.text()).unwrap(),
+            _ => g.terminal("ID").unwrap(),
+        },
+        TokenKind::Number => g.terminal("NUM").unwrap(),
+        _ => g
+            .terminal(t.text())
+            .unwrap_or_else(|| panic!("unknown token {}", t.text())),
+    }
+}
+
+fn forest_for(g: &Grammar, src: &str) -> (Forest, CondCtx) {
+    let fs = MemFs::new().file("t.c", src);
+    let ctx = CondCtx::new(CondBackend::Bdd);
+    let opts = PpOptions {
+        builtins: Builtins::none(),
+        ..PpOptions::default()
+    };
+    let mut pp = Preprocessor::new(ctx.clone(), opts, fs);
+    let unit = pp.preprocess("t.c").expect("preprocess");
+    let f = Forest::build(&unit.elements, &|t| classify(g, t));
+    (f, ctx)
+}
+
+fn parse_with(g: &Grammar, src: &str, cfg: ParserConfig) -> ParseResult {
+    let (f, ctx) = forest_for(g, src);
+    let mut parser = Parser::new(g, cfg, NullContext);
+    parser.parse(&f, &ctx)
+}
+
+fn parse(g: &Grammar, src: &str) -> ParseResult {
+    parse_with(g, src, ParserConfig::full())
+}
+
+// ---------------------------------------------------------------------
+// Plain LR behavior on conditional-free input
+// ---------------------------------------------------------------------
+
+#[test]
+fn flat_input_parses_like_lr() {
+    let g = stmt_grammar();
+    let r = parse(&g, "x = 1 + y;\nz;\n");
+    assert!(r.errors.is_empty(), "{:?}", r.errors);
+    let ast = r.ast.expect("ast");
+    assert!(r.accepted.expect("accepted").is_true());
+    // StmtList is linearized: two Stmt children.
+    let root = ast.as_node().expect("node");
+    assert_eq!(&*root.kind, "StmtList");
+    assert_eq!(root.children.len(), 2);
+    assert_eq!(ast.choice_count(), 0);
+    // One subparser throughout.
+    assert_eq!(r.stats.max_subparsers, 1);
+    assert_eq!(r.stats.merges, 0);
+}
+
+#[test]
+fn syntax_errors_report_position_and_condition() {
+    let g = stmt_grammar();
+    let r = parse(&g, "x = = 1;\n");
+    assert!(r.ast.is_none());
+    assert_eq!(r.errors.len(), 1);
+    let e = &r.errors[0];
+    assert_eq!(e.got, "=");
+    assert!(e.cond.is_true());
+    assert!(format!("{e}").contains("syntax error"));
+}
+
+#[test]
+fn empty_input_fails_for_nonnullable_grammar() {
+    let g = stmt_grammar();
+    let r = parse(&g, "\n");
+    assert!(r.ast.is_none());
+    assert_eq!(r.errors.len(), 1);
+    assert_eq!(r.errors[0].got, "<eof>");
+}
+
+// ---------------------------------------------------------------------
+// Fork and merge across conditionals
+// ---------------------------------------------------------------------
+
+/// The paper's Figure 1: a conditional splits an if-else across
+/// configurations; both parses merge after the construct.
+const FIG1: &str = "\
+x = 0;
+#ifdef CONFIG_INPUT_MOUSEDEV_PSAUX
+if (major + 1)
+  i = 31;
+else
+#endif
+i = maj + 32;
+y = 0;
+";
+
+#[test]
+fn fig1_conditional_produces_choice_node() {
+    let g = stmt_grammar();
+    let r = parse(&g, FIG1);
+    assert!(r.errors.is_empty(), "{:?}", r.errors);
+    assert!(r.accepted.expect("accepted").is_true());
+    let ast = r.ast.expect("ast");
+    // Exactly one static choice node for the conditional.
+    assert_eq!(ast.choice_count(), 1);
+    // Both configurations contain the shared trailing statement: tokens
+    // after the conditional merged back into one subparser.
+    assert!(r.stats.merges >= 1);
+    // The construct needs one extra subparser, no more.
+    assert!(r.stats.max_subparsers <= 3, "{}", r.stats.max_subparsers);
+}
+
+#[test]
+fn fig1_both_configurations_have_correct_trees() {
+    let g = stmt_grammar();
+    let r = parse(&g, FIG1);
+    let ast = r.ast.expect("ast");
+    let SemVal::Node(root) = &ast else {
+        panic!("root should be a list node")
+    };
+    // Find the choice node and check each alternative's shape.
+    let mut found = 0;
+    ast.visit(&mut |_, _| {});
+    fn find_choice(v: &SemVal, out: &mut Vec<(Cond, SemVal)>) {
+        match v {
+            SemVal::Choice(alts) => out.extend(alts.iter().cloned()),
+            SemVal::Node(n) => {
+                for c in &n.children {
+                    find_choice(c, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut alts = Vec::new();
+    for c in &root.children {
+        find_choice(c, &mut alts);
+    }
+    for (cond, v) in &alts {
+        let kind = v
+            .as_node()
+            .map(|n| n.kind.to_string())
+            .unwrap_or_default();
+        let on = cond.eval(|n| Some(n == "defined(CONFIG_INPUT_MOUSEDEV_PSAUX)"));
+        if on {
+            // With PSAUX: the if-else statement (7 children incl. else).
+            assert_eq!(kind, "Stmt");
+            assert_eq!(v.as_node().unwrap().children.len(), 7);
+        } else {
+            // Without: a plain assignment statement.
+            assert_eq!(kind, "Stmt");
+            assert_eq!(v.as_node().unwrap().children.len(), 4);
+        }
+        found += 1;
+    }
+    assert_eq!(found, 2);
+}
+
+#[test]
+fn shared_suffix_is_reparsed_per_configuration_but_merges() {
+    // Tokens after the conditional (line `i = maj + 32;`) are parsed
+    // twice — once as part of the if-else, once standalone (§2) — yet the
+    // trailing `y = 0;` is shared again.
+    let g = stmt_grammar();
+    let r = parse(&g, FIG1);
+    let ast = r.ast.expect("ast");
+    let root = ast.as_node().expect("list");
+    // Children: x=0; choice; y=0; — the merge restored a single list.
+    assert_eq!(root.children.len(), 3);
+}
+
+#[test]
+fn nested_conditionals_compose() {
+    let g = stmt_grammar();
+    let src = "\
+#ifdef A
+x = 1;
+#ifdef B
+y = 2;
+#endif
+#endif
+z = 3;
+";
+    let r = parse(&g, src);
+    assert!(r.errors.is_empty(), "{:?}", r.errors);
+    assert!(r.accepted.expect("accepted").is_true());
+    let ast = r.ast.expect("ast");
+    assert!(ast.choice_count() >= 1);
+}
+
+#[test]
+fn error_under_one_configuration_only() {
+    let g = stmt_grammar();
+    let src = "\
+#ifdef BAD
+x = ;
+#else
+x = 1;
+#endif
+";
+    let r = parse(&g, src);
+    assert!(r.ast.is_some());
+    assert_eq!(r.errors.len(), 1);
+    let acc = r.accepted.expect("some config accepted");
+    // Accepted exactly where BAD is undefined.
+    assert!(acc.eval(|_| Some(false)));
+    assert!(!acc.eval(|n| Some(n == "defined(BAD)")));
+    assert!(r.errors[0].cond.eval(|n| Some(n == "defined(BAD)")));
+}
+
+#[test]
+fn conditional_at_start_and_end_of_input() {
+    let g = stmt_grammar();
+    let r = parse(&g, "#ifdef A\nx = 1;\n#endif\ny = 2;\n");
+    assert!(r.errors.is_empty());
+    assert!(r.accepted.expect("accepted").is_true());
+    let r = parse(&g, "x = 1;\n#ifdef A\ny = 2;\n#endif\n");
+    assert!(r.errors.is_empty());
+    assert!(r.accepted.expect("accepted").is_true());
+}
+
+#[test]
+fn fully_conditional_input_errors_only_where_empty() {
+    let g = stmt_grammar();
+    // Under !A the unit is empty, which this grammar rejects.
+    let r = parse(&g, "#ifdef A\nx = 1;\n#endif\n");
+    assert!(r.ast.is_some());
+    assert_eq!(r.errors.len(), 1);
+    let acc = r.accepted.expect("accepted");
+    assert!(acc.eval(|n| Some(n == "defined(A)")));
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: exponential configurations, constant subparsers
+// ---------------------------------------------------------------------
+
+fn fig6_source(n: usize) -> String {
+    let mut s = String::from("{\n");
+    for i in 0..n {
+        s.push_str(&format!("#ifdef CONFIG_P{i}\nmember{i},\n#endif\n"));
+    }
+    s.push_str("NULL };\n");
+    s
+}
+
+#[test]
+fn fig6_fmlr_uses_constant_subparsers() {
+    let g = init_grammar();
+    let r = parse(&g, &fig6_source(18));
+    assert!(r.errors.is_empty(), "{:?}", r.errors);
+    assert!(r.accepted.expect("accepted").is_true());
+    // The paper: 2^18 configurations with only 2 subparsers. Allow a
+    // little slack for queue accounting.
+    assert!(
+        r.stats.max_subparsers <= 3,
+        "max subparsers = {}",
+        r.stats.max_subparsers
+    );
+    // All 18 choice points are in the AST.
+    assert_eq!(r.ast.expect("ast").choice_count(), 18);
+}
+
+#[test]
+fn fig6_mapr_hits_the_kill_switch() {
+    let g = init_grammar();
+    let r = parse_with(&g, &fig6_source(18), ParserConfig::mapr());
+    assert!(r
+        .errors
+        .iter()
+        .any(|e| e.message.contains("kill switch")));
+}
+
+#[test]
+fn fig6_mapr_explodes_even_when_it_finishes() {
+    let g = init_grammar();
+    let r = parse_with(&g, &fig6_source(8), ParserConfig::mapr());
+    assert!(r.errors.is_empty(), "{:?}", r.errors);
+    let naive = r.stats.max_subparsers;
+    let r = parse(&g, &fig6_source(8));
+    let fmlr = r.stats.max_subparsers;
+    assert!(
+        naive >= 32 && fmlr <= 3,
+        "naive = {naive}, fmlr = {fmlr}"
+    );
+}
+
+#[test]
+fn optimization_levels_all_produce_the_same_result() {
+    let g = init_grammar();
+    let src = fig6_source(6);
+    let mut max_by_level = Vec::new();
+    for (name, cfg) in ParserConfig::levels() {
+        let r = parse_with(&g, &src, cfg);
+        assert!(r.errors.is_empty(), "{name}: {:?}", r.errors);
+        assert!(r.accepted.expect("accepted").is_true(), "{name}");
+        // Choice-node counts differ per level (§6.2: fewer forks mean
+        // fewer choice nodes); MAPR's value-identical merging instead
+        // collects one big choice of whole-unit alternatives at accept.
+        if cfg.choice_merge {
+            assert!(r.ast.expect("ast").choice_count() >= 6, "{name}");
+        } else {
+            assert!(r.ast.is_some(), "{name}");
+        }
+        max_by_level.push((name, r.stats.max_subparsers));
+    }
+    // Full optimizations never use more subparsers than follow-set only,
+    // which never uses more than MAPR.
+    let get = |n: &str| {
+        max_by_level
+            .iter()
+            .find(|(name, _)| *name == n)
+            .expect("level present")
+            .1
+    };
+    assert!(get("Shared, Lazy, & Early") <= get("Follow-Set Only"));
+    assert!(get("Follow-Set Only") <= get("MAPR"));
+    assert!(get("MAPR") >= 32);
+}
+
+#[test]
+fn multi_headed_optimizations_fire() {
+    let g = init_grammar();
+    let r = parse(&g, &fig6_source(10));
+    assert!(r.stats.lazy_shifts > 0, "lazy shifts never fired");
+    assert!(r.stats.shared_reduces > 0, "shared reduces never fired");
+    assert!(r.stats.merges > 0);
+}
+
+// ---------------------------------------------------------------------
+// Follow-set computation (Algorithm 3)
+// ---------------------------------------------------------------------
+
+#[test]
+fn follow_set_captures_actual_variability() {
+    let g = init_grammar();
+    // Three conditionals, each with an implicit else: the follow-set of
+    // the first conditional has 4 entries (3 members + NULL).
+    let (f, ctx) = forest_for(&g, &fig6_source(3));
+    // Walk: root = `{`, next is the first conditional.
+    let root = f.root().expect("nonempty");
+    let cond_node = f.successor(root).expect("conditional after brace");
+    let t = f.follow(&ctx.tru(), Some(cond_node));
+    assert_eq!(t.len(), 4);
+    // Conditions partition `true`.
+    let mut or = ctx.fls();
+    for e in &t {
+        or = or.or(&e.cond);
+    }
+    assert!(or.is_true());
+    // Entries are ordered by position, every one a token or EOF.
+    for w in t.windows(2) {
+        assert!(f.position(w[0].node) < f.position(w[1].node));
+    }
+}
+
+#[test]
+fn follow_set_of_token_is_singleton() {
+    let g = init_grammar();
+    let (f, ctx) = forest_for(&g, "{ NULL };\n");
+    let t = f.follow(&ctx.tru(), f.root());
+    assert_eq!(t.len(), 1);
+    assert!(t[0].cond.is_true());
+}
+
+#[test]
+fn follow_set_reaches_eof_through_trailing_conditionals() {
+    let g = init_grammar();
+    let (f, ctx) = forest_for(&g, "#ifdef A\nx ,\n#endif\n");
+    let t = f.follow(&ctx.tru(), f.root());
+    assert_eq!(t.len(), 2);
+    assert!(t.iter().any(|e| e.node.is_none()), "EOF entry expected");
+}
+
+// ---------------------------------------------------------------------
+// Context plug-in
+// ---------------------------------------------------------------------
+
+/// A toy plug-in: treats `T` as a type name (reclassifies to TYPE) and
+/// refuses merges between differently-flagged contexts.
+struct ToyPlugin;
+
+#[derive(Clone, PartialEq)]
+struct ToyCtx {
+    saw_decl: bool,
+}
+
+impl ContextPlugin for ToyPlugin {
+    type Ctx = ToyCtx;
+
+    fn initial(&mut self) -> ToyCtx {
+        ToyCtx { saw_decl: false }
+    }
+
+    fn reclassify(
+        &mut self,
+        _ctx: &ToyCtx,
+        tok: &PTok,
+        term: SymbolId,
+        _cond: &Cond,
+    ) -> Reclass {
+        if tok.text() == "T" {
+            Reclass::Replace(SymbolId(12)) // TYPE in stmt_grammar
+        } else {
+            let _ = term;
+            Reclass::Keep
+        }
+    }
+
+    fn on_reduce(&mut self, ctx: &mut ToyCtx, _prod: u32, value: &SemVal, _cond: &Cond) {
+        if let Some(n) = value.as_node() {
+            if n.children.len() == 3
+                && n.children[0].as_token().map(|t| t.text()) == Some("T")
+            {
+                ctx.saw_decl = true;
+            }
+        }
+    }
+
+    fn may_merge(&self, a: &ToyCtx, b: &ToyCtx) -> bool {
+        a == b
+    }
+}
+
+#[test]
+fn plugin_reclassifies_tokens() {
+    let g = stmt_grammar();
+    assert_eq!(g.terminal("TYPE"), Some(SymbolId(12)));
+    let (f, ctx) = forest_for(&g, "T v;\nx = 1;\n");
+    let mut parser = Parser::new(&g, ParserConfig::full(), ToyPlugin);
+    let r = parser.parse(&f, &ctx);
+    assert!(r.errors.is_empty(), "{:?}", r.errors);
+    // `T v;` parsed as the TYPE ID ; production.
+    let ast = r.ast.expect("ast");
+    let mut saw = false;
+    ast.visit(&mut |n, _| {
+        if n.kind.as_ref() == "Stmt" && n.children.len() == 3 {
+            saw = true;
+        }
+    });
+    assert!(saw, "declaration production not used");
+}
+
+/// A plug-in that splits an ambiguous name by condition, like typedef
+/// names defined only in some configurations (§5.2).
+struct SplitPlugin;
+
+impl ContextPlugin for SplitPlugin {
+    type Ctx = ();
+
+    fn initial(&mut self) {}
+
+    fn reclassify(&mut self, _: &(), tok: &PTok, term: SymbolId, cond: &Cond) -> Reclass {
+        if tok.text() == "amb" {
+            let t = cond.ctx().var("defined(HAS_TYPE)").and(cond);
+            let e = cond.and_not(&t);
+            Reclass::Split(vec![(t, SymbolId(12)), (e, term)])
+        } else {
+            Reclass::Keep
+        }
+    }
+}
+
+#[test]
+fn ambiguous_names_fork_extra_subparsers() {
+    let g = stmt_grammar();
+    let (f, ctx) = forest_for(&g, "amb v;\n");
+    let mut parser = Parser::new(&g, ParserConfig::full(), SplitPlugin);
+    let r = parser.parse(&f, &ctx);
+    // Under HAS_TYPE this is `TYPE ID ;` (a declaration); otherwise
+    // `amb v ;` is two identifiers — a syntax error.
+    assert!(r.stats.reclassify_forks >= 1);
+    assert!(r.ast.is_some());
+    let acc = r.accepted.expect("accepted");
+    assert!(acc.eval(|n| Some(n == "defined(HAS_TYPE)")));
+    assert!(!acc.eval(|_| Some(false)));
+    assert_eq!(r.errors.len(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------
+
+#[test]
+fn stats_histogram_and_quantiles() {
+    let g = init_grammar();
+    let r = parse(&g, &fig6_source(8));
+    let s = &r.stats;
+    assert!(s.iterations > 0);
+    let total: u64 = s.subparser_hist.iter().sum();
+    assert_eq!(total, s.iterations);
+    assert_eq!(s.subparser_quantile(1.0), s.max_subparsers);
+    assert!(s.subparser_quantile(0.5) <= s.max_subparsers);
+    let mut merged = ParseStats::default();
+    merged.merge(s);
+    merged.merge(s);
+    assert_eq!(merged.iterations, 2 * s.iterations);
+    assert_eq!(merged.max_subparsers, s.max_subparsers);
+}
+
+#[test]
+fn display_renders_choice_nodes() {
+    let g = stmt_grammar();
+    let r = parse(&g, FIG1);
+    let text = format!("{}", r.ast.expect("ast"));
+    assert!(text.contains("Choice"));
+    assert!(text.contains("Stmt"));
+    assert!(text.contains("CONFIG_INPUT_MOUSEDEV_PSAUX"));
+}
+

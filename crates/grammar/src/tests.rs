@@ -1,0 +1,256 @@
+use super::*;
+
+/// A tiny LR driver sufficient to test tables: parses a terminal-name
+/// sequence, returning `Ok(reduction trace)` or `Err(position)`.
+fn drive(g: &Grammar, input: &[&str]) -> Result<Vec<String>, usize> {
+    let mut stack: Vec<u32> = vec![g.start_state()];
+    let mut trace = Vec::new();
+    let mut toks: Vec<SymbolId> = input
+        .iter()
+        .map(|t| g.terminal(t).unwrap_or_else(|| panic!("unknown terminal {t}")))
+        .collect();
+    toks.push(g.eof());
+    let mut i = 0;
+    loop {
+        let state = *stack.last().expect("nonempty");
+        match g.action(state, toks[i]) {
+            Action::Shift(s) => {
+                stack.push(s);
+                i += 1;
+            }
+            Action::Reduce(p) => {
+                for _ in 0..g.rhs_len(p) {
+                    stack.pop();
+                }
+                let lhs = g.production(p).lhs;
+                trace.push(g.lhs_name(p).to_string());
+                let state = *stack.last().expect("nonempty");
+                let next = g.goto(state, lhs).expect("goto");
+                stack.push(next);
+            }
+            Action::Accept => return Ok(trace),
+            Action::Error => return Err(i),
+        }
+    }
+}
+
+fn expr_grammar() -> Grammar {
+    let mut b = GrammarBuilder::new("E");
+    b.terminals(&["n", "+", "*", "(", ")"]);
+    b.prod("E", &["E", "+", "T"]);
+    b.prod("E", &["T"]).passthrough();
+    b.prod("T", &["T", "*", "F"]);
+    b.prod("T", &["F"]).passthrough();
+    b.prod("F", &["(", "E", ")"]);
+    b.prod("F", &["n"]).passthrough();
+    b.build().unwrap()
+}
+
+#[test]
+fn classic_expression_grammar_is_conflict_free() {
+    let g = expr_grammar();
+    assert!(g.conflicts().is_empty(), "{:?}", g.conflicts());
+    // The canonical LALR automaton for this grammar has 12 states.
+    assert_eq!(g.num_states(), 12);
+}
+
+#[test]
+fn expression_grammar_parses() {
+    let g = expr_grammar();
+    assert!(drive(&g, &["n", "+", "n", "*", "n"]).is_ok());
+    assert!(drive(&g, &["(", "n", "+", "n", ")", "*", "n"]).is_ok());
+    assert_eq!(drive(&g, &["n", "+"]), Err(2));
+    assert_eq!(drive(&g, &["+", "n"]), Err(0));
+    assert_eq!(drive(&g, &[")"]), Err(0));
+}
+
+#[test]
+fn precedence_resolves_ambiguous_expression_grammar() {
+    let mut b = GrammarBuilder::new("E");
+    b.terminals(&["n", "+", "*"]);
+    b.prec(Assoc::Left, 1, &["+"]);
+    b.prec(Assoc::Left, 2, &["*"]);
+    b.prod("E", &["E", "+", "E"]);
+    b.prod("E", &["E", "*", "E"]);
+    b.prod("E", &["n"]).passthrough();
+    let g = b.build().unwrap();
+    assert!(g.conflicts().is_empty(), "{:?}", g.conflicts());
+    // n + n * n: the * must bind tighter — reduce for + happens after
+    // the whole * expression. Check it simply parses.
+    let trace = drive(&g, &["n", "+", "n", "*", "n"]).unwrap();
+    assert_eq!(trace.iter().filter(|s| *s == "E").count(), 5);
+}
+
+#[test]
+fn right_associativity_shifts() {
+    let mut b = GrammarBuilder::new("E");
+    b.terminals(&["n", "="]);
+    b.prec(Assoc::Right, 1, &["="]);
+    b.prod("E", &["E", "=", "E"]);
+    b.prod("E", &["n"]).passthrough();
+    let g = b.build().unwrap();
+    assert!(g.conflicts().is_empty());
+    assert!(drive(&g, &["n", "=", "n", "=", "n"]).is_ok());
+}
+
+#[test]
+fn nonassoc_rejects_chains() {
+    let mut b = GrammarBuilder::new("E");
+    b.terminals(&["n", "<"]);
+    b.prec(Assoc::NonAssoc, 1, &["<"]);
+    b.prod("E", &["E", "<", "E"]);
+    b.prod("E", &["n"]).passthrough();
+    let g = b.build().unwrap();
+    assert!(drive(&g, &["n", "<", "n"]).is_ok());
+    assert!(drive(&g, &["n", "<", "n", "<", "n"]).is_err());
+}
+
+#[test]
+fn dangling_else_prefers_shift_and_reports_conflict() {
+    let mut b = GrammarBuilder::new("S");
+    b.terminals(&["if", "else", "expr", "stmt"]);
+    b.prod("S", &["if", "expr", "S"]);
+    b.prod("S", &["if", "expr", "S", "else", "S"]);
+    b.prod("S", &["stmt"]).passthrough();
+    let g = b.build().unwrap();
+    // Classic shift/reduce: resolved as shift (else binds to inner if).
+    assert_eq!(g.conflicts().len(), 1);
+    assert!(g.conflicts()[0].resolution.contains("shift"));
+    assert!(drive(&g, &["if", "expr", "if", "expr", "stmt", "else", "stmt"]).is_ok());
+}
+
+#[test]
+fn lalr_but_not_slr_grammar_builds_cleanly() {
+    // The standard example: S -> L = R | R ; L -> * R | id ; R -> L.
+    // SLR has a shift/reduce conflict on '='; LALR does not.
+    let mut b = GrammarBuilder::new("S");
+    b.terminals(&["=", "*", "id"]);
+    b.prod("S", &["L", "=", "R"]);
+    b.prod("S", &["R"]).passthrough();
+    b.prod("L", &["*", "R"]);
+    b.prod("L", &["id"]).passthrough();
+    b.prod("R", &["L"]).passthrough();
+    let g = b.build().unwrap();
+    assert!(g.conflicts().is_empty(), "{:?}", g.conflicts());
+    assert!(drive(&g, &["*", "id", "=", "id"]).is_ok());
+    assert!(drive(&g, &["id", "=", "*", "id"]).is_ok());
+}
+
+#[test]
+fn empty_productions_reduce_correctly() {
+    // Nullable nonterminals exercise lookahead propagation through
+    // epsilon (a classic source of LALR bugs).
+    let mut b = GrammarBuilder::new("S");
+    b.terminals(&["a", "b"]);
+    b.prod("S", &["A", "B", "a"]);
+    b.prod("A", &[]);
+    b.prod("A", &["b"]);
+    b.prod("B", &[]);
+    let g = b.build().unwrap();
+    assert!(g.conflicts().is_empty());
+    assert!(drive(&g, &["a"]).is_ok());
+    assert!(drive(&g, &["b", "a"]).is_ok());
+    assert!(drive(&g, &["b", "b", "a"]).is_err());
+}
+
+#[test]
+fn reduce_reduce_conflicts_are_reported_and_resolved() {
+    let mut b = GrammarBuilder::new("S");
+    b.terminals(&["x"]);
+    b.prod("S", &["A"]);
+    b.prod("S", &["B"]);
+    b.prod("A", &["x"]);
+    b.prod("B", &["x"]);
+    let g = b.build().unwrap();
+    assert!(!g.conflicts().is_empty());
+    assert!(g.conflicts()[0].resolution.contains("reduce/reduce"));
+    // Still parses, using the earlier production.
+    assert_eq!(drive(&g, &["x"]).unwrap()[0], "A");
+}
+
+#[test]
+fn complete_marking_is_queryable() {
+    let mut b = GrammarBuilder::new("S");
+    b.terminals(&["x"]);
+    b.prod("S", &["A"]);
+    b.prod("A", &["x"]);
+    b.complete(&["A"]);
+    let g = b.build().unwrap();
+    let a = g.symbol("A").unwrap();
+    let s = g.symbol("S").unwrap();
+    assert!(g.is_complete(a));
+    assert!(!g.is_complete(s));
+    assert!(!g.is_complete(g.terminal("x").unwrap()));
+}
+
+#[test]
+fn errors_are_reported() {
+    // Undefined nonterminal.
+    let mut b = GrammarBuilder::new("S");
+    b.terminals(&["x"]);
+    b.prod("S", &["Nope"]);
+    assert!(b.build().is_err());
+    // Missing start.
+    let mut b = GrammarBuilder::new("S");
+    b.terminals(&["x"]);
+    b.prod("T", &["x"]);
+    assert!(b.build().is_err());
+    // Terminal as lhs.
+    let mut b = GrammarBuilder::new("x");
+    b.terminals(&["x"]);
+    b.prod("x", &["x"]);
+    assert!(b.build().is_err());
+    // complete() on unknown nonterminal.
+    let mut b = GrammarBuilder::new("S");
+    b.terminals(&["x"]);
+    b.prod("S", &["x"]);
+    b.complete(&["Ghost"]);
+    assert!(b.build().is_err());
+}
+
+#[test]
+fn symbol_metadata_round_trips() {
+    let g = expr_grammar();
+    let e = g.symbol("E").unwrap();
+    assert_eq!(g.symbol_name(e), "E");
+    assert!(!g.is_terminal(e));
+    let plus = g.terminal("+").unwrap();
+    assert!(g.is_terminal(plus));
+    assert_eq!(g.symbol_name(g.eof()), "$eof");
+    assert_eq!(g.terminal("E"), None);
+    assert!(format!("{g:?}").contains("states"));
+    // Production 0 is the augmented start.
+    assert_eq!(g.lhs_name(0), "$start");
+    assert_eq!(g.rhs_len(0), 1);
+}
+
+#[test]
+fn annotations_are_stored() {
+    let mut b = GrammarBuilder::new("S");
+    b.terminals(&["x", ","]);
+    b.prod("S", &["S", ",", "x"]).list();
+    b.prod("S", &["x"]).passthrough();
+    b.prod("Sep", &[","]).layout();
+    b.prod("S", &["Sep", "x", "Sep"]).action();
+    let g = b.build().unwrap();
+    assert_eq!(g.production(1).ast, AstBuild::List);
+    assert_eq!(g.production(2).ast, AstBuild::Passthrough);
+    assert_eq!(g.production(3).ast, AstBuild::Layout);
+    assert_eq!(g.production(4).ast, AstBuild::Action);
+}
+
+#[test]
+fn explicit_prec_overrides_last_terminal() {
+    // Unary minus: %prec gives the production a higher precedence than
+    // the binary minus terminal would.
+    let mut b = GrammarBuilder::new("E");
+    b.terminals(&["n", "-", "UMINUS"]);
+    b.prec(Assoc::Left, 1, &["-"]);
+    b.prec(Assoc::Right, 2, &["UMINUS"]);
+    b.prod("E", &["E", "-", "E"]);
+    b.prod("E", &["-", "E"]).prec("UMINUS");
+    b.prod("E", &["n"]).passthrough();
+    let g = b.build().unwrap();
+    assert!(g.conflicts().is_empty(), "{:?}", g.conflicts());
+    assert!(drive(&g, &["-", "n", "-", "n"]).is_ok());
+}

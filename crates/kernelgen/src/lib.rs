@@ -1,0 +1,610 @@
+//! A deterministic, Linux-flavored synthetic corpus generator.
+//!
+//! The paper evaluates SuperC on the x86 Linux kernel (version 2.6.33.3),
+//! which this reproduction cannot ship. This crate generates a corpus
+//! that reproduces the kernel's *interaction patterns* — the things
+//! Tables 1–3 catalogue and Figures 8–10 measure — at configurable scale:
+//!
+//! * include-guarded headers shared across most compilation units
+//!   (`module.h` included by ~half of Linux's C files, Table 2b);
+//! * `CONFIG_*` configuration variables that are never defined (free
+//!   macros);
+//! * multiply-defined macros (`BITS_PER_LONG`, Fig. 2) and macros
+//!   conditionally expanding to other macros (`cpu_to_le32`, Figs. 3–4);
+//! * token pasting and stringification, including under implicit
+//!   conditionals (Fig. 5);
+//! * conditional-heavy array initializers (Fig. 6, the construct with
+//!   exponentially many configurations);
+//! * conditionals splitting C statements (Fig. 1), nested conditionals,
+//!   non-boolean `#if` expressions (`NR_CPUS < 256`), computed includes,
+//!   `#error` branches, variadic macros, inline `asm`, and typedefs.
+//!
+//! Generation is fully deterministic given [`CorpusSpec::seed`].
+//!
+//! # Examples
+//!
+//! ```
+//! use superc_cpp::FileSystem as _;
+//! use superc_kernelgen::{generate, CorpusSpec};
+//!
+//! let corpus = generate(&CorpusSpec { units: 3, ..CorpusSpec::small() });
+//! assert_eq!(corpus.units.len(), 3);
+//! assert!(corpus.fs.read("include/linux/module.h").is_some());
+//! ```
+
+use std::fmt::Write as _;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use superc_cpp::MemFs;
+#[cfg(test)]
+use superc_cpp::FileSystem;
+
+/// Parameters for corpus generation.
+#[derive(Clone, Debug)]
+pub struct CorpusSpec {
+    /// Number of compilation units (`src/unitN.c`).
+    pub units: usize,
+    /// RNG seed; identical specs generate identical corpora.
+    pub seed: u64,
+    /// Number of generated subsystem headers.
+    pub subsystem_headers: usize,
+    /// Pool of `CONFIG_*` variables to draw from.
+    pub config_vars: usize,
+    /// Functions per unit, inclusive range.
+    pub functions_per_unit: (usize, usize),
+    /// Conditional members per Fig. 6-style initializer, inclusive range.
+    pub init_members: (usize, usize),
+    /// Fraction of units containing a computed include (rare in Linux).
+    pub computed_include_pct: u32,
+    /// Fraction of units with an `#error` in some conditional branch.
+    pub error_directive_pct: u32,
+    /// Generate names that are typedefs only under some configurations
+    /// (ambiguously-defined names; Linux has none, Table 3).
+    pub ambiguous_typedefs: bool,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            units: 48,
+            seed: 0x5C1A_2012,
+            subsystem_headers: 24,
+            config_vars: 48,
+            functions_per_unit: (3, 10),
+            init_members: (4, 18),
+            computed_include_pct: 20,
+            error_directive_pct: 15,
+            ambiguous_typedefs: false,
+        }
+    }
+}
+
+impl CorpusSpec {
+    /// The *constrained* corpus: reduced variability, mirroring the
+    /// paper's "constrained kernel" — the only setup TypeChef (here: the
+    /// SAT condition backend) completes in reasonable time (§6.3).
+    /// SuperC's BDD backend runs on both.
+    pub fn constrained() -> Self {
+        CorpusSpec {
+            init_members: (2, 6),
+            functions_per_unit: (2, 5),
+            computed_include_pct: 10,
+            error_directive_pct: 10,
+            ..CorpusSpec::default()
+        }
+    }
+
+    /// A small corpus for tests.
+    pub fn small() -> Self {
+        CorpusSpec {
+            units: 6,
+            subsystem_headers: 6,
+            config_vars: 12,
+            functions_per_unit: (2, 4),
+            init_members: (3, 8),
+            ..CorpusSpec::default()
+        }
+    }
+}
+
+/// A generated corpus: an in-memory file tree plus the compilation-unit
+/// paths, in generation order.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    /// All files (headers under `include/`, units under `src/`).
+    pub fs: MemFs,
+    /// Compilation-unit paths.
+    pub units: Vec<String>,
+    /// The spec that produced this corpus.
+    pub spec: CorpusSpec,
+}
+
+impl Corpus {
+    /// Writes the corpus to a directory tree on disk (for inspection or
+    /// the CLI).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        for (path, contents) in self.fs.iter() {
+            let full = dir.join(path);
+            if let Some(parent) = full.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(full, contents)?;
+        }
+        Ok(())
+    }
+
+    /// Total source bytes in the corpus.
+    pub fn total_bytes(&self) -> usize {
+        self.fs.iter().map(|(_, c)| c.len()).sum()
+    }
+}
+
+struct Gen {
+    rng: SmallRng,
+    spec: CorpusSpec,
+    configs: Vec<String>,
+}
+
+/// Generates a corpus from the spec.
+pub fn generate(spec: &CorpusSpec) -> Corpus {
+    let mut g = Gen {
+        rng: SmallRng::seed_from_u64(spec.seed),
+        spec: spec.clone(),
+        configs: (0..spec.config_vars.max(4))
+            .map(|i| {
+                let base = CONFIG_NAMES[i % CONFIG_NAMES.len()];
+                if i >= CONFIG_NAMES.len() {
+                    format!("CONFIG_{base}_{}", i / CONFIG_NAMES.len())
+                } else {
+                    format!("CONFIG_{base}")
+                }
+            })
+            .collect(),
+    };
+    let mut fs = MemFs::new();
+    fixed_headers(&mut fs);
+    for h in 0..spec.subsystem_headers {
+        let (path, text) = g.subsystem_header(h);
+        fs.add(&path, &text);
+    }
+    let mut units = Vec::with_capacity(spec.units);
+    for u in 0..spec.units {
+        let path = format!("src/unit{u}.c");
+        let text = g.unit(u);
+        fs.add(&path, &text);
+        units.push(path);
+    }
+    Corpus {
+        fs,
+        units,
+        spec: spec.clone(),
+    }
+}
+
+const CONFIG_NAMES: &[&str] = &[
+    "SMP", "PM", "NUMA", "64BIT", "DEBUG_KERNEL", "PREEMPT", "HOTPLUG", "TRACE", "MODULES",
+    "NET", "BLOCK", "PCI", "ACPI", "USB", "INPUT_MOUSEDEV_PSAUX", "HIGHMEM", "SWAP", "SYSFS",
+    "PROC_FS", "EPOLL", "FUTEX", "AIO", "KALLSYMS", "SECCOMP",
+];
+
+impl Gen {
+    fn config(&mut self) -> String {
+        let i = self.rng.gen_range(0..self.configs.len());
+        self.configs[i].clone()
+    }
+
+    fn pct(&mut self, p: u32) -> bool {
+        self.rng.gen_range(0..100) < p
+    }
+
+    fn subsystem_header(&mut self, n: usize) -> (String, String) {
+        let mut s = String::new();
+        let guard = format!("_SUB{n}_H");
+        let cfg = self.config();
+        let cfg2 = self.config();
+        let _ = writeln!(s, "#ifndef {guard}");
+        let _ = writeln!(s, "#define {guard}");
+        let _ = writeln!(s, "#include <linux/types.h>");
+        let _ = writeln!(s, "#define SUB{n}_BASE {}", 0x100 * (n + 1));
+        // A multiply-defined macro (Fig. 2 shape).
+        let _ = writeln!(s, "#ifdef {cfg}");
+        let _ = writeln!(s, "#define SUB{n}_FLAGS 3");
+        let _ = writeln!(s, "#else");
+        let _ = writeln!(s, "#define SUB{n}_FLAGS 1");
+        let _ = writeln!(s, "#endif");
+        // A function-like macro nesting another macro.
+        let _ = writeln!(
+            s,
+            "#define sub{n}_adjust(x) (((x) + SUB{n}_FLAGS) & ~SUB{n}_FLAGS)"
+        );
+        // A struct with a conditional member.
+        let _ = writeln!(s, "struct sub{n}_dev {{");
+        let _ = writeln!(s, "  int id;");
+        let _ = writeln!(s, "#ifdef {cfg2}");
+        let _ = writeln!(s, "  int power_state;");
+        let _ = writeln!(s, "#endif");
+        let _ = writeln!(s, "  void *priv;");
+        let _ = writeln!(s, "}};");
+        // A typedef and externs.
+        let _ = writeln!(s, "typedef struct sub{n}_dev sub{n}_t;");
+        let _ = writeln!(s, "extern int sub{n}_probe(sub{n}_t *dev);");
+        let _ = writeln!(s, "extern void sub{n}_remove(sub{n}_t *dev);");
+        // Conditional enum members (trailing-comma items, like configs
+        // adding members).
+        let _ = writeln!(s, "enum sub{n}_state {{");
+        let _ = writeln!(s, "  SUB{n}_IDLE,");
+        let _ = writeln!(s, "#ifdef {cfg}");
+        let _ = writeln!(s, "  SUB{n}_SUSPENDED,");
+        let _ = writeln!(s, "#endif");
+        let _ = writeln!(s, "  SUB{n}_ACTIVE");
+        let _ = writeln!(s, "}};");
+        if self.spec.ambiguous_typedefs && n % 5 == 0 {
+            let acfg = self.config();
+            let _ = writeln!(s, "#ifdef {acfg}");
+            let _ = writeln!(s, "typedef int amb{n}_t;");
+            let _ = writeln!(s, "#endif");
+        }
+        let _ = writeln!(s, "#endif");
+        (format!("include/sub/sub{n}.h"), s)
+    }
+
+    fn unit(&mut self, u: usize) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "#include <linux/module.h>");
+        let _ = writeln!(s, "#include <linux/kernel.h>");
+        // 1-4 subsystem headers.
+        let nsub = self.rng.gen_range(1..=4.min(self.spec.subsystem_headers.max(1)));
+        let mut subs: Vec<usize> = Vec::new();
+        for _ in 0..nsub {
+            let h = self.rng.gen_range(0..self.spec.subsystem_headers.max(1));
+            if !subs.contains(&h) {
+                subs.push(h);
+            }
+        }
+        for &h in &subs {
+            let _ = writeln!(s, "#include <sub/sub{h}.h>");
+        }
+        if self.pct(40) {
+            let _ = writeln!(s, "#include <linux/list.h>");
+        }
+        if self.pct(30) {
+            let _ = writeln!(s, "#include <asm/io.h>");
+        }
+        // A computed include (rare, Table 3); unit 0 always has one so
+        // even tiny corpora exercise the feature.
+        if (u == 0 || self.pct(self.spec.computed_include_pct)) && !subs.is_empty() {
+            let h = subs[0];
+            let _ = writeln!(s, "#define UNIT_EXTRA_HDR <sub/sub{h}.h>");
+            let _ = writeln!(s, "#include UNIT_EXTRA_HDR");
+        }
+        let _ = writeln!(s, "MODULE_LICENSE(\"GPL\");");
+        let _ = writeln!(s, "MODULE_AUTHOR(\"unit{u} generator\");");
+        let _ = writeln!(s);
+
+        // An #error confined to a conditional branch (its configurations
+        // become infeasible).
+        if u == 1 || self.pct(self.spec.error_directive_pct) {
+            let _ = writeln!(s, "#ifdef CONFIG_BROKEN_UNIT{u}");
+            let _ = writeln!(s, "#error unit{u} does not support this configuration");
+            let _ = writeln!(s, "#endif");
+        }
+
+        // Module-level state, some conditional.
+        let cfg = self.config();
+        let _ = writeln!(s, "static int unit{u}_ready;");
+        let _ = writeln!(s, "#ifdef {cfg}");
+        let _ = writeln!(s, "static int unit{u}_fast_mode = 1;");
+        let _ = writeln!(s, "#endif");
+        let _ = writeln!(s);
+
+        // The Fig. 6 initializer: conditional members.
+        let members = self
+            .rng
+            .gen_range(self.spec.init_members.0..=self.spec.init_members.1);
+        let _ = writeln!(s, "static int (*unit{u}_checks[])(void) = {{");
+        for m in 0..members {
+            let c = self.config();
+            let _ = writeln!(s, "#ifdef {c}");
+            let _ = writeln!(s, "  unit{u}_check_{m},");
+            let _ = writeln!(s, "#endif");
+        }
+        let _ = writeln!(s, "  ((void *)0)");
+        let _ = writeln!(s, "}};");
+        let _ = writeln!(s);
+
+        let nfun = self
+            .rng
+            .gen_range(self.spec.functions_per_unit.0..=self.spec.functions_per_unit.1);
+        for f in 0..nfun {
+            self.function(&mut s, u, f, &subs);
+        }
+
+        // An init function touching the generated state.
+        let _ = writeln!(s, "static int unit{u}_init(void)");
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  unit{u}_ready = 1;");
+        let _ = writeln!(s, "  pr_info(\"unit{u} ready\\n\");");
+        let _ = writeln!(s, "  return 0;");
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    fn function(&mut self, s: &mut String, u: usize, f: usize, subs: &[usize]) {
+        // Each unit's first function cycles the template kinds so even
+        // tiny corpora cover every interaction pattern.
+        let kind = if f == 0 {
+            u % 6
+        } else {
+            self.rng.gen_range(0..6)
+        };
+        let name = format!("unit{u}_fn{f}");
+        match kind {
+            // Fig. 1: a conditional splitting an if-else statement.
+            0 => {
+                let cfg = self.config();
+                let _ = writeln!(s, "static int {name}(int major, int minor)");
+                let _ = writeln!(s, "{{");
+                let _ = writeln!(s, "  int i;");
+                let _ = writeln!(s, "#ifdef {cfg}");
+                let _ = writeln!(s, "  if (major == 10)");
+                let _ = writeln!(s, "    i = 31;");
+                let _ = writeln!(s, "  else");
+                let _ = writeln!(s, "#endif");
+                let _ = writeln!(s, "  i = minor - 32;");
+                let _ = writeln!(s, "  return i;");
+                let _ = writeln!(s, "}}");
+            }
+            // Multiply-defined macros in expressions and #if (Fig. 2).
+            1 => {
+                let _ = writeln!(s, "static unsigned long {name}(unsigned long v)");
+                let _ = writeln!(s, "{{");
+                let _ = writeln!(s, "  unsigned long mask = (1UL << (BITS_PER_LONG - 1));");
+                let _ = writeln!(s, "#if BITS_PER_LONG == 64");
+                let _ = writeln!(s, "  v &= 0xffffffffUL;");
+                let _ = writeln!(s, "#endif");
+                let _ = writeln!(s, "  return v | mask;");
+                let _ = writeln!(s, "}}");
+            }
+            // Cross-conditional function-like invocation (Figs. 3-4) and
+            // variadic logging.
+            2 => {
+                let _ = writeln!(s, "static u32 {name}(u32 val, int n)");
+                let _ = writeln!(s, "{{");
+                let _ = writeln!(s, "  u32 wire = cpu_to_le32(val);");
+                let _ = writeln!(s, "  pr_info(\"{name}: %d %d\\n\", wire, n);");
+                let _ = writeln!(s, "  pr_info(\"{name} done\\n\");");
+                let _ = writeln!(s, "  return wire;");
+                let _ = writeln!(s, "}}");
+            }
+            // Token pasting + stringification (Fig. 5 flavor).
+            3 => {
+                let _ = writeln!(s, "#define {name}_glue(a, b) a ## b");
+                let _ = writeln!(s, "static const char *{name}(void)");
+                let _ = writeln!(s, "{{");
+                let _ = writeln!(s, "  int {name}_glue(tmp, {f}) = {f};");
+                let _ = writeln!(s, "  (void){name}_glue(tmp, {f});");
+                let _ = writeln!(s, "  return __stringify(SUB_LEVEL_{f});");
+                let _ = writeln!(s, "}}");
+            }
+            // Non-boolean conditional expressions + nested conditionals.
+            4 => {
+                let cfg = self.config();
+                let _ = writeln!(s, "static int {name}(int cpu)");
+                let _ = writeln!(s, "{{");
+                let _ = writeln!(s, "  int n = 0;");
+                let _ = writeln!(s, "#if NR_CPUS < 256");
+                let _ = writeln!(s, "  n = cpu & 0xff;");
+                let _ = writeln!(s, "#ifdef {cfg}");
+                let _ = writeln!(s, "  n = sub_cpu_map(n);");
+                let _ = writeln!(s, "#endif");
+                let _ = writeln!(s, "#else");
+                let _ = writeln!(s, "  n = cpu;");
+                let _ = writeln!(s, "#endif");
+                let _ = writeln!(s, "  switch (n) {{");
+                let _ = writeln!(s, "  case 0: return -1;");
+                let _ = writeln!(s, "  case 1 ... 7: return 1;");
+                let _ = writeln!(s, "  default: return n;");
+                let _ = writeln!(s, "  }}");
+                let _ = writeln!(s, "}}");
+            }
+            // Subsystem types, min/container_of-style macros, loops.
+            _ => {
+                let h = subs.first().copied().unwrap_or(0);
+                let _ = writeln!(s, "static int {name}(struct sub{h}_dev *dev, int budget)");
+                let _ = writeln!(s, "{{");
+                let _ = writeln!(s, "  sub{h}_t *typed = dev;");
+                let _ = writeln!(s, "  int quota = min(budget, SUB{h}_BASE);");
+                let _ = writeln!(s, "  int done = 0;");
+                let _ = writeln!(s, "  while (done < quota) {{");
+                let _ = writeln!(s, "    done += sub{h}_adjust(done + 1);");
+                let _ = writeln!(s, "    if (unlikely(done < 0))");
+                let _ = writeln!(s, "      break;");
+                let _ = writeln!(s, "  }}");
+                let _ = writeln!(s, "  return sub{h}_probe(typed) + done;");
+                let _ = writeln!(s, "}}");
+            }
+        }
+        let _ = writeln!(s);
+    }
+}
+
+fn fixed_headers(fs: &mut MemFs) {
+    fs.add(
+        "include/linux/types.h",
+        "#ifndef _LINUX_TYPES_H\n\
+         #define _LINUX_TYPES_H\n\
+         typedef unsigned char u8;\n\
+         typedef unsigned short u16;\n\
+         typedef unsigned int u32;\n\
+         typedef unsigned long long u64;\n\
+         typedef signed char s8;\n\
+         typedef short s16;\n\
+         typedef int s32;\n\
+         typedef long long s64;\n\
+         typedef unsigned long size_t;\n\
+         typedef int bool_t;\n\
+         struct list_head { struct list_head *next, *prev; };\n\
+         #endif\n",
+    );
+    fs.add(
+        "include/generated/bitsperlong.h",
+        "#ifndef _BITSPERLONG_H\n\
+         #define _BITSPERLONG_H\n\
+         #ifdef CONFIG_64BIT\n\
+         #define BITS_PER_LONG 64\n\
+         #else\n\
+         #define BITS_PER_LONG 32\n\
+         #endif\n\
+         #endif\n",
+    );
+    fs.add(
+        "include/linux/stringify.h",
+        "#ifndef _LINUX_STRINGIFY_H\n\
+         #define _LINUX_STRINGIFY_H\n\
+         #define __stringify_1(x...) #x\n\
+         #define __stringify(x...) __stringify_1(x)\n\
+         #endif\n",
+    );
+    fs.add(
+        "include/linux/kernel.h",
+        "#ifndef _LINUX_KERNEL_H\n\
+         #define _LINUX_KERNEL_H\n\
+         #include <linux/types.h>\n\
+         #include <generated/bitsperlong.h>\n\
+         #include <linux/stringify.h>\n\
+         #include <linux/byteorder.h>\n\
+         #define PAGE_SIZE 4096\n\
+         #ifdef CONFIG_HZ_1000\n\
+         #define HZ 1000\n\
+         #else\n\
+         #define HZ 100\n\
+         #endif\n\
+         #define likely(x) (x)\n\
+         #define unlikely(x) (x)\n\
+         #define min(a, b) ((a) < (b) ? (a) : (b))\n\
+         #define max(a, b) ((a) > (b) ? (a) : (b))\n\
+         #define ARRAY_SIZE(a) (sizeof(a) / sizeof((a)[0]))\n\
+         #define container_of(ptr, type, member) \\\n\
+           ((type *)((char *)(ptr) - __builtin_offsetof(type, member)))\n\
+         #define BUILD_BUG_ON(cond) ((void)sizeof(char[1 - 2 * !!(cond)]))\n\
+         extern int printk(const char *fmt, ...);\n\
+         #define pr_info(fmt, ...) printk(fmt , ## __VA_ARGS__)\n\
+         #define pr_err(fmt, ...) printk(fmt , ## __VA_ARGS__)\n\
+         extern int sub_cpu_map(int cpu);\n\
+         #endif\n",
+    );
+    fs.add(
+        "include/linux/byteorder.h",
+        "#ifndef _LINUX_BYTEORDER_H\n\
+         #define _LINUX_BYTEORDER_H\n\
+         #include <linux/types.h>\n\
+         #define __cpu_to_le32(x) ((u32)(x))\n\
+         #define __cpu_to_le16(x) ((u16)(x))\n\
+         #ifdef CONFIG_KERNEL_BYTEORDER\n\
+         #define cpu_to_le32 __cpu_to_le32\n\
+         #define cpu_to_le16 __cpu_to_le16\n\
+         #endif\n\
+         #endif\n",
+    );
+    fs.add(
+        "include/linux/module.h",
+        "#ifndef _LINUX_MODULE_H\n\
+         #define _LINUX_MODULE_H\n\
+         #include <linux/kernel.h>\n\
+         #include <linux/types.h>\n\
+         #define MODULE_LICENSE(l) static const char __mod_license[] = l;\n\
+         #define MODULE_AUTHOR(a) static const char __mod_author[] = a;\n\
+         #define EXPORT_SYMBOL(sym) extern typeof(sym) sym;\n\
+         #endif\n",
+    );
+    fs.add(
+        "include/linux/list.h",
+        "#ifndef _LINUX_LIST_H\n\
+         #define _LINUX_LIST_H\n\
+         #include <linux/types.h>\n\
+         #define LIST_HEAD_INIT(name) { &(name), &(name) }\n\
+         #define list_entry(ptr, type, member) container_of(ptr, type, member)\n\
+         static inline void INIT_LIST_HEAD(struct list_head *list)\n\
+         {\n\
+           list->next = list;\n\
+           list->prev = list;\n\
+         }\n\
+         static inline int list_empty(const struct list_head *head)\n\
+         {\n\
+           return head->next == head;\n\
+         }\n\
+         #endif\n",
+    );
+    fs.add(
+        "include/asm/io.h",
+        "#ifndef _ASM_IO_H\n\
+         #define _ASM_IO_H\n\
+         #include <linux/types.h>\n\
+         static inline void cpu_relax(void)\n\
+         {\n\
+           asm volatile(\"rep; nop\" : : : \"memory\");\n\
+         }\n\
+         static inline u32 readl(const volatile void *addr)\n\
+         {\n\
+           u32 ret;\n\
+           asm volatile(\"movl %1, %0\" : \"=r\"(ret) : \"m\"(*(const volatile u32 *)addr));\n\
+           return ret;\n\
+         }\n\
+         #endif\n",
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&CorpusSpec::small());
+        let b = generate(&CorpusSpec::small());
+        assert_eq!(a.units, b.units);
+        for (p, c) in a.fs.iter() {
+            assert_eq!(b.fs.read(p).as_deref(), Some(c), "{p} differs");
+        }
+        // A different seed changes content.
+        let c = generate(&CorpusSpec {
+            seed: 99,
+            ..CorpusSpec::small()
+        });
+        let diff = a
+            .fs
+            .iter()
+            .any(|(p, text)| c.fs.read(p).as_deref() != Some(text));
+        assert!(diff);
+    }
+
+    #[test]
+    fn corpus_has_expected_shape() {
+        let spec = CorpusSpec::small();
+        let corpus = generate(&spec);
+        assert_eq!(corpus.units.len(), spec.units);
+        assert!(corpus.fs.len() > spec.units + spec.subsystem_headers);
+        assert!(corpus.total_bytes() > 1000);
+        // Every unit includes module.h (the Table 2b skew).
+        for u in &corpus.units {
+            let text = corpus.fs.read(u).expect("unit exists");
+            assert!(text.contains("#include <linux/module.h>"), "{u}");
+            assert!(text.contains("unit"), "{u}");
+        }
+    }
+
+    #[test]
+    fn headers_are_guarded() {
+        let corpus = generate(&CorpusSpec::small());
+        for (p, text) in corpus.fs.iter() {
+            if p.ends_with(".h") {
+                assert!(text.starts_with("#ifndef"), "{p} lacks a guard");
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! A C lexer producing preprocessor-ready tokens.
+//!
+//! SuperC's first stage converts raw program text into tokens before
+//! preprocessing and parsing (§2, "Layout"). The original used a JFlex
+//! scanner with Roskind's tokenization rules; this crate is a from-scratch
+//! equivalent with the properties the later stages rely on:
+//!
+//! * **Preprocessor-oriented tokens.** All words lex as [`TokenKind::Ident`];
+//!   keyword classification is a *parser* concern (and must happen after
+//!   macro expansion, since macros may be named after keywords). Numbers lex
+//!   as C *pp-numbers*. `#` and `##` are ordinary punctuators here.
+//! * **Line structure.** The preprocessor is line-oriented, so the lexer
+//!   emits [`TokenKind::Newline`] tokens and resolves backslash-newline
+//!   continuations, letting the directive parser group logical lines.
+//! * **Layout.** Whitespace and comments are stripped but each token records
+//!   whether layout preceded it ([`Token::ws_before`]), enough to
+//!   reconstruct `#include` path spellings and stringification spacing.
+//!   (Full layout annotation for refactoring was removed from SuperC itself;
+//!   we follow suit.)
+//!
+//! # Examples
+//!
+//! ```
+//! use superc_lexer::{lex, FileId, TokenKind};
+//!
+//! let toks = lex("#ifdef A\nint x;\n#endif\n", FileId(0)).unwrap();
+//! assert_eq!(toks[0].kind, TokenKind::punct("#"));
+//! assert_eq!(toks[1].text(), "ifdef");
+//! assert_eq!(toks[2].text(), "A");
+//! assert!(matches!(toks[3].kind, TokenKind::Newline));
+//! ```
+
+mod scanner;
+mod token;
+
+pub use scanner::{lex, LexError};
+pub use token::{FileId, Punct, SourcePos, Token, TokenKind};
+
+#[cfg(test)]
+mod tests;

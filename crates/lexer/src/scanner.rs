@@ -1,0 +1,360 @@
+//! The hand-written scanner.
+//!
+//! Equivalent in coverage to the JFlex scanner SuperC generates from
+//! Roskind's rules: identifiers, pp-numbers, character/string literals with
+//! escapes and `L` prefixes, all C punctuators with maximal munch, block and
+//! line comments, and backslash-newline splicing.
+
+use std::fmt;
+use std::rc::Rc;
+
+use crate::token::{FileId, Punct, SourcePos, Token, TokenKind};
+
+/// A lexical error with its position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Where the problem was detected.
+    pub pos: SourcePos,
+    /// Human-readable description, lowercase, no trailing period.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+    file: FileId,
+}
+
+impl<'a> Scanner<'a> {
+    fn pos(&self) -> SourcePos {
+        SourcePos {
+            file: self.file,
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes a backslash-newline sequence if present. Returns true if
+    /// a splice happened.
+    fn splice(&mut self) -> bool {
+        if self.peek() == Some(b'\\') {
+            // Allow trailing spaces between backslash and newline like gcc.
+            let mut j = self.i + 1;
+            while self.src.get(j) == Some(&b' ') || self.src.get(j) == Some(&b'\t') {
+                j += 1;
+            }
+            let j = match self.src.get(j) {
+                Some(b'\n') => j + 1,
+                Some(b'\r') if self.src.get(j + 1) == Some(&b'\n') => j + 2,
+                _ => return false,
+            };
+            while self.i < j {
+                self.bump();
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Current byte with continuations spliced away.
+    fn cur(&mut self) -> Option<u8> {
+        while self.splice() {}
+        self.peek()
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c == b'$'
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'$'
+}
+
+/// Lexes a whole file into tokens, ending with a single [`TokenKind::Eof`].
+///
+/// Newlines inside the file become [`TokenKind::Newline`] tokens; a final
+/// newline is synthesized if the file doesn't end with one, so the
+/// preprocessor always sees complete logical lines.
+///
+/// # Errors
+///
+/// Returns [`LexError`] for unterminated block comments, character
+/// constants, or string literals, and for non-ASCII or unrecognizable bytes
+/// outside literals.
+///
+/// # Examples
+///
+/// ```
+/// use superc_lexer::{lex, FileId, TokenKind};
+/// let toks = lex("x += 1; // note\n", FileId(0))?;
+/// let kinds: Vec<_> = toks.iter().map(|t| t.kind).collect();
+/// assert_eq!(kinds, vec![
+///     TokenKind::Ident,
+///     TokenKind::punct("+="),
+///     TokenKind::Number,
+///     TokenKind::punct(";"),
+///     TokenKind::Newline,
+///     TokenKind::Eof,
+/// ]);
+/// # Ok::<(), superc_lexer::LexError>(())
+/// ```
+pub fn lex(src: &str, file: FileId) -> Result<Vec<Token>, LexError> {
+    let mut s = Scanner {
+        src: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+        file,
+    };
+    let mut out: Vec<Token> = Vec::new();
+    let mut ws_before = false;
+
+    macro_rules! push {
+        ($kind:expr, $text:expr, $pos:expr) => {{
+            out.push(Token::new($kind, $text, $pos, ws_before));
+            ws_before = false;
+        }};
+    }
+
+    loop {
+        let c = match s.cur() {
+            None => break,
+            Some(c) => c,
+        };
+        let start_pos = s.pos();
+        match c {
+            b'\n' => {
+                s.bump();
+                push!(TokenKind::Newline, "\n", start_pos);
+            }
+            b'\r' => {
+                s.bump();
+            }
+            b' ' | b'\t' | 0x0b | 0x0c => {
+                s.bump();
+                ws_before = true;
+            }
+            b'/' if s.peek2() == Some(b'/') => {
+                // Line comment: runs to newline (which is NOT consumed).
+                while let Some(c) = s.cur() {
+                    if c == b'\n' {
+                        break;
+                    }
+                    s.bump();
+                }
+                ws_before = true;
+            }
+            b'/' if s.peek2() == Some(b'*') => {
+                s.bump();
+                s.bump();
+                let mut closed = false;
+                while let Some(c) = s.bump() {
+                    if c == b'*' && s.peek() == Some(b'/') {
+                        s.bump();
+                        closed = true;
+                        break;
+                    }
+                }
+                if !closed {
+                    return Err(LexError {
+                        pos: start_pos,
+                        message: "unterminated block comment".to_string(),
+                    });
+                }
+                ws_before = true;
+            }
+            c if is_ident_start(c) => {
+                // `L"..."` / `L'...'` wide literals.
+                if c == b'L' && matches!(s.peek2(), Some(b'"') | Some(b'\'')) {
+                    let quote = s.peek2().unwrap();
+                    let text = scan_quoted(&mut s, quote, true)?;
+                    let kind = if quote == b'"' {
+                        TokenKind::StringLit
+                    } else {
+                        TokenKind::CharLit
+                    };
+                    push!(kind, text, start_pos);
+                    continue;
+                }
+                let mut text = String::new();
+                while let Some(c) = s.cur() {
+                    if is_ident_cont(c) {
+                        text.push(c as char);
+                        s.bump();
+                    } else {
+                        break;
+                    }
+                }
+                push!(TokenKind::Ident, text, start_pos);
+            }
+            c if c.is_ascii_digit()
+                || (c == b'.' && s.peek2().map(|d| d.is_ascii_digit()).unwrap_or(false)) =>
+            {
+                // pp-number: digits, idents, dots, and sign after e/E/p/P.
+                let mut text = String::new();
+                text.push(s.bump().unwrap() as char);
+                while let Some(c) = s.cur() {
+                    if is_ident_cont(c) || c == b'.' {
+                        text.push(c as char);
+                        s.bump();
+                        let last = text.bytes().last().unwrap();
+                        if matches!(last, b'e' | b'E' | b'p' | b'P') {
+                            if let Some(sign @ (b'+' | b'-')) = s.cur() {
+                                text.push(sign as char);
+                                s.bump();
+                            }
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                push!(TokenKind::Number, text, start_pos);
+            }
+            b'"' => {
+                let text = scan_quoted(&mut s, b'"', false)?;
+                push!(TokenKind::StringLit, text, start_pos);
+            }
+            b'\'' => {
+                let text = scan_quoted(&mut s, b'\'', false)?;
+                push!(TokenKind::CharLit, text, start_pos);
+            }
+            _ => {
+                // Punctuators, longest first. `Punct::all` is ordered for
+                // maximal munch but splices make byte slices unreliable, so
+                // match incrementally on up-to-3 current bytes.
+                let mut matched = None;
+                for &p in Punct::all() {
+                    let spell = p.as_str().as_bytes();
+                    if lookahead_matches(&mut s, spell) {
+                        matched = Some(p);
+                        break;
+                    }
+                }
+                match matched {
+                    Some(p) => {
+                        for _ in 0..p.as_str().len() {
+                            while s.splice() {}
+                            s.bump();
+                        }
+                        push!(TokenKind::Punct(p), p.as_str(), start_pos);
+                    }
+                    None => {
+                        return Err(LexError {
+                            pos: start_pos,
+                            message: format!("unrecognized character 0x{c:02x}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Ensure the last logical line is terminated.
+    if !matches!(
+        out.last().map(|t| t.kind),
+        Some(TokenKind::Newline) | None
+    ) {
+        out.push(Token::new(TokenKind::Newline, "\n", s.pos(), false));
+    }
+    out.push(Token::new(TokenKind::Eof, "", s.pos(), false));
+    Ok(out)
+}
+
+/// Tests whether the upcoming bytes (with splices resolved) spell `spell`,
+/// without consuming anything.
+fn lookahead_matches(s: &mut Scanner<'_>, spell: &[u8]) -> bool {
+    // Fast path: no backslash nearby means no splice can interfere.
+    let window = &s.src[s.i..(s.i + spell.len() + 4).min(s.src.len())];
+    if !window.contains(&b'\\') {
+        return window.starts_with(spell);
+    }
+    // Slow path: simulate with a scratch scanner.
+    let mut probe = Scanner {
+        src: s.src,
+        i: s.i,
+        line: s.line,
+        col: s.col,
+        file: s.file,
+    };
+    for &want in spell {
+        match probe.cur() {
+            Some(c) if c == want => {
+                probe.bump();
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+fn scan_quoted(s: &mut Scanner<'_>, quote: u8, wide: bool) -> Result<Rc<str>, LexError> {
+    let start = s.pos();
+    let mut text = String::new();
+    if wide {
+        text.push(s.bump().unwrap() as char); // 'L'
+    }
+    text.push(s.bump().unwrap() as char); // opening quote
+    loop {
+        while s.splice() {}
+        match s.peek() {
+            None | Some(b'\n') => {
+                let what = if quote == b'"' {
+                    "unterminated string literal"
+                } else {
+                    "unterminated character constant"
+                };
+                return Err(LexError {
+                    pos: start,
+                    message: what.to_string(),
+                });
+            }
+            Some(b'\\') => {
+                // An escape: keep backslash and the next byte verbatim.
+                text.push(s.bump().unwrap() as char);
+                if let Some(c) = s.bump() {
+                    text.push(c as char);
+                }
+            }
+            Some(c) if c == quote => {
+                text.push(s.bump().unwrap() as char);
+                break;
+            }
+            Some(c) => {
+                text.push(c as char);
+                s.bump();
+            }
+        }
+    }
+    Ok(Rc::from(text.as_str()))
+}

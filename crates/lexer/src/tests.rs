@@ -1,0 +1,231 @@
+use super::*;
+use proptest::prelude::*;
+
+fn kinds(src: &str) -> Vec<TokenKind> {
+    lex(src, FileId(0)).unwrap().iter().map(|t| t.kind).collect()
+}
+
+fn texts(src: &str) -> Vec<String> {
+    lex(src, FileId(0))
+        .unwrap()
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::Newline | TokenKind::Eof))
+        .map(|t| t.text().to_string())
+        .collect()
+}
+
+#[test]
+fn empty_input_is_just_eof() {
+    assert_eq!(kinds(""), vec![TokenKind::Eof]);
+}
+
+#[test]
+fn identifiers_and_keywords_lex_alike() {
+    // Keywords are classified later, after macro expansion.
+    assert_eq!(texts("int x while _y $z a1_2"), vec![
+        "int", "x", "while", "_y", "$z", "a1_2"
+    ]);
+    assert!(lex("int", FileId(0)).unwrap()[0].is_ident());
+}
+
+#[test]
+fn numbers_are_pp_numbers() {
+    assert_eq!(texts("0 42 0x1F 017 1.5 1e10 1E-5 0x1p+2 1ULL 3.14f .5"), vec![
+        "0", "42", "0x1F", "017", "1.5", "1e10", "1E-5", "0x1p+2", "1ULL", "3.14f", ".5"
+    ]);
+    for t in lex("42 1.5e-3", FileId(0)).unwrap() {
+        if !matches!(t.kind, TokenKind::Newline | TokenKind::Eof) {
+            assert_eq!(t.kind, TokenKind::Number);
+        }
+    }
+}
+
+#[test]
+fn dot_not_followed_by_digit_is_punct() {
+    assert_eq!(
+        kinds("a.b"),
+        vec![
+            TokenKind::Ident,
+            TokenKind::punct("."),
+            TokenKind::Ident,
+            TokenKind::Newline,
+            TokenKind::Eof
+        ]
+    );
+}
+
+#[test]
+fn string_and_char_literals() {
+    assert_eq!(texts(r#""hi" 'c' L"wide" L'w' "es\"c" '\n' '\0'"#), vec![
+        r#""hi""#, "'c'", r#"L"wide""#, "L'w'", r#""es\"c""#, r"'\n'", r"'\0'"
+    ]);
+    let toks = lex(r#""a" 'b'"#, FileId(0)).unwrap();
+    assert_eq!(toks[0].kind, TokenKind::StringLit);
+    assert_eq!(toks[1].kind, TokenKind::CharLit);
+}
+
+#[test]
+fn punctuators_maximal_munch() {
+    assert_eq!(texts("a<<=b >>= -> ++ -- ... ## # <% no"), vec![
+        "a", "<<=", "b", ">>=", "->", "++", "--", "...", "##", "#", "<", "%", "no"
+    ]);
+    assert_eq!(
+        kinds("+++")[..2],
+        [TokenKind::punct("++"), TokenKind::punct("+")]
+    );
+}
+
+#[test]
+fn comments_become_layout() {
+    let toks = lex("a /* c1 */ b // c2\nc", FileId(0)).unwrap();
+    let sig: Vec<(String, bool)> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| (t.text().to_string(), t.ws_before))
+        .collect();
+    assert_eq!(sig, vec![
+        ("a".to_string(), false),
+        ("b".to_string(), true),
+        ("c".to_string(), false),
+    ]);
+}
+
+#[test]
+fn block_comment_spans_lines() {
+    assert_eq!(texts("a /* x\ny */ b"), vec!["a", "b"]);
+    // The newline inside the comment does not produce a Newline token,
+    // matching cpp's behavior of splicing comments to one space.
+    let n = kinds("a /* x\ny */ b")
+        .iter()
+        .filter(|k| matches!(k, TokenKind::Newline))
+        .count();
+    assert_eq!(n, 1);
+}
+
+#[test]
+fn line_continuations_are_spliced() {
+    // Inside an identifier.
+    assert_eq!(texts("ab\\\ncd"), vec!["abcd"]);
+    // Inside a directive line: no Newline token in the middle.
+    let toks = lex("#define A \\\n 1\nB", FileId(0)).unwrap();
+    let newline_count = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Newline)
+        .count();
+    assert_eq!(newline_count, 2);
+    // Inside a string literal.
+    assert_eq!(texts("\"ab\\\ncd\""), vec!["\"abcd\""]);
+    // Inside a punctuator.
+    assert_eq!(texts("a <\\\n< b"), vec!["a", "<<", "b"]);
+}
+
+#[test]
+fn newlines_terminate_lines_and_final_newline_is_synthesized() {
+    assert_eq!(
+        kinds("a"),
+        vec![TokenKind::Ident, TokenKind::Newline, TokenKind::Eof]
+    );
+    assert_eq!(
+        kinds("a\n"),
+        vec![TokenKind::Ident, TokenKind::Newline, TokenKind::Eof]
+    );
+    // CRLF handled.
+    assert_eq!(
+        kinds("a\r\nb\r\n"),
+        vec![
+            TokenKind::Ident,
+            TokenKind::Newline,
+            TokenKind::Ident,
+            TokenKind::Newline,
+            TokenKind::Eof
+        ]
+    );
+}
+
+#[test]
+fn positions_track_lines_and_columns() {
+    let toks = lex("ab cd\n  ef\n", FileId(7)).unwrap();
+    assert_eq!(toks[0].pos, SourcePos { file: FileId(7), line: 1, col: 1 });
+    assert_eq!(toks[1].pos.col, 4);
+    assert_eq!(toks[3].pos, SourcePos { file: FileId(7), line: 2, col: 3 });
+    assert_eq!(format!("{}", toks[0].pos), "7:1:1");
+}
+
+#[test]
+fn errors_have_positions() {
+    let err = lex("\"unterminated", FileId(0)).unwrap_err();
+    assert!(err.message.contains("unterminated string"));
+    assert_eq!(err.pos.line, 1);
+    let err = lex("/* never closed", FileId(0)).unwrap_err();
+    assert!(err.message.contains("comment"));
+    let err = lex("`", FileId(0)).unwrap_err();
+    assert!(err.message.contains("unrecognized"));
+    assert!(!format!("{err}").is_empty());
+}
+
+#[test]
+fn ws_before_distinguishes_include_spellings() {
+    // `<a / b.h>` vs `<a/b.h>` must be reconstructible.
+    let spaced = lex("< a / b . h >", FileId(0)).unwrap();
+    let tight = lex("<a/b.h>", FileId(0)).unwrap();
+    assert!(spaced[1].ws_before);
+    assert!(!tight[1].ws_before);
+}
+
+#[test]
+fn hash_directives_lex_as_plain_tokens() {
+    let toks = lex("#ifdef CONFIG_SMP\n#endif\n", FileId(0)).unwrap();
+    assert!(toks[0].is_punct(Punct::Hash));
+    assert_eq!(toks[1].text(), "ifdef");
+    assert_eq!(toks[2].text(), "CONFIG_SMP");
+}
+
+#[test]
+fn display_round_trips_simple_tokens() {
+    let toks = lex("x + 1", FileId(0)).unwrap();
+    let s: Vec<String> = toks.iter().map(|t| format!("{t}")).collect();
+    assert_eq!(s, vec!["x", "+", "1", "\\n", "<eof>"]);
+}
+
+#[test]
+fn punct_round_trips() {
+    for &p in Punct::all() {
+        assert_eq!(Punct::from_str(p.as_str()), Some(p));
+        assert_eq!(format!("{p}"), p.as_str());
+    }
+    assert_eq!(Punct::from_str("@@"), None);
+}
+
+proptest! {
+    /// Any lexable input re-lexes identically after being printed with
+    /// single spaces between tokens (token-stream idempotence).
+    #[test]
+    fn relex_is_stable(src in "[a-zA-Z0-9_+\\-*/=<>!&|^%;,(){}\\[\\] \n.#]{0,80}") {
+        if let Ok(toks) = lex(&src, FileId(0)) {
+            let printed: String = toks
+                .iter()
+                .filter(|t| !matches!(t.kind, TokenKind::Newline | TokenKind::Eof))
+                .map(|t| t.text().to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            let again = lex(&printed, FileId(0)).unwrap();
+            let k1: Vec<_> = toks
+                .iter()
+                .filter(|t| !matches!(t.kind, TokenKind::Newline | TokenKind::Eof))
+                .map(|t| (t.kind, t.text().to_string()))
+                .collect();
+            let k2: Vec<_> = again
+                .iter()
+                .filter(|t| !matches!(t.kind, TokenKind::Newline | TokenKind::Eof))
+                .map(|t| (t.kind, t.text().to_string()))
+                .collect();
+            prop_assert_eq!(k1, k2);
+        }
+    }
+
+    /// The scanner never panics on arbitrary ASCII soup.
+    #[test]
+    fn never_panics(src in "[ -~\n\t]{0,120}") {
+        let _ = lex(&src, FileId(0));
+    }
+}

@@ -1,0 +1,200 @@
+//! Token, position, and punctuator definitions.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Identifies a source file in a compilation; the pipeline keeps the
+/// id-to-path mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct FileId(pub u32);
+
+/// A position in a source file (1-based line and column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct SourcePos {
+    /// File containing the token.
+    pub file: FileId,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.file.0, self.line, self.col)
+    }
+}
+
+macro_rules! puncts {
+    ($( $name:ident => $text:literal ),+ $(,)?) => {
+        /// A C punctuator.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        pub enum Punct {
+            $(#[doc = $text] $name),+
+        }
+
+        impl Punct {
+            /// The punctuator's spelling.
+            pub fn as_str(self) -> &'static str {
+                match self { $(Punct::$name => $text),+ }
+            }
+
+            /// Parses a spelling back to a punctuator.
+            pub fn from_str(s: &str) -> Option<Punct> {
+                match s { $($text => Some(Punct::$name),)+ _ => None }
+            }
+
+            /// All punctuators, longest spelling first (for maximal munch).
+            pub fn all() -> &'static [Punct] {
+                &[$(Punct::$name),+]
+            }
+        }
+    };
+}
+
+// Ordered longest-first so the scanner can use maximal munch directly.
+puncts! {
+    Ellipsis => "...",
+    ShlAssign => "<<=",
+    ShrAssign => ">>=",
+    Arrow => "->",
+    Inc => "++",
+    Dec => "--",
+    Shl => "<<",
+    Shr => ">>",
+    Le => "<=",
+    Ge => ">=",
+    EqEq => "==",
+    Ne => "!=",
+    AmpAmp => "&&",
+    PipePipe => "||",
+    PlusAssign => "+=",
+    MinusAssign => "-=",
+    StarAssign => "*=",
+    SlashAssign => "/=",
+    PercentAssign => "%=",
+    AmpAssign => "&=",
+    CaretAssign => "^=",
+    PipeAssign => "|=",
+    HashHash => "##",
+    LBracket => "[",
+    RBracket => "]",
+    LParen => "(",
+    RParen => ")",
+    LBrace => "{",
+    RBrace => "}",
+    Dot => ".",
+    Amp => "&",
+    Star => "*",
+    Plus => "+",
+    Minus => "-",
+    Tilde => "~",
+    Bang => "!",
+    Slash => "/",
+    Percent => "%",
+    Lt => "<",
+    Gt => ">",
+    Caret => "^",
+    Pipe => "|",
+    Question => "?",
+    Colon => ":",
+    Semi => ";",
+    Assign => "=",
+    Comma => ",",
+    Hash => "#",
+    At => "@",
+}
+
+impl fmt::Display for Punct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// The lexical class of a [`Token`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// An identifier — including C keywords, which are classified later.
+    Ident,
+    /// A preprocessing number (integer or floating constant, any suffix).
+    Number,
+    /// A character constant, including any `L` prefix.
+    CharLit,
+    /// A string literal, including any `L` prefix.
+    StringLit,
+    /// A punctuator.
+    Punct(Punct),
+    /// End of a logical source line (backslash-continuations are spliced).
+    Newline,
+    /// End of input. Emitted once, last.
+    Eof,
+}
+
+impl TokenKind {
+    /// Shorthand for `TokenKind::Punct` from a spelling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a C punctuator; intended for literals in tests
+    /// and table construction.
+    pub fn punct(s: &str) -> TokenKind {
+        TokenKind::Punct(Punct::from_str(s).unwrap_or_else(|| panic!("not a punctuator: {s}")))
+    }
+}
+
+/// A lexed token: kind, exact source text, position, preceding-layout flag.
+///
+/// The text is reference-counted so the preprocessor can duplicate token
+/// streams (hoisting copies tokens into every conditional branch) without
+/// copying string data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Exact source spelling (shared).
+    pub text: Rc<str>,
+    /// Where the token started.
+    pub pos: SourcePos,
+    /// Whether whitespace or a comment immediately preceded this token —
+    /// needed to re-spell `#include <...>` paths and to keep stringification
+    /// faithful.
+    pub ws_before: bool,
+}
+
+impl Token {
+    /// Creates a token; primarily for the scanner and for synthesizing
+    /// tokens during macro expansion.
+    pub fn new(kind: TokenKind, text: impl Into<Rc<str>>, pos: SourcePos, ws_before: bool) -> Self {
+        Token {
+            kind,
+            text: text.into(),
+            pos,
+            ws_before,
+        }
+    }
+
+    /// The token's source spelling.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// True for identifiers (the only tokens that can be macro names).
+    pub fn is_ident(&self) -> bool {
+        self.kind == TokenKind::Ident
+    }
+
+    /// True if this token is the given punctuator.
+    pub fn is_punct(&self, p: Punct) -> bool {
+        self.kind == TokenKind::Punct(p)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            TokenKind::Newline => write!(f, "\\n"),
+            TokenKind::Eof => write!(f, "<eof>"),
+            _ => write!(f, "{}", self.text),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Configuration explorer: enumerate a file's configuration space and
+//! unparse the C each configuration would compile — what an ordinary
+//! preprocessor run under that configuration would have produced, but
+//! computed from *one* configuration-preserving parse.
+//!
+//! Run with `cargo run --example config_explorer`.
+
+use superc::{unparse_config, MemFs, Options, SuperC};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = r#"
+#ifdef CONFIG_64BIT
+#define BITS_PER_LONG 64
+#else
+#define BITS_PER_LONG 32
+#endif
+
+int nbits = BITS_PER_LONG;
+
+#ifdef CONFIG_SMP
+int cpus = 8;
+#else
+int cpus = 1;
+#endif
+"#;
+    let fs = MemFs::new().file("conf.c", source);
+    let mut superc = SuperC::new(Options::default(), fs);
+    let processed = superc.process("conf.c")?;
+    let ast = processed.result.ast.as_ref().expect("parsed");
+    let ctx = superc.ctx().clone();
+
+    // The condition variables that actually matter for this file.
+    let vars = ["defined(CONFIG_64BIT)", "defined(CONFIG_SMP)"];
+    println!(
+        "one parse covers {} configurations over {:?}:\n",
+        1 << vars.len(),
+        vars
+    );
+    for bits in 0..(1u32 << vars.len()) {
+        let assignment: Vec<(&str, bool)> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, bits >> i & 1 == 1))
+            .collect();
+        let text = unparse_config(ast, &ctx, &|name| {
+            assignment
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|&(_, v)| v)
+        });
+        let label: Vec<String> = assignment
+            .iter()
+            .map(|(n, v)| format!("{}={}", n.trim_start_matches("defined(").trim_end_matches(')'), u8::from(*v)))
+            .collect();
+        println!("[{}]", label.join(" "));
+        println!("  {text}\n");
+    }
+
+    println!(
+        "(AST has {} choice nodes; the ordinary approach would preprocess and parse {} times)",
+        ast.choice_count(),
+        1 << vars.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Dead-configuration finder: parse errors and `#error` directives that
+//! occur only under some configurations.
+//!
+//! A configuration-preserving parser can report, for each problem, the
+//! exact configurations it affects — something a one-configuration-at-a-
+//! time tool can never do without 2^n runs.
+//!
+//! Run with `cargo run --example dead_code`.
+
+use superc::{MemFs, Options, SuperC};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = r#"
+#ifdef CONFIG_LEGACY_API
+#error the legacy API was removed; disable CONFIG_LEGACY_API
+#endif
+
+int ok_everywhere;
+
+#ifdef CONFIG_EXPERIMENTAL
+/* A half-finished feature: syntactically broken in this configuration. */
+int broken = = 1;
+#else
+int broken = 1;
+#endif
+
+#if defined(CONFIG_A) && !defined(CONFIG_A)
+int never_compiled; /* infeasible: silently dropped */
+#endif
+"#;
+    let fs = MemFs::new().file("dead.c", source);
+    let mut superc = SuperC::new(Options::default(), fs);
+    let processed = superc.process("dead.c")?;
+
+    println!("--- preprocessor diagnostics (with presence conditions) ---");
+    for d in &processed.unit.diagnostics {
+        println!("[{:?}] under {}: {}", d.severity, d.cond, d.message);
+    }
+
+    println!("\n--- per-configuration parse errors ---");
+    for e in &processed.result.errors {
+        println!("{e}");
+    }
+
+    println!("\n--- verdict ---");
+    match &processed.result.accepted {
+        Some(acc) => {
+            println!("configurations that parse: {acc}");
+            if let Some(example) = acc.example_config() {
+                println!("an example good configuration: {example:?}");
+            }
+            if let Some(bad) = acc.not().example_config() {
+                println!("an example broken configuration: {bad:?}");
+            }
+        }
+        None => println!("no configuration parses"),
+    }
+    Ok(())
+}

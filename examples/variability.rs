@@ -1,0 +1,45 @@
+//! Variability analysis over the synthetic kernel corpus: which functions
+//! and declarations exist only in some configurations?
+//!
+//! This is the class of downstream tool the paper motivates — a source
+//! browser or bug finder that must see *every* configuration, not just
+//! `allyesconfig`.
+//!
+//! Run with `cargo run --release --example variability`.
+
+use superc::{declared_names, Options, SuperC};
+use superc_kernelgen::{generate, CorpusSpec};
+
+fn main() {
+    let corpus = generate(&CorpusSpec::small());
+    let mut sc = SuperC::new(Options::default(), corpus.fs.clone());
+
+    let mut total = 0usize;
+    let mut conditional = 0usize;
+    println!("conditional declarations per unit:\n");
+    for unit in &corpus.units {
+        let p = sc.process(unit).expect("corpus units parse");
+        let ast = p.result.ast.expect("ast");
+        let names = declared_names(&ast);
+        let cond_names: Vec<_> = names.iter().filter(|d| d.cond.is_some()).collect();
+        total += names.len();
+        conditional += cond_names.len();
+        println!(
+            "{unit}: {} declarations, {} conditional",
+            names.len(),
+            cond_names.len()
+        );
+        for d in cond_names.iter().take(3) {
+            println!(
+                "    {} ({}) under {}",
+                d.name,
+                d.kind,
+                d.cond.as_ref().expect("conditional")
+            );
+        }
+    }
+    println!(
+        "\ncorpus total: {total} declarations, {conditional} visible only in some configurations ({}%)",
+        conditional * 100 / total.max(1)
+    );
+}

@@ -1,0 +1,14 @@
+//! Umbrella package for the SuperC reproduction: hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). The library itself lives in the [`superc`] crate and its
+//! components; see the workspace README.
+
+pub use superc;
+pub use superc_bdd as bdd;
+pub use superc_cond as cond;
+pub use superc_cpp as cpp;
+pub use superc_csyntax as csyntax;
+pub use superc_fmlr as fmlr;
+pub use superc_grammar as grammar;
+pub use superc_kernelgen as kernelgen;
+pub use superc_lexer as lexer;

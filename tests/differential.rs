@@ -1,0 +1,181 @@
+//! Differential testing: one configuration-preserving run, restricted to
+//! a configuration, must equal a single-configuration ("gcc mode") run
+//! under that configuration — both at the preprocessed-token level and at
+//! the AST level.
+//!
+//! This is the same validation strategy the paper used for its
+//! preprocessor ("comparing the result of running gcc's preprocessor ...
+//! with the result of running it on the output of SuperC's
+//! configuration-preserving preprocessor", §6.3) — with our own
+//! single-configuration mode standing in for gcc.
+
+use superc::cpp::Element;
+use superc::{unparse_config, Builtins, Options, PpOptions, SuperC};
+use superc_kernelgen::{generate, CorpusSpec};
+
+/// Flattens a preserved-variability element tree under a configuration.
+fn select_tokens(elements: &[Element], env: &dyn Fn(&str) -> Option<bool>) -> Vec<String> {
+    let mut out = Vec::new();
+    fn walk(
+        elements: &[Element],
+        env: &dyn Fn(&str) -> Option<bool>,
+        out: &mut Vec<String>,
+    ) {
+        for e in elements {
+            match e {
+                Element::Token(t) => out.push(t.text().to_string()),
+                Element::Conditional(k) => {
+                    let mut taken = false;
+                    for b in &k.branches {
+                        if b.cond.eval(|n| env(n)) {
+                            assert!(!taken, "branch conditions must be disjoint");
+                            taken = true;
+                            walk(&b.elements, env, out);
+                        }
+                    }
+                    assert!(taken, "branch conditions must cover the configuration");
+                }
+            }
+        }
+    }
+    walk(elements, env, &mut out);
+    out
+}
+
+/// The corpus's configuration universe: CONFIG_* names that may be
+/// toggled, plus the mapping for the one opaque non-boolean expression
+/// the generator emits.
+fn config_sets(seed: u64) -> Vec<Vec<String>> {
+    // Deterministic pseudo-random subsets of the generator's CONFIG pool.
+    let pool = [
+        "CONFIG_SMP",
+        "CONFIG_PM",
+        "CONFIG_NUMA",
+        "CONFIG_64BIT",
+        "CONFIG_DEBUG_KERNEL",
+        "CONFIG_PREEMPT",
+        "CONFIG_HOTPLUG",
+        "CONFIG_TRACE",
+        "CONFIG_MODULES",
+        "CONFIG_NET",
+        "CONFIG_BLOCK",
+        "CONFIG_PCI",
+        "CONFIG_ACPI",
+        "CONFIG_USB",
+        "CONFIG_INPUT_MOUSEDEV_PSAUX",
+        "CONFIG_HIGHMEM",
+        "CONFIG_KERNEL_BYTEORDER",
+        "CONFIG_HZ_1000",
+    ];
+    let mut sets = vec![Vec::new()]; // the all-off configuration
+    let mut state = seed | 1;
+    for _ in 0..6 {
+        let mut set = Vec::new();
+        for (i, name) in pool.iter().enumerate() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if (state >> 33) & 1 == 1 || i == 0 {
+                set.push((*name).to_string());
+            }
+        }
+        sets.push(set);
+    }
+    sets.push(pool.iter().map(|s| s.to_string()).collect()); // all-on
+    sets
+}
+
+#[test]
+fn variability_preserving_equals_single_config() {
+    let corpus = generate(&CorpusSpec::small());
+
+    // One configuration-preserving run per unit.
+    let mut full = SuperC::new(
+        Options {
+            pp: PpOptions {
+                builtins: Builtins::gcc_like(),
+                ..PpOptions::default()
+            },
+            ..Options::default()
+        },
+        corpus.fs.clone(),
+    );
+    let processed: Vec<_> = corpus
+        .units
+        .iter()
+        .map(|u| full.process(u).expect("full run"))
+        .collect();
+    let ctx = full.ctx().clone();
+
+    for set in config_sets(corpus.spec.seed) {
+        // `NR_CPUS` is undefined in every configuration: gcc mode
+        // evaluates `NR_CPUS < 256` as `0 < 256` = true, so the opaque
+        // variable must be true as well.
+        let env = |name: &str| -> Option<bool> {
+            if name == "NR_CPUS < 256" {
+                return Some(true);
+            }
+            let inner = name
+                .strip_prefix("defined(")
+                .and_then(|n| n.strip_suffix(')'))
+                .unwrap_or(name);
+            Some(set.iter().any(|s| s == inner))
+        };
+
+        // One single-configuration run per unit under this set.
+        let defines: Vec<(String, String)> =
+            set.iter().map(|n| (n.clone(), "1".to_string())).collect();
+        let mut gcc = SuperC::new(
+            Options {
+                pp: PpOptions {
+                    builtins: Builtins::gcc_like(),
+                    defines,
+                    single_config: true,
+                    ..PpOptions::default()
+                },
+                ..Options::default()
+            },
+            corpus.fs.clone(),
+        );
+
+        for (unit_path, p) in corpus.units.iter().zip(&processed) {
+            // Skip configurations this unit declares invalid via #error.
+            let poisoned = p
+                .unit
+                .diagnostics
+                .iter()
+                .any(|d| d.message.starts_with("#error") && d.cond.eval(|n| env(n)));
+            if poisoned {
+                continue;
+            }
+            let g = gcc.process(unit_path).expect("gcc-mode run");
+            assert!(g.result.errors.is_empty(), "{unit_path} under {set:?}");
+            let expected: Vec<String> = {
+                let mut v = Vec::new();
+                for e in &g.unit.elements {
+                    if let Element::Token(t) = e {
+                        v.push(t.text().to_string());
+                    }
+                }
+                v
+            };
+
+            // (1) Preprocessed tokens match.
+            let got = select_tokens(&p.unit.elements, &env);
+            assert_eq!(
+                got, expected,
+                "{unit_path}: preprocessed tokens differ under {set:?}"
+            );
+
+            // (2) The AST restricted to the configuration unparses to the
+            // same token sequence.
+            let ast = p.result.ast.as_ref().expect("full run parsed");
+            let unparsed = unparse_config(ast, &ctx, &|n| env(n));
+            let expected_text = expected.join(" ");
+            assert_eq!(
+                unparsed, expected_text,
+                "{unit_path}: AST restriction differs under {set:?}"
+            );
+        }
+    }
+}

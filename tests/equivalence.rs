@@ -1,0 +1,187 @@
+//! Equivalence obligations across engine variants: every optimization
+//! level (and the SAT backend) must accept the same configurations and
+//! produce per-configuration-identical ASTs. The optimizations are
+//! performance transformations; any observable difference is a bug.
+
+use superc::cpp::Element;
+use superc::{unparse_config, Builtins, Options, ParserConfig, PpOptions, SuperC};
+use superc_kernelgen::{generate, CorpusSpec};
+
+fn opts() -> PpOptions {
+    PpOptions {
+        builtins: Builtins::gcc_like(),
+        ..PpOptions::default()
+    }
+}
+
+/// Sample configurations to compare under (deterministic).
+fn sample_envs() -> Vec<Vec<&'static str>> {
+    vec![
+        vec![],
+        vec!["CONFIG_SMP"],
+        vec!["CONFIG_64BIT", "CONFIG_PM"],
+        vec!["CONFIG_SMP", "CONFIG_64BIT", "CONFIG_KERNEL_BYTEORDER", "CONFIG_TRACE"],
+    ]
+}
+
+fn env_fn<'a>(set: &'a [&'a str]) -> impl Fn(&str) -> Option<bool> + 'a {
+    move |name: &str| {
+        if name == "NR_CPUS < 256" {
+            return Some(true);
+        }
+        let inner = name
+            .strip_prefix("defined(")
+            .and_then(|n| n.strip_suffix(')'))
+            .unwrap_or(name);
+        Some(set.contains(&inner))
+    }
+}
+
+#[test]
+fn all_optimization_levels_are_observationally_equal() {
+    let corpus = generate(&CorpusSpec::small());
+
+    // Reference: full optimizations, BDD backend.
+    let mut reference = SuperC::new(
+        Options {
+            pp: opts(),
+            ..Options::default()
+        },
+        corpus.fs.clone(),
+    );
+    let ref_ctx = reference.ctx().clone();
+    let refs: Vec<_> = corpus
+        .units
+        .iter()
+        .map(|u| reference.process(u).expect("reference"))
+        .collect();
+
+    for (name, cfg) in ParserConfig::levels() {
+        if !cfg.follow_set {
+            // MAPR is *expected* to diverge (kill switch); covered by fig8.
+            continue;
+        }
+        let mut sc = SuperC::new(
+            Options {
+                pp: opts(),
+                parser: cfg,
+                ..Options::default()
+            },
+            corpus.fs.clone(),
+        );
+        let ctx = sc.ctx().clone();
+        for (unit, r) in corpus.units.iter().zip(&refs) {
+            let p = sc.process(unit).unwrap_or_else(|e| panic!("{name} {unit}: {e}"));
+            assert_eq!(
+                p.result.errors.len(),
+                r.result.errors.len(),
+                "{name} {unit}: error count differs"
+            );
+            // Accepted conditions agree semantically.
+            match (&p.result.accepted, &r.result.accepted) {
+                (Some(a), Some(b)) => {
+                    for set in sample_envs() {
+                        assert_eq!(
+                            a.eval(|n| env_fn(&set)(n)),
+                            b.eval(|n| env_fn(&set)(n)),
+                            "{name} {unit}: acceptance differs under {set:?}"
+                        );
+                    }
+                }
+                (None, None) => {}
+                _ => panic!("{name} {unit}: acceptance presence differs"),
+            }
+            // Per-configuration unparse agrees.
+            let (Some(a), Some(b)) = (&p.result.ast, &r.result.ast) else {
+                continue;
+            };
+            for set in sample_envs() {
+                let ua = unparse_config(a, &ctx, &env_fn(&set));
+                let ub = unparse_config(b, &ref_ctx, &env_fn(&set));
+                assert_eq!(ua, ub, "{name} {unit}: unparse differs under {set:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sat_backend_is_observationally_equal_to_bdd() {
+    // The constrained corpus keeps the SAT run fast.
+    let corpus = generate(&CorpusSpec {
+        units: 6,
+        ..CorpusSpec::constrained()
+    });
+    let mut bdd = SuperC::new(
+        Options {
+            pp: opts(),
+            ..Options::default()
+        },
+        corpus.fs.clone(),
+    );
+    let mut sat = SuperC::new(
+        Options {
+            pp: opts(),
+            ..Options::typechef_baseline()
+        },
+        corpus.fs.clone(),
+    );
+    let (bctx, sctx) = (bdd.ctx().clone(), sat.ctx().clone());
+    for unit in &corpus.units {
+        let pb = bdd.process(unit).expect("bdd");
+        let ps = sat.process(unit).expect("sat");
+        assert_eq!(pb.result.errors.len(), ps.result.errors.len(), "{unit}");
+        let (Some(a), Some(b)) = (&pb.result.ast, &ps.result.ast) else {
+            panic!("{unit}: missing ast");
+        };
+        for set in sample_envs() {
+            let ua = unparse_config(a, &bctx, &env_fn(&set));
+            let ub = unparse_config(b, &sctx, &env_fn(&set));
+            assert_eq!(ua, ub, "{unit}: backends disagree under {set:?}");
+        }
+    }
+}
+
+/// Structural invariant of preprocessor output: within every conditional,
+/// branch conditions are pairwise disjoint and cover the enclosing
+/// condition — the partition invariant both Algorithm 1 (hoisting) and
+/// Algorithm 3 (follow-set) rely on.
+#[test]
+fn branch_conditions_partition() {
+    let corpus = generate(&CorpusSpec::small());
+    let mut sc = SuperC::new(
+        Options {
+            pp: opts(),
+            ..Options::default()
+        },
+        corpus.fs.clone(),
+    );
+    fn check(elements: &[Element], parent: &superc::Cond) {
+        for e in elements {
+            if let Element::Conditional(k) = e {
+                let ctx = parent.ctx();
+                let mut union = ctx.fls();
+                for (i, b) in k.branches.iter().enumerate() {
+                    assert!(
+                        !b.cond.is_false(),
+                        "infeasible branches must be trimmed"
+                    );
+                    assert!(
+                        union.and(&b.cond).is_false(),
+                        "branch {i} overlaps earlier branches"
+                    );
+                    union = union.or(&b.cond);
+                    check(&b.elements, &b.cond);
+                }
+                assert!(
+                    union.semantically_equal(parent),
+                    "branches do not cover the enclosing condition"
+                );
+            }
+        }
+    }
+    for unit in &corpus.units {
+        let p = sc.process(unit).expect("processes");
+        let tru = sc.ctx().tru();
+        check(&p.unit.elements, &tru);
+    }
+}

@@ -1,0 +1,206 @@
+//! Property-based fuzzing of the full pipeline: randomly generated
+//! directive/declaration soups must never panic the preprocessor or
+//! parser, must keep the branch-partition invariant, and must stay
+//! differentially consistent with single-configuration mode.
+
+use proptest::prelude::*;
+use superc::cpp::Element;
+use superc::{Builtins, Options, PpOptions, SuperC};
+
+/// A tiny AST of preprocessor-and-C soup that always generates
+/// *lexable* text (the pipeline should handle arbitrary bytes too, but
+/// the interesting surface is structured variability).
+#[derive(Clone, Debug)]
+enum Soup {
+    Decl(u8),
+    Expand(u8),
+    Define(u8, u8),
+    Undef(u8),
+    FnDefine(u8, u8),
+    Cond(u8, Vec<Soup>, Vec<Soup>),
+    IfExpr(u8, u8, Vec<Soup>),
+}
+
+fn soup() -> impl Strategy<Value = Vec<Soup>> {
+    let leaf = prop_oneof![
+        (0u8..6).prop_map(Soup::Decl),
+        (0u8..4).prop_map(Soup::Expand),
+        (0u8..4, 0u8..10).prop_map(|(m, v)| Soup::Define(m, v)),
+        (0u8..4).prop_map(Soup::Undef),
+        (0u8..4, 0u8..10).prop_map(|(m, v)| Soup::FnDefine(m, v)),
+    ];
+    let item = leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                0u8..5,
+                prop::collection::vec(inner.clone(), 0..4),
+                prop::collection::vec(inner.clone(), 0..4)
+            )
+                .prop_map(|(c, t, e)| Soup::Cond(c, t, e)),
+            (0u8..4, 0u8..8, prop::collection::vec(inner, 0..4))
+                .prop_map(|(m, k, body)| Soup::IfExpr(m, k, body)),
+        ]
+    });
+    prop::collection::vec(item, 0..10)
+}
+
+fn render(items: &[Soup], out: &mut String, counter: &mut u32) {
+    for item in items {
+        match item {
+            Soup::Decl(d) => {
+                *counter += 1;
+                out.push_str(&format!("int decl_{}_{d} = {d};\n", *counter));
+            }
+            Soup::Expand(m) => {
+                *counter += 1;
+                out.push_str(&format!("int use_{} = (int)M{m};\n", *counter));
+            }
+            Soup::Define(m, v) => out.push_str(&format!("#define M{m} {v}\n")),
+            Soup::Undef(m) => out.push_str(&format!("#undef M{m}\n")),
+            Soup::FnDefine(m, v) => {
+                out.push_str(&format!("#define F{m}(x) ((x) + {v} + (int)M{m})\n"));
+                *counter += 1;
+                out.push_str(&format!("int fuse_{} = F{m}(2);\n", *counter));
+            }
+            Soup::Cond(c, t, e) => {
+                out.push_str(&format!("#ifdef CFG{c}\n"));
+                render(t, out, counter);
+                out.push_str("#else\n");
+                render(e, out, counter);
+                out.push_str("#endif\n");
+            }
+            Soup::IfExpr(m, k, body) => {
+                out.push_str(&format!("#if defined(CFG{m}) || M{m} > {k}\n"));
+                render(body, out, counter);
+                out.push_str("#endif\n");
+            }
+        }
+    }
+}
+
+fn check_partition(elements: &[Element], parent: &superc::Cond) {
+    for e in elements {
+        if let Element::Conditional(k) = e {
+            let mut union = parent.ctx().fls();
+            for b in &k.branches {
+                assert!(!b.cond.is_false());
+                assert!(union.and(&b.cond).is_false(), "overlapping branches");
+                union = union.or(&b.cond);
+                check_partition(&b.elements, &b.cond);
+            }
+            assert!(union.semantically_equal(parent), "branches must cover");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pipeline_never_panics_and_keeps_invariants(items in soup()) {
+        let mut src = String::new();
+        let mut counter = 0;
+        render(&items, &mut src, &mut counter);
+        src.push_str("int trailer;\n");
+
+        let fs = superc::MemFs::new().file("f.c", &src);
+        let mut sc = SuperC::new(
+            Options {
+                pp: PpOptions { builtins: Builtins::none(), ..PpOptions::default() },
+                ..Options::default()
+            },
+            fs,
+        );
+        let p = sc.process("f.c").expect("structured soup always lexes");
+        let tru = sc.ctx().tru();
+        check_partition(&p.unit.elements, &tru);
+
+        // Macro values are integers, so every configuration is valid C:
+        // the parse must cover the whole space.
+        prop_assert!(p.result.errors.is_empty(),
+            "errors: {:?}\nsource:\n{src}",
+            p.result.errors.iter().map(|e| format!("{e}")).collect::<Vec<_>>());
+        prop_assert!(p.result.accepted.as_ref().expect("accepted").is_true());
+    }
+
+    #[test]
+    fn soup_matches_single_config(items in soup(), mask in 0u8..32) {
+        let mut src = String::new();
+        let mut counter = 0;
+        render(&items, &mut src, &mut counter);
+        src.push_str("int trailer;\n");
+
+        let fs = superc::MemFs::new().file("f.c", &src);
+        // Full variability run.
+        let mut full = SuperC::new(
+            Options {
+                pp: PpOptions { builtins: Builtins::none(), ..PpOptions::default() },
+                ..Options::default()
+            },
+            fs.clone(),
+        );
+        let p = full.process("f.c").expect("full");
+
+        // Single-config run under the mask.
+        let on = |i: u8| mask >> i & 1 == 1;
+        let defines: Vec<(String, String)> = (0u8..5)
+            .filter(|&i| on(i))
+            .map(|i| (format!("CFG{i}"), "1".to_string()))
+            .collect();
+        let mut single = SuperC::new(
+            Options {
+                pp: PpOptions {
+                    builtins: Builtins::none(),
+                    defines,
+                    single_config: true,
+                    ..PpOptions::default()
+                },
+                ..Options::default()
+            },
+            fs,
+        );
+        let g = single.process("f.c").expect("single");
+
+        // Select the full run's tokens under the mask. Free macros (Mx
+        // never defined) appear as `defined(Mx)`-style variables: in gcc
+        // mode those identifiers are 0, so `Mx > k` is false and
+        // `defined(...)` vars are false. Opaque arithmetic over *defined*
+        // macros folded already; opaque vars mentioning free macros
+        // evaluate false in gcc mode (0 > k, k ≥ 0).
+        let env = |name: &str| -> Option<bool> {
+            if let Some(inner) = name.strip_prefix("defined(").and_then(|n| n.strip_suffix(')')) {
+                if let Some(i) = inner.strip_prefix("CFG").and_then(|d| d.parse::<u8>().ok()) {
+                    return Some(on(i));
+                }
+                return Some(false); // free M macros are never defined
+            }
+            Some(false) // opaque arithmetic over free macros: 0 > k is false
+        };
+        let mut got = Vec::new();
+        fn walk(elements: &[Element], env: &dyn Fn(&str) -> Option<bool>, out: &mut Vec<String>) {
+            for e in elements {
+                match e {
+                    Element::Token(t) => out.push(t.text().to_string()),
+                    Element::Conditional(k) => {
+                        for b in &k.branches {
+                            if b.cond.eval(|n| env(n)) {
+                                walk(&b.elements, env, out);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        walk(&p.unit.elements, &env, &mut got);
+        let expected: Vec<String> = g
+            .unit
+            .elements
+            .iter()
+            .filter_map(|e| match e {
+                Element::Token(t) => Some(t.text().to_string()),
+                Element::Conditional(_) => None,
+            })
+            .collect();
+        prop_assert_eq!(got, expected, "source:\n{}", src);
+    }
+}

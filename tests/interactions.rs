@@ -1,0 +1,261 @@
+//! One end-to-end test per gray cell of the paper's Table 1 — the
+//! preprocessor/parser interactions SuperC newly supports over TypeChef —
+//! plus the non-gray interactions worth pinning down. Each test drives
+//! the full pipeline (lexer → configuration-preserving preprocessor →
+//! FMLR parser with the C grammar).
+
+use superc::{Builtins, CompilationUnit, CondCtx, MemFs, Options, PpOptions, SuperC};
+
+fn run(files: &[(&str, &str)]) -> (CompilationUnit, superc::ParseResult, CondCtx) {
+    let mut fs = MemFs::new();
+    for (p, c) in files {
+        fs.add(p, c);
+    }
+    let opts = Options {
+        pp: PpOptions {
+            builtins: Builtins::none(),
+            ..PpOptions::default()
+        },
+        ..Options::default()
+    };
+    let mut sc = SuperC::new(opts, fs);
+    let p = sc.process("main.c").expect("processes");
+    let ctx = sc.ctx().clone();
+    (p.unit, p.result, ctx)
+}
+
+fn assert_clean(r: &superc::ParseResult) {
+    assert!(
+        r.errors.is_empty(),
+        "{:?}",
+        r.errors.iter().map(|e| format!("{e}")).collect::<Vec<_>>()
+    );
+    assert!(r.accepted.as_ref().expect("accepted").is_true());
+}
+
+/// Row "Macro (Un)Definition" × "Contain Conditionals": multiple entries
+/// in the conditional macro table.
+#[test]
+fn multiply_defined_macro_table_entries() {
+    let (unit, r, _) = run(&[(
+        "main.c",
+        "#ifdef CONFIG_64BIT\n#define WORD 64\n#else\n#define WORD 32\n#endif\nint w = WORD;\n",
+    )]);
+    assert_clean(&r);
+    assert_eq!(unit.stats.output_conditionals, 1);
+}
+
+/// Row "Macro (Un)Definition" × "Other": trimming infeasible entries on
+/// redefinition.
+#[test]
+fn redefinition_trims_infeasible_entries() {
+    let (unit, r, _) = run(&[(
+        "main.c",
+        "#define V 1\n#define V 2\nint x = V;\n",
+    )]);
+    assert_clean(&r);
+    assert!(unit.stats.trimmed_entries >= 1);
+    assert!(unit.display_text().contains("= 2"));
+}
+
+/// Row "Object-Like Macro Invocations" × "Surrounded by Conditionals":
+/// infeasible definitions are ignored at the invocation site.
+#[test]
+fn invocation_ignores_infeasible_definitions() {
+    let (unit, r, ctx) = run(&[(
+        "main.c",
+        "#ifdef A\n#define V 1\n#endif\n#ifndef A\nint x = V;\n#endif\nint done;\n",
+    )]);
+    assert_clean(&r);
+    let _ = ctx;
+    // V stays an identifier: its only definition is infeasible under !A.
+    assert!(unit.display_text().contains("x = V"));
+}
+
+/// Row "Function-Like Macro Invocations" × "Contain Conditionals" (gray):
+/// hoisting conditionals around the invocation, with arguments differing
+/// per branch.
+#[test]
+fn function_invocation_hoists_conditionals() {
+    let (_, r, ctx) = run(&[(
+        "main.c",
+        "#define twice(x) ((x) + (x))\nint r = twice(\n#ifdef BIG\n100\n#else\n1\n#endif\n);\n",
+    )]);
+    assert_clean(&r);
+    let ast = r.ast.expect("ast");
+    let with = superc::unparse_config(&ast, &ctx, &|n| Some(n == "defined(BIG)"));
+    assert!(with.contains("( 100 ) + ( 100 )"), "{with}");
+}
+
+/// Same row, "Other": differing argument numbers and variadics across
+/// branches (gray).
+#[test]
+fn differing_arity_and_variadics_across_branches() {
+    let (_, r, ctx) = run(&[(
+        "main.c",
+        "#ifdef TRACE\n#define log(fmt, ...) trace(fmt, __VA_ARGS__)\n#else\n#define log(fmt, ...) nop(fmt)\n#endif\nvoid f(void) { log(\"x\", 1, 2); }\n",
+    )]);
+    assert_clean(&r);
+    let ast = r.ast.expect("ast");
+    let on = superc::unparse_config(&ast, &ctx, &|n| Some(n == "defined(TRACE)"));
+    let off = superc::unparse_config(&ast, &ctx, &|_| Some(false));
+    assert!(on.contains("trace ( \"x\" , 1 , 2 )"), "{on}");
+    assert!(off.contains("nop ( \"x\" )"), "{off}");
+}
+
+/// Row "Token Pasting & Stringification" × "Contain Conditionals" (gray):
+/// Figure 5's hoist around `##`.
+#[test]
+fn token_pasting_hoists_fig5() {
+    let (_, r, ctx) = run(&[(
+        "main.c",
+        "#ifdef CONFIG_64BIT\n#define BPL 64\n#else\n#define BPL 32\n#endif\n#define uintBPL_t uint(BPL)\n#define uint(x) xuint(x)\n#define xuint(x) __le ## x\ntypedef int __le64;\ntypedef int __le32;\nuintBPL_t *p;\n",
+    )]);
+    assert_clean(&r);
+    let ast = r.ast.expect("ast");
+    let on = superc::unparse_config(&ast, &ctx, &|n| Some(n == "defined(CONFIG_64BIT)"));
+    assert!(on.contains("__le64 * p"), "{on}");
+}
+
+/// Row "File Includes" × "Surrounded by Conditionals": headers are
+/// preprocessed under the inclusion's presence condition.
+#[test]
+fn include_under_presence_condition() {
+    let (_, r, ctx) = run(&[
+        (
+            "main.c",
+            "#ifdef NEED_EXTRA\n#include \"extra.h\"\n#endif\nint tail = EXTRA;\n",
+        ),
+        ("extra.h", "#define EXTRA 7\n"),
+    ]);
+    assert_clean(&r);
+    let ast = r.ast.expect("ast");
+    let on = superc::unparse_config(&ast, &ctx, &|n| Some(n == "defined(NEED_EXTRA)"));
+    let off = superc::unparse_config(&ast, &ctx, &|_| Some(false));
+    assert!(on.contains("tail = 7"), "{on}");
+    assert!(off.contains("tail = EXTRA"), "{off}");
+}
+
+/// Row "File Includes" × "Contain Conditionals" (gray): computed include
+/// with a multiply-defined macro operand.
+#[test]
+fn computed_include_with_hoisting() {
+    let (unit, r, ctx) = run(&[
+        (
+            "main.c",
+            "#ifdef ALT\n#define HDR \"b.h\"\n#else\n#define HDR \"a.h\"\n#endif\n#include HDR\nint x = N;\n",
+        ),
+        ("a.h", "#define N 1\n"),
+        ("b.h", "#define N 2\n"),
+    ]);
+    assert_clean(&r);
+    assert!(unit.stats.includes_hoisted >= 1);
+    let ast = r.ast.expect("ast");
+    let alt = superc::unparse_config(&ast, &ctx, &|n| Some(n == "defined(ALT)"));
+    assert!(alt.contains("x = 2"), "{alt}");
+}
+
+/// Row "File Includes" × "Other" (gray): reinclusion when the guard macro
+/// is not definitely false.
+#[test]
+fn reinclusion_with_undefined_guard() {
+    let (unit, r, _) = run(&[
+        (
+            "main.c",
+            "#include \"g.h\"\n#undef G_H\n#include \"g.h\"\nint t;\n",
+        ),
+        ("g.h", "#ifndef G_H\n#define G_H\nint decl;\n#endif\n"),
+    ]);
+    assert_clean(&r);
+    assert_eq!(unit.stats.reincluded_headers, 1);
+    // Two copies of the declaration.
+    assert_eq!(unit.display_text().matches("int decl").count(), 2);
+}
+
+/// Row "Conditional Expressions" × "Contain Conditionals" (gray):
+/// hoisting a multiply-defined macro around a conditional expression
+/// (the paper's `BITS_PER_LONG == 32` walkthrough).
+#[test]
+fn conditional_expression_hoisting() {
+    let (unit, r, ctx) = run(&[(
+        "main.c",
+        "#ifdef CONFIG_64BIT\n#define BPL 64\n#else\n#define BPL 32\n#endif\n#if BPL == 32\nint small_long;\n#endif\nint always;\n",
+    )]);
+    assert_clean(&r);
+    assert!(unit.stats.conditionals_hoisted >= 1);
+    let ast = r.ast.expect("ast");
+    let on64 = superc::unparse_config(&ast, &ctx, &|n| Some(n == "defined(CONFIG_64BIT)"));
+    assert!(!on64.contains("small_long"), "{on64}");
+    let on32 = superc::unparse_config(&ast, &ctx, &|_| Some(false));
+    assert!(on32.contains("small_long"), "{on32}");
+}
+
+/// Row "Conditional Expressions" × "Other": non-boolean expressions stay
+/// opaque but identical occurrences correlate.
+#[test]
+fn non_boolean_expressions_preserved() {
+    let (unit, r, _) = run(&[(
+        "main.c",
+        "#if NR_CPUS < 256\nint byte_cpu;\n#endif\n#if NR_CPUS < 256\nint byte_cpu2;\n#endif\nint always;\n",
+    )]);
+    assert_clean(&r);
+    assert!(unit.stats.non_boolean_exprs >= 1);
+    // Correlated: both blocks share one opaque variable, so there are
+    // exactly two configuration classes. The adjacent declarations merge
+    // into a single grouped choice node.
+    let ast = r.ast.expect("ast");
+    assert_eq!(ast.choice_count(), 1);
+}
+
+/// Row "Error Directives": erroneous branches are infeasible.
+#[test]
+fn error_directives_disable_branches() {
+    let (unit, r, _) = run(&[(
+        "main.c",
+        "#ifdef BROKEN\n#error nope\nint junk(;\n#endif\nint good;\n",
+    )]);
+    // The branch's configurations are disabled (not parsed at all), so
+    // even its syntax error never surfaces.
+    assert_clean(&r);
+    assert_eq!(unit.stats.error_directives, 1);
+    assert!(!unit.display_text().contains("junk"));
+}
+
+/// Row "C Constructs" × FMLR: fork and merge around a statement-splitting
+/// conditional (Figure 1).
+#[test]
+fn fmlr_forks_and_merges_around_c_constructs() {
+    let (_, r, _) = run(&[(
+        "main.c",
+        "int f(int a, int b) {\n  int i;\n#ifdef PS\n  if (a == 10)\n    i = 31;\n  else\n#endif\n  i = b - 32;\n  return i;\n}\n",
+    )]);
+    assert_clean(&r);
+    let ast = r.ast.expect("ast");
+    assert_eq!(ast.choice_count(), 1);
+    assert!(r.stats.merges >= 1);
+}
+
+/// Row "Typedef Names" × "Contain Conditionals" (gray): conditional
+/// symbol-table entries and forking on ambiguously defined names.
+#[test]
+fn ambiguous_typedef_forks_subparsers() {
+    let (_, r, _) = run(&[(
+        "main.c",
+        "#ifdef HAS_T\ntypedef int T;\n#endif\nvoid f(void) { T * p; }\n",
+    )]);
+    assert_clean(&r);
+    assert!(r.stats.reclassify_forks >= 1);
+}
+
+/// The include-guard translation (§3.2 case 4a): guards never become
+/// configuration variables.
+#[test]
+fn guards_do_not_pollute_presence_conditions() {
+    let (unit, r, _) = run(&[
+        ("main.c", "#include \"g.h\"\n#include \"g.h\"\nint x = VAL;\n"),
+        ("g.h", "#ifndef G_H\n#define G_H\n#define VAL 3\n#endif\n"),
+    ]);
+    assert_clean(&r);
+    assert_eq!(unit.stats.output_conditionals, 0);
+    assert_eq!(r.ast.expect("ast").choice_count(), 0);
+}
