@@ -35,6 +35,10 @@ mod dot;
 mod manager;
 
 pub use manager::{Bdd, BddManager, BddStats, VarId};
+// Hot-path hashing and interning primitives, re-exported so downstream
+// crates pick up the same FxHash-based containers without a direct
+// superc-util dependency.
+pub use superc_util::{FastMap, FastSet, FxBuildHasher, Interner, Symbol};
 
 #[cfg(test)]
 mod tests;

@@ -1,10 +1,17 @@
 //! The BDD node table, unique table, and apply cache.
+//!
+//! All interior tables are [`FastMap`]s (FxHash): the unique table and
+//! operation caches are keyed on small integers, where SipHash's
+//! per-lookup cost dominated profiles. Variable names live in a shared
+//! [`Interner`] so that presence-condition variables can be compared and
+//! hashed as `u32` [`Symbol`]s across the preprocessor and parser.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;
+
+use superc_util::{FastMap, FastSet, Interner, Symbol};
 
 /// Index of a variable in a [`BddManager`]'s ordering.
 ///
@@ -37,16 +44,33 @@ enum Op {
 
 struct Inner {
     nodes: Vec<Node>,
-    unique: HashMap<Node, NodeId>,
-    apply_cache: HashMap<(Op, NodeId, NodeId), NodeId>,
-    not_cache: HashMap<NodeId, NodeId>,
-    var_names: Vec<String>,
-    var_ids: HashMap<String, VarId>,
+    unique: FastMap<Node, NodeId>,
+    apply_cache: FastMap<(Op, NodeId, NodeId), NodeId>,
+    not_cache: FastMap<NodeId, NodeId>,
+    interner: Interner,
+    var_syms: Vec<Symbol>,
+    var_ids: FastMap<Symbol, VarId>,
     applies: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Work-stack buffers reused across `apply` calls so the common
+    /// cache-hit/terminal case never allocates.
+    apply_tasks: Vec<ApplyTask>,
+    apply_results: Vec<NodeId>,
+}
+
+/// A frame of the explicit apply work stack: either a pair still to
+/// expand, or a pending `mk` once both cofactor results are available.
+enum ApplyTask {
+    Expand(NodeId, NodeId),
+    Combine {
+        var: VarId,
+        key: (Op, NodeId, NodeId),
+    },
 }
 
 impl Inner {
-    fn new() -> Self {
+    fn new(interner: Interner) -> Self {
         let terminal = |_: NodeId| Node {
             var: TERMINAL_VAR,
             low: 0,
@@ -58,12 +82,17 @@ impl Inner {
         nodes[TRUE as usize].high = 1;
         Inner {
             nodes,
-            unique: HashMap::new(),
-            apply_cache: HashMap::new(),
-            not_cache: HashMap::new(),
-            var_names: Vec::new(),
-            var_ids: HashMap::new(),
+            unique: FastMap::default(),
+            apply_cache: FastMap::default(),
+            not_cache: FastMap::default(),
+            interner,
+            var_syms: Vec::new(),
+            var_ids: FastMap::default(),
             applies: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            apply_tasks: Vec::new(),
+            apply_results: Vec::new(),
         }
     }
 
@@ -86,12 +115,17 @@ impl Inner {
     }
 
     fn mk_var(&mut self, name: &str) -> VarId {
-        if let Some(&v) = self.var_ids.get(name) {
+        let sym = self.interner.intern(name);
+        self.mk_var_sym(sym)
+    }
+
+    fn mk_var_sym(&mut self, sym: Symbol) -> VarId {
+        if let Some(&v) = self.var_ids.get(&sym) {
             return v;
         }
-        let v = self.var_names.len() as VarId;
-        self.var_names.push(name.to_string());
-        self.var_ids.insert(name.to_string(), v);
+        let v = self.var_syms.len() as VarId;
+        self.var_syms.push(sym);
+        self.var_ids.insert(sym, v);
         v
     }
 
@@ -113,55 +147,59 @@ impl Inner {
         }
     }
 
-    fn apply(&mut self, op: Op, f: NodeId, g: NodeId) -> NodeId {
-        self.applies += 1;
-        // Terminal cases.
+    /// Resolves the constant/absorption cases of `op` without touching the
+    /// node table. `None` means both operands are internal nodes and the
+    /// Shannon expansion is needed.
+    fn apply_terminal(&mut self, op: Op, f: NodeId, g: NodeId) -> Option<NodeId> {
         match op {
             Op::And => {
                 if f == FALSE || g == FALSE {
-                    return FALSE;
+                    return Some(FALSE);
                 }
                 if f == TRUE {
-                    return g;
+                    return Some(g);
                 }
                 if g == TRUE || f == g {
-                    return f;
+                    return Some(f);
                 }
             }
             Op::Or => {
                 if f == TRUE || g == TRUE {
-                    return TRUE;
+                    return Some(TRUE);
                 }
                 if f == FALSE {
-                    return g;
+                    return Some(g);
                 }
                 if g == FALSE || f == g {
-                    return f;
+                    return Some(f);
                 }
             }
             Op::Xor => {
                 if f == g {
-                    return FALSE;
+                    return Some(FALSE);
                 }
                 if f == FALSE {
-                    return g;
+                    return Some(g);
                 }
                 if g == FALSE {
-                    return f;
+                    return Some(f);
                 }
                 if f == TRUE {
-                    return self.not(g);
+                    return Some(self.not(g));
                 }
                 if g == TRUE {
-                    return self.not(f);
+                    return Some(self.not(f));
                 }
             }
         }
-        // Commutative ops: normalize the cache key.
-        let key = if f <= g { (op, f, g) } else { (op, g, f) };
-        if let Some(&r) = self.apply_cache.get(&key) {
-            return r;
-        }
+        None
+    }
+
+    /// Pushes the Shannon expansion of a known cache miss `(op, f, g)`:
+    /// a pending `mk` followed by the two cofactor pairs. The low pair
+    /// completes first (it is popped first), so the matching `Combine`
+    /// sees `results = [.., low, high]`.
+    fn expand_into(&self, f: NodeId, g: NodeId, key: (Op, NodeId, NodeId), tasks: &mut Vec<ApplyTask>) {
         let (vf, vg) = (self.var_of(f), self.var_of(g));
         let var = vf.min(vg);
         let (f_lo, f_hi) = if vf == var {
@@ -176,10 +214,67 @@ impl Inner {
         } else {
             (g, g)
         };
-        let low = self.apply(op, f_lo, g_lo);
-        let high = self.apply(op, f_hi, g_hi);
-        let r = self.mk(var, low, high);
-        self.apply_cache.insert(key, r);
+        tasks.push(ApplyTask::Combine { var, key });
+        tasks.push(ApplyTask::Expand(f_hi, g_hi));
+        tasks.push(ApplyTask::Expand(f_lo, g_lo));
+    }
+
+    fn apply(&mut self, op: Op, f: NodeId, g: NodeId) -> NodeId {
+        // Fast path: most calls hit a terminal rule or the apply cache and
+        // return without touching the work stacks.
+        self.applies += 1;
+        if let Some(r) = self.apply_terminal(op, f, g) {
+            return r;
+        }
+        // Commutative ops: normalize the cache key.
+        let key = if f <= g { (op, f, g) } else { (op, g, f) };
+        if let Some(&r) = self.apply_cache.get(&key) {
+            self.cache_hits += 1;
+            return r;
+        }
+        self.cache_misses += 1;
+        self.apply_expand(op, f, g, key)
+    }
+
+    /// Shannon-expands a cache-missing `(op, f, g)` with an explicit work
+    /// stack instead of recursion, so deeply nested presence conditions
+    /// cannot overflow the call stack. `tasks` holds pairs still to expand
+    /// interleaved with pending `mk`s; `results` is the value stack the
+    /// two consume. Both buffers live in `Inner` and are reused.
+    fn apply_expand(&mut self, op: Op, f: NodeId, g: NodeId, key: (Op, NodeId, NodeId)) -> NodeId {
+        let mut tasks = std::mem::take(&mut self.apply_tasks);
+        let mut results = std::mem::take(&mut self.apply_results);
+        self.expand_into(f, g, key, &mut tasks);
+        while let Some(task) = tasks.pop() {
+            match task {
+                ApplyTask::Expand(f, g) => {
+                    self.applies += 1;
+                    if let Some(r) = self.apply_terminal(op, f, g) {
+                        results.push(r);
+                        continue;
+                    }
+                    let key = if f <= g { (op, f, g) } else { (op, g, f) };
+                    if let Some(&r) = self.apply_cache.get(&key) {
+                        self.cache_hits += 1;
+                        results.push(r);
+                        continue;
+                    }
+                    self.cache_misses += 1;
+                    self.expand_into(f, g, key, &mut tasks);
+                }
+                ApplyTask::Combine { var, key } => {
+                    let high = results.pop().expect("high cofactor computed");
+                    let low = results.pop().expect("low cofactor computed");
+                    let r = self.mk(var, low, high);
+                    self.apply_cache.insert(key, r);
+                    results.push(r);
+                }
+            }
+        }
+        let r = results.pop().expect("apply leaves one result");
+        debug_assert!(tasks.is_empty() && results.is_empty());
+        self.apply_tasks = tasks;
+        self.apply_results = results;
         r
     }
 
@@ -200,11 +295,10 @@ impl Inner {
         self.mk(n.var, low, high)
     }
 
-    fn support(&self, f: NodeId, out: &mut Vec<VarId>, seen: &mut HashMap<NodeId, ()>) {
-        if f == FALSE || f == TRUE || seen.contains_key(&f) {
+    fn support(&self, f: NodeId, out: &mut Vec<VarId>, seen: &mut FastSet<NodeId>) {
+        if f == FALSE || f == TRUE || !seen.insert(f) {
             return;
         }
-        seen.insert(f, ());
         let n = self.nodes[f as usize];
         if !out.contains(&n.var) {
             out.push(n.var);
@@ -224,7 +318,7 @@ impl Inner {
 
     /// Satisfying assignments of `f` over the variables from `f`'s own level
     /// to `nvars`. The caller scales by `2^level(f)` for the full count.
-    fn sat_count(&self, f: NodeId, nvars: u32, memo: &mut HashMap<NodeId, f64>) -> f64 {
+    fn sat_count(&self, f: NodeId, nvars: u32, memo: &mut FastMap<NodeId, f64>) -> f64 {
         match f {
             FALSE => 0.0,
             TRUE => 1.0,
@@ -308,11 +402,27 @@ impl Default for BddManager {
 }
 
 impl BddManager {
-    /// Creates an empty manager containing only the `true`/`false` terminals.
+    /// Creates an empty manager containing only the `true`/`false` terminals,
+    /// with its own private name interner.
     pub fn new() -> Self {
+        Self::with_interner(Interner::new())
+    }
+
+    /// Creates an empty manager whose variable names live in `interner`.
+    ///
+    /// Sharing one interner across the preprocessor, condition context,
+    /// and BDD manager makes a [`Symbol`] mean the same spelling
+    /// everywhere in a pipeline, so callers holding a symbol can use
+    /// [`BddManager::var_sym`] and skip string hashing entirely.
+    pub fn with_interner(interner: Interner) -> Self {
         BddManager {
-            inner: Rc::new(RefCell::new(Inner::new())),
+            inner: Rc::new(RefCell::new(Inner::new(interner))),
         }
+    }
+
+    /// A handle to the manager's name interner (cheap to clone, shared).
+    pub fn interner(&self) -> Interner {
+        self.inner.borrow().interner.clone()
     }
 
     fn wrap(&self, id: NodeId) -> Bdd {
@@ -354,6 +464,16 @@ impl BddManager {
         self.wrap(id)
     }
 
+    /// The variable for an already-interned `sym` from this manager's
+    /// interner — the string-free fast path of [`BddManager::var`].
+    pub fn var_sym(&self, sym: Symbol) -> Bdd {
+        let mut inner = self.inner.borrow_mut();
+        let v = inner.mk_var_sym(sym);
+        let id = inner.mk(v, FALSE, TRUE);
+        drop(inner);
+        self.wrap(id)
+    }
+
     /// The negation of the variable named `name`.
     pub fn nvar(&self, name: &str) -> Bdd {
         self.var(name).not()
@@ -361,7 +481,9 @@ impl BddManager {
 
     /// Returns the id of variable `name` if it has been interned.
     pub fn var_id(&self, name: &str) -> Option<VarId> {
-        self.inner.borrow().var_ids.get(name).copied()
+        let inner = self.inner.borrow();
+        let sym = inner.interner.get(name)?;
+        inner.var_ids.get(&sym).copied()
     }
 
     /// The name of variable `v`.
@@ -370,12 +492,13 @@ impl BddManager {
     ///
     /// Panics if `v` was not created by this manager.
     pub fn var_name(&self, v: VarId) -> String {
-        self.inner.borrow().var_names[v as usize].clone()
+        let inner = self.inner.borrow();
+        inner.interner.resolve(inner.var_syms[v as usize]).to_string()
     }
 
     /// Number of distinct variables interned so far.
     pub fn num_vars(&self) -> u32 {
-        self.inner.borrow().var_names.len() as u32
+        self.inner.borrow().var_syms.len() as u32
     }
 
     /// Counters describing the manager's current size and work done.
@@ -383,14 +506,16 @@ impl BddManager {
         let inner = self.inner.borrow();
         BddStats {
             nodes: inner.nodes.len(),
-            variables: inner.var_names.len(),
+            variables: inner.var_syms.len(),
             apply_calls: inner.applies,
+            cache_hits: inner.cache_hits,
+            cache_misses: inner.cache_misses,
         }
     }
 }
 
 /// Size and work counters for a [`BddManager`], from [`BddManager::stats`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BddStats {
     /// Total allocated nodes including terminals.
     pub nodes: usize,
@@ -398,6 +523,22 @@ pub struct BddStats {
     pub variables: usize,
     /// Recursive apply steps performed (a proxy for work).
     pub apply_calls: u64,
+    /// Apply-cache lookups that found a memoized result.
+    pub cache_hits: u64,
+    /// Apply-cache lookups that missed and recursed.
+    pub cache_misses: u64,
+}
+
+impl BddStats {
+    /// Apply-cache hit rate in `[0, 1]` (0 when no lookups happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// A handle to a boolean function in some [`BddManager`].
@@ -520,7 +661,7 @@ impl Bdd {
     pub fn support(&self) -> Vec<VarId> {
         let inner = self.mgr.borrow();
         let mut out = Vec::new();
-        let mut seen = HashMap::new();
+        let mut seen = FastSet::default();
         inner.support(self.id, &mut out, &mut seen);
         out.sort_unstable();
         out
@@ -532,8 +673,8 @@ impl Bdd {
     /// (the paper's Figure 6 initializer alone has 2^18 configurations).
     pub fn sat_count(&self) -> f64 {
         let inner = self.mgr.borrow();
-        let nvars = inner.var_names.len() as u32;
-        let mut memo = HashMap::new();
+        let nvars = inner.var_syms.len() as u32;
+        let mut memo = FastMap::default();
         let below = inner.sat_count(self.id, nvars, &mut memo);
         below * 2f64.powi(inner.level(self.id, nvars) as i32)
     }
@@ -563,8 +704,8 @@ impl Bdd {
                 TRUE => return true,
                 _ => {
                     let n = inner.nodes[id as usize];
-                    let name = &inner.var_names[n.var as usize];
-                    id = if env(name).unwrap_or(false) {
+                    let name = inner.interner.resolve(inner.var_syms[n.var as usize]);
+                    id = if env(&name).unwrap_or(false) {
                         n.high
                     } else {
                         n.low
@@ -583,16 +724,16 @@ impl Bdd {
             TRUE => "t1".to_string(),
             n => format!("n{n}"),
         };
-        let mut seen: HashMap<NodeId, ()> = HashMap::new();
+        let mut seen: FastSet<NodeId> = FastSet::default();
         let mut stack = vec![self.id];
         while let Some(id) = stack.pop() {
-            if id == FALSE || id == TRUE || seen.insert(id, ()).is_some() {
+            if id == FALSE || id == TRUE || !seen.insert(id) {
                 continue;
             }
             let n = inner.nodes[id as usize];
             f(
                 id as usize,
-                inner.var_names[n.var as usize].clone(),
+                inner.interner.resolve(inner.var_syms[n.var as usize]).to_string(),
                 name(n.low),
                 name(n.high),
             );
@@ -604,12 +745,11 @@ impl Bdd {
     /// Internal node count of this function (shared nodes counted once).
     pub fn node_count(&self) -> usize {
         let inner = self.mgr.borrow();
-        let mut seen = HashMap::new();
-        fn walk(inner: &Inner, id: NodeId, seen: &mut HashMap<NodeId, ()>) -> usize {
-            if id == FALSE || id == TRUE || seen.contains_key(&id) {
+        let mut seen = FastSet::default();
+        fn walk(inner: &Inner, id: NodeId, seen: &mut FastSet<NodeId>) -> usize {
+            if id == FALSE || id == TRUE || !seen.insert(id) {
                 return 0;
             }
-            seen.insert(id, ());
             let n = inner.nodes[id as usize];
             1 + walk(inner, n.low, seen) + walk(inner, n.high, seen)
         }
@@ -646,9 +786,9 @@ impl fmt::Display for Bdd {
                     let cube: Vec<String> = path
                         .iter()
                         .map(|&(v, pos)| {
-                            let name = &inner.var_names[v as usize];
+                            let name = inner.interner.resolve(inner.var_syms[v as usize]);
                             if pos {
-                                name.clone()
+                                name.to_string()
                             } else {
                                 format!("!{name}")
                             }

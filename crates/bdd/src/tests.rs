@@ -1,5 +1,5 @@
 use super::*;
-use proptest::prelude::*;
+use superc_util::prop::{check, Gen};
 
 fn mgr3() -> (BddManager, Bdd, Bdd, Bdd) {
     let m = BddManager::new();
@@ -186,18 +186,25 @@ enum Expr {
     Xor(Box<Expr>, Box<Expr>),
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = (0u8..4).prop_map(Expr::Var);
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_expr(g: &mut Gen, depth: usize) -> Expr {
+    if depth == 0 || g.percent(30) {
+        return Expr::Var(g.u8(0..4));
+    }
+    match g.usize(0..4) {
+        0 => Expr::Not(Box::new(gen_expr(g, depth - 1))),
+        1 => Expr::And(
+            Box::new(gen_expr(g, depth - 1)),
+            Box::new(gen_expr(g, depth - 1)),
+        ),
+        2 => Expr::Or(
+            Box::new(gen_expr(g, depth - 1)),
+            Box::new(gen_expr(g, depth - 1)),
+        ),
+        _ => Expr::Xor(
+            Box::new(gen_expr(g, depth - 1)),
+            Box::new(gen_expr(g, depth - 1)),
+        ),
+    }
 }
 
 fn eval_expr(e: &Expr, env: u8) -> bool {
@@ -220,43 +227,51 @@ fn build_bdd(e: &Expr, m: &BddManager) -> Bdd {
     }
 }
 
-proptest! {
-    #[test]
-    fn bdd_agrees_with_truth_table(e in arb_expr()) {
+#[test]
+fn bdd_agrees_with_truth_table() {
+    check("bdd_agrees_with_truth_table", 256, |g| {
+        let e = gen_expr(g, 4);
         let m = BddManager::new();
         // Intern all four variables so sat_count's universe is fixed.
-        for i in 0..4 { m.var(&format!("v{i}")); }
+        for i in 0..4 {
+            m.var(&format!("v{i}"));
+        }
         let f = build_bdd(&e, &m);
         let mut count = 0u32;
         for env in 0u8..16 {
             let expected = eval_expr(&e, env);
-            if expected { count += 1; }
+            if expected {
+                count += 1;
+            }
             let got = f.eval(|name| {
                 let i: u8 = name[1..].parse().unwrap();
                 Some(env & (1 << i) != 0)
             });
-            prop_assert_eq!(expected, got);
+            assert_eq!(expected, got);
         }
-        prop_assert_eq!(f.sat_count(), count as f64);
-    }
+        assert_eq!(f.sat_count(), count as f64);
+    });
+}
 
-    #[test]
-    fn canonicity_equivalent_exprs_share_handles(e in arb_expr()) {
+#[test]
+fn canonicity_equivalent_exprs_share_handles() {
+    check("canonicity_equivalent_exprs_share_handles", 256, |g| {
+        let e = gen_expr(g, 4);
         let m = BddManager::new();
         let f = build_bdd(&e, &m);
         // Double negation and De Morgan rewrites reach the same node.
-        let g = match &e {
-            Expr::And(a, b) => build_bdd(a, &m)
-                .not()
-                .or(&build_bdd(b, &m).not())
-                .not(),
+        let h = match &e {
+            Expr::And(a, b) => build_bdd(a, &m).not().or(&build_bdd(b, &m).not()).not(),
             _ => f.not().not(),
         };
-        prop_assert_eq!(f, g);
-    }
+        assert_eq!(f, h);
+    });
+}
 
-    #[test]
-    fn one_sat_models_satisfy(e in arb_expr()) {
+#[test]
+fn one_sat_models_satisfy() {
+    check("one_sat_models_satisfy", 256, |g| {
+        let e = gen_expr(g, 4);
         let m = BddManager::new();
         let f = build_bdd(&e, &m);
         if let Some(model) = f.one_sat() {
@@ -264,29 +279,40 @@ proptest! {
                 let id = m.var_id(name)?;
                 model.iter().find(|&&(v, _)| v == id).map(|&(_, val)| val)
             });
-            prop_assert!(ok);
+            assert!(ok);
         } else {
-            prop_assert!(f.is_false());
+            assert!(f.is_false());
         }
-    }
+    });
+}
 
-    #[test]
-    fn restrict_matches_semantic_cofactor(e in arb_expr(), var in 0u8..4, val: bool) {
+#[test]
+fn restrict_matches_semantic_cofactor() {
+    check("restrict_matches_semantic_cofactor", 256, |g| {
+        let e = gen_expr(g, 4);
+        let var = g.u8(0..4);
+        let val = g.bool();
         let m = BddManager::new();
-        for i in 0..4 { m.var(&format!("v{i}")); }
+        for i in 0..4 {
+            m.var(&format!("v{i}"));
+        }
         let f = build_bdd(&e, &m);
         let v = m.var_id(&format!("v{var}")).unwrap();
-        let g = f.restrict(v, val);
+        let restricted = f.restrict(v, val);
         for env in 0u8..16 {
-            let forced = if val { env | (1 << var) } else { env & !(1 << var) };
+            let forced = if val {
+                env | (1 << var)
+            } else {
+                env & !(1 << var)
+            };
             let expected = eval_expr(&e, forced);
-            let got = g.eval(|name| {
+            let got = restricted.eval(|name| {
                 let i: u8 = name[1..].parse().unwrap();
                 Some(env & (1 << i) != 0)
             });
-            prop_assert_eq!(expected, got);
+            assert_eq!(expected, got);
         }
-    }
+    });
 }
 
 #[test]
@@ -301,4 +327,66 @@ fn dot_export_contains_structure() {
     // Terminals render too.
     assert!(m.tru().to_dot().contains("root -> t1"));
     assert!(m.fls().to_dot().contains("root -> t0"));
+}
+
+/// The apply cache is keyed on a canonical commutative form
+/// `(op, min(f,g), max(f,g))`, so `g ∘ f` must be answered from the cache
+/// entry `f ∘ g` created — hits only, no new Shannon expansion.
+#[test]
+fn commutative_apply_cache_symmetry() {
+    let m = BddManager::new();
+    let a = m.var("A");
+    let b = m.var("B");
+    let c = m.var("C");
+    let f = a.or(&b);
+    let g = b.and(&c);
+    let fg = f.and(&g);
+    let before = m.stats();
+    let gf = g.and(&f);
+    let after = m.stats();
+    assert_eq!(fg, gf, "conjunction must be commutative");
+    assert_eq!(
+        after.cache_misses, before.cache_misses,
+        "swapped operands must not expand again"
+    );
+    assert!(after.cache_hits > before.cache_hits, "swapped call must hit");
+    // Same symmetry for disjunction and xor.
+    let fg = f.or(&g);
+    let before = m.stats();
+    let gf = g.or(&f);
+    let after = m.stats();
+    assert_eq!(fg, gf);
+    assert_eq!(after.cache_misses, before.cache_misses);
+    let fg = f.xor(&g);
+    let before = m.stats();
+    let gf = g.xor(&f);
+    let after = m.stats();
+    assert_eq!(fg, gf);
+    assert_eq!(after.cache_misses, before.cache_misses);
+    assert!(after.cache_hit_rate() > 0.0);
+}
+
+/// Randomized version: for arbitrary expression pairs, the swapped
+/// operation returns the identical handle without new cache misses.
+#[test]
+fn commutative_apply_cache_symmetry_prop() {
+    check("apply_cache_symmetry", 128, |g| {
+        let ea = gen_expr(g, 3);
+        let eb = gen_expr(g, 3);
+        let m = BddManager::new();
+        let fa = build_bdd(&ea, &m);
+        let fb = build_bdd(&eb, &m);
+        let ab = fa.and(&fb);
+        let before = m.stats();
+        let ba = fb.and(&fa);
+        let after = m.stats();
+        assert_eq!(ab, ba);
+        assert_eq!(after.cache_misses, before.cache_misses);
+        let ab = fa.or(&fb);
+        let before = m.stats();
+        let ba = fb.or(&fa);
+        let after = m.stats();
+        assert_eq!(ab, ba);
+        assert_eq!(after.cache_misses, before.cache_misses);
+    });
 }

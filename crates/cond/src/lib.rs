@@ -34,13 +34,13 @@ mod dpll;
 mod formula;
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 use std::sync::Arc;
 
 use formula::Formula;
 use superc_bdd::{Bdd, BddManager};
+use superc_util::{FastMap, FastSet, Interner, Symbol};
 
 /// Which representation a [`CondCtx`] uses for its conditions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -70,14 +70,14 @@ enum FKey {
 #[derive(Debug, Default)]
 struct SatState {
     var_names: Vec<String>,
-    var_ids: HashMap<String, u32>,
+    var_ids: FastMap<String, u32>,
     sat_calls: u64,
     dpll_steps: u64,
     /// Memoized unsatisfiability results, keyed by formula identity.
-    unsat_memo: HashMap<usize, bool>,
+    unsat_memo: FastMap<usize, bool>,
     /// Hash-consing table: structurally identical formulas share one node,
     /// so the unsat memo hits and `x ∧ ¬x` is detectable locally.
-    intern: HashMap<FKey, Arc<Formula>>,
+    intern: FastMap<FKey, Arc<Formula>>,
     /// One shared node per variable (aligned with `var_names`).
     var_nodes: Vec<Arc<Formula>>,
     tru: Option<Arc<Formula>>,
@@ -131,7 +131,7 @@ impl SatState {
         kids.sort_by_key(|k| Arc::as_ptr(k) as usize);
         kids.dedup_by(|x, y| Arc::ptr_eq(x, y));
         // x together with ¬x: contradiction (And) / tautology (Or).
-        let ptrs: std::collections::HashSet<usize> =
+        let ptrs: FastSet<usize> =
             kids.iter().map(|k| Arc::as_ptr(k) as usize).collect();
         for k in &kids {
             if let Formula::Not(inner) = &**k {
@@ -196,6 +196,7 @@ pub struct CondStats {
 struct CtxInner {
     backend: Backend,
     checks: RefCell<u64>,
+    interner: Interner,
 }
 
 /// A factory and evaluation context for [`Cond`] values.
@@ -225,15 +226,38 @@ impl fmt::Debug for CondCtx {
 impl CondCtx {
     /// Creates a context using the given backend.
     pub fn new(backend: CondBackend) -> Self {
+        let interner = Interner::new();
         let backend = match backend {
-            CondBackend::Bdd => Backend::Bdd(BddManager::new()),
+            CondBackend::Bdd => Backend::Bdd(BddManager::with_interner(interner.clone())),
             CondBackend::Sat => Backend::Sat(RefCell::new(SatState::default())),
         };
         CondCtx {
             inner: Rc::new(CtxInner {
                 backend,
                 checks: RefCell::new(0),
+                interner,
             }),
+        }
+    }
+
+    /// The pipeline's shared name interner.
+    ///
+    /// The preprocessor interns macro and configuration-variable names
+    /// here, so [`Symbol`]s agree between the macro table, this context,
+    /// and (under the BDD backend) the BDD manager's variable table.
+    pub fn interner(&self) -> Interner {
+        self.inner.interner.clone()
+    }
+
+    /// The condition variable for an already-interned `sym` — the
+    /// string-free fast path of [`CondCtx::var`].
+    pub fn var_sym(&self, sym: Symbol) -> Cond {
+        match &self.inner.backend {
+            Backend::Bdd(m) => self.wrap_bdd(m.var_sym(sym)),
+            Backend::Sat(_) => {
+                let name = self.inner.interner.resolve(sym);
+                self.var(&name)
+            }
         }
     }
 
@@ -299,6 +323,15 @@ impl CondCtx {
                 drop(s);
                 self.wrap_formula(node)
             }
+        }
+    }
+
+    /// BDD manager counters (node/cache statistics), when this context
+    /// uses the BDD backend. `None` under the SAT backend.
+    pub fn bdd_stats(&self) -> Option<superc_bdd::BddStats> {
+        match &self.inner.backend {
+            Backend::Bdd(m) => Some(m.stats()),
+            Backend::Sat(_) => None,
         }
     }
 

@@ -1,5 +1,5 @@
 use super::*;
-use proptest::prelude::*;
+use superc_util::prop::{check, Gen};
 
 fn both() -> [CondCtx; 2] {
     [CondCtx::new(CondBackend::Bdd), CondCtx::new(CondBackend::Sat)]
@@ -165,15 +165,15 @@ enum E {
     O(Box<E>, Box<E>),
 }
 
-fn arb_e() -> impl Strategy<Value = E> {
-    let leaf = (0u8..4).prop_map(E::V);
-    leaf.prop_recursive(5, 32, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| E::N(Box::new(e))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::A(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| E::O(Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_e(g: &mut Gen, depth: usize) -> E {
+    if depth == 0 || g.percent(30) {
+        return E::V(g.u8(0..4));
+    }
+    match g.usize(0..3) {
+        0 => E::N(Box::new(gen_e(g, depth - 1))),
+        1 => E::A(Box::new(gen_e(g, depth - 1)), Box::new(gen_e(g, depth - 1))),
+        _ => E::O(Box::new(gen_e(g, depth - 1)), Box::new(gen_e(g, depth - 1))),
+    }
 }
 
 fn build(e: &E, ctx: &CondCtx) -> Cond {
@@ -194,21 +194,23 @@ fn truth(e: &E, env: u8) -> bool {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn backends_agree_on_satisfiability(e in arb_e()) {
+#[test]
+fn backends_agree_on_satisfiability() {
+    check("backends_agree_on_satisfiability", 64, |g| {
+        let e = gen_e(g, 5);
         let bdd = CondCtx::new(CondBackend::Bdd);
         let sat = CondCtx::new(CondBackend::Sat);
         let fb = build(&e, &bdd);
         let fs = build(&e, &sat);
-        prop_assert_eq!(fb.is_false(), fs.is_false());
-        prop_assert_eq!(fb.is_true(), fs.is_true());
-    }
+        assert_eq!(fb.is_false(), fs.is_false());
+        assert_eq!(fb.is_true(), fs.is_true());
+    });
+}
 
-    #[test]
-    fn backends_agree_with_truth_table(e in arb_e()) {
+#[test]
+fn backends_agree_with_truth_table() {
+    check("backends_agree_with_truth_table", 64, |g| {
+        let e = gen_e(g, 5);
         for ctx in both() {
             let f = build(&e, &ctx);
             for env in 0u8..16 {
@@ -217,24 +219,26 @@ proptest! {
                     let i: u8 = name[1..].parse().unwrap();
                     Some(env & (1 << i) != 0)
                 });
-                prop_assert_eq!(expected, got);
+                assert_eq!(expected, got);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn example_configs_check_out(e in arb_e()) {
+#[test]
+fn example_configs_check_out() {
+    check("example_configs_check_out", 64, |g| {
+        let e = gen_e(g, 5);
         for ctx in both() {
             let f = build(&e, &ctx);
             match f.example_config() {
-                None => prop_assert!(f.is_false()),
+                None => assert!(f.is_false()),
                 Some(cfg) => {
-                    let ok = f.eval(|name| {
-                        cfg.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
-                    });
-                    prop_assert!(ok);
+                    let ok =
+                        f.eval(|name| cfg.iter().find(|(n, _)| n == name).map(|&(_, v)| v));
+                    assert!(ok);
                 }
             }
         }
-    }
+    });
 }

@@ -136,16 +136,17 @@ fn main() -> ExitCode {
                     let ps = &p.result.stats;
                     println!(
                         "{file}: {} tokens, {} conditionals, {} macro invocations \
-                         ({} hoisted), max {} subparsers, {} merges, {} choice nodes, \
-                         {:?} total",
+                         ({} hoisted), {ps}, {:?} total",
                         s.output_tokens,
                         s.output_conditionals,
                         s.macro_invocations,
                         s.invocations_hoisted,
-                        ps.max_subparsers,
-                        ps.merges,
-                        ps.choice_nodes,
                         p.timings.total()
+                    );
+                    print!(
+                        "{}",
+                        superc::report::activity_table(ps, sc.ctx().bdd_stats().as_ref())
+                            .render()
                     );
                 }
                 if let Some(acc) = &p.result.accepted {

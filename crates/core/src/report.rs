@@ -190,6 +190,35 @@ impl TextTable {
     }
 }
 
+/// Renders parser activity counters — and, when available, the BDD
+/// manager's cache counters — as a two-column table. This is the one
+/// place the hot-path instrumentation (merge-index probes, apply-cache
+/// hits/misses) is formatted, so every binary reports it uniformly.
+pub fn activity_table(
+    parse: &superc_fmlr::ParseStats,
+    bdd: Option<&superc_bdd::BddStats>,
+) -> TextTable {
+    let mut t = TextTable::new(&["counter", "value"]);
+    let mut r = |k: &str, v: String| {
+        t.row(&[k.to_string(), v]);
+    };
+    r("shifts", parse.shifts.to_string());
+    r("reduces", parse.reduces.to_string());
+    r("forks", parse.forks.to_string());
+    r("merges", parse.merges.to_string());
+    r("merge probes", parse.merge_probes.to_string());
+    r("choice nodes", parse.choice_nodes.to_string());
+    r("max subparsers", parse.max_subparsers.to_string());
+    if let Some(b) = bdd {
+        r("bdd nodes", b.nodes.to_string());
+        r("bdd apply calls", b.apply_calls.to_string());
+        r("bdd cache hits", b.cache_hits.to_string());
+        r("bdd cache misses", b.cache_misses.to_string());
+        r("bdd cache hit rate", format!("{:.3}", b.cache_hit_rate()));
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

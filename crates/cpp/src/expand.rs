@@ -182,7 +182,10 @@ impl<F: FileSystem> Preprocessor<F> {
             return;
         }
 
-        let (entries, free, ignored) = self.table.lookup_full(&name, c);
+        // One intern (an FxHash of the spelling, shared with the token's
+        // `Rc<str>` storage) replaces every downstream string hash.
+        let sym = self.table.interner().intern_rc(&name);
+        let (entries, free, ignored) = self.table.lookup_full_sym(sym, c);
         if ignored > 0 {
             self.stats.invocations_trimmed += 1;
         }

@@ -12,6 +12,7 @@ use std::rc::Rc;
 
 use superc_cond::Cond;
 use superc_lexer::Token;
+use superc_util::{FastMap, FastSet, Interner, Symbol};
 
 /// A macro definition body.
 #[derive(Clone, Debug, PartialEq)]
@@ -73,31 +74,55 @@ pub struct MacroEntry {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct MacroTable {
-    map: std::collections::HashMap<Rc<str>, Vec<MacroEntry>>,
+    /// Shared name interner: macro names hash once, entries key on `u32`.
+    interner: Interner,
+    map: FastMap<Symbol, Vec<MacroEntry>>,
     /// Names detected as include-guard macros (SuperC §3.2 case 4a).
-    guards: std::collections::HashSet<Rc<str>>,
+    guards: FastSet<Symbol>,
     /// Trimmed-entry events, for Table 3's "Trimmed definitions" row.
     pub trims: u64,
 }
 
 impl MacroTable {
-    /// Creates an empty table.
+    /// Creates an empty table with a private interner.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty table whose names live in `interner` — normally
+    /// the pipeline-wide interner from `CondCtx::interner`, so macro-name
+    /// symbols agree with condition-variable symbols.
+    pub fn with_interner(interner: Interner) -> Self {
+        MacroTable {
+            interner,
+            ..Self::default()
+        }
+    }
+
+    /// The table's name interner (cheap to clone, shared).
+    pub fn interner(&self) -> Interner {
+        self.interner.clone()
+    }
+
+    /// The symbol for `name` if the table's interner has seen it.
+    pub fn sym(&self, name: &str) -> Option<Symbol> {
+        self.interner.get(name)
     }
 
     /// Records `#define name def` under presence condition `cond`,
     /// trimming existing entries that become infeasible.
     pub fn define(&mut self, name: Rc<str>, def: Rc<MacroDef>, cond: &Cond) {
-        self.update(name, Some(def), cond);
+        let sym = self.interner.intern_rc(&name);
+        self.update(sym, Some(def), cond);
     }
 
     /// Records `#undef name` under presence condition `cond`.
     pub fn undef(&mut self, name: Rc<str>, cond: &Cond) {
-        self.update(name, None, cond);
+        let sym = self.interner.intern_rc(&name);
+        self.update(sym, None, cond);
     }
 
-    fn update(&mut self, name: Rc<str>, def: Option<Rc<MacroDef>>, cond: &Cond) {
+    fn update(&mut self, name: Symbol, def: Option<Rc<MacroDef>>, cond: &Cond) {
         let entries = self.map.entry(name).or_default();
         let mut kept = Vec::with_capacity(entries.len() + 1);
         for e in entries.drain(..) {
@@ -120,13 +145,13 @@ impl MacroTable {
 
     /// Was `name` ever mentioned in a `#define`/`#undef`?
     pub fn mentioned(&self, name: &str) -> bool {
-        self.map.contains_key(name)
+        self.sym(name).is_some_and(|s| self.map.contains_key(&s))
     }
 
     /// True if `name` has at least one *defined* entry feasible under `cond`.
     pub fn any_defined(&self, name: &str, cond: &Cond) -> bool {
-        self.map
-            .get(name)
+        self.sym(name)
+            .and_then(|s| self.map.get(&s))
             .map(|es| {
                 es.iter()
                     .any(|e| e.def.is_some() && e.cond.feasible_with(cond))
@@ -136,7 +161,7 @@ impl MacroTable {
 
     /// True if `name` is defined in *every* configuration of `cond`.
     pub fn definitely_defined(&self, name: &str, cond: &Cond) -> bool {
-        match self.map.get(name) {
+        match self.sym(name).and_then(|s| self.map.get(&s)) {
             None => false,
             Some(es) => {
                 let mut covered = cond.ctx().fls();
@@ -168,7 +193,16 @@ impl MacroTable {
     /// ignored as infeasible at this use site (for Table 3's "Trimmed"
     /// interaction count).
     pub fn lookup_full(&self, name: &str, cond: &Cond) -> (Vec<MacroEntry>, Cond, usize) {
-        match self.map.get(name) {
+        match self.sym(name) {
+            None => (Vec::new(), cond.clone(), 0),
+            Some(sym) => self.lookup_full_sym(sym, cond),
+        }
+    }
+
+    /// [`MacroTable::lookup_full`] keyed on an interned symbol — the
+    /// string-free fast path used per identifier during expansion.
+    pub fn lookup_full_sym(&self, sym: Symbol, cond: &Cond) -> (Vec<MacroEntry>, Cond, usize) {
+        match self.map.get(&sym) {
             None => (Vec::new(), cond.clone(), 0),
             Some(es) => {
                 let mut out = Vec::new();
@@ -206,12 +240,13 @@ impl MacroTable {
 
     /// Registers `name` as an include-guard macro.
     pub fn register_guard(&mut self, name: Rc<str>) {
-        self.guards.insert(name);
+        let sym = self.interner.intern_rc(&name);
+        self.guards.insert(sym);
     }
 
     /// Is `name` a registered include-guard macro?
     pub fn is_guard(&self, name: &str) -> bool {
-        self.guards.contains(name)
+        self.sym(name).is_some_and(|s| self.guards.contains(&s))
     }
 
     /// Number of names with at least one entry.

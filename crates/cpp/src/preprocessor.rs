@@ -215,11 +215,12 @@ impl<F: FileSystem> Preprocessor<F> {
             .iter()
             .map(|(n, _)| n.clone())
             .collect();
+        let table = MacroTable::with_interner(ctx.interner());
         Preprocessor {
             ctx,
             opts,
             fs,
-            table: MacroTable::new(),
+            table,
             stats: PpStats::default(),
             diags: Vec::new(),
             builtin_names,
@@ -329,7 +330,7 @@ impl<F: FileSystem> Preprocessor<F> {
     /// Fails on a missing main file, lexical errors, unbalanced
     /// conditionals, and `#error` outside static conditionals.
     pub fn preprocess(&mut self, path: &str) -> Result<CompilationUnit, PpError> {
-        self.table = MacroTable::new();
+        self.table = MacroTable::with_interner(self.ctx.interner());
         self.stats = PpStats::default();
         self.diags.clear();
         self.processed_files.clear();

@@ -195,6 +195,12 @@ impl ContextPlugin for CContext {
         if term != self.ident || ctx.type_seen {
             return Reclass::Keep;
         }
+        // Pre-screen: only names with a typedef entry somewhere can
+        // reclassify, and those are rare — skip the conditional lookup
+        // (and all its BDD work) for everything else.
+        if !ctx.tab.possibly_typedef(tok.text()) {
+            return Reclass::Keep;
+        }
         let l = ctx.tab.lookup(tok.text(), cond);
         if l.typedef_cond.is_false() {
             return Reclass::Keep;

@@ -8,7 +8,7 @@
 //! Subparsers fork constantly, so cloning must be cheap: scopes are
 //! copy-on-write (`Rc`-shared maps mutated via `make_mut`).
 
-use std::collections::HashMap;
+use superc_util::FastMap;
 use std::rc::Rc;
 
 use superc_cond::Cond;
@@ -26,7 +26,7 @@ type Entries = Vec<(Cond, NameKind)>;
 
 #[derive(Clone, Debug, Default)]
 struct Scope {
-    names: Rc<HashMap<Rc<str>, Entries>>,
+    names: Rc<FastMap<Rc<str>, Entries>>,
 }
 
 /// Result of a conditional lookup: the conditions under which the name is
@@ -114,6 +114,19 @@ impl SymTab {
         *entries = kept;
     }
 
+    /// True when some scope declares `name` as a typedef under *some*
+    /// configuration. A cheap pre-screen for reclassification: almost all
+    /// identifiers are declared in no scope (or only as objects), and for
+    /// those a full conditional [`SymTab::lookup`] — with its presence-
+    /// condition clones and per-entry BDD operations — is wasted work.
+    pub fn possibly_typedef(&self, name: &str) -> bool {
+        self.scopes.iter().any(|s| {
+            s.names
+                .get(name)
+                .is_some_and(|es| es.iter().any(|&(_, k)| k == NameKind::Typedef))
+        })
+    }
+
     /// Looks `name` up across scopes, innermost first, with inner entries
     /// shadowing outer ones per configuration.
     pub fn lookup(&self, name: &str, cond: &Cond) -> Lookup {
@@ -173,7 +186,7 @@ impl SymTab {
                 if Rc::ptr_eq(&a.names, &b.names) {
                     a.clone()
                 } else {
-                    let mut merged: HashMap<Rc<str>, Entries> = (*a.names).clone();
+                    let mut merged: FastMap<Rc<str>, Entries> = (*a.names).clone();
                     for (name, entries) in b.names.iter() {
                         let slot = merged.entry(name.clone()).or_default();
                         for (c, k) in entries {

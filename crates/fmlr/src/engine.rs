@@ -2,8 +2,10 @@
 //! of §4.3–§4.5.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::rc::Rc;
+
+use superc_util::FastMap;
 
 use superc_cond::{Cond, CondCtx};
 use superc_cpp::PTok;
@@ -240,9 +242,18 @@ impl<C> Sub<C> {
     }
 }
 
+/// Head fingerprints for a [`MergeKey`]. Single-headed subparsers — the
+/// overwhelmingly common case — stay inline so building a key per
+/// [`Run::insert`] does not allocate.
+#[derive(PartialEq, Eq, Hash)]
+enum HeadsKey {
+    One(u32, u32),
+    Many(Vec<(u32, u32)>),
+}
+
 #[derive(PartialEq, Eq, Hash)]
 struct MergeKey {
-    heads: Vec<(u32, u32)>,
+    heads: HeadsKey,
     state: u32,
     depth: u32,
 }
@@ -294,12 +305,14 @@ impl<'g, P: ContextPlugin> Parser<'g, P> {
             cctx: cctx.clone(),
             slab: Vec::new(),
             heap: BinaryHeap::new(),
-            index: HashMap::new(),
+            index: FastMap::default(),
             live: 0,
             seq: 0,
             accepted: Vec::new(),
             errors: Vec::new(),
             stats: ParseStats::default(),
+            follow_buf: Vec::new(),
+            entries_buf: Vec::new(),
         }
         .run()
     }
@@ -311,12 +324,16 @@ struct Run<'a, 'g, P: ContextPlugin> {
     cctx: CondCtx,
     slab: Vec<Option<Sub<P::Ctx>>>,
     heap: BinaryHeap<Reverse<(u32, u32, u64, usize)>>,
-    index: HashMap<MergeKey, Vec<usize>>,
+    index: FastMap<MergeKey, Vec<usize>>,
     live: usize,
     seq: u64,
     accepted: Vec<(Cond, SemVal)>,
     errors: Vec<ParseError>,
     stats: ParseStats,
+    /// Scratch buffers reused across token steps so the hot
+    /// follow → reclassify → act loop does not allocate.
+    follow_buf: Vec<FollowEntry>,
+    entries_buf: Vec<FollowEntry>,
 }
 
 fn state_of(stack: &Stack, grammar: &Grammar) -> u32 {
@@ -420,12 +437,12 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
     }
 
     fn merge_key(&self, p: &Sub<P::Ctx>) -> MergeKey {
+        let fp = |h: &Head| (h.node.unwrap_or(u32::MAX), h.term.0);
         MergeKey {
-            heads: p
-                .heads
-                .iter()
-                .map(|h| (h.node.unwrap_or(u32::MAX), h.term.0))
-                .collect(),
+            heads: match p.heads.as_slice() {
+                [h] => HeadsKey::One(h.node.unwrap_or(u32::MAX), h.term.0),
+                hs => HeadsKey::Many(hs.iter().map(fp).collect()),
+            },
             state: state_of(&p.stack, self.parser.grammar),
             depth: depth_of(&p.stack),
         }
@@ -436,8 +453,13 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
         if let Some(cands) = self.index.get(&key) {
             // Bound the scan: recent candidates are the likely partners,
             // and unbounded scans are quadratic in MAPR's blow-up regime.
-            let recent: Vec<usize> = cands.iter().rev().take(16).copied().collect();
-            for cid in recent {
+            let mut recent = [0usize; 16];
+            let n = cands.len().min(16);
+            for (slot, &cid) in recent.iter_mut().zip(cands.iter().rev()) {
+                *slot = cid;
+            }
+            for &cid in &recent[..n] {
+                self.stats.merge_probes += 1;
                 if self.slab.get(cid).map(|s| s.is_some()) == Some(true)
                     && self.try_merge(cid, &p)
                 {
@@ -597,10 +619,10 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
     // ----- stepping ----------------------------------------------------
 
     fn step_single(&mut self, p: Sub<P::Ctx>) {
-        let head = p.heads[0].clone();
         let g = self.parser.grammar;
 
         if !self.parser.config.follow_set {
+            let head = p.heads[0].clone();
             // MAPR: naive per-branch forking on conditional heads.
             if let Some(n) = head.node {
                 if self.forest.token(n).is_none() {
@@ -639,18 +661,23 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
             return;
         }
 
-        // FMLR: token follow-set.
-        let raw = self.forest.follow(&head.cond, head.node);
-        let mut entries: Vec<FollowEntry> = Vec::with_capacity(raw.len());
-        for e in raw {
+        // FMLR: token follow-set, through the reusable scratch buffers.
+        let mut raw = std::mem::take(&mut self.follow_buf);
+        self.forest.follow_into(&p.heads[0].cond, p.heads[0].node, &mut raw);
+        let mut entries = std::mem::take(&mut self.entries_buf);
+        entries.reserve(raw.len());
+        for e in raw.drain(..) {
             self.reclassify_into(&p, e, &mut entries);
         }
+        self.follow_buf = raw;
         match entries.len() {
-            0 => {}
+            0 => self.entries_buf = entries,
             1 => {
                 let e = entries.pop().expect("one");
+                self.entries_buf = entries;
                 self.do_action(p, e);
             }
+            // Forks are rare; the buffer is rebuilt on the next step.
             _ => self.fork(entries, p),
         }
     }
@@ -723,7 +750,7 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
         let g = self.parser.grammar;
         let state = state_of(&p.stack, g);
         let mut shifts: Vec<Head> = Vec::new();
-        let mut reduces: HashMap<u32, Vec<Head>> = HashMap::new();
+        let mut reduces: FastMap<u32, Vec<Head>> = FastMap::default();
         let mut singles: Vec<Head> = Vec::new();
         for e in entries {
             let head = Head {
@@ -865,8 +892,10 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
         }
     }
 
-    /// Performs one LR action for a resolved follow entry.
-    fn do_action(&mut self, mut p: Sub<P::Ctx>, e: FollowEntry) {
+    /// Performs one LR action for a resolved follow entry. Reuses `p`'s
+    /// head vector (and, on shift, its stack handle) so the dominant
+    /// shift/reduce steps allocate only the new stack node.
+    fn do_action(&mut self, p: Sub<P::Ctx>, e: FollowEntry) {
         let g = self.parser.grammar;
         let state = state_of(&p.stack, g);
         match g.action(state, e.term) {
@@ -874,27 +903,35 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
                 self.stats.shifts += 1;
                 let node = e.node.expect("eof cannot shift");
                 let (tok, _) = self.forest.token(node).expect("shift target is a token");
+                let Sub {
+                    mut heads,
+                    stack: prev,
+                    ctx,
+                } = p;
+                let depth = depth_of(&prev) + 1;
                 let stack = Some(Rc::new(StackNode {
                     state: s,
                     sym: e.term,
                     value: SemVal::Tok(tok.clone()),
-                    prev: p.stack.clone(),
-                    depth: depth_of(&p.stack) + 1,
+                    prev,
+                    depth,
                 }));
-                self.insert(Sub {
-                    heads: vec![Head {
-                        cond: e.cond,
-                        node: self.forest.successor(node),
-                        term: g.eof(),
-                    }],
-                    stack,
-                    ctx: p.ctx,
+                heads.clear();
+                heads.push(Head {
+                    cond: e.cond,
+                    node: self.forest.successor(node),
+                    term: g.eof(),
                 });
+                self.insert(Sub { heads, stack, ctx });
             }
             Action::Reduce(pr) => {
                 self.stats.reduces += 1;
-                let cond = e.cond.clone();
-                let (stack, ok) = self.do_reduce(p.stack, pr, &cond, &mut p.ctx);
+                let Sub {
+                    mut heads,
+                    stack,
+                    mut ctx,
+                } = p;
+                let (stack, ok) = self.do_reduce(stack, pr, &e.cond, &mut ctx);
                 if !ok {
                     let h = Head {
                         cond: e.cond,
@@ -904,15 +941,13 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
                     self.error(&h, state, "no goto after reduce");
                     return;
                 }
-                self.insert(Sub {
-                    heads: vec![Head {
-                        cond: e.cond,
-                        node: e.node,
-                        term: e.term,
-                    }],
-                    stack,
-                    ctx: p.ctx,
+                heads.clear();
+                heads.push(Head {
+                    cond: e.cond,
+                    node: e.node,
+                    term: e.term,
                 });
+                self.insert(Sub { heads, stack, ctx });
             }
             Action::Accept => {
                 let value = match &p.stack {
@@ -973,13 +1008,12 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
         let value = match p.ast {
             AstBuild::Layout => SemVal::Empty,
             AstBuild::Passthrough => {
-                let mut non_empty: Vec<SemVal> = values
-                    .iter()
-                    .filter(|v| !matches!(v, SemVal::Empty))
-                    .cloned()
-                    .collect();
-                if non_empty.len() == 1 {
-                    non_empty.pop().expect("one")
+                let count = values.iter().filter(|v| !matches!(v, SemVal::Empty)).count();
+                if count == 1 {
+                    values
+                        .into_iter()
+                        .find(|v| !matches!(v, SemVal::Empty))
+                        .expect("one non-empty value")
                 } else {
                     self.mk_node(prod, values, false)
                 }
@@ -1040,3 +1074,69 @@ enum Resolved {
     Many(Vec<FollowEntry>),
 }
 use Resolved::{Many, One};
+
+#[cfg(test)]
+mod stack_metadata_tests {
+    use super::*;
+    use superc_grammar::GrammarBuilder;
+    use superc_util::prop::{check, Gen};
+
+    /// Recomputes what `depth_of` answers in O(1) by walking the chain —
+    /// the regression oracle for the inline `depth` field.
+    fn walked_depth(stack: &Stack) -> u32 {
+        let mut d = 0u32;
+        let mut cur = stack.as_deref();
+        while let Some(n) = cur {
+            d += 1;
+            cur = n.prev.as_deref();
+        }
+        d
+    }
+
+    /// The inline `state`/`depth` metadata must agree with a full walk of
+    /// the stack after any sequence of shift-like pushes and reduce-like
+    /// pops, including across shared tails (`Rc`-aliased prefixes).
+    #[test]
+    fn stack_metadata_matches_walking_recomputation() {
+        let g = {
+            let mut b = GrammarBuilder::new("S");
+            b.terminals(&["a"]);
+            b.prod("S", &["a"]);
+            b.build().expect("grammar")
+        };
+        check("stack_metadata_walk", 128, |gen: &mut Gen| {
+            let mut stack: Stack = None;
+            // Keep earlier snapshots alive so pops can revisit shared tails.
+            let mut snapshots: Vec<Stack> = Vec::new();
+            for _ in 0..gen.usize(1..64) {
+                if stack.is_none() || gen.percent(60) {
+                    // "Shift/goto": push a node exactly as the engine does.
+                    stack = Some(Rc::new(StackNode {
+                        state: gen.u32(0..1000),
+                        sym: SymbolId(gen.u32(0..16)),
+                        value: SemVal::Empty,
+                        prev: stack.clone(),
+                        depth: depth_of(&stack) + 1,
+                    }));
+                    if gen.percent(20) {
+                        snapshots.push(stack.clone());
+                    }
+                } else if gen.percent(15) && !snapshots.is_empty() {
+                    // Fork-like jump back to a live shared prefix.
+                    stack = snapshots[gen.usize(0..snapshots.len())].clone();
+                } else {
+                    // "Reduce": pop an rhs of 1..=3 nodes.
+                    for _ in 0..gen.usize(1..=3) {
+                        stack = stack.and_then(|n| n.prev.clone());
+                    }
+                }
+                assert_eq!(depth_of(&stack), walked_depth(&stack));
+                let expected_state = match stack.as_deref() {
+                    Some(n) => n.state,
+                    None => g.start_state(),
+                };
+                assert_eq!(state_of(&stack, &g), expected_state);
+            }
+        });
+    }
+}

@@ -192,6 +192,13 @@ impl Forest {
     /// Terminals are the classifier's; callers apply reclassification.
     pub fn follow(&self, c: &Cond, a: NodeRef) -> Vec<FollowEntry> {
         let mut t = Vec::new();
+        self.follow_into(c, a, &mut t);
+        t
+    }
+
+    /// [`Forest::follow`] into a caller-provided buffer, so the engine's
+    /// per-token-step call can reuse one allocation for the whole parse.
+    pub fn follow_into(&self, c: &Cond, a: NodeRef, t: &mut Vec<FollowEntry>) {
         let mut c = c.clone();
         let mut a = a;
         loop {
@@ -204,12 +211,12 @@ impl Forest {
                             term: SymbolId(u32::MAX), // resolved to eof by the engine
                         });
                     }
-                    return t;
+                    return;
                 }
                 Some(n) => {
-                    let (rest, stop) = self.first(c, n, &mut t);
+                    let (rest, stop) = self.first(c, n, t);
                     if rest.is_false() {
-                        return t;
+                        return;
                     }
                     c = rest;
                     a = self.successor(stop);

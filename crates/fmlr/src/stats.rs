@@ -1,6 +1,8 @@
 //! Parser instrumentation: the subparser counts behind the paper's
 //! Figure 8 and the activity counters behind Table 3's parser rows.
 
+use std::fmt;
+
 /// Counters for one parse.
 #[derive(Clone, Debug, Default)]
 pub struct ParseStats {
@@ -16,6 +18,9 @@ pub struct ParseStats {
     pub forks: u64,
     /// Merges performed.
     pub merges: u64,
+    /// Merge-index candidates probed while looking for a merge partner
+    /// (each probe walks two stack spines in the worst case).
+    pub merge_probes: u64,
     /// Shift actions.
     pub shifts: u64,
     /// Reduce actions.
@@ -71,11 +76,30 @@ impl ParseStats {
         }
         self.forks += other.forks;
         self.merges += other.merges;
+        self.merge_probes += other.merge_probes;
         self.shifts += other.shifts;
         self.reduces += other.reduces;
         self.shared_reduces += other.shared_reduces;
         self.lazy_shifts += other.lazy_shifts;
         self.reclassify_forks += other.reclassify_forks;
         self.choice_nodes += other.choice_nodes;
+    }
+}
+
+impl fmt::Display for ParseStats {
+    /// One-line activity summary for logs and `--stats` output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} shifts, {} reduces, {} forks, {} merges ({} probes), \
+             {} choice nodes, max {} subparsers",
+            self.shifts,
+            self.reduces,
+            self.forks,
+            self.merges,
+            self.merge_probes,
+            self.choice_nodes,
+            self.max_subparsers,
+        )
     }
 }

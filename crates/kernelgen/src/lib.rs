@@ -34,8 +34,7 @@
 
 use std::fmt::Write as _;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use superc_util::SmallRng;
 use superc_cpp::MemFs;
 #[cfg(test)]
 use superc_cpp::FileSystem;
@@ -199,7 +198,7 @@ impl Gen {
     }
 
     fn pct(&mut self, p: u32) -> bool {
-        self.rng.gen_range(0..100) < p
+        self.rng.gen_range(0..100) < p as usize
     }
 
     fn subsystem_header(&mut self, n: usize) -> (String, String) {

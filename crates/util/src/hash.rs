@@ -1,0 +1,138 @@
+//! An FxHash-style hasher and map/set aliases for hot-path tables.
+//!
+//! The algorithm is the multiply-xor mix used by rustc's `FxHasher`
+//! (itself derived from Firefox's hash): each word of input is folded in
+//! with a rotate, xor, and multiply by a large odd constant. It is not
+//! DoS-resistant — fine here, since every key we hash (BDD nodes, symbol
+//! ids, LR states) is program-generated, never attacker-chosen.
+//!
+//! Measured against SipHash-1-3 on this workspace's BDD workload, the
+//! unique-table and apply-cache probes are the dominant per-token cost;
+//! see `DESIGN.md` ("Performance notes") for the end-to-end numbers.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FastMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FastSet<K> = HashSet<K, FxBuildHasher>;
+
+/// `BuildHasher` for [`FxHasher`]; the default state is deterministic, so
+/// iteration order of a [`FastMap`] is stable run to run.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The rustc-style Fx hasher: one rotate-xor-multiply per input word.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" and "ab\0" cannot collide trivially.
+            self.add_to_hash(u64::from_le_bytes(word) ^ (rest.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One final mix so low-entropy states (e.g. a single small u32
+        // write) still spread across the table's bucket-index bits.
+        let h = self.hash;
+        h ^ (h >> 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&(1u32, 2u32, 3u32)), hash_of(&(1u32, 2u32, 3u32)));
+        assert_eq!(hash_of(&"BITS_PER_LONG"), hash_of(&"BITS_PER_LONG"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        assert_ne!(hash_of(&(1u32, 2u32)), hash_of(&(2u32, 1u32)));
+        assert_ne!(hash_of(&"CONFIG_SMP"), hash_of(&"CONFIG_PM"));
+        assert_ne!(hash_of(&0u64), hash_of(&1u64));
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FastMap<(u8, u32, u32), u32> = FastMap::default();
+        for i in 0..1000u32 {
+            m.insert((0, i, i + 1), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&(0, 500, 501)), Some(&500));
+
+        let mut s: FastSet<u32> = FastSet::default();
+        s.insert(7);
+        assert!(s.contains(&7) && !s.contains(&8));
+    }
+
+    #[test]
+    fn low_entropy_u32_keys_spread() {
+        // Small sequential u32 keys (BDD node ids) must not collapse into
+        // the same low bits — that is what the finish() fold guards.
+        let mut low_bits: FastSet<u64> = FastSet::default();
+        for i in 0..256u32 {
+            low_bits.insert(hash_of(&i) & 0xff);
+        }
+        assert!(low_bits.len() > 128, "only {} distinct low bytes", low_bits.len());
+    }
+}

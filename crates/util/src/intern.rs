@@ -1,0 +1,164 @@
+//! A shared string interner producing `u32` [`Symbol`]s.
+//!
+//! Macro names and configuration-variable names recur constantly — every
+//! identifier token probes the macro table, and every `defined(M)` probes
+//! the BDD variable table. Interning makes each distinct spelling hash
+//! exactly once; afterwards lookups key on a `u32` and equality is an
+//! integer compare. One interner is shared per pipeline (the `CondCtx`
+//! owns it and the preprocessor and BDD manager borrow it), so a `Symbol`
+//! means the same string everywhere in a run.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::hash::FastMap;
+
+/// An interned string: a dense index into the owning [`Interner`].
+///
+/// Symbols from different interners must not be mixed; within one
+/// pipeline there is one interner, so this does not arise in practice.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    map: FastMap<Rc<str>, Symbol>,
+    strings: Vec<Rc<str>>,
+}
+
+/// A cheap-to-clone handle to a shared intern table.
+///
+/// # Examples
+///
+/// ```
+/// use superc_util::Interner;
+/// let interner = Interner::new();
+/// let a = interner.intern("CONFIG_SMP");
+/// let b = interner.intern("CONFIG_SMP");
+/// assert_eq!(a, b);
+/// assert_eq!(&*interner.resolve(a), "CONFIG_SMP");
+/// ```
+#[derive(Clone, Default)]
+pub struct Interner {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol (allocating on first sight).
+    pub fn intern(&self, s: &str) -> Symbol {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(&sym) = inner.map.get(s) {
+            return sym;
+        }
+        let rc: Rc<str> = Rc::from(s);
+        let sym = Symbol(inner.strings.len() as u32);
+        inner.strings.push(rc.clone());
+        inner.map.insert(rc, sym);
+        sym
+    }
+
+    /// Interns an already-shared string without copying its bytes when it
+    /// is new (token texts are `Rc<str>` throughout the lexer).
+    pub fn intern_rc(&self, s: &Rc<str>) -> Symbol {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(&sym) = inner.map.get(&**s) {
+            return sym;
+        }
+        let sym = Symbol(inner.strings.len() as u32);
+        inner.strings.push(s.clone());
+        inner.map.insert(s.clone(), sym);
+        sym
+    }
+
+    /// The symbol for `s` if it has been interned.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.inner.borrow().map.get(s).copied()
+    }
+
+    /// The string behind `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` came from a different interner (index out of range).
+    pub fn resolve(&self, sym: Symbol) -> Rc<str> {
+        self.inner.borrow().strings[sym.index()].clone()
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().strings.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if `other` is the same underlying table.
+    pub fn same_as(&self, other: &Interner) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Interner({} strings)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_eq!(a, Symbol(0));
+        assert_eq!(b, Symbol(1));
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(&*i.resolve(b), "beta");
+    }
+
+    #[test]
+    fn intern_rc_shares_storage() {
+        let i = Interner::new();
+        let s: Rc<str> = Rc::from("gamma");
+        let sym = i.intern_rc(&s);
+        assert!(Rc::ptr_eq(&i.resolve(sym), &s));
+        assert_eq!(i.get("gamma"), Some(sym));
+        assert_eq!(i.get("delta"), None);
+    }
+
+    #[test]
+    fn clones_share_the_table() {
+        let i = Interner::new();
+        let j = i.clone();
+        let a = i.intern("x");
+        assert_eq!(j.get("x"), Some(a));
+        assert!(i.same_as(&j));
+        assert!(!i.same_as(&Interner::new()));
+    }
+}

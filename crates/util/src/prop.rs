@@ -1,0 +1,162 @@
+//! A miniature property-test harness (offline `proptest` replacement).
+//!
+//! A property is a closure over a [`Gen`]; [`check`] runs it for a fixed
+//! number of seeded cases and, when a case panics, reports the case's
+//! seed before propagating the panic so the failure can be replayed with
+//! `SUPERC_PROP_SEED`. There is no shrinking — cases are kept small by
+//! construction instead (bounded depths and lengths in the generators).
+//!
+//! Environment knobs:
+//! * `SUPERC_PROP_CASES` — override the case count (e.g. `1000` for a
+//!   soak run).
+//! * `SUPERC_PROP_SEED` — run exactly one case with the given seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use superc_util::prop::{check, Gen};
+//! check("addition_commutes", 64, |g: &mut Gen| {
+//!     let (a, b) = (g.usize(0..1000), g.usize(0..1000));
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::rng::{SampleRange, SmallRng};
+
+/// A source of structured random values for one property case.
+pub struct Gen {
+    rng: SmallRng,
+}
+
+impl Gen {
+    /// A generator for the given case seed (for replaying by hand).
+    pub fn from_seed(seed: u64) -> Self {
+        Gen {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A uniform `usize` from the range (`a..b` or `a..=b`).
+    pub fn usize<R: SampleRange>(&mut self, range: R) -> usize {
+        self.rng.gen_range(range)
+    }
+
+    /// A uniform `u8` from the range.
+    pub fn u8<R: SampleRange>(&mut self, range: R) -> u8 {
+        self.rng.gen_range(range) as u8
+    }
+
+    /// A uniform `u32` from the range.
+    pub fn u32<R: SampleRange>(&mut self, range: R) -> u32 {
+        self.rng.gen_range(range) as u32
+    }
+
+    /// A fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// True with probability `pct`/100.
+    pub fn percent(&mut self, pct: u32) -> bool {
+        self.usize(0..100) < pct as usize
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.usize(0..items.len())]
+    }
+
+    /// A vector with a length drawn from `len`, filled by `f`.
+    pub fn vec<T, R: SampleRange>(
+        &mut self,
+        len: R,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A string of length drawn from `len` over the given alphabet.
+    pub fn string<R: SampleRange>(&mut self, alphabet: &str, len: R) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        let n = self.usize(len);
+        (0..n).map(|_| *self.choose(&chars)).collect()
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+/// Base seed for a named property: stable across runs and machines.
+fn base_seed(name: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = crate::hash::FxHasher::default();
+    name.hash(&mut h);
+    h.finish() | 1
+}
+
+/// Runs `property` for `cases` seeded cases, reporting the failing seed.
+///
+/// # Panics
+///
+/// Re-raises the property's panic after printing the case seed.
+pub fn check(name: &str, cases: usize, mut property: impl FnMut(&mut Gen)) {
+    if let Some(seed) = env_u64("SUPERC_PROP_SEED") {
+        let mut g = Gen::from_seed(seed);
+        property(&mut g);
+        return;
+    }
+    let cases = env_u64("SUPERC_PROP_CASES")
+        .map(|n| n as usize)
+        .unwrap_or(cases);
+    let base = base_seed(name);
+    for case in 0..cases {
+        let seed = base.wrapping_add(case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut g = Gen::from_seed(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut g)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "property `{name}` failed on case {case}/{cases}; \
+                 replay with SUPERC_PROP_SEED={seed}"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_quietly() {
+        check("tautology", 32, |g| {
+            let x = g.usize(0..10);
+            assert!(x < 10);
+        });
+    }
+
+    #[test]
+    fn reports_failures() {
+        let failed = catch_unwind(AssertUnwindSafe(|| {
+            check("always_fails", 8, |g| {
+                let x = g.usize(0..10);
+                assert!(x > 100, "x = {x}");
+            })
+        }));
+        assert!(failed.is_err());
+    }
+
+    #[test]
+    fn named_streams_are_deterministic() {
+        let mut first = Vec::new();
+        check("stream", 4, |g| first.push(g.usize(0..1_000_000)));
+        let mut second = Vec::new();
+        check("stream", 4, |g| second.push(g.usize(0..1_000_000)));
+        assert_eq!(first, second);
+        assert!(first.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! A deterministic, dependency-free pseudo-random generator.
+//!
+//! Replaces the external `rand` crate (unavailable in the offline build)
+//! for corpus generation and randomized tests. The core is xoshiro256**,
+//! seeded through SplitMix64 — the same construction `rand`'s `SmallRng`
+//! family uses — so quality is ample for generating synthetic kernels.
+//! Streams are *not* bit-compatible with `rand`; corpus content changed
+//! once at the swap, deterministically.
+//!
+//! The API mirrors the subset of `rand` the workspace used
+//! (`seed_from_u64`, `gen_range` over `a..b` / `a..=b`, `gen_bool`) so
+//! call sites read the same.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A small, fast, seedable RNG (xoshiro256**).
+///
+/// # Examples
+///
+/// ```
+/// use superc_util::SmallRng;
+/// let mut a = SmallRng::seed_from_u64(42);
+/// let mut b = SmallRng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.gen_range(0..10);
+/// assert!(x < 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed (SplitMix64 expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// An unbiased integer below `n` (Lemire's multiply-shift rejection).
+    #[inline]
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "empty range");
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = (x as u128) * (n as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return hi;
+            }
+        }
+    }
+
+    /// A uniform sample from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> usize {
+        let (lo, hi_incl) = range.bounds();
+        assert!(lo <= hi_incl, "gen_range called with an empty range");
+        let span = (hi_incl - lo) as u64 + 1;
+        lo + self.below(span) as usize
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 random bits give a uniform in [0, 1).
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+}
+
+/// Integer ranges accepted by [`SmallRng::gen_range`].
+pub trait SampleRange {
+    /// `(low, high_inclusive)`.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SampleRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(SmallRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = r.gen_range(0..10);
+            seen[x] = true;
+            let y = r.gen_range(3..=5);
+            assert!((3..=5).contains(&y));
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..10 hit in 1000 draws");
+        assert_eq!(r.gen_range(4..=4), 4);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(2);
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+        let heads = (0..2000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((800..1200).contains(&heads), "{heads} heads of 2000");
+    }
+}

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Reproducible performance snapshot + regression gate.
+#
+# Builds the release benchmark binary, runs the standard corpora, and
+# compares tokens/sec against the committed BENCH_fmlr.json. Fails when
+# throughput regresses by more than the tolerance (default 25%, to ride
+# out scheduler noise on shared machines).
+#
+#   scripts/bench.sh              # compare against committed snapshot
+#   scripts/bench.sh --update     # rewrite BENCH_fmlr.json in place
+#   TOLERANCE=10 scripts/bench.sh # custom regression tolerance (%)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${TOLERANCE:-25}"
+REPS="${REPS:-5}"
+SNAPSHOT=BENCH_fmlr.json
+
+cargo build --release -p superc-bench --bin bench_snapshot
+
+if [[ "${1:-}" == "--update" ]]; then
+    ./target/release/bench_snapshot --reps "$REPS" --json --out "$SNAPSHOT"
+    echo "bench: snapshot updated"
+    exit 0
+fi
+
+if [[ ! -f "$SNAPSHOT" ]]; then
+    echo "bench: no committed $SNAPSHOT; run scripts/bench.sh --update first" >&2
+    exit 1
+fi
+
+NEW=$(mktemp)
+trap 'rm -f "$NEW"' EXIT
+./target/release/bench_snapshot --reps "$REPS" --json --out "$NEW"
+
+# Compare per-workload tokens_per_sec with the committed snapshot.
+extract() { # file -> "name rate" lines
+    sed -n 's/.*"name": "\([a-z0-9]*\)".*"tokens_per_sec": \([0-9.]*\).*/\1 \2/p' "$1"
+}
+fail=0
+while read -r name old_rate; do
+    new_rate=$(extract "$NEW" | awk -v n="$name" '$1 == n { print $2 }')
+    if [[ -z "$new_rate" ]]; then
+        echo "bench: workload '$name' missing from new snapshot" >&2
+        fail=1
+        continue
+    fi
+    ok=$(awk -v o="$old_rate" -v n="$new_rate" -v t="$TOLERANCE" \
+        'BEGIN { print (n >= o * (1 - t / 100)) ? 1 : 0 }')
+    pct=$(awk -v o="$old_rate" -v n="$new_rate" \
+        'BEGIN { printf "%+.1f", (n - o) / o * 100 }')
+    if [[ "$ok" == 1 ]]; then
+        echo "bench: $name ${old_rate%.*} -> ${new_rate%.*} tok/s (${pct}%) OK"
+    else
+        echo "bench: $name ${old_rate%.*} -> ${new_rate%.*} tok/s (${pct}%) REGRESSION (>${TOLERANCE}% slower)" >&2
+        fail=1
+    fi
+done < <(extract "$SNAPSHOT")
+
+exit "$fail"

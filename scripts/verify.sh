@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification (see ROADMAP.md): release build + root-package tests,
+# then the performance snapshot gate (scripts/bench.sh).
+# Pass --workspace to also run every crate's test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+if [[ "${1:-}" == "--workspace" ]]; then
+    cargo test --workspace -q
+else
+    cargo test -q
+fi
+scripts/bench.sh
+echo "verify: OK"

@@ -3,9 +3,9 @@
 //! parser, must keep the branch-partition invariant, and must stay
 //! differentially consistent with single-configuration mode.
 
-use proptest::prelude::*;
 use superc::cpp::Element;
 use superc::{Builtins, Options, PpOptions, SuperC};
+use superc_util::prop::{check, Gen};
 
 /// A tiny AST of preprocessor-and-C soup that always generates
 /// *lexable* text (the pipeline should handle arbitrary bytes too, but
@@ -21,27 +21,34 @@ enum Soup {
     IfExpr(u8, u8, Vec<Soup>),
 }
 
-fn soup() -> impl Strategy<Value = Vec<Soup>> {
-    let leaf = prop_oneof![
-        (0u8..6).prop_map(Soup::Decl),
-        (0u8..4).prop_map(Soup::Expand),
-        (0u8..4, 0u8..10).prop_map(|(m, v)| Soup::Define(m, v)),
-        (0u8..4).prop_map(Soup::Undef),
-        (0u8..4, 0u8..10).prop_map(|(m, v)| Soup::FnDefine(m, v)),
-    ];
-    let item = leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            (
-                0u8..5,
-                prop::collection::vec(inner.clone(), 0..4),
-                prop::collection::vec(inner.clone(), 0..4)
-            )
-                .prop_map(|(c, t, e)| Soup::Cond(c, t, e)),
-            (0u8..4, 0u8..8, prop::collection::vec(inner, 0..4))
-                .prop_map(|(m, k, body)| Soup::IfExpr(m, k, body)),
-        ]
-    });
-    prop::collection::vec(item, 0..10)
+fn gen_leaf(g: &mut Gen) -> Soup {
+    match g.usize(0..5) {
+        0 => Soup::Decl(g.u8(0..6)),
+        1 => Soup::Expand(g.u8(0..4)),
+        2 => Soup::Define(g.u8(0..4), g.u8(0..10)),
+        3 => Soup::Undef(g.u8(0..4)),
+        _ => Soup::FnDefine(g.u8(0..4), g.u8(0..10)),
+    }
+}
+
+fn gen_item(g: &mut Gen, depth: usize) -> Soup {
+    if depth == 0 || g.percent(50) {
+        return gen_leaf(g);
+    }
+    if g.bool() {
+        Soup::Cond(
+            g.u8(0..5),
+            g.vec(0..4, |g| gen_item(g, depth - 1)),
+            g.vec(0..4, |g| gen_item(g, depth - 1)),
+        )
+    } else {
+        let (m, k) = (g.u8(0..4), g.u8(0..8));
+        Soup::IfExpr(m, k, g.vec(0..4, |g| gen_item(g, depth - 1)))
+    }
+}
+
+fn gen_soup(g: &mut Gen) -> Vec<Soup> {
+    g.vec(0..10, |g| gen_item(g, 3))
 }
 
 fn render(items: &[Soup], out: &mut String, counter: &mut u32) {
@@ -93,11 +100,10 @@ fn check_partition(elements: &[Element], parent: &superc::Cond) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn pipeline_never_panics_and_keeps_invariants(items in soup()) {
+#[test]
+fn pipeline_never_panics_and_keeps_invariants() {
+    check("pipeline_never_panics_and_keeps_invariants", 48, |g| {
+        let items = gen_soup(g);
         let mut src = String::new();
         let mut counter = 0;
         render(&items, &mut src, &mut counter);
@@ -117,14 +123,18 @@ proptest! {
 
         // Macro values are integers, so every configuration is valid C:
         // the parse must cover the whole space.
-        prop_assert!(p.result.errors.is_empty(),
+        assert!(p.result.errors.is_empty(),
             "errors: {:?}\nsource:\n{src}",
             p.result.errors.iter().map(|e| format!("{e}")).collect::<Vec<_>>());
-        prop_assert!(p.result.accepted.as_ref().expect("accepted").is_true());
-    }
+        assert!(p.result.accepted.as_ref().expect("accepted").is_true());
+    });
+}
 
-    #[test]
-    fn soup_matches_single_config(items in soup(), mask in 0u8..32) {
+#[test]
+fn soup_matches_single_config() {
+    check("soup_matches_single_config", 48, |g| {
+        let items = gen_soup(g);
+        let mask = g.u8(0..32);
         let mut src = String::new();
         let mut counter = 0;
         render(&items, &mut src, &mut counter);
@@ -159,7 +169,7 @@ proptest! {
             },
             fs,
         );
-        let g = single.process("f.c").expect("single");
+        let single_out = single.process("f.c").expect("single");
 
         // Select the full run's tokens under the mask. Free macros (Mx
         // never defined) appear as `defined(Mx)`-style variables: in gcc
@@ -192,7 +202,7 @@ proptest! {
             }
         }
         walk(&p.unit.elements, &env, &mut got);
-        let expected: Vec<String> = g
+        let expected: Vec<String> = single_out
             .unit
             .elements
             .iter()
@@ -201,6 +211,6 @@ proptest! {
                 Element::Conditional(_) => None,
             })
             .collect();
-        prop_assert_eq!(got, expected, "source:\n{}", src);
-    }
+        assert_eq!(got, expected, "source:\n{}", src);
+    });
 }
