@@ -530,6 +530,17 @@ pub struct BddStats {
 }
 
 impl BddStats {
+    /// Accumulates another manager's counters (corpus-level reporting over
+    /// per-worker managers). Gauges (`nodes`, `variables`) are summed too:
+    /// the aggregate reads as total allocation across workers.
+    pub fn merge(&mut self, other: &BddStats) {
+        self.nodes += other.nodes;
+        self.variables += other.variables;
+        self.apply_calls += other.apply_calls;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+
     /// Apply-cache hit rate in `[0, 1]` (0 when no lookups happened).
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;

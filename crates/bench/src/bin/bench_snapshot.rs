@@ -20,12 +20,17 @@ use std::time::Instant;
 use superc::report::TextTable;
 use superc::{CondBackend, Options, ParseStats, ParserConfig};
 use superc::bdd::BddStats;
-use superc_bench::{fig9_corpus, full_corpus, pp_options, process_corpus_with_tool, warm_up};
+use superc_bench::{
+    fig9_corpus, full_corpus, pp_options, process_corpus_parallel, process_corpus_with_tool,
+    warm_up,
+};
 use superc_kernelgen::Corpus;
 
 /// One measured workload.
 struct Snapshot {
     name: &'static str,
+    /// Worker threads used (1 = the sequential driver).
+    jobs: usize,
     units: usize,
     bytes: u64,
     tokens: u64,
@@ -74,6 +79,7 @@ fn measure(name: &'static str, corpus: &Corpus, reps: usize) -> Snapshot {
         let bdd = sc.ctx().bdd_stats().unwrap_or_default();
         let snap = Snapshot {
             name,
+            jobs: 1,
             units: units.len(),
             bytes,
             tokens,
@@ -90,6 +96,57 @@ fn measure(name: &'static str, corpus: &Corpus, reps: usize) -> Snapshot {
     best.expect("at least one rep")
 }
 
+/// Times `reps` runs of the parallel corpus driver, keeping the fastest.
+fn measure_parallel(name: &'static str, corpus: &Corpus, reps: usize, jobs: usize) -> Snapshot {
+    let mut best: Option<Snapshot> = None;
+    for _ in 0..reps.max(1) {
+        let report = process_corpus_parallel(corpus, options(), jobs);
+        let peak_live = report
+            .units
+            .iter()
+            .map(|u| u.parse.max_subparsers)
+            .max()
+            .unwrap_or(0);
+        let bytes = report.units.iter().map(|u| u.bytes).sum();
+        let snap = Snapshot {
+            name,
+            jobs: report.workers,
+            units: report.units.len(),
+            bytes,
+            tokens: report.pp.output_tokens,
+            seconds: report.wall.as_secs_f64(),
+            peak_live,
+            parse: report.parse.clone(),
+            bdd: report.bdd.unwrap_or_default(),
+        };
+        match &best {
+            Some(b) if b.seconds <= snap.seconds => {}
+            _ => best = Some(snap),
+        }
+    }
+    best.expect("at least one rep")
+}
+
+/// The determinism gate: a parallel run must do *exactly* the same
+/// parsing work as the sequential run — identical tokens and behavior
+/// counters for any worker count. Only gauges tied to worker-local
+/// managers (BDD nodes, interner sizes) and wall clock may differ.
+fn assert_behavior_identical(seq: &Snapshot, par: &Snapshot) {
+    assert_eq!(seq.units, par.units, "{}: unit count drifted", par.name);
+    assert_eq!(seq.tokens, par.tokens, "{}: output tokens drifted", par.name);
+    assert_eq!(seq.bytes, par.bytes, "{}: bytes drifted", par.name);
+    assert_eq!(
+        seq.peak_live, par.peak_live,
+        "{}: peak live subparsers drifted",
+        par.name
+    );
+    assert_eq!(
+        seq.parse, par.parse,
+        "{}: parser behavior counters drifted between jobs=1 and jobs={}",
+        par.name, par.jobs
+    );
+}
+
 /// Minimal JSON encoding — flat structure, numeric leaves only, so no
 /// escaping machinery is needed.
 fn to_json(snaps: &[Snapshot]) -> String {
@@ -98,7 +155,7 @@ fn to_json(snaps: &[Snapshot]) -> String {
         let _ = write!(
             s,
             concat!(
-                "    {{\"name\": \"{}\", \"units\": {}, \"bytes\": {}, ",
+                "    {{\"name\": \"{}\", \"jobs\": {}, \"units\": {}, \"bytes\": {}, ",
                 "\"tokens\": {}, \"seconds\": {:.6}, \"tokens_per_sec\": {:.1}, ",
                 "\"peak_live_subparsers\": {}, \"forks\": {}, \"merges\": {}, ",
                 "\"merge_probes\": {}, \"choice_nodes\": {}, ",
@@ -107,6 +164,7 @@ fn to_json(snaps: &[Snapshot]) -> String {
                 "\"bdd_cache_hit_rate\": {:.4}}}"
             ),
             w.name,
+            w.jobs,
             w.units,
             w.bytes,
             w.tokens,
@@ -166,13 +224,20 @@ fn main() {
     warm_up();
     let full = full_corpus();
     let fig9 = fig9_corpus();
-    let snaps = vec![
-        measure("full", &full, reps),
-        measure("fig9", &fig9, reps),
-    ];
+    let par_jobs = superc::corpus::default_jobs();
+    let full_seq = measure("full", &full, reps);
+    let fig9_seq = measure("fig9", &fig9, reps);
+    // Parallel entries use all available cores; `jobs` is recorded in the
+    // snapshot so the bench gate can judge scaling per machine.
+    let full_par = measure_parallel("full_par", &full, reps, par_jobs);
+    let fig9_par = measure_parallel("fig9_par", &fig9, reps, par_jobs);
+    assert_behavior_identical(&full_seq, &full_par);
+    assert_behavior_identical(&fig9_seq, &fig9_par);
+    let snaps = vec![full_seq, fig9_seq, full_par, fig9_par];
 
     let mut t = TextTable::new(&[
         "workload",
+        "jobs",
         "units",
         "tokens",
         "tok/s",
@@ -186,6 +251,7 @@ fn main() {
     for w in &snaps {
         t.row(&[
             w.name.to_string(),
+            w.jobs.to_string(),
             w.units.to_string(),
             w.tokens.to_string(),
             format!("{:.0}", w.tokens_per_sec()),

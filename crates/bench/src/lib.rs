@@ -81,6 +81,30 @@ pub fn process_corpus(corpus: &Corpus, options: Options) -> Vec<ProcessedUnit> {
         .collect()
 }
 
+/// Runs a corpus through the **parallel** pipeline (`superc::corpus`)
+/// with the given worker count (`0` = available parallelism), returning
+/// the corpus-level report with per-unit results in corpus order.
+///
+/// # Panics
+///
+/// Panics if a unit fails fatally — corpus generation guarantees units
+/// preprocess.
+pub fn process_corpus_parallel(
+    corpus: &Corpus,
+    options: Options,
+    jobs: usize,
+) -> superc::CorpusReport {
+    let copts = superc::CorpusOptions {
+        jobs,
+        ..superc::CorpusOptions::default()
+    };
+    let report = superc::process_corpus(&corpus.fs, &corpus.units, &options, &copts);
+    if let Some(u) = report.units.iter().find(|u| u.fatal.is_some()) {
+        panic!("{}: {}", u.path, u.fatal.as_deref().unwrap_or(""));
+    }
+    report
+}
+
 /// Like [`process_corpus`], but also returns the tool for post-run
 /// queries (include counts).
 pub fn process_corpus_with_tool(

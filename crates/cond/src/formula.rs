@@ -94,6 +94,22 @@ impl Formula {
         r
     }
 
+    /// Inserts every variable mentioned by the formula into `out`.
+    pub fn collect_vars(&self, out: &mut std::collections::HashSet<u32>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Var(v) => {
+                out.insert(*v);
+            }
+            Formula::Not(a) => a.collect_vars(out),
+            Formula::And(ks) | Formula::Or(ks) => {
+                for k in ks {
+                    k.collect_vars(out);
+                }
+            }
+        }
+    }
+
     /// Number of distinct nodes in the formula DAG.
     pub fn size(&self) -> usize {
         fn walk(f: &Formula, seen: &mut HashMap<*const Formula, ()>) -> usize {

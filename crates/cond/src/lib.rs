@@ -193,6 +193,17 @@ pub struct CondStats {
     pub variables: usize,
 }
 
+impl CondStats {
+    /// Accumulates another context's counters (corpus-level reporting over
+    /// per-worker contexts). `variables` sums across workers, so the
+    /// aggregate counts interning work done, not distinct names.
+    pub fn merge(&mut self, other: &CondStats) {
+        self.feasibility_checks += other.feasibility_checks;
+        self.dpll_steps += other.dpll_steps;
+        self.variables += other.variables;
+    }
+}
+
 struct CtxInner {
     backend: Backend,
     checks: RefCell<u64>,
@@ -593,6 +604,38 @@ impl Cond {
                 }
             }
         }
+    }
+
+    /// The variables this condition depends on, as sorted, deduplicated
+    /// names — the *support* of the boolean function.
+    ///
+    /// Drives the exhaustive-configuration oracle: enumerating all `2^n`
+    /// assignments of the support proves the configuration-preserving
+    /// pipeline equal to the single-configuration pipeline on every
+    /// configuration, not just sampled ones.
+    pub fn support_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = match &self.repr {
+            Repr::Bdd(a) => {
+                let m = a.manager();
+                a.support().into_iter().map(|v| m.var_name(v)).collect()
+            }
+            Repr::Formula(f) => {
+                let mut vars = std::collections::HashSet::new();
+                f.collect_vars(&mut vars);
+                match &self.ctx.inner.backend {
+                    Backend::Sat(s) => {
+                        let s = s.borrow();
+                        vars.into_iter()
+                            .map(|v| s.var_names[v as usize].clone())
+                            .collect()
+                    }
+                    Backend::Bdd(_) => unreachable!(),
+                }
+            }
+        };
+        names.sort();
+        names.dedup();
+        names
     }
 
     /// A structural size measure (BDD node count or formula size) used in

@@ -14,10 +14,13 @@
 //!   --preprocess      print the configuration-preserving preprocessed text
 //!   --ast             print the AST with static choice nodes
 //!   --stats           print preprocessor/parser statistics
+//!   --jobs <N>        parse N compilation units in parallel
+//!                     (default: available parallelism; 1 = sequential)
 //! ```
 
 use std::process::ExitCode;
 
+use superc::corpus::{process_corpus, Capture, CorpusOptions};
 use superc::{
     CondBackend, DiskFs, Options, ParserConfig, PpOptions, SuperC,
 };
@@ -28,6 +31,8 @@ struct Args {
     show_preprocessed: bool,
     show_ast: bool,
     show_stats: bool,
+    /// Worker threads; 0 = available parallelism.
+    jobs: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -37,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         show_preprocessed: false,
         show_ast: false,
         show_stats: false,
+        jobs: 0,
     };
     let mut pp = PpOptions::default();
     pp.include_paths.clear();
@@ -77,9 +83,16 @@ fn parse_args() -> Result<Args, String> {
             "--preprocess" => args.show_preprocessed = true,
             "--ast" => args.show_ast = true,
             "--stats" => args.show_stats = true,
+            "--jobs" | "-j" => {
+                let n = it.next().ok_or("--jobs needs a count")?;
+                args.jobs = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("--jobs: not a count: {n}"))?;
+            }
             "--help" | "-h" => {
                 return Err("usage: superc [-I dir] [-D name[=v]] [--sat] [--mapr] \
-                            [--level L] [--single names] [--preprocess] [--ast] [--stats] files..."
+                            [--level L] [--single names] [--preprocess] [--ast] [--stats] \
+                            [--jobs N] files..."
                     .to_string())
             }
             f if !f.starts_with('-') => args.files.push(f.to_string()),
@@ -104,6 +117,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let effective_jobs = if args.jobs == 0 {
+        superc::corpus::default_jobs()
+    } else {
+        args.jobs
+    };
+    if effective_jobs > 1 && args.files.len() > 1 {
+        return run_parallel(&args);
+    }
     let mut sc = SuperC::new(args.options, DiskFs::new("."));
     let mut failed = false;
     for file in &args.files {
@@ -156,6 +177,66 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Multi-file parallel path: fan out over the corpus driver, then print
+/// per-unit results in input order (so output is stable for any job
+/// count).
+fn run_parallel(args: &Args) -> ExitCode {
+    let fs = DiskFs::new(".");
+    let copts = CorpusOptions {
+        jobs: args.jobs,
+        capture: Capture {
+            preprocessed: args.show_preprocessed,
+            ast: args.show_ast,
+            unparse_configs: Vec::new(),
+        },
+    };
+    let report = process_corpus(&fs, &args.files, &args.options, &copts);
+    let mut failed = false;
+    for u in &report.units {
+        if let Some(fatal) = &u.fatal {
+            eprintln!("{}: fatal: {fatal}", u.path);
+            failed = true;
+            continue;
+        }
+        for d in &u.diagnostics {
+            eprintln!("{}: [Error] {d}", u.path);
+        }
+        for e in &u.errors {
+            eprintln!("{}: {e}", u.path);
+            failed = true;
+        }
+        if let Some(text) = &u.preprocessed {
+            println!("{text}");
+        }
+        if args.show_ast {
+            match &u.ast_text {
+                Some(ast) => println!("{ast}"),
+                None => eprintln!("{}: no configuration parsed", u.path),
+            }
+        }
+        if args.show_stats {
+            println!(
+                "{}: {} tokens, {} conditionals, {} macro invocations \
+                 ({} hoisted), {}",
+                u.path,
+                u.pp.output_tokens,
+                u.pp.output_conditionals,
+                u.pp.macro_invocations,
+                u.pp.invocations_hoisted,
+                u.parse,
+            );
+        }
+    }
+    if args.show_stats {
+        print!("{}", superc::report::corpus_table(&report).render());
     }
     if failed {
         ExitCode::FAILURE

@@ -1,0 +1,390 @@
+//! Parallel corpus driver: parse many compilation units across worker
+//! threads, deterministically.
+//!
+//! # Threading model
+//!
+//! The corpus is scheduled as a **chunked queue**: one shared
+//! [`AtomicUsize`] cursor over the unit list, each worker claiming the
+//! next unclaimed index until the list is exhausted. Slow units therefore
+//! never stall the queue behind a fixed pre-partition, and no unit is
+//! processed twice.
+//!
+//! What is *shared* read-only across workers:
+//!
+//! - the file tree (`F: FileSystem + Sync`, borrowed as `&F` — file
+//!   contents are `Arc<str>` handed out by reference-count bump);
+//! - the LALR tables (`superc_csyntax::c_grammar` is a `OnceLock`
+//!   static);
+//! - the [`Options`] (plain data, cloned once per worker).
+//!
+//! What is *per-worker*, created fresh inside each thread and never
+//! shared: the [`CondCtx`] (BDD manager or SAT state), the symbol
+//! interner, the preprocessor's macro table and header cache, and all
+//! statistics. Workers communicate only through the cursor and their
+//! return values, so no locks are taken on any hot path.
+//!
+//! # Determinism
+//!
+//! Each unit's result depends only on that unit's input: the FMLR engine
+//! orders work by `(position, rank, seq)` — never by allocation order or
+//! condition-handle identity — and semantic condition queries are
+//! pure. Per-unit reports are keyed by input index and reassembled in
+//! input order after the join, and every merged counter is a sum or max
+//! (commutative + associative), so [`CorpusReport::units`] and the merged
+//! preprocessor/parser counters are **byte-identical for any worker
+//! count or schedule**. The documented exceptions are wall-clock fields
+//! (`PpStats::lex_nanos`, phase timings), condition *display strings*,
+//! and BDD/interner gauge totals — the latter two depend on the order a
+//! worker's manager first met each variable; determinism tests therefore
+//! compare configuration-restricted unparses and behavior counters, not
+//! rendered conditions. `tests/parallel.rs` proves this for
+//! `--jobs 1/2/8`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use superc_bdd::BddStats;
+use superc_cond::CondStats;
+use superc_cpp::{FileSystem, PpStats, Severity};
+use superc_csyntax::unparse_config;
+use superc_fmlr::ParseStats;
+
+use crate::{Options, SuperC};
+
+/// How many worker threads to use and what to capture per unit.
+#[derive(Clone, Debug, Default)]
+pub struct CorpusOptions {
+    /// Worker threads; `0` means [`default_jobs`] (available parallelism).
+    pub jobs: usize,
+    /// Optional per-unit text captures (off by default — they cost
+    /// allocation proportional to the corpus).
+    pub capture: Capture,
+}
+
+/// Per-unit text captures for testing and inspection.
+#[derive(Clone, Debug, Default)]
+pub struct Capture {
+    /// Capture the preprocessed unit rendered as `#if`-annotated text.
+    ///
+    /// Note: conditional rendering depends on per-worker variable order,
+    /// so this text is *not* part of the determinism contract.
+    pub preprocessed: bool,
+    /// Capture the AST (with static choice nodes) rendered as text.
+    /// Schedule-dependent for the same reason as `preprocessed`.
+    pub ast: bool,
+    /// For each listed configuration (a set of enabled `defined(...)`
+    /// variables), capture the choice-node AST restricted to it via
+    /// [`unparse_config`]. These strings *are* deterministic.
+    pub unparse_configs: Vec<Vec<String>>,
+}
+
+/// The worker count used when [`CorpusOptions::jobs`] is `0`.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The outcome of one compilation unit, reduced to thread-portable data
+/// (the `Rc`-based AST and conditions stay inside the worker).
+#[derive(Clone, Debug)]
+pub struct UnitReport {
+    /// The unit's path, as given.
+    pub path: String,
+    /// Source bytes lexed (main file plus headers, with repeats).
+    pub bytes: u64,
+    /// Preprocessor counters.
+    pub pp: PpStats,
+    /// Parser counters.
+    pub parse: ParseStats,
+    /// Per-phase wall-clock nanoseconds: lexing, preprocessing, parsing.
+    pub phase_nanos: [u64; 3],
+    /// Did some configuration accept?
+    pub parsed: bool,
+    /// Static choice nodes in the AST.
+    pub choice_nodes: usize,
+    /// Rendered per-configuration parse errors.
+    pub errors: Vec<String>,
+    /// Rendered preprocessor diagnostics of `Error` severity.
+    pub diagnostics: Vec<String>,
+    /// Fatal preprocessor failure, if the unit never reached the parser.
+    pub fatal: Option<String>,
+    /// `#if`-annotated preprocessed text, when captured.
+    pub preprocessed: Option<String>,
+    /// Rendered AST, when captured (and the unit parsed).
+    pub ast_text: Option<String>,
+    /// AST restricted to each requested configuration, when captured
+    /// (aligned with [`Capture::unparse_configs`]; empty string when the
+    /// unit has no AST).
+    pub unparses: Vec<String>,
+}
+
+/// Corpus-level rollup: per-unit reports in **input order** plus merged
+/// counters.
+#[derive(Clone, Debug)]
+pub struct CorpusReport {
+    /// One report per input unit, in input order.
+    pub units: Vec<UnitReport>,
+    /// Preprocessor counters summed over units.
+    pub pp: PpStats,
+    /// Parser counters summed over units.
+    pub parse: ParseStats,
+    /// Condition-context counters summed over workers.
+    pub cond: CondStats,
+    /// BDD counters summed over workers (`None` under the SAT backend).
+    pub bdd: Option<BddStats>,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// End-to-end wall clock for the whole corpus.
+    pub wall: Duration,
+}
+
+impl CorpusReport {
+    /// Units that produced an AST.
+    pub fn parsed_units(&self) -> usize {
+        self.units.iter().filter(|u| u.parsed).count()
+    }
+
+    /// Units that failed fatally in the preprocessor.
+    pub fn fatal_units(&self) -> usize {
+        self.units.iter().filter(|u| u.fatal.is_some()).count()
+    }
+
+    /// Corpus throughput in output tokens per wall-clock second.
+    pub fn tokens_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.pp.output_tokens as f64 / secs
+        }
+    }
+
+    /// Canonical rendering of the schedule-independent behavior counters.
+    ///
+    /// Two runs of the same corpus — any `jobs`, any interleaving — must
+    /// produce byte-identical strings; `bench_snapshot` and
+    /// `tests/parallel.rs` assert exactly that. Schedule-*dependent*
+    /// gauges (BDD nodes, interner sizes, wall clock) are deliberately
+    /// absent.
+    pub fn behavior_counters(&self) -> String {
+        format!(
+            "units={} parsed={} fatal={} output_tokens={} \
+             output_conditionals={} conditionals_hoisted={} shifts={} \
+             reduces={} forks={} merges={} choice_nodes={} \
+             reclassify_forks={}",
+            self.units.len(),
+            self.parsed_units(),
+            self.fatal_units(),
+            self.pp.output_tokens,
+            self.pp.output_conditionals,
+            self.pp.conditionals_hoisted,
+            self.parse.shifts,
+            self.parse.reduces,
+            self.parse.forks,
+            self.parse.merges,
+            self.parse.choice_nodes,
+            self.parse.reclassify_forks,
+        )
+    }
+}
+
+/// Parses every unit of a corpus, fanning out over worker threads.
+///
+/// `units` are paths into `fs`. The report's `units` come back in input
+/// order regardless of scheduling; see the module docs for the
+/// determinism contract. `jobs = 0` uses [`default_jobs`], and the
+/// worker count is additionally capped at the unit count.
+///
+/// # Examples
+///
+/// ```
+/// use superc::corpus::{process_corpus, CorpusOptions};
+/// use superc::{MemFs, Options};
+///
+/// let fs = MemFs::new()
+///     .file("a.c", "int a;\n")
+///     .file("b.c", "#ifdef CONFIG_B\nint b;\n#endif\n");
+/// let units = ["a.c".to_string(), "b.c".to_string()];
+/// let report = process_corpus(&fs, &units, &Options::default(), &CorpusOptions::default());
+/// assert_eq!(report.parsed_units(), 2);
+/// assert_eq!(report.units[1].path, "b.c"); // input order, not finish order
+/// ```
+pub fn process_corpus<F: FileSystem + Sync>(
+    fs: &F,
+    units: &[String],
+    options: &Options,
+    copts: &CorpusOptions,
+) -> CorpusReport {
+    let requested = if copts.jobs == 0 {
+        default_jobs()
+    } else {
+        copts.jobs
+    };
+    let workers = requested.min(units.len()).max(1);
+
+    let start = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let outputs: Vec<WorkerOutput> = if workers == 1 {
+        vec![worker_loop(fs, units, options, copts, &cursor)]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| s.spawn(|| worker_loop(fs, units, options, copts, &cursor)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("corpus worker panicked"))
+                .collect()
+        })
+    };
+    let wall = start.elapsed();
+
+    // Reassemble in input order: every index was claimed exactly once.
+    let mut slots: Vec<Option<UnitReport>> = units.iter().map(|_| None).collect();
+    let mut cond = CondStats::default();
+    let mut bdd: Option<BddStats> = None;
+    let mut pp = PpStats::default();
+    let mut parse = ParseStats::default();
+    for out in outputs {
+        for (i, report) in out.units {
+            debug_assert!(slots[i].is_none(), "unit {i} claimed twice");
+            slots[i] = Some(report);
+        }
+        cond.merge(&out.cond);
+        if let Some(b) = out.bdd {
+            bdd.get_or_insert_with(BddStats::default).merge(&b);
+        }
+    }
+    let units: Vec<UnitReport> = slots
+        .into_iter()
+        .map(|s| s.expect("every unit claimed"))
+        .collect();
+    for u in &units {
+        pp.merge(&u.pp);
+        parse.merge(&u.parse);
+    }
+
+    CorpusReport {
+        units,
+        pp,
+        parse,
+        cond,
+        bdd,
+        workers,
+        wall,
+    }
+}
+
+struct WorkerOutput {
+    units: Vec<(usize, UnitReport)>,
+    cond: CondStats,
+    bdd: Option<BddStats>,
+}
+
+fn worker_loop<F: FileSystem + Sync>(
+    fs: &F,
+    units: &[String],
+    options: &Options,
+    copts: &CorpusOptions,
+    cursor: &AtomicUsize,
+) -> WorkerOutput {
+    // Per-worker tool: own CondCtx/interner/macro table/header cache over
+    // the shared tree. Reused across this worker's units so header caching
+    // matches the sequential driver.
+    let mut tool = SuperC::new(options.clone(), fs);
+    let mut out = Vec::new();
+    loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(path) = units.get(i) else { break };
+        out.push((i, process_one(&mut tool, path, copts)));
+    }
+    WorkerOutput {
+        units: out,
+        cond: tool.ctx().stats(),
+        bdd: tool.ctx().bdd_stats(),
+    }
+}
+
+fn process_one<F: FileSystem>(
+    tool: &mut SuperC<F>,
+    path: &str,
+    copts: &CorpusOptions,
+) -> UnitReport {
+    let processed = match tool.process(path) {
+        Ok(p) => p,
+        Err(e) => {
+            return UnitReport {
+                path: path.to_string(),
+                bytes: 0,
+                pp: PpStats::default(),
+                parse: ParseStats::default(),
+                phase_nanos: [0; 3],
+                parsed: false,
+                choice_nodes: 0,
+                errors: Vec::new(),
+                diagnostics: Vec::new(),
+                fatal: Some(e.to_string()),
+                preprocessed: None,
+                ast_text: None,
+                unparses: Vec::new(),
+            }
+        }
+    };
+
+    let preprocessed = copts
+        .capture
+        .preprocessed
+        .then(|| processed.unit.display_text());
+    let ast_text = if copts.capture.ast {
+        processed.result.ast.as_ref().map(|a| a.to_string())
+    } else {
+        None
+    };
+    let unparses = copts
+        .capture
+        .unparse_configs
+        .iter()
+        .map(|enabled| match &processed.result.ast {
+            Some(ast) => {
+                let env = |name: &str| {
+                    let bare = name
+                        .strip_prefix("defined(")
+                        .and_then(|s| s.strip_suffix(')'))
+                        .unwrap_or(name);
+                    Some(enabled.iter().any(|e| e == bare))
+                };
+                unparse_config(ast, tool.ctx(), &env)
+            }
+            None => String::new(),
+        })
+        .collect();
+
+    UnitReport {
+        path: path.to_string(),
+        bytes: processed.bytes,
+        parsed: processed.result.ast.is_some(),
+        choice_nodes: processed
+            .result
+            .ast
+            .as_ref()
+            .map_or(0, |a| a.choice_count()),
+        errors: processed.result.errors.iter().map(|e| e.to_string()).collect(),
+        diagnostics: processed
+            .unit
+            .diagnostics
+            .iter()
+            .filter(|d| matches!(d.severity, Severity::Error))
+            .map(|d| format!("{}: {}", d.pos, d.message))
+            .collect(),
+        phase_nanos: [
+            processed.timings.lexing.as_nanos() as u64,
+            processed.timings.preprocessing.as_nanos() as u64,
+            processed.timings.parsing.as_nanos() as u64,
+        ],
+        pp: processed.unit.stats,
+        parse: processed.result.stats,
+        fatal: None,
+        preprocessed,
+        ast_text,
+        unparses,
+    }
+}

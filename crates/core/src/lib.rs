@@ -36,6 +36,7 @@
 //! # Ok::<(), superc::PpError>(())
 //! ```
 
+pub mod corpus;
 pub mod report;
 
 pub use superc_bdd as bdd;
@@ -56,6 +57,8 @@ pub use superc_csyntax::{
     CContext,
 };
 pub use superc_fmlr::{Forest, ParseResult, ParseStats, Parser, ParserConfig, SemVal};
+
+pub use corpus::{process_corpus, CorpusOptions, CorpusReport, UnitReport};
 
 use std::time::{Duration, Instant};
 

@@ -219,6 +219,41 @@ pub fn activity_table(
     t
 }
 
+/// Renders a corpus run — unit outcomes, throughput, merged activity —
+/// as a two-column table. Used by `superc --jobs N --stats` and the
+/// benchmark binaries so parallel runs report uniformly.
+pub fn corpus_table(report: &crate::corpus::CorpusReport) -> TextTable {
+    let mut t = TextTable::new(&["corpus", "value"]);
+    let mut r = |k: &str, v: String| {
+        t.row(&[k.to_string(), v]);
+    };
+    r("units", report.units.len().to_string());
+    r("parsed", report.parsed_units().to_string());
+    r("fatal", report.fatal_units().to_string());
+    r("workers", report.workers.to_string());
+    r("wall", format!("{:?}", report.wall));
+    r(
+        "output tokens",
+        group_thousands(report.pp.output_tokens as f64),
+    );
+    r(
+        "tokens/sec",
+        group_thousands(report.tokens_per_sec()),
+    );
+    r("forks", report.parse.forks.to_string());
+    r("merges", report.parse.merges.to_string());
+    r("choice nodes", report.parse.choice_nodes.to_string());
+    r(
+        "feasibility checks",
+        report.cond.feasibility_checks.to_string(),
+    );
+    if let Some(b) = &report.bdd {
+        r("bdd apply calls", b.apply_calls.to_string());
+        r("bdd cache hit rate", format!("{:.3}", b.cache_hit_rate()));
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

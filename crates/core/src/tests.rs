@@ -104,6 +104,104 @@ fn header_cache_shared_across_units() {
     );
 }
 
+mod corpus {
+    use super::*;
+    use crate::corpus::{default_jobs, process_corpus, Capture, CorpusOptions};
+
+    fn fs() -> MemFs {
+        MemFs::new()
+            .file("include/h.h", "#ifndef H\n#define H\ntypedef int u8_t;\n#endif\n")
+            .file("a.c", "#include <h.h>\nu8_t a;\n")
+            .file("b.c", VARIABLE)
+            .file("c.c", "int c(void) { return 3; }\n")
+    }
+
+    fn opts() -> Options {
+        Options {
+            pp: PpOptions {
+                builtins: Builtins::none(),
+                ..PpOptions::default()
+            },
+            ..Options::default()
+        }
+    }
+
+    fn units() -> Vec<String> {
+        ["a.c", "b.c", "c.c"].map(str::to_string).to_vec()
+    }
+
+    #[test]
+    fn report_is_in_input_order_with_merged_counters() {
+        let report = process_corpus(&fs(), &units(), &opts(), &CorpusOptions::default());
+        assert_eq!(report.units.len(), 3);
+        assert_eq!(report.units[0].path, "a.c");
+        assert_eq!(report.units[1].path, "b.c");
+        assert_eq!(report.units[2].path, "c.c");
+        assert_eq!(report.parsed_units(), 3);
+        assert_eq!(report.fatal_units(), 0);
+        // Merged counters are the per-unit sums.
+        let tokens: u64 = report.units.iter().map(|u| u.pp.output_tokens).sum();
+        assert_eq!(report.pp.output_tokens, tokens);
+        let shifts: u64 = report.units.iter().map(|u| u.parse.shifts).sum();
+        assert_eq!(report.parse.shifts, shifts);
+        assert!(report.cond.feasibility_checks > 0);
+        assert!(report.bdd.is_some(), "BDD backend reports BDD stats");
+        assert!(report.wall > std::time::Duration::ZERO);
+        assert!(report.tokens_per_sec() > 0.0);
+        assert!(report.behavior_counters().contains("units=3 parsed=3"));
+    }
+
+    #[test]
+    fn captures_are_per_unit() {
+        let copts = CorpusOptions {
+            jobs: 2,
+            capture: Capture {
+                preprocessed: true,
+                ast: true,
+                unparse_configs: vec![vec![], vec!["CONFIG_SMP".to_string()]],
+            },
+        };
+        let report = process_corpus(&fs(), &units(), &opts(), &copts);
+        let b = &report.units[1];
+        assert!(b.preprocessed.as_deref().is_some_and(|t| t.contains("cpus")));
+        assert!(b.ast_text.is_some());
+        assert_eq!(b.unparses.len(), 2);
+        assert!(b.unparses[0].contains("cpus = 1"), "{}", b.unparses[0]);
+        assert!(b.unparses[1].contains("cpus = 8"), "{}", b.unparses[1]);
+    }
+
+    #[test]
+    fn sat_backend_reports_no_bdd_stats() {
+        let mut o = Options::typechef_baseline();
+        o.pp.builtins = Builtins::none();
+        let report = process_corpus(&fs(), &units(), &o, &CorpusOptions::default());
+        assert!(report.bdd.is_none());
+        assert!(report.cond.feasibility_checks > 0);
+        assert_eq!(report.parsed_units(), 3);
+    }
+
+    #[test]
+    fn empty_corpus_yields_an_empty_report() {
+        let report = process_corpus(&fs(), &[], &opts(), &CorpusOptions::default());
+        assert!(report.units.is_empty());
+        assert_eq!(report.workers, 1);
+        assert_eq!(report.pp.output_tokens, 0);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn corpus_table_renders() {
+        let report = process_corpus(&fs(), &units(), &opts(), &CorpusOptions::default());
+        let table = crate::report::corpus_table(&report).render();
+        assert!(table.contains("units"));
+        assert!(table.contains("tokens/sec"));
+    }
+}
+
 #[test]
 fn timings_split_into_phases() {
     let mut sc = tool(&[("m.c", VARIABLE)]);

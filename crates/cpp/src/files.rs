@@ -4,15 +4,21 @@
 //! in-memory tree. The preprocessor only needs path-keyed reads — include
 //! *resolution* (search-path logic) lives here too so both backends share
 //! it.
+//!
+//! File contents are handed out as `Arc<str>` so one file tree can be
+//! **shared read-only across worker threads**: the parallel corpus driver
+//! (`superc::corpus`) borrows a single [`MemFs`]/[`DiskFs`] from every
+//! worker (via the blanket `impl FileSystem for &F`), and each worker's
+//! preprocessor caches the lexed form privately.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Source of included files.
 pub trait FileSystem {
     /// Reads a file by exact path. `None` when absent.
-    fn read(&self, path: &str) -> Option<Rc<str>>;
+    fn read(&self, path: &str) -> Option<Arc<str>>;
 
     /// Resolves an include operand against the search paths.
     ///
@@ -45,6 +51,14 @@ pub trait FileSystem {
     }
 }
 
+/// Shared references are file systems too: `std::thread::scope` workers
+/// each build a `Preprocessor<&MemFs>` over one borrowed tree.
+impl<F: FileSystem + ?Sized> FileSystem for &F {
+    fn read(&self, path: &str) -> Option<Arc<str>> {
+        (**self).read(path)
+    }
+}
+
 fn join(dir: &str, name: &str) -> String {
     if dir.is_empty() {
         name.to_string()
@@ -54,6 +68,9 @@ fn join(dir: &str, name: &str) -> String {
 }
 
 /// An in-memory file tree.
+///
+/// Cloning is cheap (contents are shared), and a `MemFs` is `Send + Sync`,
+/// so a generated corpus can be parsed by many workers at once.
 ///
 /// # Examples
 ///
@@ -68,7 +85,7 @@ fn join(dir: &str, name: &str) -> String {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct MemFs {
-    files: HashMap<String, Rc<str>>,
+    files: HashMap<String, Arc<str>>,
 }
 
 impl MemFs {
@@ -79,13 +96,13 @@ impl MemFs {
 
     /// Adds a file, builder-style.
     pub fn file(mut self, path: &str, contents: &str) -> Self {
-        self.files.insert(path.to_string(), Rc::from(contents));
+        self.files.insert(path.to_string(), Arc::from(contents));
         self
     }
 
     /// Adds a file in place.
     pub fn add(&mut self, path: &str, contents: &str) {
-        self.files.insert(path.to_string(), Rc::from(contents));
+        self.files.insert(path.to_string(), Arc::from(contents));
     }
 
     /// Number of files.
@@ -105,7 +122,7 @@ impl MemFs {
 }
 
 impl FileSystem for MemFs {
-    fn read(&self, path: &str) -> Option<Rc<str>> {
+    fn read(&self, path: &str) -> Option<Arc<str>> {
         self.files.get(path).cloned()
     }
 }
@@ -124,12 +141,35 @@ impl DiskFs {
 }
 
 impl FileSystem for DiskFs {
-    fn read(&self, path: &str) -> Option<Rc<str>> {
+    fn read(&self, path: &str) -> Option<Arc<str>> {
         let full = if Path::new(path).is_absolute() {
             PathBuf::from(path)
         } else {
             self.root.join(path)
         };
-        std::fs::read_to_string(full).ok().map(Rc::from)
+        std::fs::read_to_string(full).ok().map(Arc::from)
+    }
+}
+
+#[cfg(test)]
+mod shared_fs_tests {
+    use super::*;
+
+    #[test]
+    fn mem_fs_is_send_and_sync() {
+        fn assert_shareable<T: Send + Sync>() {}
+        assert_shareable::<MemFs>();
+        assert_shareable::<DiskFs>();
+    }
+
+    #[test]
+    fn references_are_file_systems() {
+        let fs = MemFs::new().file("x.h", "int x;\n");
+        let by_ref: &MemFs = &fs;
+        assert_eq!(by_ref.read("x.h").as_deref(), Some("int x;\n"));
+        assert_eq!(
+            by_ref.resolve("x.h", true, "", &[]),
+            Some("x.h".to_string())
+        );
     }
 }

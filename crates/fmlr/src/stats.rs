@@ -4,7 +4,7 @@
 use std::fmt;
 
 /// Counters for one parse.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ParseStats {
     /// Iterations of the main FMLR loop (one subparser step each).
     pub iterations: u64,

@@ -33,9 +33,12 @@ NEW=$(mktemp)
 trap 'rm -f "$NEW"' EXIT
 ./target/release/bench_snapshot --reps "$REPS" --json --out "$NEW"
 
-# Compare per-workload tokens_per_sec with the committed snapshot.
+# Compare per-workload tokens_per_sec with the committed snapshot. The
+# snapshot carries sequential ("full", "fig9") and parallel ("full_par",
+# "fig9_par") entries, so a scaling regression in the parallel driver
+# gates the same way as a single-thread one.
 extract() { # file -> "name rate" lines
-    sed -n 's/.*"name": "\([a-z0-9]*\)".*"tokens_per_sec": \([0-9.]*\).*/\1 \2/p' "$1"
+    sed -n 's/.*"name": "\([a-z0-9_]*\)".*"tokens_per_sec": \([0-9.]*\).*/\1 \2/p' "$1"
 }
 fail=0
 while read -r name old_rate; do

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification (see ROADMAP.md): release build + root-package tests,
-# then the performance snapshot gate (scripts/bench.sh).
+# a parallel-parsing determinism pass, then the performance snapshot gate
+# (scripts/bench.sh — gates both sequential and parallel entries).
 # Pass --workspace to also run every crate's test suite.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -11,5 +12,8 @@ if [[ "${1:-}" == "--workspace" ]]; then
 else
     cargo test -q
 fi
+# Re-run the parallel determinism suite with a wider, oversubscribed jobs
+# ladder than the default 1,2,8 — cheap extra scheduling coverage.
+SUPERC_PAR_JOBS="1,2,3,5,8,16" cargo test -q --test parallel
 scripts/bench.sh
 echo "verify: OK"

@@ -9,6 +9,8 @@
 //! configuration-preserving preprocessor", §6.3) — with our own
 //! single-configuration mode standing in for gcc.
 
+use std::collections::BTreeSet;
+
 use superc::cpp::Element;
 use superc::{unparse_config, Builtins, Options, PpOptions, SuperC};
 use superc_kernelgen::{generate, CorpusSpec};
@@ -178,4 +180,169 @@ fn variability_preserving_equals_single_config() {
             );
         }
     }
+}
+
+/// The free boolean variables a unit's variability depends on, discovered
+/// from the presence conditions of its preserved conditionals.
+///
+/// Returns the *togglable* variables (bare `CONFIG_*`-style names, with
+/// any `defined(...)` wrapper stripped). The one opaque subterm the
+/// generator emits (`NR_CPUS < 256`) has a fixed truth value in every
+/// configuration (see `variability_preserving_equals_single_config`), so
+/// it is not free; any *other* opaque name is a drift in the generator
+/// and fails the test.
+fn free_variables(elements: &[Element]) -> BTreeSet<String> {
+    let mut vars = BTreeSet::new();
+    fn walk(elements: &[Element], vars: &mut BTreeSet<String>) {
+        for e in elements {
+            if let Element::Conditional(k) = e {
+                for b in &k.branches {
+                    for name in b.cond.support_names() {
+                        let bare = name
+                            .strip_prefix("defined(")
+                            .and_then(|n| n.strip_suffix(')'))
+                            .unwrap_or(&name);
+                        if bare == "NR_CPUS < 256" {
+                            continue; // fixed: true in every configuration
+                        }
+                        assert!(
+                            bare.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                            "unexpected opaque condition variable {name:?}; \
+                             the oracle cannot enumerate it"
+                        );
+                        vars.insert(bare.to_string());
+                    }
+                    walk(&b.elements, vars);
+                }
+            }
+        }
+    }
+    walk(elements, &mut vars);
+    vars
+}
+
+/// The exhaustive-configuration oracle (no sampling): for every small
+/// unit — support of at most 8 free variables — enumerate **all** 2^n
+/// configurations and check the configuration-preserving run against a
+/// fresh single-configuration run, token-for-token at both the
+/// preprocessor and AST levels. This upgrades the sampled differential
+/// test above from "equal on 8 environments" to "equal on every
+/// configuration the unit can express".
+#[test]
+fn exhaustive_configuration_oracle() {
+    // A dedicated tiny corpus keeps supports small enough to enumerate
+    // and single-config runs cheap enough to afford 2^n of them per unit.
+    let spec = CorpusSpec {
+        units: 5,
+        subsystem_headers: 3,
+        config_vars: 6,
+        functions_per_unit: (1, 3),
+        init_members: (2, 4),
+        computed_include_pct: 0,
+        error_directive_pct: 20,
+        ..CorpusSpec::small()
+    };
+    let corpus = generate(&spec);
+    let mut full = SuperC::new(
+        Options {
+            pp: PpOptions {
+                builtins: Builtins::gcc_like(),
+                ..PpOptions::default()
+            },
+            ..Options::default()
+        },
+        corpus.fs.clone(),
+    );
+    let ctx = full.ctx().clone();
+
+    let mut covered_units = 0usize;
+    let mut configs_checked = 0usize;
+    for unit_path in &corpus.units {
+        let p = full.process(unit_path).expect("full run");
+        let vars: Vec<String> = free_variables(&p.unit.elements).into_iter().collect();
+        assert!(
+            vars.len() <= 8,
+            "{unit_path}: support {vars:?} too large for this spec — \
+             shrink the corpus, don't sample"
+        );
+        covered_units += 1;
+        let ast = p.result.ast.as_ref().expect("full run parsed");
+
+        for mask in 0u32..(1 << vars.len()) {
+            let on: Vec<&String> = vars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, v)| v)
+                .collect();
+            let env = |name: &str| -> Option<bool> {
+                if name == "NR_CPUS < 256" {
+                    return Some(true);
+                }
+                let inner = name
+                    .strip_prefix("defined(")
+                    .and_then(|n| n.strip_suffix(')'))
+                    .unwrap_or(name);
+                Some(on.iter().any(|s| *s == inner))
+            };
+
+            // Skip configurations the unit declares invalid via #error —
+            // gcc mode would fail fatally there, by design.
+            let poisoned = p
+                .unit
+                .diagnostics
+                .iter()
+                .any(|d| d.message.starts_with("#error") && d.cond.eval(|n| env(n)));
+            if poisoned {
+                continue;
+            }
+
+            let defines: Vec<(String, String)> =
+                on.iter().map(|n| ((*n).clone(), "1".to_string())).collect();
+            let mut gcc = SuperC::new(
+                Options {
+                    pp: PpOptions {
+                        builtins: Builtins::gcc_like(),
+                        defines,
+                        single_config: true,
+                        ..PpOptions::default()
+                    },
+                    ..Options::default()
+                },
+                corpus.fs.clone(),
+            );
+            let g = gcc.process(unit_path).expect("gcc-mode run");
+            assert!(g.result.errors.is_empty(), "{unit_path} under {on:?}");
+            let expected: Vec<String> = g
+                .unit
+                .elements
+                .iter()
+                .filter_map(|e| match e {
+                    Element::Token(t) => Some(t.text().to_string()),
+                    Element::Conditional(_) => None,
+                })
+                .collect();
+
+            let got = select_tokens(&p.unit.elements, &env);
+            assert_eq!(
+                got, expected,
+                "{unit_path}: preprocessed tokens differ under {on:?} (mask {mask:#b})"
+            );
+            let unparsed = unparse_config(ast, &ctx, &|n| env(n));
+            assert_eq!(
+                unparsed,
+                expected.join(" "),
+                "{unit_path}: AST restriction differs under {on:?} (mask {mask:#b})"
+            );
+            configs_checked += 1;
+        }
+    }
+
+    // The oracle must actually have covered the corpus: every unit, and
+    // enough configurations that enumeration is doing real work.
+    assert_eq!(covered_units, corpus.units.len());
+    assert!(
+        configs_checked >= corpus.units.len() * 2,
+        "only {configs_checked} configurations checked — supports degenerate?"
+    );
 }

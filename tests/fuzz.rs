@@ -17,16 +17,27 @@ enum Soup {
     Define(u8, u8),
     Undef(u8),
     FnDefine(u8, u8),
+    /// Token pasting (`##`) with a possibly-multiply-defined macro as an
+    /// operand — when `M{m}`'s definitions vary by configuration, the
+    /// paste must be hoisted (Algorithm 1's `token_pastes_hoisted` path).
+    Paste(u8),
+    /// Stringification (`#`) of a possibly-multiply-defined macro.
+    Stringify(u8),
     Cond(u8, Vec<Soup>, Vec<Soup>),
     IfExpr(u8, u8, Vec<Soup>),
+    /// An `#if/#elif/#elif/#else` chain mixing `defined(...)` and value
+    /// tests, so branch conditions are built by chained negation.
+    ElifChain(u8, u8, u8, u8, Vec<Soup>, Vec<Soup>, Vec<Soup>),
 }
 
 fn gen_leaf(g: &mut Gen) -> Soup {
-    match g.usize(0..5) {
+    match g.usize(0..7) {
         0 => Soup::Decl(g.u8(0..6)),
         1 => Soup::Expand(g.u8(0..4)),
         2 => Soup::Define(g.u8(0..4), g.u8(0..10)),
         3 => Soup::Undef(g.u8(0..4)),
+        4 => Soup::Paste(g.u8(0..4)),
+        5 => Soup::Stringify(g.u8(0..4)),
         _ => Soup::FnDefine(g.u8(0..4), g.u8(0..10)),
     }
 }
@@ -35,15 +46,25 @@ fn gen_item(g: &mut Gen, depth: usize) -> Soup {
     if depth == 0 || g.percent(50) {
         return gen_leaf(g);
     }
-    if g.bool() {
-        Soup::Cond(
+    match g.usize(0..3) {
+        0 => Soup::Cond(
             g.u8(0..5),
             g.vec(0..4, |g| gen_item(g, depth - 1)),
             g.vec(0..4, |g| gen_item(g, depth - 1)),
-        )
-    } else {
-        let (m, k) = (g.u8(0..4), g.u8(0..8));
-        Soup::IfExpr(m, k, g.vec(0..4, |g| gen_item(g, depth - 1)))
+        ),
+        1 => {
+            let (m, k) = (g.u8(0..4), g.u8(0..8));
+            Soup::IfExpr(m, k, g.vec(0..4, |g| gen_item(g, depth - 1)))
+        }
+        _ => Soup::ElifChain(
+            g.u8(0..5),
+            g.u8(0..5),
+            g.u8(0..4),
+            g.u8(0..8),
+            g.vec(0..3, |g| gen_item(g, depth - 1)),
+            g.vec(0..3, |g| gen_item(g, depth - 1)),
+            g.vec(0..3, |g| gen_item(g, depth - 1)),
+        ),
     }
 }
 
@@ -69,6 +90,26 @@ fn render(items: &[Soup], out: &mut String, counter: &mut u32) {
                 *counter += 1;
                 out.push_str(&format!("int fuse_{} = F{m}(2);\n", *counter));
             }
+            Soup::Paste(m) => {
+                // Two-level glue so the argument expands before `##`:
+                // M{m} defined to 7 pastes `g<id>_7`; M{m} undefined
+                // pastes the identifier `g<id>_M{m}`. Both are valid
+                // declarators, so every configuration stays parseable.
+                *counter += 1;
+                let id = *counter;
+                out.push_str(&format!("#define GLUE_IN_{id}(a, b) a##b\n"));
+                out.push_str(&format!("#define GLUE_{id}(a, b) GLUE_IN_{id}(a, b)\n"));
+                out.push_str(&format!("int GLUE_{id}(g{id}_, M{m}) = 0;\n"));
+            }
+            Soup::Stringify(m) => {
+                // Two-level so the argument expands before `#`: either
+                // "7" or "M{m}", a string literal in every configuration.
+                *counter += 1;
+                let id = *counter;
+                out.push_str(&format!("#define STR_IN_{id}(x) #x\n"));
+                out.push_str(&format!("#define STR_{id}(x) STR_IN_{id}(x)\n"));
+                out.push_str(&format!("const char *s{id} = STR_{id}(M{m});\n"));
+            }
             Soup::Cond(c, t, e) => {
                 out.push_str(&format!("#ifdef CFG{c}\n"));
                 render(t, out, counter);
@@ -79,6 +120,18 @@ fn render(items: &[Soup], out: &mut String, counter: &mut u32) {
             Soup::IfExpr(m, k, body) => {
                 out.push_str(&format!("#if defined(CFG{m}) || M{m} > {k}\n"));
                 render(body, out, counter);
+                out.push_str("#endif\n");
+            }
+            Soup::ElifChain(c1, c2, m, k, b1, b2, b3) => {
+                out.push_str(&format!("#if defined(CFG{c1})\n"));
+                render(b1, out, counter);
+                out.push_str(&format!("#elif M{m} > {k}\n"));
+                render(b2, out, counter);
+                out.push_str(&format!("#elif defined(CFG{c2})\n"));
+                render(b3, out, counter);
+                out.push_str("#else\n");
+                *counter += 1;
+                out.push_str(&format!("int elif_tail_{};\n", *counter));
                 out.push_str("#endif\n");
             }
         }
@@ -102,6 +155,12 @@ fn check_partition(elements: &[Element], parent: &superc::Cond) {
 
 #[test]
 fn pipeline_never_panics_and_keeps_invariants() {
+    // Aggregated across cases: the generator must actually reach the
+    // hoisting-adjacent paths it was extended for (pasting,
+    // stringification, hoisted operands, #elif chains).
+    let mut saw_pastes = false;
+    let mut saw_stringifies = false;
+    let mut saw_hoisted_ops = false;
     check("pipeline_never_panics_and_keeps_invariants", 48, |g| {
         let items = gen_soup(g);
         let mut src = String::new();
@@ -120,6 +179,10 @@ fn pipeline_never_panics_and_keeps_invariants() {
         let p = sc.process("f.c").expect("structured soup always lexes");
         let tru = sc.ctx().tru();
         check_partition(&p.unit.elements, &tru);
+        saw_pastes |= p.unit.stats.token_pastes > 0;
+        saw_stringifies |= p.unit.stats.stringifications > 0;
+        saw_hoisted_ops |= p.unit.stats.token_pastes_hoisted > 0
+            || p.unit.stats.stringifications_hoisted > 0;
 
         // Macro values are integers, so every configuration is valid C:
         // the parse must cover the whole space.
@@ -128,6 +191,12 @@ fn pipeline_never_panics_and_keeps_invariants() {
             p.result.errors.iter().map(|e| format!("{e}")).collect::<Vec<_>>());
         assert!(p.result.accepted.as_ref().expect("accepted").is_true());
     });
+    assert!(saw_pastes, "no token pastes generated");
+    assert!(saw_stringifies, "no stringification generated");
+    assert!(
+        saw_hoisted_ops,
+        "no paste/stringify with conditional operands generated"
+    );
 }
 
 #[test]

@@ -1,0 +1,201 @@
+//! The parallel corpus driver must be a pure speedup: for any worker
+//! count and any scheduling interleaving, per-unit results and merged
+//! behavior counters are identical to the sequential run.
+//!
+//! The determinism surface deliberately excludes rendered conditions and
+//! BDD/interner gauges — those depend on the order a worker's manager
+//! first met each variable (see `superc::corpus` docs). What *is*
+//! asserted byte-identical: configuration-restricted unparses of every
+//! unit's choice-node AST, per-unit preprocessor and parser counters,
+//! and the corpus-level behavior-counter fingerprint.
+//!
+//! `SUPERC_PAR_JOBS` overrides the default `1,2,8` jobs ladder
+//! (`scripts/verify.sh` runs a wider, oversubscribed one).
+
+use superc::corpus::{process_corpus, Capture, CorpusOptions, CorpusReport};
+use superc::{Builtins, Options, PpOptions};
+use superc_kernelgen::{generate, Corpus, CorpusSpec};
+
+fn options() -> Options {
+    Options {
+        pp: PpOptions {
+            builtins: Builtins::gcc_like(),
+            ..PpOptions::default()
+        },
+        ..Options::default()
+    }
+}
+
+fn jobs_ladder() -> Vec<usize> {
+    match std::env::var("SUPERC_PAR_JOBS") {
+        Ok(s) => s
+            .split(',')
+            .filter(|p| !p.is_empty())
+            .map(|p| p.trim().parse().expect("SUPERC_PAR_JOBS: counts"))
+            .collect(),
+        Err(_) => vec![1, 2, 8],
+    }
+}
+
+/// Configurations the captured unparses are restricted to: the empty
+/// configuration plus a few covering sets over the corpus's CONFIG vars.
+fn capture_configs() -> Vec<Vec<String>> {
+    vec![
+        vec![],
+        vec!["CONFIG_SMP".into(), "CONFIG_64BIT".into()],
+        vec![
+            "CONFIG_SMP".into(),
+            "CONFIG_PREEMPT".into(),
+            "CONFIG_NUMA".into(),
+        ],
+        vec!["CONFIG_64BIT".into(), "CONFIG_DEBUG".into()],
+    ]
+}
+
+/// Preprocessor counters minus the one wall-clock field (`lex_nanos`),
+/// which is real elapsed time and can never be byte-identical between
+/// runs. Every *count* must be.
+fn countable(pp: &superc::PpStats) -> superc::PpStats {
+    superc::PpStats {
+        lex_nanos: 0,
+        ..*pp
+    }
+}
+
+fn run(corpus: &Corpus, jobs: usize) -> CorpusReport {
+    let copts = CorpusOptions {
+        jobs,
+        capture: Capture {
+            preprocessed: false,
+            ast: false,
+            unparse_configs: capture_configs(),
+        },
+    };
+    process_corpus(&corpus.fs, &corpus.units, &options(), &copts)
+}
+
+/// Everything the determinism contract promises, for one run.
+fn assert_reports_identical(base: &CorpusReport, other: &CorpusReport, jobs: usize) {
+    assert_eq!(
+        base.units.len(),
+        other.units.len(),
+        "jobs={jobs}: unit count"
+    );
+    for (b, o) in base.units.iter().zip(&other.units) {
+        assert_eq!(b.path, o.path, "jobs={jobs}: input order not preserved");
+        assert_eq!(
+            countable(&b.pp),
+            countable(&o.pp),
+            "{}: jobs={jobs}: preprocessor counters",
+            b.path
+        );
+        assert_eq!(b.parse, o.parse, "{}: jobs={jobs}: parser counters", b.path);
+        assert_eq!(b.parsed, o.parsed, "{}: jobs={jobs}: parsed flag", b.path);
+        assert_eq!(
+            b.choice_nodes, o.choice_nodes,
+            "{}: jobs={jobs}: choice nodes",
+            b.path
+        );
+        assert_eq!(b.fatal, o.fatal, "{}: jobs={jobs}: fatal", b.path);
+        assert_eq!(
+            b.errors.len(),
+            o.errors.len(),
+            "{}: jobs={jobs}: error count",
+            b.path
+        );
+        // The headline assertion: the AST restricted to each sampled
+        // configuration unparses to byte-identical text.
+        assert_eq!(
+            b.unparses, o.unparses,
+            "{}: jobs={jobs}: unparsed ASTs differ",
+            b.path
+        );
+    }
+    assert_eq!(
+        countable(&base.pp),
+        countable(&other.pp),
+        "jobs={jobs}: merged preprocessor counters"
+    );
+    assert_eq!(base.parse, other.parse, "jobs={jobs}: merged parser counters");
+    assert_eq!(
+        base.behavior_counters(),
+        other.behavior_counters(),
+        "jobs={jobs}: behavior fingerprint"
+    );
+}
+
+#[test]
+fn parallel_runs_are_deterministic_across_job_counts() {
+    let corpus = generate(&CorpusSpec::small());
+    let ladder = jobs_ladder();
+    let base = run(&corpus, ladder[0]);
+    assert!(base.parsed_units() > 0, "corpus produced no ASTs");
+    assert!(
+        base.units.iter().any(|u| !u.unparses.is_empty()),
+        "no unparses captured"
+    );
+    for &jobs in &ladder[1..] {
+        let other = run(&corpus, jobs);
+        assert_reports_identical(&base, &other, jobs);
+    }
+}
+
+#[test]
+fn worker_count_is_capped_and_defaulted() {
+    let corpus = generate(&CorpusSpec {
+        units: 2,
+        ..CorpusSpec::small()
+    });
+    // More workers than units: capped at the unit count.
+    let over = run(&corpus, 64);
+    assert_eq!(over.workers, corpus.units.len());
+    // jobs = 0 resolves to available parallelism (at least one worker).
+    let auto = run(&corpus, 0);
+    assert!(auto.workers >= 1);
+    assert_reports_identical(&run(&corpus, 1), &over, 64);
+}
+
+#[test]
+fn sequential_driver_and_parallel_driver_agree() {
+    // The jobs=1 corpus path must match the plain `SuperC` loop the other
+    // integration tests (and the paper's sequential numbers) use.
+    let corpus = generate(&CorpusSpec::small());
+    let report = run(&corpus, 1);
+    let mut sc = superc::SuperC::new(options(), corpus.fs.clone());
+    for (unit, r) in corpus.units.iter().zip(&report.units) {
+        let p = sc.process(unit).unwrap_or_else(|e| panic!("{unit}: {e}"));
+        assert_eq!(
+            countable(&p.unit.stats),
+            countable(&r.pp),
+            "{unit}: preprocessor counters"
+        );
+        assert_eq!(p.result.stats, r.parse, "{unit}: parser counters");
+        assert_eq!(p.result.ast.is_some(), r.parsed, "{unit}: parsed");
+    }
+}
+
+#[test]
+fn fatal_units_are_reported_not_panicked() {
+    // A corpus with a deliberately broken unit: the driver must carry the
+    // fatal error in that unit's slot and keep parsing the rest, at every
+    // worker count.
+    let fs = superc::MemFs::new()
+        .file("ok.c", "int a;\n")
+        .file("bad.c", "#error always broken\n")
+        .file("also_ok.c", "int b;\n");
+    let units = vec![
+        "ok.c".to_string(),
+        "bad.c".to_string(),
+        "also_ok.c".to_string(),
+    ];
+    for jobs in [1, 3] {
+        let copts = CorpusOptions {
+            jobs,
+            ..CorpusOptions::default()
+        };
+        let report = process_corpus(&fs, &units, &Options::default(), &copts);
+        assert_eq!(report.fatal_units(), 1, "jobs={jobs}");
+        assert!(report.units[1].fatal.is_some(), "jobs={jobs}");
+        assert_eq!(report.parsed_units(), 2, "jobs={jobs}");
+    }
+}
