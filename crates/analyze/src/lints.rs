@@ -1,0 +1,171 @@
+//! The individual lint passes. Each pushes `(code, pos, cond, message)`
+//! tuples; `lib.rs` stamps levels, file names, and canonical condition
+//! text, then sorts.
+
+use std::rc::Rc;
+
+use superc_cond::Cond;
+use superc_csyntax::declared_names;
+use superc_lexer::{FileId, SourcePos};
+
+use crate::{AnalysisInput, LintCode, LintOptions};
+
+type Raw = Vec<(LintCode, SourcePos, Cond, String)>;
+
+/// `dead-branch`: conditional groups the preprocessor trimmed as
+/// infeasible. Chains containing an identifier-free test (`#if 0`,
+/// `#if 1 … #else`) are deliberate toggles and exempt.
+pub(crate) fn dead_branches(input: &AnalysisInput<'_>, out: &mut Raw) {
+    for db in &input.unit.dead_branches {
+        if db.chain_constant {
+            continue;
+        }
+        out.push((
+            LintCode::DeadBranch,
+            db.pos,
+            db.context.clone(),
+            "branch can never be included: its condition is infeasible under the \
+             enclosing context and earlier branches"
+                .to_string(),
+        ));
+    }
+}
+
+/// `macro-conflict`: a `#define` whose body differs from a still-live
+/// earlier definition in overlapping configurations.
+pub(crate) fn macro_conflicts(
+    input: &AnalysisInput<'_>,
+    resolve: &dyn Fn(FileId) -> Option<String>,
+    out: &mut Raw,
+) {
+    for mc in input.table.conflicts() {
+        let prev = match mc.prev_pos {
+            Some(p) => format!(
+                "{}:{}:{}",
+                resolve(p.file).unwrap_or_else(|| format!("<file {}>", p.file.0)),
+                p.line,
+                p.col
+            ),
+            None => "a built-in or command-line definition".to_string(),
+        };
+        out.push((
+            LintCode::MacroConflict,
+            mc.pos,
+            mc.cond.clone(),
+            format!(
+                "macro {} redefined with a different body while the definition from {} is still live",
+                mc.name, prev
+            ),
+        ));
+    }
+}
+
+/// `undef-macro-test`: a name tested by `#if`/`#ifdef`/`#ifndef` but
+/// never defined or undefined anywhere in the unit — a likely typo.
+/// Configuration variables and compiler macros (`opts.config_prefixes`)
+/// are exempt; built-ins and command-line defines sit in the macro table
+/// and are skipped naturally.
+pub(crate) fn undef_macro_tests(input: &AnalysisInput<'_>, opts: &LintOptions, out: &mut Raw) {
+    let mut seen: Vec<(Rc<str>, SourcePos, Cond)> = Vec::new();
+    for tm in &input.unit.tested_macros {
+        if opts
+            .config_prefixes
+            .iter()
+            .any(|p| tm.name.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        if input.table.mentioned(&tm.name) {
+            continue;
+        }
+        match seen.iter_mut().find(|(n, _, _)| *n == tm.name) {
+            // Report once per name, at the first test site, under the
+            // union of all test-site conditions.
+            Some((_, _, c)) => *c = c.or(&tm.cond),
+            None => seen.push((tm.name.clone(), tm.pos, tm.cond.clone())),
+        }
+    }
+    for (name, pos, cond) in seen {
+        out.push((
+            LintCode::UndefMacroTest,
+            pos,
+            cond,
+            format!("macro {name} is tested but never defined or undefined in this unit (typo?)"),
+        ));
+    }
+}
+
+/// `config-redecl`: the same name declared with different types in
+/// overlapping configurations — the class of bug an ordinary compiler
+/// only sees in whichever configuration it was handed.
+pub(crate) fn config_redecls(input: &AnalysisInput<'_>, out: &mut Raw) {
+    let Some(result) = input.result else { return };
+    let Some(ast) = &result.ast else { return };
+    let names = declared_names(ast);
+    let tru = input.ctx.tru();
+    let mut groups: Vec<(Rc<str>, Vec<usize>)> = Vec::new();
+    for (i, d) in names.iter().enumerate() {
+        match groups.iter_mut().find(|(n, _)| *n == d.name) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((d.name.clone(), vec![i])),
+        }
+    }
+    for (name, idxs) in groups {
+        for a in 0..idxs.len() {
+            for b in a + 1..idxs.len() {
+                let (da, db) = (&names[idxs[a]], &names[idxs[b]]);
+                if da.specifiers == db.specifiers && da.shape == db.shape {
+                    continue; // identical redeclaration: legal C
+                }
+                let ca = da.cond.as_ref().unwrap_or(&tru);
+                let cb = db.cond.as_ref().unwrap_or(&tru);
+                let overlap = ca.and(cb);
+                if overlap.is_false() {
+                    continue;
+                }
+                let render = |d: &superc_csyntax::DeclaredName| {
+                    if d.specifiers.is_empty() {
+                        format!("{} ({})", d.shape, d.kind)
+                    } else {
+                        format!("{} {}", d.specifiers, d.shape)
+                    }
+                };
+                let pos = db.pos.or(da.pos).unwrap_or_default();
+                out.push((
+                    LintCode::ConfigRedecl,
+                    pos,
+                    overlap,
+                    format!(
+                        "{} declared as `{}` and as `{}` in overlapping configurations",
+                        name,
+                        render(da),
+                        render(db)
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `partial-parse`: configurations in which a subparser died. The parser
+/// already attaches the exact presence condition to each error; the lint
+/// surfaces it as a structured diagnostic.
+pub(crate) fn partial_parses(input: &AnalysisInput<'_>, out: &mut Raw) {
+    let Some(result) = input.result else { return };
+    for err in &result.errors {
+        let detail = if err.message.is_empty() {
+            String::new()
+        } else {
+            format!(": {}", err.message)
+        };
+        out.push((
+            LintCode::PartialParse,
+            err.pos.unwrap_or_default(),
+            err.cond.clone(),
+            format!(
+                "unit fails to parse in these configurations (got `{}`){}",
+                err.got, detail
+            ),
+        ));
+    }
+}

@@ -1,0 +1,158 @@
+//! Deterministic rendering: canonical presence-condition text, and the
+//! text/JSON diagnostic formats used by `superc lint`.
+//!
+//! `Cond`'s own `Display` walks the backing BDD, whose variable order
+//! depends on condition-creation order — schedule-dependent under the
+//! parallel corpus driver. [`canonical`] instead rebuilds a disjoint
+//! sum-of-products cover from the boolean function itself, branching on
+//! the *sorted* support names, so equal functions always render to equal
+//! strings no matter which worker built them.
+
+use superc_cond::Cond;
+
+use crate::Record;
+
+/// Support-size cap: beyond this, enumeration could blow up and the
+/// rendering falls back to listing the support.
+const MAX_VARS: usize = 12;
+/// Term cap for the fallback, keeping pathological conditions readable.
+const MAX_TERMS: usize = 24;
+
+/// Renders `cond` as a canonical formula over `defined(...)` variables:
+/// disjoint conjunctions joined by ` || `, literals ordered by sorted
+/// variable name (`defined(A) && !defined(B) || !defined(A)`). `true` and
+/// `false` render as themselves. Conditions with more than [`MAX_VARS`]
+/// support variables (or more than [`MAX_TERMS`] terms) render as a
+/// deterministic `<condition over ...>` fallback.
+pub fn canonical(cond: &Cond) -> String {
+    if cond.is_false() {
+        return "false".to_string();
+    }
+    if cond.is_true() {
+        return "true".to_string();
+    }
+    let names = cond.support_names(); // sorted + deduped
+    if names.len() > MAX_VARS {
+        return format!("<condition over {}>", names.join(", "));
+    }
+    let mut terms = Vec::new();
+    let mut lits = Vec::new();
+    let prefix = cond.ctx().tru();
+    if enumerate(cond, &names, 0, &prefix, &mut lits, &mut terms) {
+        terms.join(" || ")
+    } else {
+        format!("<condition over {}>", names.join(", "))
+    }
+}
+
+/// Depth-first cover enumeration: extend the literal prefix variable by
+/// variable; emit a term as soon as the prefix implies the function,
+/// prune as soon as it contradicts it. Returns `false` on term overflow.
+fn enumerate(
+    f: &Cond,
+    names: &[String],
+    i: usize,
+    prefix: &Cond,
+    lits: &mut Vec<String>,
+    terms: &mut Vec<String>,
+) -> bool {
+    if terms.len() > MAX_TERMS {
+        return false;
+    }
+    if prefix.and(f).is_false() {
+        return true;
+    }
+    if prefix.implies(f) {
+        terms.push(if lits.is_empty() {
+            "true".to_string()
+        } else {
+            lits.join(" && ")
+        });
+        return true;
+    }
+    if i >= names.len() {
+        // Unreachable: a full assignment of the support makes `f`
+        // constant, so one of the branches above must have taken it.
+        return true;
+    }
+    let v = f.ctx().var(&names[i]);
+    for positive in [true, false] {
+        let next = if positive {
+            prefix.and(&v)
+        } else {
+            prefix.and_not(&v)
+        };
+        lits.push(if positive {
+            names[i].clone()
+        } else {
+            format!("!{}", names[i])
+        });
+        let ok = enumerate(f, names, i + 1, &next, lits, terms);
+        lits.pop();
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Renders records in compiler style, one line each:
+/// `file:line:col: warning[code]: message [when COND]`.
+pub fn render_text(records: &[Record]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let sev = if r.level == "deny" { "error" } else { "warning" };
+        out.push_str(&format!(
+            "{}:{}:{}: {}[{}]: {} [when {}]\n",
+            r.file, r.line, r.col, sev, r.code, r.message, r.cond
+        ));
+    }
+    out
+}
+
+/// Renders records as deterministic JSON (stable key order, sorted
+/// input): byte-identical across `--jobs` settings.
+pub fn render_json(records: &[Record]) -> String {
+    let mut out = String::from("{\"diagnostics\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"code\":{},\"level\":{},\"file\":{},\"line\":{},\"col\":{},\"cond\":{},\"message\":{}}}",
+            json_str(r.code),
+            json_str(r.level),
+            json_str(&r.file),
+            r.line,
+            r.col,
+            json_str(&r.cond),
+            json_str(&r.message)
+        ));
+    }
+    let deny = records.iter().filter(|r| r.level == "deny").count();
+    out.push_str(&format!(
+        "],\"count\":{},\"deny\":{}}}\n",
+        records.len(),
+        deny
+    ));
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

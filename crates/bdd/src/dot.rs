@@ -31,7 +31,7 @@ impl Bdd {
         self.walk_nodes(&mut |id, var_name, low, high| {
             let name = format!("n{id}");
             names.insert(id, name.clone());
-            order.push((name, var_name, format!("{low}"), format!("{high}")));
+            order.push((name, var_name, low.to_string(), high.to_string()));
         });
         for (name, var, low, high) in order {
             let _ = writeln!(out, "  {name} [label=\"{var}\"];");

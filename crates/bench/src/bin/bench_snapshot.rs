@@ -17,8 +17,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use superc::analyze::LintOptions;
 use superc::report::TextTable;
-use superc::{CondBackend, Options, ParseStats, ParserConfig};
+use superc::{CondBackend, Options, ParseStats, ParserConfig, SuperC};
 use superc::bdd::BddStats;
 use superc_bench::{
     fig9_corpus, full_corpus, pp_options, process_corpus_parallel, process_corpus_with_tool,
@@ -81,6 +82,51 @@ fn measure(name: &'static str, corpus: &Corpus, reps: usize) -> Snapshot {
             name,
             jobs: 1,
             units: units.len(),
+            bytes,
+            tokens,
+            seconds,
+            peak_live,
+            parse,
+            bdd,
+        };
+        match &best {
+            Some(b) if b.seconds <= snap.seconds => {}
+            _ => best = Some(snap),
+        }
+    }
+    best.expect("at least one rep")
+}
+
+/// Times the lint pass alone: each unit is preprocessed and parsed
+/// *untimed*, then `SuperC::lint` is timed, so `tokens_per_sec` is
+/// preprocessed tokens linted per second. This keeps the analysis
+/// layer's cost on the perf trajectory separately from the parser's.
+fn measure_lint(name: &'static str, corpus: &Corpus, reps: usize) -> Snapshot {
+    let lopts = LintOptions::default();
+    let mut best: Option<Snapshot> = None;
+    for _ in 0..reps.max(1) {
+        let mut sc = SuperC::new(options(), corpus.fs.clone());
+        let mut seconds = 0.0;
+        let mut parse = ParseStats::default();
+        let mut tokens = 0u64;
+        let mut bytes = 0u64;
+        let mut peak_live = 0usize;
+        for u in &corpus.units {
+            let p = sc.process(u).unwrap_or_else(|e| panic!("{u}: {e}"));
+            let start = Instant::now();
+            let diags = sc.lint(&p, &lopts);
+            seconds += start.elapsed().as_secs_f64();
+            std::hint::black_box(diags);
+            parse.merge(&p.result.stats);
+            tokens += p.unit.stats.output_tokens;
+            bytes += p.bytes;
+            peak_live = peak_live.max(p.result.stats.max_subparsers);
+        }
+        let bdd = sc.ctx().bdd_stats().unwrap_or_default();
+        let snap = Snapshot {
+            name,
+            jobs: 1,
+            units: corpus.units.len(),
             bytes,
             tokens,
             seconds,
@@ -231,9 +277,10 @@ fn main() {
     // snapshot so the bench gate can judge scaling per machine.
     let full_par = measure_parallel("full_par", &full, reps, par_jobs);
     let fig9_par = measure_parallel("fig9_par", &fig9, reps, par_jobs);
+    let fig9_lint = measure_lint("fig9_lint", &fig9, reps);
     assert_behavior_identical(&full_seq, &full_par);
     assert_behavior_identical(&fig9_seq, &fig9_par);
-    let snaps = vec![full_seq, fig9_seq, full_par, fig9_par];
+    let snaps = vec![full_seq, fig9_seq, full_par, fig9_par, fig9_lint];
 
     let mut t = TextTable::new(&[
         "workload",

@@ -71,12 +71,9 @@ fn main() {
         bucket.conditionals += counts.conditionals;
         bucket.includes += counts.includes;
     }
-    let pct = |part: u64, total: u64| {
-        if total == 0 {
-            "0%".to_string()
-        } else {
-            format!("{}%", (part * 100 + total / 2) / total)
-        }
+    let pct = |part: u64, total: u64| match (part * 100 + total / 2).checked_div(total) {
+        None => "0%".to_string(),
+        Some(p) => format!("{p}%"),
     };
     println!("Table 2a. Number of directives compared to lines of code (LoC).\n");
     let mut t = TextTable::new(&["", "Total", "C Files", "Headers"]);

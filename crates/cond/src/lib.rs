@@ -533,6 +533,13 @@ impl Cond {
         !self.and(other).is_false()
     }
 
+    /// True when every configuration satisfying `self` also satisfies
+    /// `other` (`self ⇒ other`). The analysis layer leans on this for
+    /// dead-branch detection and canonical condition rendering.
+    pub fn implies(&self, other: &Cond) -> bool {
+        self.and_not(other).is_false()
+    }
+
     /// True when the two conditions denote the same boolean function.
     pub fn semantically_equal(&self, other: &Cond) -> bool {
         match (&self.repr, &other.repr) {

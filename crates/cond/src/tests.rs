@@ -242,3 +242,64 @@ fn example_configs_check_out() {
         }
     });
 }
+
+#[test]
+fn support_names_on_negated_conditions() {
+    // Negation must not lose (or invent) support: the exhaustive-
+    // configuration oracle enumerates 2^|support| assignments, so a
+    // dropped variable silently halves its coverage.
+    for ctx in both() {
+        let a = ctx.var("defined(CONFIG_A)");
+        assert_eq!(a.not().support_names(), vec!["defined(CONFIG_A)"]);
+        assert_eq!(a.not().not().support_names(), vec!["defined(CONFIG_A)"]);
+        let b = ctx.var("defined(CONFIG_B)");
+        assert_eq!(
+            a.or(&b).not().support_names(),
+            vec!["defined(CONFIG_A)", "defined(CONFIG_B)"]
+        );
+    }
+}
+
+#[test]
+fn support_names_on_restricted_conditions() {
+    for ctx in both() {
+        let a = ctx.var("A");
+        let b = ctx.var("B");
+        // Restriction keeps both constrained variables, sorted + deduped.
+        assert_eq!(a.and_not(&b).support_names(), vec!["A", "B"]);
+        assert_eq!(b.or(&a).and(&a.or(&b)).support_names(), vec!["A", "B"]);
+        // A tautologous factor must not leak into the support.
+        assert_eq!(a.and(&b.or(&b.not())).support_names(), vec!["A"]);
+        // Restricting away the whole condition leaves no support.
+        assert_eq!(a.and_not(&a).support_names(), Vec::<String>::new());
+    }
+}
+
+#[test]
+fn support_names_on_constant_conditions() {
+    for ctx in both() {
+        assert_eq!(ctx.tru().support_names(), Vec::<String>::new());
+        assert_eq!(ctx.fls().support_names(), Vec::<String>::new());
+        // A variable-built tautology/contradiction is semantically
+        // constant; its support must be empty under the canonical (BDD)
+        // backend and at most syntactic noise-free here too, since the
+        // local contradiction rules fold x ∧ ¬x and x ∨ ¬x eagerly.
+        let a = ctx.var("A");
+        assert_eq!(a.or(&a.not()).support_names(), Vec::<String>::new());
+        assert_eq!(a.and(&a.not()).support_names(), Vec::<String>::new());
+    }
+}
+
+#[test]
+fn implies_matches_subset_semantics() {
+    for ctx in both() {
+        let a = ctx.var("A");
+        let b = ctx.var("B");
+        assert!(a.and(&b).implies(&a));
+        assert!(!a.implies(&a.and(&b)));
+        assert!(ctx.fls().implies(&a));
+        assert!(a.implies(&ctx.tru()));
+        assert!(!ctx.tru().implies(&a));
+        assert!(a.implies(&a.or(&b)));
+    }
+}

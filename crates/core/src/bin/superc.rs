@@ -16,14 +16,30 @@
 //!   --stats           print preprocessor/parser statistics
 //!   --jobs <N>        parse N compilation units in parallel
 //!                     (default: available parallelism; 1 = sequential)
+//!
+//! superc lint [OPTIONS] <file.c>...
+//!   Variability lints with presence-condition diagnostics. Accepts every
+//!   option above, plus:
+//!   --format <text|json>      output format (default: text)
+//!   --allow <code|all>        suppress a lint
+//!   --warn <code|all>         report a lint, exit 0 (the default)
+//!   --deny <code|all>        report a lint and exit nonzero
+//!   --config-prefix <prefix>  replace the name prefixes exempt from
+//!                             undef-macro-test (default: CONFIG_, __)
 //! ```
 
 use std::process::ExitCode;
 
+use superc::analyze::{render, LintCode, LintLevel, LintOptions, Record};
 use superc::corpus::{process_corpus, Capture, CorpusOptions};
 use superc::{
     CondBackend, DiskFs, Options, ParserConfig, PpOptions, SuperC,
 };
+
+struct LintArgs {
+    json: bool,
+    opts: LintOptions,
+}
 
 struct Args {
     files: Vec<String>,
@@ -33,6 +49,8 @@ struct Args {
     show_stats: bool,
     /// Worker threads; 0 = available parallelism.
     jobs: usize,
+    /// `superc lint` mode.
+    lint: Option<LintArgs>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,11 +61,60 @@ fn parse_args() -> Result<Args, String> {
         show_ast: false,
         show_stats: false,
         jobs: 0,
+        lint: None,
     };
     let mut pp = PpOptions::default();
     pp.include_paths.clear();
-    let mut it = std::env::args().skip(1);
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("lint") {
+        raw.remove(0);
+        args.lint = Some(LintArgs {
+            json: false,
+            opts: LintOptions::default(),
+        });
+    }
+    let mut prefixes_replaced = false;
+    let mut it = raw.into_iter();
     while let Some(a) = it.next() {
+        if let Some(lint) = args.lint.as_mut() {
+            match a.as_str() {
+                "--format" => {
+                    let f = it.next().ok_or("--format needs text or json")?;
+                    lint.json = match f.as_str() {
+                        "json" => true,
+                        "text" => false,
+                        other => return Err(format!("unknown format {other}")),
+                    };
+                    continue;
+                }
+                "--allow" | "--warn" | "--deny" => {
+                    let level = match a.as_str() {
+                        "--allow" => LintLevel::Allow,
+                        "--warn" => LintLevel::Warn,
+                        _ => LintLevel::Deny,
+                    };
+                    let which = it.next().ok_or_else(|| format!("{a} needs a lint code"))?;
+                    if which == "all" {
+                        lint.opts.set_all(level);
+                    } else {
+                        let code = LintCode::parse(&which)
+                            .ok_or_else(|| format!("unknown lint code {which}"))?;
+                        lint.opts.set_level(code, level);
+                    }
+                    continue;
+                }
+                "--config-prefix" => {
+                    let p = it.next().ok_or("--config-prefix needs a prefix")?;
+                    if !prefixes_replaced {
+                        lint.opts.config_prefixes.clear();
+                        prefixes_replaced = true;
+                    }
+                    lint.opts.config_prefixes.push(p);
+                    continue;
+                }
+                _ => {}
+            }
+        }
         match a.as_str() {
             "-I" => pp
                 .include_paths
@@ -90,9 +157,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("--jobs: not a count: {n}"))?;
             }
             "--help" | "-h" => {
-                return Err("usage: superc [-I dir] [-D name[=v]] [--sat] [--mapr] \
+                return Err("usage: superc [lint] [-I dir] [-D name[=v]] [--sat] [--mapr] \
                             [--level L] [--single names] [--preprocess] [--ast] [--stats] \
-                            [--jobs N] files..."
+                            [--jobs N] files...\n\
+                            lint mode adds: [--format text|json] [--allow|--warn|--deny \
+                            code|all] [--config-prefix P]"
                     .to_string())
             }
             f if !f.starts_with('-') => args.files.push(f.to_string()),
@@ -117,6 +186,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(lint) = &args.lint {
+        return run_lint(&args, lint);
+    }
     let effective_jobs = if args.jobs == 0 {
         superc::corpus::default_jobs()
     } else {
@@ -185,6 +257,44 @@ fn main() -> ExitCode {
     }
 }
 
+/// `superc lint`: run the corpus driver with linting enabled and print
+/// diagnostics in input order. Both formats are byte-identical for any
+/// `--jobs` value: records sort deterministically per unit and render
+/// conditions canonically.
+fn run_lint(args: &Args, lint: &LintArgs) -> ExitCode {
+    let fs = DiskFs::new(".");
+    let copts = CorpusOptions {
+        jobs: args.jobs,
+        capture: Capture::default(),
+        lint: Some(lint.opts.clone()),
+    };
+    let report = process_corpus(&fs, &args.files, &args.options, &copts);
+    let mut fatal = false;
+    let mut records: Vec<Record> = Vec::new();
+    for u in &report.units {
+        if let Some(f) = &u.fatal {
+            eprintln!("{}: fatal: {f}", u.path);
+            fatal = true;
+        }
+        records.extend(u.lints.iter().cloned());
+    }
+    let deny = records.iter().filter(|r| r.level == "deny").count();
+    if lint.json {
+        print!("{}", render::render_json(&records));
+    } else {
+        print!("{}", render::render_text(&records));
+        println!("{} diagnostic(s), {} denied", records.len(), deny);
+    }
+    if args.show_stats {
+        print!("{}", superc::report::corpus_table(&report).render());
+    }
+    if fatal || deny > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// Multi-file parallel path: fan out over the corpus driver, then print
 /// per-unit results in input order (so output is stable for any job
 /// count).
@@ -197,6 +307,7 @@ fn run_parallel(args: &Args) -> ExitCode {
             ast: args.show_ast,
             unparse_configs: Vec::new(),
         },
+        lint: None,
     };
     let report = process_corpus(&fs, &args.files, &args.options, &copts);
     let mut failed = false;

@@ -59,6 +59,10 @@ pub struct CorpusOptions {
     /// Optional per-unit text captures (off by default — they cost
     /// allocation proportional to the corpus).
     pub capture: Capture,
+    /// Run the variability lints over every unit (`None` = off). Lint
+    /// records render conditions canonically, so they *are* part of the
+    /// determinism contract, unlike raw condition display strings.
+    pub lint: Option<superc_analyze::LintOptions>,
 }
 
 /// Per-unit text captures for testing and inspection.
@@ -105,6 +109,9 @@ pub struct UnitReport {
     pub errors: Vec<String>,
     /// Rendered preprocessor diagnostics of `Error` severity.
     pub diagnostics: Vec<String>,
+    /// Lint findings, when [`CorpusOptions::lint`] is set (sorted and
+    /// deterministic; see `superc_analyze`).
+    pub lints: Vec<superc_analyze::Record>,
     /// Fatal preprocessor failure, if the unit never reached the parser.
     pub fatal: Option<String>,
     /// `#if`-annotated preprocessed text, when captured.
@@ -148,6 +155,20 @@ impl CorpusReport {
         self.units.iter().filter(|u| u.fatal.is_some()).count()
     }
 
+    /// Total lint findings across units (0 when linting was off).
+    pub fn lint_count(&self) -> usize {
+        self.units.iter().map(|u| u.lints.len()).sum()
+    }
+
+    /// Lint findings at `deny` level across units.
+    pub fn lint_deny_count(&self) -> usize {
+        self.units
+            .iter()
+            .flat_map(|u| &u.lints)
+            .filter(|r| r.level == "deny")
+            .count()
+    }
+
     /// Corpus throughput in output tokens per wall-clock second.
     pub fn tokens_per_sec(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
@@ -170,7 +191,7 @@ impl CorpusReport {
             "units={} parsed={} fatal={} output_tokens={} \
              output_conditionals={} conditionals_hoisted={} shifts={} \
              reduces={} forks={} merges={} choice_nodes={} \
-             reclassify_forks={}",
+             reclassify_forks={} lints={}",
             self.units.len(),
             self.parsed_units(),
             self.fatal_units(),
@@ -183,6 +204,7 @@ impl CorpusReport {
             self.parse.merges,
             self.parse.choice_nodes,
             self.parse.reclassify_forks,
+            self.lint_count(),
         )
     }
 }
@@ -322,12 +344,20 @@ fn process_one<F: FileSystem>(
                 choice_nodes: 0,
                 errors: Vec::new(),
                 diagnostics: Vec::new(),
+                lints: Vec::new(),
                 fatal: Some(e.to_string()),
                 preprocessed: None,
                 ast_text: None,
                 unparses: Vec::new(),
             }
         }
+    };
+
+    // Lint immediately: the macro table is per-unit preprocessor state
+    // and would be reset by this worker's next unit.
+    let lints = match &copts.lint {
+        Some(lopts) => tool.lint(&processed, lopts).iter().map(|d| d.record()).collect(),
+        None => Vec::new(),
     };
 
     let preprocessed = copts
@@ -375,6 +405,7 @@ fn process_one<F: FileSystem>(
             .filter(|d| matches!(d.severity, Severity::Error))
             .map(|d| format!("{}: {}", d.pos, d.message))
             .collect(),
+        lints,
         phase_nanos: [
             processed.timings.lexing.as_nanos() as u64,
             processed.timings.preprocessing.as_nanos() as u64,

@@ -39,6 +39,7 @@
 pub mod corpus;
 pub mod report;
 
+pub use superc_analyze as analyze;
 pub use superc_bdd as bdd;
 pub use superc_cond as cond;
 pub use superc_cpp as cpp;
@@ -199,6 +200,27 @@ impl<F: FileSystem> SuperC<F> {
             },
             unit,
             result,
+        })
+    }
+
+    /// Runs the variability lints over a just-processed unit.
+    ///
+    /// Must be called before the next [`SuperC::process`] call: the
+    /// conflict-recording macro table is per-unit state on the
+    /// preprocessor and resets when the next unit starts.
+    pub fn lint(
+        &self,
+        processed: &ProcessedUnit,
+        opts: &analyze::LintOptions,
+    ) -> Vec<analyze::Diagnostic> {
+        let input = analyze::AnalysisInput {
+            unit: &processed.unit,
+            result: Some(&processed.result),
+            table: self.pp.table(),
+            ctx: &self.ctx,
+        };
+        analyze::analyze(&input, opts, &|id| {
+            self.pp.file_name(id).map(str::to_string)
         })
     }
 }

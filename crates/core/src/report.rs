@@ -15,13 +15,15 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
-    /// Computes percentiles of `values` (need not be sorted).
+    /// Computes percentiles of `values` (need not be sorted). NaNs are
+    /// skipped rather than panicking: a single bad timing sample must not
+    /// take down a whole corpus report.
     pub fn of(values: &[f64]) -> Percentiles {
-        if values.is_empty() {
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+        if v.is_empty() {
             return Percentiles::default();
         }
-        let mut v: Vec<f64> = values.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        v.sort_by(f64::total_cmp);
         let at = |q: f64| {
             let idx = ((v.len() as f64 - 1.0) * q).round() as usize;
             v[idx.min(v.len() - 1)]
@@ -57,7 +59,7 @@ pub fn group_thousands(x: f64) -> String {
     let mut grouped = String::new();
     let bytes = s.len();
     for (i, c) in s.drain(..).enumerate() {
-        if i > 0 && (bytes - i) % 3 == 0 {
+        if i > 0 && (bytes - i).is_multiple_of(3) {
             grouped.push(',');
         }
         grouped.push(c);
@@ -240,6 +242,10 @@ pub fn corpus_table(report: &crate::corpus::CorpusReport) -> TextTable {
         "tokens/sec",
         group_thousands(report.tokens_per_sec()),
     );
+    if report.lint_count() > 0 {
+        r("lint diagnostics", report.lint_count().to_string());
+        r("lint denies", report.lint_deny_count().to_string());
+    }
     r("forks", report.parse.forks.to_string());
     r("merges", report.parse.merges.to_string());
     r("choice nodes", report.parse.choice_nodes.to_string());
@@ -267,6 +273,14 @@ mod tests {
         assert_eq!(Percentiles::of(&[]), Percentiles::default());
         let single = Percentiles::of(&[42.0]);
         assert_eq!((single.p50, single.p90, single.p100), (42.0, 42.0, 42.0));
+    }
+
+    #[test]
+    fn percentiles_skip_nans() {
+        // NaNs must neither panic the sort nor poison the summary.
+        let p = Percentiles::of(&[3.0, f64::NAN, 1.0, 2.0, f64::NAN]);
+        assert_eq!((p.p50, p.p100), (2.0, 3.0));
+        assert_eq!(Percentiles::of(&[f64::NAN]), Percentiles::default());
     }
 
     #[test]

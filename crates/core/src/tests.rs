@@ -160,6 +160,7 @@ mod corpus {
                 ast: true,
                 unparse_configs: vec![vec![], vec!["CONFIG_SMP".to_string()]],
             },
+            lint: None,
         };
         let report = process_corpus(&fs(), &units(), &opts(), &copts);
         let b = &report.units[1];

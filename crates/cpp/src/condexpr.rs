@@ -99,7 +99,7 @@ impl<'t> ExprParser<'t> {
         V::Int(0)
     }
 
-    fn to_cond(&mut self, v: &V) -> Cond {
+    fn cond_of(&mut self, v: &V) -> Cond {
         match v {
             V::Int(0) => self.ctx.fls(),
             V::Int(_) => self.ctx.tru(),
@@ -157,7 +157,7 @@ impl<'t> ExprParser<'t> {
         let mut v = self.and();
         while self.eat_punct(Punct::PipePipe) {
             let r = self.and();
-            let (lc, rc) = (self.to_cond(&v), self.to_cond(&r));
+            let (lc, rc) = (self.cond_of(&v), self.cond_of(&r));
             v = V::Bool(lc.or(&rc));
         }
         v
@@ -167,7 +167,7 @@ impl<'t> ExprParser<'t> {
         let mut v = self.bit_or();
         while self.eat_punct(Punct::AmpAmp) {
             let r = self.bit_or();
-            let (lc, rc) = (self.to_cond(&v), self.to_cond(&r));
+            let (lc, rc) = (self.cond_of(&v), self.cond_of(&r));
             v = V::Bool(lc.and(&rc));
         }
         v
@@ -294,7 +294,7 @@ impl<'t> ExprParser<'t> {
     fn unary(&mut self) -> V {
         if self.eat_punct(Punct::Bang) {
             let v = self.unary();
-            let c = self.to_cond(&v);
+            let c = self.cond_of(&v);
             return V::Bool(c.not());
         }
         if self.eat_punct(Punct::Minus) {
@@ -552,7 +552,7 @@ impl<F: FileSystem> Preprocessor<F> {
                 result = result.or(&fc.and(&self.ctx.var(&key)));
                 continue;
             }
-            let vc = p.to_cond(&v);
+            let vc = p.cond_of(&v);
             nonbool |= p.nonbool;
             result = result.or(&fc.and(&vc));
         }

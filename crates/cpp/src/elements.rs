@@ -178,12 +178,10 @@ pub fn display_elements(elements: &[Element], out: &mut String) {
     for e in elements {
         match e {
             Element::Token(t) => {
-                if t.tok.ws_before && !out.ends_with([' ', '\n']) && !out.is_empty() {
-                    out.push(' ');
-                } else if !out.is_empty()
-                    && !out.ends_with([' ', '\n', '(', '[', '{', '#'])
-                    && needs_space(out, t.text())
-                {
+                let after_ws = t.tok.ws_before && !out.ends_with([' ', '\n']);
+                let fusing = !out.ends_with([' ', '\n', '(', '[', '{', '#'])
+                    && needs_space(out, t.text());
+                if !out.is_empty() && (after_ws || fusing) {
                     out.push(' ');
                 }
                 out.push_str(t.text());

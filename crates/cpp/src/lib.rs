@@ -56,9 +56,10 @@ mod stats;
 pub use condexpr::normalize_expr_text;
 pub use elements::{Branch, Conditional, Element, HideSet, PTok};
 pub use files::{DiskFs, FileSystem, MemFs};
-pub use macrotable::{MacroDef, MacroEntry, MacroTable};
+pub use macrotable::{MacroConflict, MacroDef, MacroEntry, MacroTable};
 pub use preprocessor::{
-    Builtins, CompilationUnit, Diagnostic, PpError, PpOptions, Preprocessor, Severity,
+    Builtins, CompilationUnit, DeadBranch, Diagnostic, PpError, PpOptions, Preprocessor, Severity,
+    TestedMacro,
 };
 pub use stats::PpStats;
 

@@ -11,7 +11,7 @@
 use std::rc::Rc;
 
 use superc_cond::Cond;
-use superc_lexer::Token;
+use superc_lexer::{SourcePos, Token};
 use superc_util::{FastMap, FastSet, Interner, Symbol};
 
 /// A macro definition body.
@@ -40,6 +40,34 @@ impl MacroDef {
     pub fn is_function(&self) -> bool {
         matches!(self, MacroDef::Function { .. })
     }
+
+    /// Structural body equivalence: same shape, parameters, and
+    /// replacement tokens *by kind and spelling* — token positions don't
+    /// matter, so `#define SAME 1` on two different lines is equivalent.
+    pub fn same_replacement(&self, other: &MacroDef) -> bool {
+        fn toks_eq(a: &[Token], b: &[Token]) -> bool {
+            a.len() == b.len()
+                && a.iter()
+                    .zip(b)
+                    .all(|(x, y)| x.kind == y.kind && x.text == y.text)
+        }
+        match (self, other) {
+            (MacroDef::Object { body: a }, MacroDef::Object { body: b }) => toks_eq(a, b),
+            (
+                MacroDef::Function {
+                    params: pa,
+                    variadic: va,
+                    body: a,
+                },
+                MacroDef::Function {
+                    params: pb,
+                    variadic: vb,
+                    body: b,
+                },
+            ) => pa == pb && va == vb && toks_eq(a, b),
+            _ => false,
+        }
+    }
 }
 
 /// One row of the conditional macro table.
@@ -49,6 +77,32 @@ pub struct MacroEntry {
     pub cond: Cond,
     /// `Some` for a definition, `None` for an explicit `#undef`.
     pub def: Option<Rc<MacroDef>>,
+    /// Source position of the `#define`/`#undef`, when it came from a
+    /// source file (`None` for built-ins and command-line defines).
+    pub pos: Option<SourcePos>,
+}
+
+/// A recorded definition conflict: the same name `#define`d with a
+/// *different* body while an earlier, different definition was still
+/// feasible in an overlapping part of the configuration space. Benign
+/// identical redefinitions and definitions after `#undef` (or in disjoint
+/// configurations) do not conflict.
+///
+/// The analysis layer (`superc-analyze`) turns these into
+/// `macro-conflict` diagnostics; the table records them because only it
+/// sees entry conditions *before* trimming narrows them to be disjoint.
+#[derive(Clone, Debug)]
+pub struct MacroConflict {
+    /// The multiply-defined macro.
+    pub name: Rc<str>,
+    /// Position of the later (conflicting) definition.
+    pub pos: SourcePos,
+    /// Position of the earlier definition it overlaps (`None` when that
+    /// definition was a built-in or command-line define).
+    pub prev_pos: Option<SourcePos>,
+    /// Configurations in which both definitions were live: the overlap of
+    /// the two entry conditions at definition time.
+    pub cond: Cond,
 }
 
 /// The conditional macro table.
@@ -79,6 +133,8 @@ pub struct MacroTable {
     map: FastMap<Symbol, Vec<MacroEntry>>,
     /// Names detected as include-guard macros (SuperC §3.2 case 4a).
     guards: FastSet<Symbol>,
+    /// Definition conflicts recorded at `#define` time, in source order.
+    conflicts: Vec<MacroConflict>,
     /// Trimmed-entry events, for Table 3's "Trimmed definitions" row.
     pub trims: u64,
 }
@@ -110,20 +166,58 @@ impl MacroTable {
     }
 
     /// Records `#define name def` under presence condition `cond`,
-    /// trimming existing entries that become infeasible.
+    /// trimming existing entries that become infeasible. Used for
+    /// built-ins and command-line defines, which have no source position
+    /// and never participate in conflict detection.
     pub fn define(&mut self, name: Rc<str>, def: Rc<MacroDef>, cond: &Cond) {
         let sym = self.interner.intern_rc(&name);
-        self.update(sym, Some(def), cond);
+        self.update(sym, &name, Some(def), cond, None);
+    }
+
+    /// Like [`MacroTable::define`], but for a `#define` at a known source
+    /// position; overlapping, differing prior definitions are recorded as
+    /// [`MacroConflict`]s.
+    pub fn define_at(&mut self, name: Rc<str>, def: Rc<MacroDef>, cond: &Cond, pos: SourcePos) {
+        let sym = self.interner.intern_rc(&name);
+        self.update(sym, &name, Some(def), cond, Some(pos));
     }
 
     /// Records `#undef name` under presence condition `cond`.
     pub fn undef(&mut self, name: Rc<str>, cond: &Cond) {
         let sym = self.interner.intern_rc(&name);
-        self.update(sym, None, cond);
+        self.update(sym, &name, None, cond, None);
     }
 
-    fn update(&mut self, name: Symbol, def: Option<Rc<MacroDef>>, cond: &Cond) {
+    fn update(
+        &mut self,
+        name: Symbol,
+        text: &Rc<str>,
+        def: Option<Rc<MacroDef>>,
+        cond: &Cond,
+        pos: Option<SourcePos>,
+    ) {
         let entries = self.map.entry(name).or_default();
+        // Conflict check runs against the *pre-trim* entries: a later
+        // trim narrows conditions to keep the table disjoint, hiding the
+        // overlap this diagnostic is about.
+        if let (Some(new_def), Some(at)) = (def.as_ref(), pos) {
+            for e in entries.iter() {
+                let overlap = e.cond.and(cond);
+                if overlap.is_false() {
+                    continue;
+                }
+                match &e.def {
+                    Some(old) if old.same_replacement(new_def) => {} // benign redefinition
+                    None => {} // redefining after #undef is fine
+                    Some(_) => self.conflicts.push(MacroConflict {
+                        name: text.clone(),
+                        pos: at,
+                        prev_pos: e.pos,
+                        cond: overlap,
+                    }),
+                }
+            }
+        }
         let mut kept = Vec::with_capacity(entries.len() + 1);
         for e in entries.drain(..) {
             let remaining = e.cond.and_not(cond);
@@ -133,14 +227,21 @@ impl MacroTable {
                 kept.push(MacroEntry {
                     cond: remaining,
                     def: e.def,
+                    pos: e.pos,
                 });
             }
         }
         kept.push(MacroEntry {
             cond: cond.clone(),
             def,
+            pos,
         });
         *entries = kept;
+    }
+
+    /// Definition conflicts recorded so far, in source order.
+    pub fn conflicts(&self) -> &[MacroConflict] {
+        &self.conflicts
     }
 
     /// Was `name` ever mentioned in a `#define`/`#undef`?
@@ -215,6 +316,7 @@ impl MacroTable {
                         out.push(MacroEntry {
                             cond: narrowed,
                             def: e.def.clone(),
+                            pos: e.pos,
                         });
                     } else {
                         ignored += 1;

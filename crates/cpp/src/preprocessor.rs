@@ -67,6 +67,41 @@ pub struct Diagnostic {
     pub message: String,
 }
 
+/// A conditional group that could never be entered: its branch condition
+/// was infeasible under the enclosing presence condition (or earlier
+/// branches of the chain had already covered every configuration).
+///
+/// The preprocessor trims such branches from the output stream entirely,
+/// so the analysis layer needs this side record to report them.
+#[derive(Clone, Debug)]
+pub struct DeadBranch {
+    /// Position of the dead group's directive (`#if`/`#elif`/`#else`).
+    pub pos: SourcePos,
+    /// The enclosing presence condition of the whole conditional.
+    pub context: Cond,
+    /// True when the chain up to and including this group contains an
+    /// identifier-free `#if` test (`#if 0`, `#if 1 … #else`): a
+    /// deliberate toggle idiom, not a configuration surprise.
+    pub chain_constant: bool,
+}
+
+/// A macro name tested by a conditional directive (`#ifdef NAME`,
+/// `#ifndef NAME`, or an identifier inside an `#if`/`#elif` expression).
+///
+/// The analysis layer cross-checks these against the macro table to flag
+/// names that are tested but never defined or undefined anywhere in the
+/// unit — a likely typo.
+#[derive(Clone, Debug)]
+pub struct TestedMacro {
+    /// The tested name.
+    pub name: Rc<str>,
+    /// Position of the test (the identifier token for expression tests,
+    /// the directive for `#ifdef`/`#ifndef`).
+    pub pos: SourcePos,
+    /// Presence condition under which the directive is evaluated.
+    pub cond: Cond,
+}
+
 /// Compiler "ground truth" macros (§2: built-ins like `__STDC_VERSION__`).
 ///
 /// The paper configures SuperC with gcc's built-ins; we ship a
@@ -159,6 +194,12 @@ pub struct CompilationUnit {
     pub stats: PpStats,
     /// Diagnostics with presence conditions.
     pub diagnostics: Vec<Diagnostic>,
+    /// Conditional branches trimmed as infeasible (empty in
+    /// single-configuration mode, where untaken branches are the norm).
+    pub dead_branches: Vec<DeadBranch>,
+    /// Macro names tested by conditional directives (empty in
+    /// single-configuration mode).
+    pub tested_macros: Vec<TestedMacro>,
 }
 
 impl CompilationUnit {
@@ -195,6 +236,8 @@ pub struct Preprocessor<F: FileSystem> {
     pub(crate) table: MacroTable,
     pub(crate) stats: PpStats,
     pub(crate) diags: Vec<Diagnostic>,
+    dead_branches: Vec<DeadBranch>,
+    tested_macros: Vec<TestedMacro>,
     pub(crate) builtin_names: HashSet<String>,
     file_cache: HashMap<String, Rc<CachedFile>>,
     file_ids: HashMap<String, FileId>,
@@ -223,6 +266,8 @@ impl<F: FileSystem> Preprocessor<F> {
             table,
             stats: PpStats::default(),
             diags: Vec::new(),
+            dead_branches: Vec::new(),
+            tested_macros: Vec::new(),
             builtin_names,
             file_cache: HashMap::new(),
             file_ids: HashMap::new(),
@@ -258,6 +303,31 @@ impl<F: FileSystem> Preprocessor<F> {
     /// The path of the file currently being processed (`__FILE__`).
     pub(crate) fn current_file(&self) -> String {
         self.file_stack.last().cloned().unwrap_or_default()
+    }
+
+    /// Records every macro name a conditional test mentions: the tested
+    /// name for `#ifdef`/`#ifndef`, every identifier (including `defined`
+    /// operands, excluding `defined` itself) for expression tests.
+    fn record_tested(&mut self, test: &RawTest, pos: SourcePos, c: &Cond) {
+        match test {
+            RawTest::Ifdef(n) | RawTest::Ifndef(n) => self.tested_macros.push(TestedMacro {
+                name: n.clone(),
+                pos,
+                cond: c.clone(),
+            }),
+            RawTest::Expr(toks) => {
+                for t in toks {
+                    if matches!(t.kind, TokenKind::Ident) && &*t.text != "defined" {
+                        self.tested_macros.push(TestedMacro {
+                            name: t.text.clone(),
+                            pos: t.pos,
+                            cond: c.clone(),
+                        });
+                    }
+                }
+            }
+            RawTest::Else => {}
+        }
     }
 
     pub(crate) fn diag(&mut self, severity: Severity, pos: SourcePos, cond: &Cond, message: String) {
@@ -333,6 +403,8 @@ impl<F: FileSystem> Preprocessor<F> {
         self.table = MacroTable::with_interner(self.ctx.interner());
         self.stats = PpStats::default();
         self.diags.clear();
+        self.dead_branches.clear();
+        self.tested_macros.clear();
         self.processed_files.clear();
         self.file_stack.clear();
         self.max_depth_seen = 0;
@@ -376,6 +448,8 @@ impl<F: FileSystem> Preprocessor<F> {
             elements: out,
             stats: self.stats,
             diagnostics: std::mem::take(&mut self.diags),
+            dead_branches: std::mem::take(&mut self.dead_branches),
+            tested_macros: std::mem::take(&mut self.tested_macros),
         })
     }
 
@@ -412,9 +486,28 @@ impl<F: FileSystem> Preprocessor<F> {
                     }
                     let mut remaining = c.clone();
                     let mut branches: Vec<Branch> = Vec::new();
+                    // Tracks whether the chain so far contains an
+                    // identifier-free `#if` test (`#if 0`-style toggles);
+                    // dead branches downstream of one are deliberate.
+                    let mut chain_constant = false;
+                    let record = !self.opts.single_config;
                     for g in groups {
+                        chain_constant |= test_is_constant(&g.test);
+                        if record {
+                            self.record_tested(&g.test, g.pos, c);
+                        }
                         if remaining.is_false() {
-                            break;
+                            // Earlier branches cover every configuration:
+                            // this group can never be entered. Record it
+                            // (its test is not evaluated) and move on.
+                            if record {
+                                self.dead_branches.push(DeadBranch {
+                                    pos: g.pos,
+                                    context: c.clone(),
+                                    chain_constant,
+                                });
+                            }
+                            continue;
                         }
                         let bc = match &g.test {
                             RawTest::Ifdef(n) => self.defined_as_cond(n, &remaining),
@@ -436,6 +529,13 @@ impl<F: FileSystem> Preprocessor<F> {
                         };
                         let bc = bc.and(&remaining);
                         if bc.is_false() {
+                            if record {
+                                self.dead_branches.push(DeadBranch {
+                                    pos: g.pos,
+                                    context: c.clone(),
+                                    chain_constant,
+                                });
+                            }
                             continue;
                         }
                         remaining = remaining.and_not(&bc);
@@ -488,7 +588,7 @@ impl<F: FileSystem> Preprocessor<F> {
                         );
                     }
                     let before = self.table.trims;
-                    self.table.define(name.clone(), def.clone(), c);
+                    self.table.define_at(name.clone(), def.clone(), c, *pos);
                     self.stats.trimmed_entries += self.table.trims - before;
                 }
                 RawItem::Undef { name, pos } => {
@@ -666,6 +766,16 @@ impl<F: FileSystem> Preprocessor<F> {
 }
 
 /// Parses a non-computed include operand: `"name"` or `<name>`.
+/// True for identifier-free `#if`/`#elif` expression tests (`#if 0`,
+/// `#if 1`): syntactically constant, so any branch they kill is a
+/// deliberate toggle rather than a configuration-space accident.
+fn test_is_constant(test: &RawTest) -> bool {
+    match test {
+        RawTest::Expr(toks) => !toks.iter().any(|t| matches!(t.kind, TokenKind::Ident)),
+        _ => false,
+    }
+}
+
 fn parse_include_operand(tokens: &[Token]) -> Option<(String, bool)> {
     match tokens.first() {
         Some(t) if t.kind == TokenKind::StringLit && tokens.len() == 1 => {

@@ -51,7 +51,10 @@ mod symtab;
 pub use context::CContext;
 pub use grammar::c_grammar;
 pub use keywords::classify;
-pub use query::{declared_names, function_definitions, unparse_config, DeclaredName};
+pub use query::{
+    declared_names, first_declarator_ident, first_declarator_tok, function_definitions,
+    unparse_config, DeclaredName,
+};
 pub use symtab::{NameKind, SymTab};
 
 use superc_cond::CondCtx;

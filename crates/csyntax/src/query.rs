@@ -5,7 +5,9 @@
 use std::rc::Rc;
 
 use superc_cond::{Cond, CondCtx};
+use superc_cpp::PTok;
 use superc_fmlr::SemVal;
+use superc_lexer::SourcePos;
 
 /// A name declared somewhere in a compilation unit, with the presence
 /// condition under which the declaration exists.
@@ -18,30 +20,124 @@ pub struct DeclaredName {
     pub kind: Rc<str>,
     /// Presence condition (`None` = present in every configuration).
     pub cond: Option<Cond>,
+    /// Source position of the identifier token (`None` only for exotic
+    /// declarator shapes where no single token names the declaration).
+    pub pos: Option<SourcePos>,
+    /// Flattened declaration-specifier text (`static const int`), empty
+    /// for enumerators. Choice alternatives flatten in order, so two
+    /// declarations only compare equal when their specifiers agree in
+    /// every configuration.
+    pub specifiers: String,
+    /// The declarator's shape with the declared identifier replaced by
+    /// `$`: `$` for a plain variable, `* $` for a pointer,
+    /// `$ [ 4 ]` for an array, `( * $ ) ( void )` for a function pointer.
+    pub shape: String,
 }
 
-fn first_declarator_ident(v: &SemVal) -> Option<Rc<str>> {
+/// The identifier token naming a (possibly nested or parenthesized)
+/// declarator, searching `Declarator`/`DirectDeclarator`/`InitDeclarator`/
+/// `StructDeclarator` shapes and descending into static choices (first
+/// alternative with a name wins). `None` for abstract declarators and
+/// unnamed bit-fields, which declare nothing.
+pub fn first_declarator_tok(v: &SemVal) -> Option<&PTok> {
     match v {
         SemVal::Node(n) => match &*n.kind {
             "DirectDeclarator" => match n.children.first() {
-                Some(SemVal::Tok(t)) if t.tok.is_ident() => Some(t.tok.text.clone()),
+                Some(SemVal::Tok(t)) if t.tok.is_ident() => Some(t),
                 Some(first) => {
                     if first.as_token().map(|t| t.text()) == Some("(") {
-                        n.children.get(1).and_then(first_declarator_ident)
+                        n.children.get(1).and_then(first_declarator_tok)
                     } else {
-                        first_declarator_ident(first)
+                        first_declarator_tok(first)
                     }
                 }
                 None => None,
             },
-            "Declarator" => n.children.last().and_then(first_declarator_ident),
+            "Declarator" => n.children.last().and_then(first_declarator_tok),
             "InitDeclarator" | "StructDeclarator" => {
-                n.children.first().and_then(first_declarator_ident)
+                // The declarator is the first *named* child: unnamed
+                // bit-fields (`int : 4;`) start with the `:` token.
+                n.children.iter().find_map(first_declarator_tok)
             }
+            // Parenthesized declarators reduce through grouping helpers in
+            // some grammar layerings; scan children rather than dropping.
+            "ParameterDeclaration" | "TypeName" => None,
             _ => None,
         },
+        // A conditional declarator (`x` under A, `y` otherwise): report
+        // the first alternative's name; callers needing all alternatives
+        // walk the choice themselves.
+        SemVal::Choice(alts) => alts.iter().find_map(|(_, alt)| first_declarator_tok(alt)),
         _ => None,
     }
+}
+
+/// Like [`first_declarator_tok`], but returns just the name.
+pub fn first_declarator_ident(v: &SemVal) -> Option<Rc<str>> {
+    first_declarator_tok(v).map(|t| t.tok.text.clone())
+}
+
+/// Flattens every token in `v` into `out`, space-separated, descending
+/// into all choice alternatives in order.
+fn flatten_tokens(v: &SemVal, out: &mut String) {
+    match v {
+        SemVal::Tok(t) => {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(t.text());
+        }
+        SemVal::Node(n) => {
+            for c in &n.children {
+                flatten_tokens(c, out);
+            }
+        }
+        SemVal::Choice(alts) => {
+            for (_, alt) in alts.iter() {
+                flatten_tokens(alt, out);
+            }
+        }
+        SemVal::Empty => {}
+    }
+}
+
+/// Renders a declarator's shape: its token text with the token at
+/// `name_pos` replaced by `$`. For an `InitDeclarator`, the initializer
+/// is omitted — the shape describes only the declared object.
+fn declarator_shape(v: &SemVal, name_pos: Option<SourcePos>) -> String {
+    fn go(v: &SemVal, name_pos: Option<SourcePos>, out: &mut String) {
+        match v {
+            SemVal::Tok(t) => {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                if Some(t.tok.pos) == name_pos {
+                    out.push('$');
+                } else {
+                    out.push_str(t.text());
+                }
+            }
+            SemVal::Node(n) => {
+                let kids: &[SemVal] = if &*n.kind == "InitDeclarator" {
+                    &n.children[..1.min(n.children.len())]
+                } else {
+                    &n.children
+                };
+                for c in kids {
+                    go(c, name_pos, out);
+                }
+            }
+            SemVal::Choice(alts) => {
+                for (_, alt) in alts.iter() {
+                    go(alt, name_pos, out);
+                }
+            }
+            SemVal::Empty => {}
+        }
+    }
+    let mut out = String::new();
+    go(v, name_pos, &mut out);
+    out
 }
 
 /// Collects every top-level declared name (declarations, function
@@ -49,20 +145,33 @@ fn first_declarator_ident(v: &SemVal) -> Option<Rc<str>> {
 pub fn declared_names(ast: &SemVal) -> Vec<DeclaredName> {
     let mut out = Vec::new();
     ast.visit(&mut |n, cond| {
-        let grab = |decl: Option<&SemVal>, out: &mut Vec<DeclaredName>| {
-            let mut stack: Vec<&SemVal> = decl.into_iter().collect();
-            while let Some(v) = stack.pop() {
+        let grab = |decl: Option<&SemVal>, specs: Option<&SemVal>, out: &mut Vec<DeclaredName>| {
+            let mut specifiers = String::new();
+            if let Some(s) = specs {
+                flatten_tokens(s, &mut specifiers);
+            }
+            let mut stack: Vec<(&SemVal, Option<&Cond>)> =
+                decl.into_iter().map(|v| (v, cond)).collect();
+            while let Some((v, vc)) = stack.pop() {
                 match v {
                     SemVal::Node(m) if &*m.kind == "InitDeclaratorList" => {
-                        stack.extend(m.children.iter());
+                        stack.extend(m.children.iter().map(|ch| (ch, vc)));
                     }
-                    SemVal::Choice(alts) => stack.extend(alts.iter().map(|(_, v)| v)),
+                    // Like `SemVal::visit`, an alternative's condition is
+                    // absolute and replaces the enclosing one.
+                    SemVal::Choice(alts) => {
+                        stack.extend(alts.iter().map(|(c, v)| (v, Some(c))));
+                    }
                     other => {
-                        if let Some(name) = first_declarator_ident(other) {
+                        if let Some(t) = first_declarator_tok(other) {
+                            let pos = Some(t.tok.pos);
                             out.push(DeclaredName {
-                                name,
+                                name: t.tok.text.clone(),
                                 kind: n.kind.clone(),
-                                cond: cond.cloned(),
+                                cond: vc.cloned(),
+                                pos,
+                                specifiers: specifiers.clone(),
+                                shape: declarator_shape(other, pos),
                             });
                         }
                     }
@@ -70,14 +179,18 @@ pub fn declared_names(ast: &SemVal) -> Vec<DeclaredName> {
             }
         };
         match &*n.kind {
-            "Declaration" => grab(n.children.get(1), &mut out),
-            "FunctionDefinition" => grab(n.children.get(1), &mut out),
+            "Declaration" | "FunctionDefinition" => {
+                grab(n.children.get(1), n.children.first(), &mut out)
+            }
             "Enumerator" => {
                 if let Some(t) = n.children.first().and_then(SemVal::as_token) {
                     out.push(DeclaredName {
                         name: t.tok.text.clone(),
                         kind: n.kind.clone(),
                         cond: cond.cloned(),
+                        pos: Some(t.tok.pos),
+                        specifiers: String::new(),
+                        shape: "$".to_string(),
                     });
                 }
             }

@@ -1,7 +1,7 @@
 use super::*;
 use superc_cond::{CondBackend, CondCtx};
 use superc_cpp::{Builtins, CompilationUnit, MemFs, PpOptions, Preprocessor};
-use superc_fmlr::{ParseResult, ParserConfig};
+use superc_fmlr::{ParseResult, ParserConfig, SemVal};
 
 fn preprocess(files: &[(&str, &str)]) -> (CompilationUnit, CondCtx) {
     let mut fs = MemFs::new();
@@ -581,4 +581,106 @@ fn array_designators_with_enum_indices() {
 #[test]
 fn old_style_empty_parameter_functions() {
     assert_parses("int legacy();\nint legacy_def() { return 0; }\n");
+}
+
+
+
+// ---------------------------------------------------------------------
+// Declarator shapes (query::declared_names / first_declarator_tok)
+// ---------------------------------------------------------------------
+
+/// Pins the declarator shapes `declared_names` reports: `$` marks the
+/// declared identifier, specifiers flatten in source order.
+#[test]
+fn declared_names_pin_declarator_shapes() {
+    let cases: &[(&str, &[(&str, &str, &str)])] = &[
+        ("int x;\n", &[("x", "int", "$")]),
+        (
+            "static const unsigned long *p = 0;\n",
+            &[("p", "static const unsigned long", "* $")],
+        ),
+        // Parenthesized declarator.
+        ("int (y);\n", &[("y", "int", "( $ )")]),
+        // Function pointer: nested parenthesized declarator.
+        (
+            "int (*fp)(int, char *);\n",
+            &[("fp", "int", "( * $ ) ( int , char * )")],
+        ),
+        ("char grid[3][4];\n", &[("grid", "char", "$ [ 3 ] [ 4 ]")]),
+        (
+            "extern int printf(const char *fmt, ...);\n",
+            &[("printf", "extern int", "$ ( const char * fmt , ... )")],
+        ),
+        // Init-declarator lists: one entry per declarator, initializers
+        // excluded from the shape.
+        (
+            "int a = 1, *b, c[2];\n",
+            &[("a", "int", "$"), ("b", "int", "* $"), ("c", "int", "$ [ 2 ]")],
+        ),
+        ("int f(void) { return 0; }\n", &[("f", "int", "$ ( void )")]),
+    ];
+    for (src, expected) in cases {
+        let r = assert_parses(src);
+        let names = declared_names(&r.ast.expect("ast"));
+        assert_eq!(names.len(), expected.len(), "count for {src:?}");
+        for &(name, specs, shape) in *expected {
+            let d = names
+                .iter()
+                .find(|d| &*d.name == name)
+                .unwrap_or_else(|| panic!("{name} missing in {src:?}"));
+            assert_eq!(d.specifiers, specs, "specifiers of {name} in {src:?}");
+            assert_eq!(d.shape, shape, "shape of {name} in {src:?}");
+            assert!(d.pos.is_some(), "pos of {name} in {src:?}");
+        }
+    }
+}
+
+/// A conditional inside a declarator: both alternatives are reported,
+/// each under its own (absolute) presence condition.
+#[test]
+fn declared_names_descend_choices_with_conditions() {
+    let src = "int\n#ifdef A\nx\n#else\ny\n#endif\n;\n";
+    let r = assert_parses(src);
+    let names = declared_names(&r.ast.expect("ast"));
+    assert_eq!(names.len(), 2);
+    let find = |n: &str| names.iter().find(|d| &*d.name == n).expect(n).clone();
+    let under_a = |n: &str| Some(n == "defined(A)");
+    assert!(find("x").cond.expect("cond of x").eval(under_a));
+    assert!(!find("y").cond.expect("cond of y").eval(under_a));
+    assert_eq!(find("x").shape, "$");
+}
+
+/// `first_declarator_tok` on struct declarators: named members and
+/// bit-fields resolve to the member name; unnamed bit-fields (whose
+/// first child is the `:` punctuator) declare nothing.
+#[test]
+fn first_declarator_tok_handles_bitfields() {
+    fn find_struct_declarators<'a>(v: &'a SemVal, out: &mut Vec<&'a SemVal>) {
+        match v {
+            SemVal::Node(n) => {
+                if &*n.kind == "StructDeclarator" {
+                    out.push(v);
+                }
+                for ch in &n.children {
+                    find_struct_declarators(ch, out);
+                }
+            }
+            SemVal::Choice(alts) => {
+                for (_, alt) in alts.iter() {
+                    find_struct_declarators(alt, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    let r = assert_parses("struct s { int : 4; int named : 2; int plain; };\n");
+    let ast = r.ast.expect("ast");
+    let mut decls = Vec::new();
+    find_struct_declarators(&ast, &mut decls);
+    let names: Vec<String> = decls
+        .iter()
+        .filter_map(|v| first_declarator_ident(v))
+        .map(|n| n.to_string())
+        .collect();
+    assert_eq!(names, ["named", "plain"]);
 }

@@ -72,6 +72,18 @@ pub(crate) struct RawProd {
     pub prec: Option<String>,
 }
 
+/// The builder's raw pieces, borrowed together for table construction:
+/// start symbol, terminals, terminal index, productions, precedence map,
+/// and `complete`-marked nonterminal names.
+pub(crate) type BuilderParts<'a> = (
+    &'a str,
+    &'a [String],
+    &'a HashMap<String, usize>,
+    &'a [RawProd],
+    &'a HashMap<String, (u32, Assoc)>,
+    &'a [String],
+);
+
 /// Builds a [`Grammar`]: declare terminals, add productions (names not
 /// declared as terminals become nonterminals), annotate, and `build()`.
 ///
@@ -193,16 +205,7 @@ impl GrammarBuilder {
         crate::table::build_grammar(self)
     }
 
-    pub(crate) fn parts(
-        &self,
-    ) -> (
-        &str,
-        &[String],
-        &HashMap<String, usize>,
-        &[RawProd],
-        &HashMap<String, (u32, Assoc)>,
-        &[String],
-    ) {
+    pub(crate) fn parts(&self) -> BuilderParts<'_> {
         (
             &self.start,
             &self.terminals,

@@ -325,11 +325,10 @@ pub(crate) fn build_grammar(b: &GrammarBuilder) -> Result<Grammar, GrammarError>
                 .and_then(|p| term_set.get(p.as_str()))
                 .map(|&t| mk_sym(t as u32)),
         });
-        if raw.prec.is_some() && out_prods.last().expect("pushed").prec.is_none() {
-            return Err(err(format!(
-                "%prec symbol {} is not a declared terminal",
-                raw.prec.as_ref().expect("checked")
-            )));
+        if let Some(p) = &raw.prec {
+            if out_prods.last().expect("pushed").prec.is_none() {
+                return Err(err(format!("%prec symbol {p} is not a declared terminal")));
+            }
         }
     }
 

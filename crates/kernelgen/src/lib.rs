@@ -242,7 +242,7 @@ impl Gen {
         let _ = writeln!(s, "#endif");
         let _ = writeln!(s, "  SUB{n}_ACTIVE");
         let _ = writeln!(s, "}};");
-        if self.spec.ambiguous_typedefs && n % 5 == 0 {
+        if self.spec.ambiguous_typedefs && n.is_multiple_of(5) {
             let acfg = self.config();
             let _ = writeln!(s, "#ifdef {acfg}");
             let _ = writeln!(s, "typedef int amb{n}_t;");

@@ -40,6 +40,7 @@ macro_rules! puncts {
             }
 
             /// Parses a spelling back to a punctuator.
+            #[allow(clippy::should_implement_trait)] // fallible, Option-returning
             pub fn from_str(s: &str) -> Option<Punct> {
                 match s { $($text => Some(Punct::$name),)+ _ => None }
             }

@@ -6,7 +6,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
+# --workspace so the CLI and experiment binaries rebuild too: the root
+# package alone only pulls them in as libraries, leaving stale bins in
+# target/release.
+cargo build --release --workspace
 if [[ "${1:-}" == "--workspace" ]]; then
     cargo test --workspace -q
 else
@@ -15,5 +18,6 @@ fi
 # Re-run the parallel determinism suite with a wider, oversubscribed jobs
 # ladder than the default 1,2,8 — cheap extra scheduling coverage.
 SUPERC_PAR_JOBS="1,2,3,5,8,16" cargo test -q --test parallel
+cargo clippy --workspace -- -D warnings
 scripts/bench.sh
 echo "verify: OK"

@@ -1,0 +1,5 @@
+/* Clean fixture: include-guard machinery and macro use must produce
+ * zero diagnostics even though the guard macro is tested before it is
+ * defined. */
+#include "lint_guard.h"
+int uses_header = GUARDED_VALUE;

@@ -1,0 +1,12 @@
+/* Clean fixture: ordinary configuration variance. Disjoint branches,
+ * a deliberate #if 0 toggle, and consistent declarations must produce
+ * zero diagnostics. */
+#ifdef CONFIG_SMP
+int nr_cpus = 8;
+#else
+int nr_cpus = 1;
+#endif
+#if 0
+int disabled_experiment;
+#endif
+int run(void) { return nr_cpus; }

@@ -1,0 +1,10 @@
+/* Seeded bug: shared_counter is declared int under CONFIG_X and long
+ * under CONFIG_Y; the two guards are not mutually exclusive.
+ * Expected: config-redecl under defined(CONFIG_X) && defined(CONFIG_Y). */
+#ifdef CONFIG_X
+int shared_counter;
+#endif
+#ifdef CONFIG_Y
+long shared_counter;
+#endif
+int other;

@@ -1,0 +1,10 @@
+/* Seeded bug: the inner #ifndef contradicts the enclosing #ifdef, so
+ * its branch is unreachable in every configuration.
+ * Expected: dead-branch at line 5 under defined(CONFIG_A). */
+#ifdef CONFIG_A
+#ifndef CONFIG_A
+int never_included;
+#endif
+int a;
+#endif
+int tail;

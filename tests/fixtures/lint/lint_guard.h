@@ -1,0 +1,7 @@
+/* Clean fixture header: a standard include guard. The #ifndef test of
+ * an undefined name must not be flagged because the guard defines it
+ * immediately. */
+#ifndef LINT_GUARD_H
+#define LINT_GUARD_H
+#define GUARDED_VALUE 7
+#endif

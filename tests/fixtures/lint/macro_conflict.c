@@ -1,0 +1,10 @@
+/* Seeded bug: both guards can hold at once, leaving MTU with two
+ * different bodies in the overlap.
+ * Expected: macro-conflict under defined(CONFIG_NET) && defined(CONFIG_NET_JUMBO). */
+#ifdef CONFIG_NET
+#define MTU 1500
+#endif
+#ifdef CONFIG_NET_JUMBO
+#define MTU 9000
+#endif
+int frame_budget = 1;

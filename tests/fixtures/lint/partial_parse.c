@@ -1,0 +1,9 @@
+/* Seeded bug: the initializer is missing when CONFIG_BROKEN is set, so
+ * the unit only parses with it off.
+ * Expected: partial-parse under defined(CONFIG_BROKEN). */
+#ifdef CONFIG_BROKEN
+int bad = ;
+#else
+int bad = 1;
+#endif
+int after;

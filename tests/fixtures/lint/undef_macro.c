@@ -1,0 +1,8 @@
+/* Seeded bug: CONFG_TYPO is tested but never defined anywhere and does
+ * not match a config-variable prefix — almost certainly a misspelling
+ * of a CONFIG_ option.
+ * Expected: undef-macro-test at line 5 under true. */
+#ifdef CONFG_TYPO
+int typo_guarded;
+#endif
+int present;

@@ -1,0 +1,150 @@
+//! Acceptance tests for `superc lint` over the seeded fixture corpus in
+//! `tests/fixtures/lint/`.
+//!
+//! Each buggy fixture plants exactly one variability bug with a known
+//! presence condition; the lints must report it at the right position
+//! with the *exact* PC (checked by BDD equivalence against a formula
+//! built here, never by string comparison). The clean fixtures exercise
+//! the same preprocessor features in legitimate patterns and must stay
+//! silent. Finally, the rendered JSON report must be byte-identical for
+//! any `--jobs` count — the determinism contract the CLI advertises.
+
+use superc::analyze::{render, Diagnostic, LintCode, LintOptions};
+use superc::corpus::{process_corpus, Capture, CorpusOptions};
+use superc::{CondCtx, DiskFs, Options, SuperC};
+
+fn fixture_fs() -> DiskFs {
+    DiskFs::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/lint"))
+}
+
+/// Processes one fixture end to end and lints it with defaults.
+fn lint_one(file: &str) -> (Vec<Diagnostic>, CondCtx) {
+    let mut tool = SuperC::new(Options::default(), fixture_fs());
+    let processed = tool.process(file).expect("fixture preprocesses");
+    let diags = tool.lint(&processed, &LintOptions::default());
+    (diags, tool.ctx().clone())
+}
+
+fn assert_pc(d: &Diagnostic, expected: &superc::Cond) {
+    assert!(
+        d.cond.semantically_equal(expected),
+        "expected PC {expected} for {} at {}:{}, got {}",
+        d.code,
+        d.file,
+        d.pos.line,
+        d.cond_text
+    );
+}
+
+#[test]
+fn seeded_dead_branch_reports_exact_pc() {
+    let (diags, ctx) = lint_one("dead_branch.c");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.code, LintCode::DeadBranch);
+    assert_eq!((d.file.as_str(), d.pos.line), ("dead_branch.c", 5));
+    assert_pc(d, &ctx.var("defined(CONFIG_A)"));
+}
+
+#[test]
+fn seeded_macro_conflict_reports_exact_pc() {
+    let (diags, ctx) = lint_one("macro_conflict.c");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.code, LintCode::MacroConflict);
+    assert_eq!((d.file.as_str(), d.pos.line), ("macro_conflict.c", 8));
+    let overlap = ctx
+        .var("defined(CONFIG_NET)")
+        .and(&ctx.var("defined(CONFIG_NET_JUMBO)"));
+    assert_pc(d, &overlap);
+    assert!(d.message.contains("MTU"), "{}", d.message);
+}
+
+#[test]
+fn seeded_undef_macro_test_reports_exact_pc() {
+    let (diags, ctx) = lint_one("undef_macro.c");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.code, LintCode::UndefMacroTest);
+    assert_eq!((d.file.as_str(), d.pos.line), ("undef_macro.c", 5));
+    assert_pc(d, &ctx.tru());
+    assert!(d.message.contains("CONFG_TYPO"), "{}", d.message);
+}
+
+#[test]
+fn seeded_config_redecl_reports_exact_pc() {
+    let (diags, ctx) = lint_one("config_redecl.c");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.code, LintCode::ConfigRedecl);
+    assert_eq!(d.file.as_str(), "config_redecl.c");
+    let overlap = ctx
+        .var("defined(CONFIG_X)")
+        .and(&ctx.var("defined(CONFIG_Y)"));
+    assert_pc(d, &overlap);
+    assert!(d.message.contains("shared_counter"), "{}", d.message);
+}
+
+#[test]
+fn seeded_partial_parse_reports_exact_pc() {
+    let (diags, ctx) = lint_one("partial_parse.c");
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    let d = &diags[0];
+    assert_eq!(d.code, LintCode::PartialParse);
+    assert_eq!(d.file.as_str(), "partial_parse.c");
+    assert_pc(d, &ctx.var("defined(CONFIG_BROKEN)"));
+}
+
+#[test]
+fn clean_fixtures_stay_silent() {
+    for file in ["clean_variants.c", "clean_header.c"] {
+        let (diags, _) = lint_one(file);
+        assert!(diags.is_empty(), "{file}: {diags:?}");
+    }
+}
+
+/// All fixtures, buggy and clean, in a fixed input order.
+fn corpus_files() -> Vec<String> {
+    [
+        "dead_branch.c",
+        "macro_conflict.c",
+        "undef_macro.c",
+        "config_redecl.c",
+        "partial_parse.c",
+        "clean_variants.c",
+        "clean_header.c",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+#[test]
+fn lint_json_is_byte_identical_across_job_counts() {
+    let files = corpus_files();
+    let options = Options::default();
+    let render_for = |jobs: usize| -> String {
+        let copts = CorpusOptions {
+            jobs,
+            capture: Capture::default(),
+            lint: Some(LintOptions::default()),
+        };
+        let report = process_corpus(&fixture_fs(), &files, &options, &copts);
+        assert_eq!(report.fatal_units(), 0);
+        let records: Vec<_> = report
+            .units
+            .iter()
+            .flat_map(|u| u.lints.iter().cloned())
+            .collect();
+        render::render_json(&records)
+    };
+    let base = render_for(1);
+    // One diagnostic per buggy fixture, none from the clean ones.
+    for code in LintCode::ALL {
+        assert!(base.contains(code.as_str()), "missing {code} in {base}");
+    }
+    assert_eq!(base.matches("\"code\"").count(), 5, "{base}");
+    for jobs in [2, 8] {
+        assert_eq!(render_for(jobs), base, "jobs={jobs} diverged");
+    }
+}

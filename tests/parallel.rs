@@ -70,6 +70,7 @@ fn run(corpus: &Corpus, jobs: usize) -> CorpusReport {
             ast: false,
             unparse_configs: capture_configs(),
         },
+        lint: None,
     };
     process_corpus(&corpus.fs, &corpus.units, &options(), &copts)
 }
