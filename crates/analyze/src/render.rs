@@ -101,7 +101,11 @@ fn enumerate(
 pub fn render_text(records: &[Record]) -> String {
     let mut out = String::new();
     for r in records {
-        let sev = if r.level == "deny" { "error" } else { "warning" };
+        let sev = if r.level == "deny" {
+            "error"
+        } else {
+            "warning"
+        };
         out.push_str(&format!(
             "{}:{}:{}: {}[{}]: {} [when {}]\n",
             r.file, r.line, r.col, sev, r.code, r.message, r.cond

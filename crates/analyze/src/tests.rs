@@ -95,7 +95,9 @@ int x;
     let (diags, ctx) = run(src);
     let conflicts = only(&diags, LintCode::MacroConflict);
     assert_eq!(conflicts.len(), 1, "{diags:?}");
-    let both = ctx.var("defined(CONFIG_A)").and(&ctx.var("defined(CONFIG_B)"));
+    let both = ctx
+        .var("defined(CONFIG_A)")
+        .and(&ctx.var("defined(CONFIG_B)"));
     assert_pc(&conflicts[0], &both);
     assert_eq!(conflicts[0].pos.line, 5);
     assert!(conflicts[0].message.contains("NBYTES"));
@@ -120,7 +122,10 @@ fn benign_redefinitions_do_not_conflict() {
 int x;
 ";
     let (diags, _) = run(src);
-    assert!(only(&diags, LintCode::MacroConflict).is_empty(), "{diags:?}");
+    assert!(
+        only(&diags, LintCode::MacroConflict).is_empty(),
+        "{diags:?}"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -163,7 +168,10 @@ int x;
         &[("main.c", main), ("guarded.h", hdr)],
         &LintOptions::default(),
     );
-    assert!(only(&diags, LintCode::UndefMacroTest).is_empty(), "{diags:?}");
+    assert!(
+        only(&diags, LintCode::UndefMacroTest).is_empty(),
+        "{diags:?}"
+    );
 }
 
 #[test]
@@ -193,7 +201,9 @@ long v;
     let (diags, ctx) = run(src);
     let redecl = only(&diags, LintCode::ConfigRedecl);
     assert_eq!(redecl.len(), 1, "{diags:?}");
-    let both = ctx.var("defined(CONFIG_A)").and(&ctx.var("defined(CONFIG_B)"));
+    let both = ctx
+        .var("defined(CONFIG_A)")
+        .and(&ctx.var("defined(CONFIG_B)"));
     assert_pc(&redecl[0], &both);
     assert!(redecl[0].message.contains('v'));
 }

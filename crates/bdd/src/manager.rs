@@ -199,7 +199,13 @@ impl Inner {
     /// a pending `mk` followed by the two cofactor pairs. The low pair
     /// completes first (it is popped first), so the matching `Combine`
     /// sees `results = [.., low, high]`.
-    fn expand_into(&self, f: NodeId, g: NodeId, key: (Op, NodeId, NodeId), tasks: &mut Vec<ApplyTask>) {
+    fn expand_into(
+        &self,
+        f: NodeId,
+        g: NodeId,
+        key: (Op, NodeId, NodeId),
+        tasks: &mut Vec<ApplyTask>,
+    ) {
         let (vf, vg) = (self.var_of(f), self.var_of(g));
         let var = vf.min(vg);
         let (f_lo, f_hi) = if vf == var {
@@ -493,7 +499,10 @@ impl BddManager {
     /// Panics if `v` was not created by this manager.
     pub fn var_name(&self, v: VarId) -> String {
         let inner = self.inner.borrow();
-        inner.interner.resolve(inner.var_syms[v as usize]).to_string()
+        inner
+            .interner
+            .resolve(inner.var_syms[v as usize])
+            .to_string()
     }
 
     /// Number of distinct variables interned so far.
@@ -602,6 +611,14 @@ impl Bdd {
         BddManager {
             inner: Rc::clone(&self.mgr),
         }
+    }
+
+    /// The node id of this function's root. BDDs are canonical within a
+    /// manager, so within one manager equal ids mean equal functions —
+    /// a stable, cheap memo key. Ids from different managers (different
+    /// workers) are incomparable.
+    pub fn handle_id(&self) -> u64 {
+        self.id as u64
     }
 
     fn wrap(&self, id: NodeId) -> Bdd {
@@ -744,7 +761,10 @@ impl Bdd {
             let n = inner.nodes[id as usize];
             f(
                 id as usize,
-                inner.interner.resolve(inner.var_syms[n.var as usize]).to_string(),
+                inner
+                    .interner
+                    .resolve(inner.var_syms[n.var as usize])
+                    .to_string(),
                 name(n.low),
                 name(n.high),
             );

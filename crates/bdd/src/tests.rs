@@ -349,7 +349,10 @@ fn commutative_apply_cache_symmetry() {
         after.cache_misses, before.cache_misses,
         "swapped operands must not expand again"
     );
-    assert!(after.cache_hits > before.cache_hits, "swapped call must hit");
+    assert!(
+        after.cache_hits > before.cache_hits,
+        "swapped call must hit"
+    );
     // Same symmetry for disjunction and xor.
     let fg = f.or(&g);
     let before = m.stats();

@@ -36,10 +36,16 @@ fn main() {
                 ..ParserConfig::full()
             },
         ),
-        ("naive forking, value-identical merge (MAPR)", ParserConfig::mapr()),
+        (
+            "naive forking, value-identical merge (MAPR)",
+            ParserConfig::mapr(),
+        ),
     ];
 
-    println!("Ablation: follow-set vs choice-node merging ({} units).\n", corpus.units.len());
+    println!(
+        "Ablation: follow-set vs choice-node merging ({} units).\n",
+        corpus.units.len()
+    );
     let mut t = TextTable::new(&["Variant", "99th %", "Max.", "Killed", "Merges"]);
     for (name, cfg) in variants {
         let units = process_corpus(

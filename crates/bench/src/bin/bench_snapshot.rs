@@ -18,12 +18,12 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use superc::analyze::LintOptions;
-use superc::report::TextTable;
-use superc::{CondBackend, Options, ParseStats, ParserConfig, SuperC};
 use superc::bdd::BddStats;
+use superc::report::TextTable;
+use superc::{CondBackend, Options, ParseStats, ParserConfig, PpStats, SuperC};
 use superc_bench::{
-    fig9_corpus, full_corpus, pp_options, process_corpus_parallel, process_corpus_with_tool,
-    warm_up,
+    fig9_corpus, full_corpus, full_headers_corpus, pp_options, process_corpus_parallel_opts,
+    process_corpus_with_tool, warm_up,
 };
 use superc_kernelgen::Corpus;
 
@@ -39,12 +39,26 @@ struct Snapshot {
     peak_live: usize,
     parse: ParseStats,
     bdd: BddStats,
+    /// Merged preprocessor counters (shared-cache and memo hits live
+    /// here; see `PpStats` for which of these are schedule-dependent).
+    pp: PpStats,
 }
 
 impl Snapshot {
     fn tokens_per_sec(&self) -> f64 {
         if self.seconds > 0.0 {
             self.tokens as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Shared-cache hit rate over L2 probes (0 when the cache was off or
+    /// never probed).
+    fn shared_cache_hit_rate(&self) -> f64 {
+        let probes = self.pp.shared_cache_hits + self.pp.shared_cache_misses;
+        if probes > 0 {
+            self.pp.shared_cache_hits as f64 / probes as f64
         } else {
             0.0
         }
@@ -68,11 +82,13 @@ fn measure(name: &'static str, corpus: &Corpus, reps: usize) -> Snapshot {
         let seconds = start.elapsed().as_secs_f64();
 
         let mut parse = ParseStats::default();
+        let mut pp = PpStats::default();
         let mut tokens = 0u64;
         let mut bytes = 0u64;
         let mut peak_live = 0usize;
         for u in &units {
             parse.merge(&u.result.stats);
+            pp.merge(&u.unit.stats);
             tokens += u.unit.stats.output_tokens;
             bytes += u.bytes;
             peak_live = peak_live.max(u.result.stats.max_subparsers);
@@ -88,6 +104,7 @@ fn measure(name: &'static str, corpus: &Corpus, reps: usize) -> Snapshot {
             peak_live,
             parse,
             bdd,
+            pp,
         };
         match &best {
             Some(b) if b.seconds <= snap.seconds => {}
@@ -108,6 +125,7 @@ fn measure_lint(name: &'static str, corpus: &Corpus, reps: usize) -> Snapshot {
         let mut sc = SuperC::new(options(), corpus.fs.clone());
         let mut seconds = 0.0;
         let mut parse = ParseStats::default();
+        let mut pp = PpStats::default();
         let mut tokens = 0u64;
         let mut bytes = 0u64;
         let mut peak_live = 0usize;
@@ -118,6 +136,7 @@ fn measure_lint(name: &'static str, corpus: &Corpus, reps: usize) -> Snapshot {
             seconds += start.elapsed().as_secs_f64();
             std::hint::black_box(diags);
             parse.merge(&p.result.stats);
+            pp.merge(&p.unit.stats);
             tokens += p.unit.stats.output_tokens;
             bytes += p.bytes;
             peak_live = peak_live.max(p.result.stats.max_subparsers);
@@ -133,6 +152,7 @@ fn measure_lint(name: &'static str, corpus: &Corpus, reps: usize) -> Snapshot {
             peak_live,
             parse,
             bdd,
+            pp,
         };
         match &best {
             Some(b) if b.seconds <= snap.seconds => {}
@@ -143,10 +163,16 @@ fn measure_lint(name: &'static str, corpus: &Corpus, reps: usize) -> Snapshot {
 }
 
 /// Times `reps` runs of the parallel corpus driver, keeping the fastest.
-fn measure_parallel(name: &'static str, corpus: &Corpus, reps: usize, jobs: usize) -> Snapshot {
+fn measure_parallel(
+    name: &'static str,
+    corpus: &Corpus,
+    reps: usize,
+    jobs: usize,
+    no_shared_cache: bool,
+) -> Snapshot {
     let mut best: Option<Snapshot> = None;
     for _ in 0..reps.max(1) {
-        let report = process_corpus_parallel(corpus, options(), jobs);
+        let report = process_corpus_parallel_opts(corpus, options(), jobs, no_shared_cache);
         let peak_live = report
             .units
             .iter()
@@ -164,6 +190,7 @@ fn measure_parallel(name: &'static str, corpus: &Corpus, reps: usize, jobs: usiz
             peak_live,
             parse: report.parse.clone(),
             bdd: report.bdd.unwrap_or_default(),
+            pp: report.pp,
         };
         match &best {
             Some(b) if b.seconds <= snap.seconds => {}
@@ -179,7 +206,11 @@ fn measure_parallel(name: &'static str, corpus: &Corpus, reps: usize, jobs: usiz
 /// managers (BDD nodes, interner sizes) and wall clock may differ.
 fn assert_behavior_identical(seq: &Snapshot, par: &Snapshot) {
     assert_eq!(seq.units, par.units, "{}: unit count drifted", par.name);
-    assert_eq!(seq.tokens, par.tokens, "{}: output tokens drifted", par.name);
+    assert_eq!(
+        seq.tokens, par.tokens,
+        "{}: output tokens drifted",
+        par.name
+    );
     assert_eq!(seq.bytes, par.bytes, "{}: bytes drifted", par.name);
     assert_eq!(
         seq.peak_live, par.peak_live,
@@ -207,7 +238,10 @@ fn to_json(snaps: &[Snapshot]) -> String {
                 "\"merge_probes\": {}, \"choice_nodes\": {}, ",
                 "\"bdd_nodes\": {}, \"bdd_variables\": {}, \"bdd_apply_calls\": {}, ",
                 "\"bdd_cache_hits\": {}, \"bdd_cache_misses\": {}, ",
-                "\"bdd_cache_hit_rate\": {:.4}}}"
+                "\"bdd_cache_hit_rate\": {:.4}, ",
+                "\"shared_cache_hits\": {}, \"shared_cache_misses\": {}, ",
+                "\"shared_cache_hit_rate\": {:.4}, \"lex_nanos_saved\": {}, ",
+                "\"condexpr_memo_hits\": {}, \"expansion_memo_hits\": {}}}"
             ),
             w.name,
             w.jobs,
@@ -227,6 +261,12 @@ fn to_json(snaps: &[Snapshot]) -> String {
             w.bdd.cache_hits,
             w.bdd.cache_misses,
             w.bdd.cache_hit_rate(),
+            w.pp.shared_cache_hits,
+            w.pp.shared_cache_misses,
+            w.shared_cache_hit_rate(),
+            w.pp.lex_nanos_saved,
+            w.pp.condexpr_memo_hits,
+            w.pp.expansion_memo_hits,
         );
         s.push_str(if i + 1 < snaps.len() { ",\n" } else { "\n" });
     }
@@ -270,17 +310,41 @@ fn main() {
     warm_up();
     let full = full_corpus();
     let fig9 = fig9_corpus();
-    let par_jobs = superc::corpus::default_jobs();
+    let headers = full_headers_corpus();
+    // Parallel entries must actually exercise multi-worker scheduling:
+    // clamp to at least 2 workers (oversubscribed on a 1-core machine is
+    // fine — the determinism gate is about schedules, not speedup) and at
+    // most 8 (`jobs` is recorded in the snapshot so the bench gate can
+    // judge scaling per machine).
+    let par_jobs = superc::corpus::default_jobs().clamp(2, 8);
     let full_seq = measure("full", &full, reps);
     let fig9_seq = measure("fig9", &fig9, reps);
-    // Parallel entries use all available cores; `jobs` is recorded in the
-    // snapshot so the bench gate can judge scaling per machine.
-    let full_par = measure_parallel("full_par", &full, reps, par_jobs);
-    let fig9_par = measure_parallel("fig9_par", &fig9, reps, par_jobs);
+    let full_par = measure_parallel("full_par", &full, reps, par_jobs, false);
+    let fig9_par = measure_parallel("fig9_par", &fig9, reps, par_jobs, false);
     let fig9_lint = measure_lint("fig9_lint", &fig9, reps);
+    // The shared-cache workload pair: identical header-dominated corpus,
+    // cache on vs off, so the snapshot records the cache's speedup and
+    // hit rate (`scripts/bench.sh` gates on both). Always 8 workers, even
+    // oversubscribed: without the shared cache every worker re-lexes
+    // every header, so the worker count *is* the redundancy being
+    // measured, independent of core count.
+    let headers_jobs = 8;
+    let headers_on = measure_parallel("full_headers", &headers, reps, headers_jobs, false);
+    let headers_off = measure_parallel("full_headers_nocache", &headers, reps, headers_jobs, true);
     assert_behavior_identical(&full_seq, &full_par);
     assert_behavior_identical(&fig9_seq, &fig9_par);
-    let snaps = vec![full_seq, fig9_seq, full_par, fig9_par, fig9_lint];
+    // Cache on/off must also be behavior-identical: the cache changes who
+    // lexes a header, never what any unit sees.
+    assert_behavior_identical(&headers_off, &headers_on);
+    let snaps = vec![
+        full_seq,
+        fig9_seq,
+        full_par,
+        fig9_par,
+        fig9_lint,
+        headers_on,
+        headers_off,
+    ];
 
     let mut t = TextTable::new(&[
         "workload",
@@ -294,6 +358,9 @@ fn main() {
         "bdd nodes",
         "apply",
         "hit rate",
+        "l2 hits",
+        "l2 rate",
+        "memo hits",
     ]);
     for w in &snaps {
         t.row(&[
@@ -308,14 +375,16 @@ fn main() {
             w.bdd.nodes.to_string(),
             w.bdd.apply_calls.to_string(),
             format!("{:.3}", w.bdd.cache_hit_rate()),
+            w.pp.shared_cache_hits.to_string(),
+            format!("{:.3}", w.shared_cache_hit_rate()),
+            (w.pp.condexpr_memo_hits + w.pp.expansion_memo_hits).to_string(),
         ]);
     }
     print!("{}", t.render());
 
     if write_json || out_path.is_some() {
-        let path = out_path.unwrap_or_else(|| {
-            format!("{}/../../BENCH_fmlr.json", env!("CARGO_MANIFEST_DIR"))
-        });
+        let path = out_path
+            .unwrap_or_else(|| format!("{}/../../BENCH_fmlr.json", env!("CARGO_MANIFEST_DIR")));
         let json = to_json(&snaps);
         std::fs::write(&path, json).expect("write snapshot");
         // Canonicalize purely for display; the write used the raw path.

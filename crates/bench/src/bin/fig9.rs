@@ -61,7 +61,10 @@ fn main() {
     );
     println!();
     println!("{}", superc.ascii_cdf(60, 12, "SuperC latency CDF (ms)"));
-    println!("{}", typechef.ascii_cdf(60, 12, "TypeChef-style latency CDF (ms)"));
+    println!(
+        "{}",
+        typechef.ascii_cdf(60, 12, "TypeChef-style latency CDF (ms)")
+    );
     let ratio = typechef.percentiles().p50 / superc.percentiles().p50.max(1e-9);
     println!("median slowdown of the SAT baseline: {ratio:.1}x");
     println!(

@@ -81,7 +81,11 @@ fn main() {
         ("LoC", c_files.loc, headers.loc),
         ("All Directives", c_files.directives, headers.directives),
         ("#define", c_files.defines, headers.defines),
-        ("#if, #ifdef, #ifndef", c_files.conditionals, headers.conditionals),
+        (
+            "#if, #ifdef, #ifndef",
+            c_files.conditionals,
+            headers.conditionals,
+        ),
         ("#include", c_files.includes, headers.includes),
     ];
     for &(name, c, h) in rows {
@@ -96,10 +100,13 @@ fn main() {
     println!("{}", t.render());
 
     // --- 2b: most frequently included headers ----------------------------
-    let (_, tool) = process_corpus_with_tool(&corpus, Options {
-        pp: pp_options(),
-        ..Options::default()
-    });
+    let (_, tool) = process_corpus_with_tool(
+        &corpus,
+        Options {
+            pp: pp_options(),
+            ..Options::default()
+        },
+    );
     let mut counts: Vec<(String, u64)> = tool
         .preprocessor()
         .include_counts()

@@ -65,6 +65,66 @@ pub fn size_spread_corpus() -> Corpus {
     })
 }
 
+/// A header-dominated corpus for the shared preprocessing cache: many
+/// tiny units all including the same set of large, comment-heavy,
+/// guard-protected headers. Lexing cost is proportional to *bytes*
+/// scanned while everything downstream is proportional to *tokens*, so
+/// headers that are mostly comments make the redundant per-worker
+/// re-lexing the dominant cost — exactly what the shared L2 cache
+/// eliminates. Hand-built (not `kernelgen`) so the header/unit byte
+/// ratio is controlled.
+pub fn full_headers_corpus() -> Corpus {
+    const HEADERS: usize = 8;
+    const UNITS: usize = 64;
+    // ~256 KiB of comment per header: byte-heavy, token-light.
+    let filler_line = "/* shared header filler: the point of this text is to cost the \
+                       lexer bytes without producing any tokens at all. */\n";
+    let filler = filler_line.repeat(256 * 1024 / filler_line.len());
+
+    let mut fs = superc::MemFs::new();
+    for h in 0..HEADERS {
+        let mut text = String::with_capacity(filler.len() + 512);
+        text.push_str(&format!(
+            "#ifndef FH_HEADER_{h}_H\n#define FH_HEADER_{h}_H\n"
+        ));
+        text.push_str(&filler);
+        text.push_str(&format!(
+            "#define FH_VALUE_{h} {h}\n\
+             int fh_decl_{h}(int x);\n\
+             extern int fh_global_{h};\n\
+             #endif\n"
+        ));
+        fs = fs.file(&format!("include/fh{h}.h"), &text);
+    }
+    let mut units = Vec::with_capacity(UNITS);
+    for u in 0..UNITS {
+        let mut text = String::new();
+        // Rotate the include order per unit so workers that start at the
+        // same instant lex *different* headers first and then hit each
+        // other's freshly inserted artifacts, instead of racing to lex
+        // the same header twice.
+        for i in 0..HEADERS {
+            let h = (u + i) % HEADERS;
+            text.push_str(&format!("#include \"fh{h}.h\"\n"));
+        }
+        let h = u % HEADERS;
+        text.push_str(&format!(
+            "int fh_unit_{u}(void) {{ return FH_VALUE_{h}; }}\n"
+        ));
+        let path = format!("src/fh_unit{u}.c");
+        fs = fs.file(&path, &text);
+        units.push(path);
+    }
+    Corpus {
+        fs,
+        units,
+        spec: CorpusSpec {
+            units: UNITS,
+            ..CorpusSpec::default()
+        },
+    }
+}
+
 /// Runs every unit of a corpus through the pipeline, returning the
 /// processed units in corpus order.
 ///
@@ -94,8 +154,20 @@ pub fn process_corpus_parallel(
     options: Options,
     jobs: usize,
 ) -> superc::CorpusReport {
+    process_corpus_parallel_opts(corpus, options, jobs, false)
+}
+
+/// [`process_corpus_parallel`] with the shared preprocessing cache
+/// switchable, so benchmarks can measure cache-on vs cache-off.
+pub fn process_corpus_parallel_opts(
+    corpus: &Corpus,
+    options: Options,
+    jobs: usize,
+    no_shared_cache: bool,
+) -> superc::CorpusReport {
     let copts = superc::CorpusOptions {
         jobs,
+        no_shared_cache,
         ..superc::CorpusOptions::default()
     };
     let report = superc::process_corpus(&corpus.fs, &corpus.units, &options, &copts);

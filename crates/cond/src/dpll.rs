@@ -220,7 +220,9 @@ impl Solver {
         let mut best: Option<usize> = None;
         for v in 0..self.nvars {
             if self.assign[v].is_none()
-                && best.map(|b| self.activity[v] > self.activity[b]).unwrap_or(true)
+                && best
+                    .map(|b| self.activity[v] > self.activity[b])
+                    .unwrap_or(true)
             {
                 best = Some(v);
             }
@@ -392,7 +394,9 @@ mod tests {
         // Deterministic pseudo-random 3-SAT over 8 vars; brute-force check.
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _ in 0..50 {

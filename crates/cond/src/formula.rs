@@ -77,7 +77,11 @@ impl Formula {
         self.eval_memo(env, &mut memo)
     }
 
-    fn eval_memo(&self, env: &dyn Fn(u32) -> bool, memo: &mut HashMap<*const Formula, bool>) -> bool {
+    fn eval_memo(
+        &self,
+        env: &dyn Fn(u32) -> bool,
+        memo: &mut HashMap<*const Formula, bool>,
+    ) -> bool {
         let key = self as *const Formula;
         if let Some(&r) = memo.get(&key) {
             return r;

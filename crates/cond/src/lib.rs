@@ -131,8 +131,7 @@ impl SatState {
         kids.sort_by_key(|k| Arc::as_ptr(k) as usize);
         kids.dedup_by(|x, y| Arc::ptr_eq(x, y));
         // x together with ¬x: contradiction (And) / tautology (Or).
-        let ptrs: FastSet<usize> =
-            kids.iter().map(|k| Arc::as_ptr(k) as usize).collect();
+        let ptrs: FastSet<usize> = kids.iter().map(|k| Arc::as_ptr(k) as usize).collect();
         for k in &kids {
             if let Formula::Not(inner) = &**k {
                 if ptrs.contains(&(Arc::as_ptr(inner) as usize)) {
@@ -144,8 +143,7 @@ impl SatState {
             0 => ident,
             1 => kids.pop().expect("one"),
             _ => {
-                let ptr_list: Vec<usize> =
-                    kids.iter().map(|k| Arc::as_ptr(k) as usize).collect();
+                let ptr_list: Vec<usize> = kids.iter().map(|k| Arc::as_ptr(k) as usize).collect();
                 let key = if is_and {
                     FKey::And(ptr_list)
                 } else {
@@ -546,9 +544,7 @@ impl Cond {
             (Repr::Bdd(a), Repr::Bdd(b)) => a == b,
             _ => {
                 // Equivalent iff (a ∧ ¬b) ∨ (¬a ∧ b) is unsatisfiable.
-                self.and(&other.not())
-                    .or(&self.not().and(other))
-                    .is_false()
+                self.and(&other.not()).or(&self.not().and(other)).is_false()
             }
         }
     }
@@ -601,9 +597,7 @@ impl Cond {
                                 .iter()
                                 .enumerate()
                                 .take(s.var_names.len())
-                                .filter_map(|(i, &val)| {
-                                    val.map(|b| (s.var_names[i].clone(), b))
-                                })
+                                .filter_map(|(i, &val)| val.map(|b| (s.var_names[i].clone(), b)))
                                 .collect(),
                         )
                     }
@@ -643,6 +637,20 @@ impl Cond {
         names.sort();
         names.dedup();
         names
+    }
+
+    /// A cheap identity key for per-worker memo tables, stable for the
+    /// lifetime of the owning context. Equal keys imply the same boolean
+    /// function: BDD handles are canonical per manager (the tag
+    /// disambiguates the backends), and formula keys are interned-node
+    /// addresses which stay alive as long as the context's hash-consing
+    /// table does. Unequal keys say nothing — the SAT backend may intern
+    /// structurally distinct but equivalent formulas separately.
+    pub fn memo_key(&self) -> (u8, u64) {
+        match &self.repr {
+            Repr::Bdd(a) => (0, a.handle_id()),
+            Repr::Formula(f) => (1, Arc::as_ptr(f) as u64),
+        }
     }
 
     /// A structural size measure (BDD node count or formula size) used in

@@ -2,7 +2,10 @@ use super::*;
 use superc_util::prop::{check, Gen};
 
 fn both() -> [CondCtx; 2] {
-    [CondCtx::new(CondBackend::Bdd), CondCtx::new(CondBackend::Sat)]
+    [
+        CondCtx::new(CondBackend::Bdd),
+        CondCtx::new(CondBackend::Sat),
+    ]
 }
 
 #[test]
@@ -110,8 +113,7 @@ fn example_config_satisfies() {
         let b = ctx.var("B");
         let cond = a.and(&b.not());
         let cfg = cond.example_config().expect("feasible");
-        let lookup =
-            |name: &str| cfg.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
+        let lookup = |name: &str| cfg.iter().find(|(n, _)| n == name).map(|&(_, v)| v);
         assert!(cond.eval(lookup));
         assert_eq!(ctx.fls().example_config(), None);
         assert_eq!(ctx.tru().example_config(), Some(vec![]));
@@ -234,8 +236,7 @@ fn example_configs_check_out() {
             match f.example_config() {
                 None => assert!(f.is_false()),
                 Some(cfg) => {
-                    let ok =
-                        f.eval(|name| cfg.iter().find(|(n, _)| n == name).map(|&(_, v)| v));
+                    let ok = f.eval(|name| cfg.iter().find(|(n, _)| n == name).map(|&(_, v)| v));
                     assert!(ok);
                 }
             }

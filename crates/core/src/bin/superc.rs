@@ -16,6 +16,9 @@
 //!   --stats           print preprocessor/parser statistics
 //!   --jobs <N>        parse N compilation units in parallel
 //!                     (default: available parallelism; 1 = sequential)
+//!   --no-shared-cache disable the process-wide shared preprocessing
+//!                     cache in parallel runs (output is identical either
+//!                     way; this only changes who pays the lexing cost)
 //!
 //! superc lint [OPTIONS] <file.c>...
 //!   Variability lints with presence-condition diagnostics. Accepts every
@@ -32,9 +35,7 @@ use std::process::ExitCode;
 
 use superc::analyze::{render, LintCode, LintLevel, LintOptions, Record};
 use superc::corpus::{process_corpus, Capture, CorpusOptions};
-use superc::{
-    CondBackend, DiskFs, Options, ParserConfig, PpOptions, SuperC,
-};
+use superc::{CondBackend, DiskFs, Options, ParserConfig, PpOptions, SuperC};
 
 struct LintArgs {
     json: bool,
@@ -49,6 +50,8 @@ struct Args {
     show_stats: bool,
     /// Worker threads; 0 = available parallelism.
     jobs: usize,
+    /// Disable the shared preprocessing cache in parallel runs.
+    no_shared_cache: bool,
     /// `superc lint` mode.
     lint: Option<LintArgs>,
 }
@@ -61,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
         show_ast: false,
         show_stats: false,
         jobs: 0,
+        no_shared_cache: false,
         lint: None,
     };
     let mut pp = PpOptions::default();
@@ -156,13 +160,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse::<usize>()
                     .map_err(|_| format!("--jobs: not a count: {n}"))?;
             }
+            "--no-shared-cache" => args.no_shared_cache = true,
             "--help" | "-h" => {
-                return Err("usage: superc [lint] [-I dir] [-D name[=v]] [--sat] [--mapr] \
+                return Err(
+                    "usage: superc [lint] [-I dir] [-D name[=v]] [--sat] [--mapr] \
                             [--level L] [--single names] [--preprocess] [--ast] [--stats] \
-                            [--jobs N] files...\n\
+                            [--jobs N] [--no-shared-cache] files...\n\
                             lint mode adds: [--format text|json] [--allow|--warn|--deny \
                             code|all] [--config-prefix P]"
-                    .to_string())
+                        .to_string(),
+                )
             }
             f if !f.starts_with('-') => args.files.push(f.to_string()),
             other => return Err(format!("unknown option {other}")),
@@ -238,8 +245,7 @@ fn main() -> ExitCode {
                     );
                     print!(
                         "{}",
-                        superc::report::activity_table(ps, sc.ctx().bdd_stats().as_ref())
-                            .render()
+                        superc::report::activity_table(ps, sc.ctx().bdd_stats().as_ref()).render()
                     );
                 }
                 if let Some(acc) = &p.result.accepted {
@@ -267,6 +273,7 @@ fn run_lint(args: &Args, lint: &LintArgs) -> ExitCode {
         jobs: args.jobs,
         capture: Capture::default(),
         lint: Some(lint.opts.clone()),
+        no_shared_cache: args.no_shared_cache,
     };
     let report = process_corpus(&fs, &args.files, &args.options, &copts);
     let mut fatal = false;
@@ -308,6 +315,7 @@ fn run_parallel(args: &Args) -> ExitCode {
             unparse_configs: Vec::new(),
         },
         lint: None,
+        no_shared_cache: args.no_shared_cache,
     };
     let report = process_corpus(&fs, &args.files, &args.options, &copts);
     let mut failed = false;

@@ -15,13 +15,19 @@
 //!   contents are `Arc<str>` handed out by reference-count bump);
 //! - the LALR tables (`superc_csyntax::c_grammar` is a `OnceLock`
 //!   static);
-//! - the [`Options`] (plain data, cloned once per worker).
+//! - the [`Options`] (plain data, cloned once per worker);
+//! - the **shared preprocessing cache** (`superc_cpp::SharedCache`,
+//!   unless [`CorpusOptions::no_shared_cache`]): an insert-once /
+//!   read-many map from header path to its frozen token stream,
+//!   directive tree, and detected include guard, so each file is lexed
+//!   once per *process* instead of once per *worker*.
 //!
 //! What is *per-worker*, created fresh inside each thread and never
 //! shared: the [`CondCtx`] (BDD manager or SAT state), the symbol
-//! interner, the preprocessor's macro table and header cache, and all
-//! statistics. Workers communicate only through the cursor and their
-//! return values, so no locks are taken on any hot path.
+//! interner, the preprocessor's macro table and L1 header cache, the
+//! conditional-expression memo, and all statistics. Workers communicate
+//! only through the cursor, the shared cache's sharded `RwLock`s (off
+//! the hot path: one probe per `#include`), and their return values.
 //!
 //! # Determinism
 //!
@@ -41,11 +47,12 @@
 //! `--jobs 1/2/8`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use superc_bdd::BddStats;
 use superc_cond::CondStats;
-use superc_cpp::{FileSystem, PpStats, Severity};
+use superc_cpp::{FileSystem, PpStats, Severity, SharedCache};
 use superc_csyntax::unparse_config;
 use superc_fmlr::ParseStats;
 
@@ -63,6 +70,12 @@ pub struct CorpusOptions {
     /// records render conditions canonically, so they *are* part of the
     /// determinism contract, unlike raw condition display strings.
     pub lint: Option<superc_analyze::LintOptions>,
+    /// Disable the process-wide shared preprocessing cache (the L2 of the
+    /// two-level header cache; see `superc_cpp::SharedCache`). The cache
+    /// only changes *which worker pays* the lexing cost for a shared
+    /// header, never the output, so this exists as an escape hatch and a
+    /// baseline for benchmarking, not a correctness knob.
+    pub no_shared_cache: bool,
 }
 
 /// Per-unit text captures for testing and inspection.
@@ -243,14 +256,30 @@ pub fn process_corpus<F: FileSystem + Sync>(
     };
     let workers = requested.min(units.len()).max(1);
 
+    // One shared artifact cache for the whole corpus run; every worker
+    // gets a clone of the same `Arc`. Source files are immutable for the
+    // duration of a run, so there is no invalidation story to get wrong.
+    let shared: Option<Arc<SharedCache>> =
+        (!copts.no_shared_cache).then(|| Arc::new(SharedCache::new()));
+
     let start = Instant::now();
     let cursor = AtomicUsize::new(0);
     let outputs: Vec<WorkerOutput> = if workers == 1 {
-        vec![worker_loop(fs, units, options, copts, &cursor)]
+        vec![worker_loop(
+            fs,
+            units,
+            options,
+            copts,
+            shared.clone(),
+            &cursor,
+        )]
     } else {
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| s.spawn(|| worker_loop(fs, units, options, copts, &cursor)))
+                .map(|_| {
+                    let shared = shared.clone();
+                    s.spawn(|| worker_loop(fs, units, options, copts, shared, &cursor))
+                })
                 .collect();
             handles
                 .into_iter()
@@ -307,12 +336,17 @@ fn worker_loop<F: FileSystem + Sync>(
     units: &[String],
     options: &Options,
     copts: &CorpusOptions,
+    shared: Option<Arc<SharedCache>>,
     cursor: &AtomicUsize,
 ) -> WorkerOutput {
-    // Per-worker tool: own CondCtx/interner/macro table/header cache over
-    // the shared tree. Reused across this worker's units so header caching
-    // matches the sequential driver.
+    // Per-worker tool: own CondCtx/interner/macro table/L1 header cache
+    // over the shared tree. Reused across this worker's units so header
+    // caching matches the sequential driver. The shared L2 cache (if any)
+    // is attached so this worker can reuse files other workers lexed.
     let mut tool = SuperC::new(options.clone(), fs);
+    if let Some(cache) = shared {
+        tool.set_shared_cache(cache);
+    }
     let mut out = Vec::new();
     loop {
         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -356,7 +390,11 @@ fn process_one<F: FileSystem>(
     // Lint immediately: the macro table is per-unit preprocessor state
     // and would be reset by this worker's next unit.
     let lints = match &copts.lint {
-        Some(lopts) => tool.lint(&processed, lopts).iter().map(|d| d.record()).collect(),
+        Some(lopts) => tool
+            .lint(&processed, lopts)
+            .iter()
+            .map(|d| d.record())
+            .collect(),
         None => Vec::new(),
     };
 
@@ -397,7 +435,12 @@ fn process_one<F: FileSystem>(
             .ast
             .as_ref()
             .map_or(0, |a| a.choice_count()),
-        errors: processed.result.errors.iter().map(|e| e.to_string()).collect(),
+        errors: processed
+            .result
+            .errors
+            .iter()
+            .map(|e| e.to_string())
+            .collect(),
         diagnostics: processed
             .unit
             .diagnostics

@@ -51,11 +51,10 @@ pub use superc_lexer as lexer;
 pub use superc_cond::{Cond, CondBackend, CondCtx};
 pub use superc_cpp::{
     Builtins, CompilationUnit, DiskFs, FileSystem, MemFs, PpError, PpOptions, PpStats,
-    Preprocessor,
+    Preprocessor, SharedCache,
 };
 pub use superc_csyntax::{
-    c_grammar, classify, declared_names, function_definitions, parse_unit, unparse_config,
-    CContext,
+    c_grammar, classify, declared_names, function_definitions, parse_unit, unparse_config, CContext,
 };
 pub use superc_fmlr::{Forest, ParseResult, ParseStats, Parser, ParserConfig, SemVal};
 
@@ -171,6 +170,14 @@ impl<F: FileSystem> SuperC<F> {
     /// The underlying preprocessor (for include counts etc.).
     pub fn preprocessor(&self) -> &Preprocessor<F> {
         &self.pp
+    }
+
+    /// Attaches a process-wide shared preprocessing cache (the L2 behind
+    /// the per-tool header cache). Intended for corpus drivers that run
+    /// many `SuperC` instances over one immutable file tree; see
+    /// [`corpus::process_corpus`].
+    pub fn set_shared_cache(&mut self, cache: std::sync::Arc<SharedCache>) {
+        self.pp.set_shared_cache(cache);
     }
 
     /// Processes one compilation unit end to end.

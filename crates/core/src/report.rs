@@ -184,7 +184,11 @@ impl TextTable {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+        );
         for r in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(r, &widths));
         }
@@ -238,13 +242,49 @@ pub fn corpus_table(report: &crate::corpus::CorpusReport) -> TextTable {
         "output tokens",
         group_thousands(report.pp.output_tokens as f64),
     );
-    r(
-        "tokens/sec",
-        group_thousands(report.tokens_per_sec()),
-    );
+    r("tokens/sec", group_thousands(report.tokens_per_sec()));
     if report.lint_count() > 0 {
         r("lint diagnostics", report.lint_count().to_string());
         r("lint denies", report.lint_deny_count().to_string());
+    }
+    // Shared-cache and memoization counters. Hits/misses depend on the
+    // worker schedule (who lexed a header first); they describe *work
+    // saved*, never output, so they sit apart from the behavior counters.
+    let probes = report.pp.shared_cache_hits + report.pp.shared_cache_misses;
+    if probes > 0 {
+        r("shared cache hits", report.pp.shared_cache_hits.to_string());
+        r(
+            "shared cache misses",
+            report.pp.shared_cache_misses.to_string(),
+        );
+        r(
+            "shared cache hit rate",
+            format!("{:.3}", report.pp.shared_cache_hits as f64 / probes as f64),
+        );
+        r(
+            "lex nanos saved",
+            group_thousands(report.pp.lex_nanos_saved as f64),
+        );
+    }
+    let cx_probes = report.pp.condexpr_memo_hits + report.pp.condexpr_memo_misses;
+    if cx_probes > 0 {
+        r(
+            "condexpr memo hits",
+            report.pp.condexpr_memo_hits.to_string(),
+        );
+        r(
+            "condexpr memo hit rate",
+            format!(
+                "{:.3}",
+                report.pp.condexpr_memo_hits as f64 / cx_probes as f64
+            ),
+        );
+    }
+    if report.pp.expansion_memo_hits > 0 {
+        r(
+            "expansion memo hits",
+            report.pp.expansion_memo_hits.to_string(),
+        );
     }
     r("forks", report.parse.forks.to_string());
     r("merges", report.parse.merges.to_string());

@@ -83,7 +83,10 @@ fn typechef_baseline_agrees_on_results() {
 #[test]
 fn header_cache_shared_across_units() {
     let mut fs = MemFs::new();
-    fs.add("include/shared.h", "#ifndef S_H\n#define S_H\ntypedef int s32;\n#endif\n");
+    fs.add(
+        "include/shared.h",
+        "#ifndef S_H\n#define S_H\ntypedef int s32;\n#endif\n",
+    );
     fs.add("a.c", "#include <shared.h>\ns32 a;\n");
     fs.add("b.c", "#include <shared.h>\ns32 b;\n");
     let opts = Options {
@@ -110,7 +113,10 @@ mod corpus {
 
     fn fs() -> MemFs {
         MemFs::new()
-            .file("include/h.h", "#ifndef H\n#define H\ntypedef int u8_t;\n#endif\n")
+            .file(
+                "include/h.h",
+                "#ifndef H\n#define H\ntypedef int u8_t;\n#endif\n",
+            )
             .file("a.c", "#include <h.h>\nu8_t a;\n")
             .file("b.c", VARIABLE)
             .file("c.c", "int c(void) { return 3; }\n")
@@ -161,10 +167,14 @@ mod corpus {
                 unparse_configs: vec![vec![], vec!["CONFIG_SMP".to_string()]],
             },
             lint: None,
+            no_shared_cache: false,
         };
         let report = process_corpus(&fs(), &units(), &opts(), &copts);
         let b = &report.units[1];
-        assert!(b.preprocessed.as_deref().is_some_and(|t| t.contains("cpus")));
+        assert!(b
+            .preprocessed
+            .as_deref()
+            .is_some_and(|t| t.contains("cpus")));
         assert!(b.ast_text.is_some());
         assert_eq!(b.unparses.len(), 2);
         assert!(b.unparses[0].contains("cpus = 1"), "{}", b.unparses[0]);

@@ -17,14 +17,36 @@
 //!    subexpression by its normalized text (`NR_CPUS < 256` stays opaque
 //!    but identical occurrences share one variable).
 
+use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 
 use superc_cond::Cond;
 use superc_lexer::{Punct, SourcePos, Token, TokenKind};
+use superc_util::{FastSet, FxHasher};
 
 use crate::elements::{Element, HideSet, PTok};
 use crate::files::FileSystem;
+use crate::macrotable::MacroDef;
 use crate::preprocessor::{Preprocessor, Severity};
+use crate::stats::PpStats;
+
+/// Memo key for one conditional-expression evaluation: the expression's
+/// token signature, a signature of the macro environment its identifiers
+/// (transitively) resolve to, and the identity of the enclosing presence
+/// condition. All three determine the result, so equal keys may share it.
+pub(crate) type CondExprKey = (u64, u64, (u8, u64));
+
+/// Memoized result of one conditional-expression evaluation, plus the
+/// [`PpStats`] delta its (expansion-heavy) evaluation produced so a memo
+/// hit replays the counters and reports stay byte-identical with an
+/// unmemoized run.
+#[derive(Clone)]
+pub(crate) struct CondExprEntry {
+    cond: Cond,
+    hoisted: bool,
+    nonbool: bool,
+    delta: PpStats,
+}
 
 /// Normalizes an expression's token spelling: single spaces between
 /// tokens, comments and layout dropped. This is the variable-interning key
@@ -364,7 +386,9 @@ impl<'t> ExprParser<'t> {
             }
             _ => {
                 let text = t.text().to_string();
-                self.fail(&format!("unexpected token '{text}' in conditional expression"))
+                self.fail(&format!(
+                    "unexpected token '{text}' in conditional expression"
+                ))
             }
         }
     }
@@ -386,12 +410,8 @@ impl<'t> ExprParser<'t> {
         match (&l, &r) {
             (V::Int(a), V::Int(b)) => V::Int(f(*a, *b) as i64),
             // Comparing two conditions for equality folds to a condition.
-            (V::Bool(a), V::Bool(b)) if op == "==" => V::Bool(
-                a.and(b).or(&a.not().and(&b.not())),
-            ),
-            (V::Bool(a), V::Bool(b)) if op == "!=" => {
-                V::Bool(a.and(&b.not()).or(&a.not().and(b)))
-            }
+            (V::Bool(a), V::Bool(b)) if op == "==" => V::Bool(a.and(b).or(&a.not().and(&b.not()))),
+            (V::Bool(a), V::Bool(b)) if op == "!=" => V::Bool(a.and(&b.not()).or(&a.not().and(b))),
             _ => {
                 self.nonbool = true;
                 V::Opaque(format!("{} {op} {}", self.to_text(&l), self.to_text(&r)))
@@ -442,7 +462,146 @@ impl<F: FileSystem> Preprocessor<F> {
     /// restricted to `c`. Returns the condition plus flags: whether a
     /// multiply-defined macro was hoisted around the expression, and
     /// whether opaque non-boolean subterms appeared.
+    ///
+    /// Results are memoized per worker: repeated guard expressions (the
+    /// same header's `#ifndef` re-evaluated in every unit, the same
+    /// `#if defined(...)` ladder across files) skip expansion, hoisting,
+    /// and the BDD applies entirely. The memo key covers everything the
+    /// evaluation can observe — see [`Preprocessor::condexpr_memo_key`] —
+    /// and memo hits replay the exact counter mutations of the original
+    /// evaluation, so all deterministic statistics are unchanged.
     pub(crate) fn eval_cond_expr(
+        &mut self,
+        tokens: &[Token],
+        c: &Cond,
+        pos: SourcePos,
+    ) -> (Cond, bool, bool) {
+        let key = self.condexpr_memo_key(tokens, c);
+        if let Some(key) = key {
+            if let Some(e) = self.condexpr_memo.get(&key) {
+                let e = e.clone();
+                self.stats.apply_delta(&e.delta);
+                self.stats.condexpr_memo_hits += 1;
+                return (e.cond, e.hoisted, e.nonbool);
+            }
+        }
+        let diags_before = self.diags.len();
+        let stats_before = self.stats;
+        let (cond, hoisted, nonbool) = self.eval_cond_expr_uncached(tokens, c, pos);
+        let delta = self.stats.delta_since(&stats_before);
+        self.stats.condexpr_memo_misses += 1;
+        // Evaluations that emitted diagnostics are not memoized: a hit
+        // would have to replay position-tagged diagnostics too, and such
+        // expressions (hoist blow-ups, parse errors) are rare by design.
+        if self.diags.len() == diags_before {
+            if let Some(key) = key {
+                self.condexpr_memo.insert(
+                    key,
+                    CondExprEntry {
+                        cond: cond.clone(),
+                        hoisted,
+                        nonbool,
+                        delta,
+                    },
+                );
+            }
+        }
+        (cond, hoisted, nonbool)
+    }
+
+    /// The memo key for evaluating `tokens` under `c`, or `None` when the
+    /// expression is not safely memoizable.
+    ///
+    /// The signature must cover every input the evaluation reads:
+    ///
+    /// * the expression's tokens (kind, spelling, spacing);
+    /// * the enclosing presence condition (by stable handle identity);
+    /// * for every identifier the expression mentions — *transitively
+    ///   through macro bodies*, since expansion rescans — the macro
+    ///   table's entry list for that name (entry conditions by handle,
+    ///   definitions by content, so per-unit rebuilt builtins still
+    ///   match) and its include-guard bit (§3.2 case 4a).
+    ///
+    /// Definition bodies are hashed by content rather than pointer
+    /// because built-ins and command-line defines are re-lexed into
+    /// fresh `Rc`s every unit; content hashing is what lets the memo hit
+    /// *across* units. `__FILE__`/`__LINE__` (when not shadowed) expand
+    /// position-dependently, so expressions reaching them bail out.
+    fn condexpr_memo_key(&self, tokens: &[Token], c: &Cond) -> Option<CondExprKey> {
+        fn hash_tok(h: &mut FxHasher, t: &Token) {
+            t.kind.hash(h);
+            (*t.text).hash(h);
+            t.ws_before.hash(h);
+        }
+        let mut eh = FxHasher::default();
+        for t in tokens {
+            hash_tok(&mut eh, t);
+        }
+        let expr_sig = eh.finish();
+
+        let mut env = FxHasher::default();
+        let mut seen: FastSet<Rc<str>> = FastSet::default();
+        let mut work: Vec<Rc<str>> = tokens
+            .iter()
+            .filter(|t| t.is_ident() && t.text() != "defined")
+            .map(|t| t.text.clone())
+            .collect();
+        while let Some(name) = work.pop() {
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            if (&*name == "__FILE__" || &*name == "__LINE__") && !self.table.mentioned(&name) {
+                return None;
+            }
+            (*name).hash(&mut env);
+            env.write_u8(self.table.is_guard(&name) as u8);
+            match self.table.entries(&name) {
+                None => env.write_u8(0),
+                Some(entries) => {
+                    env.write_u8(1);
+                    env.write_usize(entries.len());
+                    for e in entries {
+                        e.cond.memo_key().hash(&mut env);
+                        match &e.def {
+                            None => env.write_u8(0),
+                            Some(def) => {
+                                let body = match &**def {
+                                    MacroDef::Object { body } => {
+                                        env.write_u8(1);
+                                        body
+                                    }
+                                    MacroDef::Function {
+                                        params,
+                                        variadic,
+                                        body,
+                                    } => {
+                                        env.write_u8(2);
+                                        env.write_usize(params.len());
+                                        for p in params {
+                                            (**p).hash(&mut env);
+                                        }
+                                        variadic.hash(&mut env);
+                                        body
+                                    }
+                                };
+                                env.write_usize(body.len());
+                                for t in body {
+                                    hash_tok(&mut env, t);
+                                    if t.is_ident() && t.text() != "defined" {
+                                        work.push(t.text.clone());
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Some((expr_sig, env.finish(), c.memo_key()))
+    }
+
+    /// The unmemoized four-step evaluation (see the module docs).
+    fn eval_cond_expr_uncached(
         &mut self,
         tokens: &[Token],
         c: &Cond,
@@ -455,21 +614,20 @@ impl<F: FileSystem> Preprocessor<F> {
         while i < tokens.len() {
             let t = &tokens[i];
             if t.is_ident() && t.text() == "defined" {
-                let (name, skip) = if tokens.get(i + 1).map(|t| t.is_punct(Punct::LParen))
-                    == Some(true)
-                {
-                    match (tokens.get(i + 2), tokens.get(i + 3)) {
-                        (Some(n), Some(r)) if n.is_ident() && r.is_punct(Punct::RParen) => {
-                            (Some(n.text.clone()), 4)
+                let (name, skip) =
+                    if tokens.get(i + 1).map(|t| t.is_punct(Punct::LParen)) == Some(true) {
+                        match (tokens.get(i + 2), tokens.get(i + 3)) {
+                            (Some(n), Some(r)) if n.is_ident() && r.is_punct(Punct::RParen) => {
+                                (Some(n.text.clone()), 4)
+                            }
+                            _ => (None, 1),
                         }
-                        _ => (None, 1),
-                    }
-                } else {
-                    match tokens.get(i + 1) {
-                        Some(n) if n.is_ident() => (Some(n.text.clone()), 2),
-                        _ => (None, 1),
-                    }
-                };
+                    } else {
+                        match tokens.get(i + 1) {
+                            Some(n) if n.is_ident() => (Some(n.text.clone()), 2),
+                            _ => (None, 1),
+                        }
+                    };
                 match name {
                     Some(name) => {
                         let cond = self.defined_as_cond(&name, c);

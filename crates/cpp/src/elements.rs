@@ -146,9 +146,7 @@ pub fn count_tokens(elements: &[Element]) -> usize {
         .iter()
         .map(|e| match e {
             Element::Token(_) => 1,
-            Element::Conditional(c) => {
-                c.branches.iter().map(|b| count_tokens(&b.elements)).sum()
-            }
+            Element::Conditional(c) => c.branches.iter().map(|b| count_tokens(&b.elements)).sum(),
         })
         .sum()
 }
@@ -179,8 +177,8 @@ pub fn display_elements(elements: &[Element], out: &mut String) {
         match e {
             Element::Token(t) => {
                 let after_ws = t.tok.ws_before && !out.ends_with([' ', '\n']);
-                let fusing = !out.ends_with([' ', '\n', '(', '[', '{', '#'])
-                    && needs_space(out, t.text());
+                let fusing =
+                    !out.ends_with([' ', '\n', '(', '[', '{', '#']) && needs_space(out, t.text());
                 if !out.is_empty() && (after_ws || fusing) {
                     out.push(' ');
                 }

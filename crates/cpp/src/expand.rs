@@ -206,9 +206,43 @@ impl<F: FileSystem> Preprocessor<F> {
         if residual.is_false() && defined.len() == 1 {
             let def = defined[0].def.clone().expect("defined entry");
             match &*def {
-                MacroDef::Object { .. } => {
+                MacroDef::Object { body } => {
                     self.count_invocation(&t, &name);
                     let hide = t.hide.insert(name.clone());
+                    // Closed-body fast path: a body with no identifiers and
+                    // no `##` substitutes to itself verbatim (modulo the
+                    // leading-whitespace fixup) and its output can never
+                    // re-expand, so the substitute + requeue + rescan cycle
+                    // collapses to a direct splice. The memo pins the
+                    // definition `Rc` so the address key stays unique for
+                    // the unit.
+                    let key = Rc::as_ptr(&def) as usize;
+                    let template = match self.expansion_memo.get(&key) {
+                        Some((_, tmpl)) => {
+                            self.stats.expansion_memo_hits += 1;
+                            Some(Rc::clone(tmpl))
+                        }
+                        None if body_is_closed(body) => {
+                            let tmpl = Rc::new(body.clone());
+                            self.expansion_memo
+                                .insert(key, (Rc::clone(&def), Rc::clone(&tmpl)));
+                            Some(tmpl)
+                        }
+                        None => None,
+                    };
+                    if let Some(tmpl) = template {
+                        for (i, tok) in tmpl.iter().enumerate() {
+                            let mut tok = tok.clone();
+                            if i == 0 {
+                                tok.ws_before = t.tok.ws_before;
+                            }
+                            out.push(Element::Token(PTok {
+                                tok,
+                                hide: hide.clone(),
+                            }));
+                        }
+                        return;
+                    }
                     let subst = self.substitute(&def, &name, None, hide, &t, c);
                     push_front_all(items, subst);
                 }
@@ -259,9 +293,9 @@ impl<F: FileSystem> Preprocessor<F> {
                                                         .collect(),
                                                 })
                                                 .collect();
-                                            items.push_front(Element::Conditional(
-                                                Conditional { branches },
-                                            ));
+                                            items.push_front(Element::Conditional(Conditional {
+                                                branches,
+                                            }));
                                         }
                                         None => out.extend(full),
                                     }
@@ -306,10 +340,7 @@ impl<F: FileSystem> Preprocessor<F> {
                         for (fc, toks) in flats {
                             let mut elements = vec![Element::Token(t.clone())];
                             elements.extend(toks.into_iter().map(Element::Token));
-                            branches.push(Branch {
-                                cond: fc,
-                                elements,
-                            });
+                            branches.push(Branch { cond: fc, elements });
                         }
                     }
                     None => {
@@ -652,8 +683,7 @@ impl<F: FileSystem> Preprocessor<F> {
             // Stringification: `# param` (function-like only).
             if tok.is_punct(Punct::Hash) && !params.is_empty() {
                 if let Some(next) = body.get(i + 1) {
-                    if let Some(pi) = next.is_ident().then(|| param_index(next.text())).flatten()
-                    {
+                    if let Some(pi) = next.is_ident().then(|| param_index(next.text())).flatten() {
                         let arg = args.get(pi).map(|a| a.as_slice()).unwrap_or(&[]);
                         out.extend(self.stringify(arg, tok, c));
                         i += 2;
@@ -669,7 +699,10 @@ impl<F: FileSystem> Preprocessor<F> {
                 loop {
                     let t = &body[j];
                     if let Some(pi) = t.is_ident().then(|| param_index(t.text())).flatten() {
-                        chain.push(Item::Arg(pi, args.get(pi).map(|a| a.as_slice()).unwrap_or(&[])));
+                        chain.push(Item::Arg(
+                            pi,
+                            args.get(pi).map(|a| a.as_slice()).unwrap_or(&[]),
+                        ));
                     } else {
                         chain.push(Item::Tok(t));
                     }
@@ -935,6 +968,15 @@ impl<F: FileSystem> Preprocessor<F> {
             hash_tok.ws_before,
         ))
     }
+}
+
+/// True for object-macro bodies whose expansion is a verbatim splice:
+/// no identifiers (nothing can re-expand on rescan, and there are no
+/// parameters to substitute) and no `##` (no pasting side effects).
+/// A lone `#` is an ordinary token in object-like bodies.
+fn body_is_closed(body: &[Token]) -> bool {
+    body.iter()
+        .all(|t| !t.is_ident() && !t.is_punct(Punct::HashHash))
 }
 
 fn set_leading_ws(elems: &mut [Element], ws: bool) {

@@ -51,6 +51,7 @@ mod expand;
 mod files;
 mod macrotable;
 mod preprocessor;
+mod sharedcache;
 mod stats;
 
 pub use condexpr::normalize_expr_text;
@@ -61,6 +62,7 @@ pub use preprocessor::{
     Builtins, CompilationUnit, DeadBranch, Diagnostic, PpError, PpOptions, Preprocessor, Severity,
     TestedMacro,
 };
+pub use sharedcache::{SharedArtifact, SharedCache};
 pub use stats::PpStats;
 
 #[cfg(test)]

@@ -340,6 +340,16 @@ impl MacroTable {
         (defined, free)
     }
 
+    /// The raw (un-narrowed) entry list for `name`, in table order, or
+    /// `None` when the name was never mentioned. Used by the
+    /// conditional-expression memo to hash the macro environment an
+    /// expression depends on.
+    pub fn entries(&self, name: &str) -> Option<&[MacroEntry]> {
+        self.sym(name)
+            .and_then(|s| self.map.get(&s))
+            .map(|v| v.as_slice())
+    }
+
     /// Registers `name` as an include-guard macro.
     pub fn register_guard(&mut self, name: Rc<str>) {
         let sym = self.interner.intern_rc(&name);

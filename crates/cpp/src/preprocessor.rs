@@ -5,14 +5,18 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use superc_cond::{Cond, CondCtx};
 use superc_lexer::{lex, FileId, LexError, Punct, SourcePos, Token, TokenKind};
+use superc_util::FastMap;
 
+use crate::condexpr::{CondExprEntry, CondExprKey};
 use crate::directives::{detect_guard, structure, RawItem, RawTest};
 use crate::elements::{self, Branch, Conditional, Element, PTok};
 use crate::files::FileSystem;
 use crate::macrotable::{MacroDef, MacroTable};
+use crate::sharedcache::{SharedArtifact, SharedCache};
 use crate::stats::PpStats;
 
 /// A fatal preprocessing error (lexical error, unbalanced conditionals,
@@ -239,7 +243,23 @@ pub struct Preprocessor<F: FileSystem> {
     dead_branches: Vec<DeadBranch>,
     tested_macros: Vec<TestedMacro>,
     pub(crate) builtin_names: HashSet<String>,
+    /// Per-worker (L1) cache of lexed+structured files, keyed by path.
     file_cache: HashMap<String, Rc<CachedFile>>,
+    /// Optional process-wide (L2) artifact cache shared across workers;
+    /// probed on L1 misses, fed on lexes. `None` runs the worker fully
+    /// isolated (the `--no-shared-cache` escape hatch).
+    shared: Option<Arc<SharedCache>>,
+    /// Per-worker conditional-expression memo: presence conditions and
+    /// replayable counter deltas for previously evaluated `#if`/`#elif`
+    /// expressions. Persists across units — `Cond` handles stay valid
+    /// because the worker's condition context does — but never crosses
+    /// workers, whose BDD variable orders differ.
+    pub(crate) condexpr_memo: FastMap<CondExprKey, CondExprEntry>,
+    /// Per-unit memo of "closed" object-like macro bodies (no identifiers,
+    /// no `##`): expansion is a verbatim body splice, so repeat
+    /// invocations skip substitution and rescanning. Keyed by definition
+    /// address; the kept `Rc<MacroDef>` pins the address for the unit.
+    pub(crate) expansion_memo: FastMap<usize, (Rc<MacroDef>, Rc<Vec<Token>>)>,
     file_ids: HashMap<String, FileId>,
     file_names: Vec<String>,
     file_stack: Vec<String>,
@@ -252,12 +272,7 @@ pub struct Preprocessor<F: FileSystem> {
 impl<F: FileSystem> Preprocessor<F> {
     /// Creates a preprocessor over `fs` with the given condition context.
     pub fn new(ctx: CondCtx, opts: PpOptions, fs: F) -> Self {
-        let builtin_names = opts
-            .builtins
-            .defs
-            .iter()
-            .map(|(n, _)| n.clone())
-            .collect();
+        let builtin_names = opts.builtins.defs.iter().map(|(n, _)| n.clone()).collect();
         let table = MacroTable::with_interner(ctx.interner());
         Preprocessor {
             ctx,
@@ -270,6 +285,9 @@ impl<F: FileSystem> Preprocessor<F> {
             tested_macros: Vec::new(),
             builtin_names,
             file_cache: HashMap::new(),
+            shared: None,
+            condexpr_memo: FastMap::default(),
+            expansion_memo: FastMap::default(),
             file_ids: HashMap::new(),
             file_names: Vec::new(),
             file_stack: Vec::new(),
@@ -283,6 +301,13 @@ impl<F: FileSystem> Preprocessor<F> {
     /// The condition context conditions are built in.
     pub fn ctx(&self) -> &CondCtx {
         &self.ctx
+    }
+
+    /// Attaches a process-wide shared artifact cache (L2); see
+    /// [`crate::sharedcache`] — typically called once per worker by the
+    /// corpus driver, with every worker handed a clone of the same `Arc`.
+    pub fn set_shared_cache(&mut self, cache: Arc<SharedCache>) {
+        self.shared = Some(cache);
     }
 
     /// The macro table as of the last `preprocess` call (tests/inspection).
@@ -330,7 +355,13 @@ impl<F: FileSystem> Preprocessor<F> {
         }
     }
 
-    pub(crate) fn diag(&mut self, severity: Severity, pos: SourcePos, cond: &Cond, message: String) {
+    pub(crate) fn diag(
+        &mut self,
+        severity: Severity,
+        pos: SourcePos,
+        cond: &Cond,
+        message: String,
+    ) {
         self.diags.push(Diagnostic {
             severity,
             pos,
@@ -366,6 +397,30 @@ impl<F: FileSystem> Preprocessor<F> {
             self.stats.bytes_processed += f.bytes as u64;
             return Ok(f);
         }
+        // L2 probe: another worker (or an earlier unit here) may already
+        // have lexed this path. Thaw into a worker-local `Rc` tree under
+        // this worker's file id — everything downstream is then
+        // byte-identical with a cache-off run, only the lex is skipped.
+        if let Some(shared) = self.shared.clone() {
+            if let Some(art) = shared.get(path) {
+                let id = self.file_id(path);
+                let (items, guard) = art.thaw(id);
+                if let Some(g) = &guard {
+                    self.table.register_guard(g.clone());
+                }
+                let cached = Rc::new(CachedFile {
+                    items,
+                    guard,
+                    bytes: art.bytes,
+                });
+                self.file_cache.insert(path.to_string(), Rc::clone(&cached));
+                self.stats.shared_cache_hits += 1;
+                self.stats.lex_nanos_saved += art.lex_nanos;
+                self.stats.files_processed += 1;
+                self.stats.bytes_processed += cached.bytes as u64;
+                return Ok(cached);
+            }
+        }
         let src = self.fs.read(path).ok_or_else(|| PpError {
             pos: SourcePos::default(),
             message: format!("file not found: {path}"),
@@ -375,6 +430,7 @@ impl<F: FileSystem> Preprocessor<F> {
         let tokens = lex(&src, id)?;
         self.stats.lex_nanos += lex_start.elapsed().as_nanos() as u64;
         let items = structure(&tokens)?;
+        let produce_nanos = lex_start.elapsed().as_nanos() as u64;
         let guard = detect_guard(&items);
         if let Some(g) = &guard {
             self.table.register_guard(g.clone());
@@ -384,6 +440,19 @@ impl<F: FileSystem> Preprocessor<F> {
             guard,
             bytes: src.len(),
         });
+        if let Some(shared) = &self.shared {
+            // Publish for other workers; on a race the first writer wins
+            // (identical content either way). Failed lexes never get here,
+            // so the error path stays identical to the cache-off pipeline.
+            self.stats.shared_cache_misses += 1;
+            let art = SharedArtifact::freeze(
+                &cached.items,
+                cached.guard.as_ref(),
+                cached.bytes,
+                produce_nanos,
+            );
+            shared.insert(path, art);
+        }
         self.file_cache.insert(path.to_string(), Rc::clone(&cached));
         self.stats.files_processed += 1;
         self.stats.bytes_processed += cached.bytes as u64;
@@ -409,6 +478,15 @@ impl<F: FileSystem> Preprocessor<F> {
         self.file_stack.clear();
         self.max_depth_seen = 0;
         self.poisoned = false;
+        // The expansion memo is deliberately per-unit: pinned `Rc`s must
+        // not outlive the macro table they came from, and a fresh memo per
+        // unit keeps *direct* hits a pure function of the unit. (The
+        // condexpr memo persists — its Cond handles outlive units — and
+        // replays counter deltas instead; since a replayed delta carries
+        // the original evaluation's memo-hit gauges, all memo hit/miss
+        // counters are schedule-dependent and excluded from determinism
+        // comparisons.)
+        self.expansion_memo.clear();
 
         // Install built-ins and command-line definitions under `true`.
         let defs: Vec<(String, String)> = self
@@ -427,8 +505,11 @@ impl<F: FileSystem> Preprocessor<F> {
                 .filter(|t| !matches!(t.kind, TokenKind::Newline | TokenKind::Eof))
                 .collect();
             let tru = self.ctx.tru();
-            self.table
-                .define(Rc::from(name.as_str()), Rc::new(MacroDef::Object { body }), &tru);
+            self.table.define(
+                Rc::from(name.as_str()),
+                Rc::new(MacroDef::Object { body }),
+                &tru,
+            );
         }
 
         let cached = self.load_cached(path)?;
@@ -580,12 +661,7 @@ impl<F: FileSystem> Preprocessor<F> {
                     self.stats.macro_definitions += 1;
                     if self.table.any_defined(name, c) {
                         self.stats.redefinitions += 1;
-                        self.diag(
-                            Severity::Note,
-                            *pos,
-                            c,
-                            format!("macro {name} redefined"),
-                        );
+                        self.diag(Severity::Note, *pos, c, format!("macro {name} redefined"));
                     }
                     let before = self.table.trims;
                     self.table.define_at(name.clone(), def.clone(), c, *pos);
@@ -734,9 +810,9 @@ impl<F: FileSystem> Preprocessor<F> {
             .last()
             .and_then(|f| f.rsplit_once('/').map(|(d, _)| d.to_string()))
             .unwrap_or_default();
-        let Some(path) =
-            self.fs
-                .resolve(name, system, &including_dir, &self.opts.include_paths)
+        let Some(path) = self
+            .fs
+            .resolve(name, system, &including_dir, &self.opts.include_paths)
         else {
             self.diag(
                 Severity::Warning,

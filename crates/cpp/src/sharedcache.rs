@@ -1,0 +1,483 @@
+//! Process-wide shared preprocessing artifact cache (the "L2").
+//!
+//! Corpus workers repeat the most expensive *configuration-independent*
+//! preprocessing work per worker: lexing a header and structuring its
+//! token stream into the raw directive tree ([`crate::directives`]).
+//! Those artifacts depend only on the file's bytes — never on the macro
+//! table, presence conditions, or worker identity — so one worker's lex
+//! can serve every other worker.
+//!
+//! The obstacle is that the per-worker caches hold `Rc`-based trees
+//! ([`Token`] text is `Rc<str>`, definitions are `Rc<MacroDef>`), which
+//! are not `Send`. This module mirrors the raw tree into `Arc`-based
+//! [`SharedItem`]s ("freeze"), stores them in a sharded, insert-once
+//! map, and converts back into a fresh `Rc` tree per worker ("thaw").
+//! Freezing content-dedups token spellings into shared `Arc<str>`s, so
+//! thawing can dedup by pointer alone — one `Rc<str>` per distinct
+//! spelling per worker, preserving the memory-sharing the per-worker
+//! cache already had.
+//!
+//! Two deliberate simplifications keep the cache coherent without any
+//! invalidation protocol:
+//!
+//! * **Insert-once / read-many.** Source files do not change during a
+//!   corpus run, so the first worker to lex a path publishes the
+//!   artifact and every later `insert` for that path adopts the
+//!   existing entry. There is no eviction and no invalidation.
+//! * **Positions are restamped on thaw.** Token positions embed the
+//!   lexing worker's [`FileId`], which is a per-worker notion; the
+//!   frozen form stores only line/column and the thaw stamps the local
+//!   worker's id so downstream behavior (diagnostics, `__FILE__`) is
+//!   byte-identical with a cache-off run.
+//!
+//! Failed lexes are *not* cached: errors are rare, unit-fatal, and
+//! re-deriving them per worker keeps the error path identical to the
+//! cache-off pipeline.
+
+use std::rc::Rc;
+use std::sync::{Arc, RwLock};
+
+use superc_lexer::{FileId, SourcePos, Token, TokenKind};
+use superc_util::{FastMap, FxBuildHasher};
+
+use crate::directives::{RawGroup, RawItem, RawTest};
+use crate::macrotable::MacroDef;
+
+/// Shard count; a small power of two is plenty — contention is already
+/// low because workers mostly *read* after the first few units warm the
+/// cache.
+const SHARDS: usize = 16;
+
+/// A frozen source position: line/column only. The owning artifact was
+/// lexed from a single file, so the [`FileId`] is carried once at thaw
+/// time rather than per token.
+#[derive(Clone, Copy, Debug)]
+struct FrozenPos {
+    line: u32,
+    col: u32,
+}
+
+impl FrozenPos {
+    fn freeze(pos: SourcePos) -> FrozenPos {
+        FrozenPos {
+            line: pos.line,
+            col: pos.col,
+        }
+    }
+
+    fn thaw(self, file: FileId) -> SourcePos {
+        SourcePos {
+            file,
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+/// A [`Token`] with its spelling promoted to `Arc<str>`.
+#[derive(Clone, Debug)]
+struct FrozenTok {
+    kind: TokenKind,
+    text: Arc<str>,
+    pos: FrozenPos,
+    ws_before: bool,
+}
+
+/// Mirror of [`MacroDef`] with shared spellings.
+#[derive(Debug)]
+enum FrozenDef {
+    Object {
+        body: Vec<FrozenTok>,
+    },
+    Function {
+        params: Vec<Arc<str>>,
+        variadic: bool,
+        body: Vec<FrozenTok>,
+    },
+}
+
+/// Mirror of [`RawTest`].
+#[derive(Debug)]
+enum FrozenTest {
+    Expr(Vec<FrozenTok>),
+    Ifdef(Arc<str>),
+    Ifndef(Arc<str>),
+    Else,
+}
+
+/// Mirror of [`RawGroup`].
+#[derive(Debug)]
+struct FrozenGroup {
+    test: FrozenTest,
+    items: Vec<SharedItem>,
+    pos: FrozenPos,
+}
+
+/// Mirror of [`RawItem`] over `Arc`-based leaves; `Send + Sync` so whole
+/// directive trees can cross worker threads.
+#[derive(Debug)]
+enum SharedItem {
+    Text(Vec<FrozenTok>),
+    Define {
+        name: Arc<str>,
+        def: Arc<FrozenDef>,
+        pos: FrozenPos,
+    },
+    Undef {
+        name: Arc<str>,
+        pos: FrozenPos,
+    },
+    Include {
+        tokens: Vec<FrozenTok>,
+        pos: FrozenPos,
+    },
+    Conditional {
+        groups: Vec<FrozenGroup>,
+        pos: FrozenPos,
+    },
+    Error {
+        tokens: Vec<FrozenTok>,
+        pos: FrozenPos,
+    },
+    Warning {
+        tokens: Vec<FrozenTok>,
+        pos: FrozenPos,
+    },
+    Pragma {
+        tokens: Vec<FrozenTok>,
+        pos: FrozenPos,
+    },
+    Line {
+        tokens: Vec<FrozenTok>,
+        pos: FrozenPos,
+    },
+}
+
+/// One file's frozen preprocessing artifact: the structured directive
+/// tree, the detected include guard, and the cost metadata the consumer
+/// credits on a hit.
+#[derive(Debug)]
+pub struct SharedArtifact {
+    items: Vec<SharedItem>,
+    guard: Option<Arc<str>>,
+    /// Source size in bytes (drives `bytes_processed` accounting).
+    pub bytes: usize,
+    /// What the producing worker spent lexing + structuring this file;
+    /// credited to `lex_nanos_saved` on every shared-cache hit.
+    pub lex_nanos: u64,
+}
+
+/// Freeze-side interning state: one `Arc<str>` per distinct spelling.
+#[derive(Default)]
+struct Freezer {
+    strs: FastMap<String, Arc<str>>,
+}
+
+impl Freezer {
+    fn text(&mut self, s: &str) -> Arc<str> {
+        if let Some(a) = self.strs.get(s) {
+            return Arc::clone(a);
+        }
+        let a: Arc<str> = Arc::from(s);
+        self.strs.insert(s.to_string(), Arc::clone(&a));
+        a
+    }
+
+    fn tok(&mut self, t: &Token) -> FrozenTok {
+        FrozenTok {
+            kind: t.kind,
+            text: self.text(&t.text),
+            pos: FrozenPos::freeze(t.pos),
+            ws_before: t.ws_before,
+        }
+    }
+
+    fn toks(&mut self, ts: &[Token]) -> Vec<FrozenTok> {
+        ts.iter().map(|t| self.tok(t)).collect()
+    }
+
+    fn def(&mut self, d: &MacroDef) -> FrozenDef {
+        match d {
+            MacroDef::Object { body } => FrozenDef::Object {
+                body: self.toks(body),
+            },
+            MacroDef::Function {
+                params,
+                variadic,
+                body,
+            } => FrozenDef::Function {
+                params: params.iter().map(|p| self.text(p)).collect(),
+                variadic: *variadic,
+                body: self.toks(body),
+            },
+        }
+    }
+
+    fn item(&mut self, item: &RawItem) -> SharedItem {
+        match item {
+            RawItem::Text(ts) => SharedItem::Text(self.toks(ts)),
+            RawItem::Define { name, def, pos } => SharedItem::Define {
+                name: self.text(name),
+                def: Arc::new(self.def(def)),
+                pos: FrozenPos::freeze(*pos),
+            },
+            RawItem::Undef { name, pos } => SharedItem::Undef {
+                name: self.text(name),
+                pos: FrozenPos::freeze(*pos),
+            },
+            RawItem::Include { tokens, pos } => SharedItem::Include {
+                tokens: self.toks(tokens),
+                pos: FrozenPos::freeze(*pos),
+            },
+            RawItem::Conditional { groups, pos } => SharedItem::Conditional {
+                groups: groups.iter().map(|g| self.group(g)).collect(),
+                pos: FrozenPos::freeze(*pos),
+            },
+            RawItem::Error { tokens, pos } => SharedItem::Error {
+                tokens: self.toks(tokens),
+                pos: FrozenPos::freeze(*pos),
+            },
+            RawItem::Warning { tokens, pos } => SharedItem::Warning {
+                tokens: self.toks(tokens),
+                pos: FrozenPos::freeze(*pos),
+            },
+            RawItem::Pragma { tokens, pos } => SharedItem::Pragma {
+                tokens: self.toks(tokens),
+                pos: FrozenPos::freeze(*pos),
+            },
+            RawItem::Line { tokens, pos } => SharedItem::Line {
+                tokens: self.toks(tokens),
+                pos: FrozenPos::freeze(*pos),
+            },
+        }
+    }
+
+    fn group(&mut self, g: &RawGroup) -> FrozenGroup {
+        let test = match &g.test {
+            RawTest::Expr(ts) => FrozenTest::Expr(self.toks(ts)),
+            RawTest::Ifdef(n) => FrozenTest::Ifdef(self.text(n)),
+            RawTest::Ifndef(n) => FrozenTest::Ifndef(self.text(n)),
+            RawTest::Else => FrozenTest::Else,
+        };
+        FrozenGroup {
+            test,
+            items: g.items.iter().map(|i| self.item(i)).collect(),
+            pos: FrozenPos::freeze(g.pos),
+        }
+    }
+}
+
+/// Thaw-side state: pointer-keyed because the freeze already
+/// content-deduped every spelling, so `Arc` identity *is* content
+/// identity — an O(1) lookup with no string hashing.
+struct Thawer {
+    file: FileId,
+    strs: FastMap<usize, Rc<str>>,
+}
+
+impl Thawer {
+    fn text(&mut self, s: &Arc<str>) -> Rc<str> {
+        let key = Arc::as_ptr(s) as *const u8 as usize;
+        if let Some(r) = self.strs.get(&key) {
+            return Rc::clone(r);
+        }
+        let r: Rc<str> = Rc::from(&**s);
+        self.strs.insert(key, Rc::clone(&r));
+        r
+    }
+
+    fn tok(&mut self, t: &FrozenTok) -> Token {
+        Token {
+            kind: t.kind,
+            text: self.text(&t.text),
+            pos: t.pos.thaw(self.file),
+            ws_before: t.ws_before,
+        }
+    }
+
+    fn toks(&mut self, ts: &[FrozenTok]) -> Vec<Token> {
+        ts.iter().map(|t| self.tok(t)).collect()
+    }
+
+    fn def(&mut self, d: &FrozenDef) -> MacroDef {
+        match d {
+            FrozenDef::Object { body } => MacroDef::Object {
+                body: self.toks(body),
+            },
+            FrozenDef::Function {
+                params,
+                variadic,
+                body,
+            } => MacroDef::Function {
+                params: params.iter().map(|p| self.text(p)).collect(),
+                variadic: *variadic,
+                body: self.toks(body),
+            },
+        }
+    }
+
+    fn item(&mut self, item: &SharedItem) -> RawItem {
+        match item {
+            SharedItem::Text(ts) => RawItem::Text(self.toks(ts)),
+            SharedItem::Define { name, def, pos } => RawItem::Define {
+                name: self.text(name),
+                def: Rc::new(self.def(def)),
+                pos: pos.thaw(self.file),
+            },
+            SharedItem::Undef { name, pos } => RawItem::Undef {
+                name: self.text(name),
+                pos: pos.thaw(self.file),
+            },
+            SharedItem::Include { tokens, pos } => RawItem::Include {
+                tokens: self.toks(tokens),
+                pos: pos.thaw(self.file),
+            },
+            SharedItem::Conditional { groups, pos } => RawItem::Conditional {
+                groups: groups.iter().map(|g| self.group(g)).collect(),
+                pos: pos.thaw(self.file),
+            },
+            SharedItem::Error { tokens, pos } => RawItem::Error {
+                tokens: self.toks(tokens),
+                pos: pos.thaw(self.file),
+            },
+            SharedItem::Warning { tokens, pos } => RawItem::Warning {
+                tokens: self.toks(tokens),
+                pos: pos.thaw(self.file),
+            },
+            SharedItem::Pragma { tokens, pos } => RawItem::Pragma {
+                tokens: self.toks(tokens),
+                pos: pos.thaw(self.file),
+            },
+            SharedItem::Line { tokens, pos } => RawItem::Line {
+                tokens: self.toks(tokens),
+                pos: pos.thaw(self.file),
+            },
+        }
+    }
+
+    fn group(&mut self, g: &FrozenGroup) -> RawGroup {
+        let test = match &g.test {
+            FrozenTest::Expr(ts) => RawTest::Expr(self.toks(ts)),
+            FrozenTest::Ifdef(n) => RawTest::Ifdef(self.text(n)),
+            FrozenTest::Ifndef(n) => RawTest::Ifndef(self.text(n)),
+            FrozenTest::Else => RawTest::Else,
+        };
+        RawGroup {
+            test,
+            items: g.items.iter().map(|i| self.item(i)).collect(),
+            pos: g.pos.thaw(self.file),
+        }
+    }
+}
+
+impl SharedArtifact {
+    /// Freezes one file's raw directive tree into the shareable form,
+    /// content-deduplicating spellings.
+    pub fn freeze(
+        items: &[RawItem],
+        guard: Option<&Rc<str>>,
+        bytes: usize,
+        lex_nanos: u64,
+    ) -> SharedArtifact {
+        let mut fz = Freezer::default();
+        let items = items.iter().map(|i| fz.item(i)).collect();
+        let guard = guard.map(|g| fz.text(g));
+        SharedArtifact {
+            items,
+            guard,
+            bytes,
+            lex_nanos,
+        }
+    }
+
+    /// Rebuilds a worker-local `Rc` tree, stamping `file` — the *local*
+    /// worker's id for this path — onto every position so downstream
+    /// output matches a cache-off run byte for byte.
+    pub fn thaw(&self, file: FileId) -> (Vec<RawItem>, Option<Rc<str>>) {
+        let mut th = Thawer {
+            file,
+            strs: FastMap::default(),
+        };
+        let items = self.items.iter().map(|i| th.item(i)).collect();
+        let guard = self.guard.as_ref().map(|g| th.text(g));
+        (items, guard)
+    }
+}
+
+/// The sharded insert-once/read-many artifact map. One instance per
+/// corpus run, shared by `Arc` across workers; see the module docs for
+/// the coherence argument.
+/// One lock-guarded slice of the path → artifact map.
+type Shard = RwLock<FastMap<String, Arc<SharedArtifact>>>;
+
+pub struct SharedCache {
+    shards: Box<[Shard]>,
+}
+
+impl Default for SharedCache {
+    fn default() -> Self {
+        SharedCache::new()
+    }
+}
+
+impl SharedCache {
+    /// An empty cache with a fixed shard count.
+    pub fn new() -> SharedCache {
+        let shards = (0..SHARDS)
+            .map(|_| RwLock::new(FastMap::default()))
+            .collect();
+        SharedCache { shards }
+    }
+
+    fn shard(&self, path: &str) -> &Shard {
+        use std::hash::BuildHasher;
+        let h = FxBuildHasher::default().hash_one(path);
+        &self.shards[(h as usize) % SHARDS]
+    }
+
+    /// The artifact for `path`, if some worker already published one.
+    pub fn get(&self, path: &str) -> Option<Arc<SharedArtifact>> {
+        self.shard(path)
+            .read()
+            .expect("shared cache shard poisoned")
+            .get(path)
+            .map(Arc::clone)
+    }
+
+    /// Publishes an artifact for `path`. First writer wins: if another
+    /// worker raced us here, their artifact is returned and `artifact`
+    /// is dropped — both were frozen from the same immutable bytes, so
+    /// either is correct, and keeping the incumbent maximizes sharing.
+    pub fn insert(&self, path: &str, artifact: SharedArtifact) -> Arc<SharedArtifact> {
+        let mut shard = self
+            .shard(path)
+            .write()
+            .expect("shared cache shard poisoned");
+        if let Some(existing) = shard.get(path) {
+            return Arc::clone(existing);
+        }
+        let arc = Arc::new(artifact);
+        shard.insert(path.to_string(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Number of cached artifacts across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shared cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when no artifact has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// The whole point of the mirror types: artifacts must cross threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SharedCache>();
+    assert_send_sync::<SharedArtifact>();
+};

@@ -69,6 +69,28 @@ pub struct PpStats {
     /// Nanoseconds spent in the lexer (Figure 10's "lexing" share;
     /// cached headers contribute their first lex only).
     pub lex_nanos: u64,
+    /// Headers served from the process-wide shared artifact cache
+    /// (another worker — or an earlier unit — already lexed them).
+    /// Schedule-dependent: excluded from determinism comparisons.
+    pub shared_cache_hits: u64,
+    /// Headers this worker lexed and published to the shared cache.
+    /// Schedule-dependent: excluded from determinism comparisons.
+    pub shared_cache_misses: u64,
+    /// Nanoseconds of lexing+structuring avoided by shared-cache hits
+    /// (the original producer's cost, credited on each hit).
+    pub lex_nanos_saved: u64,
+    /// Conditional-expression evaluations served from the per-worker
+    /// memo. Schedule-dependent: excluded from determinism comparisons.
+    pub condexpr_memo_hits: u64,
+    /// Conditional-expression evaluations that ran in full and seeded
+    /// the memo. Schedule-dependent like the hits.
+    pub condexpr_memo_misses: u64,
+    /// Object-like macro expansions served from the per-unit closed-body
+    /// memo. The memo itself resets every compilation unit, but a
+    /// condexpr-memo hit replays the *original* evaluation's expansion
+    /// hits (whatever the memo's warmth was then), so this counter is
+    /// schedule-dependent too and excluded from determinism comparisons.
+    pub expansion_memo_hits: u64,
 }
 
 impl PpStats {
@@ -105,7 +127,72 @@ impl PpStats {
             files_processed,
             bytes_processed,
             lex_nanos,
+            shared_cache_hits,
+            shared_cache_misses,
+            lex_nanos_saved,
+            condexpr_memo_hits,
+            condexpr_memo_misses,
+            expansion_memo_hits,
         );
         self.max_depth = self.max_depth.max(other.max_depth);
+    }
+
+    /// Field-wise saturating difference `self - earlier`, used by the
+    /// conditional-expression memo to capture the counter mutations one
+    /// evaluation performed so a later memo hit can replay them exactly.
+    /// `max_depth` carries the later snapshot's value (it is a running
+    /// maximum, not a sum; the replay site restores it with `max`).
+    pub fn delta_since(&self, earlier: &PpStats) -> PpStats {
+        macro_rules! sub {
+            ($($f:ident),+ $(,)?) => {
+                PpStats {
+                    $( $f: self.$f.saturating_sub(earlier.$f), )+
+                    max_depth: self.max_depth,
+                }
+            };
+        }
+        sub!(
+            macro_definitions,
+            redefinitions,
+            undefs,
+            macro_invocations,
+            invocations_trimmed,
+            invocations_hoisted,
+            nested_invocations,
+            builtin_invocations,
+            token_pastes,
+            token_pastes_hoisted,
+            stringifications,
+            stringifications_hoisted,
+            includes,
+            includes_hoisted,
+            computed_includes,
+            reincluded_headers,
+            conditionals,
+            conditionals_hoisted,
+            non_boolean_exprs,
+            error_directives,
+            warning_directives,
+            trimmed_entries,
+            output_tokens,
+            output_conditionals,
+            files_processed,
+            bytes_processed,
+            lex_nanos,
+            shared_cache_hits,
+            shared_cache_misses,
+            lex_nanos_saved,
+            condexpr_memo_hits,
+            condexpr_memo_misses,
+            expansion_memo_hits,
+        )
+    }
+
+    /// Replays a delta captured with [`delta_since`](Self::delta_since).
+    /// [`merge`](Self::merge) already has replay semantics — additive
+    /// fields sum, `max_depth` takes the maximum — so this is an alias
+    /// that documents the intent at the memo-hit call site.
+    pub fn apply_delta(&mut self, delta: &PpStats) {
+        self.merge(delta);
     }
 }

@@ -236,10 +236,7 @@ fn quoted_include_prefers_including_dir() {
 #[test]
 fn include_guards_prevent_reprocessing() {
     let u = pp_with(&[
-        (
-            "main.c",
-            "#include \"g.h\"\n#include \"g.h\"\nint x = N;\n",
-        ),
+        ("main.c", "#include \"g.h\"\n#include \"g.h\"\nint x = N;\n"),
         ("g.h", "#ifndef G_H\n#define G_H\n#define N 9\n#endif\n"),
     ]);
     assert_eq!(flat_text(&u), "int x = 9 ;");
@@ -273,10 +270,7 @@ fn guard_macro_translates_to_false_not_variable() {
 fn reinclusion_after_undef_of_guard() {
     // Paper: "Reinclude when guard macro is not false".
     let u = pp_with(&[
-        (
-            "main.c",
-            "#include \"g.h\"\n#undef G_H\n#include \"g.h\"\n",
-        ),
+        ("main.c", "#include \"g.h\"\n#undef G_H\n#include \"g.h\"\n"),
         ("g.h", "#ifndef G_H\n#define G_H\nint decl;\n#endif\n"),
     ]);
     assert_eq!(flat_text(&u), "int decl ; int decl ;");
@@ -342,11 +336,7 @@ fn elif_chains_partition() {
         })
     };
     for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
-        let hits = k
-            .branches
-            .iter()
-            .filter(|br| eval(&br.cond, a, b))
-            .count();
+        let hits = k.branches.iter().filter(|br| eval(&br.cond, a, b)).count();
         assert_eq!(hits, 1, "configuration ({a},{b}) not covered exactly once");
     }
 }
@@ -441,22 +431,29 @@ fn warnings_and_pragmas_are_annotations() {
 // ---------------------------------------------------------------------
 
 /// Figure 2: BITS_PER_LONG depends on CONFIG_64BIT.
-const FIG2: &str = "#ifdef CONFIG_64BIT\n#define BITS_PER_LONG 64\n#else\n#define BITS_PER_LONG 32\n#endif\n";
+const FIG2: &str =
+    "#ifdef CONFIG_64BIT\n#define BITS_PER_LONG 64\n#else\n#define BITS_PER_LONG 32\n#endif\n";
 
 #[test]
 fn fig2_multiply_defined_macro_propagates_conditional() {
     let u = pp(&format!("{FIG2}int n = BITS_PER_LONG;\n"));
     let cs = configs(&u);
     assert_eq!(cs.len(), 2);
-    assert!(cs.iter().any(|(c, t)| t == "int n = 64 ;" && c.contains("CONFIG_64BIT")));
-    assert!(cs.iter().any(|(c, t)| t == "int n = 32 ;" && c.contains("!defined(CONFIG_64BIT)")));
+    assert!(cs
+        .iter()
+        .any(|(c, t)| t == "int n = 64 ;" && c.contains("CONFIG_64BIT")));
+    assert!(cs
+        .iter()
+        .any(|(c, t)| t == "int n = 32 ;" && c.contains("!defined(CONFIG_64BIT)")));
     assert!(u.stats.invocations_hoisted >= 1);
 }
 
 #[test]
 fn fig2_conditional_expression_hoists_macro() {
     // §3.2: `#if BITS_PER_LONG == 32` simplifies to !defined(CONFIG_64BIT).
-    let u = pp(&format!("{FIG2}#if BITS_PER_LONG == 32\nthirtytwo\n#endif\n"));
+    let u = pp(&format!(
+        "{FIG2}#if BITS_PER_LONG == 32\nthirtytwo\n#endif\n"
+    ));
     let cs = configs(&u);
     assert_eq!(cs.len(), 2);
     assert!(cs
@@ -486,9 +483,8 @@ put_user(cpu_to_le32(val), buf);
             && !c.contains('!')
             && t == "put_user ( ( ( __le32 ) ( __u32 ) ( val ) ) , buf ) ;"
     }));
-    assert!(cs
-        .iter()
-        .any(|(c, t)| c.contains("!defined(__KERNEL__)") && t == "put_user ( cpu_to_le32 ( val ) , buf ) ;"));
+    assert!(cs.iter().any(|(c, t)| c.contains("!defined(__KERNEL__)")
+        && t == "put_user ( cpu_to_le32 ( val ) , buf ) ;"));
     assert!(u.stats.invocations_hoisted >= 1);
 }
 
@@ -507,7 +503,9 @@ int r = twice(
     let u = pp(src);
     let cs = configs(&u);
     assert_eq!(cs.len(), 2);
-    assert!(cs.iter().any(|(_, t)| t == "int r = ( ( 100 ) + ( 100 ) ) ;"));
+    assert!(cs
+        .iter()
+        .any(|(_, t)| t == "int r = ( ( 100 ) + ( 100 ) ) ;"));
     assert!(cs.iter().any(|(_, t)| t == "int r = ( ( 1 ) + ( 1 ) ) ;"));
 }
 
@@ -538,7 +536,9 @@ fn fig5_token_pasting_hoists_conditional() {
     let u = pp(src);
     let cs = configs(&u);
     assert_eq!(cs.len(), 2);
-    assert!(cs.iter().any(|(c, t)| t == "__le64 * p ;" && c.contains("CONFIG_64BIT")));
+    assert!(cs
+        .iter()
+        .any(|(c, t)| t == "__le64 * p ;" && c.contains("CONFIG_64BIT")));
     assert!(cs.iter().any(|(_, t)| t == "__le32 * p ;"));
     assert!(u.stats.token_pastes_hoisted >= 1);
 }
@@ -619,7 +619,9 @@ fn include_under_conditional_processes_under_presence_condition() {
     ]);
     let cs = configs(&u);
     assert_eq!(cs.len(), 2);
-    assert!(cs.iter().any(|(c, t)| c.contains("defined(A)") && t.ends_with("int t = 5 ;")));
+    assert!(cs
+        .iter()
+        .any(|(c, t)| c.contains("defined(A)") && t.ends_with("int t = 5 ;")));
     assert!(cs.iter().any(|(_, t)| t == "int t = X_DEF ;"));
 }
 
@@ -717,10 +719,7 @@ static int mousedev_open(void)
   return 0;
 }
 ";
-    let u = pp_with(&[
-        ("main.c", src),
-        ("major.h", "#define MISC_MAJOR_X 10\n"),
-    ]);
+    let u = pp_with(&[("main.c", src), ("major.h", "#define MISC_MAJOR_X 10\n")]);
     let text = u.display_text();
     assert!(text.contains("i = 31"), "macro expanded: {text}");
     assert!(text.contains("== 10"), "include's macro expanded: {text}");
@@ -756,4 +755,152 @@ fn token_and_conditional_counts() {
     let u = pp("#ifdef A\nint a;\n#endif\nint b;\n");
     assert_eq!(u.token_count(), 6);
     assert_eq!(u.stats.output_conditionals, 1);
+}
+
+// ---------------------------------------------------------------------
+// Shared (cross-worker) preprocessing cache
+
+/// Builds a preprocessor over `files`, optionally attached to a shared
+/// artifact cache — the per-worker setup the corpus driver performs.
+fn pp_tool(
+    files: &[(&str, &str)],
+    shared: Option<&std::sync::Arc<SharedCache>>,
+) -> Preprocessor<MemFs> {
+    let mut fs = MemFs::new();
+    for (p, c) in files {
+        fs.add(p, c);
+    }
+    let ctx = CondCtx::new(CondBackend::Bdd);
+    let opts = PpOptions {
+        builtins: Builtins::none(),
+        ..PpOptions::default()
+    };
+    let mut pp = Preprocessor::new(ctx, opts, fs);
+    if let Some(cache) = shared {
+        pp.set_shared_cache(std::sync::Arc::clone(cache));
+    }
+    pp
+}
+
+/// Stats with the wall-clock and schedule-dependent fields zeroed, for
+/// cache-on vs cache-off comparisons (mirrors `tests/parallel.rs`).
+fn deterministic_stats(s: &PpStats) -> PpStats {
+    PpStats {
+        lex_nanos: 0,
+        lex_nanos_saved: 0,
+        shared_cache_hits: 0,
+        shared_cache_misses: 0,
+        condexpr_memo_hits: 0,
+        condexpr_memo_misses: 0,
+        expansion_memo_hits: 0,
+        ..*s
+    }
+}
+
+#[test]
+fn shared_cache_serves_other_workers_without_changing_output() {
+    let files = [
+        (
+            "main.c",
+            "#include \"g.h\"\n#ifdef CONFIG_A\nint a = N;\n#endif\nint x = N;\n",
+        ),
+        ("g.h", "#ifndef G_H\n#define G_H\n#define N 9\n#endif\n"),
+    ];
+    let cache = std::sync::Arc::new(SharedCache::new());
+
+    // Worker 1: cold cache — every file is a miss and gets published.
+    let mut w1 = pp_tool(&files, Some(&cache));
+    let u1 = w1.preprocess("main.c").expect("preprocess");
+    assert_eq!(u1.stats.shared_cache_hits, 0);
+    assert_eq!(u1.stats.shared_cache_misses, 2, "main.c and g.h published");
+    assert_eq!(cache.len(), 2);
+
+    // Worker 2: same tree, fresh preprocessor — every file is served
+    // from the shared cache; nothing is lexed or re-published.
+    let mut w2 = pp_tool(&files, Some(&cache));
+    let u2 = w2.preprocess("main.c").expect("preprocess");
+    assert_eq!(u2.stats.shared_cache_hits, 2);
+    assert_eq!(u2.stats.shared_cache_misses, 0);
+    assert_eq!(u2.stats.lex_nanos, 0, "no lexing on a fully warm cache");
+    assert!(u2.stats.lex_nanos_saved > 0, "credited the producer's cost");
+    assert_eq!(cache.len(), 2, "insert-once: no re-publication");
+
+    // A cache-less run is the reference: byte-identical rendered output
+    // and identical deterministic counters on both workers.
+    let mut plain = pp_tool(&files, None);
+    let up = plain.preprocess("main.c").expect("preprocess");
+    assert_eq!(up.stats.shared_cache_hits + up.stats.shared_cache_misses, 0);
+    assert_eq!(u1.display_text(), up.display_text());
+    assert_eq!(u2.display_text(), up.display_text());
+    assert_eq!(
+        deterministic_stats(&u1.stats),
+        deterministic_stats(&up.stats)
+    );
+    assert_eq!(
+        deterministic_stats(&u2.stats),
+        deterministic_stats(&up.stats)
+    );
+}
+
+#[test]
+fn guarded_header_included_many_times_is_lexed_exactly_once() {
+    // One guard-protected header, included three times by each of three
+    // units, across two workers. The shared-cache counters prove the
+    // header was lexed exactly once in the whole process: one miss
+    // (the publish) and pure hits afterwards.
+    let hdr = "#ifndef G_H\n#define G_H\n#define N 4\n#endif\n";
+    let unit = "#include \"g.h\"\n#include \"g.h\"\n#include \"g.h\"\nint x = N;\n";
+    let files = [("a.c", unit), ("b.c", unit), ("c.c", unit), ("g.h", hdr)];
+    let cache = std::sync::Arc::new(SharedCache::new());
+
+    let mut w1 = pp_tool(&files, Some(&cache));
+    let ua = w1.preprocess("a.c").expect("a.c");
+    // §3.2 case 4a: with the guard definitely defined, repeat includes
+    // are skipped before reprocessing — and never pollute conditions.
+    assert_eq!(ua.stats.includes, 3);
+    assert_eq!(ua.stats.reincluded_headers, 0);
+    assert_eq!(ua.stats.output_conditionals, 0);
+    assert_eq!(ua.stats.shared_cache_misses, 2, "a.c + g.h lexed");
+
+    // Second unit, same worker: the L1 cache serves g.h (no L2 traffic),
+    // and `load_cached` re-registers the guard into the fresh per-unit
+    // macro table, so the case-4a skip still fires.
+    let ub = w1.preprocess("b.c").expect("b.c");
+    assert_eq!(ub.stats.reincluded_headers, 0);
+    assert_eq!(ub.stats.shared_cache_misses, 1, "only b.c itself");
+    assert_eq!(ub.stats.shared_cache_hits, 0, "g.h came from L1");
+    assert_eq!(flat_text(&ua), flat_text(&ub));
+
+    // Third unit, different worker: g.h arrives via L2 thaw, which must
+    // also re-register the guard for the skip to fire.
+    let mut w2 = pp_tool(&files, Some(&cache));
+    let uc = w2.preprocess("c.c").expect("c.c");
+    assert_eq!(uc.stats.shared_cache_hits, 1, "g.h served from L2");
+    assert_eq!(uc.stats.shared_cache_misses, 1, "only c.c itself lexed");
+    assert_eq!(uc.stats.reincluded_headers, 0, "guard skip after thaw");
+    assert_eq!(uc.stats.output_conditionals, 0);
+    assert_eq!(flat_text(&uc), "int x = 4 ;");
+
+    // Every file in the tree was lexed exactly once for the whole
+    // process: one miss per distinct path, no re-publication.
+    let total_misses =
+        ua.stats.shared_cache_misses + ub.stats.shared_cache_misses + uc.stats.shared_cache_misses;
+    assert_eq!(total_misses, 4, "a.c, b.c, c.c, g.h — each lexed once");
+    assert_eq!(cache.len(), 4);
+}
+
+#[test]
+fn failed_lexes_are_never_published() {
+    let files = [
+        ("main.c", "#include \"bad.h\"\nint x;\n"),
+        ("bad.h", "#ifdef OPEN\n"),
+    ];
+    let cache = std::sync::Arc::new(SharedCache::new());
+    let mut pp = pp_tool(&files, Some(&cache));
+    let u = pp.preprocess("main.c");
+    assert!(u.is_err(), "unterminated conditional in header is fatal");
+    assert!(
+        cache.get("bad.h").is_none(),
+        "broken artifacts must not be cached"
+    );
 }

@@ -61,9 +61,15 @@ impl CContext {
                 // declaration/type-name) reduces; `Pointer` ends it too so
                 // typedef names inside function-pointer types still
                 // classify as types.
-                "Declaration" | "FunctionDefinition" | "StructDeclaration"
-                | "ParameterDeclaration" | "TypeName" | "DirectDeclarator" | "Pointer"
-                | "Statement" | "Enumerator" => clears_type_seen[p as usize] = true,
+                "Declaration"
+                | "FunctionDefinition"
+                | "StructDeclaration"
+                | "ParameterDeclaration"
+                | "TypeName"
+                | "DirectDeclarator"
+                | "Pointer"
+                | "Statement"
+                | "Enumerator" => clears_type_seen[p as usize] = true,
                 _ => {}
             }
         }
@@ -83,8 +89,8 @@ impl CContext {
                 "FunctionDefinition" => is_fn_def[p as usize] = true,
                 "ParameterDeclaration" => {
                     let rhs = &grammar.production(p).rhs;
-                    is_param_decl[p as usize] = rhs.len() == 2
-                        && grammar.symbol_name(rhs[1]) == "Declarator";
+                    is_param_decl[p as usize] =
+                        rhs.len() == 2 && grammar.symbol_name(rhs[1]) == "Declarator";
                 }
                 _ => {}
             }
@@ -250,8 +256,7 @@ impl ContextPlugin for CContext {
         if self.is_enumerator[p] {
             if let Some(n) = value.as_node() {
                 if let Some(t) = n.children.first().and_then(SemVal::as_token) {
-                    ctx.tab
-                        .define(t.tok.text.clone(), NameKind::Object, cond);
+                    ctx.tab.define(t.tok.text.clone(), NameKind::Object, cond);
                 }
             }
             return;

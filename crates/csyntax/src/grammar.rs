@@ -35,19 +35,99 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
         "CONSTANT",
         "STRING_LITERAL",
         // Punctuators.
-        "[", "]", "(", ")", "{", "}", ".", "->", "++", "--", "&", "*", "+", "-", "~", "!",
-        "/", "%", "<<", ">>", "<", ">", "<=", ">=", "==", "!=", "^", "|", "&&", "||", "?",
-        ":", ";", "...", "=", "*=", "/=", "%=", "+=", "-=", "<<=", ">>=", "&=", "^=", "|=",
-        ",", "@",
+        "[",
+        "]",
+        "(",
+        ")",
+        "{",
+        "}",
+        ".",
+        "->",
+        "++",
+        "--",
+        "&",
+        "*",
+        "+",
+        "-",
+        "~",
+        "!",
+        "/",
+        "%",
+        "<<",
+        ">>",
+        "<",
+        ">",
+        "<=",
+        ">=",
+        "==",
+        "!=",
+        "^",
+        "|",
+        "&&",
+        "||",
+        "?",
+        ":",
+        ";",
+        "...",
+        "=",
+        "*=",
+        "/=",
+        "%=",
+        "+=",
+        "-=",
+        "<<=",
+        ">>=",
+        "&=",
+        "^=",
+        "|=",
+        ",",
+        "@",
         // Keywords.
-        "auto", "break", "case", "char", "const", "continue", "default", "do", "double",
-        "else", "enum", "extern", "float", "for", "goto", "if", "inline", "int", "long",
-        "register", "restrict", "return", "short", "signed", "sizeof", "static", "struct",
-        "switch", "typedef", "union", "unsigned", "void", "volatile", "while", "_Bool",
+        "auto",
+        "break",
+        "case",
+        "char",
+        "const",
+        "continue",
+        "default",
+        "do",
+        "double",
+        "else",
+        "enum",
+        "extern",
+        "float",
+        "for",
+        "goto",
+        "if",
+        "inline",
+        "int",
+        "long",
+        "register",
+        "restrict",
+        "return",
+        "short",
+        "signed",
+        "sizeof",
+        "static",
+        "struct",
+        "switch",
+        "typedef",
+        "union",
+        "unsigned",
+        "void",
+        "volatile",
+        "while",
+        "_Bool",
         "_Complex",
         // gcc extensions.
-        "asm", "typeof", "__attribute__", "__extension__", "__builtin_va_arg",
-        "__builtin_offsetof", "alignof", "__label__",
+        "asm",
+        "typeof",
+        "__attribute__",
+        "__extension__",
+        "__builtin_va_arg",
+        "__builtin_offsetof",
+        "alignof",
+        "__label__",
     ]);
 
     // ---- names ---------------------------------------------------------
@@ -59,7 +139,8 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
 
     // Adjacent string literals concatenate.
     g.prod("StringList", &["STRING_LITERAL"]).list();
-    g.prod("StringList", &["StringList", "STRING_LITERAL"]).list();
+    g.prod("StringList", &["StringList", "STRING_LITERAL"])
+        .list();
 
     // ---- expressions ----------------------------------------------------
 
@@ -71,11 +152,25 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     g.prod("PrimaryExpression", &["(", "CompoundStatement", ")"]);
     g.prod(
         "PrimaryExpression",
-        &["__builtin_va_arg", "(", "AssignmentExpression", ",", "TypeName", ")"],
+        &[
+            "__builtin_va_arg",
+            "(",
+            "AssignmentExpression",
+            ",",
+            "TypeName",
+            ")",
+        ],
     );
     g.prod(
         "PrimaryExpression",
-        &["__builtin_offsetof", "(", "TypeName", ",", "OffsetofMember", ")"],
+        &[
+            "__builtin_offsetof",
+            "(",
+            "TypeName",
+            ",",
+            "OffsetofMember",
+            ")",
+        ],
     );
     g.prod("OffsetofMember", &["AnyName"]).passthrough();
     g.prod("OffsetofMember", &["OffsetofMember", ".", "AnyName"]);
@@ -84,7 +179,8 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
         &["OffsetofMember", "[", "Expression", "]"],
     );
 
-    g.prod("PostfixExpression", &["PrimaryExpression"]).passthrough();
+    g.prod("PostfixExpression", &["PrimaryExpression"])
+        .passthrough();
     g.prod(
         "PostfixExpression",
         &["PostfixExpression", "[", "Expression", "]"],
@@ -104,14 +200,16 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
         &["(", "TypeName", ")", "{", "InitMembers", "}"],
     );
 
-    g.prod("ArgumentExpressionList", &["AssignmentExpression"]).list();
+    g.prod("ArgumentExpressionList", &["AssignmentExpression"])
+        .list();
     g.prod(
         "ArgumentExpressionList",
         &["ArgumentExpressionList", ",", "AssignmentExpression"],
     )
     .list();
 
-    g.prod("UnaryExpression", &["PostfixExpression"]).passthrough();
+    g.prod("UnaryExpression", &["PostfixExpression"])
+        .passthrough();
     g.prod("UnaryExpression", &["++", "UnaryExpression"]);
     g.prod("UnaryExpression", &["--", "UnaryExpression"]);
     for op in ["&", "*", "+", "-", "~", "!"] {
@@ -123,16 +221,29 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     g.prod("UnaryExpression", &["alignof", "(", "TypeName", ")"]);
     // gcc: label addresses and __extension__.
     g.prod("UnaryExpression", &["&&", "AnyName"]);
-    g.prod("UnaryExpression", &["__extension__", "CastExpression"]).passthrough();
+    g.prod("UnaryExpression", &["__extension__", "CastExpression"])
+        .passthrough();
 
     g.prod("CastExpression", &["UnaryExpression"]).passthrough();
     g.prod("CastExpression", &["(", "TypeName", ")", "CastExpression"]);
 
     let tower: &[(&str, &str, &[&str])] = &[
-        ("MultiplicativeExpression", "CastExpression", &["*", "/", "%"]),
-        ("AdditiveExpression", "MultiplicativeExpression", &["+", "-"]),
+        (
+            "MultiplicativeExpression",
+            "CastExpression",
+            &["*", "/", "%"],
+        ),
+        (
+            "AdditiveExpression",
+            "MultiplicativeExpression",
+            &["+", "-"],
+        ),
         ("ShiftExpression", "AdditiveExpression", &["<<", ">>"]),
-        ("RelationalExpression", "ShiftExpression", &["<", ">", "<=", ">="]),
+        (
+            "RelationalExpression",
+            "ShiftExpression",
+            &["<", ">", "<=", ">="],
+        ),
         ("EqualityExpression", "RelationalExpression", &["==", "!="]),
         ("AndExpression", "EqualityExpression", &["&"]),
         ("ExclusiveOrExpression", "AndExpression", &["^"]),
@@ -147,10 +258,17 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
         }
     }
 
-    g.prod("ConditionalExpression", &["LogicalOrExpression"]).passthrough();
+    g.prod("ConditionalExpression", &["LogicalOrExpression"])
+        .passthrough();
     g.prod(
         "ConditionalExpression",
-        &["LogicalOrExpression", "?", "Expression", ":", "ConditionalExpression"],
+        &[
+            "LogicalOrExpression",
+            "?",
+            "Expression",
+            ":",
+            "ConditionalExpression",
+        ],
     );
     // gcc `a ?: b`.
     g.prod(
@@ -158,18 +276,23 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
         &["LogicalOrExpression", "?", ":", "ConditionalExpression"],
     );
 
-    g.prod("AssignmentExpression", &["ConditionalExpression"]).passthrough();
-    for op in ["=", "*=", "/=", "%=", "+=", "-=", "<<=", ">>=", "&=", "^=", "|="] {
+    g.prod("AssignmentExpression", &["ConditionalExpression"])
+        .passthrough();
+    for op in [
+        "=", "*=", "/=", "%=", "+=", "-=", "<<=", ">>=", "&=", "^=", "|=",
+    ] {
         g.prod(
             "AssignmentExpression",
             &["UnaryExpression", op, "AssignmentExpression"],
         );
     }
 
-    g.prod("Expression", &["AssignmentExpression"]).passthrough();
+    g.prod("Expression", &["AssignmentExpression"])
+        .passthrough();
     g.prod("Expression", &["Expression", ",", "AssignmentExpression"]);
 
-    g.prod("ConstantExpression", &["ConditionalExpression"]).passthrough();
+    g.prod("ConstantExpression", &["ConditionalExpression"])
+        .passthrough();
 
     // ---- declarations ---------------------------------------------------
 
@@ -178,7 +301,8 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
         "Declaration",
         &["DeclarationSpecifiers", "InitDeclaratorList", ";"],
     );
-    g.prod("Declaration", &["__extension__", "Declaration"]).passthrough();
+    g.prod("Declaration", &["__extension__", "Declaration"])
+        .passthrough();
 
     for spec in [
         "StorageClassSpecifier",
@@ -198,12 +322,13 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     g.prod("FunctionSpecifier", &["inline"]).passthrough();
 
     for kw in [
-        "void", "char", "short", "int", "long", "float", "double", "signed", "unsigned",
-        "_Bool", "_Complex",
+        "void", "char", "short", "int", "long", "float", "double", "signed", "unsigned", "_Bool",
+        "_Complex",
     ] {
         g.prod("TypeSpecifier", &[kw]).passthrough();
     }
-    g.prod("TypeSpecifier", &["StructOrUnionSpecifier"]).passthrough();
+    g.prod("TypeSpecifier", &["StructOrUnionSpecifier"])
+        .passthrough();
     g.prod("TypeSpecifier", &["EnumSpecifier"]).passthrough();
     g.prod("TypeSpecifier", &["TYPEDEF_NAME"]).passthrough();
     g.prod("TypeSpecifier", &["TypeofSpecifier"]).passthrough();
@@ -222,15 +347,20 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
         &["__attribute__", "(", "(", "AttributeList", ")", ")"],
     );
     g.prod("AttributeList", &["Attribute"]).list();
-    g.prod("AttributeList", &["AttributeList", ",", "Attribute"]).list();
+    g.prod("AttributeList", &["AttributeList", ",", "Attribute"])
+        .list();
     g.prod("Attribute", &[]);
     g.prod("Attribute", &["AnyWord"]);
     g.prod("Attribute", &["AnyWord", "(", ")"]);
-    g.prod("Attribute", &["AnyWord", "(", "ArgumentExpressionList", ")"]);
+    g.prod(
+        "Attribute",
+        &["AnyWord", "(", "ArgumentExpressionList", ")"],
+    );
     g.prod("AnyWord", &["AnyName"]).passthrough();
     g.prod("AnyWord", &["const"]).passthrough();
 
-    g.prod("AttributeSpecifiers", &["AttributeSpecifier"]).list();
+    g.prod("AttributeSpecifiers", &["AttributeSpecifier"])
+        .list();
     g.prod(
         "AttributeSpecifiers",
         &["AttributeSpecifiers", "AttributeSpecifier"],
@@ -247,7 +377,10 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     g.prod("InitDeclarator", &["Declarator"]);
     g.prod("InitDeclarator", &["Declarator", "=", "Initializer"]);
     g.prod("InitDeclarator", &["Declarator", "DeclSuffix"]);
-    g.prod("InitDeclarator", &["Declarator", "DeclSuffix", "=", "Initializer"]);
+    g.prod(
+        "InitDeclarator",
+        &["Declarator", "DeclSuffix", "=", "Initializer"],
+    );
     // Post-declarator asm register specs and attributes.
     g.prod("DeclSuffix", &["AsmSpec"]).passthrough();
     g.prod("DeclSuffix", &["AttributeSpecifiers"]).passthrough();
@@ -261,7 +394,13 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     );
     g.prod(
         "StructOrUnionSpecifier",
-        &["StructOrUnion", "AnyName", "{", "StructDeclarationList", "}"],
+        &[
+            "StructOrUnion",
+            "AnyName",
+            "{",
+            "StructDeclarationList",
+            "}",
+        ],
     );
     g.prod("StructOrUnionSpecifier", &["StructOrUnion", "AnyName"]);
     g.prod("StructOrUnion", &["struct"]).passthrough();
@@ -283,7 +422,8 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     // gcc: anonymous struct/union members and stray semicolons.
     g.prod("StructDeclaration", &["SpecifierQualifierList", ";"]);
     g.prod("StructDeclaration", &[";"]);
-    g.prod("StructDeclaration", &["__extension__", "StructDeclaration"]).passthrough();
+    g.prod("StructDeclaration", &["__extension__", "StructDeclaration"])
+        .passthrough();
 
     for spec in ["TypeSpecifier", "TypeQualifier", "AttributeSpecifier"] {
         g.prod("SpecifierQualifierList", &[spec]).list();
@@ -300,11 +440,19 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
 
     g.prod("StructDeclarator", &["Declarator"]);
     g.prod("StructDeclarator", &[":", "ConstantExpression"]);
-    g.prod("StructDeclarator", &["Declarator", ":", "ConstantExpression"]);
+    g.prod(
+        "StructDeclarator",
+        &["Declarator", ":", "ConstantExpression"],
+    );
     g.prod("StructDeclarator", &["Declarator", "AttributeSpecifiers"]);
     g.prod(
         "StructDeclarator",
-        &["Declarator", ":", "ConstantExpression", "AttributeSpecifiers"],
+        &[
+            "Declarator",
+            ":",
+            "ConstantExpression",
+            "AttributeSpecifiers",
+        ],
     );
 
     g.prod("EnumSpecifier", &["enum", "{", "EnumMembers", "}"]);
@@ -319,7 +467,8 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     g.prod("EnumMembers", &["EnumPrefix"]).passthrough();
     g.prod("EnumMembers", &["EnumPrefix", "Enumerator"]);
     g.prod("EnumPrefix", &[]).list();
-    g.prod("EnumPrefix", &["EnumPrefix", "Enumerator", ","]).list();
+    g.prod("EnumPrefix", &["EnumPrefix", "Enumerator", ","])
+        .list();
     g.prod("Enumerator", &["AnyName"]);
     g.prod("Enumerator", &["AnyName", "=", "ConstantExpression"]);
 
@@ -352,7 +501,8 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     g.prod("Pointer", &["*", "TypeQualifierList", "Pointer"]);
 
     g.prod("TypeQualifierList", &["TypeQualifier"]).list();
-    g.prod("TypeQualifierList", &["TypeQualifierList", "TypeQualifier"]).list();
+    g.prod("TypeQualifierList", &["TypeQualifierList", "TypeQualifier"])
+        .list();
     g.prod("TypeQualifierList", &["AttributeSpecifier"]).list();
     g.prod(
         "TypeQualifierList",
@@ -360,7 +510,8 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     )
     .list();
 
-    g.prod("ParameterTypeList", &["ParameterList"]).passthrough();
+    g.prod("ParameterTypeList", &["ParameterList"])
+        .passthrough();
     g.prod("ParameterTypeList", &["ParameterList", ",", "..."]);
 
     g.prod("ParameterList", &["ParameterDeclaration"]).list();
@@ -381,21 +532,32 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     g.prod("ParameterDeclaration", &["DeclarationSpecifiers"]);
 
     g.prod("IdentifierList", &["IDENTIFIER"]).list();
-    g.prod("IdentifierList", &["IdentifierList", ",", "IDENTIFIER"]).list();
+    g.prod("IdentifierList", &["IdentifierList", ",", "IDENTIFIER"])
+        .list();
 
     g.prod("TypeName", &["SpecifierQualifierList"]);
-    g.prod("TypeName", &["SpecifierQualifierList", "AbstractDeclarator"]);
+    g.prod(
+        "TypeName",
+        &["SpecifierQualifierList", "AbstractDeclarator"],
+    );
 
     g.prod("AbstractDeclarator", &["Pointer"]).passthrough();
-    g.prod("AbstractDeclarator", &["DirectAbstractDeclarator"]).passthrough();
+    g.prod("AbstractDeclarator", &["DirectAbstractDeclarator"])
+        .passthrough();
     g.prod(
         "AbstractDeclarator",
         &["Pointer", "DirectAbstractDeclarator"],
     );
 
-    g.prod("DirectAbstractDeclarator", &["(", "AbstractDeclarator", ")"]);
+    g.prod(
+        "DirectAbstractDeclarator",
+        &["(", "AbstractDeclarator", ")"],
+    );
     g.prod("DirectAbstractDeclarator", &["[", "]"]);
-    g.prod("DirectAbstractDeclarator", &["[", "AssignmentExpression", "]"]);
+    g.prod(
+        "DirectAbstractDeclarator",
+        &["[", "AssignmentExpression", "]"],
+    );
     g.prod("DirectAbstractDeclarator", &["[", "*", "]"]);
     g.prod(
         "DirectAbstractDeclarator",
@@ -406,10 +568,7 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
         &["DirectAbstractDeclarator", "[", "AssignmentExpression", "]"],
     );
     g.prod("DirectAbstractDeclarator", &["(", ")"]);
-    g.prod(
-        "DirectAbstractDeclarator",
-        &["(", "ParameterTypeList", ")"],
-    );
+    g.prod("DirectAbstractDeclarator", &["(", "ParameterTypeList", ")"]);
     g.prod(
         "DirectAbstractDeclarator",
         &["DirectAbstractDeclarator", "(", ")"],
@@ -421,7 +580,8 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
 
     // ---- initializers -----------------------------------------------------
 
-    g.prod("Initializer", &["AssignmentExpression"]).passthrough();
+    g.prod("Initializer", &["AssignmentExpression"])
+        .passthrough();
     g.prod("Initializer", &["{", "InitMembers", "}"]);
 
     // Initializer lists are phrased as a *nullable prefix of
@@ -434,12 +594,14 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     g.prod("InitMembers", &["InitPrefix"]).passthrough();
     g.prod("InitMembers", &["InitPrefix", "InitItem"]);
     g.prod("InitPrefix", &[]).list();
-    g.prod("InitPrefix", &["InitPrefix", "InitItem", ","]).list();
+    g.prod("InitPrefix", &["InitPrefix", "InitItem", ","])
+        .list();
     g.prod("InitItem", &["Initializer"]);
     g.prod("InitItem", &["Designation", "Initializer"]);
     g.prod("Designation", &["DesignatorList", "="]);
     g.prod("DesignatorList", &["Designator"]).list();
-    g.prod("DesignatorList", &["DesignatorList", "Designator"]).list();
+    g.prod("DesignatorList", &["DesignatorList", "Designator"])
+        .list();
     g.prod("Designator", &["[", "ConstantExpression", "]"]);
     // gcc array ranges: [a ... b] = x.
     g.prod(
@@ -471,7 +633,14 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     // gcc case ranges.
     g.prod(
         "LabeledStatement",
-        &["case", "ConstantExpression", "...", "ConstantExpression", ":", "Statement"],
+        &[
+            "case",
+            "ConstantExpression",
+            "...",
+            "ConstantExpression",
+            ":",
+            "Statement",
+        ],
     );
     g.prod("LabeledStatement", &["default", ":", "Statement"]);
 
@@ -487,7 +656,8 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     // reduces the empty list and reaches the same LR state as the item
     // path, enabling the earliest possible merge.
     g.prod("BlockItemList", &[]).list();
-    g.prod("BlockItemList", &["BlockItemList", "BlockItem"]).list();
+    g.prod("BlockItemList", &["BlockItemList", "BlockItem"])
+        .list();
     g.prod("BlockItem", &["Declaration"]).passthrough();
     g.prod("BlockItem", &["Statement"]).passthrough();
     // gcc local labels.
@@ -502,7 +672,15 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     );
     g.prod(
         "SelectionStatement",
-        &["if", "(", "Expression", ")", "Statement", "else", "Statement"],
+        &[
+            "if",
+            "(",
+            "Expression",
+            ")",
+            "Statement",
+            "else",
+            "Statement",
+        ],
     );
     g.prod(
         "SelectionStatement",
@@ -519,23 +697,50 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     );
     g.prod(
         "IterationStatement",
-        &["for", "(", "ExpressionStatement", "ExpressionStatement", ")", "Statement"],
+        &[
+            "for",
+            "(",
+            "ExpressionStatement",
+            "ExpressionStatement",
+            ")",
+            "Statement",
+        ],
     );
     g.prod(
         "IterationStatement",
         &[
-            "for", "(", "ExpressionStatement", "ExpressionStatement", "Expression", ")",
+            "for",
+            "(",
+            "ExpressionStatement",
+            "ExpressionStatement",
+            "Expression",
+            ")",
             "Statement",
         ],
     );
     // C99 for-declarations.
     g.prod(
         "IterationStatement",
-        &["for", "(", "Declaration", "ExpressionStatement", ")", "Statement"],
+        &[
+            "for",
+            "(",
+            "Declaration",
+            "ExpressionStatement",
+            ")",
+            "Statement",
+        ],
     );
     g.prod(
         "IterationStatement",
-        &["for", "(", "Declaration", "ExpressionStatement", "Expression", ")", "Statement"],
+        &[
+            "for",
+            "(",
+            "Declaration",
+            "ExpressionStatement",
+            "Expression",
+            ")",
+            "Statement",
+        ],
     );
 
     g.prod("JumpStatement", &["goto", "AnyName", ";"]);
@@ -554,7 +759,8 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     g.prod("AsmQualifiers", &["volatile"]).list();
     g.prod("AsmQualifiers", &["inline"]).list();
     g.prod("AsmQualifiers", &["goto"]).list();
-    g.prod("AsmQualifiers", &["AsmQualifiers", "volatile"]).list();
+    g.prod("AsmQualifiers", &["AsmQualifiers", "volatile"])
+        .list();
     g.prod("AsmQualifiers", &["AsmQualifiers", "inline"]).list();
     g.prod("AsmQualifiers", &["AsmQualifiers", "goto"]).list();
 
@@ -562,7 +768,8 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     g.prod("AsmArgs", &["AsmArgs", ":", "AsmOperands"]);
     g.prod("AsmArgs", &["AsmArgs", ":"]);
     g.prod("AsmOperands", &["AsmOperand"]).list();
-    g.prod("AsmOperands", &["AsmOperands", ",", "AsmOperand"]).list();
+    g.prod("AsmOperands", &["AsmOperands", ",", "AsmOperand"])
+        .list();
     g.prod("AsmOperand", &["StringList", "(", "Expression", ")"]);
     g.prod(
         "AsmOperand",
@@ -582,8 +789,10 @@ fn build() -> Result<Grammar, superc_grammar::GrammarError> {
     )
     .list();
 
-    g.prod("ExternalDeclaration", &["FunctionDefinition"]).passthrough();
-    g.prod("ExternalDeclaration", &["Declaration"]).passthrough();
+    g.prod("ExternalDeclaration", &["FunctionDefinition"])
+        .passthrough();
+    g.prod("ExternalDeclaration", &["Declaration"])
+        .passthrough();
     g.prod("ExternalDeclaration", &["AsmSpec", ";"]);
     g.prod("ExternalDeclaration", &[";"]);
 

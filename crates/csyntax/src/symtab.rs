@@ -8,8 +8,8 @@
 //! Subparsers fork constantly, so cloning must be cheap: scopes are
 //! copy-on-write (`Rc`-shared maps mutated via `make_mut`).
 
-use superc_util::FastMap;
 use std::rc::Rc;
+use superc_util::FastMap;
 
 use superc_cond::Cond;
 
@@ -177,7 +177,11 @@ impl SymTab {
     /// Panics if the tables have different depths; callers gate merging
     /// on equal depth via `mayMerge`.
     pub fn merge(&self, other: &SymTab) -> SymTab {
-        assert_eq!(self.scopes.len(), other.scopes.len(), "mayMerge gates depth");
+        assert_eq!(
+            self.scopes.len(),
+            other.scopes.len(),
+            "mayMerge gates depth"
+        );
         let scopes = self
             .scopes
             .iter()

@@ -29,7 +29,10 @@ fn assert_parses(src: &str) -> ParseResult {
         "errors for {src:?}: {:?}",
         r.errors.iter().map(|e| format!("{e}")).collect::<Vec<_>>()
     );
-    assert!(r.accepted.as_ref().expect("accepted").is_true(), "partial accept for {src:?}");
+    assert!(
+        r.accepted.as_ref().expect("accepted").is_true(),
+        "partial accept for {src:?}"
+    );
     r
 }
 
@@ -102,16 +105,16 @@ fn typedefs_drive_reclassification() {
 
 #[test]
 fn typedef_in_casts_and_sizeof() {
-    assert_parses("typedef unsigned long size_tt;\nint f(void) { return (size_tt)4 + sizeof(size_tt); }\n");
+    assert_parses(
+        "typedef unsigned long size_tt;\nint f(void) { return (size_tt)4 + sizeof(size_tt); }\n",
+    );
     assert_parses("typedef int T;\nT (*get(void))(T) { return 0; }\n");
 }
 
 #[test]
 fn typedef_names_in_member_positions() {
     // A typedef name used as a member or label must still parse.
-    assert_parses(
-        "typedef int T;\nstruct s { int T; };\nint f(struct s *p) { return p->T; }\n",
-    );
+    assert_parses("typedef int T;\nstruct s { int T; };\nint f(struct s *p) { return p->T; }\n");
 }
 
 #[test]
@@ -203,10 +206,17 @@ static int mousedev_open(struct inode *inode, struct file *file)
 fn fig1_end_to_end() {
     let (unit, ctx) = preprocess(&[
         ("main.c", FIG1),
-        ("major.h", "#ifndef MAJOR_H\n#define MAJOR_H\n#define MISC_MAJOR 10\n#endif\n"),
+        (
+            "major.h",
+            "#ifndef MAJOR_H\n#define MAJOR_H\n#define MISC_MAJOR 10\n#endif\n",
+        ),
     ]);
     let r = parse_unit(&unit, &ctx, ParserConfig::full());
-    assert!(r.errors.is_empty(), "{:?}", r.errors.iter().map(|e| format!("{e}")).collect::<Vec<_>>());
+    assert!(
+        r.errors.is_empty(),
+        "{:?}",
+        r.errors.iter().map(|e| format!("{e}")).collect::<Vec<_>>()
+    );
     assert!(r.accepted.expect("accepted").is_true());
     let ast = r.ast.expect("ast");
     assert_eq!(ast.choice_count(), 1, "one static choice node (Fig. 1c)");
@@ -249,7 +259,11 @@ void f(void) { T * p; }
     // Under HAS_T: declaration. Without: expression over undeclared
     // names — still *syntactically* valid C (undeclared identifiers are a
     // semantic error), so both configurations parse.
-    assert!(r.errors.is_empty(), "{:?}", r.errors.iter().map(|e| format!("{e}")).collect::<Vec<_>>());
+    assert!(
+        r.errors.is_empty(),
+        "{:?}",
+        r.errors.iter().map(|e| format!("{e}")).collect::<Vec<_>>()
+    );
     assert!(r.accepted.expect("accepted").is_true());
     assert!(r.stats.reclassify_forks >= 1, "ambiguous name must fork");
 }
@@ -384,7 +398,11 @@ int f(void) { return 0; }
     for (name, cfg) in ParserConfig::levels() {
         let (unit, ctx) = preprocess(&[("main.c", src)]);
         let r = parse_unit(&unit, &ctx, cfg);
-        assert!(r.errors.is_empty(), "{name}: {:?}", r.errors.iter().map(|e| format!("{e}")).collect::<Vec<_>>());
+        assert!(
+            r.errors.is_empty(),
+            "{name}: {:?}",
+            r.errors.iter().map(|e| format!("{e}")).collect::<Vec<_>>()
+        );
         assert!(r.accepted.expect("accepted").is_true(), "{name}");
     }
 }
@@ -428,7 +446,11 @@ fn declarator_zoo() {
 fn qualifier_and_storage_combinations() {
     assert_parses("static volatile unsigned long jiffies;\n");
     assert_parses("extern const volatile int rtc_seconds;\n");
-    assert_parses("register int fast;\nauto_decl();\n".replace("auto_decl();\n", "").as_str());
+    assert_parses(
+        "register int fast;\nauto_decl();\n"
+            .replace("auto_decl();\n", "")
+            .as_str(),
+    );
     assert_parses("typedef const char *cstr;\ncstr s = 0;\n");
     assert_parses("static inline int f(void) { return 0; }\n");
     assert_parses("int restrict_use(int *restrict p, const int *restrict q) { return *p + *q; }\n");
@@ -583,8 +605,6 @@ fn old_style_empty_parameter_functions() {
     assert_parses("int legacy();\nint legacy_def() { return 0; }\n");
 }
 
-
-
 // ---------------------------------------------------------------------
 // Declarator shapes (query::declared_names / first_declarator_tok)
 // ---------------------------------------------------------------------
@@ -615,7 +635,11 @@ fn declared_names_pin_declarator_shapes() {
         // excluded from the shape.
         (
             "int a = 1, *b, c[2];\n",
-            &[("a", "int", "$"), ("b", "int", "* $"), ("c", "int", "$ [ 2 ]")],
+            &[
+                ("a", "int", "$"),
+                ("b", "int", "* $"),
+                ("c", "int", "$ [ 2 ]"),
+            ],
         ),
         ("int f(void) { return 0; }\n", &[("f", "int", "$ ( void )")]),
     ];

@@ -12,7 +12,7 @@ use superc_cpp::PTok;
 use superc_grammar::{Action, AstBuild, Grammar, SymbolId};
 
 use crate::error::ParseError;
-use crate::forest::{Forest, FollowEntry, NodeRef};
+use crate::forest::{FollowEntry, Forest, NodeRef};
 use crate::semval::{AstNode, SemVal};
 use crate::stats::ParseStats;
 
@@ -460,8 +460,7 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
             }
             for &cid in &recent[..n] {
                 self.stats.merge_probes += 1;
-                if self.slab.get(cid).map(|s| s.is_some()) == Some(true)
-                    && self.try_merge(cid, &p)
+                if self.slab.get(cid).map(|s| s.is_some()) == Some(true) && self.try_merge(cid, &p)
                 {
                     self.stats.merges += 1;
                     return;
@@ -663,7 +662,8 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
 
         // FMLR: token follow-set, through the reusable scratch buffers.
         let mut raw = std::mem::take(&mut self.follow_buf);
-        self.forest.follow_into(&p.heads[0].cond, p.heads[0].node, &mut raw);
+        self.forest
+            .follow_into(&p.heads[0].cond, p.heads[0].node, &mut raw);
         let mut entries = std::mem::take(&mut self.entries_buf);
         entries.reserve(raw.len());
         for e in raw.drain(..) {
@@ -701,12 +701,7 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
 
     /// Applies terminal resolution + plug-in reclassification to a raw
     /// follow entry, appending the result(s).
-    fn reclassify_into(
-        &mut self,
-        p: &Sub<P::Ctx>,
-        e: FollowEntry,
-        out: &mut Vec<FollowEntry>,
-    ) {
+    fn reclassify_into(&mut self, p: &Sub<P::Ctx>, e: FollowEntry, out: &mut Vec<FollowEntry>) {
         let g = self.parser.grammar;
         let Some(node) = e.node else {
             out.push(FollowEntry {
@@ -1008,7 +1003,10 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
         let value = match p.ast {
             AstBuild::Layout => SemVal::Empty,
             AstBuild::Passthrough => {
-                let count = values.iter().filter(|v| !matches!(v, SemVal::Empty)).count();
+                let count = values
+                    .iter()
+                    .filter(|v| !matches!(v, SemVal::Empty))
+                    .count();
                 if count == 1 {
                     values
                         .into_iter()
@@ -1019,9 +1017,11 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
                 }
             }
             AstBuild::List => {
-                let first_is_same_list = values.first().and_then(SemVal::as_node).map(|n| {
-                    n.sym == p.lhs && n.list
-                }) == Some(true);
+                let first_is_same_list = values
+                    .first()
+                    .and_then(SemVal::as_node)
+                    .map(|n| n.sym == p.lhs && n.list)
+                    == Some(true);
                 if first_is_same_list {
                     let mut it = values.into_iter();
                     let head = it.next().expect("nonempty");

@@ -26,8 +26,16 @@ pub struct ParseError {
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.pos {
-            Some(p) => write!(f, "{p}: {} (at '{}', config {})", self.message, self.got, self.cond),
-            None => write!(f, "{} (at end of input, config {})", self.message, self.cond),
+            Some(p) => write!(
+                f,
+                "{p}: {} (at '{}', config {})",
+                self.message, self.got, self.cond
+            ),
+            None => write!(
+                f,
+                "{} (at end of input, config {})",
+                self.message, self.cond
+            ),
         }
     }
 }

@@ -111,9 +111,7 @@ impl SemVal {
     pub fn choice_count(&self) -> usize {
         match self {
             SemVal::Node(n) => n.children.iter().map(SemVal::choice_count).sum(),
-            SemVal::Choice(alts) => {
-                1 + alts.iter().map(|(_, v)| v.choice_count()).sum::<usize>()
-            }
+            SemVal::Choice(alts) => 1 + alts.iter().map(|(_, v)| v.choice_count()).sum::<usize>(),
             _ => 0,
         }
     }

@@ -187,10 +187,7 @@ fn fig1_both_configurations_have_correct_trees() {
         find_choice(c, &mut alts);
     }
     for (cond, v) in &alts {
-        let kind = v
-            .as_node()
-            .map(|n| n.kind.to_string())
-            .unwrap_or_default();
+        let kind = v.as_node().map(|n| n.kind.to_string()).unwrap_or_default();
         let on = cond.eval(|n| Some(n == "defined(CONFIG_INPUT_MOUSEDEV_PSAUX)"));
         if on {
             // With PSAUX: the if-else statement (7 children incl. else).
@@ -314,10 +311,7 @@ fn fig6_fmlr_uses_constant_subparsers() {
 fn fig6_mapr_hits_the_kill_switch() {
     let g = init_grammar();
     let r = parse_with(&g, &fig6_source(18), ParserConfig::mapr());
-    assert!(r
-        .errors
-        .iter()
-        .any(|e| e.message.contains("kill switch")));
+    assert!(r.errors.iter().any(|e| e.message.contains("kill switch")));
 }
 
 #[test]
@@ -328,10 +322,7 @@ fn fig6_mapr_explodes_even_when_it_finishes() {
     let naive = r.stats.max_subparsers;
     let r = parse(&g, &fig6_source(8));
     let fmlr = r.stats.max_subparsers;
-    assert!(
-        naive >= 32 && fmlr <= 3,
-        "naive = {naive}, fmlr = {fmlr}"
-    );
+    assert!(naive >= 32 && fmlr <= 3, "naive = {naive}, fmlr = {fmlr}");
 }
 
 #[test]
@@ -441,13 +432,7 @@ impl ContextPlugin for ToyPlugin {
         ToyCtx { saw_decl: false }
     }
 
-    fn reclassify(
-        &mut self,
-        _ctx: &ToyCtx,
-        tok: &PTok,
-        term: SymbolId,
-        _cond: &Cond,
-    ) -> Reclass {
+    fn reclassify(&mut self, _ctx: &ToyCtx, tok: &PTok, term: SymbolId, _cond: &Cond) -> Reclass {
         if tok.text() == "T" {
             Reclass::Replace(SymbolId(12)) // TYPE in stmt_grammar
         } else {
@@ -458,9 +443,7 @@ impl ContextPlugin for ToyPlugin {
 
     fn on_reduce(&mut self, ctx: &mut ToyCtx, _prod: u32, value: &SemVal, _cond: &Cond) {
         if let Some(n) = value.as_node() {
-            if n.children.len() == 3
-                && n.children[0].as_token().map(|t| t.text()) == Some("T")
-            {
+            if n.children.len() == 3 && n.children[0].as_token().map(|t| t.text()) == Some("T") {
                 ctx.saw_decl = true;
             }
         }
@@ -556,4 +539,3 @@ fn display_renders_choice_nodes() {
     assert!(text.contains("Stmt"));
     assert!(text.contains("CONFIG_INPUT_MOUSEDEV_PSAUX"));
 }
-

@@ -132,8 +132,7 @@ impl Grammar {
 
     /// The goto state for `(state, nonterminal)`, if any.
     pub fn goto(&self, state: u32, nt: SymbolId) -> Option<u32> {
-        let idx =
-            state as usize * self.nonterminals.len() + (nt.0 as usize - self.terminals.len());
+        let idx = state as usize * self.nonterminals.len() + (nt.0 as usize - self.terminals.len());
         let g = self.goto_[idx];
         (g != u32::MAX).then_some(g)
     }
@@ -216,9 +215,8 @@ pub(crate) fn build_grammar(b: &GrammarBuilder) -> Result<Grammar, GrammarError>
     let num_states = auto.kernels.len() as u32;
 
     // Precedence helpers.
-    let term_prec = |t: u32| -> Option<(u32, Assoc)> {
-        prec.get(terminals[t as usize].as_str()).copied()
-    };
+    let term_prec =
+        |t: u32| -> Option<(u32, Assoc)> { prec.get(terminals[t as usize].as_str()).copied() };
     let prod_prec = |pi: u32| -> Option<(u32, Assoc)> {
         if pi == 0 {
             return None;

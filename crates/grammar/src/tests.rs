@@ -7,7 +7,10 @@ fn drive(g: &Grammar, input: &[&str]) -> Result<Vec<String>, usize> {
     let mut trace = Vec::new();
     let mut toks: Vec<SymbolId> = input
         .iter()
-        .map(|t| g.terminal(t).unwrap_or_else(|| panic!("unknown terminal {t}")))
+        .map(|t| {
+            g.terminal(t)
+                .unwrap_or_else(|| panic!("unknown terminal {t}"))
+        })
         .collect();
     toks.push(g.eof());
     let mut i = 0;

@@ -55,7 +55,10 @@ fn main() -> ExitCode {
         corpus.units.len(),
         corpus.total_bytes()
     );
-    println!("try: superc -I {out}/include {out}/{} --stats", corpus.units[0]);
+    println!(
+        "try: superc -I {out}/include {out}/{} --stats",
+        corpus.units[0]
+    );
     ExitCode::SUCCESS
 }
 

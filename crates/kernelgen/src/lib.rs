@@ -34,10 +34,10 @@
 
 use std::fmt::Write as _;
 
-use superc_util::SmallRng;
-use superc_cpp::MemFs;
 #[cfg(test)]
 use superc_cpp::FileSystem;
+use superc_cpp::MemFs;
+use superc_util::SmallRng;
 
 /// Parameters for corpus generation.
 #[derive(Clone, Debug)]
@@ -186,9 +186,30 @@ pub fn generate(spec: &CorpusSpec) -> Corpus {
 }
 
 const CONFIG_NAMES: &[&str] = &[
-    "SMP", "PM", "NUMA", "64BIT", "DEBUG_KERNEL", "PREEMPT", "HOTPLUG", "TRACE", "MODULES",
-    "NET", "BLOCK", "PCI", "ACPI", "USB", "INPUT_MOUSEDEV_PSAUX", "HIGHMEM", "SWAP", "SYSFS",
-    "PROC_FS", "EPOLL", "FUTEX", "AIO", "KALLSYMS", "SECCOMP",
+    "SMP",
+    "PM",
+    "NUMA",
+    "64BIT",
+    "DEBUG_KERNEL",
+    "PREEMPT",
+    "HOTPLUG",
+    "TRACE",
+    "MODULES",
+    "NET",
+    "BLOCK",
+    "PCI",
+    "ACPI",
+    "USB",
+    "INPUT_MOUSEDEV_PSAUX",
+    "HIGHMEM",
+    "SWAP",
+    "SYSFS",
+    "PROC_FS",
+    "EPOLL",
+    "FUTEX",
+    "AIO",
+    "KALLSYMS",
+    "SECCOMP",
 ];
 
 impl Gen {
@@ -257,7 +278,9 @@ impl Gen {
         let _ = writeln!(s, "#include <linux/module.h>");
         let _ = writeln!(s, "#include <linux/kernel.h>");
         // 1-4 subsystem headers.
-        let nsub = self.rng.gen_range(1..=4.min(self.spec.subsystem_headers.max(1)));
+        let nsub = self
+            .rng
+            .gen_range(1..=4.min(self.spec.subsystem_headers.max(1)));
         let mut subs: Vec<usize> = Vec::new();
         for _ in 0..nsub {
             let h = self.rng.gen_range(0..self.spec.subsystem_headers.max(1));
@@ -575,10 +598,9 @@ mod tests {
             seed: 99,
             ..CorpusSpec::small()
         });
-        let diff = a
-            .fs
-            .iter()
-            .any(|(p, text)| c.fs.read(p).as_deref() != Some(text));
+        let diff =
+            a.fs.iter()
+                .any(|(p, text)| c.fs.read(p).as_deref() != Some(text));
         assert!(diff);
     }
 

@@ -281,10 +281,7 @@ pub fn lex(src: &str, file: FileId) -> Result<Vec<Token>, LexError> {
     }
 
     // Ensure the last logical line is terminated.
-    if !matches!(
-        out.last().map(|t| t.kind),
-        Some(TokenKind::Newline) | None
-    ) {
+    if !matches!(out.last().map(|t| t.kind), Some(TokenKind::Newline) | None) {
         out.push(Token::new(TokenKind::Newline, "\n", s.pos(), false));
     }
     out.push(Token::new(TokenKind::Eof, "", s.pos(), false));

@@ -2,7 +2,11 @@ use super::*;
 use superc_util::prop::{check, Gen};
 
 fn kinds(src: &str) -> Vec<TokenKind> {
-    lex(src, FileId(0)).unwrap().iter().map(|t| t.kind).collect()
+    lex(src, FileId(0))
+        .unwrap()
+        .iter()
+        .map(|t| t.kind)
+        .collect()
 }
 
 fn texts(src: &str) -> Vec<String> {
@@ -22,17 +26,19 @@ fn empty_input_is_just_eof() {
 #[test]
 fn identifiers_and_keywords_lex_alike() {
     // Keywords are classified later, after macro expansion.
-    assert_eq!(texts("int x while _y $z a1_2"), vec![
-        "int", "x", "while", "_y", "$z", "a1_2"
-    ]);
+    assert_eq!(
+        texts("int x while _y $z a1_2"),
+        vec!["int", "x", "while", "_y", "$z", "a1_2"]
+    );
     assert!(lex("int", FileId(0)).unwrap()[0].is_ident());
 }
 
 #[test]
 fn numbers_are_pp_numbers() {
-    assert_eq!(texts("0 42 0x1F 017 1.5 1e10 1E-5 0x1p+2 1ULL 3.14f .5"), vec![
-        "0", "42", "0x1F", "017", "1.5", "1e10", "1E-5", "0x1p+2", "1ULL", "3.14f", ".5"
-    ]);
+    assert_eq!(
+        texts("0 42 0x1F 017 1.5 1e10 1E-5 0x1p+2 1ULL 3.14f .5"),
+        vec!["0", "42", "0x1F", "017", "1.5", "1e10", "1E-5", "0x1p+2", "1ULL", "3.14f", ".5"]
+    );
     for t in lex("42 1.5e-3", FileId(0)).unwrap() {
         if !matches!(t.kind, TokenKind::Newline | TokenKind::Eof) {
             assert_eq!(t.kind, TokenKind::Number);
@@ -56,9 +62,18 @@ fn dot_not_followed_by_digit_is_punct() {
 
 #[test]
 fn string_and_char_literals() {
-    assert_eq!(texts(r#""hi" 'c' L"wide" L'w' "es\"c" '\n' '\0'"#), vec![
-        r#""hi""#, "'c'", r#"L"wide""#, "L'w'", r#""es\"c""#, r"'\n'", r"'\0'"
-    ]);
+    assert_eq!(
+        texts(r#""hi" 'c' L"wide" L'w' "es\"c" '\n' '\0'"#),
+        vec![
+            r#""hi""#,
+            "'c'",
+            r#"L"wide""#,
+            "L'w'",
+            r#""es\"c""#,
+            r"'\n'",
+            r"'\0'"
+        ]
+    );
     let toks = lex(r#""a" 'b'"#, FileId(0)).unwrap();
     assert_eq!(toks[0].kind, TokenKind::StringLit);
     assert_eq!(toks[1].kind, TokenKind::CharLit);
@@ -66,9 +81,10 @@ fn string_and_char_literals() {
 
 #[test]
 fn punctuators_maximal_munch() {
-    assert_eq!(texts("a<<=b >>= -> ++ -- ... ## # <% no"), vec![
-        "a", "<<=", "b", ">>=", "->", "++", "--", "...", "##", "#", "<", "%", "no"
-    ]);
+    assert_eq!(
+        texts("a<<=b >>= -> ++ -- ... ## # <% no"),
+        vec!["a", "<<=", "b", ">>=", "->", "++", "--", "...", "##", "#", "<", "%", "no"]
+    );
     assert_eq!(
         kinds("+++")[..2],
         [TokenKind::punct("++"), TokenKind::punct("+")]
@@ -83,11 +99,14 @@ fn comments_become_layout() {
         .filter(|t| t.kind == TokenKind::Ident)
         .map(|t| (t.text().to_string(), t.ws_before))
         .collect();
-    assert_eq!(sig, vec![
-        ("a".to_string(), false),
-        ("b".to_string(), true),
-        ("c".to_string(), false),
-    ]);
+    assert_eq!(
+        sig,
+        vec![
+            ("a".to_string(), false),
+            ("b".to_string(), true),
+            ("c".to_string(), false),
+        ]
+    );
 }
 
 #[test]
@@ -108,10 +127,7 @@ fn line_continuations_are_spliced() {
     assert_eq!(texts("ab\\\ncd"), vec!["abcd"]);
     // Inside a directive line: no Newline token in the middle.
     let toks = lex("#define A \\\n 1\nB", FileId(0)).unwrap();
-    let newline_count = toks
-        .iter()
-        .filter(|t| t.kind == TokenKind::Newline)
-        .count();
+    let newline_count = toks.iter().filter(|t| t.kind == TokenKind::Newline).count();
     assert_eq!(newline_count, 2);
     // Inside a string literal.
     assert_eq!(texts("\"ab\\\ncd\""), vec!["\"abcd\""]);
@@ -145,9 +161,23 @@ fn newlines_terminate_lines_and_final_newline_is_synthesized() {
 #[test]
 fn positions_track_lines_and_columns() {
     let toks = lex("ab cd\n  ef\n", FileId(7)).unwrap();
-    assert_eq!(toks[0].pos, SourcePos { file: FileId(7), line: 1, col: 1 });
+    assert_eq!(
+        toks[0].pos,
+        SourcePos {
+            file: FileId(7),
+            line: 1,
+            col: 1
+        }
+    );
     assert_eq!(toks[1].pos.col, 4);
-    assert_eq!(toks[3].pos, SourcePos { file: FileId(7), line: 2, col: 3 });
+    assert_eq!(
+        toks[3].pos,
+        SourcePos {
+            file: FileId(7),
+            line: 2,
+            col: 3
+        }
+    );
     assert_eq!(format!("{}", toks[0].pos), "7:1:1");
 }
 

@@ -133,6 +133,10 @@ mod tests {
         for i in 0..256u32 {
             low_bits.insert(hash_of(&i) & 0xff);
         }
-        assert!(low_bits.len() > 128, "only {} distinct low bytes", low_bits.len());
+        assert!(
+            low_bits.len() > 128,
+            "only {} distinct low bytes",
+            low_bits.len()
+        );
     }
 }

@@ -69,11 +69,7 @@ impl Gen {
     }
 
     /// A vector with a length drawn from `len`, filled by `f`.
-    pub fn vec<T, R: SampleRange>(
-        &mut self,
-        len: R,
-        mut f: impl FnMut(&mut Gen) -> T,
-    ) -> Vec<T> {
+    pub fn vec<T, R: SampleRange>(&mut self, len: R, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
         let n = self.usize(len);
         (0..n).map(|_| f(self)).collect()
     }
@@ -124,7 +120,9 @@ pub fn check(name: &str, cases: usize, mut property: impl FnMut(&mut Gen)) {
         .unwrap_or(cases);
     let base = base_seed(name);
     for case in 0..cases {
-        let seed = base.wrapping_add(case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let seed = base
+            .wrapping_add(case as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let mut g = Gen::from_seed(seed);
         let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut g)));
         if let Err(payload) = outcome {

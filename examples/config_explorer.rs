@@ -43,14 +43,17 @@ int cpus = 1;
             .map(|(i, &v)| (v, bits >> i & 1 == 1))
             .collect();
         let text = unparse_config(ast, &ctx, &|name| {
-            assignment
-                .iter()
-                .find(|(n, _)| *n == name)
-                .map(|&(_, v)| v)
+            assignment.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
         });
         let label: Vec<String> = assignment
             .iter()
-            .map(|(n, v)| format!("{}={}", n.trim_start_matches("defined(").trim_end_matches(')'), u8::from(*v)))
+            .map(|(n, v)| {
+                format!(
+                    "{}={}",
+                    n.trim_start_matches("defined(").trim_end_matches(')'),
+                    u8::from(*v)
+                )
+            })
             .collect();
         println!("[{}]", label.join(" "));
         println!("  {text}\n");

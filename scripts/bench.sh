@@ -60,4 +60,31 @@ while read -r name old_rate; do
     fi
 done < <(extract "$SNAPSHOT")
 
+# Shared-cache gates on the header-dominated workload pair: the L2 cache
+# must actually fire (hit-rate floor) and must pay for itself (cache-on
+# throughput at least CACHE_RATIO_FLOOR x the --no-shared-cache run).
+HIT_RATE_FLOOR="${HIT_RATE_FLOOR:-0.15}"
+CACHE_RATIO_FLOOR="${CACHE_RATIO_FLOOR:-1.3}"
+hit_rate=$(sed -n 's/.*"name": "full_headers",.*"shared_cache_hit_rate": \([0-9.]*\).*/\1/p' "$NEW")
+on_rate=$(extract "$NEW" | awk '$1 == "full_headers" { print $2 }')
+off_rate=$(extract "$NEW" | awk '$1 == "full_headers_nocache" { print $2 }')
+if [[ -z "$hit_rate" || -z "$on_rate" || -z "$off_rate" ]]; then
+    echo "bench: full_headers workload pair missing from new snapshot" >&2
+    fail=1
+else
+    if awk -v h="$hit_rate" -v f="$HIT_RATE_FLOOR" 'BEGIN { exit !(h >= f) }'; then
+        echo "bench: full_headers shared-cache hit rate $hit_rate (floor $HIT_RATE_FLOOR) OK"
+    else
+        echo "bench: full_headers shared-cache hit rate $hit_rate below floor $HIT_RATE_FLOOR" >&2
+        fail=1
+    fi
+    ratio=$(awk -v on="$on_rate" -v off="$off_rate" 'BEGIN { printf "%.2f", on / off }')
+    if awk -v r="$ratio" -v f="$CACHE_RATIO_FLOOR" 'BEGIN { exit !(r >= f) }'; then
+        echo "bench: full_headers cache-on/off speedup ${ratio}x (floor ${CACHE_RATIO_FLOOR}x) OK"
+    else
+        echo "bench: full_headers cache-on/off speedup ${ratio}x below floor ${CACHE_RATIO_FLOOR}x" >&2
+        fail=1
+    fi
+fi
+
 exit "$fail"

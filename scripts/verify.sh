@@ -18,6 +18,7 @@ fi
 # Re-run the parallel determinism suite with a wider, oversubscribed jobs
 # ladder than the default 1,2,8 — cheap extra scheduling coverage.
 SUPERC_PAR_JOBS="1,2,3,5,8,16" cargo test -q --test parallel
+cargo fmt --all --check
 cargo clippy --workspace -- -D warnings
 scripts/bench.sh
 echo "verify: OK"

@@ -18,11 +18,7 @@ use superc_kernelgen::{generate, CorpusSpec};
 /// Flattens a preserved-variability element tree under a configuration.
 fn select_tokens(elements: &[Element], env: &dyn Fn(&str) -> Option<bool>) -> Vec<String> {
     let mut out = Vec::new();
-    fn walk(
-        elements: &[Element],
-        env: &dyn Fn(&str) -> Option<bool>,
-        out: &mut Vec<String>,
-    ) {
+    fn walk(elements: &[Element], env: &dyn Fn(&str) -> Option<bool>, out: &mut Vec<String>) {
         for e in elements {
             match e {
                 Element::Token(t) => out.push(t.text().to_string()),

@@ -20,7 +20,12 @@ fn sample_envs() -> Vec<Vec<&'static str>> {
         vec![],
         vec!["CONFIG_SMP"],
         vec!["CONFIG_64BIT", "CONFIG_PM"],
-        vec!["CONFIG_SMP", "CONFIG_64BIT", "CONFIG_KERNEL_BYTEORDER", "CONFIG_TRACE"],
+        vec![
+            "CONFIG_SMP",
+            "CONFIG_64BIT",
+            "CONFIG_KERNEL_BYTEORDER",
+            "CONFIG_TRACE",
+        ],
     ]
 }
 
@@ -71,7 +76,9 @@ fn all_optimization_levels_are_observationally_equal() {
         );
         let ctx = sc.ctx().clone();
         for (unit, r) in corpus.units.iter().zip(&refs) {
-            let p = sc.process(unit).unwrap_or_else(|e| panic!("{name} {unit}: {e}"));
+            let p = sc
+                .process(unit)
+                .unwrap_or_else(|e| panic!("{name} {unit}: {e}"));
             assert_eq!(
                 p.result.errors.len(),
                 r.result.errors.len(),
@@ -161,10 +168,7 @@ fn branch_conditions_partition() {
                 let ctx = parent.ctx();
                 let mut union = ctx.fls();
                 for (i, b) in k.branches.iter().enumerate() {
-                    assert!(
-                        !b.cond.is_false(),
-                        "infeasible branches must be trimmed"
-                    );
+                    assert!(!b.cond.is_false(), "infeasible branches must be trimmed");
                     assert!(
                         union.and(&b.cond).is_false(),
                         "branch {i} overlaps earlier branches"

@@ -171,7 +171,10 @@ fn pipeline_never_panics_and_keeps_invariants() {
         let fs = superc::MemFs::new().file("f.c", &src);
         let mut sc = SuperC::new(
             Options {
-                pp: PpOptions { builtins: Builtins::none(), ..PpOptions::default() },
+                pp: PpOptions {
+                    builtins: Builtins::none(),
+                    ..PpOptions::default()
+                },
                 ..Options::default()
             },
             fs,
@@ -181,14 +184,20 @@ fn pipeline_never_panics_and_keeps_invariants() {
         check_partition(&p.unit.elements, &tru);
         saw_pastes |= p.unit.stats.token_pastes > 0;
         saw_stringifies |= p.unit.stats.stringifications > 0;
-        saw_hoisted_ops |= p.unit.stats.token_pastes_hoisted > 0
-            || p.unit.stats.stringifications_hoisted > 0;
+        saw_hoisted_ops |=
+            p.unit.stats.token_pastes_hoisted > 0 || p.unit.stats.stringifications_hoisted > 0;
 
         // Macro values are integers, so every configuration is valid C:
         // the parse must cover the whole space.
-        assert!(p.result.errors.is_empty(),
+        assert!(
+            p.result.errors.is_empty(),
             "errors: {:?}\nsource:\n{src}",
-            p.result.errors.iter().map(|e| format!("{e}")).collect::<Vec<_>>());
+            p.result
+                .errors
+                .iter()
+                .map(|e| format!("{e}"))
+                .collect::<Vec<_>>()
+        );
         assert!(p.result.accepted.as_ref().expect("accepted").is_true());
     });
     assert!(saw_pastes, "no token pastes generated");
@@ -213,7 +222,10 @@ fn soup_matches_single_config() {
         // Full variability run.
         let mut full = SuperC::new(
             Options {
-                pp: PpOptions { builtins: Builtins::none(), ..PpOptions::default() },
+                pp: PpOptions {
+                    builtins: Builtins::none(),
+                    ..PpOptions::default()
+                },
                 ..Options::default()
             },
             fs.clone(),
@@ -247,7 +259,10 @@ fn soup_matches_single_config() {
         // macros folded already; opaque vars mentioning free macros
         // evaluate false in gcc mode (0 > k, k ≥ 0).
         let env = |name: &str| -> Option<bool> {
-            if let Some(inner) = name.strip_prefix("defined(").and_then(|n| n.strip_suffix(')')) {
+            if let Some(inner) = name
+                .strip_prefix("defined(")
+                .and_then(|n| n.strip_suffix(')'))
+            {
                 if let Some(i) = inner.strip_prefix("CFG").and_then(|d| d.parse::<u8>().ok()) {
                     return Some(on(i));
                 }

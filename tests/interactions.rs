@@ -49,10 +49,7 @@ fn multiply_defined_macro_table_entries() {
 /// redefinition.
 #[test]
 fn redefinition_trims_infeasible_entries() {
-    let (unit, r, _) = run(&[(
-        "main.c",
-        "#define V 1\n#define V 2\nint x = V;\n",
-    )]);
+    let (unit, r, _) = run(&[("main.c", "#define V 1\n#define V 2\nint x = V;\n")]);
     assert_clean(&r);
     assert!(unit.stats.trimmed_entries >= 1);
     assert!(unit.display_text().contains("= 2"));
@@ -252,7 +249,10 @@ fn ambiguous_typedef_forks_subparsers() {
 #[test]
 fn guards_do_not_pollute_presence_conditions() {
     let (unit, r, _) = run(&[
-        ("main.c", "#include \"g.h\"\n#include \"g.h\"\nint x = VAL;\n"),
+        (
+            "main.c",
+            "#include \"g.h\"\n#include \"g.h\"\nint x = VAL;\n",
+        ),
         ("g.h", "#ifndef G_H\n#define G_H\n#define VAL 3\n#endif\n"),
     ]);
     assert_clean(&r);

@@ -123,11 +123,12 @@ fn corpus_files() -> Vec<String> {
 fn lint_json_is_byte_identical_across_job_counts() {
     let files = corpus_files();
     let options = Options::default();
-    let render_for = |jobs: usize| -> String {
+    let render_for = |jobs: usize, no_shared_cache: bool| -> String {
         let copts = CorpusOptions {
             jobs,
             capture: Capture::default(),
             lint: Some(LintOptions::default()),
+            no_shared_cache,
         };
         let report = process_corpus(&fixture_fs(), &files, &options, &copts);
         assert_eq!(report.fatal_units(), 0);
@@ -138,13 +139,20 @@ fn lint_json_is_byte_identical_across_job_counts() {
             .collect();
         render::render_json(&records)
     };
-    let base = render_for(1);
+    let base = render_for(1, false);
     // One diagnostic per buggy fixture, none from the clean ones.
     for code in LintCode::ALL {
         assert!(base.contains(code.as_str()), "missing {code} in {base}");
     }
     assert_eq!(base.matches("\"code\"").count(), 5, "{base}");
-    for jobs in [2, 8] {
-        assert_eq!(render_for(jobs), base, "jobs={jobs} diverged");
+    for jobs in [1, 2, 8] {
+        for no_cache in [false, true] {
+            assert_eq!(
+                render_for(jobs, no_cache),
+                base,
+                "jobs={jobs} cache={} diverged",
+                if no_cache { "off" } else { "on" }
+            );
+        }
     }
 }

@@ -9,9 +9,16 @@
 //! unit's choice-node AST, per-unit preprocessor and parser counters,
 //! and the corpus-level behavior-counter fingerprint.
 //!
+//! The matrix runs every jobs count **with and without the shared
+//! preprocessing cache**: the cache only moves lexing work between
+//! workers, so cache-on and cache-off runs must also be byte-identical
+//! (including lint output). Its hit/miss/saved-nanos counters are the
+//! schedule-dependent exceptions, zeroed in [`countable`].
+//!
 //! `SUPERC_PAR_JOBS` overrides the default `1,2,8` jobs ladder
 //! (`scripts/verify.sh` runs a wider, oversubscribed one).
 
+use superc::analyze::LintOptions;
 use superc::corpus::{process_corpus, Capture, CorpusOptions, CorpusReport};
 use superc::{Builtins, Options, PpOptions};
 use superc_kernelgen::{generate, Corpus, CorpusSpec};
@@ -52,17 +59,26 @@ fn capture_configs() -> Vec<Vec<String>> {
     ]
 }
 
-/// Preprocessor counters minus the one wall-clock field (`lex_nanos`),
-/// which is real elapsed time and can never be byte-identical between
-/// runs. Every *count* must be.
+/// Preprocessor counters minus the wall-clock and schedule-dependent
+/// fields. `lex_nanos`/`lex_nanos_saved` are real elapsed time; the
+/// shared-cache and memo hit/miss counters depend on which worker got to
+/// a file or expression first (`expansion_memo_hits` inherits this
+/// through condexpr-memo delta replay — see `PpStats`). Every *other*
+/// count must be byte-identical.
 fn countable(pp: &superc::PpStats) -> superc::PpStats {
     superc::PpStats {
         lex_nanos: 0,
+        lex_nanos_saved: 0,
+        shared_cache_hits: 0,
+        shared_cache_misses: 0,
+        condexpr_memo_hits: 0,
+        condexpr_memo_misses: 0,
+        expansion_memo_hits: 0,
         ..*pp
     }
 }
 
-fn run(corpus: &Corpus, jobs: usize) -> CorpusReport {
+fn run_with_cache(corpus: &Corpus, jobs: usize, no_shared_cache: bool) -> CorpusReport {
     let copts = CorpusOptions {
         jobs,
         capture: Capture {
@@ -70,63 +86,68 @@ fn run(corpus: &Corpus, jobs: usize) -> CorpusReport {
             ast: false,
             unparse_configs: capture_configs(),
         },
-        lint: None,
+        lint: Some(LintOptions::default()),
+        no_shared_cache,
     };
     process_corpus(&corpus.fs, &corpus.units, &options(), &copts)
 }
 
-/// Everything the determinism contract promises, for one run.
-fn assert_reports_identical(base: &CorpusReport, other: &CorpusReport, jobs: usize) {
-    assert_eq!(
-        base.units.len(),
-        other.units.len(),
-        "jobs={jobs}: unit count"
-    );
+fn run(corpus: &Corpus, jobs: usize) -> CorpusReport {
+    run_with_cache(corpus, jobs, false)
+}
+
+/// Everything the determinism contract promises, for one run. `label`
+/// names the varied knob (`jobs=8`, `jobs=2 cache=off`, ...).
+fn assert_reports_identical(base: &CorpusReport, other: &CorpusReport, label: &str) {
+    assert_eq!(base.units.len(), other.units.len(), "{label}: unit count");
     for (b, o) in base.units.iter().zip(&other.units) {
-        assert_eq!(b.path, o.path, "jobs={jobs}: input order not preserved");
+        assert_eq!(b.path, o.path, "{label}: input order not preserved");
         assert_eq!(
             countable(&b.pp),
             countable(&o.pp),
-            "{}: jobs={jobs}: preprocessor counters",
+            "{}: {label}: preprocessor counters",
             b.path
         );
-        assert_eq!(b.parse, o.parse, "{}: jobs={jobs}: parser counters", b.path);
-        assert_eq!(b.parsed, o.parsed, "{}: jobs={jobs}: parsed flag", b.path);
+        assert_eq!(b.parse, o.parse, "{}: {label}: parser counters", b.path);
+        assert_eq!(b.parsed, o.parsed, "{}: {label}: parsed flag", b.path);
         assert_eq!(
             b.choice_nodes, o.choice_nodes,
-            "{}: jobs={jobs}: choice nodes",
+            "{}: {label}: choice nodes",
             b.path
         );
-        assert_eq!(b.fatal, o.fatal, "{}: jobs={jobs}: fatal", b.path);
+        assert_eq!(b.fatal, o.fatal, "{}: {label}: fatal", b.path);
         assert_eq!(
             b.errors.len(),
             o.errors.len(),
-            "{}: jobs={jobs}: error count",
+            "{}: {label}: error count",
             b.path
         );
+        // Lint records render conditions canonically, so they are
+        // byte-identical across schedules and cache settings.
+        assert_eq!(b.lints, o.lints, "{}: {label}: lint records", b.path);
         // The headline assertion: the AST restricted to each sampled
         // configuration unparses to byte-identical text.
         assert_eq!(
             b.unparses, o.unparses,
-            "{}: jobs={jobs}: unparsed ASTs differ",
+            "{}: {label}: unparsed ASTs differ",
             b.path
         );
     }
     assert_eq!(
         countable(&base.pp),
         countable(&other.pp),
-        "jobs={jobs}: merged preprocessor counters"
+        "{label}: merged preprocessor counters"
     );
-    assert_eq!(base.parse, other.parse, "jobs={jobs}: merged parser counters");
+    assert_eq!(base.parse, other.parse, "{label}: merged parser counters");
     assert_eq!(
         base.behavior_counters(),
         other.behavior_counters(),
-        "jobs={jobs}: behavior fingerprint"
+        "{label}: behavior fingerprint"
     );
 }
 
 #[test]
-fn parallel_runs_are_deterministic_across_job_counts() {
+fn parallel_runs_are_deterministic_across_job_counts_and_cache_settings() {
     let corpus = generate(&CorpusSpec::small());
     let ladder = jobs_ladder();
     let base = run(&corpus, ladder[0]);
@@ -135,9 +156,19 @@ fn parallel_runs_are_deterministic_across_job_counts() {
         base.units.iter().any(|u| !u.unparses.is_empty()),
         "no unparses captured"
     );
-    for &jobs in &ladder[1..] {
-        let other = run(&corpus, jobs);
-        assert_reports_identical(&base, &other, jobs);
+    assert!(base.lint_count() > 0, "corpus produced no lint findings");
+    // Full matrix: every jobs count × shared cache {on, off} must match
+    // the base run (which used the cache). The cache moves lexing work
+    // between workers but must never change any output.
+    for &jobs in &ladder {
+        for no_cache in [false, true] {
+            if jobs == ladder[0] && !no_cache {
+                continue; // that run *is* the base
+            }
+            let other = run_with_cache(&corpus, jobs, no_cache);
+            let label = format!("jobs={jobs} cache={}", if no_cache { "off" } else { "on" });
+            assert_reports_identical(&base, &other, &label);
+        }
     }
 }
 
@@ -153,7 +184,7 @@ fn worker_count_is_capped_and_defaulted() {
     // jobs = 0 resolves to available parallelism (at least one worker).
     let auto = run(&corpus, 0);
     assert!(auto.workers >= 1);
-    assert_reports_identical(&run(&corpus, 1), &over, 64);
+    assert_reports_identical(&run(&corpus, 1), &over, "jobs=64");
 }
 
 #[test]
