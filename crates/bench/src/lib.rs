@@ -126,29 +126,18 @@ pub fn full_headers_corpus() -> Corpus {
 }
 
 /// Runs every unit of a corpus through the pipeline, returning the
-/// processed units in corpus order.
-///
-/// # Panics
-///
-/// Panics if a unit fails fatally — corpus generation guarantees units
-/// preprocess.
+/// processed units in corpus order. A unit that fails fatally is
+/// reported on stderr and skipped, so one bad unit skews a measurement
+/// instead of killing the whole experiment run.
 pub fn process_corpus(corpus: &Corpus, options: Options) -> Vec<ProcessedUnit> {
-    let mut sc = SuperC::new(options, corpus.fs.clone());
-    corpus
-        .units
-        .iter()
-        .map(|u| sc.process(u).unwrap_or_else(|e| panic!("{u}: {e}")))
-        .collect()
+    process_corpus_with_tool(corpus, options).0
 }
 
 /// Runs a corpus through the **parallel** pipeline (`superc::corpus`)
 /// with the given worker count (`0` = available parallelism), returning
-/// the corpus-level report with per-unit results in corpus order.
-///
-/// # Panics
-///
-/// Panics if a unit fails fatally — corpus generation guarantees units
-/// preprocess.
+/// the corpus-level report with per-unit results in corpus order. Units
+/// that failed fatally stay in the report with zeroed counters; they are
+/// surfaced on stderr rather than aborting the run.
 pub fn process_corpus_parallel(
     corpus: &Corpus,
     options: Options,
@@ -171,8 +160,12 @@ pub fn process_corpus_parallel_opts(
         ..superc::CorpusOptions::default()
     };
     let report = superc::process_corpus(&corpus.fs, &corpus.units, &options, &copts);
-    if let Some(u) = report.units.iter().find(|u| u.fatal.is_some()) {
-        panic!("{}: {}", u.path, u.fatal.as_deref().unwrap_or(""));
+    for u in report.units.iter().filter(|u| u.fatal.is_some()) {
+        eprintln!(
+            "{}: skipped (fatal: {})",
+            u.path,
+            u.fatal.as_deref().unwrap_or("unknown failure")
+        );
     }
     report
 }
@@ -187,7 +180,13 @@ pub fn process_corpus_with_tool(
     let units = corpus
         .units
         .iter()
-        .map(|u| sc.process(u).unwrap_or_else(|e| panic!("{u}: {e}")))
+        .filter_map(|u| match sc.process(u) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("{u}: skipped (fatal: {e})");
+                None
+            }
+        })
         .collect();
     (units, sc)
 }

@@ -20,6 +20,20 @@
 //!                     cache in parallel runs (output is identical either
 //!                     way; this only changes who pays the lexing cost)
 //!
+//! Resource budgets (0 = unlimited; exhaustion *degrades* the unit to a
+//! partial parse with condition-scoped diagnostics instead of aborting):
+//!   --max-subparsers <N>  live-subparser ceiling per unit
+//!   --parse-budget <N>    parser main-loop step budget per unit
+//!   --max-forks <N>       subparser fork budget per unit
+//!   --max-cond-nodes <N>  BDD-node growth ceiling per unit
+//!                         (schedule-dependent safety net)
+//!   --parse-time-ms <N>   wall-clock parse budget per unit
+//!                         (schedule-dependent safety net)
+//!   --include-depth <N>   include-nesting ceiling (overflowing includes
+//!                         are skipped with an error diagnostic)
+//!   --hoist-cap <N>       hoisted-branch ceiling per preprocessor
+//!                         operation
+//!
 //! superc lint [OPTIONS] <file.c>...
 //!   Variability lints with presence-condition diagnostics. Accepts every
 //!   option above, plus:
@@ -160,12 +174,30 @@ fn parse_args() -> Result<Args, String> {
                     .parse::<usize>()
                     .map_err(|_| format!("--jobs: not a count: {n}"))?;
             }
+            "--max-subparsers" | "--parse-budget" | "--max-forks" | "--max-cond-nodes"
+            | "--parse-time-ms" | "--include-depth" | "--hoist-cap" => {
+                let n = it.next().ok_or_else(|| format!("{a} needs a count"))?;
+                let n: u64 = n.parse().map_err(|_| format!("{a}: not a count: {n}"))?;
+                let b = &mut args.options.budgets;
+                match a.as_str() {
+                    "--max-subparsers" => b.max_subparsers = n as usize,
+                    "--parse-budget" => b.max_steps = n,
+                    "--max-forks" => b.max_forks = n,
+                    "--max-cond-nodes" => b.max_cond_nodes = n as usize,
+                    "--parse-time-ms" => b.max_millis = n,
+                    "--include-depth" => b.max_include_depth = n as usize,
+                    _ => b.hoist_cap = n as usize,
+                }
+            }
             "--no-shared-cache" => args.no_shared_cache = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: superc [lint] [-I dir] [-D name[=v]] [--sat] [--mapr] \
                             [--level L] [--single names] [--preprocess] [--ast] [--stats] \
-                            [--jobs N] [--no-shared-cache] files...\n\
+                            [--jobs N] [--no-shared-cache] \
+                            [--max-subparsers N] [--parse-budget N] [--max-forks N] \
+                            [--max-cond-nodes N] [--parse-time-ms N] [--include-depth N] \
+                            [--hoist-cap N] files...\n\
                             lint mode adds: [--format text|json] [--allow|--warn|--deny \
                             code|all] [--config-prefix P]"
                         .to_string(),
@@ -196,12 +228,10 @@ fn main() -> ExitCode {
     if let Some(lint) = &args.lint {
         return run_lint(&args, lint);
     }
-    let effective_jobs = if args.jobs == 0 {
-        superc::corpus::default_jobs()
-    } else {
-        args.jobs
-    };
-    if effective_jobs > 1 && args.files.len() > 1 {
+    // Multi-file runs always go through the corpus driver, even with
+    // `--jobs 1`: the driver renders conditions canonically and prints in
+    // input order, so output is byte-identical for any job count.
+    if args.files.len() > 1 {
         return run_parallel(&args);
     }
     let mut sc = SuperC::new(args.options, DiskFs::new("."));
@@ -221,6 +251,9 @@ fn main() -> ExitCode {
                 for e in &p.result.errors {
                     eprintln!("{file}: {e}");
                     failed = true;
+                }
+                for t in &p.result.trips {
+                    eprintln!("{file}: warning: {}", superc::corpus::render_trip(t));
                 }
                 if args.show_preprocessed {
                     println!("{}", p.unit.display_text());
@@ -274,6 +307,7 @@ fn run_lint(args: &Args, lint: &LintArgs) -> ExitCode {
         capture: Capture::default(),
         lint: Some(lint.opts.clone()),
         no_shared_cache: args.no_shared_cache,
+        inject_panic: Vec::new(),
     };
     let report = process_corpus(&fs, &args.files, &args.options, &copts);
     let mut fatal = false;
@@ -316,6 +350,7 @@ fn run_parallel(args: &Args) -> ExitCode {
         },
         lint: None,
         no_shared_cache: args.no_shared_cache,
+        inject_panic: Vec::new(),
     };
     let report = process_corpus(&fs, &args.files, &args.options, &copts);
     let mut failed = false;
@@ -331,6 +366,9 @@ fn run_parallel(args: &Args) -> ExitCode {
         for e in &u.errors {
             eprintln!("{}: {e}", u.path);
             failed = true;
+        }
+        for d in &u.degradations {
+            eprintln!("{}: warning: {d}", u.path);
         }
         if let Some(text) = &u.preprocessed {
             println!("{text}");

@@ -46,15 +46,16 @@
 //! rendered conditions. `tests/parallel.rs` proves this for
 //! `--jobs 1/2/8`.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Once};
 use std::time::{Duration, Instant};
 
 use superc_bdd::BddStats;
 use superc_cond::CondStats;
 use superc_cpp::{FileSystem, PpStats, Severity, SharedCache};
 use superc_csyntax::unparse_config;
-use superc_fmlr::ParseStats;
+use superc_fmlr::{BudgetTrip, ParseOutcome, ParseStats};
 
 use crate::{Options, SuperC};
 
@@ -76,6 +77,11 @@ pub struct CorpusOptions {
     /// header, never the output, so this exists as an escape hatch and a
     /// baseline for benchmarking, not a correctness knob.
     pub no_shared_cache: bool,
+    /// Test hook for the per-unit panic firewall: units whose path is
+    /// listed here panic inside the worker instead of being processed,
+    /// exercising the `catch_unwind` + tool-rebuild recovery path that
+    /// real poisoned units would take.
+    pub inject_panic: Vec<String>,
 }
 
 /// Per-unit text captures for testing and inspection.
@@ -100,6 +106,30 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// A structured record of a unit the pipeline could not process: either
+/// a fatal preprocessor error or a panic caught by the per-unit firewall.
+/// One poisoned unit becomes one of these rows instead of taking down a
+/// worker (and with it the whole corpus run).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitFailure {
+    /// Pipeline stage that failed: `"preprocess"` for fatal preprocessor
+    /// errors, `"panic"` for the firewall.
+    pub stage: String,
+    /// The error or panic message (deterministic for a given input).
+    pub message: String,
+}
+
+/// Renders a budget trip for a [`UnitReport`], with the presence
+/// condition in *canonical* form so the string is byte-identical across
+/// worker counts and schedules (raw condition display is not).
+pub fn render_trip(trip: &BudgetTrip) -> String {
+    format!(
+        "{} under {}",
+        trip.describe(),
+        superc_analyze::render::canonical(&trip.cond)
+    )
+}
+
 /// The outcome of one compilation unit, reduced to thread-portable data
 /// (the `Rc`-based AST and conditions stay inside the worker).
 #[derive(Clone, Debug)]
@@ -116,6 +146,13 @@ pub struct UnitReport {
     pub phase_nanos: [u64; 3],
     /// Did some configuration accept?
     pub parsed: bool,
+    /// Did a resource budget trip ([`ParseOutcome::Partial`])? The
+    /// degraded configurations are in `degradations`.
+    pub partial: bool,
+    /// Rendered budget trips (canonical presence conditions; see
+    /// [`render_trip`]), deterministic across schedules for the
+    /// deterministic budgets.
+    pub degradations: Vec<String>,
     /// Static choice nodes in the AST.
     pub choice_nodes: usize,
     /// Rendered per-configuration parse errors.
@@ -127,6 +164,9 @@ pub struct UnitReport {
     pub lints: Vec<superc_analyze::Record>,
     /// Fatal preprocessor failure, if the unit never reached the parser.
     pub fatal: Option<String>,
+    /// Structured failure row (fatal preprocessor error or caught
+    /// panic); `Some` exactly when the unit produced no parse at all.
+    pub failure: Option<UnitFailure>,
     /// `#if`-annotated preprocessed text, when captured.
     pub preprocessed: Option<String>,
     /// Rendered AST, when captured (and the unit parsed).
@@ -168,6 +208,17 @@ impl CorpusReport {
         self.units.iter().filter(|u| u.fatal.is_some()).count()
     }
 
+    /// Units degraded by a resource budget ([`ParseOutcome::Partial`]).
+    pub fn partial_units(&self) -> usize {
+        self.units.iter().filter(|u| u.partial).count()
+    }
+
+    /// Units with a structured [`UnitFailure`] row (fatal error or
+    /// firewalled panic).
+    pub fn failed_units(&self) -> usize {
+        self.units.iter().filter(|u| u.failure.is_some()).count()
+    }
+
     /// Total lint findings across units (0 when linting was off).
     pub fn lint_count(&self) -> usize {
         self.units.iter().map(|u| u.lints.len()).sum()
@@ -201,13 +252,17 @@ impl CorpusReport {
     /// absent.
     pub fn behavior_counters(&self) -> String {
         format!(
-            "units={} parsed={} fatal={} output_tokens={} \
+            "units={} parsed={} fatal={} partial={} failed={} \
+             output_tokens={} \
              output_conditionals={} conditionals_hoisted={} shifts={} \
              reduces={} forks={} merges={} choice_nodes={} \
-             reclassify_forks={} lints={}",
+             reclassify_forks={} budget_trips={} budget_killed={} \
+             lints={}",
             self.units.len(),
             self.parsed_units(),
             self.fatal_units(),
+            self.partial_units(),
+            self.failed_units(),
             self.pp.output_tokens,
             self.pp.output_conditionals,
             self.pp.conditionals_hoisted,
@@ -217,6 +272,8 @@ impl CorpusReport {
             self.parse.merges,
             self.parse.choice_nodes,
             self.parse.reclassify_forks,
+            self.parse.budget_trips,
+            self.parse.budget_killed,
             self.lint_count(),
         )
     }
@@ -343,15 +400,30 @@ fn worker_loop<F: FileSystem + Sync>(
     // over the shared tree. Reused across this worker's units so header
     // caching matches the sequential driver. The shared L2 cache (if any)
     // is attached so this worker can reuse files other workers lexed.
-    let mut tool = SuperC::new(options.clone(), fs);
-    if let Some(cache) = shared {
-        tool.set_shared_cache(cache);
-    }
+    let make_tool = || {
+        let mut tool = SuperC::new(options.clone(), fs);
+        if let Some(cache) = &shared {
+            tool.set_shared_cache(cache.clone());
+        }
+        tool
+    };
+    let mut tool = make_tool();
     let mut out = Vec::new();
     loop {
         let i = cursor.fetch_add(1, Ordering::Relaxed);
         let Some(path) = units.get(i) else { break };
-        out.push((i, process_one(&mut tool, path, copts)));
+        // Panic firewall: a poisoned unit becomes a structured failure
+        // row instead of unwinding through the thread join. The tool may
+        // hold arbitrary mid-unit state after an unwind, so it is rebuilt
+        // from scratch (the shared L2 cache, being insert-once, survives).
+        let report = match firewalled(|| process_one(&mut tool, path, copts)) {
+            Ok(report) => report,
+            Err(message) => {
+                tool = make_tool();
+                UnitReport::failed(path, "panic", &format!("panic: {message}"))
+            }
+        };
+        out.push((i, report));
     }
     WorkerOutput {
         units: out,
@@ -360,31 +432,81 @@ fn worker_loop<F: FileSystem + Sync>(
     }
 }
 
+thread_local! {
+    /// True while this thread is inside the firewall — the panic hook
+    /// stays quiet so an expected, recovered panic does not spray a
+    /// backtrace over the corpus output.
+    static FIREWALLED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` under `catch_unwind`, suppressing the default panic hook for
+/// the duration and reducing any panic payload to its message.
+fn firewalled<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !FIREWALLED.with(|b| b.get()) {
+                previous(info);
+            }
+        }));
+    });
+    FIREWALLED.with(|b| b.set(true));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    FIREWALLED.with(|b| b.set(false));
+    result.map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
+impl UnitReport {
+    /// A report for a unit that produced nothing: fatal preprocessor
+    /// error or firewalled panic. Counters stay zero; the failure is
+    /// carried both in `fatal` (legacy surface) and as a structured
+    /// [`UnitFailure`] row.
+    fn failed(path: &str, stage: &str, message: &str) -> UnitReport {
+        UnitReport {
+            path: path.to_string(),
+            bytes: 0,
+            pp: PpStats::default(),
+            parse: ParseStats::default(),
+            phase_nanos: [0; 3],
+            parsed: false,
+            partial: false,
+            degradations: Vec::new(),
+            choice_nodes: 0,
+            errors: Vec::new(),
+            diagnostics: Vec::new(),
+            lints: Vec::new(),
+            fatal: Some(message.to_string()),
+            failure: Some(UnitFailure {
+                stage: stage.to_string(),
+                message: message.to_string(),
+            }),
+            preprocessed: None,
+            ast_text: None,
+            unparses: Vec::new(),
+        }
+    }
+}
+
 fn process_one<F: FileSystem>(
     tool: &mut SuperC<F>,
     path: &str,
     copts: &CorpusOptions,
 ) -> UnitReport {
+    if copts.inject_panic.iter().any(|p| p == path) {
+        panic!("injected panic for firewall testing: {path}");
+    }
     let processed = match tool.process(path) {
         Ok(p) => p,
-        Err(e) => {
-            return UnitReport {
-                path: path.to_string(),
-                bytes: 0,
-                pp: PpStats::default(),
-                parse: ParseStats::default(),
-                phase_nanos: [0; 3],
-                parsed: false,
-                choice_nodes: 0,
-                errors: Vec::new(),
-                diagnostics: Vec::new(),
-                lints: Vec::new(),
-                fatal: Some(e.to_string()),
-                preprocessed: None,
-                ast_text: None,
-                unparses: Vec::new(),
-            }
-        }
+        Err(e) => return UnitReport::failed(path, "preprocess", &e.to_string()),
     };
 
     // Lint immediately: the macro table is per-unit preprocessor state
@@ -430,6 +552,8 @@ fn process_one<F: FileSystem>(
         path: path.to_string(),
         bytes: processed.bytes,
         parsed: processed.result.ast.is_some(),
+        partial: processed.result.outcome == ParseOutcome::Partial,
+        degradations: processed.result.trips.iter().map(render_trip).collect(),
         choice_nodes: processed
             .result
             .ast
@@ -441,12 +565,21 @@ fn process_one<F: FileSystem>(
             .iter()
             .map(|e| e.to_string())
             .collect(),
+        // Render the file *name*, not the raw `FileId`: id numbering
+        // depends on which files this worker lexed before, so it is not
+        // schedule-invariant; names are.
         diagnostics: processed
             .unit
             .diagnostics
             .iter()
             .filter(|d| matches!(d.severity, Severity::Error))
-            .map(|d| format!("{}: {}", d.pos, d.message))
+            .map(|d| {
+                let file = tool
+                    .preprocessor()
+                    .file_name(d.pos.file)
+                    .unwrap_or("<unknown>");
+                format!("{file}:{}:{}: {}", d.pos.line, d.pos.col, d.message)
+            })
             .collect(),
         lints,
         phase_nanos: [
@@ -457,6 +590,7 @@ fn process_one<F: FileSystem>(
         pp: processed.unit.stats,
         parse: processed.result.stats,
         fatal: None,
+        failure: None,
         preprocessed,
         ast_text,
         unparses,

@@ -56,9 +56,12 @@ pub use superc_cpp::{
 pub use superc_csyntax::{
     c_grammar, classify, declared_names, function_definitions, parse_unit, unparse_config, CContext,
 };
-pub use superc_fmlr::{Forest, ParseResult, ParseStats, Parser, ParserConfig, SemVal};
+pub use superc_fmlr::{
+    BudgetKind, BudgetTrip, Forest, ParseBudgets, ParseOutcome, ParseResult, ParseStats, Parser,
+    ParserConfig, SemVal,
+};
 
-pub use corpus::{process_corpus, CorpusOptions, CorpusReport, UnitReport};
+pub use corpus::{process_corpus, CorpusOptions, CorpusReport, UnitFailure, UnitReport};
 
 use std::time::{Duration, Instant};
 
@@ -93,6 +96,44 @@ pub struct ProcessedUnit {
     pub bytes: u64,
 }
 
+/// Per-unit resource budgets, threaded from the CLI through [`SuperC`]
+/// into the preprocessor (include depth, hoist cap) and the FMLR engine
+/// ([`ParseBudgets`]). A zero field leaves that resource ungoverned
+/// (include depth and hoist cap fall back to [`PpOptions`] defaults).
+///
+/// Exhaustion degrades instead of aborting: the engine sheds the
+/// affected subparsers, records condition-scoped [`BudgetTrip`]s, and
+/// the unit still yields an AST for the surviving configurations with a
+/// [`ParseOutcome::Partial`] result. See `crates/fmlr` for the
+/// per-budget determinism notes (`max_cond_nodes`/`max_millis` are
+/// schedule-dependent safety nets).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budgets {
+    /// Live-subparser ceiling (`--max-subparsers`).
+    pub max_subparsers: usize,
+    /// Total fork budget per parse (`--max-forks`).
+    pub max_forks: u64,
+    /// Main-loop step budget per parse (`--parse-budget`).
+    pub max_steps: u64,
+    /// BDD-node growth ceiling per parse (`--max-cond-nodes`).
+    pub max_cond_nodes: usize,
+    /// Wall-clock budget per parse in milliseconds (`--parse-time-ms`).
+    pub max_millis: u64,
+    /// Include-nesting ceiling (`--include-depth`); overflow emits an
+    /// error diagnostic and skips the include rather than recursing.
+    pub max_include_depth: usize,
+    /// Ceiling on hoisted branches per preprocessor operation
+    /// (`--hoist-cap`); overflow degrades the operation with a warning.
+    pub hoist_cap: usize,
+}
+
+impl Budgets {
+    /// No limits (the default): every resource ungoverned.
+    pub fn unlimited() -> Self {
+        Budgets::default()
+    }
+}
+
 /// End-to-end configuration.
 #[derive(Clone, Debug)]
 pub struct Options {
@@ -104,6 +145,9 @@ pub struct Options {
     /// Preprocessor options (include paths, defines, built-ins,
     /// single-configuration mode).
     pub pp: PpOptions,
+    /// Per-unit resource budgets; non-zero fields override the matching
+    /// [`PpOptions`]/[`ParserConfig`] knobs in [`SuperC::new`].
+    pub budgets: Budgets,
 }
 
 impl Default for Options {
@@ -112,6 +156,7 @@ impl Default for Options {
             backend: CondBackend::Bdd,
             parser: ParserConfig::full(),
             pp: PpOptions::default(),
+            budgets: Budgets::unlimited(),
         }
     }
 }
@@ -151,8 +196,32 @@ pub struct SuperC<F: FileSystem> {
 }
 
 impl<F: FileSystem> SuperC<F> {
-    /// Creates the tool over `fs`.
-    pub fn new(options: Options, fs: F) -> Self {
+    /// Creates the tool over `fs`, threading any non-zero [`Budgets`]
+    /// fields into the preprocessor and parser configuration.
+    pub fn new(mut options: Options, fs: F) -> Self {
+        let b = options.budgets;
+        let pb = &mut options.parser.budgets;
+        if b.max_subparsers > 0 {
+            pb.max_live = b.max_subparsers;
+        }
+        if b.max_forks > 0 {
+            pb.max_forks = b.max_forks;
+        }
+        if b.max_steps > 0 {
+            pb.max_steps = b.max_steps;
+        }
+        if b.max_cond_nodes > 0 {
+            pb.max_cond_nodes = b.max_cond_nodes;
+        }
+        if b.max_millis > 0 {
+            pb.max_millis = b.max_millis;
+        }
+        if b.max_include_depth > 0 {
+            options.pp.max_include_depth = b.max_include_depth;
+        }
+        if b.hoist_cap > 0 {
+            options.pp.hoist_cap = b.hoist_cap;
+        }
         let ctx = CondCtx::new(options.backend);
         let pp = Preprocessor::new(ctx.clone(), options.pp, fs);
         SuperC {

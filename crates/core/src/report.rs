@@ -236,6 +236,16 @@ pub fn corpus_table(report: &crate::corpus::CorpusReport) -> TextTable {
     r("units", report.units.len().to_string());
     r("parsed", report.parsed_units().to_string());
     r("fatal", report.fatal_units().to_string());
+    // Degradation surfaces: only shown when something actually degraded,
+    // so the table stays stable for healthy corpora.
+    if report.partial_units() > 0 {
+        r("partial (budget)", report.partial_units().to_string());
+        r("budget trips", report.parse.budget_trips.to_string());
+        r("subparsers shed", report.parse.budget_killed.to_string());
+    }
+    if report.failed_units() > 0 {
+        r("failed (firewalled)", report.failed_units().to_string());
+    }
     r("workers", report.workers.to_string());
     r("wall", format!("{:?}", report.wall));
     r(

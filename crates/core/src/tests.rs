@@ -168,6 +168,7 @@ mod corpus {
             },
             lint: None,
             no_shared_cache: false,
+            inject_panic: Vec::new(),
         };
         let report = process_corpus(&fs(), &units(), &opts(), &copts);
         let b = &report.units[1];

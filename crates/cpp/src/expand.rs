@@ -31,11 +31,11 @@ use crate::files::FileSystem;
 use crate::macrotable::{MacroDef, MacroEntry};
 use crate::preprocessor::{Preprocessor, Severity};
 
-/// Upper bound on per-operation hoisted branches; beyond this the operation
-/// degrades gracefully (diagnostic + unexpanded tokens) rather than blowing
-/// up. Real code stays far below (the paper's worst region is small even
-/// when the *parser* sees 2^18 configurations).
-const HOIST_CAP: usize = 4096;
+// The per-operation hoisted-branch ceiling lives in
+// `PpOptions::hoist_cap` (default 4096); beyond it the operation degrades
+// gracefully (diagnostic + unexpanded tokens) rather than blowing up.
+// Real code stays far below (the paper's worst region is small even when
+// the *parser* sees 2^18 configurations).
 /// Upper bound on reader states during invocation recognition.
 const SCAN_CAP: usize = 512;
 
@@ -487,7 +487,7 @@ impl<F: FileSystem> Preprocessor<F> {
 
     /// Algorithm 1: hoists conditionals out of `elements`, producing flat
     /// per-configuration token runs partitioning `c`. `None` on blow-up
-    /// beyond [`HOIST_CAP`].
+    /// beyond `PpOptions::hoist_cap`.
     pub(crate) fn hoist_elements(
         &mut self,
         elements: &[Element],
@@ -516,7 +516,7 @@ impl<F: FileSystem> Preprocessor<F> {
                             }
                         }
                     }
-                    if next.len() > HOIST_CAP {
+                    if next.len() > self.opts.hoist_cap {
                         self.diag(
                             Severity::Warning,
                             Default::default(),
@@ -752,33 +752,53 @@ impl<F: FileSystem> Preprocessor<F> {
                         // Keep the comma and the (unpasted) varargs.
                         out.extend(tail.into_iter().flatten());
                     }
-                } else if any_cond {
-                    self.stats.token_pastes_hoisted += 1;
-                    let all: Vec<Element> = op_elems.iter().flatten().cloned().collect();
-                    // Hoist, then paste within each flat branch: since the
-                    // operands are concatenated we re-split per branch by
-                    // pasting adjacent boundary tokens pairwise.
-                    match self.hoist_with_paste(&op_elems, c, &hide, inv) {
-                        Some(kond) => out.push(kond),
-                        None => out.extend(all),
-                    }
                 } else {
-                    let flat: Vec<Vec<PTok>> = op_elems
-                        .into_iter()
-                        .map(|es| {
-                            es.into_iter()
-                                .map(|e| match e {
-                                    Element::Token(t) => t,
-                                    Element::Conditional(_) => unreachable!(),
-                                })
-                                .collect()
-                        })
-                        .collect();
-                    out.extend(
-                        self.paste_run(&flat, &hide, inv)
-                            .into_iter()
-                            .map(Element::Token),
-                    );
+                    // Flatten the operands; a conditional surviving here
+                    // even though the argument scan saw none is an input
+                    // condition, not an invariant — diagnose and fall
+                    // back to the hoist path instead of crashing.
+                    let flat: Option<Vec<Vec<PTok>>> = if any_cond {
+                        None
+                    } else {
+                        op_elems
+                            .iter()
+                            .map(|es| {
+                                es.iter()
+                                    .map(|e| match e {
+                                        Element::Token(t) => Some(t.clone()),
+                                        Element::Conditional(_) => None,
+                                    })
+                                    .collect()
+                            })
+                            .collect()
+                    };
+                    match flat {
+                        Some(flat) => out.extend(
+                            self.paste_run(&flat, &hide, inv)
+                                .into_iter()
+                                .map(Element::Token),
+                        ),
+                        None => {
+                            if !any_cond {
+                                self.diag(
+                                    Severity::Warning,
+                                    inv.tok.pos,
+                                    c,
+                                    "conditional in `##` operand; hoisting".to_string(),
+                                );
+                            }
+                            self.stats.token_pastes_hoisted += 1;
+                            let all: Vec<Element> = op_elems.iter().flatten().cloned().collect();
+                            // Hoist, then paste within each flat branch:
+                            // since the operands are concatenated we
+                            // re-split per branch by pasting adjacent
+                            // boundary tokens pairwise.
+                            match self.hoist_with_paste(&op_elems, c, &hide, inv) {
+                                Some(kond) => out.push(kond),
+                                None => out.extend(all),
+                            }
+                        }
+                    }
                 }
                 i = j + 1;
                 first = false;
@@ -835,7 +855,7 @@ impl<F: FileSystem> Preprocessor<F> {
                     next.push((cb, ops2));
                 }
             }
-            if next.len() > HOIST_CAP {
+            if next.len() > self.opts.hoist_cap {
                 return None;
             }
             acc = next;
@@ -922,14 +942,25 @@ impl<F: FileSystem> Preprocessor<F> {
         self.stats.stringifications += 1;
         let has_cond = arg.iter().any(|e| matches!(e, Element::Conditional(_)));
         if !has_cond {
-            let toks: Vec<PTok> = arg
+            // A conditional surviving the scan above would be an input
+            // condition, not an invariant: diagnose and retry through the
+            // hoist path below instead of crashing.
+            let toks: Option<Vec<PTok>> = arg
                 .iter()
                 .map(|e| match e {
-                    Element::Token(t) => t.clone(),
-                    Element::Conditional(_) => unreachable!(),
+                    Element::Token(t) => Some(t.clone()),
+                    Element::Conditional(_) => None,
                 })
                 .collect();
-            return vec![Element::Token(self.make_string(&toks, hash_tok))];
+            match toks {
+                Some(toks) => return vec![Element::Token(self.make_string(&toks, hash_tok))],
+                None => self.diag(
+                    Severity::Warning,
+                    hash_tok.pos,
+                    c,
+                    "conditional in `#` operand; hoisting".to_string(),
+                ),
+            }
         }
         self.stats.stringifications_hoisted += 1;
         match self.hoist_elements(arg, c) {

@@ -168,6 +168,10 @@ pub struct PpOptions {
     pub builtins: Builtins,
     /// Include nesting limit.
     pub max_include_depth: usize,
+    /// Ceiling on hoisted branches per pasting/stringification/expansion
+    /// operation; beyond it the operation degrades with a warning
+    /// diagnostic instead of enumerating configurations.
+    pub hoist_cap: usize,
     /// Single-configuration ("gcc") mode: free macros count as undefined,
     /// conditionals fully resolve, and the output contains no
     /// conditionals. The configuration is given by `defines`. This is the
@@ -182,6 +186,7 @@ impl Default for PpOptions {
             defines: Vec::new(),
             builtins: Builtins::default(),
             max_include_depth: 200,
+            hoist_cap: 4096,
             single_config: false,
         }
     }
@@ -235,7 +240,7 @@ struct CachedFile {
 /// See the crate docs for an end-to-end example.
 pub struct Preprocessor<F: FileSystem> {
     pub(crate) ctx: CondCtx,
-    opts: PpOptions,
+    pub(crate) opts: PpOptions,
     fs: F,
     pub(crate) table: MacroTable,
     pub(crate) stats: PpStats,

@@ -11,10 +11,73 @@ use superc_cond::{Cond, CondCtx};
 use superc_cpp::PTok;
 use superc_grammar::{Action, AstBuild, Grammar, SymbolId};
 
-use crate::error::ParseError;
+use crate::error::{BudgetKind, BudgetTrip, ParseError};
 use crate::forest::{FollowEntry, Forest, NodeRef};
 use crate::semval::{AstNode, SemVal};
 use crate::stats::ParseStats;
+
+/// Per-parse resource budgets (0 = unlimited everywhere).
+///
+/// Unlike the MAPR-faithful [`ParserConfig::kill_switch`], which *aborts*
+/// the parse with an error, budget exhaustion *degrades* it: the engine
+/// kills the lowest-priority subparsers (or, for global budgets, all
+/// remaining ones), records a [`BudgetTrip`] carrying the exact presence
+/// condition that was cut short, and keeps going so the unit still yields
+/// an AST for the surviving configurations and a
+/// [`ParseOutcome::Partial`] result.
+///
+/// Determinism: the subparser queue is deterministic, so `max_live`,
+/// `max_forks`, and `max_steps` trip identically on every run and across
+/// worker counts. `max_cond_nodes` and `max_millis` are safety nets whose
+/// trip points depend on shared-manager warmth and wall-clock speed —
+/// enabling them forfeits the byte-identical-reports guarantee.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParseBudgets {
+    /// Ceiling on simultaneously live subparsers; excess lowest-priority
+    /// queued subparsers are killed (condition-scoped), the rest resume.
+    pub max_live: usize,
+    /// Total forks allowed in one parse; past it, every fork keeps only
+    /// its highest-priority group.
+    pub max_forks: u64,
+    /// Main-loop iteration budget; past it, all remaining subparsers are
+    /// killed and the parse ends with whatever has accepted so far.
+    pub max_steps: u64,
+    /// Ceiling on BDD nodes allocated *during* this parse (checked
+    /// periodically against the manager's node count at parse start).
+    /// Schedule-dependent; see the type docs.
+    pub max_cond_nodes: usize,
+    /// Wall-clock budget in milliseconds, checked periodically.
+    /// Schedule-dependent; see the type docs.
+    pub max_millis: u64,
+}
+
+impl ParseBudgets {
+    /// No limits (the default).
+    pub fn unlimited() -> Self {
+        ParseBudgets::default()
+    }
+
+    /// True when every limit is 0 (disabled).
+    pub fn is_unlimited(&self) -> bool {
+        *self == ParseBudgets::default()
+    }
+}
+
+/// Whether a parse ran to completion or was cut short by a budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// Every subparser ran to acceptance or a parse error.
+    #[default]
+    Complete,
+    /// At least one budget tripped; some configurations were degraded.
+    /// The trips in [`ParseResult::trips`] say which and why.
+    Partial,
+}
+
+/// How often the (cheap) BDD-node ceiling is consulted, in main-loop
+/// iterations; the wall-clock budget is checked 8× less often.
+const COND_NODE_CHECK_MASK: u64 = 63;
+const TIME_CHECK_MASK: u64 = 511;
 
 /// Result of reclassifying a follow-set token (§5.2).
 pub enum Reclass {
@@ -103,6 +166,10 @@ pub struct ParserConfig {
     /// Abort when live subparsers exceed this (0 = unlimited). The paper
     /// uses 16,000 for the MAPR comparison.
     pub kill_switch: usize,
+    /// Degrading resource budgets (all 0 = ungoverned). Orthogonal to the
+    /// kill switch: budgets shed work and keep parsing, the kill switch
+    /// aborts (the MAPR-faithful behavior the ablation tests rely on).
+    pub budgets: ParseBudgets,
 }
 
 impl Default for ParserConfig {
@@ -122,6 +189,7 @@ impl ParserConfig {
             largest_stack_first: false,
             choice_merge: true,
             kill_switch: 0,
+            budgets: ParseBudgets::unlimited(),
         }
     }
 
@@ -171,6 +239,7 @@ impl ParserConfig {
             largest_stack_first: false,
             choice_merge: false,
             kill_switch: 16_000,
+            budgets: ParseBudgets::unlimited(),
         }
     }
 
@@ -205,6 +274,13 @@ pub struct ParseResult {
     pub accepted: Option<Cond>,
     /// Per-configuration parse errors.
     pub errors: Vec<ParseError>,
+    /// [`Complete`](ParseOutcome::Complete) unless a budget tripped.
+    pub outcome: ParseOutcome,
+    /// Budget-exhaustion events, coalesced per [`BudgetKind`], each with
+    /// the presence condition of the configurations it degraded. When
+    /// anything accepted, each trip also contributes an error node to the
+    /// root choice of `ast` under its condition.
+    pub trips: Vec<BudgetTrip>,
     /// Instrumentation.
     pub stats: ParseStats,
 }
@@ -299,6 +375,13 @@ impl<'g, P: ContextPlugin> Parser<'g, P> {
 
     /// Parses a forest under the `true` condition of `cctx`.
     pub fn parse(&mut self, forest: &Forest, cctx: &CondCtx) -> ParseResult {
+        let budgets = self.config.budgets;
+        let bdd_base = if budgets.max_cond_nodes > 0 {
+            cctx.bdd_stats().map_or(0, |s| s.nodes)
+        } else {
+            0
+        };
+        let started = (budgets.max_millis > 0).then(std::time::Instant::now);
         Run {
             parser: self,
             forest,
@@ -310,6 +393,11 @@ impl<'g, P: ContextPlugin> Parser<'g, P> {
             seq: 0,
             accepted: Vec::new(),
             errors: Vec::new(),
+            trips: Vec::new(),
+            budgets,
+            armed: !budgets.is_unlimited(),
+            bdd_base,
+            started,
             stats: ParseStats::default(),
             follow_buf: Vec::new(),
             entries_buf: Vec::new(),
@@ -329,6 +417,18 @@ struct Run<'a, 'g, P: ContextPlugin> {
     seq: u64,
     accepted: Vec<(Cond, SemVal)>,
     errors: Vec<ParseError>,
+    /// Budget trips so far, coalesced per kind.
+    trips: Vec<BudgetTrip>,
+    /// The configured budgets, hoisted out of the config for the
+    /// per-iteration checks.
+    budgets: ParseBudgets,
+    /// `!budgets.is_unlimited()`, precomputed: the ungoverned hot loop
+    /// pays exactly one predictable branch for the governance layer.
+    armed: bool,
+    /// BDD manager node count when the parse started (for the ceiling).
+    bdd_base: usize,
+    /// Set only when a wall-clock budget is active.
+    started: Option<std::time::Instant>,
     stats: ParseStats,
     /// Scratch buffers reused across token steps so the hot
     /// follow → reclassify → act loop does not allocate.
@@ -378,6 +478,15 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
                 });
                 break;
             }
+            if self.armed {
+                if let Some((kind, limit)) = self.tripped_budget() {
+                    self.kill_all(kind, limit, p);
+                    break; // a global budget tripped; queue is empty
+                }
+                if self.budgets.max_live > 0 && self.live + 1 > self.budgets.max_live {
+                    self.shed_queued(self.budgets.max_live - 1, self.budgets.max_live as u64);
+                }
+            }
             if p.heads.len() > 1 {
                 self.step_multi(p);
             } else {
@@ -398,13 +507,147 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
         let ast = if self.accepted.is_empty() {
             None
         } else {
+            // Degraded configurations appear in the AST as explicit error
+            // nodes *after* the real alternatives, so configuration-
+            // restricted queries of surviving configurations are
+            // unaffected while degraded ones resolve to a marker node
+            // carrying the budget that tripped.
+            for t in &self.trips {
+                self.accepted.push((
+                    t.cond.clone(),
+                    SemVal::Node(Rc::new(AstNode {
+                        prod: u32::MAX,
+                        sym: self.parser.grammar.eof(),
+                        kind: Rc::from(format!("budget_error:{}", t.kind)),
+                        children: Vec::new(),
+                        list: false,
+                    })),
+                ));
+            }
             Some(SemVal::choice(std::mem::take(&mut self.accepted)))
+        };
+        let outcome = if self.trips.is_empty() {
+            ParseOutcome::Complete
+        } else {
+            ParseOutcome::Partial
         };
         ParseResult {
             ast,
             accepted: accepted_cond,
             errors: self.errors,
+            outcome,
+            trips: self.trips,
             stats: self.stats,
+        }
+    }
+
+    // ----- resource governance -----------------------------------------
+
+    /// Enforces the degrading budgets for the subparser about to step.
+    /// Returns `None` when a *global* budget (steps / condition nodes /
+    /// time) tripped — `p` and every queued subparser were killed and
+    /// recorded, and the main loop should stop. The live-subparser
+    /// ceiling instead sheds the lowest-priority queued subparsers and
+    /// lets `p` proceed.
+    /// Which global budget, if any, tripped this iteration. Inlined into
+    /// the main loop: on governed runs this is a handful of predictable
+    /// branches; the costlier probes (BDD node count, wall clock) only
+    /// run every [`COND_NODE_CHECK_MASK`]/[`TIME_CHECK_MASK`] + 1 steps.
+    #[inline]
+    fn tripped_budget(&self) -> Option<(BudgetKind, u64)> {
+        let b = &self.budgets;
+        if b.max_steps > 0 && self.stats.iterations > b.max_steps {
+            return Some((BudgetKind::Steps, b.max_steps));
+        }
+        if b.max_cond_nodes > 0 && self.stats.iterations & COND_NODE_CHECK_MASK == 0 {
+            let grown = self
+                .cctx
+                .bdd_stats()
+                .map_or(0, |s| s.nodes)
+                .saturating_sub(self.bdd_base);
+            if grown > b.max_cond_nodes {
+                return Some((BudgetKind::CondNodes, b.max_cond_nodes as u64));
+            }
+        }
+        if let Some(t0) = self.started {
+            if self.stats.iterations & TIME_CHECK_MASK == 0
+                && t0.elapsed().as_millis() as u64 > b.max_millis
+            {
+                return Some((BudgetKind::TimeMs, b.max_millis));
+            }
+        }
+        None
+    }
+
+    /// Kills the current subparser and every queued one, recording one
+    /// coalesced trip covering all their configurations.
+    fn kill_all(&mut self, kind: BudgetKind, limit: u64, p: Sub<P::Ctx>) {
+        let mut cond = p.cond();
+        let mut killed = 1u64;
+        for slot in &mut self.slab {
+            if let Some(q) = slot.take() {
+                cond = cond.or(&q.cond());
+                killed += 1;
+            }
+        }
+        self.heap.clear();
+        self.live = 0;
+        self.record_trip(kind, limit, cond, killed);
+    }
+
+    /// Sheds queued subparsers down to `keep`, killing the lowest-priority
+    /// (furthest-position, latest-sequence) ones — the current subparser
+    /// is untouched, so progress continues on the highest-priority work.
+    fn shed_queued(&mut self, keep: usize, limit: u64) {
+        // Every live slab entry has exactly one heap entry (merges mutate
+        // in place); tombstones are filtered out here.
+        let mut entries: Vec<(u32, u32, u64, usize)> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .map(|Reverse(e)| e)
+            .filter(|&(_, _, _, id)| self.slab[id].is_some())
+            .collect();
+        entries.sort_unstable();
+        let victims = entries.split_off(keep.min(entries.len()));
+        if victims.is_empty() {
+            self.heap = entries.into_iter().map(Reverse).collect();
+            return;
+        }
+        let mut cond: Option<Cond> = None;
+        let mut killed = 0u64;
+        for (_, _, _, id) in victims {
+            let q = self.slab[id].take().expect("filtered live");
+            let qc = q.cond();
+            cond = Some(match cond {
+                Some(c) => c.or(&qc),
+                None => qc,
+            });
+            killed += 1;
+        }
+        self.live = entries.len() + 1; // queued survivors + the current one
+        self.heap = entries.into_iter().map(Reverse).collect();
+        self.record_trip(
+            BudgetKind::Subparsers,
+            limit,
+            cond.expect("nonempty victims"),
+            killed,
+        );
+    }
+
+    /// Records a budget trip, coalescing with an earlier trip of the same
+    /// kind (conditions OR, kill counts add).
+    fn record_trip(&mut self, kind: BudgetKind, limit: u64, cond: Cond, killed: u64) {
+        self.stats.budget_trips += 1;
+        self.stats.budget_killed += killed;
+        if let Some(t) = self.trips.iter_mut().find(|t| t.kind == kind) {
+            t.cond = t.cond.or(&cond);
+            t.killed += killed;
+        } else {
+            self.trips.push(BudgetTrip {
+                kind,
+                limit,
+                cond,
+                killed,
+            });
         }
     }
 
@@ -625,7 +868,24 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
             // MAPR: naive per-branch forking on conditional heads.
             if let Some(n) = head.node {
                 if self.forest.token(n).is_none() {
-                    let branches = self.forest.naive_fork(&head.cond, n);
+                    let mut branches = self.forest.naive_fork(&head.cond, n);
+                    let b = self.parser.config.budgets;
+                    if b.max_forks > 0
+                        && branches.len() > 1
+                        && self.stats.forks + (branches.len() - 1) as u64 > b.max_forks
+                    {
+                        let dropped = branches.split_off(1);
+                        let mut cond = dropped[0].0.clone();
+                        for (c, _) in &dropped[1..] {
+                            cond = cond.or(c);
+                        }
+                        self.record_trip(
+                            BudgetKind::Forks,
+                            b.max_forks,
+                            cond,
+                            dropped.len() as u64,
+                        );
+                    }
                     self.stats.forks += branches.len().saturating_sub(1) as u64;
                     let Sub { stack, ctx, .. } = p;
                     let m = branches.len();
@@ -773,6 +1033,31 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
         }
         for h in singles {
             groups.push(vec![h]);
+        }
+        let b = self.parser.config.budgets;
+        if b.max_forks > 0
+            && groups.len() > 1
+            && self.stats.forks + (groups.len() - 1) as u64 > b.max_forks
+        {
+            // Fork budget exhausted: keep only the highest-priority group
+            // (shifts, else the lowest-numbered reduce) and degrade the
+            // configurations the dropped groups would have explored.
+            let dropped = groups.split_off(1);
+            let mut cond: Option<Cond> = None;
+            for heads in &dropped {
+                for h in heads {
+                    cond = Some(match cond {
+                        Some(c) => c.or(&h.cond),
+                        None => h.cond.clone(),
+                    });
+                }
+            }
+            self.record_trip(
+                BudgetKind::Forks,
+                b.max_forks,
+                cond.expect("dropped groups have heads"),
+                dropped.len() as u64,
+            );
         }
         self.stats.forks += groups.len().saturating_sub(1) as u64;
         let n = groups.len();

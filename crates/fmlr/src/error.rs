@@ -1,9 +1,90 @@
-//! Parse errors carrying presence conditions.
+//! Parse errors and budget trips, both carrying presence conditions.
 
 use std::fmt;
 
 use superc_cond::Cond;
 use superc_lexer::SourcePos;
+
+/// Which resource budget a governed parse exhausted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BudgetKind {
+    /// Live-subparser ceiling ([`ParseBudgets::max_live`]).
+    ///
+    /// [`ParseBudgets::max_live`]: crate::ParseBudgets::max_live
+    Subparsers,
+    /// Fork-count budget ([`ParseBudgets::max_forks`]).
+    ///
+    /// [`ParseBudgets::max_forks`]: crate::ParseBudgets::max_forks
+    Forks,
+    /// Main-loop step budget ([`ParseBudgets::max_steps`]).
+    ///
+    /// [`ParseBudgets::max_steps`]: crate::ParseBudgets::max_steps
+    Steps,
+    /// BDD node ceiling ([`ParseBudgets::max_cond_nodes`]).
+    ///
+    /// [`ParseBudgets::max_cond_nodes`]: crate::ParseBudgets::max_cond_nodes
+    CondNodes,
+    /// Wall-clock budget ([`ParseBudgets::max_millis`]).
+    ///
+    /// [`ParseBudgets::max_millis`]: crate::ParseBudgets::max_millis
+    TimeMs,
+}
+
+impl BudgetKind {
+    /// Human-readable budget name used in diagnostics.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BudgetKind::Subparsers => "live subparsers",
+            BudgetKind::Forks => "forks",
+            BudgetKind::Steps => "steps",
+            BudgetKind::CondNodes => "condition nodes",
+            BudgetKind::TimeMs => "milliseconds",
+        }
+    }
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One budget-exhaustion event, condition-scoped: the configurations in
+/// `cond` were degraded (their subparsers killed) when `kind` tripped.
+///
+/// Trips of the same kind within one parse are coalesced: `cond` is the
+/// disjunction of every affected subparser's presence condition and
+/// `killed` the total count.
+#[derive(Clone, Debug)]
+pub struct BudgetTrip {
+    /// The budget that tripped.
+    pub kind: BudgetKind,
+    /// The configured limit.
+    pub limit: u64,
+    /// Disjunction of the killed subparsers' presence conditions — the
+    /// exact configurations whose parse was cut short.
+    pub cond: Cond,
+    /// Subparsers (or fork groups) dropped by this trip.
+    pub killed: u64,
+}
+
+impl BudgetTrip {
+    /// Deterministic one-line description (no condition text — conditions
+    /// render schedule-dependently; callers wanting the condition should
+    /// canonicalize `cond` themselves).
+    pub fn describe(&self) -> String {
+        format!(
+            "budget exceeded: {} limit {} ({} subparsers dropped)",
+            self.kind, self.limit, self.killed
+        )
+    }
+}
+
+impl fmt::Display for BudgetTrip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (config {})", self.describe(), self.cond)
+    }
+}
 
 /// A parse failure in some part of the configuration space.
 ///

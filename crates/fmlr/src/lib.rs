@@ -28,6 +28,13 @@
 //! Context-sensitivity (C typedef names) is handled by a plug-in
 //! ([`ContextPlugin`]) with the paper's four callbacks: reclassify,
 //! forkContext, mayMerge, mergeContexts (§5.2).
+//!
+//! **Resource governance:** [`ParseBudgets`] bounds live subparsers,
+//! forks, steps, BDD growth, and wall time. Unlike the MAPR kill switch,
+//! exhaustion *degrades* the parse instead of aborting it: the affected
+//! subparsers are killed, their presence conditions recorded as
+//! [`BudgetTrip`]s, and the remaining configurations still produce an
+//! AST ([`ParseOutcome::Partial`]).
 
 mod engine;
 mod error;
@@ -35,8 +42,11 @@ mod forest;
 mod semval;
 mod stats;
 
-pub use engine::{ContextPlugin, NullContext, ParseResult, Parser, ParserConfig, Reclass};
-pub use error::ParseError;
+pub use engine::{
+    ContextPlugin, NullContext, ParseBudgets, ParseOutcome, ParseResult, Parser, ParserConfig,
+    Reclass,
+};
+pub use error::{BudgetKind, BudgetTrip, ParseError};
 pub use forest::{Forest, NodeId, NodeRef};
 pub use semval::{AstNode, SemVal};
 pub use stats::ParseStats;

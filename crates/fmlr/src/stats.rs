@@ -33,6 +33,10 @@ pub struct ParseStats {
     pub reclassify_forks: u64,
     /// Static choice nodes created while merging semantic values.
     pub choice_nodes: u64,
+    /// Budget-governance events (each shed/kill-all/fork-trim is one).
+    pub budget_trips: u64,
+    /// Subparsers (or fork groups) killed by budget governance.
+    pub budget_killed: u64,
 }
 
 impl ParseStats {
@@ -83,6 +87,8 @@ impl ParseStats {
         self.lazy_shifts += other.lazy_shifts;
         self.reclassify_forks += other.reclassify_forks;
         self.choice_nodes += other.choice_nodes;
+        self.budget_trips += other.budget_trips;
+        self.budget_killed += other.budget_killed;
     }
 }
 

@@ -539,3 +539,160 @@ fn display_renders_choice_nodes() {
     assert!(text.contains("Stmt"));
     assert!(text.contains("CONFIG_INPUT_MOUSEDEV_PSAUX"));
 }
+
+// ---------------------------------------------------------------------
+// Resource governance: degrading budgets (vs. the aborting kill switch)
+// ---------------------------------------------------------------------
+
+/// MAPR's naive forking without its kill switch — the blow-up regime the
+/// degrading budgets are for.
+fn mapr_unswitched() -> ParserConfig {
+    ParserConfig {
+        kill_switch: 0,
+        ..ParserConfig::mapr()
+    }
+}
+
+fn parse_governed(g: &Grammar, src: &str, cfg: ParserConfig) -> (ParseResult, CondCtx) {
+    let (f, ctx) = forest_for(g, src);
+    let mut parser = Parser::new(g, cfg, NullContext);
+    (parser.parse(&f, &ctx), ctx)
+}
+
+/// The governance coverage invariant: every configuration must terminate
+/// in exactly one of accept, parse error, or budget kill, so the
+/// disjunction of all three surfaces is the whole configuration space.
+fn full_coverage(r: &ParseResult, ctx: &CondCtx) -> Cond {
+    let mut c = r.accepted.clone().unwrap_or_else(|| ctx.constant(false));
+    for e in &r.errors {
+        c = c.or(&e.cond);
+    }
+    for t in &r.trips {
+        c = c.or(&t.cond);
+    }
+    c
+}
+
+#[test]
+fn live_budget_sheds_lowest_priority_and_keeps_parsing() {
+    let g = init_grammar();
+    let cfg = ParserConfig {
+        budgets: ParseBudgets {
+            max_live: 8,
+            ..ParseBudgets::default()
+        },
+        ..mapr_unswitched()
+    };
+    let (r, ctx) = parse_governed(&g, &fig6_source(12), cfg);
+    assert_eq!(r.outcome, ParseOutcome::Partial);
+    assert!(r.errors.is_empty(), "{:?}", r.errors);
+    assert!(r.ast.is_some(), "survivors still yield an AST");
+    let trip = r
+        .trips
+        .iter()
+        .find(|t| t.kind == BudgetKind::Subparsers)
+        .expect("live-subparser trip");
+    assert!(trip.killed > 0);
+    assert!(!trip.cond.is_false());
+    assert!(r.stats.budget_killed >= trip.killed);
+    // Shedding happens at pull time; one step's fan-out may briefly
+    // overshoot the cap but never the MAPR explosion.
+    assert!(
+        r.stats.max_subparsers <= 16,
+        "max subparsers = {}",
+        r.stats.max_subparsers
+    );
+    assert!(
+        full_coverage(&r, &ctx).is_true(),
+        "accept/error/kill must cover the configuration space"
+    );
+    // Degraded configurations appear as error nodes in the root choice.
+    let dump = format!("{}", r.ast.expect("ast"));
+    assert!(dump.contains("budget_error"), "{dump}");
+}
+
+#[test]
+fn step_budget_kills_everything_but_accounts_for_it() {
+    let g = init_grammar();
+    let cfg = ParserConfig {
+        budgets: ParseBudgets {
+            max_steps: 40,
+            ..ParseBudgets::default()
+        },
+        ..ParserConfig::full()
+    };
+    let (r, ctx) = parse_governed(&g, &fig6_source(18), cfg);
+    assert_eq!(r.outcome, ParseOutcome::Partial);
+    assert!(r.stats.iterations <= 42, "stopped promptly");
+    let trip = r
+        .trips
+        .iter()
+        .find(|t| t.kind == BudgetKind::Steps)
+        .expect("step trip");
+    assert!(trip.killed >= 1);
+    assert!(full_coverage(&r, &ctx).is_true());
+}
+
+#[test]
+fn fork_budget_degrades_to_single_group_forks() {
+    // follow_only forks one subparser per follow-set entry (no lazy
+    // shifts to bundle them), so the fork budget genuinely bites.
+    let g = init_grammar();
+    let cfg = ParserConfig {
+        budgets: ParseBudgets {
+            max_forks: 4,
+            ..ParseBudgets::default()
+        },
+        ..ParserConfig::follow_only()
+    };
+    let (r, ctx) = parse_governed(&g, &fig6_source(18), cfg);
+    assert_eq!(r.outcome, ParseOutcome::Partial);
+    assert!(r.stats.forks <= 4, "forks = {}", r.stats.forks);
+    let trip = r
+        .trips
+        .iter()
+        .find(|t| t.kind == BudgetKind::Forks)
+        .expect("fork trip");
+    assert!(!trip.cond.is_false());
+    assert!(full_coverage(&r, &ctx).is_true());
+}
+
+#[test]
+fn generous_budgets_change_nothing() {
+    let g = init_grammar();
+    let src = fig6_source(10);
+    let baseline = parse(&g, &src);
+    let cfg = ParserConfig {
+        budgets: ParseBudgets {
+            max_live: 1 << 20,
+            max_forks: u64::MAX >> 1,
+            max_steps: u64::MAX >> 1,
+            ..ParseBudgets::default()
+        },
+        ..ParserConfig::full()
+    };
+    let (governed, _) = parse_governed(&g, &src, cfg);
+    assert_eq!(governed.outcome, ParseOutcome::Complete);
+    assert!(governed.trips.is_empty());
+    assert_eq!(baseline.stats, governed.stats);
+    assert_eq!(
+        format!("{}", baseline.ast.expect("ast")),
+        format!("{}", governed.ast.expect("ast")),
+    );
+}
+
+#[test]
+fn kill_switch_still_aborts_with_budgets_present() {
+    // The MAPR kill switch must keep its paper-faithful abort semantics
+    // even when budgets are configured alongside it.
+    let g = init_grammar();
+    let cfg = ParserConfig {
+        budgets: ParseBudgets {
+            max_steps: u64::MAX >> 1,
+            ..ParseBudgets::default()
+        },
+        ..ParserConfig::mapr()
+    };
+    let (r, _) = parse_governed(&g, &fig6_source(18), cfg);
+    assert!(r.errors.iter().any(|e| e.message.contains("kill switch")));
+}

@@ -24,7 +24,7 @@
 //! use superc_lexer::{lex, FileId, TokenKind};
 //!
 //! let toks = lex("#ifdef A\nint x;\n#endif\n", FileId(0)).unwrap();
-//! assert_eq!(toks[0].kind, TokenKind::punct("#"));
+//! assert_eq!(Some(toks[0].kind), TokenKind::punct("#"));
 //! assert_eq!(toks[1].text(), "ifdef");
 //! assert_eq!(toks[2].text(), "A");
 //! assert!(matches!(toks[3].kind, TokenKind::Newline));

@@ -121,9 +121,9 @@ fn is_ident_cont(c: u8) -> bool {
 /// let kinds: Vec<_> = toks.iter().map(|t| t.kind).collect();
 /// assert_eq!(kinds, vec![
 ///     TokenKind::Ident,
-///     TokenKind::punct("+="),
+///     TokenKind::punct("+=").unwrap(),
 ///     TokenKind::Number,
-///     TokenKind::punct(";"),
+///     TokenKind::punct(";").unwrap(),
 ///     TokenKind::Newline,
 ///     TokenKind::Eof,
 /// ]);

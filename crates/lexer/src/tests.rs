@@ -52,7 +52,7 @@ fn dot_not_followed_by_digit_is_punct() {
         kinds("a.b"),
         vec![
             TokenKind::Ident,
-            TokenKind::punct("."),
+            TokenKind::punct(".").unwrap(),
             TokenKind::Ident,
             TokenKind::Newline,
             TokenKind::Eof
@@ -87,7 +87,10 @@ fn punctuators_maximal_munch() {
     );
     assert_eq!(
         kinds("+++")[..2],
-        [TokenKind::punct("++"), TokenKind::punct("+")]
+        [
+            TokenKind::punct("++").unwrap(),
+            TokenKind::punct("+").unwrap()
+        ]
     );
 }
 

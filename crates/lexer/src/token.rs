@@ -132,14 +132,12 @@ pub enum TokenKind {
 }
 
 impl TokenKind {
-    /// Shorthand for `TokenKind::Punct` from a spelling.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `s` is not a C punctuator; intended for literals in tests
-    /// and table construction.
-    pub fn punct(s: &str) -> TokenKind {
-        TokenKind::Punct(Punct::from_str(s).unwrap_or_else(|| panic!("not a punctuator: {s}")))
+    /// Shorthand for `TokenKind::Punct` from a spelling. Returns `None`
+    /// when `s` is not a C punctuator — callers decide whether that is a
+    /// diagnostic (an error token in a real token stream) or a bug (a
+    /// typo in a test table); neither should bring the process down.
+    pub fn punct(s: &str) -> Option<TokenKind> {
+        Punct::from_str(s).map(TokenKind::Punct)
     }
 }
 

@@ -87,4 +87,26 @@ else
     fi
 fi
 
+# Governed-path cost gate: arming every resource budget (without any of
+# them tripping — fig9_governed uses generous limits) must stay nearly
+# free. Both entries come from the *new* snapshot, measured back-to-back
+# in one process, so machine drift between snapshot generations cancels.
+GOVERNED_TOLERANCE="${GOVERNED_TOLERANCE:-2}"
+gov_rate=$(extract "$NEW" | awk '$1 == "fig9_governed" { print $2 }')
+base_rate=$(extract "$NEW" | awk '$1 == "fig9" { print $2 }')
+if [[ -z "$gov_rate" || -z "$base_rate" ]]; then
+    echo "bench: fig9_governed/fig9 pair missing from new snapshot" >&2
+    fail=1
+else
+    gpct=$(awk -v o="$base_rate" -v n="$gov_rate" \
+        'BEGIN { printf "%+.1f", (n - o) / o * 100 }')
+    if awk -v o="$base_rate" -v n="$gov_rate" -v t="$GOVERNED_TOLERANCE" \
+        'BEGIN { exit !(n >= o * (1 - t / 100)) }'; then
+        echo "bench: fig9_governed vs fig9 ${gpct}% (floor -${GOVERNED_TOLERANCE}%) OK"
+    else
+        echo "bench: governed path costs ${gpct}% vs fig9 (budget -${GOVERNED_TOLERANCE}%)" >&2
+        fail=1
+    fi
+fi
+
 exit "$fail"

@@ -18,6 +18,43 @@ fi
 # Re-run the parallel determinism suite with a wider, oversubscribed jobs
 # ladder than the default 1,2,8 — cheap extra scheduling coverage.
 SUPERC_PAR_JOBS="1,2,3,5,8,16" cargo test -q --test parallel
+
+# Never-crash gate: the pathological corpus (tests/fixtures/robustness,
+# also exercised in-process by tests/robustness.rs) must exit cleanly
+# under tight budgets — no panic escapes the firewall, and the full
+# report (degradation warnings included) is byte-identical for any job
+# count.
+ROBUST_BIN="$PWD/target/release/superc"
+ROBUST_UNITS=(bomb.c deep_nest.c self_include.c typedef_maze.c paste_mess.c ok.c)
+ref=""
+have_ref=0
+for j in 1 2 8; do
+    out=$(cd tests/fixtures/robustness && "$ROBUST_BIN" --jobs "$j" \
+        --parse-budget 400 --max-subparsers 64 --include-depth 8 \
+        "${ROBUST_UNITS[@]}" 2>&1) || {
+        echo "verify: pathological corpus failed at --jobs $j" >&2
+        exit 1
+    }
+    if grep -qi "panic" <<<"$out"; then
+        echo "verify: panic escaped the firewall at --jobs $j:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    if [[ "$have_ref" == 0 ]]; then
+        ref="$out"
+        have_ref=1
+    elif [[ "$out" != "$ref" ]]; then
+        echo "verify: pathological output diverged at --jobs $j" >&2
+        diff <(echo "$ref") <(echo "$out") >&2 || true
+        exit 1
+    fi
+done
+if ! grep -q "budget exceeded" <<<"$ref"; then
+    echo "verify: tight budgets never tripped on the pathological corpus" >&2
+    exit 1
+fi
+echo "verify: pathological corpus OK"
+
 cargo fmt --all --check
 cargo clippy --workspace -- -D warnings
 scripts/bench.sh

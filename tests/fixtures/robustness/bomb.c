@@ -1,0 +1,80 @@
+/* Conditional-dense static initializer: every element is guarded by an
+ * independent macro, so the parser must fork at each one. Pathological
+ * on purpose: this is the shape that exhausts subparser/step budgets. */
+static int bomb_table[] = {
+#ifdef CONFIG_B0
+    0,
+#endif
+#ifdef CONFIG_B1
+    1,
+#endif
+#ifdef CONFIG_B2
+    2,
+#endif
+#ifdef CONFIG_B3
+    3,
+#endif
+#ifdef CONFIG_B4
+    4,
+#endif
+#ifdef CONFIG_B5
+    5,
+#endif
+#ifdef CONFIG_B6
+    6,
+#endif
+#ifdef CONFIG_B7
+    7,
+#endif
+#ifdef CONFIG_B8
+    8,
+#endif
+#ifdef CONFIG_B9
+    9,
+#endif
+#ifdef CONFIG_B10
+    10,
+#endif
+#ifdef CONFIG_B11
+    11,
+#endif
+#ifdef CONFIG_B12
+    12,
+#endif
+#ifdef CONFIG_B13
+    13,
+#endif
+#ifdef CONFIG_B14
+    14,
+#endif
+#ifdef CONFIG_B15
+    15,
+#endif
+#ifdef CONFIG_B16
+    16,
+#endif
+#ifdef CONFIG_B17
+    17,
+#endif
+#ifdef CONFIG_B18
+    18,
+#endif
+#ifdef CONFIG_B19
+    19,
+#endif
+#ifdef CONFIG_B20
+    20,
+#endif
+#ifdef CONFIG_B21
+    21,
+#endif
+#ifdef CONFIG_B22
+    22,
+#endif
+#ifdef CONFIG_B23
+    23,
+#endif
+    -1
+};
+
+int bomb_len(void) { return sizeof(bomb_table) / sizeof(bomb_table[0]); }

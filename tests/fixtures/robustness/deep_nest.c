@@ -1,0 +1,163 @@
+/* Deeply nested conditionals: a conjunction 80 macros wide. */
+#ifdef CONFIG_N0
+#ifdef CONFIG_N1
+#ifdef CONFIG_N2
+#ifdef CONFIG_N3
+#ifdef CONFIG_N4
+#ifdef CONFIG_N5
+#ifdef CONFIG_N6
+#ifdef CONFIG_N7
+#ifdef CONFIG_N8
+#ifdef CONFIG_N9
+#ifdef CONFIG_N10
+#ifdef CONFIG_N11
+#ifdef CONFIG_N12
+#ifdef CONFIG_N13
+#ifdef CONFIG_N14
+#ifdef CONFIG_N15
+#ifdef CONFIG_N16
+#ifdef CONFIG_N17
+#ifdef CONFIG_N18
+#ifdef CONFIG_N19
+#ifdef CONFIG_N20
+#ifdef CONFIG_N21
+#ifdef CONFIG_N22
+#ifdef CONFIG_N23
+#ifdef CONFIG_N24
+#ifdef CONFIG_N25
+#ifdef CONFIG_N26
+#ifdef CONFIG_N27
+#ifdef CONFIG_N28
+#ifdef CONFIG_N29
+#ifdef CONFIG_N30
+#ifdef CONFIG_N31
+#ifdef CONFIG_N32
+#ifdef CONFIG_N33
+#ifdef CONFIG_N34
+#ifdef CONFIG_N35
+#ifdef CONFIG_N36
+#ifdef CONFIG_N37
+#ifdef CONFIG_N38
+#ifdef CONFIG_N39
+#ifdef CONFIG_N40
+#ifdef CONFIG_N41
+#ifdef CONFIG_N42
+#ifdef CONFIG_N43
+#ifdef CONFIG_N44
+#ifdef CONFIG_N45
+#ifdef CONFIG_N46
+#ifdef CONFIG_N47
+#ifdef CONFIG_N48
+#ifdef CONFIG_N49
+#ifdef CONFIG_N50
+#ifdef CONFIG_N51
+#ifdef CONFIG_N52
+#ifdef CONFIG_N53
+#ifdef CONFIG_N54
+#ifdef CONFIG_N55
+#ifdef CONFIG_N56
+#ifdef CONFIG_N57
+#ifdef CONFIG_N58
+#ifdef CONFIG_N59
+#ifdef CONFIG_N60
+#ifdef CONFIG_N61
+#ifdef CONFIG_N62
+#ifdef CONFIG_N63
+#ifdef CONFIG_N64
+#ifdef CONFIG_N65
+#ifdef CONFIG_N66
+#ifdef CONFIG_N67
+#ifdef CONFIG_N68
+#ifdef CONFIG_N69
+#ifdef CONFIG_N70
+#ifdef CONFIG_N71
+#ifdef CONFIG_N72
+#ifdef CONFIG_N73
+#ifdef CONFIG_N74
+#ifdef CONFIG_N75
+#ifdef CONFIG_N76
+#ifdef CONFIG_N77
+#ifdef CONFIG_N78
+#ifdef CONFIG_N79
+int deepest = 1;
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+#endif
+int deep_tail = 0;

@@ -1,0 +1,3 @@
+/* Control fixture: a perfectly ordinary unit that must stay Complete
+ * even under tight budgets. */
+int ok_add(int a, int b) { return a + b; }

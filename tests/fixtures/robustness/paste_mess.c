@@ -1,0 +1,20 @@
+/* Conditionals inside `##` and `#` operands: both force the
+ * preprocessor onto its hoist-and-retry paths. */
+#define GLUE(a, b) a##b
+#define STR(x) #x
+
+int GLUE(val_,
+#ifdef CONFIG_P
+one
+#else
+two
+#endif
+) = 1;
+
+const char *paste_name = STR(
+#ifdef CONFIG_P
+one
+#else
+two
+#endif
+);

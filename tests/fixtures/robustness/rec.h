@@ -1,0 +1,4 @@
+/* Deliberately unguarded self-include: recursion is only bounded by the
+ * preprocessor's include-depth budget. */
+int rec_count;
+#include "rec.h"

@@ -1,0 +1,2 @@
+#include "rec.h"
+int uses_rec(void) { return rec_count; }

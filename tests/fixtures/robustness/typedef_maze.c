@@ -1,0 +1,13 @@
+/* Conditional typedef: under CONFIG_T, `tk * qk;` declares a pointer;
+ * otherwise it multiplies two globals. The parser must fork on the
+ * typedef ambiguity and keep both readings alive. */
+#ifdef CONFIG_T
+typedef int tk;
+#else
+int tk, qk;
+#endif
+
+int maze(void) {
+    tk * qk;
+    return 0;
+}

@@ -129,6 +129,7 @@ fn lint_json_is_byte_identical_across_job_counts() {
             capture: Capture::default(),
             lint: Some(LintOptions::default()),
             no_shared_cache,
+            inject_panic: Vec::new(),
         };
         let report = process_corpus(&fixture_fs(), &files, &options, &copts);
         assert_eq!(report.fatal_units(), 0);

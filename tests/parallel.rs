@@ -88,6 +88,7 @@ fn run_with_cache(corpus: &Corpus, jobs: usize, no_shared_cache: bool) -> Corpus
         },
         lint: Some(LintOptions::default()),
         no_shared_cache,
+        inject_panic: Vec::new(),
     };
     process_corpus(&corpus.fs, &corpus.units, &options(), &copts)
 }

@@ -1,0 +1,270 @@
+//! Never-crash guarantees over the pathological corpus in
+//! `tests/fixtures/robustness/`.
+//!
+//! Each fixture is hostile in one specific way (conditional-dense
+//! initializer, 80-deep conditional nesting, unguarded self-include,
+//! conditional typedef ambiguity, conditionals inside `##`/`#`
+//! operands). The contract under test:
+//!
+//! 1. No input panics — resource exhaustion *degrades* the unit to a
+//!    [`ParseOutcome::Partial`] with condition-scoped trip records, and
+//!    an actual panic (injected here via a test hook) is firewalled
+//!    into a structured [`UnitFailure`] row instead of killing the run.
+//! 2. Degradation is deterministic: the per-unit report — including the
+//!    new partial/degradation/failure surfaces — is identical for
+//!    `jobs` 1/2/8, shared cache on or off, for the deterministic
+//!    budgets (subparsers, forks, steps; the wall-clock and BDD-node
+//!    budgets are schedule-dependent safety nets and excluded here).
+//! 3. Budget trips carry *exact* presence conditions: for every unit,
+//!    accepted ∨ error conditions ∨ tripped conditions ≡ true, checked
+//!    by BDD equivalence — every configuration is accounted for.
+
+use superc::corpus::{process_corpus, Capture, CorpusOptions, UnitReport};
+use superc::{Budgets, Cond, DiskFs, Options, ParserConfig, SuperC};
+
+fn fixture_fs() -> DiskFs {
+    DiskFs::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/robustness"
+    ))
+}
+
+fn fixture_files() -> Vec<String> {
+    [
+        "bomb.c",
+        "deep_nest.c",
+        "self_include.c",
+        "typedef_maze.c",
+        "paste_mess.c",
+        "ok.c",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// Budgets tight enough that the hostile fixtures trip them while the
+/// control fixture stays comfortably inside. Only deterministic budgets:
+/// step count is a pure function of the unit, never of the schedule.
+fn tight_budgets() -> Budgets {
+    Budgets {
+        max_steps: 400,
+        max_include_depth: 8,
+        ..Budgets::unlimited()
+    }
+}
+
+fn copts(jobs: usize, no_shared_cache: bool) -> CorpusOptions {
+    CorpusOptions {
+        jobs,
+        capture: Capture::default(),
+        lint: None,
+        no_shared_cache,
+        inject_panic: Vec::new(),
+    }
+}
+
+/// Everything schedule-invariant about a unit, for cross-run equality.
+fn signature(u: &UnitReport) -> String {
+    format!(
+        "{} parsed={} partial={} degradations={:?} errors={:?} diagnostics={:?} \
+         fatal={:?} failure={:?} choice_nodes={} parse={:?}",
+        u.path,
+        u.parsed,
+        u.partial,
+        u.degradations,
+        u.errors,
+        u.diagnostics,
+        u.fatal,
+        u.failure,
+        u.choice_nodes,
+        u.parse
+    )
+}
+
+fn run_signatures(options: &Options, copts: &CorpusOptions) -> (Vec<String>, String) {
+    let report = process_corpus(&fixture_fs(), &fixture_files(), options, copts);
+    let sigs = report.units.iter().map(signature).collect();
+    (sigs, report.behavior_counters())
+}
+
+#[test]
+fn tight_budgets_never_panic_and_are_schedule_invariant() {
+    let options = Options {
+        budgets: tight_budgets(),
+        ..Options::default()
+    };
+    let (base_sigs, base_counters) = run_signatures(&options, &copts(1, false));
+    // The step budget must actually bite somewhere…
+    assert!(
+        base_sigs.iter().any(|s| s.contains("partial=true")),
+        "no unit degraded under tight budgets: {base_sigs:#?}"
+    );
+    // …while the control fixture stays untouched.
+    assert!(
+        base_sigs.iter().any(|s| s.starts_with("ok.c")
+            && s.contains("partial=false")
+            && s.contains("parsed=true")),
+        "control fixture degraded: {base_sigs:#?}"
+    );
+    assert!(base_counters.contains("partial="));
+    for jobs in [1, 2, 8] {
+        for no_cache in [false, true] {
+            let (sigs, counters) = run_signatures(&options, &copts(jobs, no_cache));
+            assert_eq!(
+                sigs, base_sigs,
+                "per-unit report drifted at jobs={jobs} no_cache={no_cache}"
+            );
+            assert_eq!(
+                counters, base_counters,
+                "behavior counters drifted at jobs={jobs} no_cache={no_cache}"
+            );
+        }
+    }
+}
+
+#[test]
+fn subparser_shedding_is_schedule_invariant_under_mapr() {
+    // MAPR's naive forking is what actually piles up live subparsers
+    // (the optimized levels merge eagerly and peak at 2 on this corpus),
+    // so the live-cap budget is exercised against it.
+    let options = Options {
+        parser: ParserConfig::mapr(),
+        budgets: Budgets {
+            max_subparsers: 4,
+            ..Budgets::unlimited()
+        },
+        ..Options::default()
+    };
+    let (base_sigs, _) = run_signatures(&options, &copts(1, false));
+    assert!(
+        base_sigs.iter().any(|s| s.contains("live subparsers")),
+        "live-cap budget never tripped: {base_sigs:#?}"
+    );
+    for jobs in [2, 8] {
+        let (sigs, _) = run_signatures(&options, &copts(jobs, false));
+        assert_eq!(sigs, base_sigs, "shedding drifted at jobs={jobs}");
+    }
+}
+
+#[test]
+fn budget_trip_conditions_cover_every_configuration() {
+    let options = Options {
+        budgets: tight_budgets(),
+        ..Options::default()
+    };
+    let mut partials = 0usize;
+    for file in fixture_files() {
+        let mut tool = SuperC::new(options.clone(), fixture_fs());
+        let p = tool
+            .process(&file)
+            .unwrap_or_else(|e| panic!("{file}: pathological inputs must not be fatal: {e}"));
+        let ctx = tool.ctx().clone();
+        let mut covered: Cond = p
+            .result
+            .accepted
+            .clone()
+            .unwrap_or_else(|| ctx.constant(false));
+        for e in &p.result.errors {
+            covered = covered.or(&e.cond);
+        }
+        for t in &p.result.trips {
+            covered = covered.or(&t.cond);
+        }
+        partials += usize::from(!p.result.trips.is_empty());
+        assert!(
+            covered.is_true(),
+            "{file}: some configuration neither accepted, errored, nor \
+             tripped a budget (covered only {covered})"
+        );
+    }
+    assert!(partials > 0, "no fixture tripped a budget");
+}
+
+#[test]
+fn include_depth_budget_degrades_with_a_diagnostic() {
+    let options = Options {
+        budgets: Budgets {
+            max_include_depth: 4,
+            ..Budgets::unlimited()
+        },
+        ..Options::default()
+    };
+    let mut tool = SuperC::new(options, fixture_fs());
+    let p = tool
+        .process("self_include.c")
+        .expect("depth overflow must degrade, not fail");
+    assert!(
+        p.unit
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("include nesting too deep")),
+        "missing depth diagnostic: {:?}",
+        p.unit.diagnostics
+    );
+    assert!(p.result.ast.is_some(), "unit must still parse");
+}
+
+#[test]
+fn injected_panics_are_firewalled_and_deterministic() {
+    let options = Options::default();
+    let inject = vec!["bomb.c".to_string()];
+    let mut base: Option<Vec<String>> = None;
+    for jobs in [1, 2, 8] {
+        let copts = CorpusOptions {
+            inject_panic: inject.clone(),
+            ..copts(jobs, false)
+        };
+        let report = process_corpus(&fixture_fs(), &fixture_files(), &options, &copts);
+        let bomb = &report.units[0];
+        assert_eq!(bomb.path, "bomb.c");
+        let failure = bomb
+            .failure
+            .as_ref()
+            .expect("panic must become a failure row");
+        assert_eq!(failure.stage, "panic");
+        assert!(
+            failure.message.contains("injected panic"),
+            "payload lost: {failure:?}"
+        );
+        assert!(!bomb.parsed, "a panicked unit has no parse");
+        // The worker that caught the panic rebuilds its state and keeps
+        // going: every other unit is unaffected.
+        assert_eq!(report.failed_units(), 1, "jobs={jobs}");
+        assert_eq!(
+            report.parsed_units(),
+            fixture_files().len() - 1,
+            "jobs={jobs}"
+        );
+        let sigs: Vec<String> = report.units.iter().map(signature).collect();
+        match &base {
+            None => base = Some(sigs),
+            Some(b) => assert_eq!(&sigs, b, "firewall output drifted at jobs={jobs}"),
+        }
+    }
+}
+
+#[test]
+fn generous_budgets_are_behavior_identical_to_ungoverned() {
+    let governed = Options {
+        budgets: Budgets {
+            max_subparsers: 1 << 20,
+            max_forks: 1 << 40,
+            max_steps: 1 << 40,
+            // Matches `PpOptions::default`, so the self-include fixture
+            // bottoms out at the same depth either way.
+            max_include_depth: 200,
+            ..Budgets::unlimited()
+        },
+        ..Options::default()
+    };
+    let ungoverned = Options::default();
+    let (gov_sigs, gov_counters) = run_signatures(&governed, &copts(1, false));
+    let (raw_sigs, raw_counters) = run_signatures(&ungoverned, &copts(1, false));
+    assert_eq!(
+        gov_sigs, raw_sigs,
+        "armed-but-untripped budgets changed behavior"
+    );
+    assert_eq!(gov_counters, raw_counters);
+    assert!(gov_sigs.iter().all(|s| s.contains("partial=false")));
+}
