@@ -12,18 +12,31 @@
 //!
 //! Flags: `--json` (write the snapshot file), `--out <path>` (override
 //! the output path), `--reps <n>` (timing repetitions, default 3; the
-//! fastest rep is reported to damp scheduler noise).
+//! fastest rep is reported to damp scheduler noise), `--warmup <n>`
+//! (untimed passes per measured configuration before its timed reps,
+//! default 1 — warms the shared caches and worker pools the way a
+//! long-running corpus process would be warm).
+//!
+//! Paired workloads (`full`/`full_par`, `fig9`/`fig9_governed`/
+//! `fig9_par`, the `kernel` jobs ladder) **interleave** their reps:
+//! machine-load drift over the run hits every side of a comparison
+//! equally, so the ratios `scripts/bench.sh` gates on measure the code,
+//! not the weather.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use superc::analyze::LintOptions;
 use superc::bdd::BddStats;
 use superc::report::TextTable;
-use superc::{Budgets, CondBackend, Options, ParseStats, ParserConfig, PpStats, SuperC};
+use superc::{
+    Budgets, CondBackend, CorpusOptions, CorpusReport, CorpusRunner, MemFs, Options, ParseStats,
+    ParserConfig, PpStats, SuperC,
+};
 use superc_bench::{
-    fig9_corpus, full_corpus, full_headers_corpus, pp_options, process_corpus_parallel_opts,
-    process_corpus_with_tool, warm_up,
+    fig9_corpus, full_corpus, full_headers_corpus, kernel_corpus, pp_options,
+    process_corpus_parallel_opts, process_corpus_with_tool, warm_up,
 };
 use superc_kernelgen::Corpus;
 
@@ -188,6 +201,29 @@ fn measure_lint(name: &'static str, corpus: &Corpus, reps: usize) -> Snapshot {
     best.expect("at least one rep")
 }
 
+/// Reduces a corpus-driver report to a [`Snapshot`] row.
+fn report_snapshot(name: &'static str, report: CorpusReport) -> Snapshot {
+    let peak_live = report
+        .units
+        .iter()
+        .map(|u| u.parse.max_subparsers)
+        .max()
+        .unwrap_or(0);
+    let bytes = report.units.iter().map(|u| u.bytes).sum();
+    Snapshot {
+        name,
+        jobs: report.workers,
+        units: report.units.len(),
+        bytes,
+        tokens: report.pp.output_tokens,
+        seconds: report.wall.as_secs_f64(),
+        peak_live,
+        parse: report.parse.clone(),
+        bdd: report.bdd.unwrap_or_default(),
+        pp: report.pp,
+    }
+}
+
 /// Times `reps` runs of the parallel corpus driver, keeping the fastest.
 fn measure_parallel(
     name: &'static str,
@@ -199,31 +235,54 @@ fn measure_parallel(
     let mut best: Option<Snapshot> = None;
     for _ in 0..reps.max(1) {
         let report = process_corpus_parallel_opts(corpus, options(), jobs, no_shared_cache);
-        let peak_live = report
-            .units
-            .iter()
-            .map(|u| u.parse.max_subparsers)
-            .max()
-            .unwrap_or(0);
-        let bytes = report.units.iter().map(|u| u.bytes).sum();
-        let snap = Snapshot {
-            name,
-            jobs: report.workers,
-            units: report.units.len(),
-            bytes,
-            tokens: report.pp.output_tokens,
-            seconds: report.wall.as_secs_f64(),
-            peak_live,
-            parse: report.parse.clone(),
-            bdd: report.bdd.unwrap_or_default(),
-            pp: report.pp,
-        };
+        let snap = report_snapshot(name, report);
         match &best {
             Some(b) if b.seconds <= snap.seconds => {}
             _ => best = Some(snap),
         }
     }
     best.expect("at least one rep")
+}
+
+/// The `kernel` workload's jobs ladder: one row per rung.
+const KERNEL_LADDER: &[(usize, &str)] = &[
+    (1, "kernel_j1"),
+    (2, "kernel_j2"),
+    (4, "kernel_j4"),
+    (8, "kernel_j8"),
+];
+
+/// The kernel-scale scaling benchmark: one **pooled** [`CorpusRunner`]
+/// per ladder rung, spawned (and optionally warmed) before timing, then
+/// `reps` interleaved passes — rung 1, 2, 4, 8, rung 1, 2, 4, 8, … — so
+/// load drift cancels out of the speedup ratios `scripts/bench.sh`
+/// computes from these rows. The jobs=1 rung goes through the same
+/// pooled driver, so the ladder baseline carries the same scheduling
+/// cost as the parallel rungs.
+fn measure_kernel_ladder(corpus: &Corpus, reps: usize, warmup: usize) -> Vec<Snapshot> {
+    let fs = Arc::new(corpus.fs.clone());
+    let copts = CorpusOptions::default();
+    let mut pools: Vec<(CorpusRunner<MemFs>, &'static str)> = KERNEL_LADDER
+        .iter()
+        .map(|&(jobs, name)| (CorpusRunner::new(&options(), fs.clone(), jobs, false), name))
+        .collect();
+    for (pool, _) in &mut pools {
+        for _ in 0..warmup {
+            std::hint::black_box(pool.run(&corpus.units, &copts));
+        }
+    }
+    let mut best: Vec<Option<Snapshot>> = (0..pools.len()).map(|_| None).collect();
+    for _ in 0..reps.max(1) {
+        for (i, (pool, name)) in pools.iter_mut().enumerate() {
+            let snap = report_snapshot(name, pool.run(&corpus.units, &copts));
+            if best[i].as_ref().is_none_or(|b| snap.seconds < b.seconds) {
+                best[i] = Some(snap);
+            }
+        }
+    }
+    best.into_iter()
+        .map(|b| b.expect("at least one rep"))
+        .collect()
 }
 
 /// The determinism gate: a parallel run must do *exactly* the same
@@ -252,7 +311,7 @@ fn assert_behavior_identical(seq: &Snapshot, par: &Snapshot) {
 
 /// Minimal JSON encoding — flat structure, numeric leaves only, so no
 /// escaping machinery is needed.
-fn to_json(snaps: &[Snapshot]) -> String {
+fn to_json(snaps: &[Snapshot], setup_millis: u64) -> String {
     let mut s = String::from("{\n  \"workloads\": [\n");
     for (i, w) in snaps.iter().enumerate() {
         let _ = write!(
@@ -296,14 +355,26 @@ fn to_json(snaps: &[Snapshot]) -> String {
         );
         s.push_str(if i + 1 < snaps.len() { ",\n" } else { "\n" });
     }
-    let total_tokens: u64 = snaps.iter().map(|w| w.tokens).sum();
-    let total_seconds: f64 = snaps.iter().map(|w| w.seconds).sum();
-    let agg = if total_seconds > 0.0 {
-        total_tokens as f64 / total_seconds
-    } else {
-        0.0
+    // Per-class aggregates: blending the sequential and parallel
+    // workloads into one number (the old `total_tokens_per_sec`) let a
+    // sequential regression hide behind a parallel win and vice versa.
+    let class_rate = |par: bool| -> f64 {
+        let rows = snaps.iter().filter(|w| (w.jobs > 1) == par);
+        let tokens: u64 = rows.clone().map(|w| w.tokens).sum();
+        let seconds: f64 = rows.map(|w| w.seconds).sum();
+        if seconds > 0.0 {
+            tokens as f64 / seconds
+        } else {
+            0.0
+        }
     };
-    let _ = write!(s, "  ],\n  \"total_tokens_per_sec\": {agg:.1}\n}}\n");
+    let _ = write!(
+        s,
+        "  ],\n  \"seq_tokens_per_sec\": {:.1},\n  \"par_tokens_per_sec\": {:.1},\n  \
+         \"setup_millis\": {setup_millis}\n}}\n",
+        class_rate(false),
+        class_rate(true),
+    );
     s
 }
 
@@ -312,6 +383,7 @@ fn main() {
     let mut write_json = false;
     let mut out_path: Option<String> = None;
     let mut reps = 3usize;
+    let mut warmup = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -326,35 +398,83 @@ fn main() {
                     }
                 };
             }
+            "--warmup" => {
+                warmup = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("--warmup takes a non-negative integer");
+                        std::process::exit(2);
+                    }
+                };
+            }
             other => {
-                eprintln!("unknown flag {other}; known: --json --out <path> --reps <n>");
+                eprintln!(
+                    "unknown flag {other}; known: --json --out <path> --reps <n> --warmup <n>"
+                );
                 std::process::exit(2);
             }
         }
     }
 
+    // Everything up to the first timed rep is setup: shared-artifact
+    // construction (grammar tables, classification seed, context
+    // tables), corpus generation, and the untimed warmup passes. It is
+    // reported as `setup_millis` so the snapshot separates one-time cost
+    // from steady-state throughput.
+    let setup_start = Instant::now();
     warm_up();
     let full = full_corpus();
     let fig9 = fig9_corpus();
     let headers = full_headers_corpus();
+    let kernel = kernel_corpus();
     // Parallel entries must actually exercise multi-worker scheduling:
     // clamp to at least 2 workers (oversubscribed on a 1-core machine is
     // fine — the determinism gate is about schedules, not speedup) and at
     // most 8 (`jobs` is recorded in the snapshot so the bench gate can
     // judge scaling per machine).
     let par_jobs = superc::corpus::default_jobs().clamp(2, 8);
-    let full_seq = measure("full", &full, reps, &options());
+    let headers_jobs = 8;
+    for _ in 0..warmup {
+        std::hint::black_box(measure("full", &full, 1, &options()));
+        std::hint::black_box(measure("fig9", &fig9, 1, &options()));
+        std::hint::black_box(measure_parallel(
+            "full_headers",
+            &headers,
+            1,
+            headers_jobs,
+            false,
+        ));
+    }
+    let setup_millis = setup_start.elapsed().as_millis() as u64;
+
+    // Every gated pair interleaves its reps (see the module docs): the
+    // full/full_par pair here, fig9/fig9_governed/fig9_par below, the
+    // kernel ladder inside `measure_kernel_ladder`, and the shared-cache
+    // on/off pair after that.
+    let mut full_seq: Option<Snapshot> = None;
+    let mut full_par: Option<Snapshot> = None;
+    for _ in 0..reps.max(1) {
+        let s = measure("full", &full, 1, &options());
+        if full_seq.as_ref().is_none_or(|b| s.seconds < b.seconds) {
+            full_seq = Some(s);
+        }
+        let p = measure_parallel("full_par", &full, 1, par_jobs, false);
+        if full_par.as_ref().is_none_or(|b| p.seconds < b.seconds) {
+            full_par = Some(p);
+        }
+    }
+    let full_seq = full_seq.expect("at least one rep");
+    let full_par = full_par.expect("at least one rep");
     // fig9 vs fig9_governed (same corpus, budgets armed-but-untripped)
     // isolates the cost of the governance checks; `scripts/bench.sh`
-    // gates the pair at a few percent. Interleave their reps so machine
-    // load drift over the run hits both sides equally — measuring them
-    // minutes apart would fold drift into the measured overhead.
-    // A fig9 rep is tens of milliseconds, so min-of-`reps` is noisy at
-    // the few-percent level the gate cares about; the pair gets extra
-    // reps (still cheap in absolute time).
+    // gates the pair at a few percent. A fig9 rep is tens of
+    // milliseconds, so min-of-`reps` is noisy at the few-percent level
+    // the gate cares about; the trio gets extra reps (still cheap in
+    // absolute time).
     let pair_reps = (2 * reps).max(12);
     let mut fig9_seq: Option<Snapshot> = None;
     let mut fig9_governed: Option<Snapshot> = None;
+    let mut fig9_par: Option<Snapshot> = None;
     for _ in 0..pair_reps {
         let s = measure("fig9", &fig9, 1, &options());
         if fig9_seq.as_ref().is_none_or(|b| s.seconds < b.seconds) {
@@ -364,28 +484,49 @@ fn main() {
         if fig9_governed.as_ref().is_none_or(|b| g.seconds < b.seconds) {
             fig9_governed = Some(g);
         }
+        let p = measure_parallel("fig9_par", &fig9, 1, par_jobs, false);
+        if fig9_par.as_ref().is_none_or(|b| p.seconds < b.seconds) {
+            fig9_par = Some(p);
+        }
     }
     let fig9_seq = fig9_seq.expect("at least one rep");
     let fig9_governed = fig9_governed.expect("at least one rep");
-    let full_par = measure_parallel("full_par", &full, reps, par_jobs, false);
-    let fig9_par = measure_parallel("fig9_par", &fig9, reps, par_jobs, false);
+    let fig9_par = fig9_par.expect("at least one rep");
     let fig9_lint = measure_lint("fig9_lint", &fig9, reps);
+    // The kernel-scale jobs ladder over pooled workers.
+    let kernel_snaps = measure_kernel_ladder(&kernel, reps, warmup);
     // The shared-cache workload pair: identical header-dominated corpus,
     // cache on vs off, so the snapshot records the cache's speedup and
     // hit rate (`scripts/bench.sh` gates on both). Always 8 workers, even
     // oversubscribed: without the shared cache every worker re-lexes
     // every header, so the worker count *is* the redundancy being
     // measured, independent of core count.
-    let headers_jobs = 8;
-    let headers_on = measure_parallel("full_headers", &headers, reps, headers_jobs, false);
-    let headers_off = measure_parallel("full_headers_nocache", &headers, reps, headers_jobs, true);
+    let mut headers_on: Option<Snapshot> = None;
+    let mut headers_off: Option<Snapshot> = None;
+    for _ in 0..reps.max(1) {
+        let on = measure_parallel("full_headers", &headers, 1, headers_jobs, false);
+        if headers_on.as_ref().is_none_or(|b| on.seconds < b.seconds) {
+            headers_on = Some(on);
+        }
+        let off = measure_parallel("full_headers_nocache", &headers, 1, headers_jobs, true);
+        if headers_off.as_ref().is_none_or(|b| off.seconds < b.seconds) {
+            headers_off = Some(off);
+        }
+    }
+    let headers_on = headers_on.expect("at least one rep");
+    let headers_off = headers_off.expect("at least one rep");
     assert_behavior_identical(&full_seq, &full_par);
     assert_behavior_identical(&fig9_seq, &fig9_par);
     assert_behavior_identical(&fig9_seq, &fig9_governed);
+    // Every ladder rung must do identical work: speedup may never come
+    // from doing less.
+    for rung in &kernel_snaps[1..] {
+        assert_behavior_identical(&kernel_snaps[0], rung);
+    }
     // Cache on/off must also be behavior-identical: the cache changes who
     // lexes a header, never what any unit sees.
     assert_behavior_identical(&headers_off, &headers_on);
-    let snaps = vec![
+    let mut snaps = vec![
         full_seq,
         fig9_seq,
         full_par,
@@ -395,6 +536,7 @@ fn main() {
         headers_on,
         headers_off,
     ];
+    snaps.extend(kernel_snaps);
 
     let mut t = TextTable::new(&[
         "workload",
@@ -435,7 +577,7 @@ fn main() {
     if write_json || out_path.is_some() {
         let path = out_path
             .unwrap_or_else(|| format!("{}/../../BENCH_fmlr.json", env!("CARGO_MANIFEST_DIR")));
-        let json = to_json(&snaps);
+        let json = to_json(&snaps, setup_millis);
         std::fs::write(&path, json).expect("write snapshot");
         // Canonicalize purely for display; the write used the raw path.
         let shown = std::fs::canonicalize(&path)

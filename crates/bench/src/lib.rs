@@ -39,6 +39,14 @@ pub fn constrained_corpus() -> Corpus {
     generate(&CorpusSpec::constrained())
 }
 
+/// The kernel-shaped corpus behind `bench_snapshot`'s `kernel` jobs
+/// ladder: kernelgen's kernel preset (deep shared header tree, wide
+/// subsystem-header pool) at a unit count large enough to amortize
+/// per-batch scheduling yet small enough for interleaved ladder reps.
+pub fn kernel_corpus() -> Corpus {
+    generate(&CorpusSpec::kernel().units(128))
+}
+
 /// The corpus for Figure 9: variability between the constrained and
 /// full corpora, calibrated so the SAT baseline finishes while its
 /// latency knee is clearly visible.

@@ -5,16 +5,23 @@
 //!
 //! The corpus is scheduled as a **chunked queue**: one shared
 //! [`AtomicUsize`] cursor over the unit list, each worker claiming the
-//! next unclaimed index until the list is exhausted. Slow units therefore
+//! next run of unclaimed indices (see `chunk_size`) until the list is
+//! exhausted. Chunking amortizes the cursor traffic over several units;
+//! the chunks are small relative to the corpus, so slow units still
 //! never stall the queue behind a fixed pre-partition, and no unit is
 //! processed twice.
 //!
-//! What is *shared* read-only across workers:
+//! What is *shared* read-only across workers — the immutable artifact
+//! layer, built once per process:
 //!
-//! - the file tree (`F: FileSystem + Sync`, borrowed as `&F` — file
-//!   contents are `Arc<str>` handed out by reference-count bump);
-//! - the LALR tables (`superc_csyntax::c_grammar` is a `OnceLock`
-//!   static);
+//! - the file tree (`F: FileSystem + Sync`, borrowed as `&F` by
+//!   [`process_corpus`]'s scoped workers, or held as `Arc<F>` by a
+//!   [`CorpusRunner`]'s pooled workers — file contents are `Arc<str>`
+//!   handed out by reference-count bump);
+//! - the parse artifacts (`superc_csyntax::c_artifacts` is a `OnceLock`
+//!   static): the grammar's LALR action/goto tables behind
+//!   `Arc<ParseTables>`, the keyword/punctuator classification seed,
+//!   and the context plug-in's production tables;
 //! - the [`Options`] (plain data, cloned once per worker);
 //! - the **shared preprocessing cache** (`superc_cpp::SharedCache`,
 //!   unless [`CorpusOptions::no_shared_cache`]): an insert-once /
@@ -22,12 +29,20 @@
 //!   directive tree, and detected include guard, so each file is lexed
 //!   once per *process* instead of once per *worker*.
 //!
-//! What is *per-worker*, created fresh inside each thread and never
-//! shared: the [`CondCtx`] (BDD manager or SAT state), the symbol
-//! interner, the preprocessor's macro table and L1 header cache, the
-//! conditional-expression memo, and all statistics. Workers communicate
-//! only through the cursor, the shared cache's sharded `RwLock`s (off
-//! the hot path: one probe per `#include`), and their return values.
+//! What is *per-worker*, created inside each thread and never shared —
+//! the mutable layer: the [`CondCtx`] (BDD manager or SAT state), the
+//! symbol interner, the preprocessor's macro table and L1 header cache,
+//! the conditional-expression memo, the reusable `CParser` engine state,
+//! and all statistics. Workers communicate only through the cursor, the
+//! shared cache's sharded `RwLock`s (off the hot path: one probe per
+//! `#include`), and their return values.
+//!
+//! [`process_corpus`] spins workers up and down per call — simple, and
+//! fine for one-shot runs. A [`CorpusRunner`] instead keeps a **pool**
+//! of workers alive across batches: each worker's tool (L1 header
+//! cache, BDD manager, interner, parser engine) stays warm from batch
+//! to batch, so repeated runs over the same tree — benchmark reps, a
+//! watch loop, a test matrix — skip the per-batch spin-up entirely.
 //!
 //! # Determinism
 //!
@@ -48,7 +63,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Once};
+use std::sync::{mpsc, Arc, Once};
 use std::time::{Duration, Instant};
 
 use superc_bdd::BddStats;
@@ -321,6 +336,7 @@ pub fn process_corpus<F: FileSystem + Sync>(
 
     let start = Instant::now();
     let cursor = AtomicUsize::new(0);
+    let chunk = chunk_size(units.len(), workers);
     let outputs: Vec<WorkerOutput> = if workers == 1 {
         vec![worker_loop(
             fs,
@@ -329,13 +345,14 @@ pub fn process_corpus<F: FileSystem + Sync>(
             copts,
             shared.clone(),
             &cursor,
+            chunk,
         )]
     } else {
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let shared = shared.clone();
-                    s.spawn(|| worker_loop(fs, units, options, copts, shared, &cursor))
+                    s.spawn(|| worker_loop(fs, units, options, copts, shared, &cursor, chunk))
                 })
                 .collect();
             handles
@@ -345,9 +362,71 @@ pub fn process_corpus<F: FileSystem + Sync>(
         })
     };
     let wall = start.elapsed();
+    assemble(units.len(), outputs, workers, wall)
+}
 
-    // Reassemble in input order: every index was claimed exactly once.
-    let mut slots: Vec<Option<UnitReport>> = units.iter().map(|_| None).collect();
+/// Cursor claim granularity: a worker claims this many consecutive
+/// units per atomic increment. One claim per unit is wasted traffic on
+/// big corpora; claims that are too coarse re-create the pre-partition
+/// stall this queue exists to avoid. A target of ~8 claims per worker
+/// keeps the tail balanced, and a single worker just takes the whole
+/// list in one claim.
+fn chunk_size(n_units: usize, workers: usize) -> usize {
+    if workers <= 1 {
+        n_units.max(1)
+    } else {
+        (n_units / (workers * 8)).clamp(1, 32)
+    }
+}
+
+/// The shared claim-and-process loop behind both drivers: pull chunks
+/// off `cursor` until the list is exhausted, firewalling each unit.
+///
+/// On a caught panic the tool may hold arbitrary mid-unit state, so it
+/// is rebuilt via `make_tool` — only the **mutable layer** (BDD
+/// manager, interner, macro table, L1 cache, engine state); the shared
+/// artifacts and the insert-once L2 cache survive untouched.
+fn claim_loop<F: FileSystem>(
+    tool: &mut SuperC<F>,
+    make_tool: &dyn Fn() -> SuperC<F>,
+    units: &[String],
+    copts: &CorpusOptions,
+    cursor: &AtomicUsize,
+    chunk: usize,
+    out: &mut Vec<(usize, UnitReport)>,
+) {
+    loop {
+        let base = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if base >= units.len() {
+            break;
+        }
+        let end = (base + chunk).min(units.len());
+        for (i, path) in units[base..end].iter().enumerate() {
+            let i = base + i;
+            // Panic firewall: a poisoned unit becomes a structured
+            // failure row instead of unwinding through the thread join.
+            let report = match firewalled(|| process_one(tool, path, copts)) {
+                Ok(report) => report,
+                Err(message) => {
+                    *tool = make_tool();
+                    UnitReport::failed(path, "panic", &format!("panic: {message}"))
+                }
+            };
+            out.push((i, report));
+        }
+    }
+}
+
+/// Reassembles worker outputs in input order and merges the counters:
+/// every index was claimed exactly once, and every merged counter is a
+/// sum or max, so the result is schedule-independent.
+fn assemble(
+    n_units: usize,
+    outputs: Vec<WorkerOutput>,
+    workers: usize,
+    wall: Duration,
+) -> CorpusReport {
+    let mut slots: Vec<Option<UnitReport>> = (0..n_units).map(|_| None).collect();
     let mut cond = CondStats::default();
     let mut bdd: Option<BddStats> = None;
     let mut pp = PpStats::default();
@@ -388,6 +467,7 @@ struct WorkerOutput {
     bdd: Option<BddStats>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<F: FileSystem + Sync>(
     fs: &F,
     units: &[String],
@@ -395,6 +475,7 @@ fn worker_loop<F: FileSystem + Sync>(
     copts: &CorpusOptions,
     shared: Option<Arc<SharedCache>>,
     cursor: &AtomicUsize,
+    chunk: usize,
 ) -> WorkerOutput {
     // Per-worker tool: own CondCtx/interner/macro table/L1 header cache
     // over the shared tree. Reused across this worker's units so header
@@ -409,26 +490,158 @@ fn worker_loop<F: FileSystem + Sync>(
     };
     let mut tool = make_tool();
     let mut out = Vec::new();
-    loop {
-        let i = cursor.fetch_add(1, Ordering::Relaxed);
-        let Some(path) = units.get(i) else { break };
-        // Panic firewall: a poisoned unit becomes a structured failure
-        // row instead of unwinding through the thread join. The tool may
-        // hold arbitrary mid-unit state after an unwind, so it is rebuilt
-        // from scratch (the shared L2 cache, being insert-once, survives).
-        let report = match firewalled(|| process_one(&mut tool, path, copts)) {
-            Ok(report) => report,
-            Err(message) => {
-                tool = make_tool();
-                UnitReport::failed(path, "panic", &format!("panic: {message}"))
-            }
-        };
-        out.push((i, report));
-    }
+    claim_loop(&mut tool, &make_tool, units, copts, cursor, chunk, &mut out);
     WorkerOutput {
         units: out,
         cond: tool.ctx().stats(),
         bdd: tool.ctx().bdd_stats(),
+    }
+}
+
+/// One batch of work for a pooled worker: the unit list, the shared
+/// cursor, and the channel to report back on.
+struct Batch {
+    units: Arc<Vec<String>>,
+    copts: CorpusOptions,
+    cursor: Arc<AtomicUsize>,
+    chunk: usize,
+    done: mpsc::Sender<WorkerOutput>,
+}
+
+/// A persistent pool of corpus workers, reused across batches.
+///
+/// [`process_corpus`] builds its mutable layer (per-worker BDD manager,
+/// interner, caches, parser engine) from scratch on every call and
+/// tears it down at the end. For callers that run the same tree many
+/// times — benchmark repetitions, jobs ladders, watch loops — a
+/// `CorpusRunner` keeps the workers (and their warm caches) alive:
+/// spawn once, [`CorpusRunner::run`] per batch.
+///
+/// The worker count and the shared-cache policy are **pool-level**
+/// choices fixed at construction; [`CorpusOptions::jobs`] and
+/// [`CorpusOptions::no_shared_cache`] on a batch's options are ignored
+/// by [`CorpusRunner::run`]. Per-batch capture/lint/panic-injection
+/// options apply normally. The determinism contract is identical to
+/// [`process_corpus`]: per-unit reports and merged behavior counters
+/// are byte-identical for any pool size, batch split, or schedule.
+///
+/// # Examples
+///
+/// ```
+/// use superc::corpus::{CorpusOptions, CorpusRunner};
+/// use superc::{MemFs, Options};
+/// use std::sync::Arc;
+///
+/// let fs = Arc::new(MemFs::new().file("a.c", "int a;\n"));
+/// let units = vec!["a.c".to_string()];
+/// let mut pool = CorpusRunner::new(&Options::default(), fs, 2, false);
+/// let first = pool.run(&units, &CorpusOptions::default());
+/// let again = pool.run(&units, &CorpusOptions::default()); // warm workers
+/// assert_eq!(first.behavior_counters(), again.behavior_counters());
+/// ```
+pub struct CorpusRunner<F: FileSystem + Send + Sync + 'static> {
+    jobs: usize,
+    txs: Vec<mpsc::Sender<Batch>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    _fs: std::marker::PhantomData<F>,
+}
+
+impl<F: FileSystem + Send + Sync + 'static> CorpusRunner<F> {
+    /// Spawns a pool of `jobs` workers (`0` means [`default_jobs`]) over
+    /// `fs`. Each worker immediately builds its mutable layer (tool over
+    /// `Arc<F>`, attached to one pool-wide shared L2 cache unless
+    /// `no_shared_cache`) and then waits for batches.
+    pub fn new(options: &Options, fs: Arc<F>, jobs: usize, no_shared_cache: bool) -> Self {
+        let jobs = if jobs == 0 { default_jobs() } else { jobs };
+        let shared: Option<Arc<SharedCache>> =
+            (!no_shared_cache).then(|| Arc::new(SharedCache::new()));
+        let mut txs = Vec::with_capacity(jobs);
+        let mut handles = Vec::with_capacity(jobs);
+        for _ in 0..jobs {
+            let (tx, rx) = mpsc::channel::<Batch>();
+            let options = options.clone();
+            let fs = fs.clone();
+            let shared = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                let make_tool = || {
+                    let mut tool = SuperC::new(options.clone(), fs.clone());
+                    if let Some(cache) = &shared {
+                        tool.set_shared_cache(cache.clone());
+                    }
+                    tool
+                };
+                let mut tool = make_tool();
+                while let Ok(batch) = rx.recv() {
+                    let mut out = Vec::new();
+                    claim_loop(
+                        &mut tool,
+                        &make_tool,
+                        &batch.units,
+                        &batch.copts,
+                        &batch.cursor,
+                        batch.chunk,
+                        &mut out,
+                    );
+                    // Cond/BDD gauges are worker-lifetime cumulative
+                    // here (the manager persists across batches); they
+                    // are outside the determinism contract either way.
+                    let _ = batch.done.send(WorkerOutput {
+                        units: out,
+                        cond: tool.ctx().stats(),
+                        bdd: tool.ctx().bdd_stats(),
+                    });
+                }
+            }));
+            txs.push(tx);
+        }
+        CorpusRunner {
+            jobs,
+            txs,
+            handles,
+            _fs: std::marker::PhantomData,
+        }
+    }
+
+    /// The pool's worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs one batch over the pool and reassembles the report in input
+    /// order. Batches beyond the first reuse warm workers; a batch
+    /// smaller than the pool leaves the excess workers idle.
+    pub fn run(&mut self, units: &[String], copts: &CorpusOptions) -> CorpusReport {
+        let workers = self.jobs.min(units.len()).max(1);
+        let start = Instant::now();
+        let shared_units = Arc::new(units.to_vec());
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let chunk = chunk_size(units.len(), workers);
+        let (done_tx, done_rx) = mpsc::channel();
+        for tx in self.txs.iter().take(workers) {
+            tx.send(Batch {
+                units: shared_units.clone(),
+                copts: copts.clone(),
+                cursor: cursor.clone(),
+                chunk,
+                done: done_tx.clone(),
+            })
+            .expect("pool worker alive");
+        }
+        drop(done_tx);
+        let outputs: Vec<WorkerOutput> = done_rx.iter().collect();
+        assert_eq!(outputs.len(), workers, "pool worker died mid-batch");
+        let wall = start.elapsed();
+        assemble(units.len(), outputs, workers, wall)
+    }
+}
+
+impl<F: FileSystem + Send + Sync + 'static> Drop for CorpusRunner<F> {
+    fn drop(&mut self) {
+        // Closing the channels ends each worker's `recv` loop.
+        self.txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
     }
 }
 

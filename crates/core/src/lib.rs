@@ -54,14 +54,17 @@ pub use superc_cpp::{
     Preprocessor, SharedCache,
 };
 pub use superc_csyntax::{
-    c_grammar, classify, declared_names, function_definitions, parse_unit, unparse_config, CContext,
+    c_artifacts, c_grammar, classify, declared_names, function_definitions, parse_unit,
+    unparse_config, CArtifacts, CContext, CParser,
 };
 pub use superc_fmlr::{
     BudgetKind, BudgetTrip, Forest, ParseBudgets, ParseOutcome, ParseResult, ParseStats, Parser,
     ParserConfig, SemVal,
 };
 
-pub use corpus::{process_corpus, CorpusOptions, CorpusReport, UnitFailure, UnitReport};
+pub use corpus::{
+    process_corpus, CorpusOptions, CorpusReport, CorpusRunner, UnitFailure, UnitReport,
+};
 
 use std::time::{Duration, Instant};
 
@@ -188,11 +191,16 @@ impl Options {
 /// The SuperC tool: preprocess + parse compilation units over a file
 /// system, with shared header caches across units.
 ///
+/// The parser is a persistent [`CParser`] seeded from the process-wide
+/// shared artifacts ([`c_artifacts`]): grammar tables, classification
+/// tables, and context tables are resolved once at construction, so
+/// [`SuperC::process`] pays no per-unit parser setup.
+///
 /// See the crate docs for an example.
 pub struct SuperC<F: FileSystem> {
     ctx: CondCtx,
     pp: Preprocessor<F>,
-    parser_config: ParserConfig,
+    parser: CParser,
 }
 
 impl<F: FileSystem> SuperC<F> {
@@ -227,7 +235,7 @@ impl<F: FileSystem> SuperC<F> {
         SuperC {
             ctx,
             pp,
-            parser_config: options.parser,
+            parser: CParser::new(options.parser),
         }
     }
 
@@ -264,7 +272,7 @@ impl<F: FileSystem> SuperC<F> {
         let lexing = Duration::from_nanos(unit.stats.lex_nanos);
 
         let parse_start = Instant::now();
-        let result = parse_unit(&unit, &self.ctx, self.parser_config);
+        let result = self.parser.parse(&unit, &self.ctx);
         let parsing = parse_start.elapsed();
 
         Ok(ProcessedUnit {

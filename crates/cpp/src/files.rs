@@ -59,6 +59,15 @@ impl<F: FileSystem + ?Sized> FileSystem for &F {
     }
 }
 
+/// `Arc`-owned trees are file systems too: pooled corpus workers outlive
+/// any one batch's borrow, so each holds a `Preprocessor<Arc<F>>` over
+/// the same shared tree.
+impl<F: FileSystem + ?Sized> FileSystem for Arc<F> {
+    fn read(&self, path: &str) -> Option<Arc<str>> {
+        (**self).read(path)
+    }
+}
+
 fn join(dir: &str, name: &str) -> String {
     if dir.is_empty() {
         name.to_string()

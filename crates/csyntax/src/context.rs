@@ -1,7 +1,14 @@
 //! The C context plug-in (§5.2): typedef-aware reclassification wired
 //! into the FMLR engine's four callbacks.
+//!
+//! The plug-in's production-kind tables ([`CtxTables`]) are pure
+//! functions of the grammar, so they live in the `Arc`-shared immutable
+//! layer: built once per process with the grammar (see
+//! [`crate::c_artifacts`]) and handed to every [`CContext`] by
+//! reference-count bump instead of being recomputed per parse.
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use superc_cond::Cond;
 use superc_cpp::PTok;
@@ -26,8 +33,13 @@ pub struct CCtx {
     type_seen: bool,
 }
 
-/// The C context plug-in. Create one per parse via [`CContext::new`].
-pub struct CContext {
+/// The grammar-derived, immutable tables behind [`CContext`]: terminal
+/// ids and production-kind bit tables indexed by production id.
+///
+/// A pure function of the grammar — build once per process
+/// ([`crate::c_artifacts`] caches one for the C grammar) and share via
+/// [`Arc`]; per-parse plug-ins are then free reference-count bumps.
+pub struct CtxTables {
     ident: SymbolId,
     typedef_name: SymbolId,
     // Production-kind tables indexed by production id.
@@ -41,10 +53,17 @@ pub struct CContext {
     clears_type_seen: Vec<bool>,
 }
 
-impl CContext {
+/// The C context plug-in: a handle to shared [`CtxTables`]. Create via
+/// [`CContext::new`] (one-off, builds fresh tables) or
+/// [`CContext::seeded`] (shares already-built tables; the corpus path).
+pub struct CContext {
+    t: Arc<CtxTables>,
+}
+
+impl CtxTables {
     /// Builds the plug-in's production tables for `grammar`
     /// (the grammar from [`crate::c_grammar`]).
-    pub fn new(grammar: &Grammar) -> Self {
+    pub fn build(grammar: &Grammar) -> Self {
         let n = grammar.num_productions();
         let mut is_declaration = vec![false; n as usize];
         let mut is_scope_push = vec![false; n as usize];
@@ -95,7 +114,7 @@ impl CContext {
                 _ => {}
             }
         }
-        CContext {
+        CtxTables {
             ident: grammar.terminal("IDENTIFIER").expect("IDENTIFIER"),
             typedef_name: grammar.terminal("TYPEDEF_NAME").expect("TYPEDEF_NAME"),
             is_declaration,
@@ -107,6 +126,22 @@ impl CContext {
             sets_type_seen,
             clears_type_seen,
         }
+    }
+}
+
+impl CContext {
+    /// Builds fresh tables for `grammar`. One-off entry point; the
+    /// corpus path shares the process-wide tables via [`CContext::seeded`].
+    pub fn new(grammar: &Grammar) -> Self {
+        CContext {
+            t: Arc::new(CtxTables::build(grammar)),
+        }
+    }
+
+    /// Wraps already-built shared tables — a reference-count bump
+    /// instead of eight production-table scans.
+    pub fn seeded(tables: Arc<CtxTables>) -> Self {
+        CContext { t: tables }
     }
 }
 
@@ -198,7 +233,7 @@ impl ContextPlugin for CContext {
     }
 
     fn reclassify(&mut self, ctx: &CCtx, tok: &PTok, term: SymbolId, cond: &Cond) -> Reclass {
-        if term != self.ident || ctx.type_seen {
+        if term != self.t.ident || ctx.type_seen {
             return Reclass::Keep;
         }
         // Pre-screen: only names with a typedef entry somewhere can
@@ -213,23 +248,23 @@ impl ContextPlugin for CContext {
         }
         let other = l.object_cond.or(&l.free_cond);
         if other.is_false() {
-            return Reclass::Replace(self.typedef_name);
+            return Reclass::Replace(self.t.typedef_name);
         }
         // Ambiguously defined: fork an extra subparser (§5.2).
         Reclass::Split(vec![
-            (l.typedef_cond, self.typedef_name),
-            (other, self.ident),
+            (l.typedef_cond, self.t.typedef_name),
+            (other, self.t.ident),
         ])
     }
 
     fn on_reduce(&mut self, ctx: &mut CCtx, prod: u32, value: &SemVal, cond: &Cond) {
         let p = prod as usize;
-        if self.sets_type_seen[p] {
+        if self.t.sets_type_seen[p] {
             ctx.type_seen = true;
-        } else if self.clears_type_seen[p] {
+        } else if self.t.clears_type_seen[p] {
             ctx.type_seen = false;
         }
-        if self.is_scope_push[p] {
+        if self.t.is_scope_push[p] {
             ctx.tab.enter_scope();
             // Parameters of the just-seen declarator become objects in
             // the body scope (so they shadow typedefs).
@@ -239,11 +274,11 @@ impl ContextPlugin for CContext {
             }
             return;
         }
-        if self.is_compound[p] {
+        if self.t.is_compound[p] {
             ctx.tab.exit_scope();
             return;
         }
-        if self.is_param_decl[p] {
+        if self.t.is_param_decl[p] {
             if let Some(n) = value.as_node() {
                 if let Some(decl) = n.children.get(1) {
                     let mut names = Vec::new();
@@ -253,7 +288,7 @@ impl ContextPlugin for CContext {
             }
             return;
         }
-        if self.is_enumerator[p] {
+        if self.t.is_enumerator[p] {
             if let Some(n) = value.as_node() {
                 if let Some(t) = n.children.first().and_then(SemVal::as_token) {
                     ctx.tab.define(t.tok.text.clone(), NameKind::Object, cond);
@@ -261,7 +296,7 @@ impl ContextPlugin for CContext {
             }
             return;
         }
-        if self.is_declaration[p] {
+        if self.t.is_declaration[p] {
             // A completed declaration has no unconsumed parameters.
             ctx.pending_params.clear();
             let Some(n) = value.as_node() else { return };
@@ -284,7 +319,7 @@ impl ContextPlugin for CContext {
             }
             return;
         }
-        if self.is_fn_def[p] {
+        if self.t.is_fn_def[p] {
             if let Some(n) = value.as_node() {
                 if let Some(decl) = n.children.get(1) {
                     let mut names = Vec::new();

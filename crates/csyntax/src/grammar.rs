@@ -14,16 +14,51 @@
 //! both with the correct C semantics: the dangling `else`, and
 //! `IDENTIFIER ':'` as a label at statement head.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use superc_grammar::{Grammar, GrammarBuilder};
+
+use crate::context::CtxTables;
+use crate::seed::CSeed;
+
+/// The process-wide immutable parse artifacts for C: the grammar (LALR
+/// action/goto tables behind an `Arc`), the classification seed tables,
+/// and the context plug-in's production tables.
+///
+/// Everything here is a pure function of the grammar text, so it is
+/// built exactly once per process and shared by reference across every
+/// worker thread; only the mutable layer (BDD manager, interner, macro
+/// and symbol tables) is per-worker.
+pub struct CArtifacts {
+    /// The C grammar; clone (or [`Grammar::share`]) for a new handle to
+    /// the same tables.
+    pub grammar: Grammar,
+    /// Keyword/punctuator → terminal classification tables.
+    pub seed: CSeed,
+    /// The typedef context plug-in's production-kind tables.
+    pub ctx_tables: Arc<CtxTables>,
+}
+
+/// The shared C parse artifacts (built once per process).
+pub fn c_artifacts() -> &'static CArtifacts {
+    static A: OnceLock<CArtifacts> = OnceLock::new();
+    A.get_or_init(|| {
+        let grammar = build().expect("the C grammar builds");
+        let seed = CSeed::build(&grammar);
+        let ctx_tables = Arc::new(CtxTables::build(&grammar));
+        CArtifacts {
+            grammar,
+            seed,
+            ctx_tables,
+        }
+    })
+}
 
 /// The shared C grammar (built once per process).
 ///
 /// See the crate docs for an end-to-end example.
 pub fn c_grammar() -> &'static Grammar {
-    static G: OnceLock<Grammar> = OnceLock::new();
-    G.get_or_init(|| build().expect("the C grammar builds"))
+    &c_artifacts().grammar
 }
 
 fn build() -> Result<Grammar, superc_grammar::GrammarError> {

@@ -46,30 +46,82 @@ mod context;
 mod grammar;
 mod keywords;
 mod query;
+mod seed;
 mod symtab;
 
-pub use context::CContext;
-pub use grammar::c_grammar;
+pub use context::{CContext, CtxTables};
+pub use grammar::{c_artifacts, c_grammar, CArtifacts};
 pub use keywords::classify;
 pub use query::{
     declared_names, first_declarator_ident, first_declarator_tok, function_definitions,
     unparse_config, DeclaredName,
 };
+pub use seed::CSeed;
 pub use symtab::{NameKind, SymTab};
 
 use superc_cond::CondCtx;
 use superc_cpp::CompilationUnit;
 use superc_fmlr::{Forest, ParseResult, Parser, ParserConfig};
 
+/// A reusable C parser over the process-wide shared artifacts.
+///
+/// Construction resolves the shared [`CArtifacts`] once and seeds the
+/// engine from them; [`CParser::parse`] can then be called for unit
+/// after unit without rebuilding classification tables, context tables,
+/// or the engine's kind-name cache. One `CParser` per worker thread is
+/// the intended shape — the engine state it reuses is cheap but not
+/// `Sync`.
+pub struct CParser {
+    artifacts: &'static CArtifacts,
+    parser: Parser<'static, CContext>,
+}
+
+impl CParser {
+    /// Creates a parser backed by the shared C artifacts.
+    pub fn new(config: ParserConfig) -> Self {
+        let artifacts = c_artifacts();
+        let plugin = CContext::seeded(artifacts.ctx_tables.clone());
+        CParser {
+            artifacts,
+            parser: Parser::new(&artifacts.grammar, config, plugin),
+        }
+    }
+
+    /// Parses a preprocessed compilation unit. Equivalent to
+    /// [`parse_unit`] with this parser's config, minus the per-call
+    /// setup cost.
+    pub fn parse(&mut self, unit: &CompilationUnit, ctx: &CondCtx) -> ParseResult {
+        let forest = self.build_forest(unit);
+        self.parser.parse(&forest, ctx)
+    }
+
+    /// Like [`CParser::parse`], but also returns the forest (for token
+    /// counts).
+    pub fn parse_with_forest(
+        &mut self,
+        unit: &CompilationUnit,
+        ctx: &CondCtx,
+    ) -> (ParseResult, Forest) {
+        let forest = self.build_forest(unit);
+        let r = self.parser.parse(&forest, ctx);
+        (r, forest)
+    }
+
+    fn build_forest(&self, unit: &CompilationUnit) -> Forest {
+        let seed = &self.artifacts.seed;
+        Forest::build(&unit.elements, &|t| seed.classify(t))
+    }
+}
+
 /// Parses a preprocessed compilation unit with the C grammar and the
 /// typedef-aware context plug-in.
 ///
+/// One-shot convenience over [`CParser`]; callers parsing many units
+/// should hold a `CParser` to amortize per-parse setup.
+///
 /// See the crate docs for an example.
 pub fn parse_unit(unit: &CompilationUnit, ctx: &CondCtx, config: ParserConfig) -> ParseResult {
-    let g = c_grammar();
-    let forest = Forest::build(&unit.elements, &|t| classify(g, t));
-    let mut parser = Parser::new(g, config, CContext::new(g));
-    parser.parse(&forest, ctx)
+    CParser::new(config).parse(unit, ctx)
 }
 
 /// Like [`parse_unit`], but also returns the forest (for token counts).
@@ -78,11 +130,7 @@ pub fn parse_unit_with_forest(
     ctx: &CondCtx,
     config: ParserConfig,
 ) -> (ParseResult, Forest) {
-    let g = c_grammar();
-    let forest = Forest::build(&unit.elements, &|t| classify(g, t));
-    let mut parser = Parser::new(g, config, CContext::new(g));
-    let r = parser.parse(&forest, ctx);
-    (r, forest)
+    CParser::new(config).parse_with_forest(unit, ctx)
 }
 
 #[cfg(test)]

@@ -1,0 +1,143 @@
+//! Shared, immutable classification seed tables for the C grammar.
+//!
+//! Token classification runs once per preprocessed token — the hottest
+//! per-token path outside the LR loop itself. The generic
+//! [`crate::classify`] resolves terminals by *name* (a linear keyword
+//! scan plus string-keyed map lookups), which is fine for one-off use
+//! but wasteful when every worker classifies millions of tokens against
+//! the same grammar. [`CSeed`] precomputes the resolution once per
+//! process: a hashed keyword → terminal table and a punctuator-indexed
+//! LUT, both plain data shared by reference from [`crate::c_artifacts`].
+
+use superc_cpp::PTok;
+use superc_grammar::{Grammar, SymbolId};
+use superc_lexer::{Punct, TokenKind};
+use superc_util::FastMap;
+
+use crate::keywords::KEYWORDS;
+
+/// Immutable classification tables for the C grammar, built once per
+/// process and shared (by `&'static` reference) across all workers.
+pub struct CSeed {
+    /// The `IDENTIFIER` terminal.
+    pub identifier: SymbolId,
+    /// The `TYPEDEF_NAME` terminal (reclassification target).
+    pub typedef_name: SymbolId,
+    /// The `CONSTANT` terminal.
+    pub constant: SymbolId,
+    /// The `STRING_LITERAL` terminal.
+    pub string_literal: SymbolId,
+    /// The `@` error terminal (unknown punctuation maps here so the
+    /// parser reports a per-configuration error instead of panicking).
+    pub error: SymbolId,
+    /// Keyword spelling → terminal (gcc variants normalize here too).
+    keywords: FastMap<&'static str, SymbolId>,
+    /// Punctuator discriminant → terminal.
+    puncts: Vec<SymbolId>,
+}
+
+impl CSeed {
+    /// Builds the seed tables for `grammar` (the grammar from
+    /// [`crate::c_grammar`]).
+    pub(crate) fn build(grammar: &Grammar) -> CSeed {
+        let term = |n: &str| grammar.terminal(n).expect("C grammar terminal");
+        let error = term("@");
+        let mut keywords = FastMap::default();
+        for &(spelling, terminal) in KEYWORDS {
+            keywords.insert(spelling, term(terminal));
+        }
+        let mut puncts = vec![error; Punct::all().len()];
+        for &p in Punct::all() {
+            puncts[p as usize] = grammar.terminal(p.as_str()).unwrap_or(error);
+        }
+        CSeed {
+            identifier: term("IDENTIFIER"),
+            typedef_name: term("TYPEDEF_NAME"),
+            constant: term("CONSTANT"),
+            string_literal: term("STRING_LITERAL"),
+            error,
+            keywords,
+            puncts,
+        }
+    }
+
+    /// Classifies a preprocessed token as a terminal of the C grammar.
+    ///
+    /// Byte-for-byte equivalent to [`crate::classify`] over the C
+    /// grammar, but one hash probe per identifier instead of a linear
+    /// scan, and one indexed load per punctuator instead of a
+    /// string-keyed map lookup.
+    #[inline]
+    pub fn classify(&self, t: &PTok) -> SymbolId {
+        match t.tok.kind {
+            TokenKind::Ident => self
+                .keywords
+                .get(t.text())
+                .copied()
+                .unwrap_or(self.identifier),
+            TokenKind::Number | TokenKind::CharLit => self.constant,
+            TokenKind::StringLit => self.string_literal,
+            TokenKind::Punct(p) => self.puncts[p as usize],
+            TokenKind::Newline | TokenKind::Eof => {
+                unreachable!("newlines and eof do not reach the parser")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use superc_cond::{CondBackend, CondCtx};
+    use superc_cpp::{Builtins, Element, MemFs, PTok, PpOptions, Preprocessor};
+
+    use crate::{c_artifacts, classify};
+
+    fn walk<'a>(elements: &'a [Element], out: &mut Vec<&'a PTok>) {
+        for e in elements {
+            match e {
+                Element::Token(t) => out.push(t),
+                Element::Conditional(c) => {
+                    for b in &c.branches {
+                        walk(&b.elements, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The seeded fast path must agree with the generic name-resolving
+    /// classifier on every token kind, including gcc keyword variants
+    /// and unknown-punct error mapping.
+    #[test]
+    fn seeded_classification_matches_generic() {
+        let src = "typedef int t_t;\n\
+                   __inline__ static t_t f(volatile unsigned x) {\n\
+                     const char *s = \"lit\" \"cat\";\n\
+                     int a[3] = { 1, 0x2, 'c' };\n\
+                     __asm__(\"nop\");\n\
+                     return (t_t)(x << 2) ?: 0;\n\
+                   }\n\
+                   #define GLUE(a, b) a ## b\n\
+                   int GLUE(na, me) = 1;\n";
+        let fs = MemFs::new().file("t.c", src);
+        let ctx = CondCtx::new(CondBackend::Bdd);
+        let opts = PpOptions {
+            builtins: Builtins::none(),
+            ..PpOptions::default()
+        };
+        let mut pp = Preprocessor::new(ctx.clone(), opts, fs);
+        let unit = pp.preprocess("t.c").expect("preprocesses");
+        let a = c_artifacts();
+        let mut toks = Vec::new();
+        walk(&unit.elements, &mut toks);
+        assert!(toks.len() > 30, "walked only {} tokens", toks.len());
+        for t in toks {
+            assert_eq!(
+                a.seed.classify(t),
+                classify(&a.grammar, t),
+                "token {:?} classified differently",
+                t.text()
+            );
+        }
+    }
+}

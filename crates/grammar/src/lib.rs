@@ -35,7 +35,7 @@ mod lalr;
 mod table;
 
 pub use builder::{Assoc, AstBuild, GrammarBuilder, GrammarError, ProdBuilder, Production};
-pub use table::{Action, Conflict, Grammar, SymbolId};
+pub use table::{tables_built, Action, Conflict, Grammar, ParseTables, SymbolId};
 
 #[cfg(test)]
 mod tests;

@@ -4,9 +4,25 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::builder::{Assoc, AstBuild, GrammarBuilder, GrammarError, Production};
 use crate::lalr::{self, LalrInput};
+
+/// Process-wide count of LALR table constructions ([`build_grammar`]
+/// runs). Table construction is the expensive one-time artifact every
+/// parse shares; corpus drivers are expected to build it **once per
+/// process** and `Arc`-share it across workers, and
+/// `tests/shared_artifacts.rs` asserts exactly that via this counter.
+static TABLES_BUILT: AtomicUsize = AtomicUsize::new(0);
+
+/// How many times LALR tables have been constructed in this process
+/// (across all grammars). A corpus run over the C grammar should leave
+/// this at 1 no matter how many workers it used.
+pub fn tables_built() -> usize {
+    TABLES_BUILT.load(Ordering::SeqCst)
+}
 
 /// A symbol (terminal or nonterminal) in a [`Grammar`]'s numbering:
 /// terminals first, then nonterminals.
@@ -38,10 +54,16 @@ pub struct Conflict {
     pub resolution: String,
 }
 
-/// LALR(1) parse tables plus grammar metadata.
+/// The immutable artifact of grammar construction: dense LALR(1)
+/// action/goto tables plus symbol and production metadata.
 ///
-/// Built with [`GrammarBuilder`]; consumed by the FMLR parser engine.
-pub struct Grammar {
+/// This is the expensive, **shareable** layer: building the C grammar's
+/// tables costs orders of magnitude more than any single parse, so the
+/// tables are built once per process and handed out behind an `Arc`
+/// ([`Grammar`] is a cheap clonable handle). Everything here is plain
+/// data — no interior mutability — so `&ParseTables` is freely `Sync`
+/// across parser workers.
+pub struct ParseTables {
     terminals: Vec<String>,
     nonterminals: Vec<String>,
     prods: Vec<Production>,
@@ -53,6 +75,27 @@ pub struct Grammar {
     complete: Vec<bool>,
     conflicts: Vec<Conflict>,
     by_name: HashMap<String, SymbolId>,
+}
+
+/// LALR(1) parse tables plus grammar metadata.
+///
+/// Built with [`GrammarBuilder`]; consumed by the FMLR parser engine.
+/// A `Grammar` is a handle to an [`Arc`]-shared [`ParseTables`]:
+/// cloning it is a reference-count bump, so corpus drivers hand every
+/// worker the same tables instead of rebuilding them per worker. All
+/// table accessors live on [`ParseTables`] and are reachable through
+/// `Deref`.
+#[derive(Clone)]
+pub struct Grammar {
+    tables: Arc<ParseTables>,
+}
+
+impl std::ops::Deref for Grammar {
+    type Target = ParseTables;
+
+    fn deref(&self) -> &ParseTables {
+        &self.tables
+    }
 }
 
 impl fmt::Debug for Grammar {
@@ -69,6 +112,22 @@ impl fmt::Debug for Grammar {
 }
 
 impl Grammar {
+    /// The shared tables behind this handle. Use this to hold the
+    /// immutable layer directly (e.g. across threads without a
+    /// `'static` grammar).
+    pub fn tables(&self) -> &Arc<ParseTables> {
+        &self.tables
+    }
+
+    /// A second handle to the same tables (reference-count bump; never
+    /// rebuilds). Equivalent to `clone`, spelled to make call sites
+    /// explicit that no construction happens.
+    pub fn share(&self) -> Grammar {
+        self.clone()
+    }
+}
+
+impl ParseTables {
     /// Number of terminals (including the implicit eof).
     pub fn num_terminals(&self) -> u32 {
         self.terminals.len() as u32
@@ -351,22 +410,25 @@ pub(crate) fn build_grammar(b: &GrammarBuilder) -> Result<Grammar, GrammarError>
     }
 
     let prod_rhs_len = out_prods.iter().map(|p| p.rhs.len() as u32).collect();
+    TABLES_BUILT.fetch_add(1, Ordering::SeqCst);
     Ok(Grammar {
-        terminals,
-        nonterminals,
-        prods: out_prods,
-        prod_rhs_len,
-        action,
-        goto_,
-        num_states,
-        eof: SymbolId(eof),
-        complete,
-        conflicts,
-        by_name,
+        tables: Arc::new(ParseTables {
+            terminals,
+            nonterminals,
+            prods: out_prods,
+            prod_rhs_len,
+            action,
+            goto_,
+            num_states,
+            eof: SymbolId(eof),
+            complete,
+            conflicts,
+            by_name,
+        }),
     })
 }
 
-impl Grammar {
+impl ParseTables {
     /// Right-hand-side length of a production (pop count on reduce).
     pub fn rhs_len(&self, prod: u32) -> u32 {
         self.prod_rhs_len[prod as usize]

@@ -2,7 +2,7 @@
 //! with the `superc` CLI.
 //!
 //! ```text
-//! kernelgen [--units N] [--seed S] [--headers N] [--constrained] --out DIR
+//! kernelgen [--units N] [--seed S] [--headers N] [--depth N] [--constrained|--kernel] --out DIR
 //! ```
 
 use std::process::ExitCode;
@@ -30,6 +30,17 @@ fn main() -> ExitCode {
                 Some(n) => spec.subsystem_headers = n,
                 None => return usage("--headers needs a number"),
             },
+            "--depth" => match num(&mut it) {
+                Some(n) => spec.header_depth = n,
+                None => return usage("--depth needs a number"),
+            },
+            "--kernel" => {
+                let units = spec.units;
+                let seed = spec.seed;
+                spec = CorpusSpec::kernel();
+                spec.units = units;
+                spec.seed = seed;
+            }
             "--constrained" => {
                 let units = spec.units;
                 let seed = spec.seed;
@@ -64,6 +75,6 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("{msg}");
-    eprintln!("usage: kernelgen [--units N] [--seed S] [--headers N] [--constrained] --out DIR");
+    eprintln!("usage: kernelgen [--units N] [--seed S] [--headers N] [--depth N] [--constrained|--kernel] --out DIR");
     ExitCode::FAILURE
 }

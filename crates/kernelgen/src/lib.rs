@@ -61,6 +61,14 @@ pub struct CorpusSpec {
     /// Generate names that are typedefs only under some configurations
     /// (ambiguously-defined names; Linux has none, Table 3).
     pub ambiguous_typedefs: bool,
+    /// Depth of the shared `include/deep/` header tree (`0` = none).
+    ///
+    /// Real kernel headers form deep include chains (`module.h` pulls
+    /// dozens of transitive headers); this models that skew: every
+    /// subsystem header includes a deep-tree root, so every unit drags
+    /// the whole chain and the shared preprocessing cache has something
+    /// process-wide to amortize.
+    pub header_depth: usize,
 }
 
 impl Default for CorpusSpec {
@@ -75,6 +83,7 @@ impl Default for CorpusSpec {
             computed_include_pct: 20,
             error_directive_pct: 15,
             ambiguous_typedefs: false,
+            header_depth: 4,
         }
     }
 }
@@ -102,8 +111,28 @@ impl CorpusSpec {
             config_vars: 12,
             functions_per_unit: (2, 4),
             init_members: (3, 8),
+            header_depth: 2,
             ..CorpusSpec::default()
         }
+    }
+
+    /// A kernel-shaped corpus: many units over a wide subsystem-header
+    /// pool and a deep shared header tree — the shape the parallel
+    /// corpus driver and `bench_snapshot`'s `kernel` workload are built
+    /// for. Scale the unit count with `units(n)` as needed.
+    pub fn kernel() -> Self {
+        CorpusSpec {
+            units: 1024,
+            subsystem_headers: 64,
+            config_vars: 96,
+            header_depth: 8,
+            ..CorpusSpec::default()
+        }
+    }
+
+    /// The same spec with a different unit count.
+    pub fn units(self, n: usize) -> Self {
+        CorpusSpec { units: n, ..self }
     }
 }
 
@@ -167,6 +196,12 @@ pub fn generate(spec: &CorpusSpec) -> Corpus {
     };
     let mut fs = MemFs::new();
     fixed_headers(&mut fs);
+    // The deep tree is index-deterministic (no RNG draws), so adding or
+    // removing it never shifts the random stream behind the rest of the
+    // corpus: the same seed yields the same units at any depth.
+    for (path, text) in deep_headers(&g.spec, &g.configs) {
+        fs.add(&path, &text);
+    }
     for h in 0..spec.subsystem_headers {
         let (path, text) = g.subsystem_header(h);
         fs.add(&path, &text);
@@ -230,6 +265,12 @@ impl Gen {
         let _ = writeln!(s, "#ifndef {guard}");
         let _ = writeln!(s, "#define {guard}");
         let _ = writeln!(s, "#include <linux/types.h>");
+        if self.spec.header_depth > 0 {
+            // Every subsystem header roots into the shared deep tree, so
+            // every unit drags the whole chain (the module.h skew of
+            // Table 2b, at depth).
+            let _ = writeln!(s, "#include <deep/d0_{}.h>", n % DEEP_WIDTH);
+        }
         let _ = writeln!(s, "#define SUB{n}_BASE {}", 0x100 * (n + 1));
         // A multiply-defined macro (Fig. 2 shape).
         let _ = writeln!(s, "#ifdef {cfg}");
@@ -455,6 +496,55 @@ impl Gen {
     }
 }
 
+/// Parallel chains in the deep header tree. Two is enough to give
+/// subsystem headers distinct roots while keeping the file count
+/// dominated by depth.
+const DEEP_WIDTH: usize = 2;
+
+/// The shared deep header tree: `DEEP_WIDTH` chains of
+/// [`CorpusSpec::header_depth`] guarded headers under `include/deep/`,
+/// each level including the next (with a cross-link so the chains
+/// converge and the include guards actually fire). Contents are a pure
+/// function of `(level, chain)` — no RNG draws — with conditional macro
+/// definitions so depth adds presence-condition work, not just lexing.
+fn deep_headers(spec: &CorpusSpec, configs: &[String]) -> Vec<(String, String)> {
+    let depth = spec.header_depth;
+    let mut out = Vec::new();
+    for l in 0..depth {
+        for k in 0..DEEP_WIDTH {
+            let mut s = String::new();
+            let guard = format!("_DEEP{l}_{k}_H");
+            let _ = writeln!(s, "#ifndef {guard}");
+            let _ = writeln!(s, "#define {guard}");
+            let _ = writeln!(s, "#include <linux/types.h>");
+            if l + 1 < depth {
+                let _ = writeln!(s, "#include <deep/d{}_{k}.h>", l + 1);
+                if k == 1 {
+                    let _ = writeln!(s, "#include <deep/d{}_0.h>", l + 1);
+                }
+            }
+            let cfg = &configs[(l * DEEP_WIDTH + k) % configs.len()];
+            let _ = writeln!(s, "#define DEEP{l}_{k}_SHIFT {}", (l + k) % 24);
+            let _ = writeln!(s, "#ifdef {cfg}");
+            let _ = writeln!(s, "#define DEEP{l}_{k}_CAP 64");
+            let _ = writeln!(s, "#else");
+            let _ = writeln!(s, "#define DEEP{l}_{k}_CAP 16");
+            let _ = writeln!(s, "#endif");
+            let _ = writeln!(s, "typedef u32 deep{l}_{k}_t;");
+            let _ = writeln!(s, "static inline u32 deep{l}_{k}_mix(u32 v)");
+            let _ = writeln!(s, "{{");
+            let _ = writeln!(
+                s,
+                "  return (v << DEEP{l}_{k}_SHIFT) ^ (u32)DEEP{l}_{k}_CAP;"
+            );
+            let _ = writeln!(s, "}}");
+            let _ = writeln!(s, "#endif");
+            out.push((format!("include/deep/d{l}_{k}.h"), s));
+        }
+    }
+    out
+}
+
 fn fixed_headers(fs: &mut MemFs) {
     fs.add(
         "include/linux/types.h",
@@ -627,5 +717,62 @@ mod tests {
                 assert!(text.starts_with("#ifndef"), "{p} lacks a guard");
             }
         }
+    }
+
+    #[test]
+    fn deep_tree_reaches_requested_depth() {
+        let spec = CorpusSpec {
+            header_depth: 5,
+            ..CorpusSpec::small()
+        };
+        let corpus = generate(&spec);
+        for l in 0..spec.header_depth {
+            for k in 0..DEEP_WIDTH {
+                let p = format!("include/deep/d{l}_{k}.h");
+                let text = corpus.fs.read(&p).unwrap_or_else(|| panic!("{p} missing"));
+                if l + 1 < spec.header_depth {
+                    assert!(
+                        text.contains(&format!("#include <deep/d{}_{k}.h>", l + 1)),
+                        "{p} does not chain deeper"
+                    );
+                }
+            }
+        }
+        assert!(corpus.fs.read("include/deep/d5_0.h").is_none());
+        // Subsystem headers root into the tree, so every unit drags it.
+        let sub = corpus.fs.read("include/sub/sub0.h").expect("sub0.h");
+        assert!(sub.contains("#include <deep/d0_0.h>"));
+    }
+
+    #[test]
+    fn depth_does_not_shift_the_random_stream() {
+        let shallow = generate(&CorpusSpec {
+            header_depth: 0,
+            ..CorpusSpec::small()
+        });
+        let deep = generate(&CorpusSpec {
+            header_depth: 6,
+            ..CorpusSpec::small()
+        });
+        // Units are RNG-driven; the index-deterministic deep tree must
+        // not perturb them (only subsystem headers gain an include).
+        for u in &shallow.units {
+            assert_eq!(
+                shallow.fs.read(u).as_deref(),
+                deep.fs.read(u).as_deref(),
+                "{u} differs across depths"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_preset_is_kernel_shaped() {
+        let spec = CorpusSpec::kernel().units(4);
+        assert_eq!(spec.units, 4);
+        assert!(spec.header_depth >= 8);
+        assert!(spec.subsystem_headers >= 64);
+        let corpus = generate(&spec);
+        assert_eq!(corpus.units.len(), 4);
+        assert!(corpus.fs.read("include/deep/d7_1.h").is_some());
     }
 }

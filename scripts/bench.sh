@@ -9,6 +9,14 @@
 #   scripts/bench.sh              # compare against committed snapshot
 #   scripts/bench.sh --update     # rewrite BENCH_fmlr.json in place
 #   TOLERANCE=10 scripts/bench.sh # custom regression tolerance (%)
+#
+# Parallel-scaling gates on the kernel jobs ladder (kernel_j1..kernel_j8,
+# all from the *new* snapshot so machine drift cancels):
+#   PAR_SPEEDUP_MIN_J2=1.7 scripts/bench.sh # jobs=2 speedup floor
+#   PAR_SPEEDUP_MIN_J8=3.0 scripts/bench.sh # jobs=8 speedup floor
+# Defaults scale with the machine: on boxes with fewer cores than the
+# rung's job count the floor degrades to "parallelism must not lose"
+# (slightly below 1.0 to ride out oversubscription overhead).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -107,6 +115,59 @@ else
         echo "bench: governed path costs ${gpct}% vs fig9 (budget -${GOVERNED_TOLERANCE}%)" >&2
         fail=1
     fi
+fi
+
+# Parallel-scaling gate on the kernel jobs ladder. All four rungs come
+# from the new snapshot, measured with interleaved reps in one process,
+# so the speedup ratios are immune to run-to-run machine drift. The
+# floors default by core count: a near-linear expectation where the
+# hardware can deliver it, degrading to "the pool must not lose to
+# sequential" on smaller machines.
+CORES=$(nproc 2>/dev/null || echo 1)
+if [[ "$CORES" -ge 2 ]]; then
+    J2_DEFAULT=1.7
+else
+    J2_DEFAULT=0.85
+fi
+if [[ "$CORES" -ge 8 ]]; then
+    J8_DEFAULT=3.0
+elif [[ "$CORES" -ge 4 ]]; then
+    J8_DEFAULT=2.0
+elif [[ "$CORES" -ge 2 ]]; then
+    J8_DEFAULT=1.3
+else
+    J8_DEFAULT=0.7
+fi
+PAR_SPEEDUP_MIN_J2="${PAR_SPEEDUP_MIN_J2:-$J2_DEFAULT}"
+PAR_SPEEDUP_MIN_J8="${PAR_SPEEDUP_MIN_J8:-$J8_DEFAULT}"
+
+j1_rate=$(extract "$NEW" | awk '$1 == "kernel_j1" { print $2 }')
+if [[ -z "$j1_rate" ]]; then
+    echo "bench: kernel jobs ladder missing from new snapshot" >&2
+    fail=1
+else
+    echo "bench: kernel jobs ladder (${CORES} cores):"
+    echo "bench:   jobs    tok/s  speedup"
+    for j in 1 2 4 8; do
+        rate=$(extract "$NEW" | awk -v n="kernel_j$j" '$1 == n { print $2 }')
+        if [[ -z "$rate" ]]; then
+            echo "bench: kernel_j$j missing from new snapshot" >&2
+            fail=1
+            continue
+        fi
+        speedup=$(awk -v r="$rate" -v b="$j1_rate" 'BEGIN { printf "%.2f", r / b }')
+        printf 'bench:   %4d %8d  %sx\n' "$j" "${rate%.*}" "$speedup"
+        floor=""
+        case "$j" in
+        2) floor="$PAR_SPEEDUP_MIN_J2" ;;
+        8) floor="$PAR_SPEEDUP_MIN_J8" ;;
+        esac
+        if [[ -n "$floor" ]] &&
+            ! awk -v s="$speedup" -v f="$floor" 'BEGIN { exit !(s >= f) }'; then
+            echo "bench: kernel_j$j speedup ${speedup}x below floor ${floor}x" >&2
+            fail=1
+        fi
+    done
 fi
 
 exit "$fail"

@@ -55,6 +55,37 @@ if ! grep -q "budget exceeded" <<<"$ref"; then
 fi
 echo "verify: pathological corpus OK"
 
+# Kernel-corpus smoke: generate a small (≤200 unit) kernelgen corpus on
+# disk and push it through the CLI's pooled corpus driver at several job
+# counts. Gates that the end-to-end binary path (disk I/O, include
+# resolution, worker pool) succeeds on kernel-shaped input and that the
+# full report is byte-identical at every job count.
+KGEN_DIR=$(mktemp -d)
+trap 'rm -rf "$KGEN_DIR"' EXIT
+./target/release/kernelgen --units 128 --kernel --out "$KGEN_DIR" >/dev/null
+ref=""
+have_ref=0
+for j in 1 2 8; do
+    out=$(cd "$KGEN_DIR" && "$ROBUST_BIN" --jobs "$j" -I include src/*.c 2>&1) || {
+        echo "verify: kernel corpus failed at --jobs $j" >&2
+        exit 1
+    }
+    if grep -qi "panic" <<<"$out"; then
+        echo "verify: panic in kernel corpus run at --jobs $j:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+    if [[ "$have_ref" == 0 ]]; then
+        ref="$out"
+        have_ref=1
+    elif [[ "$out" != "$ref" ]]; then
+        echo "verify: kernel corpus output diverged at --jobs $j" >&2
+        diff <(echo "$ref") <(echo "$out") >&2 || true
+        exit 1
+    fi
+done
+echo "verify: kernel corpus smoke OK"
+
 cargo fmt --all --check
 cargo clippy --workspace -- -D warnings
 scripts/bench.sh
