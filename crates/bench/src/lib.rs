@@ -133,6 +133,61 @@ pub fn full_headers_corpus() -> Corpus {
     }
 }
 
+/// A token-dense, conditional-free corpus for the deterministic fast
+/// path: long macro-free function bodies where exactly one subparser is
+/// live the whole time, separated by occasional `#if` islands so the
+/// fast path must persist its scratch stack, re-enter the general FMLR
+/// queue, and drop back in. Hand-built (not `kernelgen`) so the
+/// conditional density is controlled: this is the workload behind
+/// `bench_snapshot`'s `fig9_condfree` / `fig9_condfree_nofp` pair and
+/// its FASTPATH_MIN speedup gate.
+pub fn condfree_corpus() -> Corpus {
+    const UNITS: usize = 16;
+    const FUNCS: usize = 10;
+    const STMTS: usize = 48;
+    let mut fs = superc::MemFs::new();
+    let mut units = Vec::with_capacity(UNITS);
+    for u in 0..UNITS {
+        let mut text = String::new();
+        for f in 0..FUNCS {
+            // One island every few functions: the stretch ends, the
+            // general engine forks over the conditional, and the fast
+            // path restarts on the far side.
+            if f % 4 == 3 {
+                text.push_str(&format!(
+                    "#if defined(CF_ISLAND_{u})\nextern int cf_island_{u}_{f};\n#endif\n"
+                ));
+            }
+            text.push_str(&format!(
+                "long cf_{u}_{f}(long a0, long a1, long a2, long a3) {{\n\
+                 \x20   long acc = a0 * 3 + a1;\n\
+                 \x20   long idx = a2 - a3;\n"
+            ));
+            for s in 0..STMTS {
+                text.push_str(&format!(
+                    "    acc = acc * {m} + (a0 + idx) * (a1 - a2) + {s};\n\
+                     \x20   idx = idx + acc / {d} - a3 * (acc % {r});\n",
+                    m = (s % 7) + 2,
+                    d = (s % 5) + 3,
+                    r = (s % 9) + 2,
+                ));
+            }
+            text.push_str("    return acc + idx;\n}\n");
+        }
+        let path = format!("src/cf_unit{u}.c");
+        fs = fs.file(&path, &text);
+        units.push(path);
+    }
+    Corpus {
+        fs,
+        units,
+        spec: CorpusSpec {
+            units: UNITS,
+            ..CorpusSpec::default()
+        },
+    }
+}
+
 /// Runs every unit of a corpus through the pipeline, returning the
 /// processed units in corpus order. A unit that fails fatally is
 /// reported on stderr and skipped, so one bad unit skews a measurement

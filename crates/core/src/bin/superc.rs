@@ -19,6 +19,10 @@
 //!   --no-shared-cache disable the process-wide shared preprocessing
 //!                     cache in parallel runs (output is identical either
 //!                     way; this only changes who pays the lexing cost)
+//!   --no-fastpath     disable the deterministic parser fast path and
+//!                     fused lexing (output is byte-identical either way;
+//!                     this is an escape hatch and differential-testing
+//!                     lever, not a semantic switch)
 //!
 //! Resource budgets (0 = unlimited; exhaustion *degrades* the unit to a
 //! partial parse with condition-scoped diagnostics instead of aborting):
@@ -92,6 +96,9 @@ fn parse_args() -> Result<Args, String> {
         });
     }
     let mut prefixes_replaced = false;
+    // Applied after the loop so it survives a later `--level`/`--mapr`
+    // (which replace the whole ParserConfig).
+    let mut no_fastpath = false;
     let mut it = raw.into_iter();
     while let Some(a) = it.next() {
         if let Some(lint) = args.lint.as_mut() {
@@ -190,11 +197,12 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--no-shared-cache" => args.no_shared_cache = true,
+            "--no-fastpath" => no_fastpath = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: superc [lint] [-I dir] [-D name[=v]] [--sat] [--mapr] \
                             [--level L] [--single names] [--preprocess] [--ast] [--stats] \
-                            [--jobs N] [--no-shared-cache] \
+                            [--jobs N] [--no-shared-cache] [--no-fastpath] \
                             [--max-subparsers N] [--parse-budget N] [--max-forks N] \
                             [--max-cond-nodes N] [--parse-time-ms N] [--include-depth N] \
                             [--hoist-cap N] files...\n\
@@ -212,6 +220,10 @@ fn parse_args() -> Result<Args, String> {
     }
     if pp.include_paths.is_empty() {
         pp.include_paths.push("include".to_string());
+    }
+    if no_fastpath {
+        args.options.parser.fastpath = false;
+        pp.fuse_lexing = false;
     }
     args.options.pp = pp;
     Ok(args)
@@ -249,7 +261,18 @@ fn main() -> ExitCode {
                     }
                 }
                 for e in &p.result.errors {
-                    eprintln!("{file}: {e}");
+                    // Positions render with the file *name* (matching the
+                    // corpus driver), not the raw numeric `FileId`.
+                    match e.pos {
+                        Some(pos) => {
+                            let name = sc.preprocessor().file_name(pos.file).unwrap_or("<unknown>");
+                            eprintln!(
+                                "{file}: {name}:{}:{}: {} (at '{}', config {})",
+                                pos.line, pos.col, e.message, e.got, e.cond
+                            );
+                        }
+                        None => eprintln!("{file}: {e}"),
+                    }
                     failed = true;
                 }
                 for t in &p.result.trips {

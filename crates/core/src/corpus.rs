@@ -772,15 +772,31 @@ fn process_one<F: FileSystem>(
             .ast
             .as_ref()
             .map_or(0, |a| a.choice_count()),
+        // Render positions with the file *name*, not the raw `FileId`:
+        // id numbering depends on which files this worker lexed before
+        // (ids persist across units within a pooled worker), so it is
+        // not schedule-invariant; names are. Conditions are rendered
+        // canonically for the same reason (see [`render_trip`]).
         errors: processed
             .result
             .errors
             .iter()
-            .map(|e| e.to_string())
+            .map(|e| {
+                let cond = superc_analyze::render::canonical(&e.cond);
+                match e.pos {
+                    Some(p) => {
+                        let file = tool.preprocessor().file_name(p.file).unwrap_or("<unknown>");
+                        format!(
+                            "{file}:{}:{}: {} (at '{}', config {cond})",
+                            p.line, p.col, e.message, e.got
+                        )
+                    }
+                    None => {
+                        format!("{} (at end of input, config {cond})", e.message)
+                    }
+                }
+            })
             .collect(),
-        // Render the file *name*, not the raw `FileId`: id numbering
-        // depends on which files this worker lexed before, so it is not
-        // schedule-invariant; names are.
         diagnostics: processed
             .unit
             .diagnostics

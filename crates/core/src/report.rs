@@ -215,6 +215,13 @@ pub fn activity_table(
     r("merge probes", parse.merge_probes.to_string());
     r("choice nodes", parse.choice_nodes.to_string());
     r("max subparsers", parse.max_subparsers.to_string());
+    // Fast-path gauges: scheduling detail like merge probes, shown only
+    // when the fast path actually ran so `--no-fastpath` tables are clean.
+    if parse.fastpath_entries > 0 {
+        r("fastpath tokens", parse.fastpath_tokens.to_string());
+        r("fastpath entries", parse.fastpath_entries.to_string());
+        r("fastpath exits", parse.fastpath_exits.to_string());
+    }
     if let Some(b) = bdd {
         r("bdd nodes", b.nodes.to_string());
         r("bdd apply calls", b.apply_calls.to_string());
@@ -295,6 +302,18 @@ pub fn corpus_table(report: &crate::corpus::CorpusReport) -> TextTable {
             "expansion memo hits",
             report.pp.expansion_memo_hits.to_string(),
         );
+    }
+    // Fast-path gauges: deterministic for a given on/off setting but a
+    // scheduling detail, so — like the cache rows — they appear only when
+    // the fast path actually ran.
+    if report.parse.fastpath_entries > 0 || report.pp.fused_tokens > 0 {
+        r("fastpath tokens", report.parse.fastpath_tokens.to_string());
+        r(
+            "fastpath entries",
+            report.parse.fastpath_entries.to_string(),
+        );
+        r("fastpath exits", report.parse.fastpath_exits.to_string());
+        r("fused tokens", report.pp.fused_tokens.to_string());
     }
     r("forks", report.parse.forks.to_string());
     r("merges", report.parse.merges.to_string());

@@ -177,6 +177,13 @@ pub struct PpOptions {
     /// conditionals. The configuration is given by `defines`. This is the
     /// baseline the paper measures SuperC against in §6.3.
     pub single_config: bool,
+    /// Fused lexing: tokens at the front of a conditional-free text run
+    /// that can never expand (non-identifiers, and identifiers the macro
+    /// table has never seen) stream straight from the lexer's structured
+    /// items to the output without passing through the expansion queue.
+    /// Output is byte-identical either way; disabled by `--no-fastpath`
+    /// together with the parser's fast path.
+    pub fuse_lexing: bool,
 }
 
 impl Default for PpOptions {
@@ -188,6 +195,7 @@ impl Default for PpOptions {
             max_include_depth: 200,
             hoist_cap: 4096,
             single_config: false,
+            fuse_lexing: true,
         }
     }
 }
@@ -540,9 +548,56 @@ impl<F: FileSystem> Preprocessor<F> {
     }
 
     fn flush_pending(&mut self, pending: &mut Vec<Element>, c: &Cond, out: &mut Vec<Element>) {
-        if !pending.is_empty() {
-            let expanded = self.expand_segment(std::mem::take(pending), c);
-            out.extend(expanded);
+        if pending.is_empty() {
+            return;
+        }
+        let mut rest = std::mem::take(pending);
+        if self.opts.fuse_lexing {
+            // Fused lexing: the maximal inert prefix of the segment streams
+            // straight from the lexer's structured items to the output,
+            // bypassing the expansion queue. Inertness is judged here — at
+            // flush time, not when the tokens were accumulated — because a
+            // conditional earlier in this segment may have installed
+            // definitions that make a preceding token expandable; at flush
+            // time the table state is exactly what `expand_segment` sees.
+            let split = rest
+                .iter()
+                .position(|e| !self.element_is_inert(e))
+                .unwrap_or(rest.len());
+            if split > 0 {
+                self.stats.fused_tokens += split as u64;
+                if split == rest.len() {
+                    out.extend(rest);
+                    return;
+                }
+                out.extend(rest.drain(..split));
+            }
+        }
+        let expanded = self.expand_segment(rest, c);
+        out.extend(expanded);
+    }
+
+    /// True when `expand_segment` would pass `e` through verbatim with no
+    /// side effects on the table, stats, or hide sets: non-identifier
+    /// tokens, painted identifiers, and identifiers the macro table has
+    /// never mentioned (no `#define` or `#undef` under any condition),
+    /// excluding the dynamic built-ins. Conditionals always re-examine
+    /// their branches, so they are never inert — the fused prefix cannot
+    /// cross a conditional, which is what keeps cross-conditional
+    /// invocation recognition (Fig. 4) intact.
+    fn element_is_inert(&self, e: &Element) -> bool {
+        match e {
+            Element::Token(t) => {
+                if !t.tok.is_ident() || t.hide.contains(t.text()) {
+                    return true;
+                }
+                let name = t.text();
+                if name == "__FILE__" || name == "__LINE__" {
+                    return false;
+                }
+                !self.table.mentioned(name)
+            }
+            Element::Conditional(_) => false,
         }
     }
 

@@ -91,6 +91,13 @@ pub struct PpStats {
     /// hits (whatever the memo's warmth was then), so this counter is
     /// schedule-dependent too and excluded from determinism comparisons.
     pub expansion_memo_hits: u64,
+    /// Tokens streamed straight from the lexer to the output by the fused
+    /// fast path (inert tokens at the front of a conditional-free text
+    /// run, bypassing the expansion queue). Deterministic for a given
+    /// `fuse_lexing` setting but zero with fusion off, so it is excluded
+    /// from fastpath-on/off determinism comparisons like the cache
+    /// counters.
+    pub fused_tokens: u64,
 }
 
 impl PpStats {
@@ -133,6 +140,7 @@ impl PpStats {
             condexpr_memo_hits,
             condexpr_memo_misses,
             expansion_memo_hits,
+            fused_tokens,
         );
         self.max_depth = self.max_depth.max(other.max_depth);
     }
@@ -185,6 +193,7 @@ impl PpStats {
             condexpr_memo_hits,
             condexpr_memo_misses,
             expansion_memo_hits,
+            fused_tokens,
         )
     }
 

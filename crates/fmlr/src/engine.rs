@@ -166,6 +166,14 @@ pub struct ParserConfig {
     /// Abort when live subparsers exceed this (0 = unlimited). The paper
     /// uses 16,000 for the MAPR comparison.
     pub kill_switch: usize,
+    /// Deterministic fast path: when exactly one subparser with one head
+    /// is live, step it in a tight LALR loop on a scratch stack — no
+    /// priority queue, no merge probes — persisting back to the shared
+    /// persistent stack only when the stretch ends at a conditional,
+    /// typedef split, fork, or error. Output (ASTs, conditions,
+    /// diagnostics, every determinism-surface counter) is byte-identical
+    /// either way; only `merge_probes` and the `fastpath_*` gauges differ.
+    pub fastpath: bool,
     /// Degrading resource budgets (all 0 = ungoverned). Orthogonal to the
     /// kill switch: budgets shed work and keep parsing, the kill switch
     /// aborts (the MAPR-faithful behavior the ablation tests rely on).
@@ -189,6 +197,7 @@ impl ParserConfig {
             largest_stack_first: false,
             choice_merge: true,
             kill_switch: 0,
+            fastpath: true,
             budgets: ParseBudgets::unlimited(),
         }
     }
@@ -239,6 +248,7 @@ impl ParserConfig {
             largest_stack_first: false,
             choice_merge: false,
             kill_switch: 16_000,
+            fastpath: true,
             budgets: ParseBudgets::unlimited(),
         }
     }
@@ -306,6 +316,24 @@ struct Sub<C> {
     heads: Vec<Head>,
     stack: Stack,
     ctx: C,
+}
+
+/// A scratch-stack frame of the deterministic fast path: [`StackNode`]
+/// without the `Rc` indirection, so shifts push and reduces pop by plain
+/// vector moves. Frames are persisted into the `Rc` chain only when the
+/// stretch ends.
+struct FastFrame {
+    state: u32,
+    sym: SymbolId,
+    value: SemVal,
+    depth: u32,
+}
+
+/// One peeked fast-path step: the resolved lookahead terminal and the LR
+/// action it selects in the current state.
+struct FastStep {
+    term: SymbolId,
+    action: Action,
 }
 
 impl<C> Sub<C> {
@@ -401,6 +429,7 @@ impl<'g, P: ContextPlugin> Parser<'g, P> {
             stats: ParseStats::default(),
             follow_buf: Vec::new(),
             entries_buf: Vec::new(),
+            fast_buf: Vec::new(),
         }
         .run()
     }
@@ -434,6 +463,8 @@ struct Run<'a, 'g, P: ContextPlugin> {
     /// follow → reclassify → act loop does not allocate.
     follow_buf: Vec<FollowEntry>,
     entries_buf: Vec<FollowEntry>,
+    /// The fast path's scratch stack, reused across stretches.
+    fast_buf: Vec<FastFrame>,
 }
 
 fn state_of(stack: &Stack, grammar: &Grammar) -> u32 {
@@ -489,6 +520,15 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
             }
             if p.heads.len() > 1 {
                 self.step_multi(p);
+            } else if self.parser.config.fastpath && self.live == 0 {
+                // Single-subparser stretch: run the deterministic fast
+                // path. It hands `p` back untouched when the very first
+                // step is not fast (conditional head, typedef split) —
+                // this iteration is already counted, so the general
+                // engine performs it directly.
+                if let Some(p) = self.step_fast(p) {
+                    self.step_single(p);
+                }
             } else {
                 self.step_single(p);
             }
@@ -1172,6 +1212,227 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
         }
     }
 
+    // ----- deterministic fast path --------------------------------------
+
+    /// Peeks whether the next step of a lone single-headed subparser is
+    /// deterministic: the head is a token (or EOF) — not a static
+    /// conditional — and reclassification does not split it. Returns the
+    /// resolved terminal and LR action, or `None` when the stretch is
+    /// over and the general engine must take this step instead.
+    ///
+    /// Resolution here must match the general path exactly: the forest's
+    /// classified terminal (the head's stored terminal is *not* reused —
+    /// `follow_into` re-resolves after every reduce, because a reduce can
+    /// change the context), then the plug-in's reclassification.
+    /// `reclassify` is called again by the general engine when this peek
+    /// declines, so plug-ins must keep it free of observable effects
+    /// (the trait's contract; the C context only reads its tables).
+    fn fast_resolve(
+        &mut self,
+        ctx: &P::Ctx,
+        node: NodeRef,
+        cond: &Cond,
+        state: u32,
+    ) -> Option<FastStep> {
+        let g = self.parser.grammar;
+        let term = match node {
+            None => g.eof(),
+            Some(n) => {
+                let (tok, term) = self.forest.token(n)?; // conditional head
+                match self.parser.plugin.reclassify(ctx, tok, term, cond) {
+                    Reclass::Keep => term,
+                    Reclass::Replace(t) => t,
+                    // A split forks; the general engine redoes the
+                    // reclassification and counts the fork once.
+                    Reclass::Split(_) => return None,
+                }
+            }
+        };
+        Some(FastStep {
+            term,
+            action: g.action(state, term),
+        })
+    }
+
+    /// The deterministic fast path: with no other live subparser and no
+    /// pending conditional at the head, steps `p` in a tight LALR loop —
+    /// no priority queue, no merge probes — on a scratch stack that is
+    /// persisted back into the shared `Rc` chain only when the stretch
+    /// ends.
+    ///
+    /// Returns `Some(p)` when even the first step is not fast: the caller
+    /// dispatches it to the general engine (that iteration was already
+    /// counted by the main loop, so nothing is recorded here). Returns
+    /// `None` when the fast path consumed the subparser — persisted and
+    /// re-queued at a stretch end, accepted, errored, or budget-killed.
+    ///
+    /// Counter parity with the general engine: the main loop counted the
+    /// first step before calling in, so each *subsequent* committed step
+    /// replays `observe_live(1)` plus the global budget check, in the
+    /// same order. A step whose peek declines is re-pulled (and then
+    /// counted) by the main loop. With one subparser the kill switch and
+    /// the live ceiling cannot fire, and during the stretch the merge
+    /// index holds no live candidate, so skipping `insert` changes
+    /// `merge_probes` only — every determinism-surface counter matches.
+    fn step_fast(&mut self, p: Sub<P::Ctx>) -> Option<Sub<P::Ctx>> {
+        let g = self.parser.grammar;
+        let forest = self.forest;
+        debug_assert!(self.live == 0 && p.heads.len() == 1);
+        let mut state = state_of(&p.stack, g);
+        let Some(first_step) = self.fast_resolve(&p.ctx, p.heads[0].node, &p.heads[0].cond, state)
+        else {
+            return Some(p);
+        };
+        self.stats.fastpath_entries += 1;
+        let Sub {
+            mut heads,
+            stack: mut base,
+            mut ctx,
+        } = p;
+        // The presence condition is invariant over a stretch: token
+        // follow-sets pass it through and nothing forks.
+        let cond = heads[0].cond.clone();
+        let mut node = heads[0].node;
+        let mut step = first_step;
+        let mut scratch = std::mem::take(&mut self.fast_buf);
+        debug_assert!(scratch.is_empty());
+        let mut first = true;
+        // Runs until a peek declines; breaks with the head terminal the
+        // general engine would carry (EOF after a shift, the resolved
+        // lookahead after a reduce) — it participates in the merge key.
+        let exit_term = loop {
+            if !first {
+                // The main loop counted the first step; replay its
+                // accounting for each further committed step.
+                self.stats.observe_live(1);
+                if self.armed {
+                    if let Some((kind, limit)) = self.tripped_budget() {
+                        // `kill_all` over an empty queue: the lone
+                        // subparser dies and the parse winds down.
+                        self.record_trip(kind, limit, cond.clone(), 1);
+                        scratch.clear();
+                        self.fast_buf = scratch;
+                        return None;
+                    }
+                }
+            }
+            first = false;
+            let cur_term = match step.action {
+                Action::Shift(s) => {
+                    self.stats.shifts += 1;
+                    self.stats.fastpath_tokens += 1;
+                    let n = node.expect("eof cannot shift");
+                    let (tok, _) = forest.token(n).expect("shift target is a token");
+                    let depth = scratch.last().map_or_else(|| depth_of(&base), |f| f.depth) + 1;
+                    scratch.push(FastFrame {
+                        state: s,
+                        sym: step.term,
+                        value: SemVal::Tok(tok.clone()),
+                        depth,
+                    });
+                    state = s;
+                    node = forest.successor(n);
+                    g.eof()
+                }
+                Action::Reduce(pr) => {
+                    self.stats.reduces += 1;
+                    let n = g.rhs_len(pr) as usize;
+                    let mut values: Vec<SemVal> = Vec::with_capacity(n);
+                    let from_scratch = n.min(scratch.len());
+                    for _ in 0..from_scratch {
+                        values.push(scratch.pop().expect("counted").value);
+                    }
+                    for _ in from_scratch..n {
+                        let sn = base.expect("stack underflow on reduce");
+                        values.push(sn.value.clone());
+                        base = sn.prev.clone();
+                    }
+                    values.reverse();
+                    let value = self.build_reduce_value(pr, values);
+                    self.parser.plugin.on_reduce(&mut ctx, pr, &value, &cond);
+                    let below = scratch
+                        .last()
+                        .map_or_else(|| state_of(&base, g), |f| f.state);
+                    let lhs = g.production(pr).lhs;
+                    let Some(next) = g.goto(below, lhs) else {
+                        // Same report as the general engine: pre-reduce
+                        // state, resolved lookahead.
+                        let h = Head {
+                            cond: cond.clone(),
+                            node,
+                            term: step.term,
+                        };
+                        self.error(&h, state, "no goto after reduce");
+                        scratch.clear();
+                        self.fast_buf = scratch;
+                        return None;
+                    };
+                    let depth = scratch.last().map_or_else(|| depth_of(&base), |f| f.depth) + 1;
+                    scratch.push(FastFrame {
+                        state: next,
+                        sym: lhs,
+                        value,
+                        depth,
+                    });
+                    state = next;
+                    step.term
+                }
+                Action::Accept => {
+                    let value = match scratch.last() {
+                        Some(f) => f.value.clone(),
+                        None => match &base {
+                            Some(sn) => sn.value.clone(),
+                            None => SemVal::Empty,
+                        },
+                    };
+                    self.accepted.push((cond.clone(), value));
+                    scratch.clear();
+                    self.fast_buf = scratch;
+                    return None;
+                }
+                Action::Error => {
+                    let h = Head {
+                        cond: cond.clone(),
+                        node,
+                        term: step.term,
+                    };
+                    self.error(&h, state, "syntax error");
+                    scratch.clear();
+                    self.fast_buf = scratch;
+                    return None;
+                }
+            };
+            // Peek the next step *before* committing to it: a stretch-
+            // ending step belongs to the general loop, which re-pulls
+            // and re-counts it.
+            match self.fast_resolve(&ctx, node, &cond, state) {
+                Some(next) => step = next,
+                None => break cur_term,
+            }
+        };
+        // Persist the scratch frames into the persistent stack and hand
+        // the subparser back to the queue.
+        self.stats.fastpath_exits += 1;
+        let mut stack = base;
+        for f in scratch.drain(..) {
+            stack = Some(Rc::new(StackNode {
+                state: f.state,
+                sym: f.sym,
+                value: f.value,
+                prev: stack,
+                depth: f.depth,
+            }));
+        }
+        self.fast_buf = scratch;
+        heads[0] = Head {
+            cond,
+            node,
+            term: exit_term,
+        };
+        self.insert(Sub { heads, stack, ctx });
+        None
+    }
+
     /// Performs one LR action for a resolved follow entry. Reuses `p`'s
     /// head vector (and, on shift, its stack handle) so the dominant
     /// shift/reduce steps allocate only the new stack node.
@@ -1284,8 +1545,30 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
             stack = node.prev.clone();
         }
         values.reverse();
-        let p = g.production(prod);
-        let value = match p.ast {
+        let value = self.build_reduce_value(prod, values);
+        self.parser.plugin.on_reduce(ctx, prod, &value, cond);
+        let state = state_of(&stack, g);
+        let lhs = g.production(prod).lhs;
+        let Some(next) = g.goto(state, lhs) else {
+            return (stack, false);
+        };
+        let stack = Some(Rc::new(StackNode {
+            state: next,
+            sym: lhs,
+            value,
+            prev: stack.clone(),
+            depth: depth_of(&stack) + 1,
+        }));
+        (stack, true)
+    }
+
+    /// Builds the semantic value of a reduce from the popped right-hand
+    /// side, per the production's AST annotation. Shared by the general
+    /// reduce ([`Run::do_reduce`]) and the fast path, which must produce
+    /// bit-identical values.
+    fn build_reduce_value(&self, prod: u32, values: Vec<SemVal>) -> SemVal {
+        let p = self.parser.grammar.production(prod);
+        match p.ast {
             AstBuild::Layout => SemVal::Empty,
             AstBuild::Passthrough => {
                 let count = values
@@ -1322,20 +1605,7 @@ impl<'a, 'g, P: ContextPlugin> Run<'a, 'g, P> {
                 }
             }
             AstBuild::Node | AstBuild::Action => self.mk_node(prod, values, false),
-        };
-        self.parser.plugin.on_reduce(ctx, prod, &value, cond);
-        let state = state_of(&stack, g);
-        let Some(next) = g.goto(state, p.lhs) else {
-            return (stack, false);
-        };
-        let stack = Some(Rc::new(StackNode {
-            state: next,
-            sym: p.lhs,
-            value,
-            prev: stack.clone(),
-            depth: depth_of(&stack) + 1,
-        }));
-        (stack, true)
+        }
     }
 
     fn mk_node(&self, prod: u32, values: Vec<SemVal>, list: bool) -> SemVal {

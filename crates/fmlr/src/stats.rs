@@ -37,6 +37,21 @@ pub struct ParseStats {
     pub budget_trips: u64,
     /// Subparsers (or fork groups) killed by budget governance.
     pub budget_killed: u64,
+    /// Tokens shifted inside the deterministic fast path. A gauge of how
+    /// much of the input ran on the scratch-stack loop; zero with
+    /// `--no-fastpath`. Excluded from determinism comparisons (like
+    /// `merge_probes`): the fast path changes *how* work is scheduled,
+    /// never what it produces.
+    pub fastpath_tokens: u64,
+    /// Times the engine entered the deterministic fast path (committed at
+    /// least one step there). Excluded from determinism comparisons.
+    pub fastpath_entries: u64,
+    /// Times the fast path persisted its scratch stack and re-entered the
+    /// general FMLR queue (a conditional, typedef split, or fork ended the
+    /// stretch). Entries that terminate inside the fast path — accept,
+    /// error, budget kill — do not count an exit. Excluded from
+    /// determinism comparisons.
+    pub fastpath_exits: u64,
 }
 
 impl ParseStats {
@@ -89,6 +104,9 @@ impl ParseStats {
         self.choice_nodes += other.choice_nodes;
         self.budget_trips += other.budget_trips;
         self.budget_killed += other.budget_killed;
+        self.fastpath_tokens += other.fastpath_tokens;
+        self.fastpath_entries += other.fastpath_entries;
+        self.fastpath_exits += other.fastpath_exits;
     }
 }
 

@@ -23,31 +23,36 @@ SUPERC_PAR_JOBS="1,2,3,5,8,16" cargo test -q --test parallel
 # also exercised in-process by tests/robustness.rs) must exit cleanly
 # under tight budgets — no panic escapes the firewall, and the full
 # report (degradation warnings included) is byte-identical for any job
-# count.
+# count AND with the deterministic fast path disabled (--no-fastpath is
+# an extra matrix leg everywhere a byte-identity reference exists).
 ROBUST_BIN="$PWD/target/release/superc"
 ROBUST_UNITS=(bomb.c deep_nest.c self_include.c typedef_maze.c paste_mess.c ok.c)
 ref=""
 have_ref=0
-for j in 1 2 8; do
-    out=$(cd tests/fixtures/robustness && "$ROBUST_BIN" --jobs "$j" \
-        --parse-budget 400 --max-subparsers 64 --include-depth 8 \
-        "${ROBUST_UNITS[@]}" 2>&1) || {
-        echo "verify: pathological corpus failed at --jobs $j" >&2
-        exit 1
-    }
-    if grep -qi "panic" <<<"$out"; then
-        echo "verify: panic escaped the firewall at --jobs $j:" >&2
-        echo "$out" >&2
-        exit 1
-    fi
-    if [[ "$have_ref" == 0 ]]; then
-        ref="$out"
-        have_ref=1
-    elif [[ "$out" != "$ref" ]]; then
-        echo "verify: pathological output diverged at --jobs $j" >&2
-        diff <(echo "$ref") <(echo "$out") >&2 || true
-        exit 1
-    fi
+for fp in fastpath no-fastpath; do
+    extra=()
+    [[ "$fp" == no-fastpath ]] && extra=(--no-fastpath)
+    for j in 1 2 8; do
+        out=$(cd tests/fixtures/robustness && "$ROBUST_BIN" --jobs "$j" \
+            --parse-budget 400 --max-subparsers 64 --include-depth 8 \
+            ${extra[@]+"${extra[@]}"} "${ROBUST_UNITS[@]}" 2>&1) || {
+            echo "verify: pathological corpus failed at --jobs $j ($fp)" >&2
+            exit 1
+        }
+        if grep -qi "panic" <<<"$out"; then
+            echo "verify: panic escaped the firewall at --jobs $j ($fp):" >&2
+            echo "$out" >&2
+            exit 1
+        fi
+        if [[ "$have_ref" == 0 ]]; then
+            ref="$out"
+            have_ref=1
+        elif [[ "$out" != "$ref" ]]; then
+            echo "verify: pathological output diverged at --jobs $j ($fp)" >&2
+            diff <(echo "$ref") <(echo "$out") >&2 || true
+            exit 1
+        fi
+    done
 done
 if ! grep -q "budget exceeded" <<<"$ref"; then
     echo "verify: tight budgets never tripped on the pathological corpus" >&2
@@ -59,30 +64,36 @@ echo "verify: pathological corpus OK"
 # disk and push it through the CLI's pooled corpus driver at several job
 # counts. Gates that the end-to-end binary path (disk I/O, include
 # resolution, worker pool) succeeds on kernel-shaped input and that the
-# full report is byte-identical at every job count.
+# full report is byte-identical at every job count and with
+# --no-fastpath (the fast path may only change speed, never output).
 KGEN_DIR=$(mktemp -d)
 trap 'rm -rf "$KGEN_DIR"' EXIT
 ./target/release/kernelgen --units 128 --kernel --out "$KGEN_DIR" >/dev/null
 ref=""
 have_ref=0
-for j in 1 2 8; do
-    out=$(cd "$KGEN_DIR" && "$ROBUST_BIN" --jobs "$j" -I include src/*.c 2>&1) || {
-        echo "verify: kernel corpus failed at --jobs $j" >&2
-        exit 1
-    }
-    if grep -qi "panic" <<<"$out"; then
-        echo "verify: panic in kernel corpus run at --jobs $j:" >&2
-        echo "$out" >&2
-        exit 1
-    fi
-    if [[ "$have_ref" == 0 ]]; then
-        ref="$out"
-        have_ref=1
-    elif [[ "$out" != "$ref" ]]; then
-        echo "verify: kernel corpus output diverged at --jobs $j" >&2
-        diff <(echo "$ref") <(echo "$out") >&2 || true
-        exit 1
-    fi
+for fp in fastpath no-fastpath; do
+    extra=()
+    [[ "$fp" == no-fastpath ]] && extra=(--no-fastpath)
+    for j in 1 2 8; do
+        out=$(cd "$KGEN_DIR" && "$ROBUST_BIN" --jobs "$j" \
+            ${extra[@]+"${extra[@]}"} -I include src/*.c 2>&1) || {
+            echo "verify: kernel corpus failed at --jobs $j ($fp)" >&2
+            exit 1
+        }
+        if grep -qi "panic" <<<"$out"; then
+            echo "verify: panic in kernel corpus run at --jobs $j ($fp):" >&2
+            echo "$out" >&2
+            exit 1
+        fi
+        if [[ "$have_ref" == 0 ]]; then
+            ref="$out"
+            have_ref=1
+        elif [[ "$out" != "$ref" ]]; then
+            echo "verify: kernel corpus output diverged at --jobs $j ($fp)" >&2
+            diff <(echo "$ref") <(echo "$out") >&2 || true
+            exit 1
+        fi
+    done
 done
 echo "verify: kernel corpus smoke OK"
 

@@ -28,16 +28,22 @@ enum Soup {
     /// An `#if/#elif/#elif/#else` chain mixing `defined(...)` and value
     /// tests, so branch conditions are built by chained negation.
     ElifChain(u8, u8, u8, u8, Vec<Soup>, Vec<Soup>, Vec<Soup>),
+    /// A long conditional-free, macro-free function body: `stmts`
+    /// arithmetic statements seeded by `salt`. Exactly the shape the
+    /// deterministic fast path and fused lexing are built for — one
+    /// subparser live throughout, every token inert.
+    Stretch(u8, u8),
 }
 
 fn gen_leaf(g: &mut Gen) -> Soup {
-    match g.usize(0..7) {
+    match g.usize(0..8) {
         0 => Soup::Decl(g.u8(0..6)),
         1 => Soup::Expand(g.u8(0..4)),
         2 => Soup::Define(g.u8(0..4), g.u8(0..10)),
         3 => Soup::Undef(g.u8(0..4)),
         4 => Soup::Paste(g.u8(0..4)),
         5 => Soup::Stringify(g.u8(0..4)),
+        6 => Soup::Stretch(g.u8(12..40), g.u8(0..10)),
         _ => Soup::FnDefine(g.u8(0..4), g.u8(0..10)),
     }
 }
@@ -70,6 +76,20 @@ fn gen_item(g: &mut Gen, depth: usize) -> Soup {
 
 fn gen_soup(g: &mut Gen) -> Vec<Soup> {
     g.vec(0..10, |g| gen_item(g, 3))
+}
+
+/// A soup shaped like real token-dense code: long conditional-free
+/// stretches interleaved with `#if` islands (and whatever other soup the
+/// islands drag in), so the fast path must repeatedly enter, persist its
+/// scratch stack at the island, and re-enter on the far side.
+fn gen_stretchy_soup(g: &mut Gen) -> Vec<Soup> {
+    let mut items = Vec::new();
+    for _ in 0..g.usize(2..5) {
+        items.push(Soup::Stretch(g.u8(12..40), g.u8(0..10)));
+        items.push(gen_item(g, 2));
+    }
+    items.push(Soup::Stretch(g.u8(12..40), g.u8(0..10)));
+    items
 }
 
 fn render(items: &[Soup], out: &mut String, counter: &mut u32) {
@@ -121,6 +141,18 @@ fn render(items: &[Soup], out: &mut String, counter: &mut u32) {
                 out.push_str(&format!("#if defined(CFG{m}) || M{m} > {k}\n"));
                 render(body, out, counter);
                 out.push_str("#endif\n");
+            }
+            Soup::Stretch(stmts, salt) => {
+                *counter += 1;
+                let id = *counter;
+                out.push_str(&format!(
+                    "long stretch_{id}(long a0, long a1) {{\n\
+                     \x20   long acc = a0 + {salt};\n"
+                ));
+                for s in 0..*stmts {
+                    out.push_str(&format!("    acc = acc * {} + a1 - {s};\n", (s % 5) + 2));
+                }
+                out.push_str("    return acc;\n}\n");
             }
             Soup::ElifChain(c1, c2, m, k, b1, b2, b3) => {
                 out.push_str(&format!("#if defined(CFG{c1})\n"));
@@ -297,4 +329,155 @@ fn soup_matches_single_config() {
             .collect();
         assert_eq!(got, expected, "source:\n{}", src);
     });
+}
+
+/// Differential fuzzing of the deterministic fast path: every seed runs
+/// through both engines — fast path + fused lexing on, and the general
+/// FMLR loop with fusion off — and every output surface must agree.
+/// Failures name the diverging engine in the panic message, and the
+/// harness prints the `SUPERC_PROP_SEED=<seed>` repro line.
+#[test]
+fn fastpath_and_general_engine_agree_on_soups() {
+    // Aggregated across cases: the stretchy generator must actually
+    // drive the fast path and fused lexing, or the property is vacuous.
+    let mut saw_fastpath = false;
+    let mut saw_fused = false;
+    let mut saw_exits = false;
+    check("fastpath_and_general_engine_agree_on_soups", 32, |g| {
+        let items = gen_stretchy_soup(g);
+        let mut src = String::new();
+        let mut counter = 0;
+        render(&items, &mut src, &mut counter);
+        src.push_str("int trailer;\n");
+        let fs = superc::MemFs::new().file("f.c", &src);
+
+        let run = |fastpath: bool| {
+            let mut opts = Options {
+                pp: PpOptions {
+                    builtins: Builtins::none(),
+                    ..PpOptions::default()
+                },
+                ..Options::default()
+            };
+            opts.parser.fastpath = fastpath;
+            opts.pp.fuse_lexing = fastpath;
+            let mut sc = SuperC::new(opts, fs.clone());
+            sc.process("f.c").expect("structured soup always lexes")
+        };
+        let fast = run(true);
+        let gen = run(false);
+
+        saw_fastpath |= fast.result.stats.fastpath_entries > 0;
+        saw_fused |= fast.unit.stats.fused_tokens > 0;
+        saw_exits |= fast.result.stats.fastpath_exits > 0;
+        assert_eq!(
+            gen.result.stats.fastpath_entries, 0,
+            "general engine must never enter the fast path"
+        );
+        assert_eq!(
+            gen.unit.stats.fused_tokens, 0,
+            "general engine must never fuse lexing"
+        );
+
+        // Preprocessor output: fused lexing may only change *how* inert
+        // tokens reach the output, never which tokens do.
+        assert_eq!(
+            fast.unit.display_text(),
+            gen.unit.display_text(),
+            "diverging engine: preprocessed text differs \
+             (left: fast path, right: general loop)\nsource:\n{src}"
+        );
+        // Parser output: AST, errors, and budget degradations.
+        assert_eq!(
+            fast.result.ast.as_ref().map(|a| a.to_string()),
+            gen.result.ast.as_ref().map(|a| a.to_string()),
+            "diverging engine: AST differs \
+             (left: fast path, right: general loop)\nsource:\n{src}"
+        );
+        assert_eq!(
+            fast.result
+                .errors
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>(),
+            gen.result
+                .errors
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>(),
+            "diverging engine: parse errors differ \
+             (left: fast path, right: general loop)\nsource:\n{src}"
+        );
+        assert_eq!(
+            fast.result
+                .trips
+                .iter()
+                .map(|t| t.describe())
+                .collect::<Vec<_>>(),
+            gen.result
+                .trips
+                .iter()
+                .map(|t| t.describe())
+                .collect::<Vec<_>>(),
+            "diverging engine: budget trips differ \
+             (left: fast path, right: general loop)\nsource:\n{src}"
+        );
+        // Accepted conditions: semantic comparison by evaluation (each
+        // run owns its BDD manager, so node identity means nothing
+        // across them). Free M macros are undefined and opaque
+        // arithmetic over them is false, as in soup_matches_single_config.
+        assert_eq!(
+            fast.result.accepted.is_some(),
+            gen.result.accepted.is_some(),
+            "diverging engine: acceptance differs \
+             (left: fast path, right: general loop)\nsource:\n{src}"
+        );
+        if let (Some(fa), Some(ga)) = (&fast.result.accepted, &gen.result.accepted) {
+            for mask in 0u8..32 {
+                let env = |name: &str| -> Option<bool> {
+                    if let Some(inner) = name
+                        .strip_prefix("defined(")
+                        .and_then(|n| n.strip_suffix(')'))
+                    {
+                        if let Some(i) =
+                            inner.strip_prefix("CFG").and_then(|d| d.parse::<u8>().ok())
+                        {
+                            return Some(mask >> i & 1 == 1);
+                        }
+                        return Some(false);
+                    }
+                    Some(false)
+                };
+                assert_eq!(
+                    fa.eval(|n| env(n)),
+                    ga.eval(|n| env(n)),
+                    "diverging engine: accepted condition differs under \
+                     CFG mask {mask:#07b} (left: fast path, right: general \
+                     loop)\nsource:\n{src}"
+                );
+            }
+        }
+        // Counters: everything but the gauges that define the fast path
+        // (merge probes, fastpath_*, fused_tokens — plus lex timing).
+        let countable = |s: &superc::ParseStats| {
+            let mut s = s.clone();
+            s.merge_probes = 0;
+            s.fastpath_tokens = 0;
+            s.fastpath_entries = 0;
+            s.fastpath_exits = 0;
+            s
+        };
+        assert_eq!(
+            countable(&fast.result.stats),
+            countable(&gen.result.stats),
+            "diverging engine: parser counters differ \
+             (left: fast path, right: general loop)\nsource:\n{src}"
+        );
+    });
+    assert!(saw_fastpath, "no case ever entered the fast path");
+    assert!(saw_fused, "no case ever fused a token run");
+    assert!(
+        saw_exits,
+        "no case ever exited a stretch mid-unit (islands too weak)"
+    );
 }
