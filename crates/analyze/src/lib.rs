@@ -8,7 +8,7 @@
 //! describing the configurations in which the problem occurs — alongside
 //! a stable lint code, a severity, and a source span.
 //!
-//! Five lints ship today:
+//! Eight lints ship today:
 //!
 //! | code | meaning |
 //! |---|---|
@@ -17,6 +17,14 @@
 //! | `macro-conflict` | a macro redefined with a different body while an older definition is live |
 //! | `undef-macro-test` | `#if`/`#ifdef` tests a macro never defined in the unit (typo detector) |
 //! | `partial-parse` | a subparser died: the unit does not parse in some configurations |
+//! | `portability-definedness` | a tested macro's definedness differs across compiler/OS profiles |
+//! | `portability-divergent-condition` | a conditional's presence condition differs across profiles |
+//! | `portability-divergent-decl` | a declaration or diagnostic exists under some profiles only |
+//!
+//! The three `portability-*` lints come from the cross-profile corpus
+//! mode (`superc lint --profiles a,b,c`), which runs every unit under N
+//! compiler/OS [`superc_cpp::Profile`]s and diffs the per-profile
+//! results; see [`portability`].
 //!
 //! # Determinism
 //!
@@ -27,6 +35,7 @@
 //! output is byte-identical regardless of `--jobs`.
 
 mod lints;
+pub mod portability;
 pub mod render;
 #[cfg(test)]
 mod tests;
@@ -52,16 +61,25 @@ pub enum LintCode {
     UndefMacroTest,
     /// Configurations in which the unit fails to parse.
     PartialParse,
+    /// A tested macro defined under some profiles but not others.
+    PortabilityDefinedness,
+    /// A conditional whose presence condition differs across profiles.
+    PortabilityDivergentCondition,
+    /// A declaration or diagnostic present under some profiles only.
+    PortabilityDivergentDecl,
 }
 
 impl LintCode {
     /// Every lint, in code order.
-    pub const ALL: [LintCode; 5] = [
+    pub const ALL: [LintCode; 8] = [
         LintCode::DeadBranch,
         LintCode::ConfigRedecl,
         LintCode::MacroConflict,
         LintCode::UndefMacroTest,
         LintCode::PartialParse,
+        LintCode::PortabilityDefinedness,
+        LintCode::PortabilityDivergentCondition,
+        LintCode::PortabilityDivergentDecl,
     ];
 
     /// The stable kebab-case code.
@@ -72,6 +90,9 @@ impl LintCode {
             LintCode::MacroConflict => "macro-conflict",
             LintCode::UndefMacroTest => "undef-macro-test",
             LintCode::PartialParse => "partial-parse",
+            LintCode::PortabilityDefinedness => "portability-definedness",
+            LintCode::PortabilityDivergentCondition => "portability-divergent-condition",
+            LintCode::PortabilityDivergentDecl => "portability-divergent-decl",
         }
     }
 
@@ -186,6 +207,7 @@ impl Diagnostic {
             col: self.pos.col,
             cond: self.cond_text.clone(),
             message: self.message.clone(),
+            profiles: String::new(),
         }
     }
 }
@@ -208,6 +230,10 @@ pub struct Record {
     pub cond: String,
     /// Human-readable description.
     pub message: String,
+    /// Comma-joined profile names the diagnostic applies to, in profile
+    /// run order — empty outside cross-profile mode, and the renderers
+    /// omit it then, keeping single-profile output byte-compatible.
+    pub profiles: String,
 }
 
 /// Everything one unit's analysis needs, borrowed from the pipeline

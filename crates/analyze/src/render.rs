@@ -8,7 +8,7 @@
 //! the *sorted* support names, so equal functions always render to equal
 //! strings no matter which worker built them.
 
-use superc_cond::Cond;
+use superc_cond::{Cond, CondCtx};
 
 use crate::Record;
 
@@ -96,8 +96,45 @@ fn enumerate(
     true
 }
 
+/// Parses a [`canonical`] rendering back into a condition in `ctx`.
+///
+/// Accepts exactly the grammar `canonical` emits: `true`, `false`, or
+/// disjoint terms joined by ` || ` whose literals are joined by ` && `
+/// (each a variable name, optionally `!`-negated). Returns `None` for the
+/// `<condition over ...>` overflow fallback, which is not invertible.
+///
+/// This is how the cross-profile differ lifts canonical strings — the
+/// only condition form that crosses worker threads — back into one
+/// context to OR per-profile conditions together.
+pub fn parse_canonical(s: &str, ctx: &CondCtx) -> Option<Cond> {
+    match s {
+        "true" => return Some(ctx.tru()),
+        "false" => return Some(ctx.fls()),
+        _ if s.starts_with('<') => return None,
+        _ => {}
+    }
+    let mut result = ctx.fls();
+    for term in s.split(" || ") {
+        let mut t = ctx.tru();
+        for lit in term.split(" && ") {
+            let (name, neg) = match lit.strip_prefix('!') {
+                Some(rest) => (rest, true),
+                None => (lit, false),
+            };
+            if name.is_empty() {
+                return None;
+            }
+            let v = ctx.var(name);
+            t = if neg { t.and_not(&v) } else { t.and(&v) };
+        }
+        result = result.or(&t);
+    }
+    Some(result)
+}
+
 /// Renders records in compiler style, one line each:
-/// `file:line:col: warning[code]: message [when COND]`.
+/// `file:line:col: warning[code]: message [when COND]`, with a trailing
+/// ` [profiles {...}]` in cross-profile mode.
 pub fn render_text(records: &[Record]) -> String {
     let mut out = String::new();
     for r in records {
@@ -107,9 +144,13 @@ pub fn render_text(records: &[Record]) -> String {
             "warning"
         };
         out.push_str(&format!(
-            "{}:{}:{}: {}[{}]: {} [when {}]\n",
+            "{}:{}:{}: {}[{}]: {} [when {}]",
             r.file, r.line, r.col, sev, r.code, r.message, r.cond
         ));
+        if !r.profiles.is_empty() {
+            out.push_str(&format!(" [profiles {{{}}}]", r.profiles));
+        }
+        out.push('\n');
     }
     out
 }
@@ -123,7 +164,7 @@ pub fn render_json(records: &[Record]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"code\":{},\"level\":{},\"file\":{},\"line\":{},\"col\":{},\"cond\":{},\"message\":{}}}",
+            "{{\"code\":{},\"level\":{},\"file\":{},\"line\":{},\"col\":{},\"cond\":{},\"message\":{}",
             json_str(r.code),
             json_str(r.level),
             json_str(&r.file),
@@ -132,6 +173,10 @@ pub fn render_json(records: &[Record]) -> String {
             json_str(&r.cond),
             json_str(&r.message)
         ));
+        if !r.profiles.is_empty() {
+            out.push_str(&format!(",\"profiles\":{}", json_str(&r.profiles)));
+        }
+        out.push('}');
     }
     let deny = records.iter().filter(|r| r.level == "deny").count();
     out.push_str(&format!(
@@ -140,6 +185,58 @@ pub fn render_json(records: &[Record]) -> String {
         deny
     ));
     out
+}
+
+/// Renders records as a SARIF 2.1.0 log (`superc lint --format sarif`)
+/// for CI and code-review UIs. One run, driver `superc`; `rules` lists
+/// the distinct ruleIds present (sorted); each result maps `deny` to
+/// SARIF `error` and `warn` to `warning`, and carries the canonical
+/// presence condition — plus the profile set in cross-profile mode — in
+/// its `properties` bag. Deterministic: stable key order over sorted
+/// input, so the output inherits the byte-identity contract.
+pub fn render_sarif(records: &[Record]) -> String {
+    let mut rule_ids: Vec<&str> = records.iter().map(|r| r.code).collect();
+    rule_ids.sort_unstable();
+    rule_ids.dedup();
+    let rules = rule_ids
+        .iter()
+        .map(|id| format!("{{\"id\":{}}}", json_str(id)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut results = String::new();
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            results.push(',');
+        }
+        let level = if r.level == "deny" {
+            "error"
+        } else {
+            "warning"
+        };
+        let mut props = format!("\"cond\":{}", json_str(&r.cond));
+        if !r.profiles.is_empty() {
+            props.push_str(&format!(",\"profiles\":{}", json_str(&r.profiles)));
+        }
+        results.push_str(&format!(
+            "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{}}},\
+             \"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}],\
+             \"properties\":{{{}}}}}",
+            json_str(r.code),
+            json_str(level),
+            json_str(&r.message),
+            json_str(&r.file),
+            r.line.max(1),
+            r.col.max(1),
+            props
+        ));
+    }
+    format!(
+        "{{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\
+         \"version\":\"2.1.0\",\
+         \"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"superc\",\"rules\":[{rules}]}}}},\
+         \"results\":[{results}]}}]}}\n"
+    )
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).

@@ -1,5 +1,5 @@
 use superc_cond::{Cond, CondBackend, CondCtx};
-use superc_cpp::{Builtins, MemFs, PpOptions, Preprocessor};
+use superc_cpp::{MemFs, PpOptions, Preprocessor, Profile};
 use superc_csyntax::parse_unit;
 use superc_fmlr::ParserConfig;
 
@@ -13,7 +13,7 @@ fn run_with(files: &[(&str, &str)], opts: &LintOptions) -> (Vec<Diagnostic>, Con
     }
     let ctx = CondCtx::new(CondBackend::Bdd);
     let popts = PpOptions {
-        builtins: Builtins::none(),
+        profile: Profile::bare(),
         ..PpOptions::default()
     };
     let mut pp = Preprocessor::new(ctx.clone(), popts, fs);

@@ -16,13 +16,13 @@
 //! Absolute numbers differ from the paper (synthetic corpus, different
 //! machine); the *shapes* are the reproduction target.
 
-use superc::{Builtins, Options, PpOptions, ProcessedUnit, SuperC};
+use superc::{Options, PpOptions, ProcessedUnit, Profile, SuperC};
 use superc_kernelgen::{generate, Corpus, CorpusSpec};
 
 /// Standard preprocessor options for corpus runs.
 pub fn pp_options() -> PpOptions {
     PpOptions {
-        builtins: Builtins::gcc_like(),
+        profile: Profile::default(),
         ..PpOptions::default()
     }
 }
@@ -120,6 +120,74 @@ pub fn full_headers_corpus() -> Corpus {
             "int fh_unit_{u}(void) {{ return FH_VALUE_{h}; }}\n"
         ));
         let path = format!("src/fh_unit{u}.c");
+        fs = fs.file(&path, &text);
+        units.push(path);
+    }
+    Corpus {
+        fs,
+        units,
+        spec: CorpusSpec {
+            units: UNITS,
+            ..CorpusSpec::default()
+        },
+    }
+}
+
+/// A header-dominated corpus with profile-sensitive conditionals, for
+/// the cross-profile matrix workload (`bench_snapshot`'s `fig9_profiles`
+/// / `fig9_profiles1` pair and its PROFILES_MAX cost gate). Most bytes
+/// live in comment-heavy shared headers whose pre-expansion artifacts
+/// are profile-independent, so the shared L2 cache amortizes lexing
+/// across the profile matrix: analyzing N profiles should cost far less
+/// than N single-profile runs. The `#ifdef _WIN32` / `__APPLE__` /
+/// `__GNUC__` guards make the portability lints fire for real, so the
+/// timed work includes slice extraction and cross-profile diffing.
+pub fn profiles_corpus() -> Corpus {
+    const HEADERS: usize = 6;
+    const UNITS: usize = 32;
+    // ~512 KiB of comment per header: byte-heavy, token-light, so lexing
+    // (shared across profiles) dominates expansion + parsing (per
+    // profile).
+    let filler_line = "/* profile header filler: bytes for the lexer, no tokens out. */\n";
+    let filler = filler_line.repeat(512 * 1024 / filler_line.len());
+
+    let mut fs = superc::MemFs::new();
+    for h in 0..HEADERS {
+        let mut text = String::with_capacity(filler.len() + 1024);
+        text.push_str(&format!(
+            "#ifndef PF_HEADER_{h}_H\n#define PF_HEADER_{h}_H\n"
+        ));
+        text.push_str(&filler);
+        text.push_str(&format!(
+            "#ifdef _WIN32\n\
+             typedef unsigned long pf_handle_{h}_t;\n\
+             #else\n\
+             typedef int pf_handle_{h}_t;\n\
+             #endif\n\
+             #if defined(__GNUC__) && __GNUC__ >= 4\n\
+             int pf_gnu_{h}(int x);\n\
+             #endif\n\
+             #define PF_VALUE_{h} {h}\n\
+             extern pf_handle_{h}_t pf_global_{h};\n\
+             #endif\n"
+        ));
+        fs = fs.file(&format!("include/pf{h}.h"), &text);
+    }
+    let mut units = Vec::with_capacity(UNITS);
+    for u in 0..UNITS {
+        let mut text = String::new();
+        for i in 0..HEADERS {
+            let h = (u + i) % HEADERS;
+            text.push_str(&format!("#include \"pf{h}.h\"\n"));
+        }
+        let h = u % HEADERS;
+        text.push_str(&format!(
+            "#ifdef __APPLE__\n\
+             int pf_darwin_{u};\n\
+             #endif\n\
+             int pf_unit_{u}(void) {{ return PF_VALUE_{h}; }}\n"
+        ));
+        let path = format!("src/pf_unit{u}.c");
         fs = fs.file(&path, &text);
         units.push(path);
     }

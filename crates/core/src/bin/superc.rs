@@ -23,6 +23,9 @@
 //!                     fused lexing (output is byte-identical either way;
 //!                     this is an escape hatch and differential-testing
 //!                     lever, not a semantic switch)
+//!   --profile <name>  compiler/OS profile supplying the built-in macro
+//!                     table and dialect quirks: gcc-linux (default),
+//!                     clang-linux, clang-macos, msvc-windows, bare
 //!
 //! Resource budgets (0 = unlimited; exhaustion *degrades* the unit to a
 //! partial parse with condition-scoped diagnostics instead of aborting):
@@ -41,7 +44,10 @@
 //! superc lint [OPTIONS] <file.c>...
 //!   Variability lints with presence-condition diagnostics. Accepts every
 //!   option above, plus:
-//!   --format <text|json>      output format (default: text)
+//!   --format <text|json|sarif> output format (default: text)
+//!   --profiles <a,b,c>        cross-profile mode: parse every unit under
+//!                             each named profile and diff the results
+//!                             into the portability-* lints
 //!   --allow <code|all>        suppress a lint
 //!   --warn <code|all>         report a lint, exit 0 (the default)
 //!   --deny <code|all>        report a lint and exit nonzero
@@ -52,11 +58,20 @@
 use std::process::ExitCode;
 
 use superc::analyze::{render, LintCode, LintLevel, LintOptions, Record};
-use superc::corpus::{process_corpus, Capture, CorpusOptions};
-use superc::{CondBackend, DiskFs, Options, ParserConfig, PpOptions, SuperC};
+use superc::corpus::{process_corpus, process_corpus_profiles, Capture, CorpusOptions};
+use superc::{CondBackend, DiskFs, Options, ParserConfig, PpOptions, Profile, SuperC};
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LintFormat {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct LintArgs {
-    json: bool,
+    format: LintFormat,
+    /// Cross-profile mode: parse every unit under each profile and diff.
+    profiles: Vec<Profile>,
     opts: LintOptions,
 }
 
@@ -91,7 +106,8 @@ fn parse_args() -> Result<Args, String> {
     if raw.first().map(String::as_str) == Some("lint") {
         raw.remove(0);
         args.lint = Some(LintArgs {
-            json: false,
+            format: LintFormat::Text,
+            profiles: Vec::new(),
             opts: LintOptions::default(),
         });
     }
@@ -104,12 +120,20 @@ fn parse_args() -> Result<Args, String> {
         if let Some(lint) = args.lint.as_mut() {
             match a.as_str() {
                 "--format" => {
-                    let f = it.next().ok_or("--format needs text or json")?;
-                    lint.json = match f.as_str() {
-                        "json" => true,
-                        "text" => false,
+                    let f = it.next().ok_or("--format needs text, json, or sarif")?;
+                    lint.format = match f.as_str() {
+                        "text" => LintFormat::Text,
+                        "json" => LintFormat::Json,
+                        "sarif" => LintFormat::Sarif,
                         other => return Err(format!("unknown format {other}")),
                     };
+                    continue;
+                }
+                "--profiles" => {
+                    let names = it.next().ok_or("--profiles needs a comma-separated list")?;
+                    for n in names.split(',').filter(|n| !n.is_empty()) {
+                        lint.profiles.push(named_profile(n)?);
+                    }
                     continue;
                 }
                 "--allow" | "--warn" | "--deny" => {
@@ -198,16 +222,20 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-shared-cache" => args.no_shared_cache = true,
             "--no-fastpath" => no_fastpath = true,
+            "--profile" => {
+                let n = it.next().ok_or("--profile needs a name")?;
+                pp.profile = named_profile(&n)?;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: superc [lint] [-I dir] [-D name[=v]] [--sat] [--mapr] \
                             [--level L] [--single names] [--preprocess] [--ast] [--stats] \
-                            [--jobs N] [--no-shared-cache] [--no-fastpath] \
+                            [--jobs N] [--no-shared-cache] [--no-fastpath] [--profile name] \
                             [--max-subparsers N] [--parse-budget N] [--max-forks N] \
                             [--max-cond-nodes N] [--parse-time-ms N] [--include-depth N] \
                             [--hoist-cap N] files...\n\
-                            lint mode adds: [--format text|json] [--allow|--warn|--deny \
-                            code|all] [--config-prefix P]"
+                            lint mode adds: [--format text|json|sarif] [--profiles a,b,c] \
+                            [--allow|--warn|--deny code|all] [--config-prefix P]"
                         .to_string(),
                 )
             }
@@ -227,6 +255,16 @@ fn parse_args() -> Result<Args, String> {
     }
     args.options.pp = pp;
     Ok(args)
+}
+
+/// Resolves a profile name, listing the shipped names on failure.
+fn named_profile(name: &str) -> Result<Profile, String> {
+    Profile::named(name).ok_or_else(|| {
+        format!(
+            "unknown profile {name} (expected one of: {})",
+            Profile::all_names().join(", ")
+        )
+    })
 }
 
 fn main() -> ExitCode {
@@ -319,10 +357,25 @@ fn main() -> ExitCode {
     }
 }
 
+/// Prints a lint report in the selected format. Every format is
+/// byte-identical for any `--jobs`/cache/fastpath setting: records sort
+/// deterministically and render conditions canonically.
+fn emit_records(format: LintFormat, records: &[Record]) {
+    match format {
+        LintFormat::Json => print!("{}", render::render_json(records)),
+        LintFormat::Sarif => print!("{}", render::render_sarif(records)),
+        LintFormat::Text => {
+            let deny = records.iter().filter(|r| r.level == "deny").count();
+            print!("{}", render::render_text(records));
+            println!("{} diagnostic(s), {} denied", records.len(), deny);
+        }
+    }
+}
+
 /// `superc lint`: run the corpus driver with linting enabled and print
-/// diagnostics in input order. Both formats are byte-identical for any
-/// `--jobs` value: records sort deterministically per unit and render
-/// conditions canonically.
+/// diagnostics in input order. With `--profiles`, every unit runs under
+/// each named profile and the per-profile results are diffed into the
+/// `portability-*` lints.
 fn run_lint(args: &Args, lint: &LintArgs) -> ExitCode {
     let fs = DiskFs::new(".");
     let copts = CorpusOptions {
@@ -331,7 +384,35 @@ fn run_lint(args: &Args, lint: &LintArgs) -> ExitCode {
         lint: Some(lint.opts.clone()),
         no_shared_cache: args.no_shared_cache,
         inject_panic: Vec::new(),
+        portability: false,
     };
+    if !lint.profiles.is_empty() {
+        let report =
+            process_corpus_profiles(&fs, &args.files, &args.options, &lint.profiles, &copts);
+        let mut fatal = false;
+        for (name, run) in report.profiles.iter().zip(&report.runs) {
+            for u in &run.units {
+                if let Some(f) = &u.fatal {
+                    eprintln!("{} [{name}]: fatal: {f}", u.path);
+                    fatal = true;
+                }
+            }
+        }
+        let records = report.lint_records(&lint.opts);
+        let deny = records.iter().filter(|r| r.level == "deny").count();
+        emit_records(lint.format, &records);
+        if args.show_stats {
+            for (name, run) in report.profiles.iter().zip(&report.runs) {
+                println!("profile {name}:");
+                print!("{}", superc::report::corpus_table(run).render());
+            }
+        }
+        return if fatal || deny > 0 {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
     let report = process_corpus(&fs, &args.files, &args.options, &copts);
     let mut fatal = false;
     let mut records: Vec<Record> = Vec::new();
@@ -343,12 +424,7 @@ fn run_lint(args: &Args, lint: &LintArgs) -> ExitCode {
         records.extend(u.lints.iter().cloned());
     }
     let deny = records.iter().filter(|r| r.level == "deny").count();
-    if lint.json {
-        print!("{}", render::render_json(&records));
-    } else {
-        print!("{}", render::render_text(&records));
-        println!("{} diagnostic(s), {} denied", records.len(), deny);
-    }
+    emit_records(lint.format, &records);
     if args.show_stats {
         print!("{}", superc::report::corpus_table(&report).render());
     }
@@ -374,6 +450,7 @@ fn run_parallel(args: &Args) -> ExitCode {
         lint: None,
         no_shared_cache: args.no_shared_cache,
         inject_panic: Vec::new(),
+        portability: false,
     };
     let report = process_corpus(&fs, &args.files, &args.options, &copts);
     let mut failed = false;

@@ -61,14 +61,16 @@
 //! rendered conditions. `tests/parallel.rs` proves this for
 //! `--jobs 1/2/8`.
 
+use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Once};
 use std::time::{Duration, Instant};
 
+use superc_analyze::portability::{diff_profiles, sort_records, PortEntry, PortKind};
 use superc_bdd::BddStats;
-use superc_cond::CondStats;
-use superc_cpp::{FileSystem, PpStats, Severity, SharedCache};
+use superc_cond::{CondBackend, CondCtx, CondStats};
+use superc_cpp::{FileSystem, PpStats, Profile, Severity, SharedCache};
 use superc_csyntax::unparse_config;
 use superc_fmlr::{BudgetTrip, ParseOutcome, ParseStats};
 
@@ -97,6 +99,11 @@ pub struct CorpusOptions {
     /// exercising the `catch_unwind` + tool-rebuild recovery path that
     /// real poisoned units would take.
     pub inject_panic: Vec<String>,
+    /// Capture each unit's **portability slice** — the plain-data
+    /// [`PortEntry`] rows the cross-profile differ aligns (see
+    /// `superc_analyze::portability`). [`process_corpus_profiles`]
+    /// forces this on; it is available standalone for tests.
+    pub portability: bool,
 }
 
 /// Per-unit text captures for testing and inspection.
@@ -177,6 +184,9 @@ pub struct UnitReport {
     /// Lint findings, when [`CorpusOptions::lint`] is set (sorted and
     /// deterministic; see `superc_analyze`).
     pub lints: Vec<superc_analyze::Record>,
+    /// The unit's portability slice, when [`CorpusOptions::portability`]
+    /// is set (plain data, canonical condition strings — deterministic).
+    pub portability: Vec<PortEntry>,
     /// Fatal preprocessor failure, if the unit never reached the parser.
     pub fatal: Option<String>,
     /// Structured failure row (fatal preprocessor error or caught
@@ -498,13 +508,363 @@ fn worker_loop<F: FileSystem + Sync>(
     }
 }
 
+/// The cross-profile corpus rollup: one [`CorpusReport`] per profile,
+/// parallel to `profiles` and each in unit input order, sharing one
+/// wall clock (the runs are interleaved over one worker pool, not
+/// sequential).
+#[derive(Clone, Debug)]
+pub struct ProfilesReport {
+    /// Profile names, in run order (the order given to
+    /// [`process_corpus_profiles`]).
+    pub profiles: Vec<String>,
+    /// One full corpus report per profile, parallel to `profiles`.
+    pub runs: Vec<CorpusReport>,
+    /// Worker threads actually used (shared across all profiles).
+    pub workers: usize,
+    /// End-to-end wall clock for the whole cross-profile run.
+    pub wall: Duration,
+}
+
+impl ProfilesReport {
+    /// Units with a fatal failure under *any* profile.
+    pub fn fatal_units(&self) -> usize {
+        let n_units = self.runs.first().map_or(0, |r| r.units.len());
+        (0..n_units)
+            .filter(|&u| self.runs.iter().any(|r| r.units[u].fatal.is_some()))
+            .count()
+    }
+
+    /// Per-profile behavior counters, one line each (`name: counters`).
+    /// Byte-identical for any worker count or schedule, like
+    /// [`CorpusReport::behavior_counters`].
+    pub fn behavior_counters(&self) -> String {
+        self.profiles
+            .iter()
+            .zip(&self.runs)
+            .map(|(name, run)| format!("{name}: {}", run.behavior_counters()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Merges the per-profile runs into one deterministic lint report:
+    ///
+    /// * ordinary lint records that are byte-identical across profiles
+    ///   collapse into one row stamped with the profile set they fired
+    ///   under (in run order);
+    /// * each unit's per-profile portability slices are diffed by
+    ///   [`diff_profiles`] into the `portability-*` records, with a
+    ///   synthetic row per fatal unit so a unit that dies under only
+    ///   some profiles surfaces as a divergence;
+    /// * everything is sorted by [`sort_records`]'s total order.
+    ///
+    /// Conditions cross profiles as canonical strings and are re-ORed in
+    /// a scratch BDD context, so the result is byte-identical for any
+    /// `jobs`, cache, or fast-path setting.
+    pub fn lint_records(&self, opts: &superc_analyze::LintOptions) -> Vec<superc_analyze::Record> {
+        type Key = (&'static str, &'static str, String, u32, u32, String, String);
+        let mut merged: BTreeMap<Key, Vec<usize>> = BTreeMap::new();
+        for (p, run) in self.runs.iter().enumerate() {
+            for unit in &run.units {
+                for r in &unit.lints {
+                    let key = (
+                        r.code,
+                        r.level,
+                        r.file.clone(),
+                        r.line,
+                        r.col,
+                        r.cond.clone(),
+                        r.message.clone(),
+                    );
+                    let ps = merged.entry(key).or_default();
+                    if ps.last() != Some(&p) {
+                        ps.push(p);
+                    }
+                }
+            }
+        }
+        let mut out: Vec<superc_analyze::Record> = merged
+            .into_iter()
+            .map(|((code, level, file, line, col, cond, message), ps)| {
+                let profiles = ps
+                    .iter()
+                    .map(|&p| self.profiles[p].as_str())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                superc_analyze::Record {
+                    code,
+                    level,
+                    file,
+                    line,
+                    col,
+                    cond,
+                    message,
+                    profiles,
+                }
+            })
+            .collect();
+
+        // Portability diffs, one unit at a time. Conditions are lifted
+        // from canonical strings into a scratch context to OR them.
+        let ctx = CondCtx::new(CondBackend::Bdd);
+        let n_units = self.runs.first().map_or(0, |r| r.units.len());
+        for u in 0..n_units {
+            let slices: Vec<Vec<PortEntry>> = self
+                .runs
+                .iter()
+                .map(|run| {
+                    let unit = &run.units[u];
+                    let mut slice = unit.portability.clone();
+                    if let Some(f) = &unit.failure {
+                        // A unit fatal under this profile only is the
+                        // bluntest divergence; give it a row to diff.
+                        slice.push(PortEntry {
+                            kind: PortKind::Diag,
+                            key: format!("unit {}: fatal {}", unit.path, f.stage),
+                            file: unit.path.clone(),
+                            line: 0,
+                            col: 0,
+                            state: f.message.clone(),
+                            cond: "true".to_string(),
+                        });
+                    }
+                    slice
+                })
+                .collect();
+            out.extend(diff_profiles(&self.profiles, &slices, opts, &ctx));
+        }
+        sort_records(&mut out);
+        out
+    }
+}
+
+/// Parses every unit of a corpus under every [`Profile`], fanning the
+/// `units × profiles` task grid out over one worker pool.
+///
+/// Profile runs are scheduled like extra units: one shared cursor walks
+/// task indices `t = p * units.len() + u`, so workers interleave
+/// profiles instead of running them sequentially, and a slow unit under
+/// one profile never stalls the others. Each worker keeps one warm tool
+/// *per profile it has touched* (lazily built — a worker that never
+/// claims an `msvc-windows` task never pays for its tool) and all tools
+/// share one L2 preprocessing cache: frozen token streams, directive
+/// trees, and guards are pre-expansion artifacts, identical under every
+/// profile.
+///
+/// [`CorpusOptions::portability`] is forced on — the per-unit slices
+/// are what [`ProfilesReport::lint_records`] diffs. The determinism
+/// contract of [`process_corpus`] carries over per profile run.
+pub fn process_corpus_profiles<F: FileSystem + Sync>(
+    fs: &F,
+    units: &[String],
+    options: &Options,
+    profiles: &[Profile],
+    copts: &CorpusOptions,
+) -> ProfilesReport {
+    assert!(!profiles.is_empty(), "at least one profile");
+    let n_tasks = units.len() * profiles.len();
+    let requested = if copts.jobs == 0 {
+        default_jobs()
+    } else {
+        copts.jobs
+    };
+    let workers = requested.min(n_tasks).max(1);
+    let mut copts = copts.clone();
+    copts.portability = true;
+
+    let shared: Option<Arc<SharedCache>> =
+        (!copts.no_shared_cache).then(|| Arc::new(SharedCache::new()));
+
+    let start = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let chunk = chunk_size(n_tasks, workers);
+    let outputs: Vec<WorkerOutput> = if workers == 1 {
+        vec![profiles_worker_loop(
+            fs,
+            units,
+            options,
+            profiles,
+            &copts,
+            shared.clone(),
+            &cursor,
+            chunk,
+        )]
+    } else {
+        std::thread::scope(|s| {
+            let copts = &copts;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let shared = shared.clone();
+                    s.spawn(|| {
+                        profiles_worker_loop(
+                            fs, units, options, profiles, copts, shared, &cursor, chunk,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("corpus worker panicked"))
+                .collect()
+        })
+    };
+    let wall = start.elapsed();
+    assemble_profiles(units.len(), profiles, outputs, workers, wall)
+}
+
+/// The cross-profile analogue of [`claim_loop`]: one cursor over the
+/// `units × profiles` grid, lazy per-profile tools, and a panic
+/// firewall that rebuilds only the poisoned profile's tool.
+#[allow(clippy::too_many_arguments)]
+fn profiles_claim_loop<F: FileSystem>(
+    tools: &mut HashMap<String, SuperC<F>>,
+    make_tool: &dyn Fn(usize) -> SuperC<F>,
+    units: &[String],
+    profiles: &[Profile],
+    copts: &CorpusOptions,
+    cursor: &AtomicUsize,
+    chunk: usize,
+    out: &mut Vec<(usize, UnitReport)>,
+) {
+    let n_tasks = units.len() * profiles.len();
+    loop {
+        let base = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if base >= n_tasks {
+            break;
+        }
+        let end = (base + chunk).min(n_tasks);
+        for t in base..end {
+            let (p, u) = (t / units.len(), t % units.len());
+            let path = &units[u];
+            let name = &profiles[p].name;
+            let tool = tools.entry(name.clone()).or_insert_with(|| make_tool(p));
+            let report = match firewalled(|| process_one(tool, path, copts)) {
+                Ok(report) => report,
+                Err(message) => {
+                    tools.insert(name.clone(), make_tool(p));
+                    UnitReport::failed(path, "panic", &format!("panic: {message}"))
+                }
+            };
+            out.push((t, report));
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn profiles_worker_loop<F: FileSystem + Sync>(
+    fs: &F,
+    units: &[String],
+    options: &Options,
+    profiles: &[Profile],
+    copts: &CorpusOptions,
+    shared: Option<Arc<SharedCache>>,
+    cursor: &AtomicUsize,
+    chunk: usize,
+) -> WorkerOutput {
+    let make_tool = |p: usize| {
+        let mut opts = options.clone();
+        opts.pp.profile = profiles[p].clone();
+        let mut tool = SuperC::new(opts, fs);
+        if let Some(cache) = &shared {
+            tool.set_shared_cache(cache.clone());
+        }
+        tool
+    };
+    let mut tools: HashMap<String, SuperC<&F>> = HashMap::new();
+    let mut out = Vec::new();
+    profiles_claim_loop(
+        &mut tools, &make_tool, units, profiles, copts, cursor, chunk, &mut out,
+    );
+    let (cond, bdd) = drain_tool_stats(tools.values());
+    WorkerOutput {
+        units: out,
+        cond,
+        bdd,
+    }
+}
+
+/// Sums the condition-context gauges over a worker's per-profile tools.
+fn drain_tool_stats<'a, F: FileSystem + 'a>(
+    tools: impl Iterator<Item = &'a SuperC<F>>,
+) -> (CondStats, Option<BddStats>) {
+    let mut cond = CondStats::default();
+    let mut bdd: Option<BddStats> = None;
+    for tool in tools {
+        cond.merge(&tool.ctx().stats());
+        if let Some(b) = tool.ctx().bdd_stats() {
+            bdd.get_or_insert_with(BddStats::default).merge(&b);
+        }
+    }
+    (cond, bdd)
+}
+
+/// Splits task-indexed worker outputs back into per-profile reports, in
+/// unit input order within each profile. Context gauges are per-worker
+/// and span all profiles, so they land on profile 0's run (they are
+/// outside the determinism contract either way); the per-profile
+/// preprocessor/parser counters are exact sums over that profile's
+/// units.
+fn assemble_profiles(
+    n_units: usize,
+    profiles: &[Profile],
+    outputs: Vec<WorkerOutput>,
+    workers: usize,
+    wall: Duration,
+) -> ProfilesReport {
+    let n_tasks = n_units * profiles.len();
+    let mut slots: Vec<Option<UnitReport>> = (0..n_tasks).map(|_| None).collect();
+    let mut cond = CondStats::default();
+    let mut bdd: Option<BddStats> = None;
+    for out in outputs {
+        for (t, report) in out.units {
+            debug_assert!(slots[t].is_none(), "task {t} claimed twice");
+            slots[t] = Some(report);
+        }
+        cond.merge(&out.cond);
+        if let Some(b) = out.bdd {
+            bdd.get_or_insert_with(BddStats::default).merge(&b);
+        }
+    }
+    let mut slots = slots.into_iter();
+    let mut runs = Vec::with_capacity(profiles.len());
+    for p in 0..profiles.len() {
+        let units: Vec<UnitReport> = (&mut slots)
+            .take(n_units)
+            .map(|s| s.expect("every task claimed"))
+            .collect();
+        let mut pp = PpStats::default();
+        let mut parse = ParseStats::default();
+        for u in &units {
+            pp.merge(&u.pp);
+            parse.merge(&u.parse);
+        }
+        runs.push(CorpusReport {
+            units,
+            pp,
+            parse,
+            cond: if p == 0 { cond } else { CondStats::default() },
+            bdd: if p == 0 { bdd } else { None },
+            workers,
+            wall,
+        });
+    }
+    ProfilesReport {
+        profiles: profiles.iter().map(|p| p.name.clone()).collect(),
+        runs,
+        workers,
+        wall,
+    }
+}
+
 /// One batch of work for a pooled worker: the unit list, the shared
-/// cursor, and the channel to report back on.
+/// cursor, and the channel to report back on. `profiles` switches the
+/// batch into cross-profile mode (the task grid of
+/// [`process_corpus_profiles`]).
 struct Batch {
     units: Arc<Vec<String>>,
     copts: CorpusOptions,
     cursor: Arc<AtomicUsize>,
     chunk: usize,
+    profiles: Option<Arc<Vec<Profile>>>,
     done: mpsc::Sender<WorkerOutput>,
 }
 
@@ -571,24 +931,56 @@ impl<F: FileSystem + Send + Sync + 'static> CorpusRunner<F> {
                     tool
                 };
                 let mut tool = make_tool();
+                // Cross-profile batches get their own warm tools, one
+                // per profile this worker has touched, kept across
+                // batches like the base tool.
+                let mut profile_tools: HashMap<String, SuperC<Arc<F>>> = HashMap::new();
                 while let Ok(batch) = rx.recv() {
                     let mut out = Vec::new();
-                    claim_loop(
-                        &mut tool,
-                        &make_tool,
-                        &batch.units,
-                        &batch.copts,
-                        &batch.cursor,
-                        batch.chunk,
-                        &mut out,
-                    );
+                    match &batch.profiles {
+                        Some(profiles) => {
+                            let make_profile_tool = |p: usize| {
+                                let mut opts = options.clone();
+                                opts.pp.profile = profiles[p].clone();
+                                let mut tool = SuperC::new(opts, fs.clone());
+                                if let Some(cache) = &shared {
+                                    tool.set_shared_cache(cache.clone());
+                                }
+                                tool
+                            };
+                            profiles_claim_loop(
+                                &mut profile_tools,
+                                &make_profile_tool,
+                                &batch.units,
+                                profiles,
+                                &batch.copts,
+                                &batch.cursor,
+                                batch.chunk,
+                                &mut out,
+                            );
+                        }
+                        None => claim_loop(
+                            &mut tool,
+                            &make_tool,
+                            &batch.units,
+                            &batch.copts,
+                            &batch.cursor,
+                            batch.chunk,
+                            &mut out,
+                        ),
+                    }
                     // Cond/BDD gauges are worker-lifetime cumulative
                     // here (the manager persists across batches); they
                     // are outside the determinism contract either way.
+                    let (mut cond, mut bdd) = drain_tool_stats(profile_tools.values());
+                    cond.merge(&tool.ctx().stats());
+                    if let Some(b) = tool.ctx().bdd_stats() {
+                        bdd.get_or_insert_with(BddStats::default).merge(&b);
+                    }
                     let _ = batch.done.send(WorkerOutput {
                         units: out,
-                        cond: tool.ctx().stats(),
-                        bdd: tool.ctx().bdd_stats(),
+                        cond,
+                        bdd,
                     });
                 }
             }));
@@ -623,6 +1015,7 @@ impl<F: FileSystem + Send + Sync + 'static> CorpusRunner<F> {
                 copts: copts.clone(),
                 cursor: cursor.clone(),
                 chunk,
+                profiles: None,
                 done: done_tx.clone(),
             })
             .expect("pool worker alive");
@@ -632,6 +1025,46 @@ impl<F: FileSystem + Send + Sync + 'static> CorpusRunner<F> {
         assert_eq!(outputs.len(), workers, "pool worker died mid-batch");
         let wall = start.elapsed();
         assemble(units.len(), outputs, workers, wall)
+    }
+
+    /// Runs one cross-profile batch over the pool: the task grid and
+    /// determinism contract of [`process_corpus_profiles`], the warm
+    /// workers of a pool. Each worker keeps one tool per profile it has
+    /// touched alive across batches, so a profiles ladder (benchmark
+    /// reps, a test matrix) pays the per-profile spin-up once.
+    pub fn run_profiles(
+        &mut self,
+        units: &[String],
+        profiles: &[Profile],
+        copts: &CorpusOptions,
+    ) -> ProfilesReport {
+        assert!(!profiles.is_empty(), "at least one profile");
+        let n_tasks = units.len() * profiles.len();
+        let workers = self.jobs.min(n_tasks).max(1);
+        let mut copts = copts.clone();
+        copts.portability = true;
+        let start = Instant::now();
+        let shared_units = Arc::new(units.to_vec());
+        let shared_profiles = Arc::new(profiles.to_vec());
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let chunk = chunk_size(n_tasks, workers);
+        let (done_tx, done_rx) = mpsc::channel();
+        for tx in self.txs.iter().take(workers) {
+            tx.send(Batch {
+                units: shared_units.clone(),
+                copts: copts.clone(),
+                cursor: cursor.clone(),
+                chunk,
+                profiles: Some(shared_profiles.clone()),
+                done: done_tx.clone(),
+            })
+            .expect("pool worker alive");
+        }
+        drop(done_tx);
+        let outputs: Vec<WorkerOutput> = done_rx.iter().collect();
+        assert_eq!(outputs.len(), workers, "pool worker died mid-batch");
+        let wall = start.elapsed();
+        assemble_profiles(units.len(), profiles, outputs, workers, wall)
     }
 }
 
@@ -697,6 +1130,7 @@ impl UnitReport {
             errors: Vec::new(),
             diagnostics: Vec::new(),
             lints: Vec::new(),
+            portability: Vec::new(),
             fatal: Some(message.to_string()),
             failure: Some(UnitFailure {
                 stage: stage.to_string(),
@@ -731,6 +1165,13 @@ fn process_one<F: FileSystem>(
             .map(|d| d.record())
             .collect(),
         None => Vec::new(),
+    };
+    // Same per-unit constraint applies to the portability slice (it
+    // reads the macro table's definedness conditions).
+    let portability = if copts.portability {
+        tool.portability_slice(&processed)
+    } else {
+        Vec::new()
     };
 
     let preprocessed = copts
@@ -811,6 +1252,7 @@ fn process_one<F: FileSystem>(
             })
             .collect(),
         lints,
+        portability,
         phase_nanos: [
             processed.timings.lexing.as_nanos() as u64,
             processed.timings.preprocessing.as_nanos() as u64,

@@ -50,8 +50,8 @@ pub use superc_lexer as lexer;
 
 pub use superc_cond::{Cond, CondBackend, CondCtx};
 pub use superc_cpp::{
-    Builtins, CompilationUnit, DiskFs, FileSystem, MemFs, PpError, PpOptions, PpStats,
-    Preprocessor, SharedCache,
+    Builtins, CompilationUnit, CondSite, DiskFs, FileSystem, MemFs, PpError, PpOptions, PpStats,
+    Preprocessor, Profile, SharedCache, UndefIdentPolicy,
 };
 pub use superc_csyntax::{
     c_artifacts, c_grammar, classify, declared_names, function_definitions, parse_unit,
@@ -63,7 +63,8 @@ pub use superc_fmlr::{
 };
 
 pub use corpus::{
-    process_corpus, CorpusOptions, CorpusReport, CorpusRunner, UnitFailure, UnitReport,
+    process_corpus, process_corpus_profiles, CorpusOptions, CorpusReport, CorpusRunner,
+    ProfilesReport, UnitFailure, UnitReport,
 };
 
 use std::time::{Duration, Instant};
@@ -304,6 +305,25 @@ impl<F: FileSystem> SuperC<F> {
             ctx: &self.ctx,
         };
         analyze::analyze(&input, opts, &|id| {
+            self.pp.file_name(id).map(str::to_string)
+        })
+    }
+
+    /// Builds a just-processed unit's cross-profile **portability
+    /// slice** (see [`analyze::portability`]): the plain-data rows the
+    /// cross-profile corpus mode diffs across [`Profile`]s. Same
+    /// call-before-next-unit constraint as [`SuperC::lint`].
+    pub fn portability_slice(
+        &self,
+        processed: &ProcessedUnit,
+    ) -> Vec<analyze::portability::PortEntry> {
+        let input = analyze::AnalysisInput {
+            unit: &processed.unit,
+            result: Some(&processed.result),
+            table: self.pp.table(),
+            ctx: &self.ctx,
+        };
+        analyze::portability::portability_slice(&input, &|id| {
             self.pp.file_name(id).map(str::to_string)
         })
     }

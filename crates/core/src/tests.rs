@@ -7,7 +7,7 @@ fn tool(files: &[(&str, &str)]) -> SuperC<MemFs> {
     }
     let opts = Options {
         pp: PpOptions {
-            builtins: Builtins::none(),
+            profile: Profile::bare(),
             ..PpOptions::default()
         },
         ..Options::default()
@@ -49,7 +49,7 @@ fn gcc_baseline_resolves_conditionals() {
     let mut fs = MemFs::new();
     fs.add("m.c", VARIABLE);
     let mut opts = Options::gcc_baseline(vec![("CONFIG_SMP".into(), "1".into())]);
-    opts.pp.builtins = Builtins::none();
+    opts.pp.profile = Profile::bare();
     let mut sc = SuperC::new(opts, fs.clone());
     let p = sc.process("m.c").expect("processes");
     assert_eq!(p.unit.stats.output_conditionals, 0, "single config is flat");
@@ -61,7 +61,7 @@ fn gcc_baseline_resolves_conditionals() {
 
     // And without the define, the other branch.
     let mut opts = Options::gcc_baseline(vec![]);
-    opts.pp.builtins = Builtins::none();
+    opts.pp.profile = Profile::bare();
     let mut sc = SuperC::new(opts, fs);
     let p = sc.process("m.c").expect("processes");
     assert!(p.unit.display_text().contains("cpus = 1"));
@@ -72,7 +72,7 @@ fn typechef_baseline_agrees_on_results() {
     let mut fs = MemFs::new();
     fs.add("m.c", VARIABLE);
     let mut opts = Options::typechef_baseline();
-    opts.pp.builtins = Builtins::none();
+    opts.pp.profile = Profile::bare();
     let mut sc = SuperC::new(opts, fs);
     let p = sc.process("m.c").expect("processes");
     assert!(p.result.errors.is_empty());
@@ -91,7 +91,7 @@ fn header_cache_shared_across_units() {
     fs.add("b.c", "#include <shared.h>\ns32 b;\n");
     let opts = Options {
         pp: PpOptions {
-            builtins: Builtins::none(),
+            profile: Profile::bare(),
             ..PpOptions::default()
         },
         ..Options::default()
@@ -125,7 +125,7 @@ mod corpus {
     fn opts() -> Options {
         Options {
             pp: PpOptions {
-                builtins: Builtins::none(),
+                profile: Profile::bare(),
                 ..PpOptions::default()
             },
             ..Options::default()
@@ -169,6 +169,7 @@ mod corpus {
             lint: None,
             no_shared_cache: false,
             inject_panic: Vec::new(),
+            portability: false,
         };
         let report = process_corpus(&fs(), &units(), &opts(), &copts);
         let b = &report.units[1];
@@ -185,7 +186,7 @@ mod corpus {
     #[test]
     fn sat_backend_reports_no_bdd_stats() {
         let mut o = Options::typechef_baseline();
-        o.pp.builtins = Builtins::none();
+        o.pp.profile = Profile::bare();
         let report = process_corpus(&fs(), &units(), &o, &CorpusOptions::default());
         assert!(report.bdd.is_none());
         assert!(report.cond.feasibility_checks > 0);

@@ -86,7 +86,13 @@ struct ExprParser<'t> {
     defined: &'t [Cond],
     ctx: superc_cond::CondCtx,
     nonbool: bool,
-    single_config: bool,
+    /// Fold free identifiers to `0` instead of making them condition
+    /// variables. Set from [`Preprocessor::fold_free_idents`] — the same
+    /// policy seat `defined_as_cond` consults — never decided locally.
+    fold_free: bool,
+    /// Identifiers folded to `0` under `fold_free`, for the profile's
+    /// [`crate::UndefIdentPolicy`] to report (MSVC C4668).
+    folded: Vec<(Rc<str>, SourcePos)>,
     error: Option<String>,
 }
 
@@ -377,8 +383,12 @@ impl<'t> ExprParser<'t> {
                     let i: usize = idx.parse().expect("placeholder index");
                     return V::Bool(self.defined[i].clone());
                 }
-                if self.single_config {
-                    // gcc semantics: undefined identifiers evaluate to 0.
+                if self.fold_free {
+                    // Undefined identifiers evaluate to 0. Whether that
+                    // fold is silent (gcc) or diagnosed (MSVC /Wall) is
+                    // the profile's call; record it and let the caller
+                    // apply `UndefIdentPolicy`.
+                    self.folded.push((t.tok.text.clone(), t.tok.pos));
                     return V::Int(0);
                 }
                 // A free (or unexpandable) macro used as a value.
@@ -687,6 +697,10 @@ impl<F: FileSystem> Preprocessor<F> {
         // Step 4: parse and evaluate each flat configuration.
         let mut result = self.ctx.fls();
         let mut nonbool = false;
+        // Free identifiers folded to 0, merged across flat configurations
+        // (first position, ORed conditions, first-encounter order) for the
+        // profile's `UndefIdentPolicy` to report.
+        let mut folded: Vec<(Rc<str>, SourcePos, Cond)> = Vec::new();
         for (fc, toks) in flats {
             let mut p = ExprParser {
                 toks: &toks,
@@ -694,7 +708,8 @@ impl<F: FileSystem> Preprocessor<F> {
                 defined: &defined,
                 ctx: self.ctx.clone(),
                 nonbool: false,
-                single_config: self.single_config(),
+                fold_free: self.fold_free_idents(),
+                folded: Vec::new(),
                 error: None,
             };
             let v = p.ternary();
@@ -712,7 +727,16 @@ impl<F: FileSystem> Preprocessor<F> {
             }
             let vc = p.cond_of(&v);
             nonbool |= p.nonbool;
+            for (name, npos) in p.folded {
+                match folded.iter_mut().find(|(n, _, _)| *n == name) {
+                    Some((_, _, cond)) => *cond = cond.or(&fc),
+                    None => folded.push((name, npos, fc.clone())),
+                }
+            }
             result = result.or(&fc.and(&vc));
+        }
+        for (name, npos, cond) in folded {
+            self.warn_folded(&name, npos, &cond);
         }
         (result, hoisted, nonbool)
     }
@@ -725,8 +749,11 @@ impl<F: FileSystem> Preprocessor<F> {
         if free.is_false() {
             return defined;
         }
-        if self.single_config() {
-            // gcc semantics: never-defined macros are plain undefined.
+        if self.fold_free_idents() {
+            // Free macros resolve to plain-undefined (the other seat of
+            // the policy `ExprParser::primary` applies to value uses).
+            // `defined` is well-defined on undefined names, so no profile
+            // diagnoses this fold.
             return defined;
         }
         if self.table.is_guard(name) {

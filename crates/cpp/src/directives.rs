@@ -385,6 +385,21 @@ pub fn detect_guard(items: &[RawItem]) -> Option<Rc<str>> {
     None
 }
 
+/// Detects a top-level `#pragma once` (a `Pragma` whose operand is the
+/// single identifier `once`, outside any conditional). A syntax fact of
+/// the file, recorded at structuring time; whether the pragma is honored
+/// as an include guard is the active profile's dialect call.
+pub fn detect_pragma_once(items: &[RawItem]) -> bool {
+    items.iter().any(|item| match item {
+        RawItem::Pragma { tokens, .. } => {
+            tokens.len() == 1
+                && matches!(tokens[0].kind, TokenKind::Ident)
+                && tokens[0].text() == "once"
+        }
+        _ => false,
+    })
+}
+
 /// Matches `! defined ( M )` or `! defined M`.
 fn not_defined_name(toks: &[Token]) -> Option<Rc<str>> {
     let mut i = 0;

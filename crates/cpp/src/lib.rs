@@ -51,6 +51,7 @@ mod expand;
 mod files;
 mod macrotable;
 mod preprocessor;
+mod profile;
 mod sharedcache;
 mod stats;
 
@@ -59,9 +60,10 @@ pub use elements::{Branch, Conditional, Element, HideSet, PTok};
 pub use files::{DiskFs, FileSystem, MemFs};
 pub use macrotable::{MacroConflict, MacroDef, MacroEntry, MacroTable};
 pub use preprocessor::{
-    Builtins, CompilationUnit, DeadBranch, Diagnostic, PpError, PpOptions, Preprocessor, Severity,
+    CompilationUnit, CondSite, DeadBranch, Diagnostic, PpError, PpOptions, Preprocessor, Severity,
     TestedMacro,
 };
+pub use profile::{Builtins, Profile, UndefIdentPolicy};
 pub use sharedcache::{SharedArtifact, SharedCache};
 pub use stats::PpStats;
 

@@ -12,10 +12,11 @@ use superc_lexer::{lex, FileId, LexError, Punct, SourcePos, Token, TokenKind};
 use superc_util::FastMap;
 
 use crate::condexpr::{CondExprEntry, CondExprKey};
-use crate::directives::{detect_guard, structure, RawItem, RawTest};
+use crate::directives::{detect_guard, detect_pragma_once, structure, RawItem, RawTest};
 use crate::elements::{self, Branch, Conditional, Element, PTok};
 use crate::files::FileSystem;
 use crate::macrotable::{MacroDef, MacroTable};
+use crate::profile::{Profile, UndefIdentPolicy};
 use crate::sharedcache::{SharedArtifact, SharedCache};
 use crate::stats::PpStats;
 
@@ -106,55 +107,20 @@ pub struct TestedMacro {
     pub cond: Cond,
 }
 
-/// Compiler "ground truth" macros (§2: built-ins like `__STDC_VERSION__`).
+/// One static conditional group that survived trimming, with its final
+/// branch presence condition.
 ///
-/// The paper configures SuperC with gcc's built-ins; we ship a
-/// representative gcc-4-era set and let callers replace it.
+/// The cross-profile analysis diffs these site-by-site: a conditional
+/// whose condition is `defined(CONFIG_X)` under one profile but `false`
+/// under another (because a built-in decided the test) is a portability
+/// hazard. Recorded in source order, which is schedule-independent.
 #[derive(Clone, Debug)]
-pub struct Builtins {
-    /// `(name, replacement-text)` pairs, object-like.
-    pub defs: Vec<(String, String)>,
-}
-
-impl Default for Builtins {
-    fn default() -> Self {
-        Builtins::gcc_like()
-    }
-}
-
-impl Builtins {
-    /// No built-ins at all (for tests).
-    pub fn none() -> Self {
-        Builtins { defs: Vec::new() }
-    }
-
-    /// A representative gcc-on-x86 set.
-    pub fn gcc_like() -> Self {
-        let defs = [
-            ("__STDC__", "1"),
-            ("__STDC_VERSION__", "199901L"),
-            ("__STDC_HOSTED__", "1"),
-            ("__GNUC__", "4"),
-            ("__GNUC_MINOR__", "5"),
-            ("__GNUC_PATCHLEVEL__", "1"),
-            ("__SIZEOF_INT__", "4"),
-            ("__SIZEOF_LONG__", "8"),
-            ("__SIZEOF_POINTER__", "8"),
-            ("__CHAR_BIT__", "8"),
-            ("__INT_MAX__", "2147483647"),
-            ("__LONG_MAX__", "9223372036854775807L"),
-            ("__x86_64__", "1"),
-            ("__ELF__", "1"),
-            ("__linux__", "1"),
-            ("__unix__", "1"),
-        ];
-        Builtins {
-            defs: defs
-                .iter()
-                .map(|&(n, b)| (n.to_string(), b.to_string()))
-                .collect(),
-        }
-    }
+pub struct CondSite {
+    /// Position of the group's directive (`#if`/`#elif`/`#else`).
+    pub pos: SourcePos,
+    /// The group's branch condition after trimming (`false` for dead
+    /// groups, so profiles that kill a branch still produce a row).
+    pub cond: Cond,
 }
 
 /// Preprocessor configuration.
@@ -164,8 +130,9 @@ pub struct PpOptions {
     pub include_paths: Vec<String>,
     /// Command-line definitions, like `-Dname=body` (`body` may be empty).
     pub defines: Vec<(String, String)>,
-    /// Compiler built-in macros.
-    pub builtins: Builtins,
+    /// The compiler/OS target: built-in macros plus dialect policies
+    /// (undefined-identifier handling, `#pragma once`).
+    pub profile: Profile,
     /// Include nesting limit.
     pub max_include_depth: usize,
     /// Ceiling on hoisted branches per pasting/stringification/expansion
@@ -191,7 +158,7 @@ impl Default for PpOptions {
         PpOptions {
             include_paths: vec!["include".to_string()],
             defines: Vec::new(),
-            builtins: Builtins::default(),
+            profile: Profile::default(),
             max_include_depth: 200,
             hoist_cap: 4096,
             single_config: false,
@@ -217,6 +184,10 @@ pub struct CompilationUnit {
     /// Macro names tested by conditional directives (empty in
     /// single-configuration mode).
     pub tested_macros: Vec<TestedMacro>,
+    /// Surviving conditional groups with their final branch conditions,
+    /// in source order (empty in single-configuration mode). The
+    /// cross-profile analysis diffs these per site.
+    pub cond_sites: Vec<CondSite>,
 }
 
 impl CompilationUnit {
@@ -237,6 +208,9 @@ impl CompilationUnit {
 struct CachedFile {
     items: Vec<RawItem>,
     guard: Option<Rc<str>>,
+    /// The file opens with `#pragma once` (profile-independent syntax
+    /// fact; whether it is *honored* is the profile's call).
+    pragma_once: bool,
     bytes: usize,
 }
 
@@ -255,6 +229,7 @@ pub struct Preprocessor<F: FileSystem> {
     pub(crate) diags: Vec<Diagnostic>,
     dead_branches: Vec<DeadBranch>,
     tested_macros: Vec<TestedMacro>,
+    cond_sites: Vec<CondSite>,
     pub(crate) builtin_names: HashSet<String>,
     /// Per-worker (L1) cache of lexed+structured files, keyed by path.
     file_cache: HashMap<String, Rc<CachedFile>>,
@@ -277,6 +252,12 @@ pub struct Preprocessor<F: FileSystem> {
     file_names: Vec<String>,
     file_stack: Vec<String>,
     processed_files: HashSet<String>,
+    /// Configurations that have already included each `#pragma once`
+    /// file this unit (only consulted when the profile honors the
+    /// pragma). A reinclusion proceeds only for the configurations not
+    /// yet covered — the configuration-aware analogue of the guard fast
+    /// path above it.
+    pragma_once_files: HashMap<String, Cond>,
     include_counts: HashMap<String, u64>,
     max_depth_seen: u64,
     poisoned: bool,
@@ -285,7 +266,13 @@ pub struct Preprocessor<F: FileSystem> {
 impl<F: FileSystem> Preprocessor<F> {
     /// Creates a preprocessor over `fs` with the given condition context.
     pub fn new(ctx: CondCtx, opts: PpOptions, fs: F) -> Self {
-        let builtin_names = opts.builtins.defs.iter().map(|(n, _)| n.clone()).collect();
+        let builtin_names = opts
+            .profile
+            .builtins
+            .defs
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
         let table = MacroTable::with_interner(ctx.interner());
         Preprocessor {
             ctx,
@@ -296,6 +283,7 @@ impl<F: FileSystem> Preprocessor<F> {
             diags: Vec::new(),
             dead_branches: Vec::new(),
             tested_macros: Vec::new(),
+            cond_sites: Vec::new(),
             builtin_names,
             file_cache: HashMap::new(),
             shared: None,
@@ -305,6 +293,7 @@ impl<F: FileSystem> Preprocessor<F> {
             file_names: Vec::new(),
             file_stack: Vec::new(),
             processed_files: HashSet::new(),
+            pragma_once_files: HashMap::new(),
             include_counts: HashMap::new(),
             max_depth_seen: 0,
             poisoned: false,
@@ -333,9 +322,29 @@ impl<F: FileSystem> Preprocessor<F> {
         &self.include_counts
     }
 
-    /// Whether single-configuration (gcc) mode is active.
-    pub(crate) fn single_config(&self) -> bool {
+    /// The single seat of the "undefined identifiers evaluate to 0"
+    /// policy that used to be duplicated across `condexpr`'s two folding
+    /// sites: free identifiers in conditional expressions fold to a
+    /// concrete value only in single-configuration mode (otherwise they
+    /// become condition variables and no folding happens). How a fold is
+    /// *reported* is the profile's [`UndefIdentPolicy`]; see
+    /// [`Preprocessor::warn_folded`].
+    pub(crate) fn fold_free_idents(&self) -> bool {
         self.opts.single_config
+    }
+
+    /// Applies the profile's [`UndefIdentPolicy`] to an identifier a
+    /// conditional expression folded to `0`: gcc's `Zero` stays silent,
+    /// MSVC's `WarnThenZero` diagnoses it (/Wall warning C4668).
+    pub(crate) fn warn_folded(&mut self, name: &str, pos: SourcePos, c: &Cond) {
+        if self.opts.profile.undef_ident == UndefIdentPolicy::WarnThenZero {
+            self.diag(
+                Severity::Warning,
+                pos,
+                c,
+                format!("'{name}' is not defined as a macro; replacing with 0"),
+            );
+        }
     }
 
     /// The path of the file currently being processed (`__FILE__`).
@@ -424,6 +433,7 @@ impl<F: FileSystem> Preprocessor<F> {
                 let cached = Rc::new(CachedFile {
                     items,
                     guard,
+                    pragma_once: art.pragma_once,
                     bytes: art.bytes,
                 });
                 self.file_cache.insert(path.to_string(), Rc::clone(&cached));
@@ -448,9 +458,11 @@ impl<F: FileSystem> Preprocessor<F> {
         if let Some(g) = &guard {
             self.table.register_guard(g.clone());
         }
+        let pragma_once = detect_pragma_once(&items);
         let cached = Rc::new(CachedFile {
             items,
             guard,
+            pragma_once,
             bytes: src.len(),
         });
         if let Some(shared) = &self.shared {
@@ -487,7 +499,9 @@ impl<F: FileSystem> Preprocessor<F> {
         self.diags.clear();
         self.dead_branches.clear();
         self.tested_macros.clear();
+        self.cond_sites.clear();
         self.processed_files.clear();
+        self.pragma_once_files.clear();
         self.file_stack.clear();
         self.max_depth_seen = 0;
         self.poisoned = false;
@@ -501,9 +515,11 @@ impl<F: FileSystem> Preprocessor<F> {
         // comparisons.)
         self.expansion_memo.clear();
 
-        // Install built-ins and command-line definitions under `true`.
+        // Install the profile's built-ins and command-line definitions
+        // under `true`.
         let defs: Vec<(String, String)> = self
             .opts
+            .profile
             .builtins
             .defs
             .iter()
@@ -544,6 +560,7 @@ impl<F: FileSystem> Preprocessor<F> {
             diagnostics: std::mem::take(&mut self.diags),
             dead_branches: std::mem::take(&mut self.dead_branches),
             tested_macros: std::mem::take(&mut self.tested_macros),
+            cond_sites: std::mem::take(&mut self.cond_sites),
         })
     }
 
@@ -647,6 +664,10 @@ impl<F: FileSystem> Preprocessor<F> {
                                     context: c.clone(),
                                     chain_constant,
                                 });
+                                self.cond_sites.push(CondSite {
+                                    pos: g.pos,
+                                    cond: self.ctx.fls(),
+                                });
                             }
                             continue;
                         }
@@ -676,8 +697,18 @@ impl<F: FileSystem> Preprocessor<F> {
                                     context: c.clone(),
                                     chain_constant,
                                 });
+                                self.cond_sites.push(CondSite {
+                                    pos: g.pos,
+                                    cond: bc,
+                                });
                             }
                             continue;
+                        }
+                        if record {
+                            self.cond_sites.push(CondSite {
+                                pos: g.pos,
+                                cond: bc.clone(),
+                            });
                         }
                         remaining = remaining.and_not(&bc);
                         let mut belems = Vec::new();
@@ -890,6 +921,23 @@ impl<F: FileSystem> Preprocessor<F> {
             if self.table.definitely_defined(g, c) {
                 return Ok(());
             }
+        }
+        // `#pragma once` (profile dialect quirk): configurations that
+        // already included the file skip it; a reinclusion proceeds for
+        // the not-yet-covered configurations, keeping the semantics
+        // configuration-aware like the guard fast path above.
+        if cached.pragma_once && self.opts.profile.pragma_once {
+            let seen = self.pragma_once_files.get(&path).cloned();
+            if let Some(prev) = &seen {
+                if c.and_not(prev).is_false() {
+                    return Ok(());
+                }
+            }
+            let covered = match seen {
+                Some(prev) => prev.or(c),
+                None => c.clone(),
+            };
+            self.pragma_once_files.insert(path.clone(), covered);
         }
         if !self.processed_files.insert(path.clone()) {
             self.stats.reincluded_headers += 1;

@@ -40,7 +40,7 @@ use std::sync::{Arc, RwLock};
 use superc_lexer::{FileId, SourcePos, Token, TokenKind};
 use superc_util::{FastMap, FxBuildHasher};
 
-use crate::directives::{RawGroup, RawItem, RawTest};
+use crate::directives::{detect_pragma_once, RawGroup, RawItem, RawTest};
 use crate::macrotable::MacroDef;
 
 /// Shard count; a small power of two is plenty — contention is already
@@ -165,6 +165,9 @@ pub struct SharedArtifact {
     /// What the producing worker spent lexing + structuring this file;
     /// credited to `lex_nanos_saved` on every shared-cache hit.
     pub lex_nanos: u64,
+    /// The file opens with a top-level `#pragma once` (profile-independent
+    /// syntax fact, so sharing across profiles stays sound).
+    pub pragma_once: bool,
 }
 
 /// Freeze-side interning state: one `Arc<str>` per distinct spelling.
@@ -379,6 +382,7 @@ impl SharedArtifact {
         bytes: usize,
         lex_nanos: u64,
     ) -> SharedArtifact {
+        let pragma_once = detect_pragma_once(items);
         let mut fz = Freezer::default();
         let items = items.iter().map(|i| fz.item(i)).collect();
         let guard = guard.map(|g| fz.text(g));
@@ -387,6 +391,7 @@ impl SharedArtifact {
             guard,
             bytes,
             lex_nanos,
+            pragma_once,
         }
     }
 

@@ -16,7 +16,7 @@ fn pp_with_backend(
     }
     let ctx = CondCtx::new(backend);
     let opts = PpOptions {
-        builtins: Builtins::none(),
+        profile: Profile::bare(),
         ..PpOptions::default()
     };
     let mut pp = Preprocessor::new(ctx, opts, fs);
@@ -772,7 +772,7 @@ fn pp_tool(
     }
     let ctx = CondCtx::new(CondBackend::Bdd);
     let opts = PpOptions {
-        builtins: Builtins::none(),
+        profile: Profile::bare(),
         ..PpOptions::default()
     };
     let mut pp = Preprocessor::new(ctx, opts, fs);

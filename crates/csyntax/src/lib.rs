@@ -28,13 +28,13 @@
 //!
 //! ```
 //! use superc_cond::{CondBackend, CondCtx};
-//! use superc_cpp::{Builtins, MemFs, Preprocessor, PpOptions};
+//! use superc_cpp::{MemFs, Preprocessor, PpOptions, Profile};
 //! use superc_csyntax::{c_grammar, parse_unit};
 //! use superc_fmlr::ParserConfig;
 //!
 //! let fs = MemFs::new().file("m.c", "#ifdef FAST\ntypedef int num;\n#else\ntypedef long num;\n#endif\nnum square(num x) { return x * x; }\n");
 //! let ctx = CondCtx::new(CondBackend::Bdd);
-//! let opts = PpOptions { builtins: Builtins::none(), ..Default::default() };
+//! let opts = PpOptions { profile: Profile::bare(), ..Default::default() };
 //! let mut pp = Preprocessor::new(ctx.clone(), opts, fs);
 //! let unit = pp.preprocess("m.c").unwrap();
 //! let result = parse_unit(&unit, &ctx, ParserConfig::full());

@@ -88,7 +88,7 @@ impl CSeed {
 #[cfg(test)]
 mod tests {
     use superc_cond::{CondBackend, CondCtx};
-    use superc_cpp::{Builtins, Element, MemFs, PTok, PpOptions, Preprocessor};
+    use superc_cpp::{Element, MemFs, PTok, PpOptions, Preprocessor, Profile};
 
     use crate::{c_artifacts, classify};
 
@@ -122,7 +122,7 @@ mod tests {
         let fs = MemFs::new().file("t.c", src);
         let ctx = CondCtx::new(CondBackend::Bdd);
         let opts = PpOptions {
-            builtins: Builtins::none(),
+            profile: Profile::bare(),
             ..PpOptions::default()
         };
         let mut pp = Preprocessor::new(ctx.clone(), opts, fs);

@@ -1,6 +1,6 @@
 use super::*;
 use superc_cond::{CondBackend, CondCtx};
-use superc_cpp::{Builtins, CompilationUnit, MemFs, PpOptions, Preprocessor};
+use superc_cpp::{CompilationUnit, MemFs, PpOptions, Preprocessor, Profile};
 use superc_fmlr::{ParseResult, ParserConfig, SemVal};
 
 fn preprocess(files: &[(&str, &str)]) -> (CompilationUnit, CondCtx) {
@@ -10,7 +10,7 @@ fn preprocess(files: &[(&str, &str)]) -> (CompilationUnit, CondCtx) {
     }
     let ctx = CondCtx::new(CondBackend::Bdd);
     let opts = PpOptions {
-        builtins: Builtins::none(),
+        profile: Profile::bare(),
         ..PpOptions::default()
     };
     let mut pp = Preprocessor::new(ctx.clone(), opts, fs);

@@ -1,6 +1,6 @@
 use super::*;
 use superc_cond::{Cond, CondBackend, CondCtx};
-use superc_cpp::{Builtins, MemFs, PTok, PpOptions, Preprocessor};
+use superc_cpp::{MemFs, PTok, PpOptions, Preprocessor, Profile};
 use superc_grammar::{Grammar, GrammarBuilder, SymbolId};
 use superc_lexer::TokenKind;
 
@@ -66,7 +66,7 @@ fn forest_for(g: &Grammar, src: &str) -> (Forest, CondCtx) {
     let fs = MemFs::new().file("t.c", src);
     let ctx = CondCtx::new(CondBackend::Bdd);
     let opts = PpOptions {
-        builtins: Builtins::none(),
+        profile: Profile::bare(),
         ..PpOptions::default()
     };
     let mut pp = Preprocessor::new(ctx.clone(), opts, fs);

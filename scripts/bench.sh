@@ -33,6 +33,11 @@
 # Fast-path gate: FASTPATH_MIN (default 1.25) is the minimum
 # fig9_condfree vs fig9_condfree_nofp speedup — the deterministic fast
 # path must actually pay on a conditional-free workload.
+#
+# Cross-profile gate: PROFILES_MAX (default 2.4) caps the wall clock of
+# the 3-profile fig9_profiles matrix at that multiple of its
+# single-profile leg fig9_profiles1 — sharing pre-expansion artifacts
+# across profiles must make the matrix cheaper than three fresh runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -118,6 +123,30 @@ self_gates() {
             echo "bench: fig9_condfree fastpath-on/off speedup ${fp_ratio}x (floor ${FASTPATH_MIN}x) OK"
         else
             echo "bench: fig9_condfree fastpath-on/off speedup ${fp_ratio}x below floor ${FASTPATH_MIN}x" >&2
+            gfail=1
+        fi
+    fi
+
+    # Cross-profile cost gate: analyzing the 3-profile matrix
+    # (fig9_profiles) must cost at most PROFILES_MAX x the wall clock of
+    # the single-profile run of the same corpus (fig9_profiles1) — the
+    # shared pre-expansion cache amortizes lexing across the matrix, so
+    # the marginal profile is much cheaper than a fresh run. Both legs
+    # are measured interleaved in one process, so machine drift cancels
+    # out of the ratio.
+    local PROFILES_MAX="${PROFILES_MAX:-2.4}"
+    local p3_secs p1_secs pr_ratio
+    p3_secs=$(sed -n 's/.*"name": "fig9_profiles",.*"seconds": \([0-9.]*\).*/\1/p' "$f")
+    p1_secs=$(sed -n 's/.*"name": "fig9_profiles1",.*"seconds": \([0-9.]*\).*/\1/p' "$f")
+    if [[ -z "$p3_secs" || -z "$p1_secs" ]]; then
+        echo "bench: fig9_profiles workload pair missing from new snapshot" >&2
+        gfail=1
+    else
+        pr_ratio=$(awk -v a="$p3_secs" -v b="$p1_secs" 'BEGIN { printf "%.2f", a / b }')
+        if awk -v r="$pr_ratio" -v cap="$PROFILES_MAX" 'BEGIN { exit !(r <= cap) }'; then
+            echo "bench: fig9_profiles 3-profile/1-profile cost ${pr_ratio}x (cap ${PROFILES_MAX}x) OK"
+        else
+            echo "bench: fig9_profiles 3-profile/1-profile cost ${pr_ratio}x above cap ${PROFILES_MAX}x" >&2
             gfail=1
         fi
     fi
@@ -218,7 +247,7 @@ while read -r name old_rate; do
     # drift (the uncached-lexing leg swings tens of percent on a loaded
     # box) without guarding anything the ratio gates don't.
     case "$name" in
-    *_nocache | *_nofp) continue ;;
+    *_nocache | *_nofp | *_profiles1) continue ;;
     esac
     new_rate=$(extract "$NEW" | awk -v n="$name" '$1 == n { print $2 }')
     if [[ -z "$new_rate" ]]; then

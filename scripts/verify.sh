@@ -97,6 +97,38 @@ for fp in fastpath no-fastpath; do
 done
 echo "verify: kernel corpus smoke OK"
 
+# Cross-profile byte-identity: the portability lint report over the
+# seeded fixture corpus (tests/fixtures/portability, also exercised
+# in-process by tests/portability.rs) must be byte-identical for any
+# job count in every output format — the determinism contract the
+# `--profiles` mode advertises.
+PORT_DIR=tests/fixtures/portability
+PORT_UNITS=(win_ifdef.c gnuc_version.c apple_decl.c stdc_version.c
+    nested_guard.c clean_portable.c)
+for fmt in text json sarif; do
+    ref=""
+    have_ref=0
+    for j in 1 2 8; do
+        out=$(cd "$PORT_DIR" && "$ROBUST_BIN" lint \
+            --profiles gcc-linux,clang-macos,msvc-windows \
+            --format "$fmt" --jobs "$j" "${PORT_UNITS[@]}" 2>&1) || true
+        if ! grep -q "portability-" <<<"$out"; then
+            echo "verify: no portability findings (--format $fmt --jobs $j):" >&2
+            echo "$out" >&2
+            exit 1
+        fi
+        if [[ "$have_ref" == 0 ]]; then
+            ref="$out"
+            have_ref=1
+        elif [[ "$out" != "$ref" ]]; then
+            echo "verify: cross-profile $fmt report diverged at --jobs $j" >&2
+            diff <(echo "$ref") <(echo "$out") >&2 || true
+            exit 1
+        fi
+    done
+done
+echo "verify: cross-profile lint byte-identity OK"
+
 cargo fmt --all --check
 cargo clippy --workspace -- -D warnings
 scripts/bench.sh

@@ -12,7 +12,7 @@
 use std::collections::BTreeSet;
 
 use superc::cpp::Element;
-use superc::{unparse_config, Builtins, Options, PpOptions, SuperC};
+use superc::{unparse_config, Options, PpOptions, Profile, SuperC};
 use superc_kernelgen::{generate, CorpusSpec};
 
 /// Flattens a preserved-variability element tree under a configuration.
@@ -91,7 +91,7 @@ fn variability_preserving_equals_single_config() {
     let mut full = SuperC::new(
         Options {
             pp: PpOptions {
-                builtins: Builtins::gcc_like(),
+                profile: Profile::default(),
                 ..PpOptions::default()
             },
             ..Options::default()
@@ -126,7 +126,7 @@ fn variability_preserving_equals_single_config() {
         let mut gcc = SuperC::new(
             Options {
                 pp: PpOptions {
-                    builtins: Builtins::gcc_like(),
+                    profile: Profile::default(),
                     defines,
                     single_config: true,
                     ..PpOptions::default()
@@ -242,7 +242,7 @@ fn exhaustive_configuration_oracle() {
     let mut full = SuperC::new(
         Options {
             pp: PpOptions {
-                builtins: Builtins::gcc_like(),
+                profile: Profile::default(),
                 ..PpOptions::default()
             },
             ..Options::default()
@@ -298,7 +298,7 @@ fn exhaustive_configuration_oracle() {
             let mut gcc = SuperC::new(
                 Options {
                     pp: PpOptions {
-                        builtins: Builtins::gcc_like(),
+                        profile: Profile::default(),
                         defines,
                         single_config: true,
                         ..PpOptions::default()

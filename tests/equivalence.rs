@@ -4,12 +4,12 @@
 //! performance transformations; any observable difference is a bug.
 
 use superc::cpp::Element;
-use superc::{unparse_config, Builtins, Options, ParserConfig, PpOptions, SuperC};
+use superc::{unparse_config, Options, ParserConfig, PpOptions, Profile, SuperC};
 use superc_kernelgen::{generate, CorpusSpec};
 
 fn opts() -> PpOptions {
     PpOptions {
-        builtins: Builtins::gcc_like(),
+        profile: Profile::default(),
         ..PpOptions::default()
     }
 }

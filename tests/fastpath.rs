@@ -33,7 +33,7 @@
 
 use superc::analyze::LintOptions;
 use superc::corpus::{process_corpus, Capture, CorpusOptions, CorpusReport};
-use superc::{Budgets, Builtins, DiskFs, MemFs, Options, PpOptions, SuperC};
+use superc::{Budgets, DiskFs, MemFs, Options, PpOptions, Profile, SuperC};
 use superc_kernelgen::{generate, CorpusSpec};
 
 /// Baseline options with the fast path (parser + fused lexing) switched
@@ -41,7 +41,7 @@ use superc_kernelgen::{generate, CorpusSpec};
 fn options(fastpath: bool, budgets: Budgets) -> Options {
     let mut o = Options {
         pp: PpOptions {
-            builtins: Builtins::gcc_like(),
+            profile: Profile::default(),
             ..PpOptions::default()
         },
         budgets,
@@ -157,6 +157,7 @@ fn matrix(
             capture: copts.capture.clone(),
             lint: copts.lint.clone(),
             inject_panic: Vec::new(),
+            portability: false,
         };
         process_corpus(fs, units, &options(fastpath, budgets), &copts)
     };

@@ -1,0 +1,9 @@
+/* Divergent declaration: `handle` is an unsigned long on macOS and an
+   int elsewhere. clang-macos predefines __APPLE__, so the two arms
+   resolve differently across profiles. */
+#ifdef __APPLE__
+typedef unsigned long os_handle_t;
+os_handle_t handle;
+#else
+int handle;
+#endif

@@ -1,0 +1,9 @@
+/* Fully portable unit: only free CONFIG_* variables, no compiler or OS
+   built-ins, so every profile produces an identical slice and the
+   cross-profile differ must stay silent. */
+#ifdef CONFIG_VERBOSE
+int log_level = 2;
+#else
+int log_level = 0;
+#endif
+unsigned counter;

@@ -1,0 +1,7 @@
+/* Version-gated GNU extension: statically true under gcc and clang
+   (both predefine __GNUC__ >= 4), symbolic under msvc-windows where
+   __GNUC__ is a free macro. */
+#if defined(__GNUC__) && __GNUC__ >= 4
+int has_attributes;
+#endif
+int tail;

@@ -1,0 +1,9 @@
+/* Nested split: the inner conditional's presence condition is a
+   conjunction, `defined(CONFIG_FEATURE) && defined(_WIN32)` on unix
+   profiles but just `defined(CONFIG_FEATURE)` under msvc-windows. */
+#ifdef CONFIG_FEATURE
+#ifdef _WIN32
+int feature_win;
+#endif
+#endif
+int base;

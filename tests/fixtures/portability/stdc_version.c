@@ -1,0 +1,8 @@
+/* Three-way language-level split: gcc-linux predefines
+   __STDC_VERSION__ = 199901L (else arm), the clang profiles predefine
+   201112L (then arm), and msvc-windows leaves it free (symbolic). */
+#if defined(__STDC_VERSION__) && __STDC_VERSION__ >= 201112L
+int have_c11;
+#else
+int no_c11;
+#endif

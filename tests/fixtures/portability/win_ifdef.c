@@ -1,0 +1,10 @@
+/* Windows-only handle type: the conditional is decided by the _WIN32
+   built-in, so every portability axis diverges between msvc-windows
+   (where it is statically true) and the unix profiles (where _WIN32
+   stays a free configuration variable). */
+#ifdef _WIN32
+int win_handle;
+#else
+int posix_fd;
+#endif
+int common;

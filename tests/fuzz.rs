@@ -3,9 +3,17 @@
 //! parser, must keep the branch-partition invariant, and must stay
 //! differentially consistent with single-configuration mode.
 
+use superc::analyze::LintOptions;
+use superc::corpus::{process_corpus, process_corpus_profiles, CorpusOptions};
 use superc::cpp::Element;
-use superc::{Builtins, Options, PpOptions, SuperC};
+use superc::{Options, PpOptions, Profile, SuperC};
 use superc_util::prop::{check, Gen};
+
+/// Macros the shipped compiler/OS profiles predefine: conditionals over
+/// these resolve differently per profile (defined under some, free
+/// under the rest), which is exactly what the cross-profile property
+/// needs to exercise.
+const PROFILE_BUILTINS: [&str; 5] = ["_WIN32", "__APPLE__", "__GNUC__", "__clang__", "_MSC_VER"];
 
 /// A tiny AST of preprocessor-and-C soup that always generates
 /// *lexable* text (the pipeline should handle arbitrary bytes too, but
@@ -33,6 +41,15 @@ enum Soup {
     /// deterministic fast path and fused lexing are built for — one
     /// subparser live throughout, every token inert.
     Stretch(u8, u8),
+    /// `#ifdef` over a profile-sensitive built-in ([`PROFILE_BUILTINS`]):
+    /// statically decided under profiles that predefine it, symbolic
+    /// under the rest. Only [`gen_profile_soup`] generates these, so the
+    /// other properties' random streams are untouched.
+    BuiltinCond(usize, Vec<Soup>, Vec<Soup>),
+    /// A guarded value test (`#if defined(X) && X >= k`) over a
+    /// profile-sensitive built-in, exercising per-profile arithmetic
+    /// folding (`__GNUC__ >= 4` is true under gcc, symbolic under msvc).
+    BuiltinIf(usize, u8, Vec<Soup>),
 }
 
 fn gen_leaf(g: &mut Gen) -> Soup {
@@ -89,6 +106,29 @@ fn gen_stretchy_soup(g: &mut Gen) -> Vec<Soup> {
         items.push(gen_item(g, 2));
     }
     items.push(Soup::Stretch(g.u8(12..40), g.u8(0..10)));
+    items
+}
+
+/// Soup with profile-sensitive built-ins: ordinary soup interleaved
+/// with conditionals over [`PROFILE_BUILTINS`], so the same source
+/// resolves differently under each shipped profile.
+fn gen_profile_soup(g: &mut Gen) -> Vec<Soup> {
+    let mut items = Vec::new();
+    for _ in 0..g.usize(1..4) {
+        items.push(Soup::BuiltinCond(
+            g.usize(0..PROFILE_BUILTINS.len()),
+            g.vec(0..3, |g| gen_item(g, 2)),
+            g.vec(0..3, |g| gen_item(g, 2)),
+        ));
+        if g.percent(60) {
+            items.push(Soup::BuiltinIf(
+                g.usize(0..PROFILE_BUILTINS.len()),
+                g.u8(0..8),
+                g.vec(0..3, |g| gen_item(g, 2)),
+            ));
+        }
+        items.push(gen_item(g, 2));
+    }
     items
 }
 
@@ -154,6 +194,19 @@ fn render(items: &[Soup], out: &mut String, counter: &mut u32) {
                 }
                 out.push_str("    return acc;\n}\n");
             }
+            Soup::BuiltinCond(b, t, e) => {
+                out.push_str(&format!("#ifdef {}\n", PROFILE_BUILTINS[*b]));
+                render(t, out, counter);
+                out.push_str("#else\n");
+                render(e, out, counter);
+                out.push_str("#endif\n");
+            }
+            Soup::BuiltinIf(b, k, body) => {
+                let name = PROFILE_BUILTINS[*b];
+                out.push_str(&format!("#if defined({name}) && {name} >= {k}\n"));
+                render(body, out, counter);
+                out.push_str("#endif\n");
+            }
             Soup::ElifChain(c1, c2, m, k, b1, b2, b3) => {
                 out.push_str(&format!("#if defined(CFG{c1})\n"));
                 render(b1, out, counter);
@@ -204,7 +257,7 @@ fn pipeline_never_panics_and_keeps_invariants() {
         let mut sc = SuperC::new(
             Options {
                 pp: PpOptions {
-                    builtins: Builtins::none(),
+                    profile: Profile::bare(),
                     ..PpOptions::default()
                 },
                 ..Options::default()
@@ -255,7 +308,7 @@ fn soup_matches_single_config() {
         let mut full = SuperC::new(
             Options {
                 pp: PpOptions {
-                    builtins: Builtins::none(),
+                    profile: Profile::bare(),
                     ..PpOptions::default()
                 },
                 ..Options::default()
@@ -273,7 +326,7 @@ fn soup_matches_single_config() {
         let mut single = SuperC::new(
             Options {
                 pp: PpOptions {
-                    builtins: Builtins::none(),
+                    profile: Profile::bare(),
                     defines,
                     single_config: true,
                     ..PpOptions::default()
@@ -354,7 +407,7 @@ fn fastpath_and_general_engine_agree_on_soups() {
         let run = |fastpath: bool| {
             let mut opts = Options {
                 pp: PpOptions {
-                    builtins: Builtins::none(),
+                    profile: Profile::bare(),
                     ..PpOptions::default()
                 },
                 ..Options::default()
@@ -480,4 +533,73 @@ fn fastpath_and_general_engine_agree_on_soups() {
         saw_exits,
         "no case ever exited a stretch mid-unit (islands too weak)"
     );
+}
+
+/// Cross-profile mode is N honest single-profile runs interleaved over
+/// one worker pool: for every seed, each per-profile slice of a
+/// `process_corpus_profiles` run must equal what a plain single-profile
+/// corpus run over the same source produces — portability rows, lint
+/// records, and behavior counters alike.
+#[test]
+fn cross_profile_mode_agrees_with_single_profile_runs() {
+    // Aggregated: the generator must actually produce profile-divergent
+    // sources, or the property is vacuous.
+    let mut saw_divergence = false;
+    check(
+        "cross_profile_mode_agrees_with_single_profile_runs",
+        24,
+        |g| {
+            let items = gen_profile_soup(g);
+            let mut src = String::new();
+            let mut counter = 0;
+            render(&items, &mut src, &mut counter);
+            src.push_str("int trailer;\n");
+            let fs = superc::MemFs::new().file("f.c", &src);
+            let units = vec!["f.c".to_string()];
+            let profiles = vec![
+                Profile::gcc_linux(),
+                Profile::clang_macos(),
+                Profile::msvc_windows(),
+            ];
+
+            let cross_copts = CorpusOptions {
+                jobs: 2,
+                lint: Some(LintOptions::default()),
+                ..CorpusOptions::default()
+            };
+            let cross =
+                process_corpus_profiles(&fs, &units, &Options::default(), &profiles, &cross_copts);
+
+            for (i, profile) in profiles.iter().enumerate() {
+                let mut options = Options::default();
+                options.pp.profile = profile.clone();
+                let single_copts = CorpusOptions {
+                    jobs: 1,
+                    lint: Some(LintOptions::default()),
+                    portability: true,
+                    ..CorpusOptions::default()
+                };
+                let single = process_corpus(&fs, &units, &options, &single_copts);
+                assert_eq!(
+                    cross.runs[i].behavior_counters(),
+                    single.behavior_counters(),
+                    "profile {} counters diverged\nsource:\n{src}",
+                    profile.name
+                );
+                assert_eq!(
+                    cross.runs[i].units[0].portability, single.units[0].portability,
+                    "profile {} portability slice diverged\nsource:\n{src}",
+                    profile.name
+                );
+                assert_eq!(
+                    cross.runs[i].units[0].lints, single.units[0].lints,
+                    "profile {} lints diverged\nsource:\n{src}",
+                    profile.name
+                );
+            }
+            let records = cross.lint_records(&LintOptions::default());
+            saw_divergence |= records.iter().any(|r| r.code.starts_with("portability-"));
+        },
+    );
+    assert!(saw_divergence, "no case ever diverged across profiles");
 }

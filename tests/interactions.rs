@@ -4,7 +4,7 @@
 //! the full pipeline (lexer → configuration-preserving preprocessor →
 //! FMLR parser with the C grammar).
 
-use superc::{Builtins, CompilationUnit, CondCtx, MemFs, Options, PpOptions, SuperC};
+use superc::{CompilationUnit, CondCtx, MemFs, Options, PpOptions, Profile, SuperC};
 
 fn run(files: &[(&str, &str)]) -> (CompilationUnit, superc::ParseResult, CondCtx) {
     let mut fs = MemFs::new();
@@ -13,7 +13,7 @@ fn run(files: &[(&str, &str)]) -> (CompilationUnit, superc::ParseResult, CondCtx
     }
     let opts = Options {
         pp: PpOptions {
-            builtins: Builtins::none(),
+            profile: Profile::bare(),
             ..PpOptions::default()
         },
         ..Options::default()

@@ -2,13 +2,13 @@
 //! preprocess and parse under every configuration (except branches the
 //! corpus deliberately poisons with `#error`).
 
-use superc::{Builtins, Options, PpOptions, SuperC};
+use superc::{Options, PpOptions, Profile, SuperC};
 use superc_kernelgen::{generate, CorpusSpec};
 
 fn options() -> Options {
     Options {
         pp: PpOptions {
-            builtins: Builtins::gcc_like(),
+            profile: Profile::default(),
             ..PpOptions::default()
         },
         ..Options::default()
@@ -75,7 +75,7 @@ fn gcc_baseline_handles_the_corpus() {
         ("CONFIG_64BIT".into(), "1".into()),
         ("NR_CPUS".into(), "64".into()),
     ]);
-    opts.pp.builtins = Builtins::gcc_like();
+    opts.pp.profile = Profile::default();
     let mut sc = SuperC::new(opts, corpus.fs.clone());
     for unit in &corpus.units {
         let p = sc.process(unit).unwrap_or_else(|e| panic!("{unit}: {e}"));

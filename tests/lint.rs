@@ -122,14 +122,19 @@ fn corpus_files() -> Vec<String> {
 #[test]
 fn lint_json_is_byte_identical_across_job_counts() {
     let files = corpus_files();
-    let options = Options::default();
-    let render_for = |jobs: usize, no_shared_cache: bool| -> String {
+    let render_for = |jobs: usize, no_shared_cache: bool, fastpath: bool| -> String {
+        let mut options = Options::default();
+        if !fastpath {
+            options.parser.fastpath = false;
+            options.pp.fuse_lexing = false;
+        }
         let copts = CorpusOptions {
             jobs,
             capture: Capture::default(),
             lint: Some(LintOptions::default()),
             no_shared_cache,
             inject_panic: Vec::new(),
+            portability: false,
         };
         let report = process_corpus(&fixture_fs(), &files, &options, &copts);
         assert_eq!(report.fatal_units(), 0);
@@ -140,20 +145,25 @@ fn lint_json_is_byte_identical_across_job_counts() {
             .collect();
         render::render_json(&records)
     };
-    let base = render_for(1, false);
-    // One diagnostic per buggy fixture, none from the clean ones.
-    for code in LintCode::ALL {
+    let base = render_for(1, false, true);
+    // One diagnostic per buggy fixture, none from the clean ones. The
+    // portability-* codes only fire in cross-profile mode (see
+    // tests/portability.rs), so only the single-profile lints appear.
+    for code in &LintCode::ALL[..5] {
         assert!(base.contains(code.as_str()), "missing {code} in {base}");
     }
     assert_eq!(base.matches("\"code\"").count(), 5, "{base}");
+    assert!(!base.contains("portability-"), "{base}");
     for jobs in [1, 2, 8] {
         for no_cache in [false, true] {
-            assert_eq!(
-                render_for(jobs, no_cache),
-                base,
-                "jobs={jobs} cache={} diverged",
-                if no_cache { "off" } else { "on" }
-            );
+            for fastpath in [true, false] {
+                assert_eq!(
+                    render_for(jobs, no_cache, fastpath),
+                    base,
+                    "jobs={jobs} cache={} fastpath={fastpath} diverged",
+                    if no_cache { "off" } else { "on" }
+                );
+            }
         }
     }
 }

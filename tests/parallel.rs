@@ -20,13 +20,13 @@
 
 use superc::analyze::LintOptions;
 use superc::corpus::{process_corpus, Capture, CorpusOptions, CorpusReport};
-use superc::{Builtins, Options, PpOptions};
+use superc::{Options, PpOptions, Profile};
 use superc_kernelgen::{generate, Corpus, CorpusSpec};
 
 fn options() -> Options {
     Options {
         pp: PpOptions {
-            builtins: Builtins::gcc_like(),
+            profile: Profile::default(),
             ..PpOptions::default()
         },
         ..Options::default()
@@ -89,6 +89,7 @@ fn run_with_cache(corpus: &Corpus, jobs: usize, no_shared_cache: bool) -> Corpus
         lint: Some(LintOptions::default()),
         no_shared_cache,
         inject_panic: Vec::new(),
+        portability: false,
     };
     process_corpus(&corpus.fs, &corpus.units, &options(), &copts)
 }

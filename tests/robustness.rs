@@ -61,6 +61,7 @@ fn copts(jobs: usize, no_shared_cache: bool) -> CorpusOptions {
         lint: None,
         no_shared_cache,
         inject_panic: Vec::new(),
+        portability: false,
     }
 }
 

@@ -17,13 +17,13 @@ use std::sync::Arc;
 
 use superc::analyze::LintOptions;
 use superc::corpus::{Capture, CorpusOptions, CorpusReport, CorpusRunner};
-use superc::{Builtins, MemFs, Options, PpOptions};
+use superc::{MemFs, Options, PpOptions, Profile};
 use superc_kernelgen::{generate, Corpus, CorpusSpec};
 
 fn options() -> Options {
     Options {
         pp: PpOptions {
-            builtins: Builtins::gcc_like(),
+            profile: Profile::default(),
             ..PpOptions::default()
         },
         ..Options::default()
