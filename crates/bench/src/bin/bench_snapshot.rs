@@ -55,6 +55,13 @@ struct Snapshot {
     /// Merged preprocessor counters (shared-cache and memo hits live
     /// here; see `PpStats` for which of these are schedule-dependent).
     pp: PpStats,
+    /// Units replayed from the pooled runner's result memo (nonzero only
+    /// for the warm `fig_incremental` leg).
+    unit_memo_hits: u64,
+    /// Units that consulted the memo and recomputed.
+    unit_memo_misses: u64,
+    /// Files content-hashed during the run (hash-memo misses).
+    files_rehashed: u64,
 }
 
 impl Snapshot {
@@ -150,6 +157,9 @@ fn measure(name: &'static str, corpus: &Corpus, reps: usize, opts: &Options) -> 
             parse,
             bdd,
             pp,
+            unit_memo_hits: 0,
+            unit_memo_misses: 0,
+            files_rehashed: 0,
         };
         match &best {
             Some(b) if b.seconds <= snap.seconds => {}
@@ -204,6 +214,9 @@ fn measure_lint(name: &'static str, corpus: &Corpus, reps: usize) -> Snapshot {
             parse,
             bdd,
             pp,
+            unit_memo_hits: 0,
+            unit_memo_misses: 0,
+            files_rehashed: 0,
         };
         match &best {
             Some(b) if b.seconds <= snap.seconds => {}
@@ -232,6 +245,9 @@ fn report_snapshot(name: &'static str, report: CorpusReport) -> Snapshot {
         peak_live,
         parse: report.parse.clone(),
         bdd: report.bdd.unwrap_or_default(),
+        unit_memo_hits: report.unit_memo_hits,
+        unit_memo_misses: report.unit_memo_misses,
+        files_rehashed: report.files_rehashed,
         pp: report.pp,
     }
 }
@@ -302,6 +318,9 @@ fn profiles_snapshot(name: &'static str, report: ProfilesReport) -> Snapshot {
         parse,
         bdd,
         pp,
+        unit_memo_hits: report.runs[0].unit_memo_hits,
+        unit_memo_misses: report.runs[0].unit_memo_misses,
+        files_rehashed: report.runs[0].files_rehashed,
     }
 }
 
@@ -344,6 +363,71 @@ fn measure_kernel_ladder(corpus: &Corpus, reps: usize, warmup: usize) -> Vec<Sna
     best.into_iter()
         .map(|b| b.expect("at least one rep"))
         .collect()
+}
+
+/// The incremental warm re-run pair (`fig_incremental_cold` /
+/// `fig_incremental`): one pooled runner over a **mutable** copy of the
+/// kernel-scale tree. Each rep edits ~1% of the units (spread across
+/// the corpus, contents varying per rep), then runs a cold batch (full
+/// recompute; the unit result memo off) and a warm batch (memo on) over
+/// the *identical* tree, interleaved like every other gated pair.
+///
+/// Two invariants are asserted per rep: warm output is byte-identical
+/// to cold over the same tree (the memo may only change who computes a
+/// report, never the report), and every untouched unit replays from the
+/// memo (the include-closure fingerprints actually discriminate).
+/// `scripts/bench.sh` gates the pair's throughput ratio at WARM_MIN.
+fn measure_incremental(corpus: &Corpus, reps: usize, jobs: usize) -> (Snapshot, Snapshot) {
+    use superc::{FileSystem, SharedMemFs};
+    let fs = Arc::new(SharedMemFs::from_mem(&corpus.fs));
+    let mut pool: CorpusRunner<SharedMemFs> =
+        CorpusRunner::new(&options(), fs.clone(), jobs, false);
+    let cold_opts = CorpusOptions::default();
+    let warm_opts = CorpusOptions {
+        warm: true,
+        ..CorpusOptions::default()
+    };
+    let n = corpus.units.len();
+    let edited = n.div_ceil(100);
+    // Fill the memo before timing, like the other pools' warmup passes.
+    std::hint::black_box(pool.run(&corpus.units, &warm_opts));
+    let mut best_cold: Option<Snapshot> = None;
+    let mut best_warm: Option<Snapshot> = None;
+    for r in 0..reps.max(1) {
+        for i in 0..edited {
+            let path = &corpus.units[i * n / edited];
+            let orig = corpus.fs.read(path).expect("unit exists");
+            fs.set(path, &format!("{orig}\nint warm_probe_{r}_{i};\n"));
+        }
+        let cold = pool.run(&corpus.units, &cold_opts);
+        let warm = pool.run(&corpus.units, &warm_opts);
+        assert_eq!(
+            cold.behavior_counters(),
+            warm.behavior_counters(),
+            "fig_incremental: warm output drifted from cold over the same tree"
+        );
+        assert_eq!(
+            warm.unit_memo_hits,
+            (n - edited) as u64,
+            "fig_incremental: every untouched unit must replay from the memo"
+        );
+        assert_eq!(
+            warm.unit_memo_misses, edited as u64,
+            "fig_incremental: exactly the edited units recompute"
+        );
+        let c = report_snapshot("fig_incremental_cold", cold);
+        if best_cold.as_ref().is_none_or(|b| c.seconds < b.seconds) {
+            best_cold = Some(c);
+        }
+        let w = report_snapshot("fig_incremental", warm);
+        if best_warm.as_ref().is_none_or(|b| w.seconds < b.seconds) {
+            best_warm = Some(w);
+        }
+    }
+    (
+        best_cold.expect("at least one rep"),
+        best_warm.expect("at least one rep"),
+    )
 }
 
 /// The determinism gate: a parallel run must do *exactly* the same
@@ -418,7 +502,9 @@ fn to_json(snaps: &[Snapshot], setup_millis: u64) -> String {
                 "\"shared_cache_hits\": {}, \"shared_cache_misses\": {}, ",
                 "\"shared_cache_hit_rate\": {:.4}, \"lex_nanos_saved\": {}, ",
                 "\"condexpr_memo_hits\": {}, \"expansion_memo_hits\": {}, ",
-                "\"fastpath_tokens\": {}, \"fused_tokens\": {}}}"
+                "\"fastpath_tokens\": {}, \"fused_tokens\": {}, ",
+                "\"unit_memo_hits\": {}, \"unit_memo_misses\": {}, ",
+                "\"files_rehashed\": {}}}"
             ),
             w.name,
             w.jobs,
@@ -446,6 +532,9 @@ fn to_json(snaps: &[Snapshot], setup_millis: u64) -> String {
             w.pp.expansion_memo_hits,
             w.parse.fastpath_tokens,
             w.pp.fused_tokens,
+            w.unit_memo_hits,
+            w.unit_memo_misses,
+            w.files_rehashed,
         );
         s.push_str(if i + 1 < snaps.len() { ",\n" } else { "\n" });
     }
@@ -656,6 +745,8 @@ fn main() {
     let prof_single = prof_single.expect("at least one rep");
     // The kernel-scale jobs ladder over pooled workers.
     let kernel_snaps = measure_kernel_ladder(&kernel, reps, warmup);
+    // The incremental warm re-run pair over the same kernel-scale tree.
+    let (incr_cold, incr_warm) = measure_incremental(&kernel, reps, par_jobs);
     // The shared-cache workload pair: identical header-dominated corpus,
     // cache on vs off, so the snapshot records the cache's speedup and
     // hit rate (`scripts/bench.sh` gates on both). Always 8 workers, even
@@ -703,6 +794,8 @@ fn main() {
         condfree_off,
         prof_matrix,
         prof_single,
+        incr_cold,
+        incr_warm,
     ];
     snaps.extend(kernel_snaps);
 

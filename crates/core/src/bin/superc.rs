@@ -26,6 +26,18 @@
 //!   --profile <name>  compiler/OS profile supplying the built-in macro
 //!                     table and dialect quirks: gcc-linux (default),
 //!                     clang-linux, clang-macos, msvc-windows, bare
+//!   --warm <N>        run the corpus N times over one pooled worker
+//!                     runner with the unit result memo enabled, printing
+//!                     only the final run — the incremental "edit a file,
+//!                     re-run" loop in one process. Unchanged units replay
+//!                     their memoized result; units whose include closure
+//!                     was edited recompute. Output is byte-identical to a
+//!                     cold run over the final tree. The memo is bypassed
+//!                     for units that tripped a budget or failed, and
+//!                     disabled entirely under --no-shared-cache.
+//!   --edit <R:dst=src> before (1-based) run R of --warm, copy file src
+//!                     over dst — scripted edits for warm re-run testing
+//!                     (repeatable)
 //!
 //! Resource budgets (0 = unlimited; exhaustion *degrades* the unit to a
 //! partial parse with condition-scoped diagnostics instead of aborting):
@@ -58,7 +70,10 @@
 use std::process::ExitCode;
 
 use superc::analyze::{render, LintCode, LintLevel, LintOptions, Record};
-use superc::corpus::{process_corpus, process_corpus_profiles, Capture, CorpusOptions};
+use superc::corpus::{
+    process_corpus, process_corpus_profiles, Capture, CorpusOptions, CorpusReport, CorpusRunner,
+    ProfilesReport,
+};
 use superc::{CondBackend, DiskFs, Options, ParserConfig, PpOptions, Profile, SuperC};
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -85,6 +100,12 @@ struct Args {
     jobs: usize,
     /// Disable the shared preprocessing cache in parallel runs.
     no_shared_cache: bool,
+    /// Warm re-run count: run the corpus this many times over one pooled
+    /// runner with the unit result memo on; `0` = normal one-shot run.
+    warm: usize,
+    /// Scripted edits for warm re-runs: before (1-based) run `.0`, copy
+    /// file `.2` over `.1`.
+    edits: Vec<(usize, String, String)>,
     /// `superc lint` mode.
     lint: Option<LintArgs>,
 }
@@ -98,6 +119,8 @@ fn parse_args() -> Result<Args, String> {
         show_stats: false,
         jobs: 0,
         no_shared_cache: false,
+        warm: 0,
+        edits: Vec::new(),
         lint: None,
     };
     let mut pp = PpOptions::default();
@@ -222,6 +245,27 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-shared-cache" => args.no_shared_cache = true,
             "--no-fastpath" => no_fastpath = true,
+            "--warm" => {
+                let n = it.next().ok_or("--warm needs a run count")?;
+                args.warm = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("--warm: not a count: {n}"))?;
+                if args.warm == 0 {
+                    return Err("--warm needs at least 1 run".to_string());
+                }
+            }
+            "--edit" => {
+                let spec = it.next().ok_or("--edit needs run:dest=src")?;
+                let parsed = spec.split_once(':').and_then(|(run, rest)| {
+                    let run = run.parse::<usize>().ok().filter(|&r| r > 0)?;
+                    let (dest, src) = rest.split_once('=')?;
+                    Some((run, dest.to_string(), src.to_string()))
+                });
+                match parsed {
+                    Some(e) => args.edits.push(e),
+                    None => return Err(format!("--edit: expected run:dest=src, got {spec}")),
+                }
+            }
             "--profile" => {
                 let n = it.next().ok_or("--profile needs a name")?;
                 pp.profile = named_profile(&n)?;
@@ -231,6 +275,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: superc [lint] [-I dir] [-D name[=v]] [--sat] [--mapr] \
                             [--level L] [--single names] [--preprocess] [--ast] [--stats] \
                             [--jobs N] [--no-shared-cache] [--no-fastpath] [--profile name] \
+                            [--warm N] [--edit R:dst=src] \
                             [--max-subparsers N] [--parse-budget N] [--max-forks N] \
                             [--max-cond-nodes N] [--parse-time-ms N] [--include-depth N] \
                             [--hoist-cap N] files...\n\
@@ -245,6 +290,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.files.is_empty() {
         return Err("no input files (try --help)".to_string());
+    }
+    if args.warm == 0 && !args.edits.is_empty() {
+        return Err("--edit requires --warm".to_string());
+    }
+    if let Some((r, _, _)) = args.edits.iter().find(|(r, _, _)| *r > args.warm) {
+        return Err(format!("--edit run {r} is beyond --warm {}", args.warm));
     }
     if pp.include_paths.is_empty() {
         pp.include_paths.push("include".to_string());
@@ -280,8 +331,9 @@ fn main() -> ExitCode {
     }
     // Multi-file runs always go through the corpus driver, even with
     // `--jobs 1`: the driver renders conditions canonically and prints in
-    // input order, so output is byte-identical for any job count.
-    if args.files.len() > 1 {
+    // input order, so output is byte-identical for any job count. Warm
+    // re-runs need the pooled driver regardless of file count.
+    if args.files.len() > 1 || args.warm > 0 {
         return run_parallel(&args);
     }
     let mut sc = SuperC::new(args.options, DiskFs::new("."));
@@ -357,6 +409,54 @@ fn main() -> ExitCode {
     }
 }
 
+/// Applies the `--edit` patches scheduled before 1-based warm run `run`
+/// (copy `src` over `dest`, in flag order).
+fn apply_edits(args: &Args, run: usize) -> Result<(), String> {
+    for (r, dest, src) in &args.edits {
+        if *r == run {
+            std::fs::copy(src, dest)
+                .map_err(|e| format!("--edit: cannot copy {src} over {dest}: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+/// `--warm N` driver: one pooled [`CorpusRunner`], N warm batches with
+/// the scheduled `--edit`s applied at each batch boundary, returning
+/// only the final batch's report — the one the caller prints, and the
+/// one bench/verify scripts compare byte-for-byte against a cold run
+/// over the final tree.
+fn run_warm_corpus(args: &Args, copts: &CorpusOptions) -> Result<CorpusReport, String> {
+    let mut copts = copts.clone();
+    copts.warm = true;
+    let fs = std::sync::Arc::new(DiskFs::new("."));
+    let mut pool = CorpusRunner::new(&args.options, fs, args.jobs, args.no_shared_cache);
+    let mut report = None;
+    for run in 1..=args.warm {
+        apply_edits(args, run)?;
+        report = Some(pool.run(&args.files, &copts));
+    }
+    Ok(report.expect("--warm is at least 1"))
+}
+
+/// The cross-profile analogue of [`run_warm_corpus`].
+fn run_warm_profiles(
+    args: &Args,
+    profiles: &[Profile],
+    copts: &CorpusOptions,
+) -> Result<ProfilesReport, String> {
+    let mut copts = copts.clone();
+    copts.warm = true;
+    let fs = std::sync::Arc::new(DiskFs::new("."));
+    let mut pool = CorpusRunner::new(&args.options, fs, args.jobs, args.no_shared_cache);
+    let mut report = None;
+    for run in 1..=args.warm {
+        apply_edits(args, run)?;
+        report = Some(pool.run_profiles(&args.files, profiles, &copts));
+    }
+    Ok(report.expect("--warm is at least 1"))
+}
+
 /// Prints a lint report in the selected format. Every format is
 /// byte-identical for any `--jobs`/cache/fastpath setting: records sort
 /// deterministically and render conditions canonically.
@@ -385,10 +485,20 @@ fn run_lint(args: &Args, lint: &LintArgs) -> ExitCode {
         no_shared_cache: args.no_shared_cache,
         inject_panic: Vec::new(),
         portability: false,
+        warm: false,
     };
     if !lint.profiles.is_empty() {
-        let report =
-            process_corpus_profiles(&fs, &args.files, &args.options, &lint.profiles, &copts);
+        let report = if args.warm > 0 {
+            match run_warm_profiles(args, &lint.profiles, &copts) {
+                Ok(r) => r,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            process_corpus_profiles(&fs, &args.files, &args.options, &lint.profiles, &copts)
+        };
         let mut fatal = false;
         for (name, run) in report.profiles.iter().zip(&report.runs) {
             for u in &run.units {
@@ -413,7 +523,17 @@ fn run_lint(args: &Args, lint: &LintArgs) -> ExitCode {
             ExitCode::SUCCESS
         };
     }
-    let report = process_corpus(&fs, &args.files, &args.options, &copts);
+    let report = if args.warm > 0 {
+        match run_warm_corpus(args, &copts) {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        process_corpus(&fs, &args.files, &args.options, &copts)
+    };
     let mut fatal = false;
     let mut records: Vec<Record> = Vec::new();
     for u in &report.units {
@@ -451,8 +571,19 @@ fn run_parallel(args: &Args) -> ExitCode {
         no_shared_cache: args.no_shared_cache,
         inject_panic: Vec::new(),
         portability: false,
+        warm: false,
     };
-    let report = process_corpus(&fs, &args.files, &args.options, &copts);
+    let report = if args.warm > 0 {
+        match run_warm_corpus(args, &copts) {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        process_corpus(&fs, &args.files, &args.options, &copts)
+    };
     let mut failed = false;
     for u in &report.units {
         if let Some(fatal) = &u.fatal {

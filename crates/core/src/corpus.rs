@@ -24,10 +24,14 @@
 //!   and the context plug-in's production tables;
 //! - the [`Options`] (plain data, cloned once per worker);
 //! - the **shared preprocessing cache** (`superc_cpp::SharedCache`,
-//!   unless [`CorpusOptions::no_shared_cache`]): an insert-once /
-//!   read-many map from header path to its frozen token stream,
-//!   directive tree, and detected include guard, so each file is lexed
-//!   once per *process* instead of once per *worker*.
+//!   unless [`CorpusOptions::no_shared_cache`]): a map from a file's
+//!   **content hash** to its frozen token stream, directive tree, and
+//!   detected include guard, so each distinct file content is lexed
+//!   once per *process* instead of once per *worker*. Content keying
+//!   is also the invalidation story: an edited file hashes to a new
+//!   key and misses naturally, which is what lets a pooled runner
+//!   serve **warm re-runs** over an edited tree (see
+//!   [`CorpusOptions::warm`] and the unit result memo below).
 //!
 //! What is *per-worker*, created inside each thread and never shared —
 //! the mutable layer: the [`CondCtx`] (BDD manager or SAT state), the
@@ -43,6 +47,31 @@
 //! cache, BDD manager, interner, parser engine) stays warm from batch
 //! to batch, so repeated runs over the same tree — benchmark reps, a
 //! watch loop, a test matrix — skip the per-batch spin-up entirely.
+//!
+//! # Incremental warm re-runs
+//!
+//! A pooled runner may legitimately see the file tree **edited between
+//! batches** (never during one). Coherence is generation-based: every
+//! batch starts a new shared-cache generation, so each worker's L1
+//! entries and the shared path→hash memo revalidate against current
+//! file bytes on first touch, and unchanged files keep their artifacts
+//! while edited ones miss into a fresh lex.
+//!
+//! On top of that, [`CorpusOptions::warm`] enables the pool's **unit
+//! result memo**: each completed unit is stored under its path, an
+//! options/profile signature, and its include-closure dependency
+//! fingerprint (the sorted `(path, content hash)` set the preprocessor
+//! observed). A later warm batch revalidates the fingerprint — pure
+//! hash-memo lookups, no lexing — and on a match replays the cached
+//! [`UnitReport`] without scheduling any preprocessing, parsing, or
+//! linting. Replayed reports are byte-identical to what a cold run
+//! over the same tree would produce (that is gated in `tests/warm.rs`,
+//! `bench_snapshot`, and verify.sh); only the schedule-dependent cache
+//! gauges differ, and those are excluded from every determinism
+//! surface. Units are **not** memoized when they tripped a resource
+//! budget, failed, or panicked, and the memo is disabled entirely
+//! without the shared cache (`no_shared_cache` pools instead drop
+//! worker L1 caches at each batch boundary to stay edit-correct).
 //!
 //! # Determinism
 //!
@@ -104,6 +133,14 @@ pub struct CorpusOptions {
     /// `superc_analyze::portability`). [`process_corpus_profiles`]
     /// forces this on; it is available standalone for tests.
     pub portability: bool,
+    /// Warm re-run mode (pooled runners only): consult the unit result
+    /// memo before scheduling a worker, so units whose include-closure
+    /// fingerprint and options signature match a previous batch replay
+    /// their cached [`UnitReport`] without any preprocessing, parsing,
+    /// or linting. Output is byte-identical to a cold run over the same
+    /// tree. Ignored by [`process_corpus`] (its memo would never carry
+    /// across calls) and a no-op when the shared cache is disabled.
+    pub warm: bool,
 }
 
 /// Per-unit text captures for testing and inspection.
@@ -200,6 +237,11 @@ pub struct UnitReport {
     /// (aligned with [`Capture::unparse_configs`]; empty string when the
     /// unit has no AST).
     pub unparses: Vec<String>,
+    /// This report was replayed from the unit result memo (warm re-run)
+    /// rather than recomputed. Outside the determinism contract — a
+    /// warm run and a cold run differ only here and in the cache
+    /// gauges.
+    pub memo_hit: bool,
 }
 
 /// Corpus-level rollup: per-unit reports in **input order** plus merged
@@ -220,6 +262,16 @@ pub struct CorpusReport {
     pub workers: usize,
     /// End-to-end wall clock for the whole corpus.
     pub wall: Duration,
+    /// Units replayed from the unit result memo (warm re-runs only).
+    /// Like the shared-cache gauges, this measures work *saved* and is
+    /// excluded from the determinism surfaces.
+    pub unit_memo_hits: u64,
+    /// Units that consulted the memo and had to be recomputed (edited
+    /// closure, options change, or first sight).
+    pub unit_memo_misses: u64,
+    /// Files whose bytes were read and content-hashed during this run
+    /// (hash-memo misses; at most once per file per batch).
+    pub files_rehashed: u64,
 }
 
 impl CorpusReport {
@@ -339,8 +391,10 @@ pub fn process_corpus<F: FileSystem + Sync>(
     let workers = requested.min(units.len()).max(1);
 
     // One shared artifact cache for the whole corpus run; every worker
-    // gets a clone of the same `Arc`. Source files are immutable for the
-    // duration of a run, so there is no invalidation story to get wrong.
+    // gets a clone of the same `Arc`. The cache is content-hash keyed
+    // (see `superc_cpp::sharedcache` for the invalidation protocol),
+    // but a one-shot run never leaves its first generation: files only
+    // change at batch boundaries, and this driver has exactly one batch.
     let shared: Option<Arc<SharedCache>> =
         (!copts.no_shared_cache).then(|| Arc::new(SharedCache::new()));
 
@@ -372,7 +426,11 @@ pub fn process_corpus<F: FileSystem + Sync>(
         })
     };
     let wall = start.elapsed();
-    assemble(units.len(), outputs, workers, wall)
+    let mut report = assemble(units.len(), outputs, workers, wall);
+    if let Some(s) = &shared {
+        report.files_rehashed = s.rehashes();
+    }
+    report
 }
 
 /// Cursor claim granularity: a worker claims this many consecutive
@@ -389,21 +447,132 @@ fn chunk_size(n_units: usize, workers: usize) -> usize {
     }
 }
 
+/// The process-wide unit result memo behind warm re-runs: completed
+/// [`UnitReport`]s keyed by `(unit path, options signature)`, each
+/// guarded by the include-closure dependency fingerprint recorded when
+/// it was produced. A lookup revalidates every dependency's current
+/// content hash (cheap: per-generation hash-memo probes) and replays
+/// the stored report only on a full match, so any edit inside the
+/// unit's closure — or a change to anything the signature covers —
+/// falls through to a real run. Entries overwrite on re-store, so an
+/// edited unit's fresh result replaces its stale one.
+///
+/// Known limitation (shared with `make`-style dependency tracking):
+/// the fingerprint records files that **were** read, not lookups that
+/// failed, so adding a new file that would shadow an existing header
+/// in include resolution is not detected until the memo entry is
+/// otherwise invalidated.
+struct UnitMemo {
+    entries: std::sync::RwLock<superc_util::FastMap<(String, u64), Arc<MemoEntry>>>,
+}
+
+struct MemoEntry {
+    /// Sorted `(path, content hash)` include closure at store time.
+    deps: Vec<(String, u64)>,
+    report: UnitReport,
+}
+
+impl UnitMemo {
+    fn new() -> UnitMemo {
+        UnitMemo {
+            entries: std::sync::RwLock::new(superc_util::FastMap::default()),
+        }
+    }
+
+    /// Replays the stored report for `(path, sig)` if every recorded
+    /// dependency still has its recorded content hash.
+    fn lookup(
+        &self,
+        path: &str,
+        sig: u64,
+        dep_hash: &dyn Fn(&str) -> Option<u64>,
+    ) -> Option<UnitReport> {
+        let entry = self
+            .entries
+            .read()
+            .expect("unit memo poisoned")
+            .get(&(path.to_string(), sig))
+            .cloned()?;
+        for (p, h) in &entry.deps {
+            if dep_hash(p) != Some(*h) {
+                return None;
+            }
+        }
+        let mut report = entry.report.clone();
+        report.memo_hit = true;
+        Some(report)
+    }
+
+    /// Stores a completed unit. Bypassed for units with no recorded
+    /// fingerprint (no shared cache), budget-degraded units (wall-clock
+    /// budgets make their outcome schedule-dependent), and failed or
+    /// panicked units — those recompute every time.
+    fn store(&self, path: &str, sig: u64, deps: Vec<(String, u64)>, report: &UnitReport) {
+        if deps.is_empty()
+            || report.partial
+            || report.parse.budget_trips > 0
+            || report.failure.is_some()
+        {
+            return;
+        }
+        self.entries.write().expect("unit memo poisoned").insert(
+            (path.to_string(), sig),
+            Arc::new(MemoEntry {
+                deps,
+                report: report.clone(),
+            }),
+        );
+    }
+}
+
+/// The options/profile signature a memo entry is stored under: an
+/// FxHash over the debug rendering of everything that can change a
+/// unit's output — backend, parser config (fast path, budgets), all
+/// preprocessor options (profile, defines, include paths, fused
+/// lexing, single-config mode), resource budgets, and the per-batch
+/// capture/lint/portability/panic-injection options. Two batches whose
+/// signatures match would produce byte-identical reports for an
+/// unchanged unit.
+fn options_sig(options: &Options, copts: &CorpusOptions) -> u64 {
+    use std::hash::BuildHasher;
+    let desc = format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        options.backend,
+        options.parser,
+        options.pp,
+        options.budgets,
+        copts.capture,
+        copts.lint,
+        copts.portability,
+        copts.inject_panic,
+    );
+    superc_util::FxBuildHasher::default().hash_one(desc.as_bytes())
+}
+
 /// The shared claim-and-process loop behind both drivers: pull chunks
 /// off `cursor` until the list is exhausted, firewalling each unit.
+///
+/// With `memo` set (a pooled warm re-run), each unit first consults
+/// the result memo — a hit replays the cached report and skips the
+/// pipeline entirely — and each recomputed unit is stored back with
+/// the include-closure fingerprint the preprocessor just observed.
 ///
 /// On a caught panic the tool may hold arbitrary mid-unit state, so it
 /// is rebuilt via `make_tool` — only the **mutable layer** (BDD
 /// manager, interner, macro table, L1 cache, engine state); the shared
-/// artifacts and the insert-once L2 cache survive untouched.
+/// artifacts and the L2 cache survive untouched.
+#[allow(clippy::too_many_arguments)]
 fn claim_loop<F: FileSystem>(
     tool: &mut SuperC<F>,
     make_tool: &dyn Fn() -> SuperC<F>,
     units: &[String],
     copts: &CorpusOptions,
+    memo: Option<(&UnitMemo, u64)>,
     cursor: &AtomicUsize,
     chunk: usize,
     out: &mut Vec<(usize, UnitReport)>,
+    memo_hits: &mut u64,
+    memo_misses: &mut u64,
 ) {
     loop {
         let base = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -413,6 +582,14 @@ fn claim_loop<F: FileSystem>(
         let end = (base + chunk).min(units.len());
         for (i, path) in units[base..end].iter().enumerate() {
             let i = base + i;
+            if let Some((memo, sig)) = memo {
+                if let Some(hit) = memo.lookup(path, sig, &|p| tool.preprocessor().dep_hash(p)) {
+                    *memo_hits += 1;
+                    out.push((i, hit));
+                    continue;
+                }
+                *memo_misses += 1;
+            }
             // Panic firewall: a poisoned unit becomes a structured
             // failure row instead of unwinding through the thread join.
             let report = match firewalled(|| process_one(tool, path, copts)) {
@@ -422,6 +599,9 @@ fn claim_loop<F: FileSystem>(
                     UnitReport::failed(path, "panic", &format!("panic: {message}"))
                 }
             };
+            if let Some((memo, sig)) = memo {
+                memo.store(path, sig, tool.preprocessor().unit_deps(), &report);
+            }
             out.push((i, report));
         }
     }
@@ -441,6 +621,8 @@ fn assemble(
     let mut bdd: Option<BddStats> = None;
     let mut pp = PpStats::default();
     let mut parse = ParseStats::default();
+    let mut unit_memo_hits = 0u64;
+    let mut unit_memo_misses = 0u64;
     for out in outputs {
         for (i, report) in out.units {
             debug_assert!(slots[i].is_none(), "unit {i} claimed twice");
@@ -450,6 +632,8 @@ fn assemble(
         if let Some(b) = out.bdd {
             bdd.get_or_insert_with(BddStats::default).merge(&b);
         }
+        unit_memo_hits += out.memo_hits;
+        unit_memo_misses += out.memo_misses;
     }
     let units: Vec<UnitReport> = slots
         .into_iter()
@@ -468,6 +652,9 @@ fn assemble(
         bdd,
         workers,
         wall,
+        unit_memo_hits,
+        unit_memo_misses,
+        files_rehashed: 0,
     }
 }
 
@@ -475,6 +662,8 @@ struct WorkerOutput {
     units: Vec<(usize, UnitReport)>,
     cond: CondStats,
     bdd: Option<BddStats>,
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -500,11 +689,27 @@ fn worker_loop<F: FileSystem + Sync>(
     };
     let mut tool = make_tool();
     let mut out = Vec::new();
-    claim_loop(&mut tool, &make_tool, units, copts, cursor, chunk, &mut out);
+    // One-shot workers never see a second batch, so there is no memo to
+    // consult: pass `None` and leave the counters at zero.
+    let (mut hits, mut misses) = (0, 0);
+    claim_loop(
+        &mut tool,
+        &make_tool,
+        units,
+        copts,
+        None,
+        cursor,
+        chunk,
+        &mut out,
+        &mut hits,
+        &mut misses,
+    );
     WorkerOutput {
         units: out,
         cond: tool.ctx().stats(),
         bdd: tool.ctx().bdd_stats(),
+        memo_hits: hits,
+        memo_misses: misses,
     }
 }
 
@@ -708,12 +913,19 @@ pub fn process_corpus_profiles<F: FileSystem + Sync>(
         })
     };
     let wall = start.elapsed();
-    assemble_profiles(units.len(), profiles, outputs, workers, wall)
+    let mut report = assemble_profiles(units.len(), profiles, outputs, workers, wall);
+    if let (Some(s), Some(run0)) = (&shared, report.runs.first_mut()) {
+        run0.files_rehashed = s.rehashes();
+    }
+    report
 }
 
 /// The cross-profile analogue of [`claim_loop`]: one cursor over the
 /// `units × profiles` grid, lazy per-profile tools, and a panic
-/// firewall that rebuilds only the poisoned profile's tool.
+/// firewall that rebuilds only the poisoned profile's tool. `memo`
+/// carries one options signature *per profile* (the profile is part of
+/// the signature), so a warm grid replays per-profile results
+/// independently.
 #[allow(clippy::too_many_arguments)]
 fn profiles_claim_loop<F: FileSystem>(
     tools: &mut HashMap<String, SuperC<F>>,
@@ -721,9 +933,12 @@ fn profiles_claim_loop<F: FileSystem>(
     units: &[String],
     profiles: &[Profile],
     copts: &CorpusOptions,
+    memo: Option<(&UnitMemo, &[u64])>,
     cursor: &AtomicUsize,
     chunk: usize,
     out: &mut Vec<(usize, UnitReport)>,
+    memo_hits: &mut u64,
+    memo_misses: &mut u64,
 ) {
     let n_tasks = units.len() * profiles.len();
     loop {
@@ -737,6 +952,15 @@ fn profiles_claim_loop<F: FileSystem>(
             let path = &units[u];
             let name = &profiles[p].name;
             let tool = tools.entry(name.clone()).or_insert_with(|| make_tool(p));
+            if let Some((memo, sigs)) = memo {
+                if let Some(hit) = memo.lookup(path, sigs[p], &|q| tool.preprocessor().dep_hash(q))
+                {
+                    *memo_hits += 1;
+                    out.push((t, hit));
+                    continue;
+                }
+                *memo_misses += 1;
+            }
             let report = match firewalled(|| process_one(tool, path, copts)) {
                 Ok(report) => report,
                 Err(message) => {
@@ -744,6 +968,13 @@ fn profiles_claim_loop<F: FileSystem>(
                     UnitReport::failed(path, "panic", &format!("panic: {message}"))
                 }
             };
+            if let Some((memo, sigs)) = memo {
+                let deps = tools
+                    .get(name)
+                    .map(|tool| tool.preprocessor().unit_deps())
+                    .unwrap_or_default();
+                memo.store(path, sigs[p], deps, &report);
+            }
             out.push((t, report));
         }
     }
@@ -771,14 +1002,27 @@ fn profiles_worker_loop<F: FileSystem + Sync>(
     };
     let mut tools: HashMap<String, SuperC<&F>> = HashMap::new();
     let mut out = Vec::new();
+    let (mut hits, mut misses) = (0, 0);
     profiles_claim_loop(
-        &mut tools, &make_tool, units, profiles, copts, cursor, chunk, &mut out,
+        &mut tools,
+        &make_tool,
+        units,
+        profiles,
+        copts,
+        None,
+        cursor,
+        chunk,
+        &mut out,
+        &mut hits,
+        &mut misses,
     );
     let (cond, bdd) = drain_tool_stats(tools.values());
     WorkerOutput {
         units: out,
         cond,
         bdd,
+        memo_hits: hits,
+        memo_misses: misses,
     }
 }
 
@@ -814,6 +1058,8 @@ fn assemble_profiles(
     let mut slots: Vec<Option<UnitReport>> = (0..n_tasks).map(|_| None).collect();
     let mut cond = CondStats::default();
     let mut bdd: Option<BddStats> = None;
+    let mut memo_hits = 0u64;
+    let mut memo_misses = 0u64;
     for out in outputs {
         for (t, report) in out.units {
             debug_assert!(slots[t].is_none(), "task {t} claimed twice");
@@ -823,6 +1069,8 @@ fn assemble_profiles(
         if let Some(b) = out.bdd {
             bdd.get_or_insert_with(BddStats::default).merge(&b);
         }
+        memo_hits += out.memo_hits;
+        memo_misses += out.memo_misses;
     }
     let mut slots = slots.into_iter();
     let mut runs = Vec::with_capacity(profiles.len());
@@ -837,6 +1085,9 @@ fn assemble_profiles(
             pp.merge(&u.pp);
             parse.merge(&u.parse);
         }
+        // Memo counters span the whole grid (workers interleave
+        // profiles), so like the context gauges they land on profile
+        // 0's run.
         runs.push(CorpusReport {
             units,
             pp,
@@ -845,6 +1096,9 @@ fn assemble_profiles(
             bdd: if p == 0 { bdd } else { None },
             workers,
             wall,
+            unit_memo_hits: if p == 0 { memo_hits } else { 0 },
+            unit_memo_misses: if p == 0 { memo_misses } else { 0 },
+            files_rehashed: 0,
         });
     }
     ProfilesReport {
@@ -858,14 +1112,25 @@ fn assemble_profiles(
 /// One batch of work for a pooled worker: the unit list, the shared
 /// cursor, and the channel to report back on. `profiles` switches the
 /// batch into cross-profile mode (the task grid of
-/// [`process_corpus_profiles`]).
+/// [`process_corpus_profiles`]); `memo` switches it into warm mode
+/// (consult/fill the pool's unit result memo).
 struct Batch {
     units: Arc<Vec<String>>,
     copts: CorpusOptions,
     cursor: Arc<AtomicUsize>,
     chunk: usize,
     profiles: Option<Arc<Vec<Profile>>>,
+    memo: Option<MemoCtx>,
     done: mpsc::Sender<WorkerOutput>,
+}
+
+/// The warm-mode context a batch carries to every worker: the pool's
+/// result memo and the per-profile options signatures (one entry for a
+/// plain batch, one per profile for a grid batch).
+#[derive(Clone)]
+struct MemoCtx {
+    memo: Arc<UnitMemo>,
+    sigs: Arc<Vec<u64>>,
 }
 
 /// A persistent pool of corpus workers, reused across batches.
@@ -903,6 +1168,16 @@ pub struct CorpusRunner<F: FileSystem + Send + Sync + 'static> {
     jobs: usize,
     txs: Vec<mpsc::Sender<Batch>>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    /// The pool-wide L2 cache (`None` for `no_shared_cache` pools); the
+    /// runner bumps its generation at every batch boundary so workers
+    /// revalidate against possibly-edited file bytes.
+    shared: Option<Arc<SharedCache>>,
+    /// The pool's unit result memo, filled and consulted by warm
+    /// batches ([`CorpusOptions::warm`]).
+    memo: Arc<UnitMemo>,
+    /// The pool's base options, kept to compute per-batch options
+    /// signatures for the memo.
+    options: Options,
     _fs: std::marker::PhantomData<F>,
 }
 
@@ -936,7 +1211,20 @@ impl<F: FileSystem + Send + Sync + 'static> CorpusRunner<F> {
                 // batches like the base tool.
                 let mut profile_tools: HashMap<String, SuperC<Arc<F>>> = HashMap::new();
                 while let Ok(batch) = rx.recv() {
+                    // Without a shared cache there is no generation
+                    // protocol, so the only edit-correct stance for a
+                    // pool that may see the tree change between batches
+                    // is to drop every worker's L1 header cache at the
+                    // boundary. Output-neutral: an L1 hit and a fresh
+                    // lex credit files/bytes identically.
+                    if shared.is_none() {
+                        tool.invalidate_file_cache();
+                        for t in profile_tools.values_mut() {
+                            t.invalidate_file_cache();
+                        }
+                    }
                     let mut out = Vec::new();
+                    let (mut hits, mut misses) = (0, 0);
                     match &batch.profiles {
                         Some(profiles) => {
                             let make_profile_tool = |p: usize| {
@@ -948,26 +1236,36 @@ impl<F: FileSystem + Send + Sync + 'static> CorpusRunner<F> {
                                 }
                                 tool
                             };
+                            let memo = batch.memo.as_ref().map(|m| (&*m.memo, &m.sigs[..]));
                             profiles_claim_loop(
                                 &mut profile_tools,
                                 &make_profile_tool,
                                 &batch.units,
                                 profiles,
                                 &batch.copts,
+                                memo,
                                 &batch.cursor,
                                 batch.chunk,
                                 &mut out,
+                                &mut hits,
+                                &mut misses,
                             );
                         }
-                        None => claim_loop(
-                            &mut tool,
-                            &make_tool,
-                            &batch.units,
-                            &batch.copts,
-                            &batch.cursor,
-                            batch.chunk,
-                            &mut out,
-                        ),
+                        None => {
+                            let memo = batch.memo.as_ref().map(|m| (&*m.memo, m.sigs[0]));
+                            claim_loop(
+                                &mut tool,
+                                &make_tool,
+                                &batch.units,
+                                &batch.copts,
+                                memo,
+                                &batch.cursor,
+                                batch.chunk,
+                                &mut out,
+                                &mut hits,
+                                &mut misses,
+                            )
+                        }
                     }
                     // Cond/BDD gauges are worker-lifetime cumulative
                     // here (the manager persists across batches); they
@@ -981,6 +1279,8 @@ impl<F: FileSystem + Send + Sync + 'static> CorpusRunner<F> {
                         units: out,
                         cond,
                         bdd,
+                        memo_hits: hits,
+                        memo_misses: misses,
                     });
                 }
             }));
@@ -990,6 +1290,9 @@ impl<F: FileSystem + Send + Sync + 'static> CorpusRunner<F> {
             jobs,
             txs,
             handles,
+            shared,
+            memo: Arc::new(UnitMemo::new()),
+            options: options.clone(),
             _fs: std::marker::PhantomData,
         }
     }
@@ -999,12 +1302,57 @@ impl<F: FileSystem + Send + Sync + 'static> CorpusRunner<F> {
         self.jobs
     }
 
+    /// The pool-wide shared L2 cache, when the pool has one. Exposed so
+    /// tests and benchmarks can read its gauges (`rehashes`,
+    /// `duplicate_freezes`, entry count).
+    pub fn shared_cache(&self) -> Option<&Arc<SharedCache>> {
+        self.shared.as_ref()
+    }
+
+    /// Starts a new batch: bump the shared-cache generation so every
+    /// worker revalidates its cached view of the (possibly edited) file
+    /// tree, and record the rehash baseline for this batch's
+    /// `files_rehashed` gauge. Returns the warm-mode memo context when
+    /// the batch asked for one.
+    fn start_batch(&self, copts: &CorpusOptions, sigs: Vec<u64>) -> (Option<MemoCtx>, u64) {
+        let rehash_base = match &self.shared {
+            Some(s) => {
+                s.next_generation();
+                s.rehashes()
+            }
+            None => 0,
+        };
+        let memo = (copts.warm && self.shared.is_some()).then(|| MemoCtx {
+            memo: self.memo.clone(),
+            sigs: Arc::new(sigs),
+        });
+        (memo, rehash_base)
+    }
+
+    /// Ends a batch: sweep dead artifacts out of the L2 after warm
+    /// batches (cold pools churn no hashes, so there is nothing to
+    /// evict and the sweep would be pure overhead), and return this
+    /// batch's rehash count.
+    fn finish_batch(&self, copts: &CorpusOptions, rehash_base: u64) -> u64 {
+        match &self.shared {
+            Some(s) => {
+                let rehashed = s.rehashes() - rehash_base;
+                if copts.warm {
+                    s.sweep();
+                }
+                rehashed
+            }
+            None => 0,
+        }
+    }
+
     /// Runs one batch over the pool and reassembles the report in input
     /// order. Batches beyond the first reuse warm workers; a batch
     /// smaller than the pool leaves the excess workers idle.
     pub fn run(&mut self, units: &[String], copts: &CorpusOptions) -> CorpusReport {
         let workers = self.jobs.min(units.len()).max(1);
         let start = Instant::now();
+        let (memo, rehash_base) = self.start_batch(copts, vec![options_sig(&self.options, copts)]);
         let shared_units = Arc::new(units.to_vec());
         let cursor = Arc::new(AtomicUsize::new(0));
         let chunk = chunk_size(units.len(), workers);
@@ -1016,6 +1364,7 @@ impl<F: FileSystem + Send + Sync + 'static> CorpusRunner<F> {
                 cursor: cursor.clone(),
                 chunk,
                 profiles: None,
+                memo: memo.clone(),
                 done: done_tx.clone(),
             })
             .expect("pool worker alive");
@@ -1024,7 +1373,9 @@ impl<F: FileSystem + Send + Sync + 'static> CorpusRunner<F> {
         let outputs: Vec<WorkerOutput> = done_rx.iter().collect();
         assert_eq!(outputs.len(), workers, "pool worker died mid-batch");
         let wall = start.elapsed();
-        assemble(units.len(), outputs, workers, wall)
+        let mut report = assemble(units.len(), outputs, workers, wall);
+        report.files_rehashed = self.finish_batch(copts, rehash_base);
+        report
     }
 
     /// Runs one cross-profile batch over the pool: the task grid and
@@ -1044,6 +1395,19 @@ impl<F: FileSystem + Send + Sync + 'static> CorpusRunner<F> {
         let mut copts = copts.clone();
         copts.portability = true;
         let start = Instant::now();
+        // One signature per profile: the profile is part of each
+        // signature (it changes output), and everything else —
+        // including the forced `portability` above — is identical
+        // across the row.
+        let sigs: Vec<u64> = profiles
+            .iter()
+            .map(|p| {
+                let mut opts = self.options.clone();
+                opts.pp.profile = p.clone();
+                options_sig(&opts, &copts)
+            })
+            .collect();
+        let (memo, rehash_base) = self.start_batch(&copts, sigs);
         let shared_units = Arc::new(units.to_vec());
         let shared_profiles = Arc::new(profiles.to_vec());
         let cursor = Arc::new(AtomicUsize::new(0));
@@ -1056,6 +1420,7 @@ impl<F: FileSystem + Send + Sync + 'static> CorpusRunner<F> {
                 cursor: cursor.clone(),
                 chunk,
                 profiles: Some(shared_profiles.clone()),
+                memo: memo.clone(),
                 done: done_tx.clone(),
             })
             .expect("pool worker alive");
@@ -1064,7 +1429,12 @@ impl<F: FileSystem + Send + Sync + 'static> CorpusRunner<F> {
         let outputs: Vec<WorkerOutput> = done_rx.iter().collect();
         assert_eq!(outputs.len(), workers, "pool worker died mid-batch");
         let wall = start.elapsed();
-        assemble_profiles(units.len(), profiles, outputs, workers, wall)
+        let mut report = assemble_profiles(units.len(), profiles, outputs, workers, wall);
+        let rehashed = self.finish_batch(&copts, rehash_base);
+        if let Some(run0) = report.runs.first_mut() {
+            run0.files_rehashed = rehashed;
+        }
+        report
     }
 }
 
@@ -1139,6 +1509,7 @@ impl UnitReport {
             preprocessed: None,
             ast_text: None,
             unparses: Vec::new(),
+            memo_hit: false,
         }
     }
 }
@@ -1265,5 +1636,6 @@ fn process_one<F: FileSystem>(
         preprocessed,
         ast_text,
         unparses,
+        memo_hit: false,
     }
 }

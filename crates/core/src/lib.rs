@@ -51,7 +51,7 @@ pub use superc_lexer as lexer;
 pub use superc_cond::{Cond, CondBackend, CondCtx};
 pub use superc_cpp::{
     Builtins, CompilationUnit, CondSite, DiskFs, FileSystem, MemFs, PpError, PpOptions, PpStats,
-    Preprocessor, Profile, SharedCache, UndefIdentPolicy,
+    Preprocessor, Profile, SharedCache, SharedMemFs, UndefIdentPolicy,
 };
 pub use superc_csyntax::{
     c_artifacts, c_grammar, classify, declared_names, function_definitions, parse_unit,
@@ -256,6 +256,14 @@ impl<F: FileSystem> SuperC<F> {
     /// [`corpus::process_corpus`].
     pub fn set_shared_cache(&mut self, cache: std::sync::Arc<SharedCache>) {
         self.pp.set_shared_cache(cache);
+    }
+
+    /// Drops the preprocessor's per-tool (L1) header cache. Pooled
+    /// corpus workers without a shared L2 call this at batch boundaries:
+    /// with no generation protocol to revalidate against, a stale L1
+    /// entry would outlive an edit to the file tree.
+    pub fn invalidate_file_cache(&mut self) {
+        self.pp.invalidate_file_cache();
     }
 
     /// Processes one compilation unit end to end.

@@ -283,6 +283,23 @@ pub fn corpus_table(report: &crate::corpus::CorpusReport) -> TextTable {
             group_thousands(report.pp.lex_nanos_saved as f64),
         );
     }
+    // Warm re-run gauges (pooled runners with `CorpusOptions::warm`):
+    // units replayed from the result memo vs recomputed, and files whose
+    // bytes were re-read and content-hashed this batch. Like the cache
+    // rows, these measure work saved and only appear when a memo was
+    // actually consulted.
+    let memo_probes = report.unit_memo_hits + report.unit_memo_misses;
+    if memo_probes > 0 {
+        r("unit memo hits", report.unit_memo_hits.to_string());
+        r("unit memo misses", report.unit_memo_misses.to_string());
+        r(
+            "unit memo hit rate",
+            format!("{:.3}", report.unit_memo_hits as f64 / memo_probes as f64),
+        );
+    }
+    if report.files_rehashed > 0 {
+        r("files rehashed", report.files_rehashed.to_string());
+    }
     let cx_probes = report.pp.condexpr_memo_hits + report.pp.condexpr_memo_misses;
     if cx_probes > 0 {
         r(

@@ -170,6 +170,7 @@ mod corpus {
             no_shared_cache: false,
             inject_panic: Vec::new(),
             portability: false,
+            warm: false,
         };
         let report = process_corpus(&fs(), &units(), &opts(), &copts);
         let b = &report.units[1];

@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Source of included files.
 pub trait FileSystem {
@@ -133,6 +133,74 @@ impl MemFs {
 impl FileSystem for MemFs {
     fn read(&self, path: &str) -> Option<Arc<str>> {
         self.files.get(path).cloned()
+    }
+}
+
+/// An in-memory file tree with interior mutability: files can be
+/// edited **between batches** while pooled corpus workers keep `Arc`
+/// handles to the tree — the fixture behind warm-rerun tests and the
+/// incremental benchmark.
+///
+/// Reads take a shared lock and bump a reference count; edits take the
+/// exclusive lock. The coherence contract is the pooled runner's: edits
+/// only happen at batch boundaries (no batch in flight), so workers
+/// never observe a file changing mid-run.
+///
+/// # Examples
+///
+/// ```
+/// use superc_cpp::{FileSystem, MemFs, SharedMemFs};
+/// let fs = SharedMemFs::from_mem(&MemFs::new().file("a.h", "int a;\n"));
+/// fs.set("a.h", "int a2;\n"); // &self: edits through a shared handle
+/// assert_eq!(fs.read("a.h").as_deref(), Some("int a2;\n"));
+/// ```
+#[derive(Debug, Default)]
+pub struct SharedMemFs {
+    files: RwLock<HashMap<String, Arc<str>>>,
+}
+
+impl SharedMemFs {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies a [`MemFs`] snapshot (contents are shared, not cloned).
+    pub fn from_mem(fs: &MemFs) -> Self {
+        let files = fs
+            .files
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        SharedMemFs {
+            files: RwLock::new(files),
+        }
+    }
+
+    /// Adds or replaces a file through a shared handle.
+    pub fn set(&self, path: &str, contents: &str) {
+        self.files
+            .write()
+            .expect("file tree lock poisoned")
+            .insert(path.to_string(), Arc::from(contents));
+    }
+
+    /// Removes a file; later reads of `path` see it as absent.
+    pub fn remove(&self, path: &str) {
+        self.files
+            .write()
+            .expect("file tree lock poisoned")
+            .remove(path);
+    }
+}
+
+impl FileSystem for SharedMemFs {
+    fn read(&self, path: &str) -> Option<Arc<str>> {
+        self.files
+            .read()
+            .expect("file tree lock poisoned")
+            .get(path)
+            .cloned()
     }
 }
 

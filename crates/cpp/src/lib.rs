@@ -57,7 +57,7 @@ mod stats;
 
 pub use condexpr::normalize_expr_text;
 pub use elements::{Branch, Conditional, Element, HideSet, PTok};
-pub use files::{DiskFs, FileSystem, MemFs};
+pub use files::{DiskFs, FileSystem, MemFs, SharedMemFs};
 pub use macrotable::{MacroConflict, MacroDef, MacroEntry, MacroTable};
 pub use preprocessor::{
     CompilationUnit, CondSite, DeadBranch, Diagnostic, PpError, PpOptions, Preprocessor, Severity,

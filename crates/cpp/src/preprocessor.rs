@@ -212,6 +212,22 @@ struct CachedFile {
     /// fact; whether it is *honored* is the profile's call).
     pragma_once: bool,
     bytes: usize,
+    /// Content hash of the bytes this entry was built from (0 when no
+    /// shared cache is attached — hashing only pays for itself as a
+    /// cache key).
+    hash: u64,
+    /// Last shared-cache generation this entry was validated in. Within
+    /// a generation files are immutable, so a matching stamp skips the
+    /// revalidation entirely; across generations (a pooled runner's
+    /// batch boundary) the entry re-earns its place by hash comparison.
+    seen_gen: std::cell::Cell<u64>,
+}
+
+/// A freshly lexed file plus the time it took to produce — the cost a
+/// shared-cache hit credits back via `lex_nanos_saved`.
+struct LexedFile {
+    file: CachedFile,
+    produce_nanos: u64,
 }
 
 /// The configuration-preserving preprocessor.
@@ -237,6 +253,11 @@ pub struct Preprocessor<F: FileSystem> {
     /// probed on L1 misses, fed on lexes. `None` runs the worker fully
     /// isolated (the `--no-shared-cache` escape hatch).
     shared: Option<Arc<SharedCache>>,
+    /// The current unit's include-closure dependency fingerprint: every
+    /// file loaded so far (main file and headers, first occurrence
+    /// only) mapped to its content hash. Reset per unit; only populated
+    /// when a shared cache is attached (that is where hashes come from).
+    unit_deps: FastMap<String, u64>,
     /// Per-worker conditional-expression memo: presence conditions and
     /// replayable counter deltas for previously evaluated `#if`/`#elif`
     /// expressions. Persists across units — `Cond` handles stay valid
@@ -287,6 +308,7 @@ impl<F: FileSystem> Preprocessor<F> {
             builtin_names,
             file_cache: HashMap::new(),
             shared: None,
+            unit_deps: FastMap::default(),
             condexpr_memo: FastMap::default(),
             expansion_memo: FastMap::default(),
             file_ids: HashMap::new(),
@@ -310,6 +332,41 @@ impl<F: FileSystem> Preprocessor<F> {
     /// corpus driver, with every worker handed a clone of the same `Arc`.
     pub fn set_shared_cache(&mut self, cache: Arc<SharedCache>) {
         self.shared = Some(cache);
+    }
+
+    /// Drops the per-worker (L1) file cache. Without a shared cache
+    /// there is no generation protocol to revalidate entries against,
+    /// so a caller that may have seen the tree change (the pooled
+    /// runner with `--no-shared-cache`, at a batch boundary) clears it
+    /// wholesale instead.
+    pub fn invalidate_file_cache(&mut self) {
+        self.file_cache.clear();
+    }
+
+    /// The include-closure dependency fingerprint of the last
+    /// preprocessed unit: every file it loaded (main file plus headers)
+    /// with its content hash, sorted by path. Empty when no shared
+    /// cache is attached — content hashes are only computed for cache
+    /// keying.
+    pub fn unit_deps(&self) -> Vec<(String, u64)> {
+        let mut deps: Vec<(String, u64)> = self
+            .unit_deps
+            .iter()
+            .map(|(p, &h)| (p.clone(), h))
+            .collect();
+        deps.sort_unstable();
+        deps
+    }
+
+    /// The current content hash of `path`, via the shared cache's
+    /// per-generation memo (reading the file only on a memo miss).
+    /// `None` when no shared cache is attached or the file is missing —
+    /// either way a recorded fingerprint can't be revalidated.
+    pub fn dep_hash(&self, path: &str) -> Option<u64> {
+        let shared = self.shared.as_ref()?;
+        shared
+            .current_hash(path, || self.fs.read(path))
+            .map(|(h, _)| h)
     }
 
     /// The macro table as of the last `preprocess` call (tests/inspection).
@@ -407,24 +464,62 @@ impl<F: FileSystem> Preprocessor<F> {
         self.file_names.get(id.0 as usize).map(|s| s.as_str())
     }
 
+    /// Records one file of the current unit's include closure (first
+    /// occurrence per path wins; a closure member's hash cannot change
+    /// mid-unit by the generation contract).
+    fn record_dep(&mut self, path: &str, hash: u64) {
+        if self.shared.is_some() && !self.unit_deps.contains_key(path) {
+            self.unit_deps.insert(path.to_string(), hash);
+        }
+    }
+
     fn load_cached(&mut self, path: &str) -> Result<Rc<CachedFile>, PpError> {
         if let Some(f) = self.file_cache.get(path) {
             let f = Rc::clone(f);
-            // The macro table (and its guard registry) resets per unit;
-            // cached files must re-register their guards.
-            if let Some(g) = &f.guard {
-                self.table.register_guard(g.clone());
+            // Revalidate against the shared cache's generation: within
+            // one generation files are immutable and the stamp makes
+            // this free; across generations (a pooled runner's batch
+            // boundary) the entry must re-match the file's current
+            // content hash or be evicted. Without a shared cache there
+            // is no generation protocol (see `invalidate_file_cache`).
+            let mut valid = true;
+            if let Some(shared) = self.shared.clone() {
+                let gen = shared.generation();
+                if f.seen_gen.get() != gen {
+                    match shared.current_hash(path, || self.fs.read(path)) {
+                        Some((h, _)) if h == f.hash => f.seen_gen.set(gen),
+                        _ => valid = false,
+                    }
+                }
             }
-            self.stats.files_processed += 1;
-            self.stats.bytes_processed += f.bytes as u64;
-            return Ok(f);
+            if valid {
+                // The macro table (and its guard registry) resets per
+                // unit; cached files must re-register their guards.
+                if let Some(g) = &f.guard {
+                    self.table.register_guard(g.clone());
+                }
+                self.stats.files_processed += 1;
+                self.stats.bytes_processed += f.bytes as u64;
+                self.record_dep(path, f.hash);
+                return Ok(f);
+            }
+            self.file_cache.remove(path);
         }
-        // L2 probe: another worker (or an earlier unit here) may already
-        // have lexed this path. Thaw into a worker-local `Rc` tree under
-        // this worker's file id — everything downstream is then
-        // byte-identical with a cache-off run, only the lex is skipped.
+        // L2 probe, by content hash: another worker (or an earlier unit
+        // here) may already have lexed these bytes — under this path or
+        // any other with identical content. Thaw into a worker-local
+        // `Rc` tree under this worker's file id — everything downstream
+        // is then byte-identical with a cache-off run, only the lex is
+        // skipped.
         if let Some(shared) = self.shared.clone() {
-            if let Some(art) = shared.get(path) {
+            let gen = shared.generation();
+            let Some((hash, src)) = shared.current_hash(path, || self.fs.read(path)) else {
+                return Err(PpError {
+                    pos: SourcePos::default(),
+                    message: format!("file not found: {path}"),
+                });
+            };
+            if let Some(art) = shared.get(hash) {
                 let id = self.file_id(path);
                 let (items, guard) = art.thaw(id);
                 if let Some(g) = &guard {
@@ -435,22 +530,77 @@ impl<F: FileSystem> Preprocessor<F> {
                     guard,
                     pragma_once: art.pragma_once,
                     bytes: art.bytes,
+                    hash,
+                    seen_gen: std::cell::Cell::new(gen),
                 });
                 self.file_cache.insert(path.to_string(), Rc::clone(&cached));
                 self.stats.shared_cache_hits += 1;
                 self.stats.lex_nanos_saved += art.lex_nanos;
                 self.stats.files_processed += 1;
                 self.stats.bytes_processed += cached.bytes as u64;
+                self.record_dep(path, hash);
                 return Ok(cached);
             }
+            // The hash memo hands back the contents when it had to read
+            // them; a memo hit re-reads here (once per file per
+            // generation — the artifact was present on every other
+            // probe).
+            let src = match src {
+                Some(s) => s,
+                None => self.fs.read(path).ok_or_else(|| PpError {
+                    pos: SourcePos::default(),
+                    message: format!("file not found: {path}"),
+                })?,
+            };
+            let lexed = self.lex_file(path, &src, hash, gen)?;
+            // Publish for other workers. The freeze runs inside
+            // `insert_with`'s write-locked incumbent re-check, so a
+            // racing worker pays it at most once (`duplicate_freezes`
+            // counts the avoided copies). Failed lexes never get here,
+            // so the error path stays identical to the cache-off
+            // pipeline.
+            self.stats.shared_cache_misses += 1;
+            shared.insert_with(hash, || {
+                SharedArtifact::freeze(
+                    &lexed.file.items,
+                    lexed.file.guard.as_ref(),
+                    lexed.file.bytes,
+                    lexed.produce_nanos,
+                )
+            });
+            let cached = Rc::new(lexed.file);
+            self.file_cache.insert(path.to_string(), Rc::clone(&cached));
+            self.stats.files_processed += 1;
+            self.stats.bytes_processed += cached.bytes as u64;
+            self.record_dep(path, hash);
+            return Ok(cached);
         }
+        // No shared cache: no hashing, no fingerprints — the original
+        // fully-isolated pipeline.
         let src = self.fs.read(path).ok_or_else(|| PpError {
             pos: SourcePos::default(),
             message: format!("file not found: {path}"),
         })?;
+        let lexed = self.lex_file(path, &src, 0, 0)?;
+        let cached = Rc::new(lexed.file);
+        self.file_cache.insert(path.to_string(), Rc::clone(&cached));
+        self.stats.files_processed += 1;
+        self.stats.bytes_processed += cached.bytes as u64;
+        Ok(cached)
+    }
+
+    /// Lexes and structures one file into a [`CachedFile`], registering
+    /// its include guard and crediting lex time.
+    fn lex_file(
+        &mut self,
+        path: &str,
+        src: &str,
+        hash: u64,
+        gen: u64,
+    ) -> Result<LexedFile, PpError> {
         let id = self.file_id(path);
         let lex_start = std::time::Instant::now();
-        let tokens = lex(&src, id)?;
+        let tokens = lex(src, id)?;
         self.stats.lex_nanos += lex_start.elapsed().as_nanos() as u64;
         let items = structure(&tokens)?;
         let produce_nanos = lex_start.elapsed().as_nanos() as u64;
@@ -459,29 +609,17 @@ impl<F: FileSystem> Preprocessor<F> {
             self.table.register_guard(g.clone());
         }
         let pragma_once = detect_pragma_once(&items);
-        let cached = Rc::new(CachedFile {
-            items,
-            guard,
-            pragma_once,
-            bytes: src.len(),
-        });
-        if let Some(shared) = &self.shared {
-            // Publish for other workers; on a race the first writer wins
-            // (identical content either way). Failed lexes never get here,
-            // so the error path stays identical to the cache-off pipeline.
-            self.stats.shared_cache_misses += 1;
-            let art = SharedArtifact::freeze(
-                &cached.items,
-                cached.guard.as_ref(),
-                cached.bytes,
-                produce_nanos,
-            );
-            shared.insert(path, art);
-        }
-        self.file_cache.insert(path.to_string(), Rc::clone(&cached));
-        self.stats.files_processed += 1;
-        self.stats.bytes_processed += cached.bytes as u64;
-        Ok(cached)
+        Ok(LexedFile {
+            file: CachedFile {
+                items,
+                guard,
+                pragma_once,
+                bytes: src.len(),
+                hash,
+                seen_gen: std::cell::Cell::new(gen),
+            },
+            produce_nanos,
+        })
     }
 
     /// Preprocesses one compilation unit, preserving all configurations.
@@ -505,6 +643,7 @@ impl<F: FileSystem> Preprocessor<F> {
         self.file_stack.clear();
         self.max_depth_seen = 0;
         self.poisoned = false;
+        self.unit_deps.clear();
         // The expansion memo is deliberately per-unit: pinned `Rc`s must
         // not outlive the macro table they came from, and a fresh memo per
         // unit keeps *direct* hits a pure function of the unit. (The

@@ -10,35 +10,58 @@
 //! The obstacle is that the per-worker caches hold `Rc`-based trees
 //! ([`Token`] text is `Rc<str>`, definitions are `Rc<MacroDef>`), which
 //! are not `Send`. This module mirrors the raw tree into `Arc`-based
-//! [`SharedItem`]s ("freeze"), stores them in a sharded, insert-once
-//! map, and converts back into a fresh `Rc` tree per worker ("thaw").
-//! Freezing content-dedups token spellings into shared `Arc<str>`s, so
-//! thawing can dedup by pointer alone — one `Rc<str>` per distinct
-//! spelling per worker, preserving the memory-sharing the per-worker
-//! cache already had.
+//! [`SharedItem`]s ("freeze"), stores them in a sharded map, and
+//! converts back into a fresh `Rc` tree per worker ("thaw"). Freezing
+//! content-dedups token spellings into shared `Arc<str>`s, so thawing
+//! can dedup by pointer alone — one `Rc<str>` per distinct spelling per
+//! worker, preserving the memory-sharing the per-worker cache already
+//! had.
 //!
-//! Two deliberate simplifications keep the cache coherent without any
-//! invalidation protocol:
+//! # Invalidation protocol
 //!
-//! * **Insert-once / read-many.** Source files do not change during a
-//!   corpus run, so the first worker to lex a path publishes the
-//!   artifact and every later `insert` for that path adopts the
-//!   existing entry. There is no eviction and no invalidation.
+//! Artifacts are keyed by the **content hash** of the file's bytes
+//! (FxHash64, see [`SharedCache::content_hash`]), not by path. An
+//! edited file therefore misses naturally — its new bytes hash to a new
+//! key — while every unchanged file keeps hitting, and two paths with
+//! identical bytes share one artifact. A sharded path → hash **memo**
+//! ([`SharedCache::current_hash`]) keeps the hot path cheap: each file's
+//! bytes are read and hashed at most once per **generation**.
+//!
+//! Generations model batch boundaries in a long-lived process: within a
+//! generation, files are treated as immutable (the hash memo is
+//! authoritative); a caller that may have seen edits — the pooled
+//! corpus runner, at the start of every batch — calls
+//! [`SharedCache::next_generation`], which invalidates the hash memo
+//! wholesale and forces revalidation-by-rehash on first touch. Artifact
+//! entries whose hash is no longer any path's current content ("dead
+//! hashes") are reclaimed by [`SharedCache::sweep`].
+//!
+//! Remaining coherence notes:
+//!
 //! * **Positions are restamped on thaw.** Token positions embed the
 //!   lexing worker's [`FileId`], which is a per-worker notion; the
 //!   frozen form stores only line/column and the thaw stamps the local
 //!   worker's id so downstream behavior (diagnostics, `__FILE__`) is
 //!   byte-identical with a cache-off run.
+//! * **Publishing is deferred-freeze.** [`SharedCache::insert_with`]
+//!   re-checks for an incumbent under the write lock *before* invoking
+//!   the freeze closure, so two workers racing to publish the same
+//!   content pay the (expensive) freeze once; the loser's avoided work
+//!   is counted in [`SharedCache::duplicate_freezes`].
+//! * **Hash collisions are accepted.** Two distinct file contents
+//!   colliding in 64 bits has probability ~n²/2⁶⁵ for n distinct files
+//!   — negligible against the corpus sizes this serves.
 //!
 //! Failed lexes are *not* cached: errors are rare, unit-fatal, and
 //! re-deriving them per worker keeps the error path identical to the
 //! cache-off pipeline.
 
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use superc_lexer::{FileId, SourcePos, Token, TokenKind};
-use superc_util::{FastMap, FxBuildHasher};
+use superc_util::{FastMap, FastSet, FxBuildHasher};
 
 use crate::directives::{detect_pragma_once, RawGroup, RawItem, RawTest};
 use crate::macrotable::MacroDef;
@@ -409,14 +432,27 @@ impl SharedArtifact {
     }
 }
 
-/// The sharded insert-once/read-many artifact map. One instance per
-/// corpus run, shared by `Arc` across workers; see the module docs for
-/// the coherence argument.
-/// One lock-guarded slice of the path → artifact map.
-type Shard = RwLock<FastMap<String, Arc<SharedArtifact>>>;
+/// One lock-guarded slice of the content-hash → artifact map.
+type Shard = RwLock<FastMap<u64, Arc<SharedArtifact>>>;
 
+/// One lock-guarded slice of the path → `(generation, content hash)`
+/// memo behind [`SharedCache::current_hash`].
+type HashShard = RwLock<FastMap<String, (u64, u64)>>;
+
+/// The sharded content-hash-keyed artifact map plus the path → hash
+/// memo. One instance per corpus run or pooled runner, shared by `Arc`
+/// across workers; see the module docs for the invalidation protocol.
 pub struct SharedCache {
     shards: Box<[Shard]>,
+    hashes: Box<[HashShard]>,
+    /// Current generation; bumped by [`SharedCache::next_generation`]
+    /// at batch boundaries to force hash revalidation.
+    generation: AtomicU64,
+    /// Files whose bytes were read and hashed (hash-memo misses).
+    rehashes: AtomicU64,
+    /// Freezes avoided because [`SharedCache::insert_with`] found an
+    /// incumbent under the write lock.
+    duplicate_freezes: AtomicU64,
 }
 
 impl Default for SharedCache {
@@ -426,44 +462,161 @@ impl Default for SharedCache {
 }
 
 impl SharedCache {
-    /// An empty cache with a fixed shard count.
+    /// An empty cache with a fixed shard count, at generation 1.
     pub fn new() -> SharedCache {
         let shards = (0..SHARDS)
             .map(|_| RwLock::new(FastMap::default()))
             .collect();
-        SharedCache { shards }
+        let hashes = (0..SHARDS)
+            .map(|_| RwLock::new(FastMap::default()))
+            .collect();
+        SharedCache {
+            shards,
+            hashes,
+            generation: AtomicU64::new(1),
+            rehashes: AtomicU64::new(0),
+            duplicate_freezes: AtomicU64::new(0),
+        }
     }
 
-    fn shard(&self, path: &str) -> &Shard {
+    /// FxHash64 of a file's bytes: the cache key. Deterministic across
+    /// processes (fixed seed), so fingerprints built from it are stable.
+    pub fn content_hash(bytes: &[u8]) -> u64 {
+        use std::hash::BuildHasher;
+        FxBuildHasher::default().hash_one(bytes)
+    }
+
+    fn shard(&self, hash: u64) -> &Shard {
+        &self.shards[(hash as usize) % SHARDS]
+    }
+
+    fn hash_shard(&self, path: &str) -> &HashShard {
         use std::hash::BuildHasher;
         let h = FxBuildHasher::default().hash_one(path);
-        &self.shards[(h as usize) % SHARDS]
+        &self.hashes[(h as usize) % SHARDS]
     }
 
-    /// The artifact for `path`, if some worker already published one.
-    pub fn get(&self, path: &str) -> Option<Arc<SharedArtifact>> {
-        self.shard(path)
+    /// The current generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Starts a new generation: every path's hash must be revalidated
+    /// against its current bytes before being trusted again. Called by
+    /// the pooled corpus runner at each batch boundary (the only point
+    /// where the file tree may have been edited).
+    pub fn next_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// The content hash of `path`'s current bytes, memoized per
+    /// generation. On a memo miss, `read` supplies the bytes (returning
+    /// `None` for a missing file); the freshly read contents are handed
+    /// back so the caller can lex them without a second read. Returns
+    /// `None` when the file does not exist.
+    pub fn current_hash(
+        &self,
+        path: &str,
+        read: impl FnOnce() -> Option<Arc<str>>,
+    ) -> Option<(u64, Option<Arc<str>>)> {
+        let gen = self.generation();
+        {
+            let memo = self
+                .hash_shard(path)
+                .read()
+                .expect("shared cache shard poisoned");
+            if let Some(&(g, h)) = memo.get(path) {
+                if g == gen {
+                    return Some((h, None));
+                }
+            }
+        }
+        let src = read()?;
+        let h = SharedCache::content_hash(src.as_bytes());
+        self.rehashes.fetch_add(1, Ordering::Relaxed);
+        self.hash_shard(path)
+            .write()
+            .expect("shared cache shard poisoned")
+            .insert(path.to_string(), (gen, h));
+        Some((h, Some(src)))
+    }
+
+    /// The artifact for this content hash, if some worker already
+    /// published one.
+    pub fn get(&self, hash: u64) -> Option<Arc<SharedArtifact>> {
+        self.shard(hash)
             .read()
             .expect("shared cache shard poisoned")
-            .get(path)
+            .get(&hash)
             .map(Arc::clone)
     }
 
-    /// Publishes an artifact for `path`. First writer wins: if another
-    /// worker raced us here, their artifact is returned and `artifact`
-    /// is dropped — both were frozen from the same immutable bytes, so
-    /// either is correct, and keeping the incumbent maximizes sharing.
-    pub fn insert(&self, path: &str, artifact: SharedArtifact) -> Arc<SharedArtifact> {
+    /// Publishes an artifact for `hash`, building it with `make` only if
+    /// no incumbent exists. The check happens under the shard's write
+    /// lock, so two workers racing to publish the same content freeze it
+    /// once: the loser adopts the incumbent without invoking `make`, and
+    /// the avoided work is counted in
+    /// [`SharedCache::duplicate_freezes`].
+    pub fn insert_with(
+        &self,
+        hash: u64,
+        make: impl FnOnce() -> SharedArtifact,
+    ) -> Arc<SharedArtifact> {
         let mut shard = self
-            .shard(path)
+            .shard(hash)
             .write()
             .expect("shared cache shard poisoned");
-        if let Some(existing) = shard.get(path) {
+        if let Some(existing) = shard.get(&hash) {
+            self.duplicate_freezes.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(existing);
         }
-        let arc = Arc::new(artifact);
-        shard.insert(path.to_string(), Arc::clone(&arc));
+        let arc = Arc::new(make());
+        shard.insert(hash, Arc::clone(&arc));
         arc
+    }
+
+    /// Evicts artifacts for **dead hashes**: entries whose hash is not
+    /// the current-generation hash of any path in the memo. Intended to
+    /// run right after a batch, while the memo reflects exactly the
+    /// files that batch touched; entries for files the batch never saw
+    /// are evicted too (they re-enter on next use). Also drops stale
+    /// hash-memo rows from earlier generations. Returns the number of
+    /// artifacts evicted.
+    pub fn sweep(&self) -> usize {
+        let gen = self.generation();
+        let mut live: FastSet<u64> = FastSet::default();
+        for hs in &self.hashes {
+            let memo = hs.read().expect("shared cache shard poisoned");
+            for &(g, h) in memo.values() {
+                if g == gen {
+                    live.insert(h);
+                }
+            }
+        }
+        let mut evicted = 0;
+        for s in &self.shards {
+            let mut shard = s.write().expect("shared cache shard poisoned");
+            let before = shard.len();
+            shard.retain(|h, _| live.contains(h));
+            evicted += before - shard.len();
+        }
+        for hs in &self.hashes {
+            hs.write()
+                .expect("shared cache shard poisoned")
+                .retain(|_, &mut (g, _)| g == gen);
+        }
+        evicted
+    }
+
+    /// Files read-and-hashed so far (hash-memo misses, cumulative).
+    pub fn rehashes(&self) -> u64 {
+        self.rehashes.load(Ordering::Relaxed)
+    }
+
+    /// Freezes avoided by the incumbent re-check in
+    /// [`SharedCache::insert_with`] (cumulative).
+    pub fn duplicate_freezes(&self) -> u64 {
+        self.duplicate_freezes.load(Ordering::Relaxed)
     }
 
     /// Number of cached artifacts across all shards.

@@ -848,9 +848,19 @@ fn guarded_header_included_many_times_is_lexed_exactly_once() {
     // units, across two workers. The shared-cache counters prove the
     // header was lexed exactly once in the whole process: one miss
     // (the publish) and pure hits afterwards.
+    // Units differ by one identifier: distinct content, so each is its
+    // own artifact under content-hash keying (identical contents would
+    // share one — see `identical_contents_share_one_artifact`).
     let hdr = "#ifndef G_H\n#define G_H\n#define N 4\n#endif\n";
-    let unit = "#include \"g.h\"\n#include \"g.h\"\n#include \"g.h\"\nint x = N;\n";
-    let files = [("a.c", unit), ("b.c", unit), ("c.c", unit), ("g.h", hdr)];
+    let unit_a = "#include \"g.h\"\n#include \"g.h\"\n#include \"g.h\"\nint x = N;\n";
+    let unit_b = "#include \"g.h\"\n#include \"g.h\"\n#include \"g.h\"\nint y = N;\n";
+    let unit_c = "#include \"g.h\"\n#include \"g.h\"\n#include \"g.h\"\nint z = N;\n";
+    let files = [
+        ("a.c", unit_a),
+        ("b.c", unit_b),
+        ("c.c", unit_c),
+        ("g.h", hdr),
+    ];
     let cache = std::sync::Arc::new(SharedCache::new());
 
     let mut w1 = pp_tool(&files, Some(&cache));
@@ -869,7 +879,7 @@ fn guarded_header_included_many_times_is_lexed_exactly_once() {
     assert_eq!(ub.stats.reincluded_headers, 0);
     assert_eq!(ub.stats.shared_cache_misses, 1, "only b.c itself");
     assert_eq!(ub.stats.shared_cache_hits, 0, "g.h came from L1");
-    assert_eq!(flat_text(&ua), flat_text(&ub));
+    assert_eq!(flat_text(&ub), "int y = 4 ;");
 
     // Third unit, different worker: g.h arrives via L2 thaw, which must
     // also re-register the guard for the skip to fire.
@@ -879,7 +889,7 @@ fn guarded_header_included_many_times_is_lexed_exactly_once() {
     assert_eq!(uc.stats.shared_cache_misses, 1, "only c.c itself lexed");
     assert_eq!(uc.stats.reincluded_headers, 0, "guard skip after thaw");
     assert_eq!(uc.stats.output_conditionals, 0);
-    assert_eq!(flat_text(&uc), "int x = 4 ;");
+    assert_eq!(flat_text(&uc), "int z = 4 ;");
 
     // Every file in the tree was lexed exactly once for the whole
     // process: one miss per distinct path, no re-publication.
@@ -899,8 +909,139 @@ fn failed_lexes_are_never_published() {
     let mut pp = pp_tool(&files, Some(&cache));
     let u = pp.preprocess("main.c");
     assert!(u.is_err(), "unterminated conditional in header is fatal");
+    let bad_hash = SharedCache::content_hash("#ifdef OPEN\n".as_bytes());
     assert!(
-        cache.get("bad.h").is_none(),
+        cache.get(bad_hash).is_none(),
         "broken artifacts must not be cached"
     );
+    assert_eq!(cache.len(), 1, "only main.c itself was published");
+}
+
+#[test]
+fn identical_contents_share_one_artifact() {
+    // Content-hash keying makes the cache content-addressed: two paths
+    // with identical bytes publish one artifact, and the second path
+    // *hits* even though it was never lexed under that name.
+    let body = "#define N 7\nint n = N;\n";
+    let files = [("a.c", body), ("copy_of_a.c", body)];
+    let cache = std::sync::Arc::new(SharedCache::new());
+    let mut pp = pp_tool(&files, Some(&cache));
+    let ua = pp.preprocess("a.c").expect("a.c");
+    assert_eq!(ua.stats.shared_cache_misses, 1);
+    let mut pp2 = pp_tool(&files, Some(&cache));
+    let ub = pp2.preprocess("copy_of_a.c").expect("copy");
+    assert_eq!(ub.stats.shared_cache_hits, 1, "same bytes, shared artifact");
+    assert_eq!(ub.stats.shared_cache_misses, 0);
+    assert_eq!(cache.len(), 1);
+    assert_eq!(flat_text(&ua), flat_text(&ub));
+}
+
+#[test]
+fn duplicate_insert_skips_the_freeze() {
+    // The incumbent re-check under the write lock must run *before* the
+    // freeze closure: a second publish for the same hash adopts the
+    // existing artifact without invoking `make`, and the counter proves
+    // the race path was taken.
+    let cache = SharedCache::new();
+    let items: Vec<crate::directives::RawItem> = Vec::new();
+    let first = cache.insert_with(42, || SharedArtifact::freeze(&items, None, 3, 11));
+    assert_eq!(cache.duplicate_freezes(), 0);
+    let second = cache.insert_with(42, || panic!("freeze must not run for an incumbent"));
+    assert!(std::sync::Arc::ptr_eq(&first, &second));
+    assert_eq!(cache.duplicate_freezes(), 1);
+    assert_eq!(cache.len(), 1);
+}
+
+#[test]
+fn hash_memo_rereads_only_across_generations() {
+    let cache = SharedCache::new();
+    let reads = std::cell::Cell::new(0u32);
+    let read = || {
+        reads.set(reads.get() + 1);
+        Some(std::sync::Arc::<str>::from("int a;\n"))
+    };
+    let (h1, src1) = cache.current_hash("a.h", read).expect("exists");
+    assert_eq!(reads.get(), 1);
+    assert!(src1.is_some(), "fresh read handed back to the caller");
+    // Same generation: memoized, no read, no contents handed back.
+    let (h2, src2) = cache.current_hash("a.h", read).expect("exists");
+    assert_eq!((h2, reads.get()), (h1, 1));
+    assert!(src2.is_none());
+    assert_eq!(cache.rehashes(), 1);
+    // New generation: the memo is stale, the file is re-read; changed
+    // bytes hash to a new key.
+    cache.next_generation();
+    let edited = || Some(std::sync::Arc::<str>::from("int a2;\n"));
+    let (h3, _) = cache.current_hash("a.h", edited).expect("exists");
+    assert_ne!(h3, h1, "edited contents must change the key");
+    assert_eq!(cache.rehashes(), 2);
+    // Missing files are not memoized as anything.
+    assert!(cache.current_hash("gone.h", || None).is_none());
+}
+
+#[test]
+fn sweep_evicts_dead_hashes_and_keeps_live_ones() {
+    let files = [
+        ("main.c", "#include \"g.h\"\nint x = N;\n"),
+        ("g.h", "#define N 9\n"),
+    ];
+    let cache = std::sync::Arc::new(SharedCache::new());
+    let mut pp = pp_tool(&files, Some(&cache));
+    pp.preprocess("main.c").expect("preprocess");
+    assert_eq!(cache.len(), 2);
+
+    // Next batch: g.h is edited; main.c revalidates, g.h re-publishes
+    // under its new hash. The old g.h artifact is now a dead hash.
+    let files2 = [
+        ("main.c", "#include \"g.h\"\nint x = N;\n"),
+        ("g.h", "#define N 10\n"),
+    ];
+    cache.next_generation();
+    let mut pp2 = pp_tool(&files2, Some(&cache));
+    let u2 = pp2.preprocess("main.c").expect("preprocess");
+    assert_eq!(u2.stats.shared_cache_hits, 1, "main.c unchanged: hit");
+    assert_eq!(u2.stats.shared_cache_misses, 1, "g.h edited: relexed");
+    assert_eq!(cache.len(), 3, "old g.h artifact still resident");
+    assert_eq!(cache.sweep(), 1, "exactly the dead hash evicted");
+    assert_eq!(cache.len(), 2);
+    assert_eq!(flat_text(&u2), "int x = 10 ;");
+}
+
+#[test]
+fn warm_worker_revalidates_its_l1_across_generations() {
+    // One worker, two batches: the worker's L1 entry for an edited file
+    // must be evicted at the generation boundary (hash mismatch) while
+    // the unchanged header's entry revalidates in place.
+    let fs = {
+        let mem = MemFs::new()
+            .file("main.c", "#include \"g.h\"\nint x = N;\n")
+            .file("g.h", "#define N 1\n");
+        std::sync::Arc::new(crate::SharedMemFs::from_mem(&mem))
+    };
+    let cache = std::sync::Arc::new(SharedCache::new());
+    let ctx = CondCtx::new(CondBackend::Bdd);
+    let opts = PpOptions {
+        profile: Profile::bare(),
+        ..PpOptions::default()
+    };
+    let mut pp = Preprocessor::new(ctx, opts, std::sync::Arc::clone(&fs));
+    pp.set_shared_cache(std::sync::Arc::clone(&cache));
+
+    let u1 = pp.preprocess("main.c").expect("batch 1");
+    assert_eq!(flat_text(&u1), "int x = 1 ;");
+    let deps1 = pp.unit_deps();
+    assert_eq!(
+        deps1.iter().map(|(p, _)| p.as_str()).collect::<Vec<_>>(),
+        vec!["g.h", "main.c"],
+        "sorted include-closure fingerprint"
+    );
+
+    // Edit between batches, as the pooled runner would see it.
+    fs.set("main.c", "#include \"g.h\"\nint x = N + N;\n");
+    cache.next_generation();
+    let u2 = pp.preprocess("main.c").expect("batch 2");
+    assert_eq!(flat_text(&u2), "int x = 1 + 1 ;", "edit visible through L1");
+    let deps2 = pp.unit_deps();
+    assert_eq!(deps1[0], deps2[0], "unchanged header: same hash");
+    assert_ne!(deps1[1].1, deps2[1].1, "edited unit: new hash");
 }

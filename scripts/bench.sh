@@ -38,6 +38,12 @@
 # the 3-profile fig9_profiles matrix at that multiple of its
 # single-profile leg fig9_profiles1 — sharing pre-expansion artifacts
 # across profiles must make the matrix cheaper than three fresh runs.
+#
+# Incremental gate: WARM_MIN (default 3) is the minimum fig_incremental
+# vs fig_incremental_cold speedup — a warm re-run with ~1% of units
+# edited must skip preprocess+parse for the unchanged 99% via the unit
+# memo. Behavior identity between the legs is asserted inside the
+# benchmark binary itself (per rep), not here.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -151,6 +157,27 @@ self_gates() {
         fi
     fi
 
+    # Incremental warm-rerun gate: the memo'd warm leg must beat the
+    # cold leg (same pooled runner, same edits, interleaved reps) by at
+    # least WARM_MIN. The legs differ only in whether the unit memo is
+    # consulted, so the ratio isolates exactly the invalidation win.
+    local WARM_MIN="${WARM_MIN:-3}"
+    local warm_rate cold_rate warm_ratio
+    warm_rate=$(extract "$f" | awk '$1 == "fig_incremental" { print $2 }')
+    cold_rate=$(extract "$f" | awk '$1 == "fig_incremental_cold" { print $2 }')
+    if [[ -z "$warm_rate" || -z "$cold_rate" ]]; then
+        echo "bench: fig_incremental workload pair missing from new snapshot" >&2
+        gfail=1
+    else
+        warm_ratio=$(awk -v on="$warm_rate" -v off="$cold_rate" 'BEGIN { printf "%.2f", on / off }')
+        if awk -v r="$warm_ratio" -v fl="$WARM_MIN" 'BEGIN { exit !(r >= fl) }'; then
+            echo "bench: fig_incremental warm/cold speedup ${warm_ratio}x (floor ${WARM_MIN}x) OK"
+        else
+            echo "bench: fig_incremental warm/cold speedup ${warm_ratio}x below floor ${WARM_MIN}x" >&2
+            gfail=1
+        fi
+    fi
+
     # Parallel-scaling gate on the kernel jobs ladder. The floors default
     # by core count: a near-linear expectation where the hardware can
     # deliver it. On a single core there is no parallelism to win — the
@@ -240,14 +267,17 @@ trap 'rm -f "$NEW"' EXIT
 # gates the same way as a single-thread one.
 fail=0
 while read -r name old_rate; do
-    # Baseline legs (*_nocache, *_nofp) are measured only as same-run
-    # denominators for the ratio gates above, which interleave reps so
-    # machine drift cancels. Comparing their *absolute* throughput
-    # against a snapshot from another run re-introduces exactly that
-    # drift (the uncached-lexing leg swings tens of percent on a loaded
-    # box) without guarding anything the ratio gates don't.
+    # Baseline legs (*_nocache, *_nofp, *_cold) are measured only as
+    # same-run denominators for the ratio gates above, which interleave
+    # reps so machine drift cancels. Comparing their *absolute*
+    # throughput against a snapshot from another run re-introduces
+    # exactly that drift (the uncached-lexing leg swings tens of percent
+    # on a loaded box) without guarding anything the ratio gates don't.
+    # fig_incremental itself is skipped too: memo'd throughput measures
+    # almost no parsing work, so its absolute value is dominated by
+    # scheduler noise — the WARM_MIN ratio gate is its real contract.
     case "$name" in
-    *_nocache | *_nofp | *_profiles1) continue ;;
+    *_nocache | *_nofp | *_profiles1 | *_cold | fig_incremental) continue ;;
     esac
     new_rate=$(extract "$NEW" | awk -v n="$name" '$1 == n { print $2 }')
     if [[ -z "$new_rate" ]]; then

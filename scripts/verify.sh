@@ -97,6 +97,56 @@ for fp in fastpath no-fastpath; do
 done
 echo "verify: kernel corpus smoke OK"
 
+# Warm re-run byte-identity: `--warm` re-runs the corpus through the
+# pooled runner with the unit result memo enabled, and `--edit` rewrites
+# a file between batches so only its dependents recompute. The final
+# warm batch's report must be byte-for-byte identical to a fresh
+# process run over the (now edited) tree — in the plain corpus driver
+# and in every lint output format across the --profiles grid. Both legs
+# exit nonzero here (the kernel corpus contains #error units and denied
+# findings), so `|| true` keeps set -e out of the way; the comparison
+# below is the actual gate.
+WARM_HDR=include/linux/types.h
+WARM_UNIT=src/unit0.c
+for f in "$WARM_HDR" "$WARM_UNIT"; do
+    if [[ ! -f "$KGEN_DIR/$f" ]]; then
+        echo "verify: kernelgen layout changed: $f missing" >&2
+        exit 1
+    fi
+done
+cp "$KGEN_DIR/$WARM_HDR" "$KGEN_DIR/$WARM_HDR.edited"
+printf 'int warm_probe_hdr;\n' >>"$KGEN_DIR/$WARM_HDR.edited"
+cp "$KGEN_DIR/$WARM_UNIT" "$KGEN_DIR/$WARM_UNIT.edited"
+printf 'int warm_probe_unit;\n' >>"$KGEN_DIR/$WARM_UNIT.edited"
+warm=$(cd "$KGEN_DIR" && "$ROBUST_BIN" --jobs 4 --warm 2 \
+    --edit "2:$WARM_HDR=$WARM_HDR.edited" -I include src/*.c 2>&1) || true
+ref=$(cd "$KGEN_DIR" && "$ROBUST_BIN" --jobs 4 -I include src/*.c 2>&1) || true
+if [[ -z "$ref" || "$warm" != "$ref" ]]; then
+    echo "verify: warm corpus re-run diverged from fresh-process reference" >&2
+    diff <(echo "$ref") <(echo "$warm") >&2 || true
+    exit 1
+fi
+for fmt in text json sarif; do
+    warm=$(cd "$KGEN_DIR" && "$ROBUST_BIN" lint \
+        --profiles gcc-linux,clang-macos,msvc-windows \
+        --format "$fmt" --jobs 4 --warm 2 \
+        --edit "2:$WARM_UNIT=$WARM_UNIT.edited" -I include src/*.c 2>&1) || true
+    ref=$(cd "$KGEN_DIR" && "$ROBUST_BIN" lint \
+        --profiles gcc-linux,clang-macos,msvc-windows \
+        --format "$fmt" --jobs 4 -I include src/*.c 2>&1) || true
+    if [[ "$fmt" == text ]] && ! grep -q 'warning\[' <<<"$ref"; then
+        echo "verify: warm lint reference produced no findings:" >&2
+        echo "$ref" >&2
+        exit 1
+    fi
+    if [[ -z "$ref" || "$warm" != "$ref" ]]; then
+        echo "verify: warm lint $fmt report diverged from fresh-process reference" >&2
+        diff <(echo "$ref") <(echo "$warm") >&2 || true
+        exit 1
+    fi
+done
+echo "verify: warm re-run byte-identity OK"
+
 # Cross-profile byte-identity: the portability lint report over the
 # seeded fixture corpus (tests/fixtures/portability, also exercised
 # in-process by tests/portability.rs) must be byte-identical for any

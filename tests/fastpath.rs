@@ -158,6 +158,7 @@ fn matrix(
             lint: copts.lint.clone(),
             inject_panic: Vec::new(),
             portability: false,
+            warm: false,
         };
         process_corpus(fs, units, &options(fastpath, budgets), &copts)
     };

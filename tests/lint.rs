@@ -135,6 +135,7 @@ fn lint_json_is_byte_identical_across_job_counts() {
             no_shared_cache,
             inject_panic: Vec::new(),
             portability: false,
+            warm: false,
         };
         let report = process_corpus(&fixture_fs(), &files, &options, &copts);
         assert_eq!(report.fatal_units(), 0);

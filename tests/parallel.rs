@@ -90,6 +90,7 @@ fn run_with_cache(corpus: &Corpus, jobs: usize, no_shared_cache: bool) -> Corpus
         no_shared_cache,
         inject_panic: Vec::new(),
         portability: false,
+        warm: false,
     };
     process_corpus(&corpus.fs, &corpus.units, &options(), &copts)
 }

@@ -58,6 +58,7 @@ fn copts(jobs: usize, no_shared_cache: bool) -> CorpusOptions {
         no_shared_cache,
         inject_panic: Vec::new(),
         portability: false,
+        warm: false,
     }
 }
 

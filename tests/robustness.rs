@@ -62,6 +62,7 @@ fn copts(jobs: usize, no_shared_cache: bool) -> CorpusOptions {
         no_shared_cache,
         inject_panic: Vec::new(),
         portability: false,
+        warm: false,
     }
 }
 

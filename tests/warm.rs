@@ -1,0 +1,380 @@
+//! Incremental warm re-runs: the pooled [`CorpusRunner`]'s unit result
+//! memo must make warm output **byte-identical to a cold run over the
+//! same (edited) tree**, while skipping recomputation for exactly the
+//! units whose include closure was untouched.
+//!
+//! The matrix here crosses edit site × jobs × fastpath × profile count:
+//!
+//! * edit sites: none / a leaf header included by one unit / a shared
+//!   header deep in every unit's closure / a unit's own source;
+//! * `jobs` 1, 2, 8 over the same pool size ladder as
+//!   `tests/parallel.rs`;
+//! * fast path (fused lexing + deterministic LR fast path) on and off;
+//! * one profile ([`CorpusRunner::run`]) and a three-profile grid
+//!   ([`CorpusRunner::run_profiles`]).
+//!
+//! Every cell asserts two things: the warm report matches a fresh cold
+//! reference over the edited tree (per-unit deterministic fields and
+//! behavior counters), and the per-unit `memo_hit` flags match the edit
+//! — edited-closure units recompute, untouched units replay.
+
+use std::sync::Arc;
+
+use superc::analyze::LintOptions;
+use superc::corpus::{
+    process_corpus, process_corpus_profiles, CorpusOptions, CorpusReport, CorpusRunner,
+};
+use superc::{Options, Profile, SharedMemFs};
+
+/// Three units over a small header tree:
+///
+/// * `include/leaf.h` — included only by `a.c`;
+/// * `include/deep.h` → `include/deeper.h` — a two-level chain included
+///   by every unit;
+/// * each unit also has private content so their reports differ.
+fn fixture() -> SharedMemFs {
+    let fs = SharedMemFs::new();
+    fs.set("include/leaf.h", "int leaf_decl(int);\n#define LEAF 1\n");
+    fs.set(
+        "include/deep.h",
+        "#include \"deeper.h\"\nint deep_decl(void);\n",
+    );
+    fs.set(
+        "include/deeper.h",
+        "#ifdef CONFIG_SMP\n#define WIDTH 8\n#else\n#define WIDTH 1\n#endif\nint deeper_decl(void);\n",
+    );
+    fs.set(
+        "a.c",
+        "#include <leaf.h>\n#include <deep.h>\nint a_fn(void) { return LEAF + WIDTH; }\n",
+    );
+    fs.set(
+        "b.c",
+        "#include <deep.h>\n#ifdef CONFIG_B\nint b_extra;\n#endif\nint b_fn(void) { return WIDTH; }\n",
+    );
+    fs.set(
+        "c.c",
+        "#include <deep.h>\nint c_fn(void) { return WIDTH * 2; }\n",
+    );
+    fs
+}
+
+fn units() -> Vec<String> {
+    vec!["a.c".to_string(), "b.c".to_string(), "c.c".to_string()]
+}
+
+fn options(fastpath: bool) -> Options {
+    let mut options = Options::default();
+    options.pp.include_paths = vec!["include".to_string()];
+    if !fastpath {
+        options.parser.fastpath = false;
+        options.pp.fuse_lexing = false;
+    }
+    options
+}
+
+fn copts(warm: bool) -> CorpusOptions {
+    CorpusOptions {
+        lint: Some(LintOptions::default()),
+        warm,
+        ..CorpusOptions::default()
+    }
+}
+
+/// One edit scenario: a label, the file to touch (`None` = no edit),
+/// and which units' closures that invalidates.
+struct Edit {
+    label: &'static str,
+    touch: Option<(&'static str, &'static str)>,
+    /// Expected `memo_hit` per unit (a.c, b.c, c.c) on the re-run.
+    hits: [bool; 3],
+}
+
+fn edits() -> Vec<Edit> {
+    vec![
+        Edit {
+            label: "none",
+            touch: None,
+            hits: [true, true, true],
+        },
+        Edit {
+            label: "leaf-header",
+            touch: Some(("include/leaf.h", "int leaf_decl(int);\n#define LEAF 2\n")),
+            hits: [false, true, true],
+        },
+        Edit {
+            label: "deep-shared-header",
+            touch: Some((
+                "include/deeper.h",
+                "#ifdef CONFIG_SMP\n#define WIDTH 16\n#else\n#define WIDTH 2\n#endif\nint deeper_decl(void);\n",
+            )),
+            hits: [false, false, false],
+        },
+        Edit {
+            label: "unit-source",
+            touch: Some((
+                "b.c",
+                "#include <deep.h>\nint b_fn(void) { return WIDTH + 1; }\n",
+            )),
+            hits: [true, false, true],
+        },
+    ]
+}
+
+/// Schedule-independent view of the per-unit preprocessor counters (the
+/// cache/memo hit gauges depend on who got somewhere first).
+fn countable(pp: &superc::PpStats) -> superc::PpStats {
+    superc::PpStats {
+        lex_nanos: 0,
+        lex_nanos_saved: 0,
+        shared_cache_hits: 0,
+        shared_cache_misses: 0,
+        condexpr_memo_hits: 0,
+        condexpr_memo_misses: 0,
+        expansion_memo_hits: 0,
+        ..*pp
+    }
+}
+
+fn assert_reports_identical(base: &CorpusReport, other: &CorpusReport, label: &str) {
+    assert_eq!(base.units.len(), other.units.len(), "{label}: unit count");
+    for (b, o) in base.units.iter().zip(&other.units) {
+        assert_eq!(b.path, o.path, "{label}: input order not preserved");
+        assert_eq!(
+            countable(&b.pp),
+            countable(&o.pp),
+            "{}: {label}: preprocessor counters",
+            b.path
+        );
+        assert_eq!(b.parse, o.parse, "{}: {label}: parser counters", b.path);
+        assert_eq!(b.parsed, o.parsed, "{}: {label}: parsed flag", b.path);
+        assert_eq!(b.fatal, o.fatal, "{}: {label}: fatal", b.path);
+        assert_eq!(b.lints, o.lints, "{}: {label}: lint records", b.path);
+        assert_eq!(
+            b.degradations, o.degradations,
+            "{}: {label}: degradations",
+            b.path
+        );
+    }
+    assert_eq!(
+        base.behavior_counters(),
+        other.behavior_counters(),
+        "{label}: behavior fingerprint"
+    );
+}
+
+#[test]
+fn warm_rerun_matches_cold_run_across_edit_jobs_fastpath_matrix() {
+    let units = units();
+    for edit in edits() {
+        for jobs in [1usize, 2, 8] {
+            for fastpath in [true, false] {
+                let label = format!("edit={} jobs={jobs} fastpath={fastpath}", edit.label);
+                let opts = options(fastpath);
+                let fs = Arc::new(fixture());
+                let mut pool = CorpusRunner::new(&opts, Arc::clone(&fs), jobs, false);
+
+                // Batch 1 fills the memo: nothing can hit yet.
+                let first = pool.run(&units, &copts(true));
+                assert_eq!(first.unit_memo_hits, 0, "{label}: batch 1 hits");
+                assert_eq!(
+                    first.unit_memo_misses,
+                    units.len() as u64,
+                    "{label}: batch 1 misses"
+                );
+                assert!(first.parsed_units() == 3, "{label}: fixture must parse");
+
+                if let Some((path, contents)) = edit.touch {
+                    fs.set(path, contents);
+                }
+
+                // Batch 2 (warm, over the edited tree) vs a fresh cold
+                // run over the same tree — the fresh-process reference.
+                let second = pool.run(&units, &copts(true));
+                let reference = process_corpus(&*fs, &units, &opts, &copts(false));
+                assert_reports_identical(&reference, &second, &label);
+
+                let expected_hits = edit.hits.iter().filter(|&&h| h).count() as u64;
+                assert_eq!(
+                    second.unit_memo_hits, expected_hits,
+                    "{label}: memo hit count"
+                );
+                assert_eq!(
+                    second.unit_memo_misses,
+                    units.len() as u64 - expected_hits,
+                    "{label}: memo miss count"
+                );
+                for (u, expect_hit) in second.units.iter().zip(edit.hits) {
+                    assert_eq!(u.memo_hit, expect_hit, "{label}: {}: memo_hit flag", u.path);
+                }
+                // Every file is content-hashed at most once per batch,
+                // however many workers and profiles probed it.
+                assert!(
+                    second.files_rehashed <= 6,
+                    "{label}: rehashed {} files of 6",
+                    second.files_rehashed
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_profiles_rerun_matches_cold_grid() {
+    let units = units();
+    let profiles: Vec<Profile> = ["gcc-linux", "clang-linux", "msvc-windows"]
+        .iter()
+        .map(|n| Profile::named(n).expect("shipped profile"))
+        .collect();
+    for edit in edits() {
+        for jobs in [1usize, 2, 8] {
+            for fastpath in [true, false] {
+                let label = format!(
+                    "profiles=3 edit={} jobs={jobs} fastpath={fastpath}",
+                    edit.label
+                );
+                let opts = options(fastpath);
+                let fs = Arc::new(fixture());
+                let mut pool = CorpusRunner::new(&opts, Arc::clone(&fs), jobs, false);
+
+                let first = pool.run_profiles(&units, &profiles, &copts(true));
+                assert_eq!(first.runs[0].unit_memo_hits, 0, "{label}: batch 1 hits");
+                assert_eq!(
+                    first.runs[0].unit_memo_misses,
+                    (units.len() * profiles.len()) as u64,
+                    "{label}: batch 1 misses"
+                );
+
+                if let Some((path, contents)) = edit.touch {
+                    fs.set(path, contents);
+                }
+
+                let second = pool.run_profiles(&units, &profiles, &copts(true));
+                let reference =
+                    process_corpus_profiles(&*fs, &units, &opts, &profiles, &copts(false));
+                assert_eq!(
+                    reference.behavior_counters(),
+                    second.behavior_counters(),
+                    "{label}: per-profile behavior fingerprints"
+                );
+                for (p, (rref, rwarm)) in reference.runs.iter().zip(&second.runs).enumerate() {
+                    assert_reports_identical(rref, rwarm, &format!("{label} profile {p}"));
+                    // The memo is per (unit, profile-signature): the
+                    // same hit pattern must hold under every profile.
+                    for (u, expect_hit) in rwarm.units.iter().zip(edit.hits) {
+                        assert_eq!(
+                            u.memo_hit, expect_hit,
+                            "{label}: profile {p}: {}: memo_hit flag",
+                            u.path
+                        );
+                    }
+                }
+                // Merged lint output (including portability diffs) is
+                // part of the byte-identity contract too.
+                let lopts = LintOptions::default();
+                assert_eq!(
+                    reference.lint_records(&lopts),
+                    second.lint_records(&lopts),
+                    "{label}: merged lint records"
+                );
+
+                let expected_hits =
+                    (edit.hits.iter().filter(|&&h| h).count() * profiles.len()) as u64;
+                assert_eq!(
+                    second.runs[0].unit_memo_hits, expected_hits,
+                    "{label}: grid memo hit count"
+                );
+                // Fingerprints are profile-independent *per file*: one
+                // rehash per touched file per batch, shared by all
+                // three profile runs.
+                assert!(
+                    second.runs[0].files_rehashed <= 6,
+                    "{label}: rehashed {} files of 6",
+                    second.runs[0].files_rehashed
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn budget_tripped_units_are_never_memoized() {
+    let units = units();
+    let mut opts = options(true);
+    // A one-step parse budget degrades every unit to a partial parse;
+    // partial/tripped units must recompute on every warm batch.
+    opts.budgets.max_steps = 1;
+    let fs = Arc::new(fixture());
+    let mut pool = CorpusRunner::new(&opts, Arc::clone(&fs), 2, false);
+    let first = pool.run(&units, &copts(true));
+    assert_eq!(first.partial_units(), 3, "budget must trip every unit");
+    let second = pool.run(&units, &copts(true));
+    assert_eq!(
+        second.unit_memo_hits, 0,
+        "budget-degraded units must not replay from the memo"
+    );
+    assert_eq!(second.partial_units(), 3);
+}
+
+#[test]
+fn failed_units_are_never_memoized() {
+    let fs = Arc::new(fixture());
+    fs.set("broken.c", "#error this unit is intentionally fatal\n");
+    let units = vec!["a.c".to_string(), "broken.c".to_string()];
+    let mut pool = CorpusRunner::new(&options(true), Arc::clone(&fs), 2, false);
+    let first = pool.run(&units, &copts(true));
+    assert_eq!(first.failed_units(), 1);
+    let second = pool.run(&units, &copts(true));
+    assert_eq!(
+        second.unit_memo_hits, 1,
+        "only the healthy unit replays; the failed one recomputes"
+    );
+    assert!(second.units[1].failure.is_some());
+    assert!(!second.units[1].memo_hit);
+}
+
+#[test]
+fn no_shared_cache_pool_stays_edit_correct() {
+    // Without the shared cache there is no generation protocol and no
+    // memo; the pool must still see edits (workers drop their L1 caches
+    // at batch boundaries) and produce cold-identical output.
+    let units = units();
+    let opts = options(true);
+    let fs = Arc::new(fixture());
+    let mut pool = CorpusRunner::new(&opts, Arc::clone(&fs), 2, true);
+    let first = pool.run(&units, &copts(true));
+    assert_eq!(first.unit_memo_hits + first.unit_memo_misses, 0);
+    fs.set(
+        "include/deeper.h",
+        "#define WIDTH 99\nint deeper_decl(void);\n",
+    );
+    let second = pool.run(&units, &copts(true));
+    assert_eq!(second.unit_memo_hits, 0, "no shared cache, no memo");
+    let reference = process_corpus(&*fs, &units, &opts, &copts(false));
+    assert_reports_identical(&reference, &second, "no-shared-cache warm pool");
+}
+
+#[test]
+fn warm_sweep_evicts_dead_artifacts() {
+    let units = units();
+    let opts = options(true);
+    let fs = Arc::new(fixture());
+    let mut pool = CorpusRunner::new(&opts, Arc::clone(&fs), 2, false);
+    pool.run(&units, &copts(true));
+    let cache = Arc::clone(pool.shared_cache().expect("pool has a shared cache"));
+    let cold_len = cache.len();
+    assert!(cold_len > 0, "cold batch must populate the cache");
+    // Edit one header: its old artifact is dead after the next batch's
+    // sweep, and the cache must not grow monotonically across edits.
+    for width in [5, 6, 7] {
+        fs.set(
+            "include/deeper.h",
+            &format!("#define WIDTH {width}\nint deeper_decl(void);\n"),
+        );
+        pool.run(&units, &copts(true));
+        assert_eq!(
+            cache.len(),
+            cold_len,
+            "sweep must evict each edit's dead artifact"
+        );
+    }
+}
