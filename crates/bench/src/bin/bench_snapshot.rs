@@ -430,6 +430,85 @@ fn measure_incremental(corpus: &Corpus, reps: usize, jobs: usize) -> (Snapshot, 
     )
 }
 
+/// The daemon pair (`fig_daemon_cold` / `fig_daemon`): a long-running
+/// [`superc::service::Driver`] — the engine behind `superc daemon` and
+/// the C API — populated once with the kernel-scale tree, then serving
+/// parse requests across edit generations. Each rep stages ~1% of the
+/// units through the driver's edit protocol (begin/set_file/end), then
+/// interleaves a fresh one-shot run over the driver's own tree (what a
+/// cold CLI invocation would do) with a driver-served request, like
+/// every other gated pair.
+///
+/// The same two invariants as `fig_incremental` are asserted per rep —
+/// the served report is behavior-identical to the fresh run, and
+/// exactly the edited units recompute — plus the service layer's own
+/// overhead (overlay reads, generation bookkeeping) is what separates
+/// this pair from that one. `scripts/bench.sh` gates the throughput
+/// ratio at DAEMON_MIN.
+fn measure_daemon(corpus: &Corpus, reps: usize, jobs: usize) -> (Snapshot, Snapshot) {
+    use superc::corpus::process_corpus;
+    use superc::service::Driver;
+    use superc::FileSystem;
+    let mut driver = Driver::new(options(), jobs);
+    for (path, contents) in corpus.fs.iter() {
+        driver
+            .set_file(path, contents)
+            .expect("generation 1 is open for population");
+    }
+    driver.end_generation().expect("commit the populated tree");
+    let cold_opts = CorpusOptions {
+        jobs,
+        ..CorpusOptions::default()
+    };
+    let n = corpus.units.len();
+    let edited = n.div_ceil(100);
+    // Fill the driver's memo before timing, like the other pools'
+    // warmup passes.
+    std::hint::black_box(driver.parse(&corpus.units).expect("fill request"));
+    let mut best_cold: Option<Snapshot> = None;
+    let mut best_warm: Option<Snapshot> = None;
+    for r in 0..reps.max(1) {
+        driver.begin_generation().expect("no request in flight");
+        for i in 0..edited {
+            let path = &corpus.units[i * n / edited];
+            let orig = corpus.fs.read(path).expect("unit exists");
+            driver
+                .set_file(path, &format!("{orig}\nint daemon_probe_{r}_{i};\n"))
+                .expect("generation is open");
+        }
+        driver.end_generation().expect("commit the edit batch");
+        let fresh_fs = Arc::clone(driver.fs());
+        let cold = process_corpus(fresh_fs.as_ref(), &corpus.units, &options(), &cold_opts);
+        let warm = driver.parse(&corpus.units).expect("parse request");
+        assert_eq!(
+            cold.behavior_counters(),
+            warm.behavior_counters(),
+            "fig_daemon: the served report drifted from a fresh run over the same tree"
+        );
+        assert_eq!(
+            warm.unit_memo_hits,
+            (n - edited) as u64,
+            "fig_daemon: every untouched unit must replay from the memo"
+        );
+        assert_eq!(
+            warm.unit_memo_misses, edited as u64,
+            "fig_daemon: exactly the edited units recompute"
+        );
+        let c = report_snapshot("fig_daemon_cold", cold);
+        if best_cold.as_ref().is_none_or(|b| c.seconds < b.seconds) {
+            best_cold = Some(c);
+        }
+        let w = report_snapshot("fig_daemon", warm);
+        if best_warm.as_ref().is_none_or(|b| w.seconds < b.seconds) {
+            best_warm = Some(w);
+        }
+    }
+    (
+        best_cold.expect("at least one rep"),
+        best_warm.expect("at least one rep"),
+    )
+}
+
 /// The determinism gate: a parallel run must do *exactly* the same
 /// parsing work as the sequential run — identical tokens and behavior
 /// counters for any worker count. Only gauges tied to worker-local
@@ -747,6 +826,9 @@ fn main() {
     let kernel_snaps = measure_kernel_ladder(&kernel, reps, warmup);
     // The incremental warm re-run pair over the same kernel-scale tree.
     let (incr_cold, incr_warm) = measure_incremental(&kernel, reps, par_jobs);
+    // The daemon/service pair: the same tree served by a long-running
+    // Driver across edit generations vs fresh one-shot runs.
+    let (daemon_cold, daemon_warm) = measure_daemon(&kernel, reps, par_jobs);
     // The shared-cache workload pair: identical header-dominated corpus,
     // cache on vs off, so the snapshot records the cache's speedup and
     // hit rate (`scripts/bench.sh` gates on both). Always 8 workers, even
@@ -796,6 +878,8 @@ fn main() {
         prof_single,
         incr_cold,
         incr_warm,
+        daemon_cold,
+        daemon_warm,
     ];
     snaps.extend(kernel_snaps);
 

@@ -65,23 +65,35 @@
 //!   --deny <code|all>        report a lint and exit nonzero
 //!   --config-prefix <prefix>  replace the name prefixes exempt from
 //!                             undef-macro-test (default: CONFIG_, __)
+//!
+//! superc daemon [OPTIONS]
+//!   Long-running parse service over stdin/stdout: one NDJSON request
+//!   per line, one NDJSON response per line, over a pooled runner whose
+//!   shared cache and unit memo persist across requests. Accepts the
+//!   shared options above (no files). Requests:
+//!     {"cmd":"parse","units":[...]}
+//!     {"cmd":"lint","units":[...],"format":"text|json|sarif",
+//!      "profiles":["gcc-linux",...]}
+//!     {"cmd":"edit","path":"f.h","contents":"..."}   stage an overlay
+//!       edit ("remove":true deletes; omit contents to just notify that
+//!       the file changed on disk)
+//!     {"cmd":"stats"}
+//!     {"cmd":"shutdown"}
+//!   Parse/lint responses carry {"ok":true,"stdout":...,"stderr":...,
+//!   "failed":...} where stdout/stderr are byte-identical to a fresh
+//!   one-shot `superc` run over the same tree.
 //! ```
 
 use std::process::ExitCode;
 
-use superc::analyze::{render, LintCode, LintLevel, LintOptions, Record};
+use superc::analyze::{LintCode, LintLevel, LintOptions};
+use superc::cli::{self, LintFormat, Rendered};
 use superc::corpus::{
     process_corpus, process_corpus_profiles, Capture, CorpusOptions, CorpusReport, CorpusRunner,
     ProfilesReport,
 };
+use superc::service::Driver;
 use superc::{CondBackend, DiskFs, Options, ParserConfig, PpOptions, Profile, SuperC};
-
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum LintFormat {
-    Text,
-    Json,
-    Sarif,
-}
 
 struct LintArgs {
     format: LintFormat,
@@ -108,9 +120,11 @@ struct Args {
     edits: Vec<(usize, String, String)>,
     /// `superc lint` mode.
     lint: Option<LintArgs>,
+    /// `superc daemon` mode: serve NDJSON requests over stdin/stdout.
+    daemon: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(mut raw: Vec<String>) -> Result<Args, String> {
     let mut args = Args {
         files: Vec::new(),
         options: Options::default(),
@@ -122,17 +136,24 @@ fn parse_args() -> Result<Args, String> {
         warm: 0,
         edits: Vec::new(),
         lint: None,
+        daemon: false,
     };
     let mut pp = PpOptions::default();
     pp.include_paths.clear();
-    let mut raw: Vec<String> = std::env::args().skip(1).collect();
-    if raw.first().map(String::as_str) == Some("lint") {
-        raw.remove(0);
-        args.lint = Some(LintArgs {
-            format: LintFormat::Text,
-            profiles: Vec::new(),
-            opts: LintOptions::default(),
-        });
+    match raw.first().map(String::as_str) {
+        Some("lint") => {
+            raw.remove(0);
+            args.lint = Some(LintArgs {
+                format: LintFormat::Text,
+                profiles: Vec::new(),
+                opts: LintOptions::default(),
+            });
+        }
+        Some("daemon") => {
+            raw.remove(0);
+            args.daemon = true;
+        }
+        _ => {}
     }
     let mut prefixes_replaced = false;
     // Applied after the loop so it survives a later `--level`/`--mapr`
@@ -144,12 +165,8 @@ fn parse_args() -> Result<Args, String> {
             match a.as_str() {
                 "--format" => {
                     let f = it.next().ok_or("--format needs text, json, or sarif")?;
-                    lint.format = match f.as_str() {
-                        "text" => LintFormat::Text,
-                        "json" => LintFormat::Json,
-                        "sarif" => LintFormat::Sarif,
-                        other => return Err(format!("unknown format {other}")),
-                    };
+                    lint.format =
+                        LintFormat::parse(&f).ok_or_else(|| format!("unknown format {f}"))?;
                     continue;
                 }
                 "--profiles" => {
@@ -272,7 +289,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: superc [lint] [-I dir] [-D name[=v]] [--sat] [--mapr] \
+                    "usage: superc [lint|daemon] [-I dir] [-D name[=v]] [--sat] [--mapr] \
                             [--level L] [--single names] [--preprocess] [--ast] [--stats] \
                             [--jobs N] [--no-shared-cache] [--no-fastpath] [--profile name] \
                             [--warm N] [--edit R:dst=src] \
@@ -280,7 +297,8 @@ fn parse_args() -> Result<Args, String> {
                             [--max-cond-nodes N] [--parse-time-ms N] [--include-depth N] \
                             [--hoist-cap N] files...\n\
                             lint mode adds: [--format text|json|sarif] [--profiles a,b,c] \
-                            [--allow|--warn|--deny code|all] [--config-prefix P]"
+                            [--allow|--warn|--deny code|all] [--config-prefix P]\n\
+                            daemon mode takes no files; it serves NDJSON requests on stdin"
                         .to_string(),
                 )
             }
@@ -288,7 +306,14 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown option {other}")),
         }
     }
-    if args.files.is_empty() {
+    if args.daemon {
+        if !args.files.is_empty() {
+            return Err("daemon mode takes no input files".to_string());
+        }
+        if args.warm > 0 || !args.edits.is_empty() {
+            return Err("daemon mode does not take --warm/--edit".to_string());
+        }
+    } else if args.files.is_empty() {
         return Err("no input files (try --help)".to_string());
     }
     if args.warm == 0 && !args.edits.is_empty() {
@@ -318,14 +343,29 @@ fn named_profile(name: &str) -> Result<Profile, String> {
     })
 }
 
+/// Writes rendered output the way every corpus-driver path exits: all
+/// stderr bytes, then all stdout bytes, then the exit code.
+fn emit(r: &Rendered) -> ExitCode {
+    eprint!("{}", r.stderr);
+    print!("{}", r.stdout);
+    if r.failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let args = match parse_args(std::env::args().skip(1).collect()) {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
+    if args.daemon {
+        return run_daemon(&args);
+    }
     if let Some(lint) = &args.lint {
         return run_lint(&args, lint);
     }
@@ -431,12 +471,13 @@ fn run_warm_corpus(args: &Args, copts: &CorpusOptions) -> Result<CorpusReport, S
     copts.warm = true;
     let fs = std::sync::Arc::new(DiskFs::new("."));
     let mut pool = CorpusRunner::new(&args.options, fs, args.jobs, args.no_shared_cache);
-    let mut report = None;
-    for run in 1..=args.warm {
+    apply_edits(args, 1)?;
+    let mut report = pool.run(&args.files, &copts);
+    for run in 2..=args.warm {
         apply_edits(args, run)?;
-        report = Some(pool.run(&args.files, &copts));
+        report = pool.run(&args.files, &copts);
     }
-    Ok(report.expect("--warm is at least 1"))
+    Ok(report)
 }
 
 /// The cross-profile analogue of [`run_warm_corpus`].
@@ -449,27 +490,13 @@ fn run_warm_profiles(
     copts.warm = true;
     let fs = std::sync::Arc::new(DiskFs::new("."));
     let mut pool = CorpusRunner::new(&args.options, fs, args.jobs, args.no_shared_cache);
-    let mut report = None;
-    for run in 1..=args.warm {
+    apply_edits(args, 1)?;
+    let mut report = pool.run_profiles(&args.files, profiles, &copts);
+    for run in 2..=args.warm {
         apply_edits(args, run)?;
-        report = Some(pool.run_profiles(&args.files, profiles, &copts));
+        report = pool.run_profiles(&args.files, profiles, &copts);
     }
-    Ok(report.expect("--warm is at least 1"))
-}
-
-/// Prints a lint report in the selected format. Every format is
-/// byte-identical for any `--jobs`/cache/fastpath setting: records sort
-/// deterministically and render conditions canonically.
-fn emit_records(format: LintFormat, records: &[Record]) {
-    match format {
-        LintFormat::Json => print!("{}", render::render_json(records)),
-        LintFormat::Sarif => print!("{}", render::render_sarif(records)),
-        LintFormat::Text => {
-            let deny = records.iter().filter(|r| r.level == "deny").count();
-            print!("{}", render::render_text(records));
-            println!("{} diagnostic(s), {} denied", records.len(), deny);
-        }
-    }
+    Ok(report)
 }
 
 /// `superc lint`: run the corpus driver with linting enabled and print
@@ -499,29 +526,12 @@ fn run_lint(args: &Args, lint: &LintArgs) -> ExitCode {
         } else {
             process_corpus_profiles(&fs, &args.files, &args.options, &lint.profiles, &copts)
         };
-        let mut fatal = false;
-        for (name, run) in report.profiles.iter().zip(&report.runs) {
-            for u in &run.units {
-                if let Some(f) = &u.fatal {
-                    eprintln!("{} [{name}]: fatal: {f}", u.path);
-                    fatal = true;
-                }
-            }
-        }
-        let records = report.lint_records(&lint.opts);
-        let deny = records.iter().filter(|r| r.level == "deny").count();
-        emit_records(lint.format, &records);
-        if args.show_stats {
-            for (name, run) in report.profiles.iter().zip(&report.runs) {
-                println!("profile {name}:");
-                print!("{}", superc::report::corpus_table(run).render());
-            }
-        }
-        return if fatal || deny > 0 {
-            ExitCode::FAILURE
-        } else {
-            ExitCode::SUCCESS
-        };
+        return emit(&cli::render_lint_profiles(
+            &report,
+            lint.format,
+            &lint.opts,
+            args.show_stats,
+        ));
     }
     let report = if args.warm > 0 {
         match run_warm_corpus(args, &copts) {
@@ -534,25 +544,11 @@ fn run_lint(args: &Args, lint: &LintArgs) -> ExitCode {
     } else {
         process_corpus(&fs, &args.files, &args.options, &copts)
     };
-    let mut fatal = false;
-    let mut records: Vec<Record> = Vec::new();
-    for u in &report.units {
-        if let Some(f) = &u.fatal {
-            eprintln!("{}: fatal: {f}", u.path);
-            fatal = true;
-        }
-        records.extend(u.lints.iter().cloned());
-    }
-    let deny = records.iter().filter(|r| r.level == "deny").count();
-    emit_records(lint.format, &records);
-    if args.show_stats {
-        print!("{}", superc::report::corpus_table(&report).render());
-    }
-    if fatal || deny > 0 {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    emit(&cli::render_lint_report(
+        &report,
+        lint.format,
+        args.show_stats,
+    ))
 }
 
 /// Multi-file parallel path: fan out over the corpus driver, then print
@@ -584,51 +580,92 @@ fn run_parallel(args: &Args) -> ExitCode {
     } else {
         process_corpus(&fs, &args.files, &args.options, &copts)
     };
-    let mut failed = false;
-    for u in &report.units {
-        if let Some(fatal) = &u.fatal {
-            eprintln!("{}: fatal: {fatal}", u.path);
-            failed = true;
+    emit(&cli::render_corpus_report(
+        &report,
+        args.show_ast,
+        args.show_stats,
+    ))
+}
+
+/// `superc daemon`: NDJSON requests on stdin, one response line each on
+/// stdout, over a [`Driver`] rooted at the current directory. Parse and
+/// lint responses are byte-identical to fresh one-shot CLI runs over
+/// the same tree — verify.sh diffs exactly that.
+fn run_daemon(args: &Args) -> ExitCode {
+    use std::io::{BufRead, Write};
+    let mut driver = Driver::with_disk_root(args.options.clone(), args.jobs, ".");
+    if driver.end_generation().is_err() {
+        eprintln!("daemon: driver initialization failed");
+        return ExitCode::FAILURE;
+    }
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
             continue;
         }
-        for d in &u.diagnostics {
-            eprintln!("{}: [Error] {d}", u.path);
+        let (response, quit) = superc::service::daemon::handle_line(&mut driver, &line);
+        if writeln!(out, "{response}")
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            break;
         }
-        for e in &u.errors {
-            eprintln!("{}: {e}", u.path);
-            failed = true;
-        }
-        for d in &u.degradations {
-            eprintln!("{}: warning: {d}", u.path);
-        }
-        if let Some(text) = &u.preprocessed {
-            println!("{text}");
-        }
-        if args.show_ast {
-            match &u.ast_text {
-                Some(ast) => println!("{ast}"),
-                None => eprintln!("{}: no configuration parsed", u.path),
-            }
-        }
-        if args.show_stats {
-            println!(
-                "{}: {} tokens, {} conditionals, {} macro invocations \
-                 ({} hoisted), {}",
-                u.path,
-                u.pp.output_tokens,
-                u.pp.output_conditionals,
-                u.pp.macro_invocations,
-                u.pp.invocations_hoisted,
-                u.parse,
-            );
+        if quit {
+            break;
         }
     }
-    if args.show_stats {
-        print!("{}", superc::report::corpus_table(&report).render());
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod cli_args_tests {
+    use super::*;
+
+    fn pa(args: &[&str]) -> Result<Args, String> {
+        parse_args(args.iter().map(|s| s.to_string()).collect())
     }
-    if failed {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+
+    #[test]
+    fn warm_zero_is_a_usage_error_not_a_panic() {
+        let err = pa(&["--warm", "0", "a.c"]).err().expect("must be rejected");
+        assert!(err.contains("--warm needs at least 1"), "got: {err}");
+        let err = pa(&["lint", "--warm", "0", "a.c"]).err().expect("rejected");
+        assert!(err.contains("--warm needs at least 1"), "got: {err}");
+    }
+
+    #[test]
+    fn warm_accepts_positive_counts() {
+        let args = pa(&["--warm", "3", "a.c"]).expect("valid");
+        assert_eq!(args.warm, 3);
+    }
+
+    #[test]
+    fn edit_out_of_range_is_a_usage_error() {
+        let err = pa(&["--warm", "2", "--edit", "3:a.h=b.h", "a.c"])
+            .err()
+            .expect("edit beyond warm must be rejected");
+        assert!(err.contains("beyond --warm"), "got: {err}");
+        let err = pa(&["--edit", "1:a.h=b.h", "a.c"])
+            .err()
+            .expect("edit without warm must be rejected");
+        assert!(err.contains("requires --warm"), "got: {err}");
+        let err = pa(&["--warm", "2", "--edit", "0:a.h=b.h", "a.c"])
+            .err()
+            .expect("run 0 must be rejected");
+        assert!(err.contains("expected run:dest=src"), "got: {err}");
+    }
+
+    #[test]
+    fn daemon_mode_takes_no_files_or_warm() {
+        let args = pa(&["daemon", "-I", "include", "--jobs", "2"]).expect("valid daemon args");
+        assert!(args.daemon);
+        assert!(pa(&["daemon", "a.c"]).is_err());
+        assert!(pa(&["daemon", "--warm", "2"]).is_err());
     }
 }

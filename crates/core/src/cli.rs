@@ -1,0 +1,182 @@
+//! Byte-exact renderers behind the `superc` CLI, the embeddable
+//! [`service::Driver`](crate::service::Driver), and the NDJSON daemon.
+//!
+//! The determinism contract ("output is byte-identical across jobs,
+//! caches, fast paths, and warm replays") is only end-to-end testable if
+//! every front end prints through the same code. These functions turn
+//! corpus reports into the exact bytes the CLI writes — the binary
+//! `eprint!`s [`Rendered::stderr`] then `print!`s [`Rendered::stdout`],
+//! the daemon ships both in its response, and verify scripts diff the
+//! two byte-for-byte against each other.
+
+use std::fmt::Write as _;
+
+use crate::analyze::{render, LintOptions, Record};
+use crate::corpus::{CorpusReport, ProfilesReport};
+
+/// Output of one rendered request: the exact bytes the CLI writes to
+/// stdout and stderr, plus whether the run counts as failed (a nonzero
+/// exit for the CLI, `"failed": true` in a daemon response).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Rendered {
+    /// Bytes for stdout (reports, ASTs, stats tables).
+    pub stdout: String,
+    /// Bytes for stderr (fatal errors, diagnostics, degradations).
+    pub stderr: String,
+    /// True when the run should exit nonzero: a fatal unit, a parse
+    /// error, or a denied lint.
+    pub failed: bool,
+}
+
+/// Lint output format (the CLI's `--format`, the daemon's `"format"`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LintFormat {
+    /// Human-readable lines plus a trailing summary line.
+    Text,
+    /// One JSON object (the format the byte-identity gates diff).
+    Json,
+    /// SARIF 2.1.0.
+    Sarif,
+}
+
+impl LintFormat {
+    /// Parses a `--format` operand; `None` for unknown names.
+    pub fn parse(name: &str) -> Option<LintFormat> {
+        match name {
+            "text" => Some(LintFormat::Text),
+            "json" => Some(LintFormat::Json),
+            "sarif" => Some(LintFormat::Sarif),
+            _ => None,
+        }
+    }
+}
+
+/// Renders lint records in the selected format. Every format is
+/// byte-identical for any jobs/cache/fastpath setting: records sort
+/// deterministically and render conditions canonically.
+pub fn render_records(format: LintFormat, records: &[Record]) -> String {
+    match format {
+        LintFormat::Json => render::render_json(records),
+        LintFormat::Sarif => render::render_sarif(records),
+        LintFormat::Text => {
+            let deny = records.iter().filter(|r| r.level == "deny").count();
+            format!(
+                "{}{} diagnostic(s), {} denied\n",
+                render::render_text(records),
+                records.len(),
+                deny
+            )
+        }
+    }
+}
+
+/// Renders a plain parse run over the corpus driver: per-unit fatal
+/// errors, diagnostics, parse errors, and degradations on stderr;
+/// captured preprocessed text, ASTs, and stats tables on stdout — in
+/// input order, so the bytes are stable for any job count.
+pub fn render_corpus_report(report: &CorpusReport, show_ast: bool, show_stats: bool) -> Rendered {
+    let mut out = Rendered::default();
+    for u in &report.units {
+        if let Some(fatal) = &u.fatal {
+            let _ = writeln!(out.stderr, "{}: fatal: {fatal}", u.path);
+            out.failed = true;
+            continue;
+        }
+        for d in &u.diagnostics {
+            let _ = writeln!(out.stderr, "{}: [Error] {d}", u.path);
+        }
+        for e in &u.errors {
+            let _ = writeln!(out.stderr, "{}: {e}", u.path);
+            out.failed = true;
+        }
+        for d in &u.degradations {
+            let _ = writeln!(out.stderr, "{}: warning: {d}", u.path);
+        }
+        if let Some(text) = &u.preprocessed {
+            let _ = writeln!(out.stdout, "{text}");
+        }
+        if show_ast {
+            match &u.ast_text {
+                Some(ast) => {
+                    let _ = writeln!(out.stdout, "{ast}");
+                }
+                None => {
+                    let _ = writeln!(out.stderr, "{}: no configuration parsed", u.path);
+                }
+            }
+        }
+        if show_stats {
+            let _ = writeln!(
+                out.stdout,
+                "{}: {} tokens, {} conditionals, {} macro invocations \
+                 ({} hoisted), {}",
+                u.path,
+                u.pp.output_tokens,
+                u.pp.output_conditionals,
+                u.pp.macro_invocations,
+                u.pp.invocations_hoisted,
+                u.parse,
+            );
+        }
+    }
+    if show_stats {
+        out.stdout
+            .push_str(&crate::report::corpus_table(report).render());
+    }
+    out
+}
+
+/// Renders a single-profile lint run: fatal units on stderr, records in
+/// the selected format (plus the stats table when asked) on stdout.
+pub fn render_lint_report(report: &CorpusReport, format: LintFormat, show_stats: bool) -> Rendered {
+    let mut out = Rendered::default();
+    let mut records: Vec<Record> = Vec::new();
+    for u in &report.units {
+        if let Some(f) = &u.fatal {
+            let _ = writeln!(out.stderr, "{}: fatal: {f}", u.path);
+            out.failed = true;
+        }
+        records.extend(u.lints.iter().cloned());
+    }
+    if records.iter().any(|r| r.level == "deny") {
+        out.failed = true;
+    }
+    out.stdout.push_str(&render_records(format, &records));
+    if show_stats {
+        out.stdout
+            .push_str(&crate::report::corpus_table(report).render());
+    }
+    out
+}
+
+/// Renders a cross-profile lint run: per-profile fatal units on stderr,
+/// the merged record set (including `portability-*` diffs) on stdout.
+pub fn render_lint_profiles(
+    report: &ProfilesReport,
+    format: LintFormat,
+    opts: &LintOptions,
+    show_stats: bool,
+) -> Rendered {
+    let mut out = Rendered::default();
+    for (name, run) in report.profiles.iter().zip(&report.runs) {
+        for u in &run.units {
+            if let Some(f) = &u.fatal {
+                let _ = writeln!(out.stderr, "{} [{name}]: fatal: {f}", u.path);
+                out.failed = true;
+            }
+        }
+    }
+    let records = report.lint_records(opts);
+    if records.iter().any(|r| r.level == "deny") {
+        out.failed = true;
+    }
+    out.stdout.push_str(&render_records(format, &records));
+    if show_stats {
+        for (name, run) in report.profiles.iter().zip(&report.runs) {
+            let _ = writeln!(out.stdout, "profile {name}:");
+            out.stdout
+                .push_str(&crate::report::corpus_table(run).render());
+        }
+    }
+    out
+}

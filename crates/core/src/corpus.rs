@@ -457,11 +457,13 @@ fn chunk_size(n_units: usize, workers: usize) -> usize {
 /// falls through to a real run. Entries overwrite on re-store, so an
 /// edited unit's fresh result replaces its stale one.
 ///
-/// Known limitation (shared with `make`-style dependency tracking):
-/// the fingerprint records files that **were** read, not lookups that
-/// failed, so adding a new file that would shadow an existing header
-/// in include resolution is not detected until the memo entry is
-/// otherwise invalidated.
+/// Fingerprints carry both halves of include resolution: the files
+/// that **were** read (path, content hash) and the probe paths that
+/// **failed** (`Preprocessor::unit_neg_deps`). A lookup misses when
+/// any positive dependency's hash changed *or* any formerly-absent
+/// probe path now exists — creating a file that shadows a header
+/// earlier on the include path invalidates exactly the units whose
+/// resolution walked past that path.
 struct UnitMemo {
     entries: std::sync::RwLock<superc_util::FastMap<(String, u64), Arc<MemoEntry>>>,
 }
@@ -469,6 +471,9 @@ struct UnitMemo {
 struct MemoEntry {
     /// Sorted `(path, content hash)` include closure at store time.
     deps: Vec<(String, u64)>,
+    /// Sorted failed include-resolution probe paths at store time: the
+    /// entry is only valid while every one of them stays absent.
+    neg_deps: Vec<String>,
     report: UnitReport,
 }
 
@@ -480,7 +485,8 @@ impl UnitMemo {
     }
 
     /// Replays the stored report for `(path, sig)` if every recorded
-    /// dependency still has its recorded content hash.
+    /// dependency still has its recorded content hash and every
+    /// recorded failed probe path is still absent.
     fn lookup(
         &self,
         path: &str,
@@ -498,6 +504,14 @@ impl UnitMemo {
                 return None;
             }
         }
+        for p in &entry.neg_deps {
+            // A formerly-failed probe that now resolves means include
+            // resolution would take a different path (a shadowing
+            // header appeared): the stored report is stale.
+            if dep_hash(p).is_some() {
+                return None;
+            }
+        }
         let mut report = entry.report.clone();
         report.memo_hit = true;
         Some(report)
@@ -507,7 +521,14 @@ impl UnitMemo {
     /// fingerprint (no shared cache), budget-degraded units (wall-clock
     /// budgets make their outcome schedule-dependent), and failed or
     /// panicked units — those recompute every time.
-    fn store(&self, path: &str, sig: u64, deps: Vec<(String, u64)>, report: &UnitReport) {
+    fn store(
+        &self,
+        path: &str,
+        sig: u64,
+        deps: Vec<(String, u64)>,
+        neg_deps: Vec<String>,
+        report: &UnitReport,
+    ) {
         if deps.is_empty()
             || report.partial
             || report.parse.budget_trips > 0
@@ -519,6 +540,7 @@ impl UnitMemo {
             (path.to_string(), sig),
             Arc::new(MemoEntry {
                 deps,
+                neg_deps,
                 report: report.clone(),
             }),
         );
@@ -600,7 +622,13 @@ fn claim_loop<F: FileSystem>(
                 }
             };
             if let Some((memo, sig)) = memo {
-                memo.store(path, sig, tool.preprocessor().unit_deps(), &report);
+                memo.store(
+                    path,
+                    sig,
+                    tool.preprocessor().unit_deps(),
+                    tool.preprocessor().unit_neg_deps(),
+                    &report,
+                );
             }
             out.push((i, report));
         }
@@ -969,11 +997,16 @@ fn profiles_claim_loop<F: FileSystem>(
                 }
             };
             if let Some((memo, sigs)) = memo {
-                let deps = tools
+                let (deps, neg_deps) = tools
                     .get(name)
-                    .map(|tool| tool.preprocessor().unit_deps())
+                    .map(|tool| {
+                        (
+                            tool.preprocessor().unit_deps(),
+                            tool.preprocessor().unit_neg_deps(),
+                        )
+                    })
                     .unwrap_or_default();
-                memo.store(path, sigs[p], deps, &report);
+                memo.store(path, sigs[p], deps, neg_deps, &report);
             }
             out.push((t, report));
         }

@@ -36,8 +36,10 @@
 //! # Ok::<(), superc::PpError>(())
 //! ```
 
+pub mod cli;
 pub mod corpus;
 pub mod report;
+pub mod service;
 
 pub use superc_analyze as analyze;
 pub use superc_bdd as bdd;

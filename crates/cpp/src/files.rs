@@ -32,20 +32,42 @@ pub trait FileSystem {
         including_dir: &str,
         search_paths: &[String],
     ) -> Option<String> {
+        let mut failed = Vec::new();
+        self.resolve_probed(name, system, including_dir, search_paths, &mut failed)
+    }
+
+    /// [`FileSystem::resolve`] with probe recording: every candidate
+    /// path tried *before* the winning one is pushed onto `failed`, in
+    /// probe order (all of them when resolution fails outright). Those
+    /// failed probes are negative dependencies of the including unit —
+    /// creating a file at any of them later changes what this call
+    /// returns, which is exactly what the warm unit memo's fingerprints
+    /// must detect (see `superc::corpus`).
+    fn resolve_probed(
+        &self,
+        name: &str,
+        system: bool,
+        including_dir: &str,
+        search_paths: &[String],
+        failed: &mut Vec<String>,
+    ) -> Option<String> {
         if !system && !including_dir.is_empty() {
             let local = join(including_dir, name);
             if self.read(&local).is_some() {
                 return Some(local);
             }
+            failed.push(local);
         }
         if self.read(name).is_some() {
             return Some(name.to_string());
         }
+        failed.push(name.to_string());
         for dir in search_paths {
             let p = join(dir, name);
             if self.read(&p).is_some() {
                 return Some(p);
             }
+            failed.push(p);
         }
         None
     }

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use superc_cond::{Cond, CondCtx};
 use superc_lexer::{lex, FileId, LexError, Punct, SourcePos, Token, TokenKind};
-use superc_util::FastMap;
+use superc_util::{FastMap, FastSet};
 
 use crate::condexpr::{CondExprEntry, CondExprKey};
 use crate::directives::{detect_guard, detect_pragma_once, structure, RawItem, RawTest};
@@ -258,6 +258,15 @@ pub struct Preprocessor<F: FileSystem> {
     /// only) mapped to its content hash. Reset per unit; only populated
     /// when a shared cache is attached (that is where hashes come from).
     unit_deps: FastMap<String, u64>,
+    /// The current unit's **negative** include-resolution dependencies:
+    /// every probe path that failed while resolving this unit's
+    /// includes. A file appearing at any of them would change what
+    /// `resolve` returns — a header shadowing the one actually used —
+    /// so the warm unit memo must treat "formerly absent path now
+    /// exists" as an invalidation, exactly like a content change on a
+    /// positive dependency. Reset per unit; populated only alongside
+    /// `unit_deps` (when a shared cache is attached).
+    unit_neg_deps: FastSet<String>,
     /// Per-worker conditional-expression memo: presence conditions and
     /// replayable counter deltas for previously evaluated `#if`/`#elif`
     /// expressions. Persists across units — `Cond` handles stay valid
@@ -309,6 +318,7 @@ impl<F: FileSystem> Preprocessor<F> {
             file_cache: HashMap::new(),
             shared: None,
             unit_deps: FastMap::default(),
+            unit_neg_deps: FastSet::default(),
             condexpr_memo: FastMap::default(),
             expansion_memo: FastMap::default(),
             file_ids: HashMap::new(),
@@ -356,6 +366,17 @@ impl<F: FileSystem> Preprocessor<F> {
             .collect();
         deps.sort_unstable();
         deps
+    }
+
+    /// The negative half of the last unit's fingerprint: every include
+    /// resolution probe path that *failed*, sorted. A memo entry built
+    /// from this unit is stale as soon as any of these paths exists —
+    /// the new file would have won (or changed) resolution. Empty when
+    /// no shared cache is attached, like [`Preprocessor::unit_deps`].
+    pub fn unit_neg_deps(&self) -> Vec<String> {
+        let mut neg: Vec<String> = self.unit_neg_deps.iter().cloned().collect();
+        neg.sort_unstable();
+        neg
     }
 
     /// The current content hash of `path`, via the shared cache's
@@ -644,6 +665,7 @@ impl<F: FileSystem> Preprocessor<F> {
         self.max_depth_seen = 0;
         self.poisoned = false;
         self.unit_deps.clear();
+        self.unit_neg_deps.clear();
         // The expansion memo is deliberately per-unit: pinned `Rc`s must
         // not outlive the macro table they came from, and a fresh memo per
         // unit keeps *direct* hits a pure function of the unit. (The
@@ -1040,10 +1062,22 @@ impl<F: FileSystem> Preprocessor<F> {
             .last()
             .and_then(|f| f.rsplit_once('/').map(|(d, _)| d.to_string()))
             .unwrap_or_default();
-        let Some(path) = self
-            .fs
-            .resolve(name, system, &including_dir, &self.opts.include_paths)
-        else {
+        // Failed probes are negative dependencies: a file appearing at
+        // any of them would shadow (or supply) this include, so warm
+        // memo fingerprints must record them. Only tracked when the
+        // shared cache is on — without it there is no memo to guard.
+        let mut failed_probes = Vec::new();
+        let resolved = self.fs.resolve_probed(
+            name,
+            system,
+            &including_dir,
+            &self.opts.include_paths,
+            &mut failed_probes,
+        );
+        if self.shared.is_some() {
+            self.unit_neg_deps.extend(failed_probes);
+        }
+        let Some(path) = resolved else {
             self.diag(
                 Severity::Warning,
                 pos,

@@ -1,0 +1,56 @@
+//! The embeddable facade over the SuperC reproduction: everything a
+//! host process (an IDE, a build server, the C API, the `superc daemon`)
+//! needs to run a **long-lived parse service**, re-exported behind one
+//! small surface.
+//!
+//! The engine is [`Driver`] (implemented in `superc::service`, where
+//! the `superc` binary can also reach it): one pooled corpus runner
+//! whose shared preprocessing cache and unit result memo persist across
+//! requests. A session alternates *edit generations* with requests:
+//!
+//! ```
+//! use superc_facade::{Driver, LintFormat, Options};
+//! use superc::analyze::LintOptions;
+//!
+//! let mut options = Options::default();
+//! options.pp.include_paths = vec!["include".to_string()];
+//! let mut driver = Driver::new(options, 2);
+//!
+//! // A fresh driver has generation 1 open: populate the tree.
+//! driver.set_file("include/w.h", "#define W 1\n")?;
+//! driver.set_file("a.c", "#include <w.h>\nint a = W;\n")?;
+//! driver.end_generation()?;
+//!
+//! // Requests replay memoized units whose include closure (positive
+//! // and negative dependencies) is untouched.
+//! let units = vec!["a.c".to_string()];
+//! let first = driver.parse(&units)?;
+//! assert_eq!(first.parsed_units(), 1);
+//!
+//! // Edits are batched into explicit generations.
+//! driver.begin_generation()?;
+//! driver.set_file("include/w.h", "#define W 2\n")?;
+//! driver.end_generation()?;
+//! let second = driver.parse(&units)?;
+//! assert!(!second.units[0].memo_hit); // the edit invalidated a.c
+//!
+//! // Rendered requests are byte-identical to the one-shot CLI.
+//! let lint = driver.lint_rendered(
+//!     &units, LintFormat::Json, &[], &LintOptions::default(), false)?;
+//! assert!(lint.stdout.starts_with("{\"diagnostics\":"));
+//! # Ok::<(), String>(())
+//! ```
+//!
+//! Include resolution can be virtualized with
+//! [`Driver::set_resolver`]: the callback serves file contents from
+//! anywhere (editor buffers, archives, a build graph); failures land on
+//! the driver's **last-error channel** ([`Driver::last_error`]) instead
+//! of unwinding into the host. The same channel records misuse, such as
+//! parsing while a generation is open.
+//!
+//! The C bindings in `superc-capi` wrap exactly this surface.
+
+pub use superc::analyze::LintOptions;
+pub use superc::cli::{LintFormat, Rendered};
+pub use superc::service::{Driver, DriverFs, DriverStats, ResolverFn};
+pub use superc::{Options, Profile};

@@ -15,9 +15,12 @@
 //!   external `rand` crate for corpus generation.
 //! * [`prop`] — a miniature property-test harness replacing `proptest`
 //!   for the workspace's randomized tests.
+//! * [`json`] — a strict little JSON reader for the parse daemon's
+//!   NDJSON request protocol (responses are hand-rendered).
 
 pub mod hash;
 pub mod intern;
+pub mod json;
 pub mod prop;
 pub mod rng;
 

@@ -44,6 +44,11 @@
 # edited must skip preprocess+parse for the unchanged 99% via the unit
 # memo. Behavior identity between the legs is asserted inside the
 # benchmark binary itself (per rep), not here.
+#
+# Daemon gate: DAEMON_MIN (default 3) is the minimum fig_daemon vs
+# fig_daemon_cold speedup — the same edit-then-reparse workload served
+# by a long-running service Driver must beat a fresh one-shot run over
+# the identical tree, bounding the service layer's own overhead.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -178,6 +183,29 @@ self_gates() {
         fi
     fi
 
+    # Daemon/service gate: the same edit-then-reparse workload served by
+    # a long-running Driver (the engine behind `superc daemon` and the C
+    # API) must beat the fresh one-shot run over the identical tree by
+    # at least DAEMON_MIN. This bounds the service layer's own overhead
+    # (overlay reads, generation bookkeeping) on top of the memo win the
+    # WARM_MIN gate already proves.
+    local DAEMON_MIN="${DAEMON_MIN:-3}"
+    local d_warm d_cold d_ratio
+    d_warm=$(extract "$f" | awk '$1 == "fig_daemon" { print $2 }')
+    d_cold=$(extract "$f" | awk '$1 == "fig_daemon_cold" { print $2 }')
+    if [[ -z "$d_warm" || -z "$d_cold" ]]; then
+        echo "bench: fig_daemon workload pair missing from new snapshot" >&2
+        gfail=1
+    else
+        d_ratio=$(awk -v on="$d_warm" -v off="$d_cold" 'BEGIN { printf "%.2f", on / off }')
+        if awk -v r="$d_ratio" -v fl="$DAEMON_MIN" 'BEGIN { exit !(r >= fl) }'; then
+            echo "bench: fig_daemon served/one-shot speedup ${d_ratio}x (floor ${DAEMON_MIN}x) OK"
+        else
+            echo "bench: fig_daemon served/one-shot speedup ${d_ratio}x below floor ${DAEMON_MIN}x" >&2
+            gfail=1
+        fi
+    fi
+
     # Parallel-scaling gate on the kernel jobs ladder. The floors default
     # by core count: a near-linear expectation where the hardware can
     # deliver it. On a single core there is no parallelism to win — the
@@ -273,11 +301,12 @@ while read -r name old_rate; do
     # throughput against a snapshot from another run re-introduces
     # exactly that drift (the uncached-lexing leg swings tens of percent
     # on a loaded box) without guarding anything the ratio gates don't.
-    # fig_incremental itself is skipped too: memo'd throughput measures
-    # almost no parsing work, so its absolute value is dominated by
-    # scheduler noise — the WARM_MIN ratio gate is its real contract.
+    # fig_incremental and fig_daemon themselves are skipped too: memo'd
+    # throughput measures almost no parsing work, so their absolute
+    # values are dominated by scheduler noise — the WARM_MIN and
+    # DAEMON_MIN ratio gates are their real contracts.
     case "$name" in
-    *_nocache | *_nofp | *_profiles1 | *_cold | fig_incremental) continue ;;
+    *_nocache | *_nofp | *_profiles1 | *_cold | fig_incremental | fig_daemon) continue ;;
     esac
     new_rate=$(extract "$NEW" | awk -v n="$name" '$1 == n { print $2 }')
     if [[ -z "$new_rate" ]]; then

@@ -179,6 +179,201 @@ for fmt in text json sarif; do
 done
 echo "verify: cross-profile lint byte-identity OK"
 
+# Daemon byte-identity: drive the real binary's `superc daemon` mode
+# over stdin/stdout (NDJSON, one response line per request) against the
+# kernel corpus, and byte-compare every parse/lint response with a
+# fresh one-shot CLI run over the same tree — including after an
+# on-disk edit announced with a notify-only edit generation. This is
+# the end-to-end version of tests/daemon.rs: same contract, but through
+# the real process boundary. The coproc gives synchronous
+# request/response turns, so disk edits between requests cannot race
+# the daemon's batch processing.
+DUNITS=()
+for u in "$KGEN_DIR"/src/*.c; do DUNITS+=("src/${u##*/}"); done
+DAEMON_UNITS=$(printf '"%s",' "${DUNITS[@]}")
+DAEMON_UNITS="[${DAEMON_UNITS%,}]"
+coproc DAEMON { cd "$KGEN_DIR" && exec "$ROBUST_BIN" daemon --jobs 4; }
+# Bash drops the coproc variables as soon as the process is reaped, so
+# grab the pid now for the post-shutdown wait.
+DAEMON_WAIT_PID="$DAEMON_PID"
+
+daemon_request() { # request-line -> response line on stdout
+    printf '%s\n' "$1" >&"${DAEMON[1]}"
+    local resp
+    IFS= read -r resp <&"${DAEMON[0]}"
+    printf '%s' "$resp"
+}
+
+daemon_check() { # label request-line reference-cli-args...
+    local label="$1" req="$2" resp ref_failed=0
+    shift 2
+    resp=$(daemon_request "$req")
+    if [[ $(jq -r .ok <<<"$resp") != true ]]; then
+        echo "verify: daemon $label request failed: $resp" >&2
+        exit 1
+    fi
+    (cd "$KGEN_DIR" && "$ROBUST_BIN" "$@") \
+        >"$KGEN_DIR/.ref.out" 2>"$KGEN_DIR/.ref.err" || ref_failed=1
+    jq -rj .stdout <<<"$resp" >"$KGEN_DIR/.got.out"
+    jq -rj .stderr <<<"$resp" >"$KGEN_DIR/.got.err"
+    local s
+    for s in out err; do
+        if ! cmp -s "$KGEN_DIR/.ref.$s" "$KGEN_DIR/.got.$s"; then
+            echo "verify: daemon $label std$s diverged from fresh one-shot run" >&2
+            diff "$KGEN_DIR/.ref.$s" "$KGEN_DIR/.got.$s" >&2 || true
+            exit 1
+        fi
+    done
+    local want_failed=false
+    [[ "$ref_failed" == 1 ]] && want_failed=true
+    if [[ $(jq -r .failed <<<"$resp") != "$want_failed" ]]; then
+        echo "verify: daemon $label failed flag disagrees with CLI exit" >&2
+        exit 1
+    fi
+}
+
+daemon_check "parse" "{\"cmd\":\"parse\",\"units\":$DAEMON_UNITS}" \
+    --jobs 4 "${DUNITS[@]}"
+daemon_check "lint" "{\"cmd\":\"lint\",\"units\":$DAEMON_UNITS,\"format\":\"json\"}" \
+    lint --format json --jobs 4 "${DUNITS[@]}"
+# Edit one unit on disk, announce it with a notify-only generation, and
+# require the next response to match a fresh run over the edited tree —
+# with exactly that unit recomputed and every other unit replayed from
+# the memo.
+printf 'int daemon_probe_unit;\n' >>"$KGEN_DIR/$WARM_UNIT"
+resp=$(daemon_request "{\"cmd\":\"edit\",\"path\":\"$WARM_UNIT\"}")
+if [[ $(jq -rj .stdout <<<"$resp") != "generation 2"* ]]; then
+    echo "verify: daemon edit notify rejected: $resp" >&2
+    exit 1
+fi
+daemon_check "post-edit lint" \
+    "{\"cmd\":\"lint\",\"units\":$DAEMON_UNITS,\"format\":\"json\"}" \
+    lint --format json --jobs 4 "${DUNITS[@]}"
+stats=$(daemon_request '{"cmd":"stats"}')
+if [[ $(jq -r .unit_memo_misses <<<"$stats") != 1 ]]; then
+    echo "verify: daemon must recompute exactly the edited unit: $stats" >&2
+    exit 1
+fi
+if [[ $(jq -r .unit_memo_hits <<<"$stats") != $((${#DUNITS[@]} - 1)) ]]; then
+    echo "verify: daemon must replay every untouched unit: $stats" >&2
+    exit 1
+fi
+printf '%s\n' '{"cmd":"shutdown"}' >&"${DAEMON[1]}"
+IFS= read -r resp <&"${DAEMON[0]}"
+if [[ $(jq -r .shutdown <<<"$resp") != true ]]; then
+    echo "verify: daemon shutdown handshake failed: $resp" >&2
+    exit 1
+fi
+wait "$DAEMON_WAIT_PID" 2>/dev/null || true
+echo "verify: daemon byte-identity OK"
+
+# C API smoke: compile a tiny client against the hand-written
+# crates/capi/include/superc.h, link the superc_capi cdylib, stage a
+# two-file tree through the FFI (set_file + end_generation), and
+# byte-compare its lint JSON with `superc lint --format json` over the
+# same files on disk. Gates that the header matches the exported
+# symbols, that the cdylib actually links, and that the embedding path
+# honors the same output contract as the CLI.
+CAPI_DIR=$(mktemp -d)
+trap 'rm -rf "$KGEN_DIR" "$CAPI_DIR"' EXIT
+mkdir -p "$CAPI_DIR/include"
+cat >"$CAPI_DIR/include/a.h" <<'EOF'
+#ifdef CONFIG_FAST
+#define SPEED 9
+#else
+#define SPEED 1
+#endif
+int helper(int);
+EOF
+cat >"$CAPI_DIR/a.c" <<'EOF'
+#include <a.h>
+int use(void) { return helper(SPEED); }
+int use(void);
+EOF
+cat >"$CAPI_DIR/client.c" <<'EOF'
+#include <stdio.h>
+#include <stdlib.h>
+#include "superc.h"
+
+/* Reads a file whole; the fixture is small. */
+static char *slurp(const char *path) {
+    FILE *f = fopen(path, "rb");
+    if (!f) return NULL;
+    fseek(f, 0, SEEK_END);
+    long len = ftell(f);
+    fseek(f, 0, SEEK_SET);
+    char *buf = malloc((size_t)len + 1);
+    if (!buf || fread(buf, 1, (size_t)len, f) != (size_t)len) {
+        fclose(f);
+        return NULL;
+    }
+    buf[len] = '\0';
+    fclose(f);
+    return buf;
+}
+
+/* Usage: client <unit.c> <staged-path>... — stages every argument from
+ * disk, lints the first one as JSON, and prints the exact CLI bytes. */
+int main(int argc, char **argv) {
+    superc_driver *d = superc_driver_new(2);
+    if (!d) return 2;
+    for (int i = 1; i < argc; i++) {
+        char *contents = slurp(argv[i]);
+        if (!contents || superc_driver_set_file(d, argv[i], contents) != 0) {
+            fprintf(stderr, "stage %s: %s\n", argv[i], superc_last_error(d));
+            return 2;
+        }
+        free(contents);
+    }
+    if (superc_driver_end_generation(d) < 0) return 2;
+    const char *units[] = {argv[1]};
+    char *err = NULL;
+    int failed = 0;
+    char *out = superc_lint(d, units, 1, "json", &err, &failed);
+    if (!out) {
+        fprintf(stderr, "lint: %s\n", superc_last_error(d));
+        return 2;
+    }
+    if (err) fputs(err, stderr);
+    fputs(out, stdout);
+    superc_string_free(out);
+    superc_string_free(err);
+    superc_driver_free(d);
+    return failed ? 1 : 0;
+}
+EOF
+cc -O1 -o "$CAPI_DIR/client" "$CAPI_DIR/client.c" \
+    -I crates/capi/include -L target/release -lsuperc_capi \
+    -Wl,-rpath,"$PWD/target/release"
+c_failed=0
+(cd "$CAPI_DIR" && ./client a.c include/a.h) \
+    >"$CAPI_DIR/.got.out" 2>"$CAPI_DIR/.got.err" || c_failed=$?
+if [[ "$c_failed" == 2 ]]; then
+    echo "verify: C client errored:" >&2
+    cat "$CAPI_DIR/.got.err" >&2
+    exit 1
+fi
+cli_failed=0
+(cd "$CAPI_DIR" && "$ROBUST_BIN" lint --format json a.c) \
+    >"$CAPI_DIR/.ref.out" 2>"$CAPI_DIR/.ref.err" || cli_failed=1
+for s in out err; do
+    if ! cmp -s "$CAPI_DIR/.ref.$s" "$CAPI_DIR/.got.$s"; then
+        echo "verify: C client lint std$s diverged from the CLI" >&2
+        diff "$CAPI_DIR/.ref.$s" "$CAPI_DIR/.got.$s" >&2 || true
+        exit 1
+    fi
+done
+if [[ "$c_failed" != "$cli_failed" ]]; then
+    echo "verify: C client exit ($c_failed) disagrees with CLI exit ($cli_failed)" >&2
+    exit 1
+fi
+if ! grep -q '"diagnostics"' "$CAPI_DIR/.got.out"; then
+    echo "verify: C client produced no lint JSON:" >&2
+    cat "$CAPI_DIR/.got.out" >&2
+    exit 1
+fi
+echo "verify: C API smoke OK"
+
 cargo fmt --all --check
 cargo clippy --workspace -- -D warnings
 scripts/bench.sh

@@ -1,0 +1,269 @@
+//! The `superc daemon` NDJSON protocol, driven in-process: every parse
+//! and lint response must be **byte-identical to a fresh one-shot CLI
+//! run over the same tree** (the same render functions the binary
+//! prints with), across jobs {1, 2, 8}, warm replays, disk edits, and
+//! the cross-profile grid. `scripts/verify.sh` repeats the same checks
+//! end-to-end against the real binary over stdin/stdout.
+
+use std::fs;
+use std::path::PathBuf;
+
+use superc::analyze::LintOptions;
+use superc::cli::{self, LintFormat};
+use superc::corpus::{process_corpus, process_corpus_profiles, CorpusOptions};
+use superc::service::{daemon, Driver};
+use superc::{DiskFs, Options, Profile};
+use superc_util::json::Json;
+
+/// A scratch tree on disk (the daemon serves the working directory, so
+/// the fixture must be real files).
+struct Tree {
+    root: PathBuf,
+}
+
+impl Tree {
+    fn new(tag: &str) -> Tree {
+        let root = std::env::temp_dir().join(format!("superc-daemon-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("include")).expect("mkdir fixture");
+        let tree = Tree { root };
+        tree.write("include/leaf.h", "int leaf_decl(int);\n#define LEAF 1\n");
+        tree.write(
+            "include/deep.h",
+            "#include \"deeper.h\"\nint deep_decl(void);\n",
+        );
+        tree.write(
+            "include/deeper.h",
+            "#ifdef CONFIG_SMP\n#define WIDTH 8\n#else\n#define WIDTH 1\n#endif\n",
+        );
+        tree.write(
+            "a.c",
+            "#include <leaf.h>\n#include <deep.h>\nint a_fn(void) { return LEAF + WIDTH; }\n",
+        );
+        tree.write(
+            "b.c",
+            "#include <deep.h>\nint b_fn(void) { return WIDTH; }\n",
+        );
+        tree.write(
+            "c.c",
+            "#include <deep.h>\nint c_fn(void) { return WIDTH * 2; }\n",
+        );
+        tree
+    }
+
+    fn write(&self, path: &str, contents: &str) {
+        fs::write(self.root.join(path), contents).expect("write fixture file");
+    }
+
+    fn root_str(&self) -> &str {
+        self.root.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for Tree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn units() -> Vec<String> {
+    vec!["a.c".to_string(), "b.c".to_string(), "c.c".to_string()]
+}
+
+/// Sends one request line, expecting `"ok":true`; returns the response.
+fn request(driver: &mut Driver, line: &str) -> Json {
+    let (response, quit) = daemon::handle_line(driver, line);
+    assert!(!quit, "unexpected shutdown for {line}");
+    let json = Json::parse(&response).expect("well-formed response line");
+    assert_eq!(
+        json.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "request {line} failed: {response}"
+    );
+    json
+}
+
+/// Asserts a parse/lint response carries exactly the fresh one-shot
+/// bytes.
+fn assert_rendered(label: &str, response: &Json, want: &cli::Rendered) {
+    assert_eq!(
+        response.get("stdout").and_then(Json::as_str),
+        Some(want.stdout.as_str()),
+        "{label}: stdout bytes"
+    );
+    assert_eq!(
+        response.get("stderr").and_then(Json::as_str),
+        Some(want.stderr.as_str()),
+        "{label}: stderr bytes"
+    );
+    assert_eq!(
+        response.get("failed").and_then(Json::as_bool),
+        Some(want.failed),
+        "{label}: failed flag"
+    );
+}
+
+#[test]
+fn daemon_responses_match_fresh_one_shot_runs_across_jobs() {
+    let units = units();
+    let unit_list = "\"a.c\",\"b.c\",\"c.c\"";
+    for jobs in [1usize, 2, 8] {
+        let label = format!("jobs={jobs}");
+        let tree = Tree::new(&format!("j{jobs}"));
+        let fresh_fs = DiskFs::new(tree.root.clone());
+        let mut driver = Driver::with_disk_root(Options::default(), jobs, tree.root_str());
+        driver.end_generation().expect("commit the empty overlay");
+
+        // parse: byte-identical to `superc a.c b.c c.c` over the tree.
+        let response = request(
+            &mut driver,
+            &format!("{{\"cmd\":\"parse\",\"units\":[{unit_list}]}}"),
+        );
+        let reference = process_corpus(
+            &fresh_fs,
+            &units,
+            &Options::default(),
+            &CorpusOptions::default(),
+        );
+        assert_rendered(
+            &label,
+            &response,
+            &cli::render_corpus_report(&reference, false, false),
+        );
+
+        // lint (all three formats): byte-identical to
+        // `superc lint --format <f> ...` over the tree.
+        let lint_reference = || {
+            let copts = CorpusOptions {
+                lint: Some(LintOptions::default()),
+                ..CorpusOptions::default()
+            };
+            process_corpus(&fresh_fs, &units, &Options::default(), &copts)
+        };
+        for (name, format) in [
+            ("text", LintFormat::Text),
+            ("json", LintFormat::Json),
+            ("sarif", LintFormat::Sarif),
+        ] {
+            let response = request(
+                &mut driver,
+                &format!("{{\"cmd\":\"lint\",\"units\":[{unit_list}],\"format\":\"{name}\"}}"),
+            );
+            let want = cli::render_lint_report(&lint_reference(), format, false);
+            assert_rendered(&format!("{label} format={name}"), &response, &want);
+        }
+
+        // Disk edit + notify-only edit request: the next batch must
+        // recompute the edited closure and still match a fresh run.
+        tree.write("include/leaf.h", "int leaf_decl(int);\n#define LEAF 2\n");
+        let response = request(
+            &mut driver,
+            "{\"cmd\":\"edit\",\"path\":\"include/leaf.h\"}",
+        );
+        assert_eq!(
+            response.get("stdout").and_then(Json::as_str),
+            Some("generation 2\n"),
+            "{label}: edit response"
+        );
+        let response = request(
+            &mut driver,
+            &format!("{{\"cmd\":\"lint\",\"units\":[{unit_list}],\"format\":\"json\"}}"),
+        );
+        let want = cli::render_lint_report(&lint_reference(), LintFormat::Json, false);
+        assert_rendered(&format!("{label} after edit"), &response, &want);
+        let stats = request(&mut driver, "{\"cmd\":\"stats\"}");
+        assert_eq!(
+            stats.get("unit_memo_hits").and_then(Json::as_f64),
+            Some(2.0),
+            "{label}: b.c and c.c replay after the leaf edit"
+        );
+
+        // Shadowing header: create a file at a formerly-failed include
+        // probe path (bare `leaf.h` precedes `include/leaf.h` for
+        // `#include <leaf.h>`). Negative-dependency fingerprints must
+        // force a.c to recompute — and the bytes must match fresh.
+        tree.write(
+            "leaf.h",
+            "int leaf_decl(int);\nint leaf_shadow;\n#define LEAF 7\n",
+        );
+        request(&mut driver, "{\"cmd\":\"edit\",\"path\":\"leaf.h\"}");
+        let response = request(
+            &mut driver,
+            &format!("{{\"cmd\":\"lint\",\"units\":[{unit_list}],\"format\":\"json\"}}"),
+        );
+        let want = cli::render_lint_report(&lint_reference(), LintFormat::Json, false);
+        assert_rendered(&format!("{label} after shadowing edit"), &response, &want);
+        let stats = request(&mut driver, "{\"cmd\":\"stats\"}");
+        assert_eq!(
+            stats.get("unit_memo_misses").and_then(Json::as_f64),
+            Some(1.0),
+            "{label}: only a.c walks past the shadow path"
+        );
+
+        // Cross-profile grid.
+        let profiles: Vec<Profile> = ["gcc-linux", "clang-linux", "msvc-windows"]
+            .iter()
+            .map(|n| Profile::named(n).expect("shipped profile"))
+            .collect();
+        let response = request(
+            &mut driver,
+            &format!(
+                "{{\"cmd\":\"lint\",\"units\":[{unit_list}],\"format\":\"json\",\
+                 \"profiles\":[\"gcc-linux\",\"clang-linux\",\"msvc-windows\"]}}"
+            ),
+        );
+        let copts = CorpusOptions {
+            lint: Some(LintOptions::default()),
+            ..CorpusOptions::default()
+        };
+        let reference =
+            process_corpus_profiles(&fresh_fs, &units, &Options::default(), &profiles, &copts);
+        let want =
+            cli::render_lint_profiles(&reference, LintFormat::Json, &LintOptions::default(), false);
+        assert_rendered(&format!("{label} profiles"), &response, &want);
+
+        // Shutdown ends the session.
+        let (response, quit) = daemon::handle_line(&mut driver, "{\"cmd\":\"shutdown\"}");
+        assert!(quit, "{label}: shutdown must stop the loop");
+        assert!(
+            response.contains("\"shutdown\":true"),
+            "{label}: {response}"
+        );
+    }
+}
+
+#[test]
+fn daemon_rejects_malformed_requests_without_dying() {
+    let tree = Tree::new("errors");
+    let mut driver = Driver::with_disk_root(Options::default(), 2, tree.root_str());
+    driver.end_generation().expect("commit");
+    for (line, needle) in [
+        ("not json at all", "bad request"),
+        ("{\"units\":[\"a.c\"]}", "needs a \"cmd\""),
+        ("{\"cmd\":\"levitate\"}", "unknown cmd"),
+        ("{\"cmd\":\"parse\"}", "units"),
+        (
+            "{\"cmd\":\"lint\",\"units\":[\"a.c\"],\"format\":\"yaml\"}",
+            "unknown format",
+        ),
+        (
+            "{\"cmd\":\"lint\",\"units\":[\"a.c\"],\"profiles\":[\"dos\"]}",
+            "unknown profile",
+        ),
+        ("{\"cmd\":\"edit\"}", "needs a \"path\""),
+    ] {
+        let (response, quit) = daemon::handle_line(&mut driver, line);
+        assert!(!quit, "{line} must not stop the daemon");
+        let json = Json::parse(&response).expect("well-formed error response");
+        assert_eq!(
+            json.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "{line}"
+        );
+        let err = json.get("error").and_then(Json::as_str).unwrap_or("");
+        assert!(err.contains(needle), "{line}: got error {err:?}");
+    }
+    // The session still works after every rejected request.
+    let response = request(&mut driver, "{\"cmd\":\"parse\",\"units\":[\"a.c\"]}");
+    assert_eq!(response.get("failed").and_then(Json::as_bool), Some(false));
+}

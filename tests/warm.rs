@@ -6,7 +6,9 @@
 //! The matrix here crosses edit site × jobs × fastpath × profile count:
 //!
 //! * edit sites: none / a leaf header included by one unit / a shared
-//!   header deep in every unit's closure / a unit's own source;
+//!   header deep in every unit's closure / a unit's own source / a
+//!   *shadowing* header created at a path that include resolution
+//!   probed and missed in the first batch (a negative dependency);
 //! * `jobs` 1, 2, 8 over the same pool size ladder as
 //!   `tests/parallel.rs`;
 //! * fast path (fused lexing + deterministic LR fast path) on and off;
@@ -87,6 +89,8 @@ struct Edit {
     touch: Option<(&'static str, &'static str)>,
     /// Expected `memo_hit` per unit (a.c, b.c, c.c) on the re-run.
     hits: [bool; 3],
+    /// Files in the tree after the edit (the rehash ceiling per batch).
+    files: u64,
 }
 
 fn edits() -> Vec<Edit> {
@@ -95,11 +99,13 @@ fn edits() -> Vec<Edit> {
             label: "none",
             touch: None,
             hits: [true, true, true],
+            files: 6,
         },
         Edit {
             label: "leaf-header",
             touch: Some(("include/leaf.h", "int leaf_decl(int);\n#define LEAF 2\n")),
             hits: [false, true, true],
+            files: 6,
         },
         Edit {
             label: "deep-shared-header",
@@ -108,6 +114,7 @@ fn edits() -> Vec<Edit> {
                 "#ifdef CONFIG_SMP\n#define WIDTH 16\n#else\n#define WIDTH 2\n#endif\nint deeper_decl(void);\n",
             )),
             hits: [false, false, false],
+            files: 6,
         },
         Edit {
             label: "unit-source",
@@ -116,6 +123,33 @@ fn edits() -> Vec<Edit> {
                 "#include <deep.h>\nint b_fn(void) { return WIDTH + 1; }\n",
             )),
             hits: [true, false, true],
+            files: 6,
+        },
+        // Shadowing edits: the touched path did not exist in the first
+        // batch — it is a *failed probe* on some unit's include
+        // resolution path. `a.c`'s `#include <leaf.h>` probes bare
+        // `leaf.h` before `include/leaf.h`, so creating `leaf.h`
+        // changes what a.c resolves without touching any file a.c
+        // read. Only negative-dependency fingerprints catch this.
+        Edit {
+            label: "shadow-leaf-header",
+            touch: Some((
+                "leaf.h",
+                "int leaf_decl(int);\nint leaf_shadow;\n#define LEAF 7\n",
+            )),
+            hits: [false, true, true],
+            files: 7,
+        },
+        // Every unit includes `<deep.h>` and probes bare `deep.h`
+        // first, so this shadow invalidates the whole corpus.
+        Edit {
+            label: "shadow-deep-header",
+            touch: Some((
+                "deep.h",
+                "#include \"deeper.h\"\nint deep_decl(void);\nint deep_shadow;\n",
+            )),
+            hits: [false, false, false],
+            files: 7,
         },
     ]
 }
@@ -209,9 +243,10 @@ fn warm_rerun_matches_cold_run_across_edit_jobs_fastpath_matrix() {
                 // Every file is content-hashed at most once per batch,
                 // however many workers and profiles probed it.
                 assert!(
-                    second.files_rehashed <= 6,
-                    "{label}: rehashed {} files of 6",
-                    second.files_rehashed
+                    second.files_rehashed <= edit.files,
+                    "{label}: rehashed {} files of {}",
+                    second.files_rehashed,
+                    edit.files
                 );
             }
         }
@@ -287,9 +322,10 @@ fn warm_profiles_rerun_matches_cold_grid() {
                 // rehash per touched file per batch, shared by all
                 // three profile runs.
                 assert!(
-                    second.runs[0].files_rehashed <= 6,
-                    "{label}: rehashed {} files of 6",
-                    second.runs[0].files_rehashed
+                    second.runs[0].files_rehashed <= edit.files,
+                    "{label}: rehashed {} files of {}",
+                    second.runs[0].files_rehashed,
+                    edit.files
                 );
             }
         }
